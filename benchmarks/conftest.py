@@ -1,0 +1,62 @@
+"""Shared helpers for the reproduction benchmarks.
+
+Each benchmark regenerates one table or figure from the paper's
+evaluation (see DESIGN.md's experiment index), asserts the *shape* of
+the paper's claim, and writes a human-readable report to
+``benchmarks/results/<experiment>.txt`` (also echoed to stdout; run
+pytest with ``-s`` to see it live).
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+def report(name: str, lines: list) -> str:
+    """Write (and print) one experiment's reproduction table."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    text = "\n".join(str(line) for line in lines) + "\n"
+    (RESULTS_DIR / f"{name}.txt").write_text(text)
+    print(f"\n{'=' * 72}\n{name}\n{'=' * 72}\n{text}")
+    return text
+
+
+def ascii_series(
+    title: str,
+    series: dict,
+    width: int = 56,
+    height: int = 12,
+) -> list:
+    """Render ``{label: [(x, y), ...]}`` as a small ASCII chart.
+
+    Each label plots with its first character. Returns report lines.
+    """
+    points = [(x, y) for values in series.values() for x, y in values]
+    if not points:
+        return [title, "  (no data)"]
+    xs = [x for x, _ in points]
+    ys = [y for _, y in points]
+    x_lo, x_hi = min(xs), max(xs)
+    y_lo, y_hi = min(ys), max(ys)
+    x_span = (x_hi - x_lo) or 1.0
+    y_span = (y_hi - y_lo) or 1.0
+    grid = [[" "] * width for _ in range(height)]
+    for label, values in series.items():
+        mark = label[0]
+        for x, y in values:
+            col = int((x - x_lo) / x_span * (width - 1))
+            row = height - 1 - int((y - y_lo) / y_span * (height - 1))
+            grid[row][col] = mark
+    lines = [title]
+    for index, row in enumerate(grid):
+        y_value = y_hi - index * y_span / (height - 1)
+        lines.append(f"  {y_value:8.0f} |{''.join(row)}")
+    lines.append(f"  {'':8}  {'-' * width}")
+    lines.append(
+        f"  {'':8}  {x_lo:<10.0f}{'':{max(width - 20, 0)}}{x_hi:>10.0f}"
+    )
+    legend = "   ".join(f"{label[0]} = {label}" for label in series)
+    lines.append(f"  legend: {legend}")
+    return lines

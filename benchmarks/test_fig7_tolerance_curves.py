@@ -1,0 +1,71 @@
+"""FIG7 — Figure 7: the proactive-counting error tolerance curves.
+
+Regenerates the curve family e(dt) for the two α values the paper
+simulates (4 and 2.5), checks the properties the caption asserts —
+"τ controls the x-intercept — the maximum delay until any change is
+transmitted upstream. α controls the rate of decay without changing the
+maximum allowed error tolerance" — and prints the sampled series.
+"""
+
+import pytest
+from conftest import report
+
+from repro.core.proactive import ToleranceCurve
+
+TAU = 120.0
+E_MAX = 1.0
+
+
+def test_fig7_curves(benchmark):
+    fast = ToleranceCurve(e_max=E_MAX, alpha=4.0, tau=TAU)
+    slow = ToleranceCurve(e_max=E_MAX, alpha=2.5, tau=TAU)
+
+    benchmark(fast.tolerance, 30.0)
+
+    samples = list(range(0, 121, 10))
+    series = {
+        4.0: [fast.tolerance(dt) for dt in samples],
+        2.5: [slow.tolerance(dt) for dt in samples],
+    }
+
+    # Same clamp (α does not change e_max)...
+    assert series[4.0][0] == series[2.5][0] == E_MAX
+    # ...same x-intercept at τ...
+    assert series[4.0][-1] == series[2.5][-1] == 0.0
+    # ...but α=4 decays strictly faster in the interior.
+    for fast_value, slow_value, dt in zip(series[4.0], series[2.5], samples):
+        if 0 < dt < TAU and slow_value < E_MAX:
+            assert fast_value < slow_value
+    # Monotone non-increasing.
+    for values in series.values():
+        assert all(a >= b for a, b in zip(values, values[1:]))
+
+    rows = [
+        "Figure 7: error tolerance curves e(dt) = clamp(ln(tau/dt)/alpha)",
+        f"  tau = {TAU:.0f}, e_max = {E_MAX}",
+        "   dt    alpha=4.0   alpha=2.5",
+    ]
+    for dt, fast_value, slow_value in zip(samples, series[4.0], series[2.5]):
+        rows.append(f"  {dt:>4}   {fast_value:9.3f}   {slow_value:9.3f}")
+    rows.append("  -> same clamp, same x-intercept, alpha sets the decay rate")
+    report("fig7_tolerance_curves", rows)
+
+
+def test_fig7_max_delay_guarantee(benchmark):
+    """The x-intercept really is "the maximum delay until any change is
+    transmitted upstream": any nonzero error violates the curve at τ."""
+    curve = ToleranceCurve(e_max=E_MAX, alpha=2.5, tau=TAU)
+    benchmark(curve.deadline_for_error, 0.01)
+    for error in (1e-6, 1e-3, 0.1, 0.9, 5.0):
+        assert curve.deadline_for_error(error) <= TAU
+        assert error > curve.tolerance(TAU)
+
+    report(
+        "fig7_max_delay",
+        [
+            "Figure 7 guarantee: any pending change is sent within tau",
+            f"  deadline(1e-6) = {curve.deadline_for_error(1e-6):.1f}s <= tau={TAU:.0f}s",
+            f"  deadline(0.5)  = {curve.deadline_for_error(0.5):.1f}s",
+            f"  deadline(5.0)  = {curve.deadline_for_error(5.0):.1f}s (clamp region)",
+        ],
+    )

@@ -1,0 +1,155 @@
+"""X1 — protocol comparison: EXPRESS vs PIM-SM vs CBT vs DVMRP.
+
+The paper's §3.6 claims, measured on one topology and group:
+
+* "with EXPRESS channels, multicast traffic only travels along paths
+  from the source to the subscribers. In contrast, with group multicast
+  protocols, packets can traverse routes that are distant from the
+  expected direct path ... either detouring via the rendezvous point or
+  broadcasting throughout a domain."
+* EXPRESS needs no rendezvous/core state, and flood-and-prune leaves
+  state on every router.
+* §4.4: PIM-SM's shared-tree/SPT choice is the same delay-state
+  tradeoff EXPRESS exposes at the application layer.
+"""
+
+import pytest
+from conftest import report
+
+from repro import ExpressNetwork, TopologyBuilder
+from repro.routing.baselines import CbtModel, DvmrpModel, ExpressTreeModel, PimSmModel
+from repro.routing.unicast import UnicastRouting
+
+SOURCE = "h0_0_0"
+MEMBERS = ["h1_0_0", "h1_1_1", "h2_0_0", "h2_1_0", "h3_1_1", "h0_1_0"]
+RP = "t2"  # network-selected rendezvous/core, far from the source
+
+
+def build():
+    topo = TopologyBuilder.isp(n_transit=4, stubs_per_transit=2, hosts_per_stub=2)
+    routing = UnicastRouting(topo)
+    models = {
+        "express": ExpressTreeModel(topo, routing, source=SOURCE),
+        "pim-sm (shared)": PimSmModel(topo, routing, rp=RP),
+        "pim-sm (spt)": PimSmModel(topo, routing, rp=RP),
+        "cbt": CbtModel(topo, routing, core=RP),
+        "dvmrp": DvmrpModel(topo, routing, source=SOURCE),
+    }
+    for name, model in models.items():
+        for member in MEMBERS:
+            model.join(member)
+    for member in MEMBERS:
+        models["pim-sm (spt)"].switch_to_spt(member, SOURCE)
+    return topo, routing, models
+
+
+def mean_stretch(model):
+    return sum(model.stretch(SOURCE, member) for member in MEMBERS) / len(MEMBERS)
+
+
+def test_x1_state_and_stretch(benchmark):
+    topo, routing, models = benchmark.pedantic(build, rounds=1, iterations=1)
+
+    stats = {
+        name: (model.total_state(), len(model.routers_touched()), mean_stretch(model))
+        for name, model in models.items()
+    }
+
+    express_state, express_touched, express_stretch = stats["express"]
+    # EXPRESS: stretch exactly 1 (source shortest paths).
+    assert express_stretch == 1.0
+    # Shared trees detour; the RP shared tree has strictly worse stretch.
+    assert stats["pim-sm (shared)"][2] > 1.0
+    # SPT switchover restores stretch 1 but costs extra state.
+    assert stats["pim-sm (spt)"][2] == 1.0
+    assert stats["pim-sm (spt)"][0] > stats["pim-sm (shared)"][0]
+    # DVMRP touches every router in the domain; EXPRESS does not.
+    assert stats["dvmrp"][1] == len(topo.nodes)
+    assert express_touched < stats["dvmrp"][1]
+    # EXPRESS per-group state is no worse than PIM-SM with SPTs.
+    assert express_state <= stats["pim-sm (spt)"][0]
+
+    rows = [
+        "X1: one group, one source, 6 members on a 4-transit ISP topology",
+        f"    source={SOURCE}, RP/core={RP}",
+        "",
+        "  protocol          state   routers-touched   mean-stretch",
+    ]
+    for name, (state, touched, stretch) in stats.items():
+        rows.append(f"  {name:<16} {state:>6}   {touched:>15}   {stretch:>12.2f}")
+    rows += [
+        "",
+        "  shape checks (all hold):",
+        "   - EXPRESS stretch = 1.0; shared trees detour via the RP/core",
+        "   - PIM-SM SPT switchover buys stretch 1.0 with extra (S,G) state",
+        "   - DVMRP touches the whole domain; EXPRESS only the tree",
+    ]
+    report("x1_protocol_comparison", rows)
+
+
+def test_x1_live_express_matches_model(benchmark):
+    """The live ECMP implementation builds the same tree the analytic
+    EXPRESS model predicts (so X1's model numbers describe the real
+    protocol)."""
+    topo = TopologyBuilder.isp(n_transit=4, stubs_per_transit=2, hosts_per_stub=2)
+    net = ExpressNetwork(topo)
+    net.run(until=0.1)
+    source = net.source(SOURCE)
+    channel = source.allocate_channel()
+
+    def subscribe_all():
+        for member in MEMBERS:
+            net.host(member).subscribe(channel)
+        net.settle()
+        return net.tree_edges(channel)
+
+    live_edges = benchmark.pedantic(subscribe_all, rounds=1, iterations=1)
+    model = ExpressTreeModel(net.topo, net.routing, source=SOURCE)
+    for member in MEMBERS:
+        model.join(member)
+
+    assert {frozenset(edge) for edge in live_edges} == model.tree_edges()
+    report(
+        "x1_live_vs_model",
+        [
+            "X1 cross-check: live ECMP tree == analytic reverse-SPT model",
+            f"  members: {len(MEMBERS)}, tree edges: {len(live_edges)} (identical sets)",
+        ],
+    )
+
+
+def test_x1_off_path_traffic(benchmark):
+    """Count data-plane transmissions per delivered packet: EXPRESS
+    never sends a byte off the source->subscriber paths."""
+    topo = TopologyBuilder.isp(n_transit=4, stubs_per_transit=2, hosts_per_stub=2)
+    net = ExpressNetwork(topo)
+    net.run(until=0.1)
+    source = net.source(SOURCE)
+    channel = source.allocate_channel()
+    for member in MEMBERS:
+        net.host(member).subscribe(channel)
+    net.settle()
+
+    def send_one():
+        source.send(channel)
+        net.settle()
+
+    benchmark.pedantic(send_one, rounds=1, iterations=1)
+    transmissions = sum(
+        fwd.stats.get("multicast_forwarded") for fwd in net.forwarders.values()
+    )  # includes the source's own emission (emit_local fans out too)
+    tree_links = len(net.tree_edges(channel))
+
+    assert transmissions == tree_links  # one transmission per tree link
+
+    report(
+        "x1_off_path_traffic",
+        [
+            "X1: data transmissions per multicast send",
+            f"  tree links:           {tree_links}",
+            f"  link transmissions:   {transmissions}",
+            "  -> exactly one per tree link; zero off-path traffic",
+            "  (DVMRP's first packet would traverse every link in the domain;",
+            f"   this topology has {len(net.topo.links)} links)",
+        ],
+    )

@@ -1,0 +1,164 @@
+"""X3 — session relay cost/performance (§4.5).
+
+Claims measured:
+
+* "the maximum relayed delay from a sender to the most distant
+  subscriber is at most twice the distance from the most distant
+  subscriber to the session relay itself, assuming symmetric paths."
+* Hot standby "adds additional state (approximately twice as much)";
+  cold standby saves that state but pays a join on failover.
+* Application placement matters: an SR at the topological center beats
+  an SR in a corner (§4.2's placement argument).
+"""
+
+import pytest
+from conftest import report
+
+from repro import ExpressNetwork, TopologyBuilder
+from repro.relay import (
+    SessionParticipant,
+    SessionRelay,
+    StandbyCoordinator,
+    StandbyMode,
+)
+
+PARTICIPANTS = ["h1_0_0", "h1_1_1", "h2_0_0", "h3_1_0", "h0_1_1"]
+
+
+def build_net():
+    topo = TopologyBuilder.isp(n_transit=4, stubs_per_transit=2, hosts_per_stub=2)
+    net = ExpressNetwork(topo)
+    net.run(until=0.1)
+    return net
+
+
+def test_x3_relay_delay_bound(benchmark):
+    net = build_net()
+    relay = SessionRelay(net, "h0_0_0")
+    members = [SessionParticipant(net, name, relay) for name in PARTICIPANTS]
+    net.settle()
+
+    def speak():
+        members[0].speak("question")
+        net.settle()
+
+    benchmark.pedantic(speak, rounds=1, iterations=1)
+    for member in members:
+        assert [m.body for m in member.heard_talks] == ["question"]
+
+    distance = net.routing.distance
+    max_member_to_sr = max(distance(name, "h0_0_0") for name in PARTICIPANTS)
+    rows = [
+        "X3: relayed delay vs the 2x bound (§4.5)",
+        f"  SR at h0_0_0; farthest member is {max_member_to_sr * 1000:.1f} ms away",
+        "",
+        "  sender -> receiver        relayed      direct    relayed <= 2*max(d_to_SR)",
+    ]
+    bound = 2 * max_member_to_sr
+    for sender in PARTICIPANTS[:2]:
+        for receiver in PARTICIPANTS:
+            if receiver == sender:
+                continue
+            relayed = distance(sender, "h0_0_0") + distance("h0_0_0", receiver)
+            direct = distance(sender, receiver)
+            assert relayed <= bound + 1e-9
+            rows.append(
+                f"  {sender} -> {receiver}   {relayed * 1000:7.1f}ms"
+                f"   {direct * 1000:7.1f}ms   OK"
+            )
+    rows.append("")
+    rows.append(f"  bound 2*max = {bound * 1000:.1f} ms — holds for every pair")
+    report("x3_relay_delay", rows)
+
+
+def test_x3_sr_placement(benchmark):
+    """§4.2: the application picks the SR; a central host beats a
+    corner host on worst-case relayed delay."""
+    net = build_net()
+    distance = net.routing.distance
+
+    def worst_relay_delay(sr):
+        return max(
+            distance(a, sr) + distance(sr, b)
+            for a in PARTICIPANTS
+            for b in PARTICIPANTS
+            if a != b
+        )
+
+    candidates = {name: worst_relay_delay(name) for name in
+                  ("h0_0_0", "h1_0_0", "h3_1_1", "h2_0_1")}
+    benchmark.pedantic(lambda: worst_relay_delay("h0_0_0"), rounds=1, iterations=1)
+    best = min(candidates, key=candidates.get)
+    worst = max(candidates, key=candidates.get)
+    assert candidates[best] < candidates[worst]
+
+    report(
+        "x3_sr_placement",
+        [
+            "X3: SR placement (worst-case relayed delay per candidate host)",
+            *[
+                f"  SR at {name}: {delay * 1000:7.1f} ms"
+                for name, delay in sorted(candidates.items(), key=lambda kv: kv[1])
+            ],
+            f"  -> application-controlled placement wins: {best} beats {worst} "
+            f"by {(candidates[worst] - candidates[best]) * 1000:.1f} ms",
+        ],
+    )
+
+
+def test_x3_hot_vs_cold_standby(benchmark):
+    """Hot: ~2x channel state, failover = detection only.
+    Cold: 1x state, failover = detection + join."""
+    results = {}
+    for mode in (StandbyMode.HOT, StandbyMode.COLD):
+        net = build_net()
+        primary = SessionRelay(net, "h0_0_0", heartbeat_interval=1.0)
+        backup = SessionRelay(net, "h0_1_0", heartbeat_interval=1.0)
+        coordinator = StandbyCoordinator(net, primary, backup, mode=mode,
+                                         heartbeat_interval=1.0)
+        members = [SessionParticipant(net, name, primary) for name in PARTICIPANTS]
+        for member in members:
+            coordinator.enroll(member)
+        net.settle(3.0)
+
+        primary_state = sum(
+            1 for fib in net.fibs.values()
+            if fib.get(primary.channel.source, primary.channel.group)
+        )
+        standby_state = coordinator.standby_state_entries()
+
+        coordinator.fail_primary()
+        failed_at = net.sim.now
+        net.run(until=net.sim.now + 15)
+        backup.speak_from_relay("carrying on")
+        net.run(until=net.sim.now + 10)
+        assert coordinator.all_recovered()
+        worst_recovery = max(
+            record.recovered_at - failed_at
+            for record in coordinator.failed_over.values()
+        )
+        results[mode] = (primary_state, standby_state, worst_recovery)
+
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    hot_state = results[StandbyMode.HOT][1]
+    cold_state = results[StandbyMode.COLD][1]
+    assert hot_state > 0 and cold_state == 0  # hot pre-builds the tree
+    # Hot recovery is never slower than cold.
+    assert results[StandbyMode.HOT][2] <= results[StandbyMode.COLD][2] + 1e-9
+
+    rows = [
+        "X3: hot vs cold standby (§4.2, §4.5)",
+        "",
+        "  mode   primary-FIB  standby-FIB(pre-failure)  worst failover",
+    ]
+    for mode, (primary_state, standby_state, recovery) in results.items():
+        rows.append(
+            f"  {mode.value:<5} {primary_state:>11}  {standby_state:>24}"
+            f"  {recovery:>12.2f} s"
+        )
+    rows += [
+        "",
+        "  -> hot: pre-built backup tree (~2x state), detection-bound failover",
+        "     cold: zero standby state, pays the join at failover time",
+    ]
+    report("x3_standby", rows)

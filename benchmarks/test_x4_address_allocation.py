@@ -1,0 +1,74 @@
+"""X4 — address allocation: EXPRESS local channels vs the group model.
+
+The paper's fourth problem (§1): the group model needs world-wide
+unique class-D addresses from a shared 2^28 pool, requiring a global
+allocation mechanism "with all its deployment and operational issues";
+EXPRESS gives every host 2^24 channels it allocates locally with no
+coordination (§2.2.1).
+
+Measured: allocation latency/round trips and collision behaviour for
+(a) EXPRESS local allocation, (b) a coordinated global authority, and
+(c) uncoordinated random self-assignment at world scale.
+"""
+
+import pytest
+from conftest import report
+
+from repro.core.channel import ChannelAllocator
+from repro.inet.addr import CHANNELS_PER_SOURCE, parse_address
+from repro.inet.alloc import (
+    GROUP_POOL_SIZE,
+    CoordinatedAllocator,
+    UncoordinatedAllocator,
+    collision_probability,
+)
+
+N_SESSIONS = 10_000
+
+
+def test_x4_allocation_comparison(benchmark):
+    express = ChannelAllocator(parse_address("10.0.0.1"))
+
+    def allocate_express():
+        channels = [express.allocate() for _ in range(N_SESSIONS)]
+        for channel in channels:
+            express.release(channel)
+        return channels
+
+    benchmark(allocate_express)
+
+    coordinated = CoordinatedAllocator(service_rtt=0.2)
+    for _ in range(N_SESSIONS):
+        coordinated.allocate()
+
+    uncoordinated = UncoordinatedAllocator(seed=1)
+    for _ in range(N_SESSIONS):
+        uncoordinated.allocate()
+
+    # Shape claims.
+    assert coordinated.stats.round_trips == N_SESSIONS
+    assert coordinated.total_latency() == pytest.approx(N_SESSIONS * 0.2)
+    assert collision_probability(100_000) > 0.99  # world-scale birthday bound
+    assert CHANNELS_PER_SOURCE == 2**24  # per host, vs 2^28 - 2^24 world-wide
+
+    report(
+        "x4_address_allocation",
+        [
+            f"X4: allocating {N_SESSIONS:,} multicast sessions",
+            "",
+            "  scheme                 pool              round-trips   collisions",
+            f"  EXPRESS (per-host)     2^24 per host     {0:>11,}   impossible",
+            f"  coordinated global     {GROUP_POOL_SIZE:,} shared   {coordinated.stats.round_trips:>11,}"
+            f"   0 (authority serializes)",
+            f"  uncoordinated random   {GROUP_POOL_SIZE:,} shared   {0:>11,}"
+            f"   {uncoordinated.stats.collisions} at 10k; "
+            f"P(any)={collision_probability(N_SESSIONS):.3f}",
+            "",
+            f"  coordination cost at 200ms/RTT: {coordinated.total_latency():,.0f} s"
+            f" of cumulative allocation latency",
+            f"  world-scale (100k concurrent sessions) uncoordinated collision",
+            f"  probability: {collision_probability(100_000):.4f} -> 'extraneous",
+            "  cross traffic' is near-certain without a global service (§1)",
+            "  EXPRESS: zero round trips, zero collisions, by construction",
+        ],
+    )

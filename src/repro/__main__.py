@@ -1,0 +1,63 @@
+"""``python -m repro`` — a one-minute tour of the library.
+
+Runs a condensed version of the quickstart (channel, tree, delivery,
+counting, authentication) and prints the cost-model headline numbers,
+so a fresh checkout can be sanity-checked with one command.
+"""
+
+from __future__ import annotations
+
+from repro import ExpressNetwork, TopologyBuilder, make_key
+from repro.core.keys import ChannelKey
+from repro.costmodel import FibCostModel, ManagementStateModel, MillionChannelScenario
+
+
+def main() -> int:
+    print("EXPRESS multicast channels (Holbrook & Cheriton, SIGCOMM 1999)")
+    print("=" * 64)
+
+    topo = TopologyBuilder.isp(n_transit=3, stubs_per_transit=2, hosts_per_stub=2)
+    net = ExpressNetwork(topo)
+    net.run(until=0.1)
+
+    source = net.source("h0_0_0")
+    channel = source.allocate_channel()
+    key = make_key(channel)
+    source.channel_key(channel, key)
+    print(f"channel {channel} (authenticated), source h0_0_0")
+
+    delivered = []
+    for name in ("h1_0_0", "h1_1_1", "h2_0_1"):
+        net.host(name).subscribe(channel, key=key,
+                                 on_data=lambda p, n=name: delivered.append(n))
+    crasher = net.host("h2_0_0").subscribe(channel, key=ChannelKey(b"invalid!"))
+    net.settle()
+    print(f"3 keyed subscriptions active; bad-key subscription: {crasher.status}")
+
+    source.send(channel, payload=b"hello")
+    net.settle()
+    print(f"delivered to {sorted(set(delivered))}")
+
+    result = source.count_query(channel, timeout=5.0)
+    net.settle(6.0)
+    print(f"CountQuery -> {result.count} subscribers; "
+          f"{net.fib_entries_total()} FIB entries network-wide")
+
+    print()
+    print("§5 cost headlines (paper's 1998 constants):")
+    fib = FibCostModel()
+    print(f"  FIB entry: 12 bytes = ${fib.entry_purchase_cost():.5f}")
+    mgmt = ManagementStateModel()
+    print(f"  management state: {mgmt.channel_bytes()} B/channel"
+          f" (${mgmt.channel_cost_dollars():.6f}/channel-yr)")
+    scenario = MillionChannelScenario()
+    print(f"  1M-channel router: {scenario.event_rate():,.0f} Count events/s,"
+          f" {scenario.receive_bandwidth_bps() / 1000:.0f} kbit/s control in")
+    print()
+    print("run `pytest benchmarks/ --benchmark-only -s` for the full")
+    print("paper-vs-measured reproduction (see EXPERIMENTS.md).")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,27 @@
+"""Application-layer group-size estimation baselines (§7.3).
+
+The paper contrasts ECMP's in-network counting with "pure
+application-layer algorithms for scalable counting in multicast
+groups": suppression-based probabilistic polling (Bolot et al. /
+Nonnenmacher & Biersack style) and multi-round probing. These
+implementations exist so the ``X2`` benchmark can measure the paper's
+qualitative claims — suppression schemes risk feedback implosion when
+the suppressing reply is lost or clients misbehave; multi-round schemes
+avoid implosion but take more rounds; ECMP is exact with bounded
+per-node load.
+"""
+
+from repro.appcount.multiround import MultiRoundEstimator, MultiRoundOutcome
+from repro.appcount.polling import (
+    ProbabilisticPollEstimator,
+    SuppressionOutcome,
+    SuppressionPollEstimator,
+)
+
+__all__ = [
+    "MultiRoundEstimator",
+    "MultiRoundOutcome",
+    "ProbabilisticPollEstimator",
+    "SuppressionOutcome",
+    "SuppressionPollEstimator",
+]

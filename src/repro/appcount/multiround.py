@@ -1,0 +1,81 @@
+"""Multi-round polling estimation (§7.3: "Multi-round schemes like [3]
+avoid the implosion risk, but are slower than suppression-based
+approaches.").
+
+The estimator probes with a reply probability that starts tiny and
+doubles each round until enough replies arrive; the final round's reply
+count and probability give the estimate. Implosion is structurally
+avoided (expected replies per round are bounded by the stopping rule),
+at the cost of multiple round-trips over the group.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.errors import WorkloadError
+
+
+@dataclass
+class MultiRoundOutcome:
+    estimate: float
+    rounds: int
+    total_replies: int
+    messages_at_source: int
+    final_probability: float
+
+
+class MultiRoundEstimator:
+    """Doubling-probability polling."""
+
+    def __init__(
+        self,
+        initial_probability: float = 1e-6,
+        target_replies: int = 20,
+        max_rounds: int = 40,
+        seed: int = 0,
+    ) -> None:
+        if not 0 < initial_probability <= 1:
+            raise WorkloadError("initial probability must be in (0, 1]")
+        if target_replies < 1:
+            raise WorkloadError("target replies must be >= 1")
+        self.p0 = initial_probability
+        self.target = target_replies
+        self.max_rounds = max_rounds
+        self.rng = random.Random(seed)
+
+    def estimate(self, group_size: int) -> MultiRoundOutcome:
+        if group_size < 0:
+            raise WorkloadError("group size must be >= 0")
+        p = self.p0
+        rounds = 0
+        total_replies = 0
+        replies = 0
+        while rounds < self.max_rounds:
+            rounds += 1
+            replies = sum(1 for _ in range(group_size) if self.rng.random() < p)
+            total_replies += replies
+            if replies >= self.target or p >= 1.0:
+                break
+            p = min(p * 2, 1.0)
+        estimate = replies / p if p > 0 else 0.0
+        return MultiRoundOutcome(
+            estimate=estimate,
+            rounds=rounds,
+            total_replies=total_replies,
+            messages_at_source=total_replies + rounds,  # replies + polls
+            final_probability=p,
+        )
+
+    def expected_rounds(self, group_size: int) -> int:
+        """Rounds until expected replies reach the target: the doubling
+        walk from p0 to ~target/N."""
+        import math
+
+        if group_size <= 0:
+            return self.max_rounds
+        p_needed = min(self.target / group_size, 1.0)
+        if p_needed <= self.p0:
+            return 1
+        return min(int(math.ceil(math.log2(p_needed / self.p0))) + 1, self.max_rounds)

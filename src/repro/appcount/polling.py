@@ -1,0 +1,156 @@
+"""Probabilistic polling estimators (§7.3 baselines).
+
+Two schemes:
+
+* :class:`ProbabilisticPollEstimator` — the source multicasts a poll
+  asking each member to reply independently with probability ``p``;
+  from ``k`` replies it estimates ``N ≈ k / p``. Simple, one round,
+  but the expected reply volume is ``N·p`` — the source must guess
+  ``p`` small enough to avoid implosion yet large enough for accuracy.
+
+* :class:`SuppressionPollEstimator` — members schedule replies with
+  random delays drawn from an exponential-bias window; the first reply
+  is multicast back to the group and *suppresses* the rest (the
+  timer-based scalable-feedback family). The group size is inferred
+  from the first-reply delay. The paper's §7.3 risk is modelled
+  directly: "there is a risk of serious feedback implosion and
+  congestion if the suppressing reply ... is lost on any large branch
+  of the tree or if misbehaving clients respond when they should not."
+
+Both are Monte-Carlo models over an abstract membership (no packet
+simulation needed — the X2 bench compares message *counts* and
+accuracy), seeded for reproducibility.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass
+from repro.errors import WorkloadError
+
+
+@dataclass
+class PollOutcome:
+    """Result of one probabilistic poll."""
+
+    estimate: float
+    replies: int
+    messages_at_source: int
+    polls_sent: int
+
+
+class ProbabilisticPollEstimator:
+    """Single-round reply-probability polling."""
+
+    def __init__(self, reply_probability: float, seed: int = 0) -> None:
+        if not 0 < reply_probability <= 1:
+            raise WorkloadError(f"reply probability must be in (0, 1], got {reply_probability}")
+        self.p = reply_probability
+        self.rng = random.Random(seed)
+
+    def poll(self, group_size: int) -> PollOutcome:
+        if group_size < 0:
+            raise WorkloadError("group size must be >= 0")
+        replies = sum(1 for _ in range(group_size) if self.rng.random() < self.p)
+        return PollOutcome(
+            estimate=replies / self.p,
+            replies=replies,
+            messages_at_source=replies,
+            polls_sent=1,
+        )
+
+    def expected_replies(self, group_size: int) -> float:
+        return group_size * self.p
+
+    def relative_stddev(self, group_size: int) -> float:
+        """σ/N of the estimator: sqrt(N p (1-p)) / (p N)."""
+        if group_size == 0:
+            return 0.0
+        return math.sqrt(group_size * self.p * (1 - self.p)) / (self.p * group_size)
+
+
+@dataclass
+class SuppressionOutcome:
+    """Result of one suppression-based feedback round."""
+
+    estimate: float
+    replies: int  # replies that actually reached the source
+    messages_at_source: int
+    suppression_lost: bool
+    implosion: bool  # replies exceeded the implosion threshold
+
+
+class SuppressionPollEstimator:
+    """First-reply suppression with exponentially-biased timers.
+
+    Each member draws a delay ``d = T * log2(1 + (2^λ - 1) * u) / λ``
+    (u uniform); the earliest reply is multicast back and suppresses
+    everyone whose timer has not yet fired, *if* they receive it.
+    ``suppression_loss`` is the probability a member misses the
+    suppressing reply; ``misbehaving_fraction`` models clients that
+    reply regardless.
+    """
+
+    def __init__(
+        self,
+        window: float = 1.0,
+        bias: float = 10.0,
+        propagation_delay: float = 0.05,
+        suppression_loss: float = 0.0,
+        misbehaving_fraction: float = 0.0,
+        implosion_threshold: int = 100,
+        seed: int = 0,
+    ) -> None:
+        if window <= 0 or bias <= 0:
+            raise WorkloadError("window and bias must be positive")
+        if not 0 <= suppression_loss <= 1 or not 0 <= misbehaving_fraction <= 1:
+            raise WorkloadError("loss and misbehaving fractions must be in [0, 1]")
+        self.window = window
+        self.bias = bias
+        self.propagation_delay = propagation_delay
+        self.suppression_loss = suppression_loss
+        self.misbehaving_fraction = misbehaving_fraction
+        self.implosion_threshold = implosion_threshold
+        self.rng = random.Random(seed)
+
+    def _draw_delay(self) -> float:
+        u = self.rng.random()
+        return self.window * math.log2(1 + (2**self.bias - 1) * u) / self.bias
+
+    def poll(self, group_size: int) -> SuppressionOutcome:
+        if group_size <= 0:
+            return SuppressionOutcome(0.0, 0, 0, False, False)
+        delays = sorted(self._draw_delay() for _ in range(group_size))
+        first = delays[0]
+        cutoff = first + self.propagation_delay
+        replies = 0
+        suppression_lost = False
+        for i, delay in enumerate(delays):
+            fired_before_suppression = delay <= cutoff
+            missed_suppression = self.rng.random() < self.suppression_loss
+            misbehaves = self.rng.random() < self.misbehaving_fraction
+            if fired_before_suppression or missed_suppression or misbehaves:
+                replies += 1
+                if i > 0 and missed_suppression:
+                    suppression_lost = True
+        # Estimate N from the first-fire delay: with this timer family,
+        # E[min delay] shrinks ~ log(N); invert the bias curve.
+        if first <= 0:
+            estimate = float(2**self.bias)
+        else:
+            estimate = (2**self.bias - 1) / max(
+                2 ** (self.bias * first / self.window) - 1, 1e-9
+            )
+        return SuppressionOutcome(
+            estimate=max(estimate, 1.0),
+            replies=replies,
+            messages_at_source=replies,
+            suppression_lost=suppression_lost,
+            implosion=replies > self.implosion_threshold,
+        )
+
+    def implosion_probability(self, group_size: int, trials: int = 50) -> float:
+        """Monte-Carlo probability that a round implodes."""
+        hits = sum(1 for _ in range(trials) if self.poll(group_size).implosion)
+        return hits / trials

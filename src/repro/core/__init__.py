@@ -1,0 +1,33 @@
+"""The paper's primary contribution: EXPRESS multicast channels.
+
+A channel is ``(S, E)`` — one explicitly designated source ``S`` and a
+destination ``E`` in the single-source 232/8 range. This package
+implements the channel model end to end:
+
+* :mod:`repro.core.channel` — the channel value type and per-host
+  autonomous channel allocation;
+* :mod:`repro.core.ecmp` — the EXPRESS Count Management Protocol:
+  subscription, distribution-tree maintenance, counting/voting,
+  authentication, TCP/UDP neighbor modes, neighbor discovery;
+* :mod:`repro.core.forwarding` — the data plane (exact (S,E) FIB
+  match, RPF incoming-interface check, subcast decapsulation);
+* :mod:`repro.core.proactive` — §6's proactive counting;
+* :mod:`repro.core.network` — the high-level facade that assembles a
+  topology into an EXPRESS-capable internetwork.
+"""
+
+from repro.core.channel import Channel, ChannelAllocator
+from repro.core.keys import ChannelKey, KeyCache, make_key
+from repro.core.network import ExpressNetwork
+from repro.core.proactive import ProactiveCounter, ToleranceCurve
+
+__all__ = [
+    "Channel",
+    "ChannelAllocator",
+    "ChannelKey",
+    "ExpressNetwork",
+    "KeyCache",
+    "ProactiveCounter",
+    "ToleranceCurve",
+    "make_key",
+]

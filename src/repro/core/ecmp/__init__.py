@@ -1,0 +1,57 @@
+"""ECMP — the EXPRESS Count Management Protocol (§3).
+
+"EXPRESS is implemented using ECMP, a single common management protocol
+that both maintains the distribution tree and supports source-directed
+counting and voting. ... distribution tree construction for a single
+source is a restricted case of counting the subscribers in each
+subtree."
+
+The protocol is three messages (:mod:`~repro.core.ecmp.messages`):
+``CountQuery``, ``Count``, and ``CountResponse``. Subscription is an
+unsolicited non-zero ``Count(subscriberId)`` routed toward the source
+by RPF; unsubscription is a zero ``Count``; generic counting is a
+``CountQuery`` flooded down the tree with ``Count`` sums flowing back
+up. :mod:`~repro.core.ecmp.protocol` holds the state machine;
+:mod:`~repro.core.ecmp.state` the per-channel records whose size §5.2
+accounts for.
+"""
+
+from repro.core.ecmp.countids import (
+    ALL_CHANNELS_ID,
+    NEIGHBORS_ID,
+    SUBSCRIBER_ID,
+    CountIdError,
+    is_application_id,
+    is_network_layer_id,
+    propagates_to_hosts,
+)
+from repro.core.ecmp.messages import (
+    COUNT_WIRE_BYTES,
+    Count,
+    CountQuery,
+    CountResponse,
+    CountStatus,
+    decode_message,
+    encode_message,
+)
+from repro.core.ecmp.protocol import CountPropagation, EcmpAgent, NeighborMode
+
+__all__ = [
+    "ALL_CHANNELS_ID",
+    "COUNT_WIRE_BYTES",
+    "Count",
+    "CountIdError",
+    "CountPropagation",
+    "CountQuery",
+    "CountResponse",
+    "CountStatus",
+    "EcmpAgent",
+    "NEIGHBORS_ID",
+    "NeighborMode",
+    "SUBSCRIBER_ID",
+    "decode_message",
+    "encode_message",
+    "is_application_id",
+    "is_network_layer_id",
+    "propagates_to_hosts",
+]

@@ -1,0 +1,97 @@
+"""The countId space.
+
+CountIds identify what a ``CountQuery``/``Count`` is counting. The
+paper reserves specific values and ranges:
+
+* ``subscriberId`` — "designates the number of subscribers in a
+  subtree" (§3.2); drives distribution-tree maintenance.
+* ``neighbors`` — "designates neighboring EXPRESS routers" (§3.3),
+  used by periodic neighbor discovery.
+* an *all channels* id whose query "solicits Count retransmissions
+  from all hosts for all channels, analogous to an IGMP general query"
+  (§3.3).
+* "CountIds corresponding to some network-layer resources are not
+  propagated all the way to leaf hosts. These counts use a separate
+  range of the CountId space" (§3.1 footnote) — e.g. link counting for
+  inter-domain settlements.
+* "A sub-range of CountIds is designated for locally-defined use"
+  (§3.1) and "a range of countIds is reserved to have
+  application-defined semantics" (§2.2.1).
+
+The concrete numeric layout below is this implementation's choice (the
+paper does not pin values): a 16-bit space split into reserved,
+network-layer, locally-defined, and application ranges.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ProtocolError
+
+
+class CountIdError(ProtocolError):
+    """A countId is out of range or used outside its range's rules."""
+
+
+#: 16-bit countId space.
+COUNT_ID_MAX = 0xFFFF
+
+# -- reserved well-known ids -------------------------------------------------
+
+#: Number of subscribers in a subtree; maintains the distribution tree.
+SUBSCRIBER_ID = 0x0001
+#: Neighboring EXPRESS routers (periodic discovery).
+NEIGHBORS_ID = 0x0002
+#: Solicits Count retransmission for all channels (general query).
+ALL_CHANNELS_ID = 0x0003
+#: Links used within a domain (network-layer resource counting).
+LINK_COUNT_ID = 0x0100
+#: Weighted tree-size measure (mentioned in §2.1 as a count type).
+TREE_SIZE_ID = 0x0101
+
+# -- ranges -------------------------------------------------------------------
+
+#: Reserved protocol ids (tree maintenance, discovery).
+RESERVED_RANGE = range(0x0001, 0x0100)
+#: Network-layer resource ids: never forwarded to leaf hosts.
+NETWORK_LAYER_RANGE = range(0x0100, 0x1000)
+#: Locally-defined use within a domain (§3.1).
+LOCAL_USE_RANGE = range(0x1000, 0x4000)
+#: Application-defined semantics (votes, NACK collection, ...).
+APPLICATION_RANGE = range(0x4000, 0x10000)
+
+
+def check_count_id(count_id: int) -> int:
+    """Validate range; returns ``count_id`` for chaining."""
+    if not 0 < count_id <= COUNT_ID_MAX:
+        raise CountIdError(f"countId {count_id:#x} outside the 16-bit space")
+    return count_id
+
+
+def is_network_layer_id(count_id: int) -> bool:
+    """True for ids counting network-layer resources."""
+    check_count_id(count_id)
+    return count_id in NETWORK_LAYER_RANGE
+
+
+def is_application_id(count_id: int) -> bool:
+    """True for ids with application-defined semantics."""
+    check_count_id(count_id)
+    return count_id in APPLICATION_RANGE
+
+
+def is_local_use_id(count_id: int) -> bool:
+    """True for ids designated for locally-defined (intra-domain) use."""
+    check_count_id(count_id)
+    return count_id in LOCAL_USE_RANGE
+
+
+def propagates_to_hosts(count_id: int) -> bool:
+    """Whether a CountQuery for this id is forwarded to leaf hosts.
+
+    Network-layer resource counts stop at routers (§3.1 footnote);
+    everything else reaches subscriber hosts, where the OS either
+    answers immediately (``subscriberId``) or hands the query to the
+    application (application range).
+    """
+    check_count_id(count_id)
+    return count_id not in NETWORK_LAYER_RANGE

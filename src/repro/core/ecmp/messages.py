@@ -1,0 +1,205 @@
+"""ECMP wire messages and codecs.
+
+"ECMP consists of three messages: CountQuery(channel, countId,
+timeout), Count(channel, countId, count, [K(S,E)]),
+CountResponse(channel, countId, status)" (§3).
+
+Wire sizes are load-bearing for the §5.3 bandwidth analysis: "Without
+authentication, approximately 92 16-byte Count messages fit in a
+1480-byte maximum-sized TCP segment on Ethernet." Our ``Count`` packs
+to exactly 16 bytes unauthenticated (24 with the 8-byte key), and
+``CountQuery`` to 16 (28 with proactive-curve parameters). The field
+layout within those sizes is this implementation's choice; the paper
+pins only the totals.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+from enum import Enum
+from typing import Optional, Union
+
+from repro.core.channel import Channel
+from repro.core.ecmp.countids import check_count_id
+from repro.core.keys import KEY_BYTES, ChannelKey
+from repro.core.proactive import ToleranceCurve
+from repro.errors import CodecError
+
+#: Unauthenticated Count wire size (92 fit in one 1480-byte segment).
+COUNT_WIRE_BYTES = 16
+#: CountQuery wire size without proactive parameters.
+QUERY_WIRE_BYTES = 16
+#: CountResponse wire size.
+RESPONSE_WIRE_BYTES = 12
+
+_TYPE_QUERY = 0x01
+_TYPE_COUNT = 0x02
+_TYPE_RESPONSE = 0x03
+
+_FLAG_KEY = 0x01
+_FLAG_PROACTIVE = 0x02
+
+#: type(1) flags(1) countId(2) source(4) dest-suffix(3) ... per-type tail
+_HEAD = struct.Struct("!BBHI3s")
+_COUNT_TAIL = struct.Struct("!IB")  # count(4) reserved(1)
+_QUERY_TAIL = struct.Struct("!IB")  # timeout-ms(4) reserved(1)
+_RESPONSE_TAIL = struct.Struct("!B")  # status(1)
+_PROACTIVE_EXT = struct.Struct("!fff")  # e_max alpha tau
+
+
+class CountStatus(Enum):
+    """CountResponse statuses: a router "can either acknowledge or
+    reject a Count message ... indicating an unsupported count or an
+    invalid authenticator" (§3.1)."""
+
+    OK = 0
+    UNSUPPORTED_COUNT = 1
+    INVALID_AUTHENTICATOR = 2
+    NO_SUCH_CHANNEL = 3
+
+
+@dataclass(frozen=True)
+class CountQuery:
+    """Solicits Count replies down the distribution tree.
+
+    ``timeout`` is in seconds; it is decremented hop-by-hop so children
+    time out before their parents (§3.1). When ``proactive`` is set the
+    query doubles as the §6 request that routers maintain this count
+    proactively with the given tolerance curve.
+    """
+
+    channel: Channel
+    count_id: int
+    timeout: float
+    proactive: Optional[ToleranceCurve] = None
+
+    def __post_init__(self) -> None:
+        check_count_id(self.count_id)
+        if self.timeout < 0:
+            raise CodecError(f"negative timeout {self.timeout}")
+
+    def wire_size(self) -> int:
+        return QUERY_WIRE_BYTES + (_PROACTIVE_EXT.size if self.proactive else 0)
+
+
+@dataclass(frozen=True)
+class Count:
+    """A count report; doubles as subscribe (non-zero) / unsubscribe
+    (zero) when ``count_id`` is ``subscriberId``. ``key`` carries
+    K(S,E) for authenticated channels."""
+
+    channel: Channel
+    count_id: int
+    count: int
+    key: Optional[ChannelKey] = None
+
+    def __post_init__(self) -> None:
+        check_count_id(self.count_id)
+        if not 0 <= self.count <= 0xFFFFFFFF:
+            raise CodecError(f"count {self.count} not a uint32")
+
+    def wire_size(self) -> int:
+        return COUNT_WIRE_BYTES + (KEY_BYTES if self.key else 0)
+
+
+@dataclass(frozen=True)
+class CountResponse:
+    """Acknowledges or rejects a Count (auth results, unsupported ids)."""
+
+    channel: Channel
+    count_id: int
+    status: CountStatus
+
+    def __post_init__(self) -> None:
+        check_count_id(self.count_id)
+
+    def wire_size(self) -> int:
+        return RESPONSE_WIRE_BYTES
+
+
+EcmpMessage = Union[CountQuery, Count, CountResponse]
+
+
+def _pack_head(msg_type: int, flags: int, count_id: int, channel: Channel) -> bytes:
+    return _HEAD.pack(
+        msg_type, flags, count_id, channel.source, channel.suffix.to_bytes(3, "big")
+    )
+
+
+def encode_message(message: EcmpMessage) -> bytes:
+    """Serialize any ECMP message to its wire form."""
+    if isinstance(message, Count):
+        flags = _FLAG_KEY if message.key else 0
+        data = _pack_head(_TYPE_COUNT, flags, message.count_id, message.channel)
+        data += _COUNT_TAIL.pack(message.count, 0)
+        if message.key:
+            data += message.key.value
+        return data
+    if isinstance(message, CountQuery):
+        flags = _FLAG_PROACTIVE if message.proactive else 0
+        timeout_ms = int(round(message.timeout * 1000))
+        if timeout_ms > 0xFFFFFFFF:
+            raise CodecError(f"timeout {message.timeout}s unencodable")
+        data = _pack_head(_TYPE_QUERY, flags, message.count_id, message.channel)
+        data += _QUERY_TAIL.pack(timeout_ms, 0)
+        if message.proactive:
+            curve = message.proactive
+            data += _PROACTIVE_EXT.pack(curve.e_max, curve.alpha, curve.tau)
+        return data
+    if isinstance(message, CountResponse):
+        data = _pack_head(_TYPE_RESPONSE, 0, message.count_id, message.channel)
+        data += _RESPONSE_TAIL.pack(message.status.value)
+        return data
+    raise CodecError(f"not an ECMP message: {message!r}")
+
+
+def decode_message(data: bytes) -> EcmpMessage:
+    """Parse a wire buffer back into a message object."""
+    if len(data) < _HEAD.size:
+        raise CodecError(f"ECMP message truncated: {len(data)} bytes")
+    msg_type, flags, count_id, source, suffix_bytes = _HEAD.unpack(data[: _HEAD.size])
+    channel = Channel.of(source, int.from_bytes(suffix_bytes, "big"))
+    body = data[_HEAD.size :]
+
+    if msg_type == _TYPE_COUNT:
+        if len(body) < _COUNT_TAIL.size:
+            raise CodecError("Count body truncated")
+        count, _reserved = _COUNT_TAIL.unpack(body[: _COUNT_TAIL.size])
+        key = None
+        if flags & _FLAG_KEY:
+            key_bytes = body[_COUNT_TAIL.size : _COUNT_TAIL.size + KEY_BYTES]
+            if len(key_bytes) != KEY_BYTES:
+                raise CodecError("Count key truncated")
+            key = ChannelKey(key_bytes)
+        return Count(channel=channel, count_id=count_id, count=count, key=key)
+
+    if msg_type == _TYPE_QUERY:
+        if len(body) < _QUERY_TAIL.size:
+            raise CodecError("CountQuery body truncated")
+        timeout_ms, _reserved = _QUERY_TAIL.unpack(body[: _QUERY_TAIL.size])
+        proactive = None
+        if flags & _FLAG_PROACTIVE:
+            ext = body[_QUERY_TAIL.size : _QUERY_TAIL.size + _PROACTIVE_EXT.size]
+            if len(ext) != _PROACTIVE_EXT.size:
+                raise CodecError("proactive extension truncated")
+            e_max, alpha, tau = _PROACTIVE_EXT.unpack(ext)
+            proactive = ToleranceCurve(e_max=e_max, alpha=alpha, tau=tau)
+        return CountQuery(
+            channel=channel,
+            count_id=count_id,
+            timeout=timeout_ms / 1000.0,
+            proactive=proactive,
+        )
+
+    if msg_type == _TYPE_RESPONSE:
+        if len(body) < _RESPONSE_TAIL.size:
+            raise CodecError("CountResponse body truncated")
+        (status_value,) = _RESPONSE_TAIL.unpack(body[: _RESPONSE_TAIL.size])
+        try:
+            status = CountStatus(status_value)
+        except ValueError:
+            raise CodecError(f"unknown CountResponse status {status_value}") from None
+        return CountResponse(channel=channel, count_id=count_id, status=status)
+
+    raise CodecError(f"unknown ECMP message type {msg_type:#x}")

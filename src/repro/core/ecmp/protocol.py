@@ -1,0 +1,1159 @@
+"""The ECMP state machine (§3).
+
+One :class:`EcmpAgent` runs on every EXPRESS-capable node — routers and
+hosts alike. The paper's insight that "distribution tree construction
+for a single source is a restricted case of counting the subscribers in
+each subtree" shows up directly: a host's own subscription is just a
+downstream record under the pseudo-neighbor ``LOCAL``, and the same
+Count-handling path maintains the tree whether the count came from a
+router, a host, or the local application.
+
+Protocol clarifications this implementation pins down (the paper leaves
+them open; see DESIGN.md §4):
+
+* **Verdicts.** Every *join* Count (a 0→positive transition, or any
+  Count carrying a key) receives exactly one ``CountResponse`` verdict
+  from its immediate upstream: OK or INVALID_AUTHENTICATOR. A router
+  that terminates the join locally (it knows the key, it is the
+  always-authoritative source, or it absorbs a keyless join into an
+  existing tree) answers at once; otherwise it forwards the join,
+  records a :class:`VerdictEntry` with rollback state, and relays the
+  verdict when its own upstream answers. Entries resolve FIFO per
+  channel, matching TCP-mode ordering — the paper itself points
+  authenticated channels at TCP-mode core routers.
+* **Optimism.** Keyless joins are accepted optimistically (forwarding
+  state installs immediately) and rolled back if a later verdict denies
+  them; keyed joins needing upstream validation install tree state but
+  *not* forwarding state until validated, so no data ever flows to a
+  subscriber whose key fails.
+* **Timeout decrement.** "A small multiple of the measured round-trip
+  time to its upstream neighbor" is 2× the RTT; in the simulator the
+  RTT estimate is twice the link's propagation delay (a real
+  implementation would measure it from keepalives).
+* **Concurrent queries.** The wire format identifies a query by
+  (channel, countId); a second query for the same pair restarts the
+  first (the paper sizes state for "2 counts outstanding at any time on
+  a channel" — two *different* countIds).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from enum import Enum
+from typing import Callable, Optional
+
+from repro.core.channel import Channel
+from repro.core.counting import (
+    MIN_FORWARD_TIMEOUT,
+    PendingQuery,
+    QueryResult,
+    decrement_timeout,
+)
+from repro.core.ecmp.countids import (
+    ALL_CHANNELS_ID,
+    NEIGHBORS_ID,
+    SUBSCRIBER_ID,
+    propagates_to_hosts,
+)
+from repro.core.ecmp.messages import (
+    Count,
+    CountQuery,
+    CountResponse,
+    CountStatus,
+    EcmpMessage,
+    decode_message,
+    encode_message,
+)
+from repro.core.ecmp.state import LOCAL, ChannelState, DownstreamRecord
+from repro.core.keys import ChannelKey, KeyCache
+from repro.core.proactive import ProactiveCounter, ToleranceCurve
+from repro.errors import ChannelError, ProtocolError
+from repro.inet.addr import parse_address
+from repro.netsim.engine import PeriodicTask
+from repro.netsim.node import Node, ProtocolAgent
+from repro.netsim.packet import Packet
+from repro.netsim.trace import Counter
+from repro.routing.fib import MulticastFib
+from repro.routing.unicast import UnicastRouting
+
+PROTO_ECMP = "ecmp"
+
+#: "All multicast ECMP datagrams are sent to a well-known ECMP address"
+#: with "a well-known localhost value as the source" (§3.3 + footnote 5).
+DISCOVERY_CHANNEL = Channel(
+    source=parse_address("127.0.0.1"), group=parse_address("232.0.0.255")
+)
+
+#: IPv4 header bytes added to every ECMP message on the wire.
+IP_OVERHEAD = 20
+
+
+class NeighborMode(Enum):
+    """Per-neighbor ECMP transport (§3.2): "TCP is provided for core
+    routers with few neighbors and many channels, whereas UDP is
+    intended for use in edge routers"."""
+
+    TCP = "tcp"
+    UDP = "udp"
+
+
+class CountPropagation(Enum):
+    """When a router pushes subscriber-count changes upstream.
+
+    * TREE_ONLY — only 0↔positive transitions propagate (the paper's
+      base behaviour: a join "propagates hop-by-hop until it reaches
+      the source or a router already on the distribution tree").
+    * ON_CHANGE — every change propagates (exact counts everywhere;
+      the costly strawman §6 improves on).
+    * PROACTIVE — §6: changes propagate when they exceed the error
+      tolerance curve.
+    """
+
+    TREE_ONLY = "tree-only"
+    ON_CHANGE = "on-change"
+    PROACTIVE = "proactive"
+
+
+@dataclass
+class VerdictEntry:
+    """One forwarded join awaiting its upstream verdict, with enough
+    prior state to roll the join back if it is denied."""
+
+    neighbor: str
+    prior_count: int
+    prior_validated: bool
+    presented_key: Optional[ChannelKey]
+    prior_advertised: int = 0
+
+
+@dataclass
+class SubscriptionHandle:
+    """A host-side subscription returned by :meth:`EcmpAgent.new_subscription`.
+
+    ``status`` is "pending" (keyed, awaiting verdict), "active", or
+    "denied" — the paper's ``result`` out-parameter, asynchronous here.
+    """
+
+    channel: Channel
+    status: str = "active"
+    key: Optional[ChannelKey] = None
+    on_data: Optional[Callable[[Packet], None]] = None
+    on_status: Optional[Callable[["SubscriptionHandle"], None]] = None
+    packets_received: int = 0
+    bytes_received: int = 0
+
+    def _set_status(self, status: str) -> None:
+        self.status = status
+        if self.on_status is not None:
+            self.on_status(self)
+
+
+class EcmpAgent(ProtocolAgent):
+    """ECMP on one node (router or host).
+
+    Parameters
+    ----------
+    node, routing, fib:
+        The node this agent runs on, the shared unicast routing
+        substrate, and the node's multicast FIB.
+    role:
+        "router" or "host"; hosts answer application countIds and never
+        relay data, routers do the reverse.
+    propagation:
+        Count propagation policy for subscriber counts (see
+        :class:`CountPropagation`).
+    default_mode:
+        Transport mode assumed for neighbors without an explicit
+        :meth:`set_neighbor_mode` call.
+    proactive_curve:
+        Tolerance curve used when ``propagation`` is PROACTIVE (or when
+        enabling proactive counting locally).
+    """
+
+    UDP_QUERY_INTERVAL = 60.0
+    UDP_ROBUSTNESS = 2
+    KEEPALIVE_INTERVAL = 30.0
+    KEEPALIVE_MISSES = 3
+    HYSTERESIS = 5.0
+
+    def __init__(
+        self,
+        node: Node,
+        routing: UnicastRouting,
+        fib: MulticastFib,
+        role: str = "router",
+        propagation: CountPropagation = CountPropagation.TREE_ONLY,
+        default_mode: NeighborMode = NeighborMode.TCP,
+        proactive_curve: Optional[ToleranceCurve] = None,
+        wire_format: bool = False,
+    ) -> None:
+        super().__init__(node)
+        if role not in ("router", "host"):
+            raise ProtocolError(f"role must be 'router' or 'host', got {role!r}")
+        #: When True, every ECMP message is serialized to its real wire
+        #: bytes on send and parsed on receive (slower; exercises the
+        #: codecs end-to-end). Both ends of a link must agree, which the
+        #: network facade guarantees by setting it uniformly.
+        self.wire_format = wire_format
+        self.routing = routing
+        self.fib = fib
+        self.role = role
+        self.propagation = propagation
+        self.default_mode = default_mode
+        self.proactive_curve = proactive_curve or ToleranceCurve()
+        self.keys = KeyCache()
+        self.channels: dict[Channel, ChannelState] = {}
+        self.subscriptions: dict[Channel, SubscriptionHandle] = {}
+        self.pending_queries: dict[tuple[Channel, int], PendingQuery] = {}
+        self.pending_verdicts: dict[Channel, deque] = {}
+        self.count_responders: dict[tuple[Channel, int], Callable[[], int]] = {}
+        self.neighbor_modes: dict[str, NeighborMode] = {}
+        self.neighbor_last_heard: dict[str, float] = {}
+        self.stats = Counter()
+        self._proactive_checks: dict[tuple[Channel, int], object] = {}
+        self._udp_query_task: Optional[PeriodicTask] = None
+        self._keepalive_task: Optional[PeriodicTask] = None
+        self._rehome_scheduled = False
+        #: Set by the network facade; called when this agent sees a
+        #: local link flap so routing can recompute and trees re-home.
+        self.topology_change_hook: Optional[Callable[[], None]] = None
+
+    # ------------------------------------------------------------------
+    # lifecycle / wiring
+    # ------------------------------------------------------------------
+
+    def start(self) -> None:
+        if self.role == "router":
+            self._udp_query_task = PeriodicTask(
+                self.sim, self.UDP_QUERY_INTERVAL, self._udp_refresh_tick, name="ecmp-udpq"
+            )
+            self._udp_query_task.start()
+        self._keepalive_task = PeriodicTask(
+            self.sim, self.KEEPALIVE_INTERVAL, self._keepalive_tick, name="ecmp-ka"
+        )
+        self._keepalive_task.start()
+
+    def stop(self) -> None:
+        for task in (self._udp_query_task, self._keepalive_task):
+            if task is not None:
+                task.stop()
+
+    def set_neighbor_mode(self, neighbor: str, mode: NeighborMode) -> None:
+        """Configure TCP or UDP mode toward one neighbor (§3.2: "A
+        router can select either TCP or UDP mode for ECMP on each
+        interface")."""
+        self.neighbor_modes[neighbor] = mode
+
+    def mode_of(self, neighbor: str) -> NeighborMode:
+        return self.neighbor_modes.get(neighbor, self.default_mode)
+
+    def on_link_change(self, ifindex: int, up: bool) -> None:
+        iface = self.node.interfaces[ifindex]
+        peer = iface.link.other_end(self.node) if iface.link else None
+        if peer is None:
+            return
+        if not up:
+            # TCP-mode semantics: connection failure -> subtract counts.
+            self._neighbor_failed(peer.name)
+        else:
+            self._neighbor_recovered(peer.name)
+        if self.topology_change_hook is not None:
+            self.topology_change_hook()
+
+    # ------------------------------------------------------------------
+    # service interface (§2.1)
+    # ------------------------------------------------------------------
+
+    def new_subscription(
+        self,
+        channel: Channel,
+        key: Optional[ChannelKey] = None,
+        on_data: Optional[Callable[[Packet], None]] = None,
+        on_status: Optional[Callable[[SubscriptionHandle], None]] = None,
+    ) -> SubscriptionHandle:
+        """Subscribe this node to ``channel`` (§2.1 newSubscription)."""
+        if channel in self.subscriptions:
+            return self.subscriptions[channel]
+        handle = SubscriptionHandle(
+            channel=channel,
+            status="pending" if key is not None else "active",
+            key=key,
+            on_data=on_data,
+            on_status=on_status,
+        )
+        self.subscriptions[channel] = handle
+        self._apply_subscriber_count(channel, LOCAL, 1, key=key)
+        # A keyless subscription to a channel this node *knows* is
+        # authenticated is denied synchronously (or the source was
+        # unknown/unreachable).
+        if channel not in self.subscriptions and handle.status != "denied":
+            handle._set_status("denied")
+        return handle
+
+    def delete_subscription(self, channel: Channel) -> bool:
+        """Unsubscribe (§2.1 deleteSubscription); True if subscribed."""
+        handle = self.subscriptions.pop(channel, None)
+        if handle is None:
+            return False
+        self._apply_subscriber_count(channel, LOCAL, 0)
+        return True
+
+    def channel_key(self, channel: Channel, key: ChannelKey) -> None:
+        """§2.1 channelKey: "inform the network that channel is
+        authenticated". Only the channel's source may call this."""
+        if channel.source != self.node.address:
+            raise ChannelError(f"{self.node.name} is not the source of {channel}")
+        self.keys.install_authoritative(channel, key)
+
+    def count_query(
+        self,
+        channel: Channel,
+        count_id: int,
+        timeout: float,
+        callback: Optional[Callable[[int, bool], None]] = None,
+    ) -> QueryResult:
+        """Originate a CountQuery locally (§2.1 CountQuery; also §3.1's
+        router-initiated query "without source cooperation").
+
+        Returns a :class:`QueryResult` resolved with the best-effort
+        count within ``timeout``.
+        """
+        result = QueryResult()
+
+        def finish(total: int, partial: bool) -> None:
+            result._resolve(total, partial, self.sim.now)
+            if callback is not None:
+                callback(total, partial)
+
+        query = CountQuery(channel=channel, count_id=count_id, timeout=timeout)
+        self._start_query(query, origin=None, callback=finish)
+        return result
+
+    def enable_proactive(
+        self, channel: Channel, count_id: int = SUBSCRIBER_ID, curve: Optional[ToleranceCurve] = None
+    ) -> None:
+        """§6: request proactive maintenance of a count; the request
+        propagates to all routers in the channel's tree."""
+        curve = curve or self.proactive_curve
+        query = CountQuery(
+            channel=channel, count_id=count_id, timeout=0.0, proactive=curve
+        )
+        self._handle_proactive_request(query, origin=None)
+
+    def register_count_responder(
+        self, channel: Channel, count_id: int, responder: Callable[[], int]
+    ) -> None:
+        """Register the application's answer to a countId (§2.2.1:
+        application-defined votes; the subscriber "replies to a
+        CountQuery request with count(...)")."""
+        self.count_responders[(channel, count_id)] = responder
+
+    def notify_count_changed(self, channel: Channel, count_id: int) -> None:
+        """Tell ECMP an application-maintained count changed.
+
+        Only meaningful when proactive counting (§6) is active for the
+        (channel, countId): the agent re-reads the registered responder
+        and pushes the change upstream per the tolerance curve. With no
+        proactive state this is a no-op (polled queries always read the
+        responder fresh).
+        """
+        state = self.channels.get(channel)
+        if state is not None and count_id in state.proactive:
+            self._proactive_evaluate(state, count_id)
+
+    # -- convenience inspection -------------------------------------------------
+
+    def subscriber_count_estimate(self, channel: Channel) -> int:
+        """This node's current aggregated subscriber count (exact only
+        in ON_CHANGE mode or at quiescence; see CountQuery for polling)."""
+        state = self.channels.get(channel)
+        return state.total(validated_only=False) if state else 0
+
+    def proactive_estimate(self, channel: Channel, count_id: int = SUBSCRIBER_ID) -> int:
+        """The proactively-maintained aggregate for any countId, as
+        currently known at this node (§6). For subscriberId this equals
+        :meth:`subscriber_count_estimate`."""
+        state = self.channels.get(channel)
+        if state is None:
+            return 0
+        return self._proactive_total(state, count_id)
+
+    def on_tree(self, channel: Channel) -> bool:
+        return channel in self.channels
+
+    # ------------------------------------------------------------------
+    # packet plumbing
+    # ------------------------------------------------------------------
+
+    def handle_packet(self, packet: Packet, ifindex: int) -> None:
+        message = packet.headers.get("ecmp")
+        if message is None and isinstance(packet.payload, bytes):
+            try:
+                message = decode_message(packet.payload)
+            except Exception:
+                self.stats.incr("undecodable_messages")
+                return
+        if message is None:
+            return
+        iface = self.node.interfaces[ifindex]
+        peer = iface.link.other_end(self.node) if iface.link else None
+        if peer is None:
+            return
+        from_name = peer.name
+        self.neighbor_last_heard[from_name] = self.sim.now
+        if isinstance(message, Count):
+            self.stats.incr("counts_rx")
+            self._handle_count(message, from_name)
+        elif isinstance(message, CountQuery):
+            self.stats.incr("queries_rx")
+            self._handle_query(message, from_name)
+        elif isinstance(message, CountResponse):
+            self.stats.incr("responses_rx")
+            self._handle_response(message, from_name)
+
+    def _send_message(self, message: EcmpMessage, neighbor: str) -> None:
+        peer = self.routing.topo.nodes.get(neighbor)
+        if peer is None:
+            return
+        size = IP_OVERHEAD + message.wire_size()
+        packet = Packet(
+            src=self.node.address,
+            dst=peer.address,
+            proto=PROTO_ECMP,
+            size=size,
+            created_at=self.sim.now,
+        )
+        if self.wire_format:
+            packet.payload = encode_message(message)
+        else:
+            packet.headers["ecmp"] = message
+        # TCP mode hides loss behind retransmission; model it as
+        # loss-exempt delivery (delay still applies).
+        packet.headers["reliable"] = self.mode_of(neighbor) is NeighborMode.TCP
+        self.stats.incr("msgs_tx")
+        self.stats.incr("bytes_tx", size)
+        self.stats.incr(f"tx_{type(message).__name__.lower()}")
+        self.node.send_to_neighbor(packet, peer)
+
+    def _rtt_estimate(self, neighbor: str) -> float:
+        peer = self.routing.topo.nodes.get(neighbor)
+        if peer is None:
+            return 0.0
+        iface = self.node.interface_to(peer)
+        if iface is None or iface.link is None:
+            return 0.0
+        return 2.0 * iface.link.delay
+
+    # ------------------------------------------------------------------
+    # subscriber counts: join / leave / update (§3.2)
+    # ------------------------------------------------------------------
+
+    def _handle_count(self, message: Count, from_name: str) -> None:
+        channel, count_id = message.channel, message.count_id
+        if count_id == NEIGHBORS_ID:
+            return  # discovery replies refresh last_heard; nothing more
+        if count_id == SUBSCRIBER_ID:
+            # Tree maintenance always applies; a pending query may also
+            # consume the same message as its reply (see module doc).
+            pending = self.pending_queries.get((channel, count_id))
+            if pending is not None and from_name in pending.outstanding:
+                pending.record_reply(from_name, message.count)
+                self._maybe_finalize(pending)
+            self._apply_subscriber_count(
+                channel, from_name, message.count, key=message.key
+            )
+            return
+        pending = self.pending_queries.get((channel, count_id))
+        if pending is not None and from_name in pending.outstanding:
+            pending.record_reply(from_name, message.count)
+            self._maybe_finalize(pending)
+            return
+        state = self.channels.get(channel)
+        if state is not None and count_id in state.proactive:
+            self._apply_proactive_value(state, count_id, from_name, message.count)
+            return
+        # §3.1: "A router can either acknowledge or reject a Count
+        # message by sending a CountResponse indicating an unsupported
+        # count" — a Count matching no query, no proactive state, and
+        # no tree activity is rejected so the sender can stop.
+        self.stats.incr("unexpected_counts")
+        self._send_message(
+            CountResponse(channel, count_id, CountStatus.UNSUPPORTED_COUNT), from_name
+        )
+
+    def _apply_subscriber_count(
+        self,
+        channel: Channel,
+        from_name: str,
+        count: int,
+        key: Optional[ChannelKey] = None,
+    ) -> None:
+        state = self.channels.get(channel)
+        previous = 0
+        prior_validated = True
+        if state is not None and from_name in state.downstream:
+            record = state.downstream[from_name]
+            previous, prior_validated = record.count, record.validated
+
+        if count > 0 and previous == 0:
+            self.stats.incr("subscribe_events")
+        elif count == 0 and previous > 0:
+            self.stats.incr("unsubscribe_events")
+        elif count != previous:
+            self.stats.incr("count_update_events")
+
+        if count == 0:
+            if state is None or from_name not in state.downstream:
+                return
+            # In-flight verdict entries for this neighbor stay queued:
+            # the upstream response still arrives and must pop in order.
+            was_udp = state.downstream[from_name].udp
+            del state.downstream[from_name]
+            self._sync_fib(state)
+            self._propagate(state)
+            self._garbage_collect(state)
+            if was_udp and from_name != LOCAL:
+                # §3.2: a UDP-neighbor leave makes the upstream
+                # "re-issue a CountQuery on that interface (like
+                # IGMPv2)" in case other subscribers remain behind it.
+                self._send_message(
+                    CountQuery(
+                        channel=channel,
+                        count_id=SUBSCRIBER_ID,
+                        timeout=self.UDP_QUERY_INTERVAL,
+                    ),
+                    from_name,
+                )
+            return
+
+        is_join = previous == 0 or key is not None
+        defer = False
+        if is_join:
+            verdict = self.keys.validate(channel, key) if self.keys.knows(channel) else None
+            if verdict is False:
+                self._deny(channel, from_name)
+                return
+            at_source = (
+                self.routing.topo.node_by_address(channel.source) is self.node
+            )
+            # Accept locally when the key checked out, the join is
+            # keyless (optimistic), or we are the always-authoritative
+            # source (no installed key == open channel).
+            defer = key is not None and verdict is None and not at_source
+
+        if state is None:
+            state = self._create_state(channel)
+            if state is None:
+                # Source unknown/unreachable: reject.
+                if from_name != LOCAL:
+                    self._send_message(
+                        CountResponse(channel, SUBSCRIBER_ID, CountStatus.NO_SUCH_CHANNEL),
+                        from_name,
+                    )
+                else:
+                    self.subscriptions.pop(channel, None)
+                return
+
+        record = state.downstream.setdefault(from_name, DownstreamRecord())
+        record.count = count
+        record.updated_at = self.sim.now
+        if from_name != LOCAL:
+            record.udp = self.mode_of(from_name) is NeighborMode.UDP
+
+        entry = None
+        if is_join:
+            record.presented_key = key
+            if defer:
+                record.validated = False
+                state.pending_key = key
+            else:
+                record.validated = True
+            entry = VerdictEntry(
+                neighbor=from_name,
+                prior_count=previous,
+                prior_validated=prior_validated,
+                presented_key=key,
+            )
+
+        self._sync_fib(state)
+        forwarded = self._propagate(
+            state, joining_key=key if defer else None, join_entry=entry
+        )
+        if is_join and not forwarded:
+            # The join terminated here: this node's verdict is final.
+            if from_name == LOCAL:
+                self._activate_local(channel)
+            else:
+                self._send_message(
+                    CountResponse(channel, SUBSCRIBER_ID, CountStatus.OK), from_name
+                )
+
+    def _create_state(self, channel: Channel) -> Optional[ChannelState]:
+        upstream = self._upstream_name(channel)
+        source_node = self.routing.topo.node_by_address(channel.source)
+        if source_node is None:
+            return None
+        if source_node is not self.node and upstream is None:
+            return None  # unreachable source
+        state = ChannelState(
+            channel=channel, upstream=upstream, created_at=self.sim.now
+        )
+        state.upstream_changed_at = self.sim.now
+        self.channels[channel] = state
+        if self.propagation is CountPropagation.PROACTIVE:
+            state.proactive[SUBSCRIBER_ID] = ProactiveCounter(
+                self.proactive_curve, now=self.sim.now
+            )
+        return state
+
+    def _upstream_name(self, channel: Channel) -> Optional[str]:
+        source_node = self.routing.topo.node_by_address(channel.source)
+        if source_node is None or source_node is self.node:
+            return None
+        return self.routing.next_hop(self.node.name, source_node.name)
+
+    def _propagate(
+        self,
+        state: ChannelState,
+        joining_key: Optional[ChannelKey] = None,
+        join_entry: Optional[VerdictEntry] = None,
+    ) -> bool:
+        """Decide whether the new downstream total goes upstream now.
+
+        Returns True when a *join* Count went upstream (the caller's
+        verdict then comes from above rather than from this node); a
+        ``join_entry`` is queued for each such forwarded join.
+        """
+        if state.upstream is None:
+            # Root (the source's node): counts aggregate here.
+            counter = state.proactive.get(SUBSCRIBER_ID)
+            if counter is not None:
+                counter.observe(state.total(validated_only=False))
+            return False
+        total = state.total(validated_only=False)
+        key = joining_key or self.keys.get(state.channel) or state.pending_key
+        if total > 0 and state.advertised == 0:
+            self._queue_entry(state, join_entry)
+            self._send_count_upstream(state, total, key=key)
+            return True
+        if total == 0 and state.advertised > 0:
+            self._send_count_upstream(state, 0)
+            return False
+        if joining_key is not None:
+            # Already on tree, but a keyed join needs an upstream verdict.
+            self._queue_entry(state, join_entry)
+            self._send_count_upstream(state, total, key=joining_key)
+            return True
+        if total == state.advertised:
+            return False
+        if self.propagation is CountPropagation.ON_CHANGE:
+            self._send_count_upstream(state, total)
+        elif self.propagation is CountPropagation.PROACTIVE:
+            self._proactive_evaluate(state, SUBSCRIBER_ID)
+        # TREE_ONLY: stay quiet while on-tree.
+        return False
+
+    def _queue_entry(self, state: ChannelState, entry: Optional[VerdictEntry]) -> None:
+        if entry is None:
+            return
+        entry.prior_advertised = state.advertised
+        self.pending_verdicts.setdefault(state.channel, deque()).append(entry)
+
+    def _send_count_upstream(
+        self, state: ChannelState, count: int, key: Optional[ChannelKey] = None
+    ) -> None:
+        if state.upstream is None:
+            return
+        self._send_message(
+            Count(channel=state.channel, count_id=SUBSCRIBER_ID, count=count, key=key),
+            state.upstream,
+        )
+        state.advertised = count
+        counter = state.proactive.get(SUBSCRIBER_ID)
+        if counter is not None:
+            counter.observe(state.total(validated_only=False))
+            counter.sent(self.sim.now)
+
+    def _garbage_collect(self, state: ChannelState) -> None:
+        if not state.downstream and state.advertised == 0:
+            self.channels.pop(state.channel, None)
+            self.pending_verdicts.pop(state.channel, None)
+            self.fib.remove(state.channel.source, state.channel.group)
+            for (channel, count_id), event in list(self._proactive_checks.items()):
+                if channel == state.channel:
+                    event.cancel()
+                    del self._proactive_checks[(channel, count_id)]
+
+    def _sync_fib(self, state: ChannelState) -> None:
+        """Mirror validated downstream neighbors into the data plane."""
+        channel = state.channel
+        has_remote = any(
+            name != LOCAL and rec.validated and rec.count > 0
+            for name, rec in state.downstream.items()
+        )
+        if not has_remote:
+            self.fib.remove(channel.source, channel.group)
+            return
+        iif = self._rpf_ifindex(channel)
+        entry = self.fib.install(channel.source, channel.group, iif)
+        entry.incoming_interface = iif
+        entry.outgoing = 0
+        for name, rec in state.downstream.items():
+            if name == LOCAL or not rec.validated or rec.count <= 0:
+                continue
+            peer = self.routing.topo.nodes.get(name)
+            iface = self.node.interface_to(peer) if peer else None
+            if iface is not None:
+                entry.add_outgoing(iface.index)
+        if entry.outgoing == 0:
+            self.fib.remove(channel.source, channel.group)
+
+    def _rpf_ifindex(self, channel: Channel) -> int:
+        upstream = self.channels[channel].upstream if channel in self.channels else None
+        if upstream is None:
+            return 0  # source's own node; emit path skips the iif check
+        peer = self.routing.topo.nodes.get(upstream)
+        iface = self.node.interface_to(peer) if peer else None
+        return iface.index if iface is not None else 0
+
+    # ------------------------------------------------------------------
+    # authentication verdicts (§3.2, §3.5)
+    # ------------------------------------------------------------------
+
+    def _deny(self, channel: Channel, neighbor: str) -> None:
+        """Reject a subscription locally (bad key against cached K)."""
+        self.stats.incr("denied_subscriptions")
+        if neighbor == LOCAL:
+            handle = self.subscriptions.pop(channel, None)
+            if handle is not None:
+                handle._set_status("denied")
+            return
+        self._send_message(
+            CountResponse(channel, SUBSCRIBER_ID, CountStatus.INVALID_AUTHENTICATOR),
+            neighbor,
+        )
+
+    def _handle_response(self, message: CountResponse, from_name: str) -> None:
+        channel = message.channel
+        if message.count_id != SUBSCRIBER_ID:
+            # Rejection of a non-subscriber Count (e.g. an unsupported
+            # countId): nothing to roll back — just note it.
+            self.stats.incr("rejected_counts")
+            return
+        state = self.channels.get(channel)
+        if state is None or from_name != state.upstream:
+            return
+        queue = self.pending_verdicts.get(channel)
+        entry = queue.popleft() if queue else None
+
+        if message.status is CountStatus.OK:
+            if entry is None:
+                return  # e.g. a refresh the upstream saw as a fresh join
+            if entry.presented_key is not None:
+                self.keys.learn(channel, entry.presented_key)
+                if state.pending_key == entry.presented_key:
+                    state.pending_key = None
+            self._confirm(state, entry.neighbor)
+            self._sync_fib(state)
+            return
+
+        if message.status in (
+            CountStatus.INVALID_AUTHENTICATOR,
+            CountStatus.NO_SUCH_CHANNEL,
+            CountStatus.UNSUPPORTED_COUNT,
+        ):
+            if entry is not None:
+                if state.pending_key == entry.presented_key:
+                    state.pending_key = None
+                self._rollback(state, entry)
+            else:
+                # Unmatched denial (e.g. a re-homing join was refused):
+                # tear down the most recent optimistic keyless record.
+                for name in reversed(list(state.downstream)):
+                    record = state.downstream[name]
+                    if record.presented_key is None:
+                        del state.downstream[name]
+                        self._notify_denied(state.channel, name)
+                        break
+            self._sync_fib(state)
+            self._garbage_collect(state)
+
+    def _confirm(self, state: ChannelState, neighbor: str) -> None:
+        record = state.downstream.get(neighbor)
+        if record is not None:
+            record.validated = True
+        if neighbor == LOCAL:
+            self._activate_local(state.channel)
+        else:
+            # Relay the verdict even if the neighbor has since left —
+            # its own entry queue must stay aligned.
+            self._send_message(
+                CountResponse(state.channel, SUBSCRIBER_ID, CountStatus.OK), neighbor
+            )
+
+    def _activate_local(self, channel: Channel) -> None:
+        handle = self.subscriptions.get(channel)
+        if handle is not None and handle.status != "active":
+            handle._set_status("active")
+
+    def _rollback(self, state: ChannelState, entry: VerdictEntry) -> None:
+        """Undo a denied join: restore the neighbor's prior standing
+        (or remove it outright if the join created the record)."""
+        self.stats.incr("denied_subscriptions")
+        if not self.pending_verdicts.get(state.channel):
+            # No later joins in flight: the upstream's rolled-back view
+            # of us is exactly what we had advertised before this join.
+            state.advertised = entry.prior_advertised
+        record = state.downstream.get(entry.neighbor)
+        if record is not None:
+            if entry.prior_count > 0:
+                record.count = entry.prior_count
+                # Never revoke a validation an earlier verdict granted.
+                record.validated = record.validated or entry.prior_validated
+            else:
+                del state.downstream[entry.neighbor]
+        self._notify_denied(state.channel, entry.neighbor)
+
+    def _notify_denied(self, channel: Channel, neighbor: str) -> None:
+        if neighbor == LOCAL:
+            handle = self.subscriptions.pop(channel, None)
+            if handle is not None:
+                handle._set_status("denied")
+        else:
+            self._send_message(
+                CountResponse(channel, SUBSCRIBER_ID, CountStatus.INVALID_AUTHENTICATOR),
+                neighbor,
+            )
+
+    # ------------------------------------------------------------------
+    # generic counting (§3.1)
+    # ------------------------------------------------------------------
+
+    def _handle_query(self, query: CountQuery, from_name: str) -> None:
+        if query.count_id == NEIGHBORS_ID:
+            # Neighbor discovery / keepalive probe: reply immediately.
+            self._send_message(
+                Count(channel=query.channel, count_id=NEIGHBORS_ID, count=1), from_name
+            )
+            return
+        if query.count_id == ALL_CHANNELS_ID:
+            self._handle_general_query(from_name)
+            return
+        if query.proactive is not None:
+            self._handle_proactive_request(query, origin=from_name)
+            return
+        self._start_query(query, origin=from_name)
+
+    def _handle_general_query(self, from_name: str) -> None:
+        """§3.3: re-send Counts for every channel routed via ``from_name``
+        (the UDP-mode refresh, "analogous to an IGMP general query")."""
+        for channel, state in self.channels.items():
+            if state.upstream == from_name:
+                self._send_count_upstream(state, state.total(validated_only=False))
+
+    def _start_query(
+        self,
+        query: CountQuery,
+        origin: Optional[str],
+        callback: Optional[Callable[[int, bool], None]] = None,
+    ) -> None:
+        channel, count_id = query.channel, query.count_id
+        key = (channel, count_id)
+        stale = self.pending_queries.pop(key, None)
+        if stale is not None and stale.timeout_event is not None:
+            stale.timeout_event.cancel()
+
+        state = self.channels.get(channel)
+        timeout = query.timeout
+        if origin is not None:
+            timeout = decrement_timeout(timeout, self._rtt_estimate(origin))
+
+        pending = PendingQuery(
+            channel=channel,
+            count_id=count_id,
+            deadline=self.sim.now + timeout,
+            origin=origin,
+            callback=callback,
+        )
+        pending.local_contribution = self._local_contribution(channel, count_id)
+
+        if state is not None:
+            forward = CountQuery(channel=channel, count_id=count_id, timeout=timeout)
+            for name, record in state.downstream.items():
+                if name == LOCAL or record.count <= 0:
+                    continue
+                if not propagates_to_hosts(count_id) and self._neighbor_is_host(name):
+                    continue
+                pending.outstanding.add(name)
+                self._send_message(forward, name)
+
+        if not pending.outstanding:
+            self._finalize_query(pending)
+            return
+        self.pending_queries[key] = pending
+        pending.timeout_event = self.sim.schedule(
+            max(timeout, MIN_FORWARD_TIMEOUT),
+            lambda: self._query_timed_out(key),
+            name="ecmp-query-timeout",
+        )
+
+    def _neighbor_is_host(self, name: str) -> bool:
+        peer = self.routing.topo.nodes.get(name)
+        if peer is None:
+            return False
+        agent = peer.agents.get(PROTO_ECMP)
+        return isinstance(agent, EcmpAgent) and agent.role == "host"
+
+    def _local_contribution(self, channel: Channel, count_id: int) -> int:
+        """This node's own addend for a count (§3.1: hosts answer
+        immediately or via the application; routers contribute
+        network-layer resource counts)."""
+        from repro.core.ecmp.countids import LINK_COUNT_ID, TREE_SIZE_ID
+
+        responder = self.count_responders.get((channel, count_id))
+        if responder is not None:
+            return int(responder())
+        if count_id == SUBSCRIBER_ID:
+            return 1 if channel in self.subscriptions else 0
+        state = self.channels.get(channel)
+        if count_id == LINK_COUNT_ID:
+            return state.downstream_links() if state is not None else 0
+        if count_id == TREE_SIZE_ID:
+            return 1 if state is not None else 0
+        return 0
+
+    def _maybe_finalize(self, pending: PendingQuery) -> None:
+        if pending.is_complete() and not pending.completed:
+            if pending.timeout_event is not None:
+                pending.timeout_event.cancel()
+            self._finalize_query(pending)
+
+    def _query_timed_out(self, key: tuple[Channel, int]) -> None:
+        pending = self.pending_queries.get(key)
+        if pending is not None and not pending.completed:
+            self.stats.incr("query_timeouts")
+            self._finalize_query(pending)
+
+    def _finalize_query(self, pending: PendingQuery) -> None:
+        pending.completed = True
+        self.pending_queries.pop((pending.channel, pending.count_id), None)
+        partial = bool(pending.outstanding)
+        total = pending.total()
+        if pending.origin is None:
+            if pending.callback is not None:
+                pending.callback(total, partial)
+        else:
+            self._send_message(
+                Count(channel=pending.channel, count_id=pending.count_id, count=total),
+                pending.origin,
+            )
+
+    # ------------------------------------------------------------------
+    # proactive counting (§6)
+    # ------------------------------------------------------------------
+
+    def _handle_proactive_request(self, query: CountQuery, origin: Optional[str]) -> None:
+        channel, count_id = query.channel, query.count_id
+        curve = query.proactive or self.proactive_curve
+        state = self.channels.get(channel)
+        if state is None:
+            return
+        if count_id not in state.proactive:
+            counter = ProactiveCounter(curve, now=self.sim.now)
+            counter.observe(self._proactive_total(state, count_id))
+            state.proactive[count_id] = counter
+        for name, record in state.downstream.items():
+            if name == LOCAL or record.count <= 0:
+                continue
+            if not propagates_to_hosts(count_id) and self._neighbor_is_host(name):
+                continue
+            self._send_message(query, name)
+        self._proactive_evaluate(state, count_id)
+
+    def _apply_proactive_value(
+        self, state: ChannelState, count_id: int, from_name: str, value: int
+    ) -> None:
+        per_neighbor = state.proactive_values.setdefault(count_id, {})
+        per_neighbor[from_name] = value
+        self._proactive_evaluate(state, count_id)
+
+    def _proactive_total(self, state: ChannelState, count_id: int) -> int:
+        if count_id == SUBSCRIBER_ID:
+            return state.total(validated_only=False)
+        values = state.proactive_values.get(count_id, {})
+        return sum(values.values()) + self._local_contribution(state.channel, count_id)
+
+    def _proactive_evaluate(self, state: ChannelState, count_id: int) -> None:
+        counter = state.proactive.get(count_id)
+        if counter is None:
+            return
+        counter.observe(self._proactive_total(state, count_id))
+        now = self.sim.now
+        if state.upstream is None:
+            return  # the root only aggregates
+        if counter.should_send(now):
+            value = counter.current
+            if count_id == SUBSCRIBER_ID:
+                self._send_count_upstream(state, value)
+            else:
+                self._send_message(
+                    Count(channel=state.channel, count_id=count_id, count=value),
+                    state.upstream,
+                )
+                counter.sent(now)
+            self._cancel_proactive_check(state.channel, count_id)
+            return
+        delay = counter.next_check_delay(now)
+        if delay is not None:
+            self._schedule_proactive_check(state.channel, count_id, delay + 1e-6)
+
+    def _schedule_proactive_check(
+        self, channel: Channel, count_id: int, delay: float
+    ) -> None:
+        key = (channel, count_id)
+        existing = self._proactive_checks.get(key)
+        if existing is not None:
+            existing.cancel()
+        self._proactive_checks[key] = self.sim.schedule(
+            delay, lambda: self._proactive_check_fired(key), name="ecmp-proactive"
+        )
+
+    def _cancel_proactive_check(self, channel: Channel, count_id: int) -> None:
+        event = self._proactive_checks.pop((channel, count_id), None)
+        if event is not None:
+            event.cancel()
+
+    def _proactive_check_fired(self, key: tuple[Channel, int]) -> None:
+        self._proactive_checks.pop(key, None)
+        state = self.channels.get(key[0])
+        if state is not None:
+            self._proactive_evaluate(state, key[1])
+
+    # ------------------------------------------------------------------
+    # liveness: keepalives, UDP refresh, failure handling (§3.2-3.3)
+    # ------------------------------------------------------------------
+
+    def _keepalive_tick(self) -> None:
+        """Periodic neighbor probe: "Each router periodically multicasts
+        such a [neighbors] CountQuery" (§3.3); for TCP neighbors this
+        doubles as the per-connection keepalive."""
+        probe = CountQuery(
+            channel=DISCOVERY_CHANNEL,
+            count_id=NEIGHBORS_ID,
+            timeout=self.KEEPALIVE_INTERVAL,
+        )
+        for iface in self.node.interfaces:
+            peer = iface.neighbor()
+            if peer is None or not iface.up:
+                continue
+            self.stats.incr("keepalives_tx")
+            self._send_message(probe, peer.name)
+        # Detect silent TCP-neighbor deaths.
+        horizon = self.sim.now - self.KEEPALIVE_MISSES * self.KEEPALIVE_INTERVAL
+        for name, last in list(self.neighbor_last_heard.items()):
+            if last < horizon and self.mode_of(name) is NeighborMode.TCP:
+                peer = self.routing.topo.nodes.get(name)
+                iface = self.node.interface_to(peer) if peer else None
+                if iface is not None and iface.up:
+                    continue  # link is up; silence is fine (no traffic)
+                del self.neighbor_last_heard[name]
+                self._neighbor_failed(name)
+
+    def _udp_refresh_tick(self) -> None:
+        """Periodic general query toward UDP-mode downstream neighbors,
+        plus expiry of unrefreshed UDP (soft) state."""
+        udp_downstreams: set[str] = set()
+        for state in self.channels.values():
+            for name, record in state.downstream.items():
+                if name != LOCAL and record.udp and record.count > 0:
+                    udp_downstreams.add(name)
+        if udp_downstreams:
+            general = CountQuery(
+                channel=DISCOVERY_CHANNEL,
+                count_id=ALL_CHANNELS_ID,
+                timeout=self.UDP_QUERY_INTERVAL,
+            )
+            for name in sorted(udp_downstreams):
+                self._send_message(general, name)
+        horizon = self.sim.now - self.UDP_ROBUSTNESS * self.UDP_QUERY_INTERVAL
+        for state in list(self.channels.values()):
+            expired = [
+                name
+                for name, record in state.downstream.items()
+                if name != LOCAL and record.udp and record.updated_at < horizon
+            ]
+            for name in expired:
+                self.stats.incr("udp_expirations")
+                self._apply_subscriber_count(state.channel, name, 0)
+
+    def _neighbor_failed(self, name: str) -> None:
+        """TCP-connection failure: "The associated count is subtracted
+        from the sum provided upstream if the connection fails" (§3.2)."""
+        for state in list(self.channels.values()):
+            if name in state.downstream:
+                self._apply_subscriber_count(state.channel, name, 0)
+        # Channels routed *via* the failed neighbor re-home after the
+        # routing recompute (reevaluate_upstreams), which the network
+        # facade triggers off the same link event.
+
+    def _neighbor_recovered(self, name: str) -> None:
+        """On (re)connection, re-announce every channel we route through
+        this neighbor (§3.2: unsolicited Counts on establishment)."""
+        for state in self.channels.values():
+            if state.upstream == name:
+                self._send_count_upstream(state, state.total(validated_only=False))
+
+    # ------------------------------------------------------------------
+    # topology change (§3.2)
+    # ------------------------------------------------------------------
+
+    def reevaluate_upstreams(self) -> None:
+        """After a unicast routing recompute, re-home each channel:
+        "it sends a current Count message to the new upstream router and
+        a zero Count message to the old upstream router ... Hysteresis
+        is applied to prevent route oscillation."
+        """
+        now = self.sim.now
+        for channel, state in list(self.channels.items()):
+            if self.routing.topo.node_by_address(channel.source) is self.node:
+                continue  # the source's node is the root; never re-homes
+            new_upstream = self._upstream_name(channel)
+            if new_upstream == state.upstream:
+                continue
+            old = state.upstream
+            old_reachable = old is not None and self._neighbor_link_up(old)
+            if old_reachable and now - state.upstream_changed_at < self.HYSTERESIS:
+                remaining = self.HYSTERESIS - (now - state.upstream_changed_at)
+                if not self._rehome_scheduled:
+                    self._rehome_scheduled = True
+                    self.sim.schedule(
+                        remaining + 1e-6, self._rehome_fired, name="ecmp-hysteresis"
+                    )
+                continue
+            self.stats.incr("upstream_changes")
+            state.upstream = new_upstream
+            state.upstream_changed_at = now
+            total = state.total(validated_only=False)
+            if new_upstream is not None and total > 0:
+                state.advertised = 0  # force a fresh join to the new parent
+                self._send_count_upstream(state, total, key=self.keys.get(channel))
+            elif new_upstream is None:
+                # Partitioned from the source: nothing is advertised to
+                # anyone any more (the old upstream zeroed us, or died).
+                state.advertised = 0
+            if old_reachable and old is not None:
+                self._send_message(
+                    Count(channel=channel, count_id=SUBSCRIBER_ID, count=0), old
+                )
+            self._sync_fib(state)
+            self._garbage_collect(state)
+
+    def _rehome_fired(self) -> None:
+        self._rehome_scheduled = False
+        self.reevaluate_upstreams()
+
+    def _neighbor_link_up(self, name: str) -> bool:
+        peer = self.routing.topo.nodes.get(name)
+        iface = self.node.interface_to(peer) if peer else None
+        return iface is not None and iface.up

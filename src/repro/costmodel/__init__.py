@@ -1,0 +1,38 @@
+"""Analytic cost models from §5 of the paper.
+
+* :mod:`~repro.costmodel.fib_cost` — Figure 6's FIB-memory cost model
+  and the §5.1 worked examples (ten-way conference, 100k-subscriber
+  stock ticker, cable-TV comparison points).
+* :mod:`~repro.costmodel.state_cost` — §5.2's management-level (DRAM)
+  state accounting.
+* :mod:`~repro.costmodel.maintenance` — §5.3's state-maintenance
+  analysis: event rates, control bandwidth, and CPU utilization for the
+  million-channel scenario.
+
+All constants default to the paper's 1998/99 values (SRAM $55/MB, DRAM
+$1/MB, one-year router lifetime, 1% average FIB utilization, 400 MHz
+Pentium-II) and are parameters, so the benchmarks can also evaluate the
+models at modern prices.
+"""
+
+from repro.costmodel.fib_cost import (
+    FibCostModel,
+    conference_example,
+    stock_ticker_example,
+)
+from repro.costmodel.maintenance import (
+    MaintenanceModel,
+    MillionChannelScenario,
+    counts_per_segment,
+)
+from repro.costmodel.state_cost import ManagementStateModel
+
+__all__ = [
+    "FibCostModel",
+    "MaintenanceModel",
+    "ManagementStateModel",
+    "MillionChannelScenario",
+    "conference_example",
+    "counts_per_segment",
+    "stock_ticker_example",
+]

@@ -1,0 +1,143 @@
+"""Figure 6: the FIB memory cost model, and §5.1's worked examples.
+
+The model (quoting Figure 6):
+
+    m   = FIB memory purchase cost per byte
+    e   = bytes per FIB entry
+    t_s = session s duration
+    t_r = router lifetime
+    u   = FIB utilization
+    p_sr = m * e * t_s / (t_r * u)     — FIB cost of session s at router r
+
+A k-channel, n-receiver application with h hops from source to each
+receiver occupies at most ``k * n * h`` FIB entries network-wide (the
+worst-case star-topology bound), so the session's total FIB cost is
+
+    c_s <= k * n * h * p_sr.
+
+Default constants are the paper's: 4-nanosecond SRAM at $55/MB (early
+1998), 12-byte entries, one-year router lifetime, 1% average FIB
+utilization.
+
+Note on the paper's printed arithmetic: evaluating the paper's own
+formula with its own inputs gives $0.0063 for the 10-way conference
+(the text prints $.075) and $13,200/yr for the stock ticker (the text
+prints $18,200). The discrepancy is in the paper's printed arithmetic,
+not the model; both the formula value and the printed value are
+reported by the FIG6 benchmark, and the paper's *conclusions* (costs
+are small relative to application value) hold for either.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import WorkloadError
+from repro.routing.fib import FIB_ENTRY_BYTES
+
+#: $55 per megabyte of fast-path SRAM (Motorola quote, Feb 1998).
+SRAM_DOLLARS_PER_MB = 55.0
+#: Seconds in the paper's one-year router lifetime.
+ROUTER_LIFETIME_SECONDS = 31_536_000
+#: The paper's assumed average FIB utilization.
+FIB_UTILIZATION = 0.01
+#: The paper's assumed network diameter (hops source -> subscriber).
+NETWORK_DIAMETER_HOPS = 25
+
+
+@dataclass(frozen=True)
+class FibCostModel:
+    """Figure 6, parameterized."""
+
+    dollars_per_megabyte: float = SRAM_DOLLARS_PER_MB
+    entry_bytes: int = FIB_ENTRY_BYTES
+    router_lifetime: float = ROUTER_LIFETIME_SECONDS
+    utilization: float = FIB_UTILIZATION
+
+    def __post_init__(self) -> None:
+        if min(
+            self.dollars_per_megabyte,
+            self.entry_bytes,
+            self.router_lifetime,
+            self.utilization,
+        ) <= 0:
+            raise WorkloadError("all FIB cost model parameters must be positive")
+
+    @property
+    def dollars_per_byte(self) -> float:
+        # Decimal megabytes: $55/MB * 12 B = $0.00066/entry, matching
+        # the paper's printed per-entry figure exactly.
+        return self.dollars_per_megabyte / 1e6
+
+    def entry_purchase_cost(self) -> float:
+        """Purchase cost of one FIB entry (the paper's $0.00066)."""
+        return self.dollars_per_byte * self.entry_bytes
+
+    def per_entry_session_cost(self, session_seconds: float) -> float:
+        """p_sr: one entry, one session, utilization-adjusted."""
+        if session_seconds < 0:
+            raise WorkloadError("session duration must be >= 0")
+        return (
+            self.entry_purchase_cost()
+            * session_seconds
+            / (self.router_lifetime * self.utilization)
+        )
+
+    def session_cost(
+        self,
+        channels: int,
+        receivers: int,
+        hops: int,
+        session_seconds: float,
+    ) -> float:
+        """c_s <= k*n*h * p_sr — the worst-case (star topology) bound."""
+        entries = channels * receivers * hops
+        return entries * self.per_entry_session_cost(session_seconds)
+
+    def tree_cost(self, total_entries: int, session_seconds: float) -> float:
+        """Cost from an actual entry count (e.g. a measured tree, which
+        is below the k*n*h bound whenever branches share links)."""
+        return total_entries * self.per_entry_session_cost(session_seconds)
+
+    def yearly_cost(self, total_entries: int) -> float:
+        """Long-running session: t_s == t_r."""
+        return self.tree_cost(total_entries, self.router_lifetime)
+
+
+def conference_example(model: FibCostModel = FibCostModel()) -> dict:
+    """§5.1's fully-meshed 10-way, 10-channel, 20-minute conference.
+
+    Returns the per-formula cost plus the paper's printed figures for
+    side-by-side reporting.
+    """
+    cost = model.session_cost(
+        channels=10, receivers=10, hops=NETWORK_DIAMETER_HOPS, session_seconds=1200
+    )
+    return {
+        "channels": 10,
+        "receivers": 10,
+        "hops": NETWORK_DIAMETER_HOPS,
+        "session_seconds": 1200,
+        "formula_cost_dollars": cost,
+        "formula_cost_per_channel": cost / 10,
+        "paper_printed_total": 0.075,
+        "paper_printed_per_channel": 0.0075,
+        "paper_bound_statement": "less than eight cents for the whole conference",
+    }
+
+
+def stock_ticker_example(model: FibCostModel = FibCostModel()) -> dict:
+    """§5.1's 100,000-subscriber stock ticker: ~200,000 tree links
+    (fanout 1-2 everywhere), running all year."""
+    links = 200_000
+    yearly = model.yearly_cost(links)
+    return {
+        "subscribers": 100_000,
+        "tree_links": links,
+        "formula_yearly_dollars": yearly,
+        "formula_cents_per_subscriber_year": yearly / 100_000 * 100,
+        "paper_printed_yearly": 18_200.0,
+        "paper_printed_cents_per_subscriber_year": 0.18,
+        "cable_tv_lease_per_viewer_month": 1.00,
+        "tv_channel_sale_per_viewer": 25.00,
+    }

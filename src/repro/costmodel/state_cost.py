@@ -1,0 +1,63 @@
+"""§5.2: management-level (process/DRAM) state cost.
+
+"The state required for each count activity is roughly 16 bytes, namely
+[channel, countId, count], plus various implementation fields. If we
+further double this size to 32 bytes ..., assume an average fan-out of
+2 (so three records including the upstream record) and assume 2 counts
+outstanding at any time on a channel, the DRAM memory cost per channel
+is 192 bytes ... Adding another eight bytes to store K(S,E), the total
+size is 200 bytes. At $1.00 per megabyte, each channel costs less than
+1/50-th of a cent in incremental cost over the assumed one year
+lifetime of the router."
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.ecmp.state import COUNT_RECORD_BYTES
+from repro.core.keys import KEY_BYTES
+from repro.errors import WorkloadError
+
+#: DRAM price assumed by the paper.
+DRAM_DOLLARS_PER_MB = 1.00
+
+
+@dataclass(frozen=True)
+class ManagementStateModel:
+    """§5.2, parameterized."""
+
+    record_bytes: int = COUNT_RECORD_BYTES
+    key_bytes: int = KEY_BYTES
+    dollars_per_megabyte: float = DRAM_DOLLARS_PER_MB
+
+    def channel_bytes(
+        self,
+        fanout: int = 2,
+        outstanding_counts: int = 2,
+        authenticated: bool = True,
+    ) -> int:
+        """Per-channel DRAM bytes (paper default: 200)."""
+        if fanout < 0 or outstanding_counts < 1:
+            raise WorkloadError("fanout >= 0 and outstanding counts >= 1 required")
+        neighbor_records = fanout + 1  # downstream records + upstream
+        total = neighbor_records * outstanding_counts * self.record_bytes
+        if authenticated:
+            total += self.key_bytes
+        return total
+
+    def channel_cost_dollars(self, **kwargs) -> float:
+        """Purchase cost of one channel's management state (the paper's
+        "less than 1/50-th of a cent")."""
+        return self.channel_bytes(**kwargs) * self.dollars_per_megabyte / 1e6
+
+    def router_bytes(self, channels: int, **kwargs) -> int:
+        """Total management DRAM for ``channels`` concurrent channels —
+        the §5 claim that "memory ... scales linearly with the number
+        of channels"."""
+        if channels < 0:
+            raise WorkloadError("channel count must be >= 0")
+        return channels * self.channel_bytes(**kwargs)
+
+    def router_cost_dollars(self, channels: int, **kwargs) -> float:
+        return self.router_bytes(channels, **kwargs) * self.dollars_per_megabyte / 1e6

@@ -1,0 +1,58 @@
+"""Exception hierarchy for the EXPRESS reproduction.
+
+All library-raised exceptions derive from :class:`ReproError` so callers
+can catch one base type. Protocol-level rejections that the paper models
+as in-band ``CountResponse`` statuses (e.g. a bad channel key) are *not*
+exceptions on the wire -- they surface as exceptions only when the local
+API call itself is invalid.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class SimulationError(ReproError):
+    """The discrete-event simulator was used incorrectly."""
+
+
+class TopologyError(ReproError):
+    """The topology is malformed (unknown node, duplicate link, ...)."""
+
+
+class AddressError(ReproError):
+    """An IPv4/multicast address is malformed or out of range."""
+
+
+class ChannelError(ReproError):
+    """A channel (S, E) tuple is invalid for the EXPRESS model."""
+
+
+class CodecError(ReproError):
+    """A wire message failed to encode or decode."""
+
+
+class RoutingError(ReproError):
+    """Unicast or multicast routing state is inconsistent."""
+
+
+class ForwardingError(ReproError):
+    """The data-plane forwarding engine was driven incorrectly."""
+
+
+class ProtocolError(ReproError):
+    """An ECMP/IGMP/PIM state machine received an impossible input."""
+
+
+class AuthError(ReproError):
+    """A channel-key operation is invalid (not an on-wire rejection)."""
+
+
+class RelayError(ReproError):
+    """Session-relay middleware misuse (unknown session, no floor, ...)."""
+
+
+class WorkloadError(ReproError):
+    """A workload/scenario generator was configured inconsistently."""

@@ -1,0 +1,34 @@
+"""Live group-model multicast: the world EXPRESS replaces.
+
+:mod:`repro.routing.baselines` models PIM-SM/CBT/DVMRP analytically
+(trees and state derived from unicast routing); this package implements
+them as *running protocol agents* on the simulator, so the paper's §1
+problems can be demonstrated on live packets:
+
+* :mod:`repro.groupmodel.pim` — PIM-SM-lite: hop-by-hop Join/Prune
+  toward a rendezvous point, register encapsulation of sources to the
+  RP, shared-tree forwarding, and receiver-side switchover to
+  source-specific trees.
+* :mod:`repro.groupmodel.cbt` — CBT-lite: a bidirectional core-based
+  tree with tunnelling for off-tree senders.
+* :mod:`repro.groupmodel.dvmrp` — DVMRP-lite: RPF flood-and-prune with
+  prune expiry and grafts.
+* :mod:`repro.groupmodel.network` — the facade: any-source groups on a
+  topology (the group model's defining — and, per §1, its problematic —
+  property: *any* host can send to any group).
+"""
+
+from repro.groupmodel.cbt import CbtJoinLeave, CbtRouterAgent
+from repro.groupmodel.dvmrp import DvmrpRouterAgent
+from repro.groupmodel.network import GroupHostAgent, GroupNetwork
+from repro.groupmodel.pim import PimJoinPrune, PimRouterAgent
+
+__all__ = [
+    "CbtJoinLeave",
+    "CbtRouterAgent",
+    "DvmrpRouterAgent",
+    "GroupHostAgent",
+    "GroupNetwork",
+    "PimJoinPrune",
+    "PimRouterAgent",
+]

@@ -1,0 +1,204 @@
+"""CBT-lite: a running core-based bidirectional shared tree.
+
+The third baseline of §7.1 (Ballardie's CBT, RFC 2201), live: members
+join toward a configured core; data from an *on-tree* node flows along
+the tree in every direction away from its arrival ("the use of a
+bi-directional shared tree can provide faster delivery to subscribers
+on the path from the sender to the [core]", §4.4); an *off-tree* sender
+IP-in-IP-encapsulates to the core, which injects the packet into the
+tree.
+
+Simplifications (per the §4.4 comparison's needs): no core election or
+keepalives, join acks are implicit (point-to-point links, reliable
+control), and "on-tree sender" means the sender's first-hop router is
+on the tree.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.errors import ProtocolError
+from repro.inet.addr import is_class_d
+from repro.netsim.node import Node, ProtocolAgent
+from repro.netsim.packet import Packet
+from repro.netsim.trace import Counter
+from repro.routing.unicast import UnicastRouting
+
+PROTO_CBT = "cbt"
+JOIN_BYTES = 30
+
+
+@dataclass(frozen=True)
+class CbtJoinLeave:
+    """Hop-by-hop join (toward the core) or leave for ``group``."""
+
+    group: int
+    join: bool
+
+    def __post_init__(self) -> None:
+        if not is_class_d(self.group):
+            raise ProtocolError(f"{self.group:#x} is not a group address")
+
+
+@dataclass
+class _CbtState:
+    """Bidirectional tree adjacency on one router: the parent (toward
+    the core) plus children, all treated alike by the data plane."""
+
+    parent: Optional[str] = None
+    children: set = field(default_factory=set)
+
+    def tree_neighbors(self) -> set:
+        neighbors = set(self.children)
+        if self.parent is not None:
+            neighbors.add(self.parent)
+        return neighbors
+
+
+class CbtRouterAgent(ProtocolAgent):
+    """CBT-lite on one router."""
+
+    def __init__(self, node: Node, routing: UnicastRouting, core_name: str) -> None:
+        super().__init__(node)
+        self.routing = routing
+        self.core_name = core_name
+        self.state: dict[int, _CbtState] = {}
+        self.stats = Counter()
+
+    # ------------------------------------------------------------------
+
+    def handle_packet(self, packet: Packet, ifindex: int) -> None:
+        if packet.proto == PROTO_CBT:
+            message = packet.headers.get("cbt")
+            peer = self._neighbor_name(ifindex)
+            if isinstance(message, CbtJoinLeave) and peer is not None:
+                self._handle_join_leave(message, peer)
+        elif packet.proto == "ipip":
+            self._handle_core_tunnel(packet)
+        elif packet.proto == "data" and is_class_d(packet.dst):
+            self._forward_data(packet, ifindex)
+
+    def _handle_join_leave(self, message: CbtJoinLeave, from_name: str) -> None:
+        self.stats.incr("join_rx" if message.join else "leave_rx")
+        state = self.state.get(message.group)
+        if message.join:
+            if state is None:
+                state = _CbtState(parent=self._upstream_toward_core())
+                self.state[message.group] = state
+                self._send_join_leave(message, state.parent)
+            state.children.add(from_name)
+        else:
+            if state is None:
+                return
+            state.children.discard(from_name)
+            if not state.children:
+                self._send_join_leave(message, state.parent)
+                del self.state[message.group]
+
+    def _upstream_toward_core(self) -> Optional[str]:
+        if self.core_name == self.node.name:
+            return None
+        return self.routing.next_hop(self.node.name, self.core_name)
+
+    def _send_join_leave(self, message: CbtJoinLeave, neighbor: Optional[str]) -> None:
+        if neighbor is None:
+            return
+        peer = self.routing.topo.nodes.get(neighbor)
+        if peer is None:
+            return
+        packet = Packet(
+            src=self.node.address,
+            dst=peer.address,
+            proto=PROTO_CBT,
+            size=20 + JOIN_BYTES,
+            created_at=self.sim.now,
+        )
+        packet.headers["cbt"] = message
+        packet.headers["reliable"] = True
+        self.stats.incr("join_tx" if message.join else "leave_tx")
+        self.node.send_to_neighbor(packet, peer)
+
+    # ------------------------------------------------------------------
+
+    def _forward_data(self, packet: Packet, ifindex: int) -> None:
+        group = packet.dst
+        arrived_from = self._neighbor_name(ifindex)
+        state = self.state.get(group)
+
+        attached_source = self._is_attached_host(packet.src, arrived_from)
+        if state is None:
+            if attached_source:
+                # Off-tree sender: tunnel to the core.
+                self._tunnel_to_core(packet)
+            else:
+                self.stats.incr("no_state_drops")
+            return
+
+        # Bidirectional forwarding: a packet from any tree neighbor (or
+        # a directly-attached sender) goes to every *other* tree
+        # neighbor.
+        if attached_source or arrived_from in state.tree_neighbors():
+            self.stats.incr("tree_forwarded")
+            self._fan_out(packet, state.tree_neighbors(), exclude=arrived_from)
+        else:
+            self.stats.incr("off_tree_drops")
+
+    def _handle_core_tunnel(self, packet: Packet) -> None:
+        if packet.dst != self.node.address:
+            self._unicast_forward(packet)
+            return
+        if self.node.name != self.core_name or not packet.is_encapsulated():
+            self.stats.incr("bad_tunnel_drops")
+            return
+        inner = packet.decapsulate()
+        state = self.state.get(inner.dst)
+        self.stats.incr("tunnels_rx")
+        if state is None:
+            self.stats.incr("tunnel_no_group_drops")
+            return
+        self._fan_out(inner, state.tree_neighbors(), exclude=None)
+
+    def _tunnel_to_core(self, packet: Packet) -> None:
+        core = self.routing.topo.nodes.get(self.core_name)
+        if core is None:
+            return
+        outer = packet.encapsulate(
+            outer_src=self.node.address, outer_dst=core.address, proto="ipip"
+        )
+        self.stats.incr("tunnels_tx")
+        self._unicast_forward(outer)
+
+    def _unicast_forward(self, packet: Packet) -> None:
+        target = self.routing.topo.node_by_address(packet.dst)
+        if target is None:
+            return
+        hop = self.routing.next_hop(self.node.name, target.name)
+        if hop is None:
+            return
+        self.node.send_to_neighbor(packet, self.routing.topo.node(hop))
+
+    def _fan_out(self, packet: Packet, neighbors, exclude: Optional[str]) -> None:
+        for name in neighbors:
+            if name == exclude:
+                continue
+            peer = self.routing.topo.nodes.get(name)
+            if peer is None:
+                continue
+            copy = packet.copy()
+            copy.ttl = packet.ttl - 1
+            self.stats.incr("data_tx")
+            self.node.send_to_neighbor(copy, peer)
+
+    def _neighbor_name(self, ifindex: int) -> Optional[str]:
+        iface = self.node.interfaces[ifindex]
+        peer = iface.link.other_end(self.node) if iface.link else None
+        return peer.name if peer else None
+
+    def _is_attached_host(self, src_address: int, arrived_from: Optional[str]) -> bool:
+        origin = self.routing.topo.node_by_address(src_address)
+        return origin is not None and origin.name == arrived_from
+
+    def state_entries(self) -> int:
+        return len(self.state)

@@ -1,0 +1,237 @@
+"""DVMRP-lite: running flood-and-prune multicast.
+
+The "non-scalable broadcast-and-prune behavior" EXPRESS eliminates
+(§8): a source's first packets are broadcast along the RPF tree to the
+*entire domain*; routers with no interested parties prune upstream,
+prunes age out and the flood repeats, and grafts splice new members
+back in. Implemented faithfully enough to measure exactly that
+behaviour live: domain-wide first-packet footprint, prune state on
+every router, and periodic re-flood.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.errors import ProtocolError
+from repro.inet.addr import is_class_d
+from repro.netsim.node import Node, ProtocolAgent
+from repro.netsim.packet import Packet
+from repro.netsim.trace import Counter
+from repro.routing.unicast import UnicastRouting
+
+PROTO_DVMRP = "dvmrp"
+PROTO_DATA = "data"
+
+#: Default prune lifetime; real DVMRP uses ~2 hours, scaled down so
+#: tests can watch the re-flood.
+PRUNE_LIFETIME = 120.0
+
+CONTROL_BYTES = 28
+
+
+@dataclass(frozen=True)
+class DvmrpControl:
+    """A Prune or Graft for (source, group)."""
+
+    kind: str  # "prune" | "graft"
+    source: int
+    group: int
+
+    def __post_init__(self) -> None:
+        if self.kind not in ("prune", "graft"):
+            raise ProtocolError(f"unknown DVMRP control {self.kind!r}")
+        if not is_class_d(self.group):
+            raise ProtocolError(f"{self.group:#x} is not a group address")
+
+
+@dataclass
+class _SourceGroupState:
+    """Per-(S,G) prune bookkeeping."""
+
+    #: Downstream neighbors that pruned, with prune expiry time.
+    pruned: dict[str, float] = field(default_factory=dict)
+    #: Whether we pruned ourselves toward the upstream.
+    pruned_upstream: bool = False
+    packets_seen: int = 0
+
+
+class DvmrpRouterAgent(ProtocolAgent):
+    """Flood-and-prune on one router."""
+
+    def __init__(
+        self,
+        node: Node,
+        routing: UnicastRouting,
+        prune_lifetime: float = PRUNE_LIFETIME,
+    ) -> None:
+        super().__init__(node)
+        self.routing = routing
+        self.prune_lifetime = prune_lifetime
+        self.state: dict[tuple[int, int], _SourceGroupState] = {}
+        #: Hosts attached to this router that joined each group.
+        self.member_hosts: dict[int, set] = {}
+        #: Names of host nodes (injected by the GroupNetwork facade so
+        #: the flood is "truncated": hosts only get joined groups).
+        self.host_names: set = set()
+        self.stats = Counter()
+
+    # ------------------------------------------------------------------
+
+    def host_joined(self, group: int, host_name: str) -> None:
+        """A directly-attached host joined; graft any pruned (.,group)
+        state back toward the sources."""
+        self.member_hosts.setdefault(group, set()).add(host_name)
+        for (source, state_group), state in self.state.items():
+            if state_group != group or not state.pruned_upstream:
+                continue
+            state.pruned_upstream = False
+            self._send_control("graft", source, group)
+
+    def host_left(self, group: int, host_name: str) -> None:
+        members = self.member_hosts.get(group)
+        if members is not None:
+            members.discard(host_name)
+            if not members:
+                del self.member_hosts[group]
+
+    # ------------------------------------------------------------------
+
+    def handle_packet(self, packet: Packet, ifindex: int) -> None:
+        if packet.proto == PROTO_DVMRP:
+            message = packet.headers.get("dvmrp")
+            peer = self._neighbor_name(ifindex)
+            if isinstance(message, DvmrpControl) and peer is not None:
+                self._handle_control(message, peer)
+        elif packet.proto == PROTO_DATA and is_class_d(packet.dst):
+            self._forward_data(packet, ifindex)
+
+    def _handle_control(self, message: DvmrpControl, from_name: str) -> None:
+        state = self.state.setdefault(
+            (message.source, message.group), _SourceGroupState()
+        )
+        if message.kind == "prune":
+            self.stats.incr("prunes_rx")
+            state.pruned[from_name] = self.sim.now + self.prune_lifetime
+            # If everything downstream is now pruned and we have no
+            # members, propagate the prune.
+            self._maybe_prune_upstream(message.source, message.group, state)
+        else:  # graft
+            self.stats.incr("grafts_rx")
+            state.pruned.pop(from_name, None)
+            if state.pruned_upstream:
+                state.pruned_upstream = False
+                self._send_control("graft", message.source, message.group)
+
+    def _forward_data(self, packet: Packet, ifindex: int) -> None:
+        source_node = self.routing.topo.node_by_address(packet.src)
+        if source_node is None:
+            self.stats.incr("unknown_source_drops")
+            return
+        arrived_from = self._neighbor_name(ifindex)
+        # RPF check: accept only on the interface toward the source
+        # (or directly from the attached source host).
+        expected = (
+            source_node.name
+            if source_node.name == arrived_from
+            else self.routing.next_hop(self.node.name, source_node.name)
+        )
+        if arrived_from != expected:
+            self.stats.incr("rpf_drops")
+            return
+
+        key = (packet.src, packet.dst)
+        state = self.state.setdefault(key, _SourceGroupState())
+        state.packets_seen += 1
+        self.stats.incr("data_rx")
+        self._expire_prunes(state)
+
+        forwarded = 0
+        # Flood to every router neighbor except the arrival and pruned
+        # ones, plus member hosts.
+        for iface in self.node.interfaces:
+            peer = iface.neighbor()
+            if peer is None or not iface.up or peer.name == arrived_from:
+                continue
+            if peer.name in state.pruned:
+                continue
+            if self._is_host(peer.name):
+                members = self.member_hosts.get(packet.dst, set())
+                if peer.name not in members:
+                    continue
+            copy = packet.copy()
+            copy.ttl = packet.ttl - 1
+            self.stats.incr("data_tx")
+            self.node.send(copy, iface.index)
+            forwarded += 1
+
+        if forwarded == 0:
+            # Leaf with no interest: prune toward the source.
+            self._maybe_prune_upstream(packet.src, packet.dst, state)
+
+    def _maybe_prune_upstream(self, source: int, group: int, state: _SourceGroupState) -> None:
+        if state.pruned_upstream:
+            return
+        if self.member_hosts.get(group):
+            return
+        # Unpruned downstream router neighbors still want traffic.
+        source_node = self.routing.topo.node_by_address(source)
+        upstream = (
+            self.routing.next_hop(self.node.name, source_node.name)
+            if source_node is not None and source_node is not self.node
+            else None
+        )
+        for iface in self.node.interfaces:
+            peer = iface.neighbor()
+            if peer is None or not iface.up:
+                continue
+            if peer.name == upstream or self._is_host(peer.name):
+                continue
+            if peer.name not in state.pruned:
+                return  # someone downstream may still want it
+        if upstream is not None:
+            state.pruned_upstream = True
+            self._send_control("prune", source, group)
+
+    def _send_control(self, kind: str, source: int, group: int) -> None:
+        source_node = self.routing.topo.node_by_address(source)
+        if source_node is None or source_node is self.node:
+            return
+        upstream = self.routing.next_hop(self.node.name, source_node.name)
+        if upstream is None:
+            return
+        peer = self.routing.topo.nodes.get(upstream)
+        packet = Packet(
+            src=self.node.address,
+            dst=peer.address,
+            proto=PROTO_DVMRP,
+            size=20 + CONTROL_BYTES,
+            created_at=self.sim.now,
+        )
+        packet.headers["dvmrp"] = DvmrpControl(kind=kind, source=source, group=group)
+        packet.headers["reliable"] = True
+        self.stats.incr(f"{kind}s_tx")
+        self.node.send_to_neighbor(packet, peer)
+
+    def _expire_prunes(self, state: _SourceGroupState) -> None:
+        now = self.sim.now
+        expired = [name for name, expiry in state.pruned.items() if expiry <= now]
+        for name in expired:
+            del state.pruned[name]
+            self.stats.incr("prune_expirations")
+
+    def _neighbor_name(self, ifindex: int) -> Optional[str]:
+        iface = self.node.interfaces[ifindex]
+        peer = iface.link.other_end(self.node) if iface.link else None
+        return peer.name if peer else None
+
+    def _is_host(self, name: str) -> bool:
+        return name in self.host_names
+
+    def state_entries(self) -> int:
+        return len(self.state)
+
+    def touched(self) -> bool:
+        """Did any (S,G) activity reach this router?"""
+        return bool(self.state)

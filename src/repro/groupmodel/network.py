@@ -1,0 +1,247 @@
+"""The group-model facade: any-source multicast on a topology.
+
+This is the world of the paper's §1: a group is just an address; *any*
+host can send to it; receivers cannot restrict sources; there is no
+subscriber count. :class:`GroupNetwork` runs either the PIM-SM-lite or
+DVMRP-lite control plane and exposes join/leave/send — including
+sending by hosts that never joined, which is exactly the property the
+interference experiment (X7) measures.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, Optional
+
+from repro.errors import ProtocolError, TopologyError
+from repro.groupmodel.cbt import PROTO_CBT, CbtJoinLeave, CbtRouterAgent
+from repro.groupmodel.dvmrp import DvmrpRouterAgent
+from repro.groupmodel.pim import PROTO_PIM, PimJoinPrune, PimRouterAgent
+from repro.inet.addr import is_class_d
+from repro.netsim.node import Node, ProtocolAgent
+from repro.netsim.packet import Packet
+from repro.netsim.topology import Topology
+from repro.netsim.trace import Counter
+from repro.routing.unicast import UnicastRouting
+
+
+class GroupHostAgent(ProtocolAgent):
+    """A group-model host: joins groups and receives from *any* source."""
+
+    def __init__(self, node: Node, net: "GroupNetwork") -> None:
+        super().__init__(node)
+        self.net = net
+        self.joined: dict[int, Optional[Callable[[Packet], None]]] = {}
+        self.received: dict[int, list] = {}
+        self.stats = Counter()
+
+    def handle_packet(self, packet: Packet, ifindex: int) -> None:
+        if packet.proto != "data" or not is_class_d(packet.dst):
+            return
+        if packet.dst not in self.joined:
+            self.stats.incr("unjoined_drops")
+            return
+        # The group model's defining behaviour: no source check.
+        self.stats.incr("delivered")
+        self.received.setdefault(packet.dst, []).append(packet)
+        callback = self.joined[packet.dst]
+        if callback is not None:
+            callback(packet)
+
+    # ------------------------------------------------------------------
+
+    def join(self, group: int, on_data: Optional[Callable[[Packet], None]] = None) -> None:
+        if not is_class_d(group):
+            raise ProtocolError(f"{group:#x} is not a group address")
+        self.joined[group] = on_data
+        self.net._host_joined(self.node.name, group)
+
+    def leave(self, group: int) -> None:
+        if group in self.joined:
+            del self.joined[group]
+            self.net._host_left(self.node.name, group)
+
+    def send(self, group: int, payload=None, size: int = 1356) -> None:
+        """Send to the group — joined or not; the model allows it."""
+        packet = Packet(
+            src=self.node.address,
+            dst=group,
+            proto="data",
+            payload=payload,
+            size=size,
+            created_at=self.sim.now,
+        )
+        for iface in self.node.interfaces:
+            self.node.send(packet.copy(), iface.index)
+            break  # first-hop router only (hosts are single-homed here)
+
+
+class GroupNetwork:
+    """Any-source multicast over a :class:`Topology`.
+
+    Parameters
+    ----------
+    protocol:
+        "pim" (rendezvous-point shared trees; requires ``rp``),
+        "cbt" (bidirectional core tree; ``rp`` names the core), or
+        "dvmrp" (flood-and-prune).
+    rp:
+        RP router name for PIM / core router name for CBT.
+    prune_lifetime:
+        DVMRP prune expiry (seconds).
+    """
+
+    def __init__(
+        self,
+        topo: Topology,
+        protocol: str = "pim",
+        rp: Optional[str] = None,
+        hosts: Optional[Iterable[str]] = None,
+        prune_lifetime: float = 120.0,
+    ) -> None:
+        if protocol not in ("pim", "cbt", "dvmrp"):
+            raise ProtocolError(f"unknown group protocol {protocol!r}")
+        if protocol in ("pim", "cbt") and (rp is None or rp not in topo.nodes):
+            raise TopologyError(f"{protocol} needs an rp= (RP/core) router name")
+        self.topo = topo
+        self.sim = topo.sim
+        self.protocol = protocol
+        self.rp = rp
+        self.routing = UnicastRouting(topo)
+        if hosts is None:
+            hosts = [
+                name
+                for name, node in topo.nodes.items()
+                if len(node.interfaces) == 1 and name.startswith("h")
+            ]
+        self.host_names = set(hosts)
+        self.hosts: dict[str, GroupHostAgent] = {}
+        self.routers: dict[str, ProtocolAgent] = {}
+
+        for name, node in topo.nodes.items():
+            if name in self.host_names:
+                agent = GroupHostAgent(node, self)
+                node.register_agent("data", agent)
+                self.hosts[name] = agent
+            elif protocol == "pim":
+                agent = PimRouterAgent(node, self.routing, rp_name=rp)
+                node.register_agent("data", agent)
+                node.register_agent(PROTO_PIM, agent)
+                node.register_agent("ipip", agent)
+                self.routers[name] = agent
+            elif protocol == "cbt":
+                agent = CbtRouterAgent(node, self.routing, core_name=rp)
+                node.register_agent("data", agent)
+                node.register_agent(PROTO_CBT, agent)
+                node.register_agent("ipip", agent)
+                self.routers[name] = agent
+            else:
+                agent = DvmrpRouterAgent(node, self.routing, prune_lifetime)
+                agent.host_names = self.host_names
+                node.register_agent("data", agent)
+                node.register_agent("dvmrp", agent)
+                self.routers[name] = agent
+
+    # ------------------------------------------------------------------
+    # membership
+    # ------------------------------------------------------------------
+
+    def host(self, name: str) -> GroupHostAgent:
+        try:
+            return self.hosts[name]
+        except KeyError:
+            raise TopologyError(f"{name!r} is not a host") from None
+
+    def join(self, host: str, group: int, on_data=None) -> None:
+        self.host(host).join(group, on_data)
+
+    def leave(self, host: str, group: int) -> None:
+        self.host(host).leave(group)
+
+    def send(self, host: str, group: int, payload=None, size: int = 1356) -> None:
+        self.host(host).send(group, payload=payload, size=size)
+
+    def _first_hop_router(self, host: str) -> str:
+        node = self.topo.node(host)
+        neighbors = node.neighbors()
+        if not neighbors:
+            raise TopologyError(f"{host!r} has no attachment")
+        return neighbors[0].name
+
+    def _host_joined(self, host: str, group: int) -> None:
+        router = self._first_hop_router(host)
+        if self.protocol == "pim":
+            self._send_join_prune(host, PimJoinPrune(group=group, join=True))
+        elif self.protocol == "cbt":
+            self._send_cbt(host, CbtJoinLeave(group=group, join=True))
+        else:
+            self.routers[router].host_joined(group, host)
+
+    def _host_left(self, host: str, group: int) -> None:
+        router = self._first_hop_router(host)
+        if self.protocol == "pim":
+            self._send_join_prune(host, PimJoinPrune(group=group, join=False))
+        elif self.protocol == "cbt":
+            self._send_cbt(host, CbtJoinLeave(group=group, join=False))
+        else:
+            self.routers[router].host_left(group, host)
+
+    def _send_cbt(self, host: str, message: CbtJoinLeave) -> None:
+        node = self.topo.node(host)
+        router = self.topo.node(self._first_hop_router(host))
+        packet = Packet(
+            src=node.address, dst=router.address, proto=PROTO_CBT, size=50,
+            created_at=self.sim.now,
+        )
+        packet.headers["cbt"] = message
+        packet.headers["reliable"] = True
+        node.send_to_neighbor(packet, router)
+
+    def _send_join_prune(self, host: str, message: PimJoinPrune) -> None:
+        node = self.topo.node(host)
+        router = self.topo.node(self._first_hop_router(host))
+        packet = Packet(
+            src=node.address, dst=router.address, proto=PROTO_PIM, size=54,
+            created_at=self.sim.now,
+        )
+        packet.headers["pim"] = message
+        packet.headers["reliable"] = True
+        node.send_to_neighbor(packet, router)
+
+    def switch_to_spt(self, host: str, source_host: str, group: int) -> None:
+        """PIM: the member's side joins the (S,G) shortest-path tree
+        and suppresses shared-tree duplicates at its last-hop router."""
+        if self.protocol != "pim":
+            raise ProtocolError("SPT switchover is a PIM operation")
+        source_address = self.topo.node(source_host).address
+        self._send_join_prune(
+            host, PimJoinPrune(group=group, join=True, source=source_address)
+        )
+        last_hop = self.routers[self._first_hop_router(host)]
+        last_hop.spt_active.add((source_address, group))
+
+    # ------------------------------------------------------------------
+    # lifecycle / inspection
+    # ------------------------------------------------------------------
+
+    def run(self, until: Optional[float] = None) -> int:
+        return self.topo.run(until=until)
+
+    def settle(self, duration: float = 1.0) -> None:
+        self.run(until=self.sim.now + duration)
+
+    def delivered(self, host: str, group: int) -> int:
+        return len(self.host(host).received.get(group, []))
+
+    def total_state(self) -> int:
+        return sum(agent.state_entries() for agent in self.routers.values())
+
+    def routers_touched(self) -> set:
+        if self.protocol == "pim":
+            return {
+                name
+                for name, agent in self.routers.items()
+                if agent.shared or agent.source_trees
+            }
+        if self.protocol == "cbt":
+            return {name for name, agent in self.routers.items() if agent.state}
+        return {name for name, agent in self.routers.items() if agent.touched()}

@@ -1,0 +1,280 @@
+"""PIM-SM-lite: a running rendezvous-point shared-tree protocol.
+
+Implements the parts of PIM-SM the paper compares EXPRESS against
+(§3.6, §7.1): explicit Join/Prune toward a configured RP, sources
+reaching the group by *register* encapsulation to the RP, shared-tree
+forwarding, and per-receiver switchover to an (S,G) shortest-path tree
+— "the higher delay of a shared multicast tree rooted at the rendezvous
+point [or] the extra state cost of source-specific trees" (§4.4).
+
+Simplifications relative to RFC 2117 (documented; none affect the
+measured claims): no bootstrap/RP-set election (the RP is configured),
+no RegisterStop (the last-hop router suppresses shared-tree duplicates
+once its SPT is active — the "SPT bit" in spirit), no Assert election
+(point-to-point links), and Join/Prune is per-neighbor unicast rather
+than multicast to ALL-PIM-ROUTERS.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.errors import ProtocolError
+from repro.inet.addr import is_class_d
+from repro.netsim.node import Node, ProtocolAgent
+from repro.netsim.packet import Packet
+from repro.netsim.trace import Counter
+from repro.routing.unicast import UnicastRouting
+
+PROTO_PIM = "pim"
+PROTO_DATA = "data"
+PROTO_REGISTER = "ipip"
+
+#: Wire size of a Join/Prune message (group + optional source + flags),
+#: for control-bandwidth accounting.
+JOIN_PRUNE_BYTES = 34
+
+
+@dataclass(frozen=True)
+class PimJoinPrune:
+    """A hop-by-hop Join (``join=True``) or Prune for ``group``;
+    ``source`` selects the (S,G) source tree, None the (*,G) RP tree."""
+
+    group: int
+    join: bool
+    source: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if not is_class_d(self.group):
+            raise ProtocolError(f"{self.group:#x} is not a group address")
+
+
+@dataclass
+class _TreeState:
+    """(*,G) or (S,G) state on one router."""
+
+    upstream: Optional[str] = None
+    oifs: set = field(default_factory=set)  # downstream neighbor names
+
+
+class PimRouterAgent(ProtocolAgent):
+    """PIM-SM-lite on one router."""
+
+    def __init__(self, node: Node, routing: UnicastRouting, rp_name: str) -> None:
+        super().__init__(node)
+        self.routing = routing
+        self.rp_name = rp_name
+        #: (*,G) shared-tree state per group.
+        self.shared: dict[int, _TreeState] = {}
+        #: (S,G) source-tree state per (source address, group).
+        self.source_trees: dict[tuple[int, int], _TreeState] = {}
+        #: Last-hop SPT-bit emulation: (S,G) pairs whose shared-tree
+        #: copies this router now suppresses.
+        self.spt_active: set = set()
+        self.stats = Counter()
+
+    # ------------------------------------------------------------------
+    # control plane
+    # ------------------------------------------------------------------
+
+    def handle_packet(self, packet: Packet, ifindex: int) -> None:
+        if packet.proto == PROTO_PIM:
+            message = packet.headers.get("pim")
+            iface = self.node.interfaces[ifindex]
+            peer = iface.link.other_end(self.node) if iface.link else None
+            if isinstance(message, PimJoinPrune) and peer is not None:
+                self._handle_join_prune(message, peer.name)
+        elif packet.proto == PROTO_REGISTER:
+            self._handle_register(packet, ifindex)
+        elif packet.proto == PROTO_DATA and is_class_d(packet.dst):
+            self._forward_data(packet, ifindex)
+
+    def _handle_join_prune(self, message: PimJoinPrune, from_name: str) -> None:
+        self.stats.incr("join_rx" if message.join else "prune_rx")
+        if message.source is None:
+            state = self.shared.get(message.group)
+            if message.join:
+                if state is None:
+                    state = _TreeState(upstream=self._upstream_toward(self.rp_name))
+                    self.shared[message.group] = state
+                    self._send_join_prune(message, state.upstream)
+                state.oifs.add(from_name)
+            else:
+                if state is None:
+                    return
+                state.oifs.discard(from_name)
+                if not state.oifs:
+                    self._send_join_prune(message, state.upstream)
+                    del self.shared[message.group]
+            return
+
+        key = (message.source, message.group)
+        source_node = self.routing.topo.node_by_address(message.source)
+        if source_node is None:
+            return
+        state = self.source_trees.get(key)
+        if message.join:
+            if state is None:
+                state = _TreeState(upstream=self._upstream_toward(source_node.name))
+                self.source_trees[key] = state
+                if state.upstream is not None:
+                    self._send_join_prune(message, state.upstream)
+            state.oifs.add(from_name)
+        else:
+            if state is None:
+                return
+            state.oifs.discard(from_name)
+            if not state.oifs:
+                if state.upstream is not None:
+                    self._send_join_prune(message, state.upstream)
+                del self.source_trees[key]
+
+    def _upstream_toward(self, target: str) -> Optional[str]:
+        if target == self.node.name:
+            return None
+        return self.routing.next_hop(self.node.name, target)
+
+    def _send_join_prune(self, message: PimJoinPrune, neighbor: Optional[str]) -> None:
+        if neighbor is None:
+            return
+        peer = self.routing.topo.nodes.get(neighbor)
+        if peer is None:
+            return
+        packet = Packet(
+            src=self.node.address,
+            dst=peer.address,
+            proto=PROTO_PIM,
+            size=20 + JOIN_PRUNE_BYTES,
+            created_at=self.sim.now,
+        )
+        packet.headers["pim"] = message
+        packet.headers["reliable"] = True
+        self.stats.incr("join_tx" if message.join else "prune_tx")
+        self.node.send_to_neighbor(packet, peer)
+
+    # ------------------------------------------------------------------
+    # data plane
+    # ------------------------------------------------------------------
+
+    def _forward_data(self, packet: Packet, ifindex: int) -> None:
+        group = packet.dst
+        arrived_from = self._neighbor_name(ifindex)
+
+        # A directly-attached host sourcing to the group: this router
+        # is the DR; encapsulate to the RP ("register").
+        if self._is_attached_host(packet.src, arrived_from):
+            self._register_to_rp(packet)
+            # Natively feed an (S,G) tree rooted here, if one exists.
+            spt = self.source_trees.get((packet.src, group))
+            if spt is not None:
+                self._fan_out(packet, spt.oifs, exclude=arrived_from)
+            return
+
+        spt = self.source_trees.get((packet.src, group))
+        shared = self.shared.get(group)
+        oifs: set = set()
+        accepted = False
+
+        if spt is not None and arrived_from == spt.upstream:
+            accepted = True
+            self.stats.incr("spt_forwarded")
+            oifs |= spt.oifs
+            # At the RP, the native (S,G) flow also feeds the shared
+            # tree (which is why registers for it are suppressed).
+            if shared is not None and self.node.name == self.rp_name:
+                oifs |= shared.oifs
+
+        if not accepted and shared is not None and arrived_from == shared.upstream:
+            if (packet.src, group) in self.spt_active:
+                self.stats.incr("spt_suppressed")
+                return
+            accepted = True
+            self.stats.incr("shared_forwarded")
+            oifs |= shared.oifs
+
+        if not accepted:
+            if spt is None and shared is None:
+                self.stats.incr("no_state_drops")
+            else:
+                self.stats.incr("wrong_iface_drops")
+            return
+        self._fan_out(packet, oifs, exclude=arrived_from)
+
+    def _handle_register(self, packet: Packet, ifindex: int) -> None:
+        if packet.dst != self.node.address:
+            # In transit to the RP: unicast-forward.
+            self._unicast_forward(packet)
+            return
+        if not packet.is_encapsulated():
+            self.stats.incr("bad_register_drops")
+            return
+        inner = packet.decapsulate()
+        self.stats.incr("registers_rx")
+        if (inner.src, inner.dst) in self.source_trees:
+            # RegisterStop-equivalent: the RP already receives this
+            # (S,G) natively on its source tree; the register copy is
+            # redundant.
+            self.stats.incr("registers_suppressed")
+            return
+        state = self.shared.get(inner.dst)
+        if state is None:
+            self.stats.incr("register_no_group_drops")
+            return
+        # The RP multicasts the decapsulated packet down the shared tree.
+        self._fan_out(inner, state.oifs, exclude=None)
+
+    def _register_to_rp(self, packet: Packet) -> None:
+        rp = self.routing.topo.nodes.get(self.rp_name)
+        if rp is None:
+            return
+        if rp is self.node:
+            # This router *is* the RP: short-circuit the register (but
+            # never echo back to the attached sender's own port).
+            state = self.shared.get(packet.dst)
+            if state is not None:
+                origin = self.routing.topo.node_by_address(packet.src)
+                self._fan_out(
+                    packet, state.oifs, exclude=origin.name if origin else None
+                )
+            return
+        outer = packet.encapsulate(
+            outer_src=self.node.address, outer_dst=rp.address, proto=PROTO_REGISTER
+        )
+        self.stats.incr("registers_tx")
+        self._unicast_forward(outer)
+
+    def _unicast_forward(self, packet: Packet) -> None:
+        target = self.routing.topo.node_by_address(packet.dst)
+        if target is None:
+            return
+        hop = self.routing.next_hop(self.node.name, target.name)
+        if hop is None:
+            return
+        self.node.send_to_neighbor(packet, self.routing.topo.node(hop))
+
+    def _fan_out(self, packet: Packet, oifs, exclude: Optional[str]) -> None:
+        for name in oifs:
+            if name == exclude:
+                continue
+            peer = self.routing.topo.nodes.get(name)
+            if peer is None:
+                continue
+            copy = packet.copy()
+            copy.ttl = packet.ttl - 1
+            self.stats.incr("data_tx")
+            self.node.send_to_neighbor(copy, peer)
+
+    def _neighbor_name(self, ifindex: int) -> Optional[str]:
+        iface = self.node.interfaces[ifindex]
+        peer = iface.link.other_end(self.node) if iface.link else None
+        return peer.name if peer else None
+
+    def _is_attached_host(self, src_address: int, arrived_from: Optional[str]) -> bool:
+        origin = self.routing.topo.node_by_address(src_address)
+        return origin is not None and origin.name == arrived_from
+
+    # -- inspection ----------------------------------------------------------
+
+    def state_entries(self) -> int:
+        return len(self.shared) + len(self.source_trees)

@@ -1,0 +1,103 @@
+"""IPv4 address arithmetic.
+
+Addresses are plain 32-bit integers throughout the library (cheap to
+hash, compare, and pack into the 12-byte FIB entry of Figure 5). This
+module provides parsing/formatting and the class-D / single-source
+range predicates from the paper's Figure 2:
+
+* class D (multicast): 224.0.0.0 – 239.255.255.255
+* single-source (EXPRESS / SSM): 232.0.0.0/8, giving each source host
+  2^24 channel destination addresses it can allocate autonomously.
+"""
+
+from __future__ import annotations
+
+from repro.errors import AddressError
+
+#: Full class-D multicast range (224.0.0.0 ... 239.255.255.255).
+CLASS_D_FIRST = 0xE0000000
+CLASS_D_LAST = 0xEFFFFFFF
+
+#: Single-source multicast range (232.0.0.0/8), per IANA allocation.
+SSM_FIRST = 0xE8000000
+SSM_LAST = 0xE8FFFFFF
+
+#: Number of channels each source can allocate ("16 million channels").
+CHANNELS_PER_SOURCE = 1 << 24
+
+_MAX_ADDRESS = 0xFFFFFFFF
+
+
+def parse_address(text: str) -> int:
+    """Parse dotted-quad ``text`` into a 32-bit integer.
+
+    >>> hex(parse_address("232.0.0.1"))
+    '0xe8000001'
+    """
+    parts = text.split(".")
+    if len(parts) != 4:
+        raise AddressError(f"malformed IPv4 address {text!r}")
+    value = 0
+    for part in parts:
+        if not part.isdigit():
+            raise AddressError(f"malformed IPv4 address {text!r}")
+        octet = int(part)
+        if octet > 255:
+            raise AddressError(f"octet out of range in {text!r}")
+        value = (value << 8) | octet
+    return value
+
+
+def format_address(address: int) -> str:
+    """Format a 32-bit integer as a dotted quad.
+
+    >>> format_address(0xE8000001)
+    '232.0.0.1'
+    """
+    _check_range(address)
+    return ".".join(str((address >> shift) & 0xFF) for shift in (24, 16, 8, 0))
+
+
+def is_class_d(address: int) -> bool:
+    """True if ``address`` is any IPv4 multicast (class D) address."""
+    _check_range(address)
+    return CLASS_D_FIRST <= address <= CLASS_D_LAST
+
+
+def is_ssm(address: int) -> bool:
+    """True if ``address`` is in the single-source 232/8 range."""
+    _check_range(address)
+    return SSM_FIRST <= address <= SSM_LAST
+
+
+def is_unicast(address: int) -> bool:
+    """True if ``address`` is an ordinary (non-class-D, non-reserved-E)
+    unicast address."""
+    _check_range(address)
+    return address < CLASS_D_FIRST
+
+
+def channel_suffix(address: int) -> int:
+    """The low 24 bits of an SSM destination — the per-source channel
+    number stored in the FIB entry's 24-bit ``dest`` field (Figure 5)."""
+    if not is_ssm(address):
+        raise AddressError(
+            f"{format_address(address)} is not in the single-source range"
+        )
+    return address & 0x00FFFFFF
+
+
+def ssm_address(suffix: int) -> int:
+    """Build the SSM destination address 232.x.y.z for ``suffix``.
+
+    >>> format_address(ssm_address(1))
+    '232.0.0.1'
+    """
+    if not 0 <= suffix < CHANNELS_PER_SOURCE:
+        raise AddressError(f"channel suffix {suffix} out of 24-bit range")
+    return SSM_FIRST | suffix
+
+
+def _check_range(address: int) -> None:
+    if not 0 <= address <= _MAX_ADDRESS:
+        raise AddressError(f"address {address!r} is not a 32-bit value")

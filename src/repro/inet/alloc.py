@@ -1,0 +1,137 @@
+"""Multicast address allocation models.
+
+The paper's fourth problem with the group model (§1): "the group model
+requires allocating a world-wide unique multicast address to each
+application ... With just 256 million multicast addresses for the whole
+world, a global address allocation mechanism such as [MASC/IMAA] is
+required, with all its deployment and operational issues."
+
+EXPRESS dissolves the problem: each source owns 2^24 channel numbers
+and allocates them locally (:class:`repro.core.channel.ChannelAllocator`
+— zero coordination, zero round trips, collisions impossible across
+hosts). This module models the *group-model* alternatives it replaces,
+for the X4 benchmark:
+
+* :class:`CoordinatedAllocator` — an always-consistent global service:
+  no collisions, but every allocation pays a round trip to the
+  authority and the 2^28-address pool is shared world-wide.
+* :class:`UncoordinatedAllocator` — sdr-style random self-assignment:
+  no service, but colliding sessions receive each other's traffic
+  ("extraneous cross traffic").
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass
+from repro.errors import AddressError
+from repro.inet.addr import CLASS_D_FIRST, CLASS_D_LAST, SSM_FIRST, SSM_LAST
+
+#: Class-D addresses usable by group-model applications: the full class
+#: D space minus the single-source 232/8 carve-out (and ignoring the
+#: handful of link-local reservations, which don't change the order of
+#: magnitude).
+GROUP_POOL_SIZE = (CLASS_D_LAST - CLASS_D_FIRST + 1) - (SSM_LAST - SSM_FIRST + 1)
+
+
+def collision_probability(sessions: int, pool_size: int = GROUP_POOL_SIZE) -> float:
+    """Birthday-bound probability that at least two of ``sessions``
+    uncoordinated random allocations collide somewhere in the world."""
+    if sessions < 0 or pool_size <= 0:
+        raise AddressError("sessions >= 0 and pool_size > 0 required")
+    if sessions <= 1:
+        return 0.0
+    exponent = -sessions * (sessions - 1) / (2.0 * pool_size)
+    return 1.0 - math.exp(exponent)
+
+
+@dataclass
+class AllocationStats:
+    requests: int = 0
+    round_trips: int = 0
+    collisions: int = 0
+    active: int = 0
+
+
+class CoordinatedAllocator:
+    """A consistent global allocation authority (MASC/IMAA stand-in).
+
+    Every allocation costs one round trip to the authority
+    (``service_rtt`` seconds of latency, accumulated in the stats so
+    the benchmark can report total coordination cost); the pool is
+    global and finite.
+    """
+
+    def __init__(self, service_rtt: float = 0.2, pool_size: int = GROUP_POOL_SIZE) -> None:
+        if service_rtt < 0 or pool_size <= 0:
+            raise AddressError("service_rtt >= 0 and pool_size > 0 required")
+        self.service_rtt = service_rtt
+        self.pool_size = pool_size
+        self._next = 0
+        self._free: list[int] = []
+        self._allocated: set[int] = set()
+        self.stats = AllocationStats()
+
+    def allocate(self) -> int:
+        """Returns an abstract address index in [0, pool_size)."""
+        self.stats.requests += 1
+        self.stats.round_trips += 1
+        if self._free:
+            address = self._free.pop()
+        elif self._next < self.pool_size:
+            address = self._next
+            self._next += 1
+        else:
+            raise AddressError("global multicast address pool exhausted")
+        self._allocated.add(address)
+        self.stats.active += 1
+        return address
+
+    def release(self, address: int) -> None:
+        """Return an address to the pool (another round trip)."""
+        if address not in self._allocated:
+            raise AddressError(f"address {address} is not allocated")
+        self._allocated.discard(address)
+        self._free.append(address)
+        self.stats.round_trips += 1
+        self.stats.active -= 1
+
+    def total_latency(self) -> float:
+        """Wall-clock spent talking to the authority."""
+        return self.stats.round_trips * self.service_rtt
+
+
+class UncoordinatedAllocator:
+    """Random self-assignment from the shared pool (sdr-style).
+
+    Free and instant, but two sessions that draw the same address share
+    it — the group model then delivers each session's traffic to the
+    other's receivers. ``allocate`` records such collisions.
+    """
+
+    def __init__(self, pool_size: int = GROUP_POOL_SIZE, seed: int = 0) -> None:
+        if pool_size <= 0:
+            raise AddressError("pool_size must be positive")
+        self.pool_size = pool_size
+        self.rng = random.Random(seed)
+        self._in_use: set[int] = set()
+        self.stats = AllocationStats()
+
+    def allocate(self) -> int:
+        self.stats.requests += 1
+        address = self.rng.randrange(self.pool_size)
+        if address in self._in_use:
+            self.stats.collisions += 1
+        else:
+            self._in_use.add(address)
+        self.stats.active = len(self._in_use)
+        return address
+
+    def release(self, address: int) -> None:
+        self._in_use.discard(address)
+        self.stats.active = len(self._in_use)
+
+    def expected_collisions(self, sessions: int) -> float:
+        """Expected number of colliding pairs among ``sessions``."""
+        return sessions * (sessions - 1) / (2.0 * self.pool_size)

@@ -1,0 +1,414 @@
+"""IGMP host membership for conventional class-D groups.
+
+The paper keeps IGMP in the picture twice: hosts "can continue to use
+IGMP for the rest of the class D address space" (§3.6), and ECMP's
+UDP mode is explicitly modelled on IGMP query/report behaviour —
+"Unlike IGMPv2, but like the proposed IGMPv3, there is no report
+suppression" (§3.2). This module implements:
+
+* **IGMPv2** — periodic general queries, randomized report delays,
+  report suppression, leave + group-specific re-query; and
+* **IGMPv3-lite** — per-group source-filter state (INCLUDE/EXCLUDE
+  lists, §7.1's comparison point for EXPRESS access control), without
+  report suppression.
+
+LAN model: the library's LAN topologies are stars of point-to-point
+links, so the router agent *reflects* every report to all other host
+ports — observationally equivalent to reports being multicast on a
+shared segment, which is what v2 suppression relies on.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Optional
+
+from repro.errors import CodecError, ProtocolError
+from repro.inet.addr import is_class_d
+from repro.netsim.engine import PeriodicTask
+from repro.netsim.node import Node, ProtocolAgent
+from repro.netsim.packet import Packet
+
+PROTO_IGMP = "igmp"
+
+#: Default timers, after RFC 2236.
+QUERY_INTERVAL = 125.0
+MAX_RESPONSE_TIME = 10.0
+LAST_MEMBER_QUERY_INTERVAL = 1.0
+ROBUSTNESS = 2
+GROUP_MEMBERSHIP_INTERVAL = ROBUSTNESS * QUERY_INTERVAL + MAX_RESPONSE_TIME
+
+
+class IgmpType(Enum):
+    """IGMP message types (v2 wire values; v3 report is 0x22)."""
+
+    MEMBERSHIP_QUERY = 0x11
+    V2_REPORT = 0x16
+    V2_LEAVE = 0x17
+    V3_REPORT = 0x22
+
+
+class FilterMode(Enum):
+    """IGMPv3 source-filter modes."""
+
+    INCLUDE = 1
+    EXCLUDE = 2
+
+
+@dataclass
+class IgmpMessage:
+    """An IGMP message; ``group == 0`` in a query means general query.
+
+    ``sources``/``filter_mode`` are only meaningful for v3 reports.
+    """
+
+    igmp_type: IgmpType
+    group: int = 0
+    max_response_time: float = MAX_RESPONSE_TIME
+    filter_mode: Optional[FilterMode] = None
+    sources: tuple[int, ...] = ()
+
+    WIRE_V2 = struct.Struct("!BBHI")
+
+    def pack(self) -> bytes:
+        """v2 wire format (8 bytes); v3 reports append filter records."""
+        tenths = int(self.max_response_time * 10)
+        if not 0 <= tenths <= 255:
+            raise CodecError(f"max response time {self.max_response_time} unencodable")
+        head = self.WIRE_V2.pack(self.igmp_type.value, tenths, 0, self.group)
+        if self.igmp_type is not IgmpType.V3_REPORT:
+            return head
+        mode = self.filter_mode.value if self.filter_mode else 0
+        body = struct.pack("!BBH", mode, 0, len(self.sources))
+        body += b"".join(struct.pack("!I", s) for s in self.sources)
+        return head + body
+
+    @classmethod
+    def unpack(cls, data: bytes) -> "IgmpMessage":
+        if len(data) < cls.WIRE_V2.size:
+            raise CodecError(f"IGMP message truncated: {len(data)} bytes")
+        type_value, tenths, _checksum, group = cls.WIRE_V2.unpack(data[: cls.WIRE_V2.size])
+        try:
+            igmp_type = IgmpType(type_value)
+        except ValueError:
+            raise CodecError(f"unknown IGMP type {type_value:#x}") from None
+        message = cls(
+            igmp_type=igmp_type,
+            group=group,
+            max_response_time=tenths / 10.0,
+        )
+        if igmp_type is IgmpType.V3_REPORT:
+            rest = data[cls.WIRE_V2.size :]
+            if len(rest) < 4:
+                raise CodecError("IGMPv3 report missing filter record")
+            mode, _reserved, nsources = struct.unpack("!BBH", rest[:4])
+            message.filter_mode = FilterMode(mode)
+            offset = 4
+            sources = []
+            for _ in range(nsources):
+                if offset + 4 > len(rest):
+                    raise CodecError("IGMPv3 report source list truncated")
+                (source,) = struct.unpack("!I", rest[offset : offset + 4])
+                sources.append(source)
+                offset += 4
+            message.sources = tuple(sources)
+        return message
+
+    def wire_size(self) -> int:
+        return len(self.pack())
+
+
+@dataclass
+class _HostGroupState:
+    """Per-group state on a host: pending report timer + v3 filter."""
+
+    filter_mode: FilterMode = FilterMode.EXCLUDE
+    sources: tuple[int, ...] = ()
+    pending_report: Optional[object] = None  # netsim Event
+
+
+class IgmpHostAgent(ProtocolAgent):
+    """Host-side IGMP.
+
+    ``version=2`` gives suppression semantics; ``version=3`` adds source
+    filters and disables suppression.
+    """
+
+    def __init__(self, node: Node, version: int = 2) -> None:
+        super().__init__(node)
+        if version not in (2, 3):
+            raise ProtocolError(f"unsupported IGMP version {version}")
+        self.version = version
+        self.memberships: dict[int, _HostGroupState] = {}
+        self.reports_sent = 0
+        self.reports_suppressed = 0
+
+    # -- application API ---------------------------------------------------
+
+    def join(
+        self,
+        group: int,
+        filter_mode: FilterMode = FilterMode.EXCLUDE,
+        sources: tuple[int, ...] = (),
+    ) -> None:
+        """Join ``group``; v3 callers may supply a source filter.
+
+        ``EXCLUDE ()`` is "receive from anyone" (classic join);
+        ``INCLUDE (S,...)`` is a source-specific subscription — the
+        IGMPv3 feature §7.1 contrasts with EXPRESS's single source.
+        """
+        if not is_class_d(group):
+            raise ProtocolError(f"{group:#x} is not a multicast group")
+        if self.version == 2 and (sources or filter_mode is FilterMode.INCLUDE):
+            raise ProtocolError("source filters need IGMP version 3")
+        self.memberships[group] = _HostGroupState(filter_mode=filter_mode, sources=sources)
+        self._send_report(group)
+
+    def leave(self, group: int) -> None:
+        state = self.memberships.pop(group, None)
+        if state is None:
+            return
+        if state.pending_report is not None:
+            state.pending_report.cancel()
+        if self.version == 2:
+            self._send(IgmpMessage(IgmpType.V2_LEAVE, group=group))
+        else:
+            # v3 expresses leave as a state change to INCLUDE ().
+            self._send(
+                IgmpMessage(
+                    IgmpType.V3_REPORT,
+                    group=group,
+                    filter_mode=FilterMode.INCLUDE,
+                    sources=(),
+                )
+            )
+
+    def is_member(self, group: int) -> bool:
+        return group in self.memberships
+
+    # -- protocol ------------------------------------------------------------
+
+    def handle_packet(self, packet: Packet, ifindex: int) -> None:
+        message = packet.headers.get("igmp")
+        if not isinstance(message, IgmpMessage):
+            return
+        if message.igmp_type is IgmpType.MEMBERSHIP_QUERY:
+            self._handle_query(message)
+        elif message.igmp_type is IgmpType.V2_REPORT and self.version == 2:
+            self._handle_overheard_report(message)
+
+    def _handle_query(self, message: IgmpMessage) -> None:
+        groups = list(self.memberships) if message.group == 0 else [message.group]
+        for group in groups:
+            state = self.memberships.get(group)
+            if state is None or state.pending_report is not None:
+                continue
+            delay = self.sim.rng.uniform(0, message.max_response_time)
+            state.pending_report = self.sim.schedule(
+                delay, lambda g=group: self._report_fired(g), name="igmp-report"
+            )
+
+    def _handle_overheard_report(self, message: IgmpMessage) -> None:
+        """v2 suppression: cancel our pending report if another member
+        of the group reported first."""
+        state = self.memberships.get(message.group)
+        if state is not None and state.pending_report is not None:
+            state.pending_report.cancel()
+            state.pending_report = None
+            self.reports_suppressed += 1
+
+    def _report_fired(self, group: int) -> None:
+        state = self.memberships.get(group)
+        if state is None:
+            return
+        state.pending_report = None
+        self._send_report(group)
+
+    def _send_report(self, group: int) -> None:
+        state = self.memberships.get(group)
+        if state is None:
+            return
+        if self.version == 2:
+            message = IgmpMessage(IgmpType.V2_REPORT, group=group)
+        else:
+            message = IgmpMessage(
+                IgmpType.V3_REPORT,
+                group=group,
+                filter_mode=state.filter_mode,
+                sources=state.sources,
+            )
+        self.reports_sent += 1
+        self._send(message)
+
+    def _send(self, message: IgmpMessage) -> None:
+        packet = Packet(
+            src=self.node.address,
+            dst=message.group,
+            proto=PROTO_IGMP,
+            size=20 + message.wire_size(),
+            created_at=self.sim.now,
+        )
+        packet.headers["igmp"] = message
+        for iface in self.node.interfaces:
+            self.node.send(packet.copy(), iface.index)
+
+
+@dataclass
+class _RouterGroupState:
+    """Per-group membership state on the querier."""
+
+    expires_at: float = 0.0
+    filter_mode: FilterMode = FilterMode.EXCLUDE
+    include_sources: set[int] = field(default_factory=set)
+    exclude_sources: set[int] = field(default_factory=set)
+    last_member_query_pending: bool = False
+
+
+class IgmpRouterAgent(ProtocolAgent):
+    """Querier-side IGMP on a LAN gateway.
+
+    Tracks group membership per LAN (the whole node is treated as one
+    LAN), reflects reports to the other host ports to emulate the
+    shared medium, and runs leave-latency re-queries.
+    """
+
+    def __init__(self, node: Node, version: int = 2) -> None:
+        super().__init__(node)
+        self.version = version
+        self.groups: dict[int, _RouterGroupState] = {}
+        self.queries_sent = 0
+        self.reports_received = 0
+        self._query_task: Optional[PeriodicTask] = None
+
+    def start(self) -> None:
+        self._query_task = PeriodicTask(
+            self.sim, QUERY_INTERVAL, self._general_query, name="igmp-query"
+        )
+        self._query_task.start()
+        # Fire an initial query promptly so membership converges fast.
+        self.sim.schedule(0.0, self._general_query, name="igmp-query0")
+
+    def stop(self) -> None:
+        if self._query_task is not None:
+            self._query_task.stop()
+
+    def has_members(self, group: int) -> bool:
+        state = self.groups.get(group)
+        return state is not None and state.expires_at > self.sim.now
+
+    def member_sources(self, group: int) -> tuple[FilterMode, set[int]]:
+        """The merged v3 filter state for ``group``."""
+        state = self.groups.get(group)
+        if state is None:
+            return (FilterMode.INCLUDE, set())
+        if state.filter_mode is FilterMode.EXCLUDE:
+            return (FilterMode.EXCLUDE, set(state.exclude_sources))
+        return (FilterMode.INCLUDE, set(state.include_sources))
+
+    def handle_packet(self, packet: Packet, ifindex: int) -> None:
+        message = packet.headers.get("igmp")
+        if not isinstance(message, IgmpMessage):
+            return
+        if message.igmp_type in (IgmpType.V2_REPORT, IgmpType.V3_REPORT):
+            self.reports_received += 1
+            self._merge_report(message)
+            if self.version == 2 and message.igmp_type is IgmpType.V2_REPORT:
+                self._reflect(packet, ifindex)
+        elif message.igmp_type is IgmpType.V2_LEAVE:
+            self._handle_leave(message)
+
+    def _merge_report(self, message: IgmpMessage) -> None:
+        fresh = message.group not in self.groups
+        state = self.groups.setdefault(message.group, _RouterGroupState())
+        state.expires_at = self.sim.now + GROUP_MEMBERSHIP_INTERVAL
+        if message.igmp_type is IgmpType.V3_REPORT:
+            if fresh:
+                # A new group adopts the first report's filter verbatim.
+                state.filter_mode = message.filter_mode or FilterMode.EXCLUDE
+                if state.filter_mode is FilterMode.INCLUDE:
+                    state.include_sources = set(message.sources)
+                else:
+                    state.exclude_sources = set(message.sources)
+                if message.filter_mode is FilterMode.INCLUDE and not message.sources:
+                    del self.groups[message.group]
+                return
+            if message.filter_mode is FilterMode.INCLUDE:
+                if not message.sources:
+                    # INCLUDE () == leave; handled via expiry re-query.
+                    self._handle_leave(message)
+                    return
+                if state.filter_mode is FilterMode.INCLUDE:
+                    state.include_sources.update(message.sources)
+                else:
+                    state.exclude_sources.difference_update(message.sources)
+            else:
+                # Any EXCLUDE report forces the group to EXCLUDE mode; the
+                # merged exclude list is the intersection (v3 merge rule).
+                if state.filter_mode is FilterMode.EXCLUDE:
+                    state.exclude_sources.intersection_update(message.sources)
+                else:
+                    state.filter_mode = FilterMode.EXCLUDE
+                    state.exclude_sources = set(message.sources)
+
+    def _handle_leave(self, message: IgmpMessage) -> None:
+        state = self.groups.get(message.group)
+        if state is None or state.last_member_query_pending:
+            return
+        # Group-specific queries; if no report refreshes membership, the
+        # state times out after ROBUSTNESS * last-member interval.
+        state.last_member_query_pending = True
+        state.expires_at = min(
+            state.expires_at,
+            self.sim.now + ROBUSTNESS * LAST_MEMBER_QUERY_INTERVAL,
+        )
+        self._send_query(group=message.group, max_response=LAST_MEMBER_QUERY_INTERVAL)
+        self.sim.schedule(
+            ROBUSTNESS * LAST_MEMBER_QUERY_INTERVAL,
+            lambda g=message.group: self._leave_timeout(g),
+            name="igmp-leave-timeout",
+        )
+
+    def _leave_timeout(self, group: int) -> None:
+        state = self.groups.get(group)
+        if state is None:
+            return
+        state.last_member_query_pending = False
+        if state.expires_at <= self.sim.now:
+            del self.groups[group]
+
+    def _general_query(self) -> None:
+        self._send_query(group=0, max_response=MAX_RESPONSE_TIME)
+        self._expire_groups()
+
+    def _expire_groups(self) -> None:
+        dead = [
+            group
+            for group, state in self.groups.items()
+            if state.expires_at <= self.sim.now and not state.last_member_query_pending
+        ]
+        for group in dead:
+            del self.groups[group]
+
+    def _send_query(self, group: int, max_response: float) -> None:
+        message = IgmpMessage(
+            IgmpType.MEMBERSHIP_QUERY, group=group, max_response_time=max_response
+        )
+        packet = Packet(
+            src=self.node.address,
+            dst=group or 0xE0000001,  # all-systems group for general queries
+            proto=PROTO_IGMP,
+            size=20 + message.wire_size(),
+            created_at=self.sim.now,
+        )
+        packet.headers["igmp"] = message
+        self.queries_sent += 1
+        for iface in self.node.interfaces:
+            self.node.send(packet.copy(), iface.index)
+
+    def _reflect(self, packet: Packet, from_ifindex: int) -> None:
+        """Emulate the shared LAN: let other hosts overhear the report."""
+        for iface in self.node.interfaces:
+            if iface.index != from_ifindex:
+                self.node.send(packet.copy(), iface.index)

@@ -1,0 +1,31 @@
+"""Deterministic discrete-event network simulator substrate.
+
+The paper's experiments run on real hosts and on the authors' own
+simulator; this package provides the equivalent substrate: a seeded,
+single-threaded event loop (:class:`~repro.netsim.engine.Simulator`),
+nodes that host protocol agents, links with delay/bandwidth/loss, and a
+topology layer with the generators used by the benchmarks (balanced
+trees, stars, lines, random graphs, two-level ISP-like graphs).
+"""
+
+from repro.netsim.engine import Event, Simulator
+from repro.netsim.link import Link
+from repro.netsim.node import Interface, Node, ProtocolAgent
+from repro.netsim.packet import Packet
+from repro.netsim.topology import Topology, TopologyBuilder
+from repro.netsim.trace import Counter, PacketTrace, TraceRecord
+
+__all__ = [
+    "Counter",
+    "Event",
+    "Interface",
+    "Link",
+    "Node",
+    "Packet",
+    "PacketTrace",
+    "ProtocolAgent",
+    "Simulator",
+    "Topology",
+    "TopologyBuilder",
+    "TraceRecord",
+]

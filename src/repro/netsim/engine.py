@@ -1,0 +1,212 @@
+"""Discrete-event simulation engine.
+
+A deterministic, single-threaded event loop. Events are ordered by
+``(time, sequence)`` where ``sequence`` is a monotonically increasing
+insertion counter, so simultaneous events fire in schedule order and
+every run with the same seed and schedule is bit-for-bit reproducible.
+"""
+
+from __future__ import annotations
+
+import heapq
+import random
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+from repro.errors import SimulationError
+
+
+@dataclass(order=True)
+class Event:
+    """A scheduled callback.
+
+    Events compare by ``(time, seq)`` so the heap is deterministic.
+    Cancelled events stay in the heap but are skipped when popped.
+    """
+
+    time: float
+    seq: int
+    action: Callable[[], None] = field(compare=False)
+    name: str = field(compare=False, default="")
+    cancelled: bool = field(compare=False, default=False)
+
+    def cancel(self) -> None:
+        """Mark the event so the engine skips it when it comes due."""
+        self.cancelled = True
+
+
+class Simulator:
+    """A seeded discrete-event simulator.
+
+    Parameters
+    ----------
+    seed:
+        Seed for the simulator's private :class:`random.Random`. All
+        stochastic substrate behaviour (link loss, jitter, workload
+        generators that accept a simulator) draws from this generator,
+        which makes whole-system runs reproducible.
+    """
+
+    def __init__(self, seed: int = 0) -> None:
+        self._now = 0.0
+        self._seq = 0
+        self._queue: list[Event] = []
+        self._running = False
+        self.rng = random.Random(seed)
+        self.events_processed = 0
+
+    @property
+    def now(self) -> float:
+        """Current simulated time in seconds."""
+        return self._now
+
+    def schedule(
+        self,
+        delay: float,
+        action: Callable[[], None],
+        name: str = "",
+    ) -> Event:
+        """Schedule ``action`` to run ``delay`` seconds from now.
+
+        Returns the :class:`Event`, which can be cancelled.
+        """
+        if delay < 0:
+            raise SimulationError(f"cannot schedule in the past (delay={delay})")
+        self._seq += 1
+        event = Event(time=self._now + delay, seq=self._seq, action=action, name=name)
+        heapq.heappush(self._queue, event)
+        return event
+
+    def schedule_at(
+        self,
+        time: float,
+        action: Callable[[], None],
+        name: str = "",
+    ) -> Event:
+        """Schedule ``action`` at absolute simulated time ``time``."""
+        return self.schedule(time - self._now, action, name=name)
+
+    def peek_time(self) -> Optional[float]:
+        """Time of the next pending (non-cancelled) event, or None."""
+        while self._queue and self._queue[0].cancelled:
+            heapq.heappop(self._queue)
+        if not self._queue:
+            return None
+        return self._queue[0].time
+
+    def step(self) -> bool:
+        """Run the single next event. Returns False if none remain."""
+        while self._queue:
+            event = heapq.heappop(self._queue)
+            if event.cancelled:
+                continue
+            self._now = event.time
+            self.events_processed += 1
+            event.action()
+            return True
+        return False
+
+    def run(self, until: Optional[float] = None, max_events: Optional[int] = None) -> int:
+        """Run events until the queue drains, ``until`` passes, or
+        ``max_events`` have fired. Returns the number of events run.
+
+        ``until`` is inclusive: an event scheduled exactly at ``until``
+        runs, and the clock is advanced to ``until`` afterwards even if
+        no event lands exactly there.
+        """
+        if self._running:
+            raise SimulationError("simulator is not reentrant")
+        self._running = True
+        ran = 0
+        try:
+            while True:
+                if max_events is not None and ran >= max_events:
+                    break
+                next_time = self.peek_time()
+                if next_time is None:
+                    break
+                if until is not None and next_time > until:
+                    break
+                self.step()
+                ran += 1
+        finally:
+            self._running = False
+        if until is not None and self._now < until:
+            self._now = until
+        return ran
+
+    def pending(self) -> int:
+        """Number of live (non-cancelled) events in the queue."""
+        return sum(1 for event in self._queue if not event.cancelled)
+
+
+class PeriodicTask:
+    """A repeating task bound to a simulator.
+
+    Used for protocol timers (IGMP/ECMP periodic queries, keepalives).
+    The task reschedules itself after each firing until stopped. The
+    first firing happens ``interval`` seconds after :meth:`start`
+    (optionally jittered to avoid global synchronization, per RFC-style
+    timer advice).
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        interval: float,
+        action: Callable[[], None],
+        name: str = "",
+        jitter: float = 0.0,
+    ) -> None:
+        if interval <= 0:
+            raise SimulationError(f"periodic interval must be positive, got {interval}")
+        self._sim = sim
+        self._interval = interval
+        self._action = action
+        self._name = name
+        self._jitter = jitter
+        self._event: Optional[Event] = None
+        self._stopped = True
+
+    @property
+    def running(self) -> bool:
+        return not self._stopped
+
+    def start(self) -> None:
+        if not self._stopped:
+            return
+        self._stopped = False
+        self._schedule_next()
+
+    def stop(self) -> None:
+        self._stopped = True
+        if self._event is not None:
+            self._event.cancel()
+            self._event = None
+
+    def _schedule_next(self) -> None:
+        delay = self._interval
+        if self._jitter:
+            delay += self._sim.rng.uniform(-self._jitter, self._jitter)
+            delay = max(delay, 1e-9)
+        self._event = self._sim.schedule(delay, self._fire, name=self._name)
+
+    def _fire(self) -> None:
+        if self._stopped:
+            return
+        self._action()
+        if not self._stopped:
+            self._schedule_next()
+
+
+def call_repeatedly(
+    sim: Simulator,
+    interval: float,
+    action: Callable[[], None],
+    name: str = "",
+    jitter: float = 0.0,
+) -> PeriodicTask:
+    """Convenience: create and start a :class:`PeriodicTask`."""
+    task = PeriodicTask(sim, interval, action, name=name, jitter=jitter)
+    task.start()
+    return task

@@ -1,0 +1,115 @@
+"""Point-to-point links with delay, bandwidth, loss, and failure.
+
+Delivery time is ``propagation delay + size / bandwidth``; loss is an
+independent Bernoulli draw per packet from the simulator's seeded RNG,
+so runs are reproducible. Links can be taken down and brought back up,
+which notifies both endpoint nodes (used by the topology-change and
+TCP-mode-failure experiments).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.errors import TopologyError
+from repro.netsim.packet import Packet
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.netsim.engine import Simulator
+    from repro.netsim.node import Interface, Node
+
+#: Default link bandwidth: 100 Mbit/s, the paper's "each low-cost PC
+#: today is capable of forwarding data at a rate in excess of 100 Mbps".
+DEFAULT_BANDWIDTH = 100e6 / 8
+
+
+class Link:
+    """A bidirectional point-to-point link between two interfaces."""
+
+    def __init__(
+        self,
+        sim: "Simulator",
+        iface_a: "Interface",
+        iface_b: "Interface",
+        delay: float = 0.001,
+        bandwidth: float = DEFAULT_BANDWIDTH,
+        loss: float = 0.0,
+    ) -> None:
+        if delay < 0:
+            raise TopologyError(f"link delay must be >= 0, got {delay}")
+        if bandwidth <= 0:
+            raise TopologyError(f"link bandwidth must be > 0, got {bandwidth}")
+        if not 0.0 <= loss < 1.0:
+            raise TopologyError(f"link loss must be in [0, 1), got {loss}")
+        self.sim = sim
+        self.iface_a = iface_a
+        self.iface_b = iface_b
+        self.delay = delay
+        self.bandwidth = bandwidth
+        self.loss = loss
+        self.up = True
+        self.tx_packets = 0
+        self.lost_packets = 0
+        iface_a.link = self
+        iface_b.link = self
+
+    @property
+    def node_a(self) -> "Node":
+        return self.iface_a.node
+
+    @property
+    def node_b(self) -> "Node":
+        return self.iface_b.node
+
+    def other_end(self, node: "Node") -> "Node":
+        if node is self.node_a:
+            return self.node_b
+        if node is self.node_b:
+            return self.node_a
+        raise TopologyError(f"{node.name} is not attached to this link")
+
+    def interface_of(self, node: "Node") -> "Interface":
+        if node is self.node_a:
+            return self.iface_a
+        if node is self.node_b:
+            return self.iface_b
+        raise TopologyError(f"{node.name} is not attached to this link")
+
+    def transmit(self, sender: "Node", packet: Packet) -> None:
+        """Move ``packet`` from ``sender`` toward the other end."""
+        if not self.up:
+            return
+        self.tx_packets += 1
+        # TCP-mode control traffic is marked reliable: retransmission
+        # hides loss, so the loss draw is skipped (delay still applies).
+        reliable = bool(packet.headers.get("reliable"))
+        if self.loss and not reliable and self.sim.rng.random() < self.loss:
+            self.lost_packets += 1
+            return
+        receiver = self.other_end(sender)
+        rx_iface = self.interface_of(receiver)
+        latency = self.delay + packet.size / self.bandwidth
+        delivered = packet  # ownership transfers; callers copy for fanout
+        self.sim.schedule(
+            latency,
+            lambda: receiver.receive(delivered, rx_iface.index),
+            name=f"deliver:{packet.proto}",
+        )
+
+    def set_up(self, up: bool) -> None:
+        """Change link state, notifying both endpoints on transitions."""
+        if up == self.up:
+            return
+        self.up = up
+        self.node_a.link_changed(self.iface_a.index, up)
+        self.node_b.link_changed(self.iface_b.index, up)
+
+    def fail(self) -> None:
+        self.set_up(False)
+
+    def recover(self) -> None:
+        self.set_up(True)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        state = "up" if self.up else "DOWN"
+        return f"<Link {self.node_a.name}<->{self.node_b.name} {state}>"

@@ -1,0 +1,85 @@
+"""Packet model for the simulator.
+
+A packet carries a stack of headers (dicts or dataclasses from
+``repro.inet``/``repro.core``), an opaque payload, and explicit size
+accounting so the benchmarks can report bandwidth in real bytes even
+though headers travel as Python objects for convenience. Encapsulation
+(IP-in-IP subcast, session-relay tunnelling) pushes a header and wraps
+the inner packet as the payload.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Any
+
+_packet_ids = itertools.count(1)
+
+
+@dataclass
+class Packet:
+    """A simulated datagram.
+
+    Attributes
+    ----------
+    src, dst:
+        IPv4 addresses as integers (see :mod:`repro.inet.addr`).
+    proto:
+        Protocol label, e.g. ``"udp"``, ``"ecmp"``, ``"igmp"``, ``"data"``,
+        ``"ipip"``.
+    payload:
+        Opaque application payload; for encapsulated packets this is the
+        inner :class:`Packet`.
+    size:
+        Wire size in bytes, including all headers. Copies share size
+        unless changed explicitly.
+    ttl:
+        IPv4 time-to-live; decremented per hop, packet dies at zero.
+    headers:
+        Free-form per-layer metadata added by protocol agents.
+    """
+
+    src: int
+    dst: int
+    proto: str = "data"
+    payload: Any = None
+    size: int = 64
+    ttl: int = 64
+    headers: dict = field(default_factory=dict)
+    uid: int = field(default_factory=lambda: next(_packet_ids))
+    created_at: float = 0.0
+
+    def copy(self) -> "Packet":
+        """Per-interface fanout copy. Shares payload, copies metadata."""
+        return Packet(
+            src=self.src,
+            dst=self.dst,
+            proto=self.proto,
+            payload=self.payload,
+            size=self.size,
+            ttl=self.ttl,
+            headers=dict(self.headers),
+            created_at=self.created_at,
+        )
+
+    def encapsulate(self, outer_src: int, outer_dst: int, proto: str = "ipip", overhead: int = 20) -> "Packet":
+        """Wrap this packet in an outer packet (IP-in-IP style)."""
+        return Packet(
+            src=outer_src,
+            dst=outer_dst,
+            proto=proto,
+            payload=self,
+            size=self.size + overhead,
+            ttl=64,
+            created_at=self.created_at,
+        )
+
+    def decapsulate(self) -> "Packet":
+        """Return the inner packet of an encapsulated one."""
+        if not isinstance(self.payload, Packet):
+            raise ValueError("packet is not encapsulated")
+        return self.payload
+
+    def is_encapsulated(self) -> bool:
+        return isinstance(self.payload, Packet)

@@ -1,0 +1,132 @@
+"""Tracing and measurement helpers.
+
+The benchmark harness reports message counts, control bandwidth, and
+delivery latency; these helpers centralize that bookkeeping so the
+protocol code stays clean.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass
+from typing import Iterable, Optional
+
+
+@dataclass
+class TraceRecord:
+    """One observed packet event."""
+
+    time: float
+    node: str
+    direction: str  # "tx" | "rx" | "drop"
+    proto: str
+    size: int
+    detail: str = ""
+
+
+class PacketTrace:
+    """An append-only log of packet events with simple query helpers."""
+
+    def __init__(self) -> None:
+        self.records: list[TraceRecord] = []
+
+    def record(
+        self,
+        time: float,
+        node: str,
+        direction: str,
+        proto: str,
+        size: int,
+        detail: str = "",
+    ) -> None:
+        self.records.append(TraceRecord(time, node, direction, proto, size, detail))
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    def filter(
+        self,
+        node: Optional[str] = None,
+        direction: Optional[str] = None,
+        proto: Optional[str] = None,
+    ) -> list[TraceRecord]:
+        out = []
+        for rec in self.records:
+            if node is not None and rec.node != node:
+                continue
+            if direction is not None and rec.direction != direction:
+                continue
+            if proto is not None and rec.proto != proto:
+                continue
+            out.append(rec)
+        return out
+
+    def total_bytes(self, **kwargs) -> int:
+        return sum(rec.size for rec in self.filter(**kwargs))
+
+    def count(self, **kwargs) -> int:
+        return len(self.filter(**kwargs))
+
+
+class Counter:
+    """A labelled bag of integer counters (``collections.Counter``-like
+    but explicit about what it is used for in reports)."""
+
+    def __init__(self) -> None:
+        self._counts: dict[str, int] = defaultdict(int)
+
+    def incr(self, key: str, amount: int = 1) -> None:
+        self._counts[key] += amount
+
+    def get(self, key: str) -> int:
+        return self._counts.get(key, 0)
+
+    def as_dict(self) -> dict[str, int]:
+        return dict(self._counts)
+
+    def __getitem__(self, key: str) -> int:
+        return self.get(key)
+
+    def keys(self) -> Iterable[str]:
+        return self._counts.keys()
+
+
+@dataclass
+class LatencySample:
+    """Delivery latency of one packet from send to receive."""
+
+    sent_at: float
+    received_at: float
+
+    @property
+    def latency(self) -> float:
+        return self.received_at - self.sent_at
+
+
+class LatencyStats:
+    """Accumulates latency samples and reports summary statistics."""
+
+    def __init__(self) -> None:
+        self.samples: list[LatencySample] = []
+
+    def add(self, sent_at: float, received_at: float) -> None:
+        self.samples.append(LatencySample(sent_at, received_at))
+
+    def __len__(self) -> int:
+        return len(self.samples)
+
+    @property
+    def latencies(self) -> list[float]:
+        return [sample.latency for sample in self.samples]
+
+    def mean(self) -> float:
+        lat = self.latencies
+        return sum(lat) / len(lat) if lat else 0.0
+
+    def max(self) -> float:
+        lat = self.latencies
+        return max(lat) if lat else 0.0
+
+    def min(self) -> float:
+        lat = self.latencies
+        return min(lat) if lat else 0.0

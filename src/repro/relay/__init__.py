@@ -1,0 +1,54 @@
+"""Session-relay middleware (§4).
+
+Multi-source applications are built on single-source channels by
+relaying through a *session relay* (SR): "Each SR-based application,
+e.g., conference or lecture, has an associated session relay on an
+application-selected host SR that acts as the source for the EXPRESS
+channel (SR,E) to which each participant in the lecture subscribes."
+
+* :class:`~repro.relay.session.SessionRelay` /
+  :class:`~repro.relay.session.SessionParticipant` — the relay itself
+  and the client side (speak via unicast to the SR, listen on the
+  channel).
+* :class:`~repro.relay.floor.FloorControl` — §4.2's "intelligent
+  audience microphone": one speaker at a time, per-member question
+  limits.
+* :class:`~repro.relay.standby.StandbyCoordinator` — §4.2's hot/cold
+  standby SRs with application-controlled failover.
+* :class:`~repro.relay.reliable.ReliableRelay` — §4.2's
+  sequence-numbered relaying with NACK collection over the ECMP
+  counting machinery.
+* :func:`~repro.relay.session.direct_channel_switchover` — §4.1's
+  alternative: a long-talking secondary source moves to its own
+  channel, announced through the SR.
+"""
+
+from repro.relay.directory import DirectoryListener, SessionAnnouncement, SessionDirectory
+from repro.relay.floor import FloorControl, FloorDecision
+from repro.relay.reliable import ReliableReceiver, ReliableRelay
+from repro.relay.session import (
+    RelayMessage,
+    SessionParticipant,
+    SessionRelay,
+    direct_channel_switchover,
+)
+from repro.relay.rtcp import ReceptionMonitor, SessionQuality
+from repro.relay.standby import StandbyCoordinator, StandbyMode
+
+__all__ = [
+    "DirectoryListener",
+    "FloorControl",
+    "FloorDecision",
+    "RelayMessage",
+    "ReceptionMonitor",
+    "ReliableReceiver",
+    "ReliableRelay",
+    "SessionAnnouncement",
+    "SessionDirectory",
+    "SessionQuality",
+    "SessionParticipant",
+    "SessionRelay",
+    "StandbyCoordinator",
+    "StandbyMode",
+    "direct_channel_switchover",
+]

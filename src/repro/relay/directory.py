@@ -1,0 +1,122 @@
+"""Session advertisement over a "push" EXPRESS channel (§4.1).
+
+"The session relay channel address (SR,E) can be provided along with
+publishing or advertising the time, date and topic of the event. Event
+advertisement can use web page, a 'push' EXPRESS channel from one or
+more directory services, email, or other means."
+
+:class:`SessionDirectory` is such a directory service: it owns one
+well-known EXPRESS channel and pushes :class:`SessionAnnouncement`
+records over it; :class:`DirectoryListener` subscribes and accumulates
+the catalogue, from which an application can join a session's channel
+directly. (This is the EXPRESS replacement for sdr/SAP-style session
+announcement on a shared multicast group.)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+from repro.core.channel import Channel
+from repro.core.network import ExpressNetwork, SourceHandle
+from repro.errors import RelayError
+from repro.netsim.engine import PeriodicTask
+from repro.netsim.packet import Packet
+
+#: Simulated wire size of one announcement record.
+ANNOUNCEMENT_BYTES = 196
+
+
+@dataclass(frozen=True)
+class SessionAnnouncement:
+    """One advertised event: the (SR, E) pair plus human metadata."""
+
+    name: str
+    channel: Channel
+    starts_at: float
+    topic: str = ""
+    #: True for restricted sessions (key distributed out of band).
+    authenticated: bool = False
+
+
+class SessionDirectory:
+    """A directory service pushing announcements on its own channel."""
+
+    def __init__(
+        self,
+        net: ExpressNetwork,
+        host: str,
+        readvertise_interval: Optional[float] = 60.0,
+    ) -> None:
+        self.net = net
+        self.handle: SourceHandle = net.source(host)
+        self.channel = self.handle.allocate_channel()
+        self.catalogue: dict[str, SessionAnnouncement] = {}
+        self.announcements_sent = 0
+        self._task: Optional[PeriodicTask] = None
+        if readvertise_interval is not None:
+            self._task = PeriodicTask(
+                net.sim, readvertise_interval, self._readvertise, name="directory"
+            )
+            self._task.start()
+
+    def announce(self, announcement: SessionAnnouncement) -> None:
+        """Publish (and keep re-advertising) one event."""
+        if announcement.name in self.catalogue:
+            raise RelayError(f"session {announcement.name!r} already announced")
+        self.catalogue[announcement.name] = announcement
+        self._push(announcement)
+
+    def withdraw(self, name: str) -> None:
+        self.catalogue.pop(name, None)
+
+    def stop(self) -> None:
+        if self._task is not None:
+            self._task.stop()
+
+    def _readvertise(self) -> None:
+        """Late joiners catch the periodic refresh."""
+        for announcement in self.catalogue.values():
+            self._push(announcement)
+
+    def _push(self, announcement: SessionAnnouncement) -> None:
+        self.announcements_sent += 1
+        self.handle.send(self.channel, payload=announcement, size=ANNOUNCEMENT_BYTES)
+
+
+class DirectoryListener:
+    """A host subscribed to a directory's push channel."""
+
+    def __init__(
+        self,
+        net: ExpressNetwork,
+        host: str,
+        directory_channel: Channel,
+        on_announcement: Optional[Callable[[SessionAnnouncement], None]] = None,
+    ) -> None:
+        self.net = net
+        self.handle = net.host(host)
+        self.known: dict[str, SessionAnnouncement] = {}
+        self.on_announcement = on_announcement
+        self.handle.subscribe(directory_channel, on_data=self._on_push)
+
+    def _on_push(self, packet: Packet) -> None:
+        announcement = packet.payload
+        if not isinstance(announcement, SessionAnnouncement):
+            return
+        fresh = announcement.name not in self.known
+        self.known[announcement.name] = announcement
+        if fresh and self.on_announcement is not None:
+            self.on_announcement(announcement)
+
+    def lookup(self, name: str) -> SessionAnnouncement:
+        try:
+            return self.known[name]
+        except KeyError:
+            raise RelayError(f"no announcement for {name!r}") from None
+
+    def join_session(self, name: str, key=None, on_data=None):
+        """Subscribe to an advertised session's channel."""
+        announcement = self.lookup(name)
+        return self.handle.subscribe(announcement.channel, key=key, on_data=on_data)

@@ -1,0 +1,118 @@
+"""Floor control — the SR as an "intelligent audience microphone" (§4.2).
+
+"The SR can supply 'floor control' when relaying data to the session,
+... accepting unicast input from authorized audience members, assigning
+the floor to the next speaker, and then forwarding its traffic to this
+session. In particular, in a lecture, the SR can ensure that one
+question is transmitted to the audience at a time, that the answer
+immediately follows the question, and that no member disrupts the
+session with excessive questions."
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from enum import Enum
+from typing import Optional
+
+from repro.errors import RelayError
+
+
+class FloorDecision(Enum):
+    """Outcome of a floor request."""
+
+    GRANTED = "granted"
+    QUEUED = "queued"
+    DENIED = "denied"
+
+
+@dataclass
+class FloorStats:
+    grants: int = 0
+    denials: int = 0
+    queued: int = 0
+
+
+class FloorControl:
+    """One-speaker-at-a-time floor arbitration with per-member limits.
+
+    Parameters
+    ----------
+    moderator:
+        The member who always holds implicit speaking rights (the
+        lecturer); their traffic relays without holding the floor.
+    max_questions:
+        Per-member grant budget; further requests are denied ("no
+        member disrupts the session with excessive questions").
+    authorized:
+        If given, only these members may request the floor at all.
+    """
+
+    def __init__(
+        self,
+        moderator: Optional[str] = None,
+        max_questions: Optional[int] = None,
+        authorized: Optional[set] = None,
+    ) -> None:
+        self.moderator = moderator
+        self.max_questions = max_questions
+        self.authorized = set(authorized) if authorized is not None else None
+        self.holder: Optional[str] = None
+        self.queue: deque[str] = deque()
+        self.grants_given: dict[str, int] = {}
+        self.stats = FloorStats()
+
+    def may_speak(self, member: str) -> bool:
+        """Whether the SR should relay this member's traffic now."""
+        return member == self.moderator or member == self.holder
+
+    def request(self, member: str) -> FloorDecision:
+        """Ask for the floor; granted immediately when free."""
+        if self.authorized is not None and member not in self.authorized:
+            self.stats.denials += 1
+            return FloorDecision.DENIED
+        if (
+            self.max_questions is not None
+            and self.grants_given.get(member, 0) >= self.max_questions
+        ):
+            self.stats.denials += 1
+            return FloorDecision.DENIED
+        if member == self.holder or member in self.queue:
+            return FloorDecision.QUEUED
+        if self.holder is None:
+            self._grant(member)
+            return FloorDecision.GRANTED
+        self.queue.append(member)
+        self.stats.queued += 1
+        return FloorDecision.QUEUED
+
+    def release(self, member: str) -> Optional[str]:
+        """Give up the floor; returns the next holder, if any."""
+        if member != self.holder:
+            if member in self.queue:
+                self.queue.remove(member)
+                return None
+            raise RelayError(f"{member} does not hold the floor")
+        self.holder = None
+        while self.queue:
+            nxt = self.queue.popleft()
+            if (
+                self.max_questions is None
+                or self.grants_given.get(nxt, 0) < self.max_questions
+            ):
+                self._grant(nxt)
+                return nxt
+        return None
+
+    def revoke(self) -> Optional[str]:
+        """Moderator action: take the floor away from its holder."""
+        if self.holder is None:
+            return None
+        holder, self.holder = self.holder, None
+        return holder
+
+    def _grant(self, member: str) -> None:
+        self.holder = member
+        self.grants_given[member] = self.grants_given.get(member, 0) + 1
+        self.stats.grants += 1

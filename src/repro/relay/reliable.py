@@ -1,0 +1,146 @@
+"""Reliable relaying: sequence numbers + NACK counting (§4.2, §2.2.1).
+
+"The SR can add sequence numbers to relayed packets, as required in
+reliable multicast protocols. The SR establishes this reliable
+communication with all receivers, allowing a secondary (relaying)
+source to take advantage of this shared reliable channel" — and the
+counting machinery "can be used to efficiently collect positive
+acknowledgements or negative acknowledgments to determine how many
+subscribers missed a particular packet" (§2.2.1).
+
+Protocol: the SR keeps a retransmission buffer of everything it emitted
+with a sequence number. To check on packet ``n`` it multicasts a
+``probe`` control message naming ``n``, then issues a CountQuery for
+the reserved NACK countId; each receiver's registered responder answers
+1 if it is missing ``n``. A nonzero count triggers a re-multicast of
+the buffered packet.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Optional
+
+from repro.core.counting import QueryResult
+from repro.core.ecmp.countids import APPLICATION_RANGE
+from repro.core.network import ExpressNetwork
+from repro.errors import RelayError
+from repro.relay.session import RelayMessage, SessionParticipant, SessionRelay
+
+#: Application countId used for NACK collection.
+NACK_COUNT_ID = APPLICATION_RANGE.start + 1
+
+
+@dataclass
+class BufferedPacket:
+    seq: int
+    body: Any
+    size: int
+    retransmissions: int = 0
+
+
+class ReliableRelay:
+    """Reliability layer over a :class:`SessionRelay`."""
+
+    def __init__(self, relay: SessionRelay, buffer_limit: int = 1024) -> None:
+        self.relay = relay
+        self.net: ExpressNetwork = relay.net
+        self.buffer_limit = buffer_limit
+        self.buffer: dict[int, BufferedPacket] = {}
+        self.probes_sent = 0
+        self.retransmissions = 0
+
+    def send(self, body: Any, size: int = 1356) -> tuple[int, int]:
+        """Emit a sequenced talk packet, retaining it for repair.
+
+        Returns ``(seq, fanout)``.
+        """
+        fanout = self.relay.emit("talk", self.relay.sr_host, body, size=size)
+        seq = self.relay.last_emitted_seq
+        self.buffer[seq] = BufferedPacket(seq=seq, body=body, size=size)
+        while len(self.buffer) > self.buffer_limit:
+            self.buffer.pop(min(self.buffer))
+        return seq, fanout
+
+    #: Head start the probe gets before the CountQuery chases it down
+    #: the tree (the probe is a larger data packet, so it is slower per
+    #: hop than the 16-byte query).
+    PROBE_LEAD = 0.25
+
+    def check_packet(
+        self, seq: int, timeout: float = 5.0, repair: bool = True
+    ) -> QueryResult:
+        """Probe for packet ``seq`` and count NACKs via ECMP; if
+        ``repair``, re-multicast the buffered packet when any subscriber
+        reports it missing.
+
+        The returned :class:`QueryResult` resolves after the probe
+        lead time plus the query ``timeout``.
+        """
+        if seq not in self.buffer:
+            raise RelayError(f"sequence {seq} is no longer buffered")
+        self.relay.emit("probe", self.relay.sr_host, body=seq, size=64)
+        self.probes_sent += 1
+
+        outer = QueryResult()
+
+        def run_query() -> None:
+            inner = self.relay.handle.count_query(
+                self.relay.channel, NACK_COUNT_ID, timeout=timeout
+            )
+
+            def settle(res: QueryResult) -> None:
+                if repair and res.count and res.count > 0:
+                    self.retransmit(seq)
+                outer._resolve(res.count or 0, res.partial, self.net.sim.now)
+
+            inner.on_done(settle)
+
+        self.net.sim.schedule(self.PROBE_LEAD, run_query, name="nack-query")
+        return outer
+
+    def retransmit(self, seq: int) -> None:
+        packet = self.buffer.get(seq)
+        if packet is None:
+            raise RelayError(f"sequence {seq} is no longer buffered")
+        packet.retransmissions += 1
+        self.retransmissions += 1
+        self.relay.emit("repair", self.relay.sr_host, body=(seq, packet.body), size=packet.size)
+
+
+class ReliableReceiver:
+    """Receiver-side gap tracking for a :class:`SessionParticipant`."""
+
+    def __init__(self, participant: SessionParticipant) -> None:
+        self.participant = participant
+        self.received_seqs: set[int] = set()
+        self.highest_seen = 0
+        self.probe_seq: Optional[int] = None
+        participant.on_message = self._on_message
+        participant.handle.respond_to_count(
+            participant.channel, NACK_COUNT_ID, self._nack_response
+        )
+
+    def _on_message(self, message: RelayMessage) -> None:
+        if message.kind == "talk":
+            self.received_seqs.add(message.seq)
+            self.highest_seen = max(self.highest_seen, message.seq)
+        elif message.kind == "probe":
+            self.probe_seq = int(message.body)
+            self.highest_seen = max(self.highest_seen, self.probe_seq)
+        elif message.kind == "repair":
+            seq, _body = message.body
+            self.received_seqs.add(seq)
+
+    def _nack_response(self) -> int:
+        """1 if the probed sequence number is missing here."""
+        if self.probe_seq is None:
+            return 0
+        return 0 if self.probe_seq in self.received_seqs else 1
+
+    def missing(self) -> set[int]:
+        return {
+            seq
+            for seq in range(1, self.highest_seen + 1)
+            if seq not in self.received_seqs
+        }

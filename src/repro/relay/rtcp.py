@@ -1,0 +1,139 @@
+"""RTCP-style session statistics over ECMP counting (§4.5).
+
+"RTCP, a session management protocol, is used by many existing
+applications to measure group reception quality and other session-wide
+attributes, and it depends on multi-sender multicast to limit the
+overall rate of RTCP traffic. ... many uses of RTCP, such as measuring
+group size and average loss rate, are readily implemented with the
+CountQuery mechanism. If desired, the SR can also perform
+application-specific summarization of reports to inform receivers of
+session-wide values (like loss rates)."
+
+:class:`ReceptionMonitor` is that adaptation: each receiver registers
+three count responders — membership (1), total packets lost (its gap
+count), and a high-loss indicator — and the session's source-side
+:class:`SessionQuality` aggregates them with three CountQueries instead
+of per-receiver RTCP receiver reports.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.core.ecmp.countids import APPLICATION_RANGE
+from repro.errors import RelayError
+from repro.relay.reliable import ReliableReceiver
+from repro.relay.session import SessionParticipant, SessionRelay
+
+#: Application countIds used by the RTCP adaptation.
+MEMBER_COUNT_ID = APPLICATION_RANGE.start + 0x10
+TOTAL_LOST_ID = APPLICATION_RANGE.start + 0x11
+HIGH_LOSS_ID = APPLICATION_RANGE.start + 0x12
+
+
+class ReceptionMonitor:
+    """Receiver-side reception statistics, published via counting.
+
+    Wraps a :class:`ReliableReceiver` (which tracks sequence gaps) and
+    registers the three responders. ``high_loss_threshold`` is the loss
+    *fraction* above which this receiver counts itself as high-loss.
+    """
+
+    def __init__(
+        self,
+        participant: SessionParticipant,
+        high_loss_threshold: float = 0.05,
+    ) -> None:
+        if not 0 <= high_loss_threshold <= 1:
+            raise RelayError("high-loss threshold must be in [0, 1]")
+        self.participant = participant
+        self.threshold = high_loss_threshold
+        self.receiver = ReliableReceiver(participant)
+        handle = participant.handle
+        handle.respond_to_count(participant.channel, MEMBER_COUNT_ID, lambda: 1)
+        handle.respond_to_count(participant.channel, TOTAL_LOST_ID, self.lost_packets)
+        handle.respond_to_count(participant.channel, HIGH_LOSS_ID, self._high_loss)
+
+    def lost_packets(self) -> int:
+        return len(self.receiver.missing())
+
+    def loss_rate(self) -> float:
+        highest = self.receiver.highest_seen
+        if highest == 0:
+            return 0.0
+        return self.lost_packets() / highest
+
+    def _high_loss(self) -> int:
+        return 1 if self.loss_rate() > self.threshold else 0
+
+
+@dataclass
+class QualityReport:
+    """Session-wide reception quality, RTCP-style."""
+
+    group_size: int
+    total_lost: int
+    high_loss_receivers: int
+    packets_sent: int
+
+    @property
+    def mean_lost_per_receiver(self) -> float:
+        if self.group_size == 0:
+            return 0.0
+        return self.total_lost / self.group_size
+
+    @property
+    def mean_loss_rate(self) -> float:
+        if self.group_size == 0 or self.packets_sent == 0:
+            return 0.0
+        return self.total_lost / (self.group_size * self.packets_sent)
+
+
+class SessionQuality:
+    """Source/SR-side aggregation: three CountQueries replace N
+    receiver reports."""
+
+    def __init__(self, relay: SessionRelay) -> None:
+        self.relay = relay
+        self.net = relay.net
+        self.last_report: Optional[QualityReport] = None
+
+    def collect(self, timeout: float = 5.0) -> "QualityCollection":
+        """Issue the three queries; resolve into a QualityReport."""
+        handle = self.relay.handle
+        channel = self.relay.channel
+        collection = QualityCollection(self, packets_sent=self.relay.relayed)
+        handle.count_query(channel, MEMBER_COUNT_ID, timeout, collection._take("size"))
+        handle.count_query(channel, TOTAL_LOST_ID, timeout, collection._take("lost"))
+        handle.count_query(channel, HIGH_LOSS_ID, timeout, collection._take("high"))
+        return collection
+
+
+class QualityCollection:
+    """In-flight quality collection; ``report`` is set once all three
+    queries resolve."""
+
+    def __init__(self, quality: SessionQuality, packets_sent: int) -> None:
+        self._quality = quality
+        self._packets_sent = packets_sent
+        self._values: dict[str, int] = {}
+        self.report: Optional[QualityReport] = None
+
+    def _take(self, key: str):
+        def callback(count: int, partial: bool) -> None:
+            self._values[key] = count
+            if len(self._values) == 3:
+                self.report = QualityReport(
+                    group_size=self._values["size"],
+                    total_lost=self._values["lost"],
+                    high_loss_receivers=self._values["high"],
+                    packets_sent=self._packets_sent,
+                )
+                self._quality.last_report = self.report
+
+        return callback
+
+    @property
+    def done(self) -> bool:
+        return self.report is not None

@@ -1,0 +1,147 @@
+"""Hot/cold standby session relays (§4.2).
+
+"An application can select to use additional backup SRs for
+fault-tolerance, controlling their number, placement, and switch-over
+policy. It can also choose between pre-subscribing participants to the
+backup multicast channel for faster fail-over, or only setting up the
+backup channel when the primary one fails, saving on expected channel
+charging, options we refer to as 'hot' and 'cold' standby."
+
+Failure detection is heartbeat-based: the primary SR heartbeats on its
+channel; each participant runs a small monitor that declares the
+primary dead after ``miss_threshold`` missed intervals and switches to
+the backup. HOT standby pre-subscribes to the backup channel (failover
+cost ≈ detection time only, at roughly twice the channel state); COLD
+subscribes at failover (state-lean, slower by one join round-trip).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+from typing import Optional
+
+from repro.core.network import ExpressNetwork
+from repro.errors import RelayError
+from repro.netsim.engine import PeriodicTask
+from repro.relay.session import SessionParticipant, SessionRelay
+
+
+class StandbyMode(Enum):
+    HOT = "hot"
+    COLD = "cold"
+
+
+@dataclass
+class FailoverRecord:
+    """Per-participant failover outcome for the X3 benchmark."""
+
+    participant: str
+    detected_at: float
+    recovered_at: Optional[float] = None
+
+    @property
+    def recovery_time(self) -> Optional[float]:
+        if self.recovered_at is None:
+            return None
+        return self.recovered_at - self.detected_at
+
+
+class StandbyCoordinator:
+    """Manages a primary/backup SR pair for a set of participants."""
+
+    def __init__(
+        self,
+        net: ExpressNetwork,
+        primary: SessionRelay,
+        backup: SessionRelay,
+        mode: StandbyMode = StandbyMode.HOT,
+        heartbeat_interval: float = 1.0,
+        miss_threshold: int = 3,
+    ) -> None:
+        if primary._heartbeat_task is None:
+            raise RelayError("primary relay must heartbeat for failure detection")
+        self.net = net
+        self.primary = primary
+        self.backup = backup
+        self.mode = mode
+        self.heartbeat_interval = heartbeat_interval
+        self.miss_threshold = miss_threshold
+        self.participants: list[SessionParticipant] = []
+        self.failed_over: dict[str, FailoverRecord] = {}
+        self._monitors: list[PeriodicTask] = []
+
+    def enroll(self, participant: SessionParticipant) -> None:
+        """Attach a participant to the failover scheme."""
+        self.participants.append(participant)
+        if self.mode is StandbyMode.HOT:
+            # Pre-subscribe to the backup channel ("hot": faster
+            # fail-over at roughly twice the channel state).
+            participant.handle.subscribe(self.backup.channel, on_data=lambda p: None)
+        monitor = PeriodicTask(
+            self.net.sim,
+            self.heartbeat_interval,
+            lambda p=participant: self._check(p),
+            name="standby-monitor",
+        )
+        monitor.start()
+        self._monitors.append(monitor)
+
+    def standby_state_entries(self) -> int:
+        """FIB entries attributable to the backup channel right now —
+        §4.5's "approximately twice as much" state for hot standby."""
+        total = 0
+        for fib in self.net.fibs.values():
+            if fib.get(self.backup.channel.source, self.backup.channel.group):
+                total += 1
+        return total
+
+    def fail_primary(self) -> None:
+        """Inject a primary SR failure."""
+        self.primary.stop()
+
+    # ------------------------------------------------------------------
+
+    def _check(self, participant: SessionParticipant) -> None:
+        if participant.name in self.failed_over:
+            return
+        last = participant.last_heartbeat_at
+        if last is None:
+            return  # never synced yet; give it a full window
+        deadline = last + self.miss_threshold * self.heartbeat_interval
+        if self.net.sim.now < deadline:
+            return
+        record = FailoverRecord(
+            participant=participant.name, detected_at=self.net.sim.now
+        )
+        self.failed_over[participant.name] = record
+        self._switch(participant, record)
+
+    def _switch(self, participant: SessionParticipant, record: FailoverRecord) -> None:
+        def on_backup_data(packet) -> None:
+            if record.recovered_at is None:
+                record.recovered_at = self.net.sim.now
+
+        handle = participant.handle
+        if self.mode is StandbyMode.HOT:
+            # Already subscribed; just repoint the data sink.
+            sub = handle.ecmp.subscriptions.get(self.backup.channel)
+            if sub is not None:
+                sub.on_data = on_backup_data
+        else:
+            handle.subscribe(self.backup.channel, on_data=on_backup_data)
+        participant.relay_address = self.backup.address
+        participant.channel = self.backup.channel
+        participant.session_id = self.backup.session_id
+
+    def all_recovered(self) -> bool:
+        return bool(self.failed_over) and all(
+            record.recovered_at is not None for record in self.failed_over.values()
+        )
+
+    def recovery_times(self) -> dict[str, float]:
+        return {
+            name: record.recovery_time
+            for name, record in self.failed_over.items()
+            if record.recovery_time is not None
+        }

@@ -1,0 +1,25 @@
+"""Routing substrates.
+
+ECMP's routing component "relies on, and scales with, existing unicast
+topology information" (§3): subscriptions travel hop-by-hop along
+reverse-path-forwarding (RPF) routes toward the source. This package
+provides that unicast substrate (link-state shortest-path routing), the
+RPF helpers, the multicast FIB with the paper's exact 12-byte entry
+format (Figure 5), and control-plane models of the baseline multicast
+protocols the paper compares against (PIM-SM, CBT, DVMRP-style
+flood-and-prune).
+"""
+
+from repro.routing.fib import FIB_ENTRY_BYTES, FibEntry, MulticastFib
+from repro.routing.rpf import rpf_check, rpf_interface, rpf_neighbor
+from repro.routing.unicast import UnicastRouting
+
+__all__ = [
+    "FIB_ENTRY_BYTES",
+    "FibEntry",
+    "MulticastFib",
+    "UnicastRouting",
+    "rpf_check",
+    "rpf_interface",
+    "rpf_neighbor",
+]

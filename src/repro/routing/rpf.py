@@ -1,0 +1,48 @@
+"""Reverse-path-forwarding helpers.
+
+"The routing aspect of ECMP is simple because explicit source
+specification allows reverse-path forwarding (RPF) to be used to route
+subscriptions and unsubscriptions toward the source" (§3). These
+helpers answer the two questions the protocol machinery asks:
+
+* which neighbor/interface is *upstream* toward a channel source, and
+* does an arriving data packet pass the incoming-interface check
+  ("used to prevent data loops", §3.4 footnote)?
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.netsim.node import Node
+from repro.routing.unicast import UnicastRouting
+
+
+def rpf_neighbor(routing: UnicastRouting, node: Node, source_name: str) -> Optional[Node]:
+    """The upstream neighbor of ``node`` toward ``source_name``.
+
+    None when ``node`` is itself the source's node or the source is
+    unreachable.
+    """
+    hop = routing.next_hop(node.name, source_name)
+    if hop is None:
+        return None
+    return routing.topo.node(hop)
+
+
+def rpf_interface(routing: UnicastRouting, node: Node, source_name: str) -> Optional[int]:
+    """Index of ``node``'s interface facing the RPF neighbor, or None."""
+    upstream = rpf_neighbor(routing, node, source_name)
+    if upstream is None:
+        return None
+    iface = node.interface_to(upstream)
+    return iface.index if iface is not None else None
+
+
+def rpf_check(
+    routing: UnicastRouting, node: Node, source_name: str, arriving_ifindex: int
+) -> bool:
+    """True iff a packet from ``source_name`` arriving on
+    ``arriving_ifindex`` came in on the RPF interface."""
+    expected = rpf_interface(routing, node, source_name)
+    return expected is not None and expected == arriving_ifindex

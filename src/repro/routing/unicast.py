@@ -1,0 +1,161 @@
+"""Link-state unicast routing (shortest-path-first).
+
+Every node computes shortest paths over the delay-weighted topology —
+the "existing unicast topology information" that ECMP's RPF component
+builds on (§3). Ties break deterministically on node name so that a
+given topology always yields the same routing (and therefore the same
+multicast trees), which the reproducibility of every benchmark depends
+on.
+
+The implementation runs one Dijkstra per *destination* and records each
+node's parent toward that destination; ``next_hop(u, v)`` is then u's
+parent in the tree rooted at v. Because links are symmetric, this
+parent is exactly the RPF neighbor of u with respect to source v.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Optional
+
+from repro.errors import RoutingError
+from repro.netsim.topology import Topology
+
+
+class UnicastRouting:
+    """All-pairs next-hop tables for a topology.
+
+    Call :meth:`recompute` after any link state change; protocol agents
+    that need convergence notifications register callbacks via
+    :meth:`on_recompute`.
+    """
+
+    def __init__(self, topo: Topology, auto_compute: bool = True) -> None:
+        self.topo = topo
+        #: parent[dest][node] = next hop (neighbor name) from node toward dest
+        self._parent: dict[str, dict[str, Optional[str]]] = {}
+        #: dist[dest][node] = metric distance from node to dest
+        self._dist: dict[str, dict[str, float]] = {}
+        self._listeners: list = []
+        self.recompute_count = 0
+        if auto_compute:
+            self.recompute()
+
+    # -- computation -------------------------------------------------------
+
+    def recompute(self) -> None:
+        """Re-run SPF for every destination over the current (up) links."""
+        self._parent.clear()
+        self._dist.clear()
+        adjacency = self._adjacency()
+        for dest in self.topo.nodes:
+            parent, dist = self._dijkstra(dest, adjacency)
+            self._parent[dest] = parent
+            self._dist[dest] = dist
+        self.recompute_count += 1
+        for listener in self._listeners:
+            listener()
+
+    def on_recompute(self, callback) -> None:
+        """Register ``callback()`` to run after every recompute."""
+        self._listeners.append(callback)
+
+    def _adjacency(self) -> dict[str, list[tuple[float, str]]]:
+        adjacency: dict[str, list[tuple[float, str]]] = {
+            name: [] for name in self.topo.nodes
+        }
+        for link in self.topo.links:
+            if not link.up:
+                continue
+            a, b = link.node_a.name, link.node_b.name
+            adjacency[a].append((link.delay, b))
+            adjacency[b].append((link.delay, a))
+        # Sort for deterministic relaxation order.
+        for edges in adjacency.values():
+            edges.sort()
+        return adjacency
+
+    @staticmethod
+    def _dijkstra(
+        dest: str, adjacency: dict[str, list[tuple[float, str]]]
+    ) -> tuple[dict[str, Optional[str]], dict[str, float]]:
+        """Shortest paths from every node *to* ``dest`` (symmetric links,
+        so we search outward from ``dest``); ``parent[u]`` is u's next
+        hop toward ``dest``."""
+        dist: dict[str, float] = {dest: 0.0}
+        parent: dict[str, Optional[str]] = {dest: None}
+        heap: list[tuple[float, str, Optional[str]]] = [(0.0, dest, None)]
+        visited: set[str] = set()
+        while heap:
+            d, name, via = heapq.heappop(heap)
+            if name in visited:
+                continue
+            visited.add(name)
+            parent[name] = via
+            for weight, neighbor in adjacency[name]:
+                nd = d + weight
+                if neighbor not in visited and nd < dist.get(neighbor, float("inf")):
+                    dist[neighbor] = nd
+                    # The neighbor's next hop toward dest is `name`.
+                    heapq.heappush(heap, (nd, neighbor, name))
+                elif (
+                    neighbor not in visited
+                    and nd == dist.get(neighbor)
+                    and name < (parent.get(neighbor) or "￿")
+                ):
+                    # Equal cost: prefer the lexicographically smaller
+                    # next hop for determinism.
+                    heapq.heappush(heap, (nd, neighbor, name))
+        return parent, dist
+
+    # -- queries -------------------------------------------------------------
+
+    def next_hop(self, node: str, dest: str) -> Optional[str]:
+        """The neighbor name on ``node``'s shortest path toward ``dest``.
+
+        None if ``node == dest`` or ``dest`` is unreachable.
+        """
+        table = self._parent.get(dest)
+        if table is None:
+            raise RoutingError(f"no routes computed for destination {dest!r}")
+        return table.get(node)
+
+    def reachable(self, node: str, dest: str) -> bool:
+        if node == dest:
+            return True
+        return self.next_hop(node, dest) is not None
+
+    def distance(self, node: str, dest: str) -> float:
+        dist = self._dist.get(dest)
+        if dist is None:
+            raise RoutingError(f"no routes computed for destination {dest!r}")
+        try:
+            return dist[node]
+        except KeyError:
+            raise RoutingError(f"{dest!r} unreachable from {node!r}") from None
+
+    def path(self, node: str, dest: str) -> list[str]:
+        """The node sequence from ``node`` to ``dest`` inclusive."""
+        hops = [node]
+        current = node
+        seen = {node}
+        while current != dest:
+            step = self.next_hop(current, dest)
+            if step is None:
+                raise RoutingError(f"{dest!r} unreachable from {node!r}")
+            if step in seen:
+                raise RoutingError(f"routing loop at {step!r} toward {dest!r}")
+            hops.append(step)
+            seen.add(step)
+            current = step
+        return hops
+
+    def hop_count(self, node: str, dest: str) -> int:
+        return len(self.path(node, dest)) - 1
+
+    def spanning_tree_to(self, dest: str) -> dict[str, Optional[str]]:
+        """The full parent map toward ``dest`` (RPF tree rooted there)."""
+        table = self._parent.get(dest)
+        if table is None:
+            raise RoutingError(f"no routes computed for destination {dest!r}")
+        return dict(table)

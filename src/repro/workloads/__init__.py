@@ -1,0 +1,32 @@
+"""Workload generators and named scenarios.
+
+:mod:`~repro.workloads.churn` produces subscribe/unsubscribe event
+streams (deterministic and Poisson); :mod:`~repro.workloads.scenarios`
+packages the paper's named workloads — the Figure 8 proactive-counting
+scenario, the Super Bowl feed, the stock ticker, and the 10-way
+conference — so examples, tests, and benchmarks share one definition.
+"""
+
+from repro.workloads.churn import (
+    ChurnEvent,
+    count_message_stream,
+    poisson_churn,
+    schedule_churn,
+)
+from repro.workloads.scenarios import (
+    Fig8Sample,
+    build_fig8_network,
+    fig8_events,
+    run_fig8,
+)
+
+__all__ = [
+    "ChurnEvent",
+    "Fig8Sample",
+    "build_fig8_network",
+    "count_message_stream",
+    "fig8_events",
+    "poisson_churn",
+    "run_fig8",
+    "schedule_churn",
+]

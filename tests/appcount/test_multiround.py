@@ -1,0 +1,60 @@
+"""Tests for the multi-round estimation baseline (§7.3)."""
+
+import pytest
+
+from repro.appcount.multiround import MultiRoundEstimator
+from repro.errors import WorkloadError
+
+
+class TestMultiRound:
+    def test_estimate_near_truth(self):
+        estimator = MultiRoundEstimator(seed=1)
+        outcome = estimator.estimate(group_size=500_000)
+        assert outcome.estimate == pytest.approx(500_000, rel=0.5)
+
+    def test_no_implosion_replies_bounded(self):
+        """The doubling walk keeps per-round replies near the target —
+        this is why "multi-round schemes ... avoid the implosion
+        risk"."""
+        estimator = MultiRoundEstimator(target_replies=20, seed=2)
+        for n in (1_000, 100_000, 10_000_000):
+            outcome = estimator.estimate(n)
+            # Final round at probability p has ~2*target expected
+            # replies at worst (doubling overshoot) + noise margin.
+            assert outcome.total_replies < 50 * outcome.rounds
+
+    def test_rounds_grow_with_group_size(self):
+        """"... but are slower than suppression-based approaches."""
+        estimator = MultiRoundEstimator(seed=3)
+        small = estimator.estimate(1_000).rounds
+        large = estimator.estimate(10_000_000).rounds
+        assert large < small  # larger groups hit the target sooner
+        assert estimator.estimate(100).rounds > large
+
+    def test_expected_rounds_formula(self):
+        estimator = MultiRoundEstimator(initial_probability=1e-6, target_replies=20)
+        assert estimator.expected_rounds(10**7) < estimator.expected_rounds(10**3)
+        assert estimator.expected_rounds(0) == estimator.max_rounds
+
+    def test_tiny_group_caps_at_p_one(self):
+        estimator = MultiRoundEstimator(seed=4)
+        outcome = estimator.estimate(group_size=5)
+        assert outcome.final_probability == 1.0
+        assert outcome.estimate == 5
+
+    def test_empty_group(self):
+        outcome = MultiRoundEstimator(seed=5).estimate(0)
+        assert outcome.estimate == 0.0
+
+    def test_validation(self):
+        with pytest.raises(WorkloadError):
+            MultiRoundEstimator(initial_probability=0)
+        with pytest.raises(WorkloadError):
+            MultiRoundEstimator(target_replies=0)
+        with pytest.raises(WorkloadError):
+            MultiRoundEstimator().estimate(-5)
+
+    def test_deterministic(self):
+        a = MultiRoundEstimator(seed=9).estimate(12345)
+        b = MultiRoundEstimator(seed=9).estimate(12345)
+        assert a == b

@@ -1,0 +1,96 @@
+"""Tests for the application-layer counting baselines (§7.3)."""
+
+import pytest
+
+from repro.appcount.polling import (
+    ProbabilisticPollEstimator,
+    SuppressionPollEstimator,
+)
+from repro.errors import WorkloadError
+
+
+class TestProbabilisticPolling:
+    def test_estimate_near_truth_for_large_groups(self):
+        estimator = ProbabilisticPollEstimator(reply_probability=0.01, seed=1)
+        outcome = estimator.poll(group_size=100_000)
+        assert outcome.estimate == pytest.approx(100_000, rel=0.2)
+
+    def test_reply_volume_scales_with_n(self):
+        """The implosion hazard: replies grow linearly with N at fixed
+        p — the source must know N to pick p, which is circular."""
+        estimator = ProbabilisticPollEstimator(reply_probability=0.01, seed=2)
+        small = estimator.poll(10_000).replies
+        large = estimator.poll(1_000_000).replies
+        assert large > 50 * small
+
+    def test_empty_group(self):
+        outcome = ProbabilisticPollEstimator(0.1).poll(0)
+        assert outcome.estimate == 0 and outcome.replies == 0
+
+    def test_relative_stddev_shrinks_with_n(self):
+        estimator = ProbabilisticPollEstimator(reply_probability=0.01)
+        assert estimator.relative_stddev(1_000_000) < estimator.relative_stddev(10_000)
+
+    def test_parameter_validation(self):
+        with pytest.raises(WorkloadError):
+            ProbabilisticPollEstimator(0.0)
+        with pytest.raises(WorkloadError):
+            ProbabilisticPollEstimator(1.5)
+        with pytest.raises(WorkloadError):
+            ProbabilisticPollEstimator(0.5).poll(-1)
+
+    def test_seeded_determinism(self):
+        a = ProbabilisticPollEstimator(0.01, seed=7).poll(50_000)
+        b = ProbabilisticPollEstimator(0.01, seed=7).poll(50_000)
+        assert a == b
+
+
+class TestSuppressionPolling:
+    def test_healthy_round_few_replies(self):
+        estimator = SuppressionPollEstimator(seed=3)
+        outcome = estimator.poll(group_size=100_000)
+        assert outcome.replies < estimator.implosion_threshold
+        assert not outcome.implosion
+
+    def test_estimate_order_of_magnitude(self):
+        estimator = SuppressionPollEstimator(seed=4)
+        trials = [estimator.poll(10_000).estimate for _ in range(30)]
+        geo_mean = 1.0
+        for value in trials:
+            geo_mean *= value ** (1 / len(trials))
+        assert 100 <= geo_mean <= 1_000_000  # right ballpark, high variance
+
+    def test_suppression_loss_causes_implosion(self):
+        """§7.3: "there is a risk of serious feedback implosion ... if
+        the suppressing reply ... is lost on any large branch"."""
+        healthy = SuppressionPollEstimator(suppression_loss=0.0, seed=5)
+        lossy = SuppressionPollEstimator(suppression_loss=0.3, seed=5)
+        n = 100_000
+        assert healthy.implosion_probability(n, trials=5) == 0.0
+        assert lossy.implosion_probability(n, trials=5) == 1.0
+
+    def test_misbehaving_clients_cause_implosion(self):
+        """"... or if misbehaving clients respond when they should
+        not"."""
+        rogue = SuppressionPollEstimator(misbehaving_fraction=0.005, seed=6)
+        outcome = rogue.poll(group_size=200_000)
+        assert outcome.implosion  # ~1000 rogue replies swamp the source
+
+    def test_suppression_degrades_at_extreme_scale(self):
+        """Even a healthy round at Super-Bowl scale leaks hundreds of
+        replies within one propagation delay of the first — the paper's
+        reason ISPs "would not rely on these pure application-layer
+        schemes" for 10M-subscriber channels."""
+        estimator = SuppressionPollEstimator(seed=8)
+        outcome = estimator.poll(group_size=1_000_000)
+        assert outcome.replies > estimator.implosion_threshold
+
+    def test_parameter_validation(self):
+        with pytest.raises(WorkloadError):
+            SuppressionPollEstimator(window=0)
+        with pytest.raises(WorkloadError):
+            SuppressionPollEstimator(suppression_loss=1.5)
+
+    def test_empty_group(self):
+        outcome = SuppressionPollEstimator().poll(0)
+        assert outcome.replies == 0 and not outcome.implosion

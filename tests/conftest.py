@@ -1,0 +1,46 @@
+"""Shared fixtures: small EXPRESS networks in canonical shapes."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import Channel, ExpressNetwork, TopologyBuilder
+from repro.core.network import SourceHandle
+
+
+@pytest.fixture
+def line_net():
+    """src -- r1 -- r2 -- sub : a 2-router line with a host each end."""
+    topo = TopologyBuilder.line(2)  # n0 - n1
+    topo.add_node("hsrc")
+    topo.add_node("hsub")
+    topo.add_link("hsrc", "n0", delay=0.001)
+    topo.add_link("hsub", "n1", delay=0.001)
+    net = ExpressNetwork(topo, hosts=["hsrc", "hsub"])
+    net.run(until=0.01)
+    return net
+
+
+@pytest.fixture
+def star_net():
+    """One router, one source host, four subscriber hosts."""
+    topo = TopologyBuilder.star(5)
+    # leaf0 is the source; leaf1..4 subscribers.
+    net = ExpressNetwork(topo, hosts=[f"leaf{i}" for i in range(5)])
+    net.run(until=0.01)
+    return net
+
+
+@pytest.fixture
+def isp_net():
+    """A 3-transit ISP topology with 12 hosts."""
+    topo = TopologyBuilder.isp(n_transit=3, stubs_per_transit=2, hosts_per_stub=2)
+    net = ExpressNetwork(topo)
+    net.run(until=0.01)
+    return net
+
+
+def make_channel(net: ExpressNetwork, source_host: str) -> tuple[SourceHandle, Channel]:
+    """Allocate a fresh channel for ``source_host``."""
+    handle = net.source(source_host)
+    return handle, handle.allocate_channel()

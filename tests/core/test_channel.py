@@ -1,0 +1,88 @@
+"""Unit tests for the channel value type and allocator."""
+
+import pytest
+
+from repro.core.channel import Channel, ChannelAllocator
+from repro.errors import ChannelError
+from repro.inet.addr import parse_address, ssm_address
+
+S = parse_address("10.0.0.1")
+S2 = parse_address("10.0.0.2")
+
+
+class TestChannel:
+    def test_valid_channel(self):
+        ch = Channel(source=S, group=ssm_address(5))
+        assert ch.suffix == 5
+
+    def test_source_must_be_unicast(self):
+        with pytest.raises(ChannelError):
+            Channel(source=parse_address("224.0.0.1"), group=ssm_address(1))
+
+    def test_group_must_be_ssm(self):
+        with pytest.raises(ChannelError):
+            Channel(source=S, group=parse_address("224.0.0.1"))
+        with pytest.raises(ChannelError):
+            Channel(source=S, group=parse_address("10.0.0.9"))
+
+    def test_same_e_different_s_are_unrelated(self):
+        """§2: "two channels (S,E) and (S',E) are unrelated"."""
+        e = ssm_address(42)
+        assert Channel(S, e) != Channel(S2, e)
+        assert len({Channel(S, e), Channel(S2, e)}) == 2
+
+    def test_of_constructor(self):
+        assert Channel.of(S, 7).group == ssm_address(7)
+
+    def test_hashable_and_frozen(self):
+        ch = Channel(S, ssm_address(1))
+        with pytest.raises(Exception):
+            ch.source = S2
+        assert ch in {ch}
+
+    def test_str_is_dotted_pair(self):
+        assert str(Channel.of(S, 1)) == "(10.0.0.1,232.0.0.1)"
+
+
+class TestAllocator:
+    def test_sequential_allocation(self):
+        alloc = ChannelAllocator(S)
+        a = alloc.allocate()
+        b = alloc.allocate()
+        assert a.suffix != b.suffix
+        assert len(alloc) == 2
+
+    def test_specific_suffix(self):
+        alloc = ChannelAllocator(S)
+        ch = alloc.allocate(suffix=99)
+        assert ch.suffix == 99
+        with pytest.raises(ChannelError):
+            alloc.allocate(suffix=99)
+
+    def test_release_allows_reuse(self):
+        alloc = ChannelAllocator(S)
+        ch = alloc.allocate(suffix=5)
+        alloc.release(ch)
+        assert alloc.allocate(suffix=5).suffix == 5
+
+    def test_release_foreign_channel_rejected(self):
+        alloc = ChannelAllocator(S)
+        other = Channel.of(S2, 1)
+        with pytest.raises(ChannelError):
+            alloc.release(other)
+
+    def test_contains_and_iteration(self):
+        alloc = ChannelAllocator(S)
+        a = alloc.allocate()
+        assert a in alloc
+        assert list(alloc.allocated()) == [a]
+
+    def test_allocator_requires_unicast_source(self):
+        with pytest.raises(ChannelError):
+            ChannelAllocator(parse_address("232.0.0.1"))
+
+    def test_skips_taken_suffixes(self):
+        alloc = ChannelAllocator(S)
+        alloc.allocate(suffix=1)
+        alloc.allocate(suffix=2)
+        assert alloc.allocate().suffix == 3

@@ -1,0 +1,59 @@
+"""Unit tests for the countId space."""
+
+import pytest
+
+from repro.core.ecmp.countids import (
+    ALL_CHANNELS_ID,
+    APPLICATION_RANGE,
+    LINK_COUNT_ID,
+    LOCAL_USE_RANGE,
+    NEIGHBORS_ID,
+    NETWORK_LAYER_RANGE,
+    SUBSCRIBER_ID,
+    CountIdError,
+    check_count_id,
+    is_application_id,
+    is_local_use_id,
+    is_network_layer_id,
+    propagates_to_hosts,
+)
+
+
+class TestReservedIds:
+    def test_well_known_ids_are_distinct(self):
+        ids = {SUBSCRIBER_ID, NEIGHBORS_ID, ALL_CHANNELS_ID, LINK_COUNT_ID}
+        assert len(ids) == 4
+
+    def test_subscriber_id_reaches_hosts(self):
+        assert propagates_to_hosts(SUBSCRIBER_ID)
+
+    def test_link_count_stops_at_routers(self):
+        """§3.1 footnote: network-layer resource counts are not
+        propagated all the way to leaf hosts."""
+        assert is_network_layer_id(LINK_COUNT_ID)
+        assert not propagates_to_hosts(LINK_COUNT_ID)
+
+    def test_application_ids_reach_hosts(self):
+        app_id = APPLICATION_RANGE.start
+        assert is_application_id(app_id)
+        assert propagates_to_hosts(app_id)
+
+    def test_local_use_range_exists(self):
+        assert is_local_use_id(LOCAL_USE_RANGE.start)
+        assert not is_application_id(LOCAL_USE_RANGE.start)
+
+    def test_ranges_partition_without_overlap(self):
+        ranges = [NETWORK_LAYER_RANGE, LOCAL_USE_RANGE, APPLICATION_RANGE]
+        for i, a in enumerate(ranges):
+            for b in ranges[i + 1 :]:
+                assert set(a).isdisjoint(b)
+
+
+class TestValidation:
+    @pytest.mark.parametrize("bad", [0, -1, 0x10000])
+    def test_out_of_range_rejected(self, bad):
+        with pytest.raises(CountIdError):
+            check_count_id(bad)
+
+    def test_check_returns_value(self):
+        assert check_count_id(SUBSCRIBER_ID) == SUBSCRIBER_ID

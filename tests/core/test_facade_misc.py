@@ -1,0 +1,102 @@
+"""Miscellaneous facade and data-plane edge cases."""
+
+import pytest
+
+from repro import ExpressNetwork, TopologyBuilder
+from repro.netsim.packet import Packet
+from tests.conftest import make_channel
+
+
+class TestRecomputeDebounce:
+    def test_multiple_link_events_trigger_one_recompute(self, isp_net):
+        net = isp_net
+        recomputes_before = net.routing.recompute_count
+        # Two link events in the same instant...
+        net.topo.link_between("t0", "t1").fail()
+        net.topo.link_between("t1", "t2").fail()
+        net.settle(0.1)
+        # ...coalesce into a single SPF recompute.
+        assert net.routing.recompute_count == recomputes_before + 1
+
+    def test_recovery_triggers_recompute_too(self, isp_net):
+        net = isp_net
+        link = net.topo.link_between("t0", "t1")
+        link.fail()
+        net.settle(0.1)
+        count_after_fail = net.routing.recompute_count
+        link.recover()
+        net.settle(0.1)
+        assert net.routing.recompute_count == count_after_fail + 1
+
+
+class TestDataPlaneEdges:
+    def test_ttl_expiry_mid_path(self, isp_net):
+        """A packet whose TTL runs out on the way is dropped, not
+        delivered."""
+        net = isp_net
+        src, ch = make_channel(net, "h0_0_0")
+        got = []
+        net.host("h1_0_0").subscribe(ch, on_data=got.append)
+        net.settle()
+        hops = len(net.routing.path("h0_0_0", "h1_0_0")) - 1
+        packet = Packet(
+            src=src.address, dst=ch.group, proto="data", ttl=hops - 2,
+            created_at=net.sim.now,
+        )
+        net.forwarders["h0_0_0"].emit_local(packet)
+        net.settle()
+        assert got == []
+
+    def test_unicast_transit_of_tunnel_packets(self, isp_net):
+        """An ipip packet not addressed to this router is forwarded as
+        plain unicast (the subcast transit leg)."""
+        net = isp_net
+        src, ch = make_channel(net, "h0_0_0")
+        net.host("h1_0_0").subscribe(ch)
+        net.settle()
+        got = []
+        net.ecmp_agents["h1_0_0"].subscriptions[ch].on_data = got.append
+        # Relay via e1_0: the tunnel transits e0_0, t0, t1 first.
+        assert src.subcast(ch, relay_router="e1_0")
+        net.settle()
+        assert len(got) == 1
+
+    def test_source_with_no_subscribers_after_churn(self, line_net):
+        net = line_net
+        src, ch = make_channel(net, "hsrc")
+        net.host("hsub").subscribe(ch)
+        net.settle()
+        net.host("hsub").unsubscribe(ch)
+        net.settle()
+        assert src.send(ch) == 0  # counted, dropped, no crash
+
+    def test_is_subscribed_reflects_status(self, isp_net):
+        net = isp_net
+        src, ch = make_channel(net, "h0_0_0")
+        host = net.host("h1_0_0")
+        assert not host.is_subscribed(ch)
+        host.subscribe(ch)
+        net.settle()
+        assert host.is_subscribed(ch)
+        host.unsubscribe(ch)
+        assert not host.is_subscribed(ch)
+
+
+class TestMultiSourcePerHost:
+    def test_two_sources_share_one_subscriber(self, isp_net):
+        """Distinct sources' channels coexist at one subscriber with
+        independent delivery."""
+        net = isp_net
+        src_a, ch_a = make_channel(net, "h0_0_0")
+        src_b, ch_b = make_channel(net, "h3_1_1" if "h3_1_1" in net.topo.nodes else "h2_1_1")
+        got_a, got_b = [], []
+        host = net.host("h1_0_0")
+        host.subscribe(ch_a, on_data=got_a.append)
+        host.subscribe(ch_b, on_data=got_b.append)
+        net.settle()
+        src_a.send(ch_a)
+        src_b.send(ch_b)
+        src_b.send(ch_b)
+        net.settle()
+        assert len(got_a) == 1
+        assert len(got_b) == 2

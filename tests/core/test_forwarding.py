@@ -1,0 +1,146 @@
+"""Integration tests: the EXPRESS data plane (§3.4)."""
+
+import pytest
+
+from repro.errors import ForwardingError
+from repro.netsim.packet import Packet
+from tests.conftest import make_channel
+
+
+class TestExpressForwarding:
+    def test_unauthorized_sender_traffic_dropped(self, isp_net):
+        """§2: "Only the source host S may send to (S,E)." A third
+        party's packets to the channel address never reach subscribers
+        (the Super Bowl interference scenario of §1)."""
+        net = isp_net
+        src, ch = make_channel(net, "h0_0_0")
+        got = []
+        net.host("h1_0_0").subscribe(ch, on_data=got.append)
+        net.settle()
+        # Rogue host h2_0_0 sends to E with its own source address:
+        # (S', E) has no FIB entry anywhere -> counted and dropped.
+        rogue = net.forwarders["h2_0_0"]
+        packet = Packet(src=net.host("h2_0_0").address, dst=ch.group, proto="data")
+        rogue.node.send(packet, 0)
+        net.settle()
+        assert got == []
+        drops = sum(fib.no_match_drops for fib in net.fibs.values())
+        assert drops >= 1
+
+    def test_spoofed_source_fails_rpf_check(self, isp_net):
+        """A rogue spoofing S's address from the wrong direction fails
+        the incoming-interface check or matches no entry."""
+        net = isp_net
+        src, ch = make_channel(net, "h0_0_0")
+        got = []
+        net.host("h1_0_0").subscribe(ch, on_data=got.append)
+        net.settle()
+        spoofed = Packet(src=src.address, dst=ch.group, proto="data")
+        net.forwarders["h2_1_1"].node.send(spoofed, 0)
+        net.settle()
+        assert got == []
+
+    def test_source_cannot_send_off_channel(self, isp_net):
+        net = isp_net
+        src, ch = make_channel(net, "h0_0_0")
+        other = net.source("h1_0_0").allocate_channel()
+        with pytest.raises(Exception):
+            src.send(other)
+
+    def test_emit_on_channel_without_subscribers_counted(self, line_net):
+        """Data sent to a subscriber-less channel dies at the source's
+        FIB — counted, never flooded."""
+        net = line_net
+        src, ch = make_channel(net, "hsrc")
+        assert src.send(ch) == 0
+        assert net.fibs["hsrc"].no_match_drops == 1
+
+    def test_forwarding_uses_fib_only(self, isp_net):
+        """Every multicast hop consults the FIB — the "no fast-path
+        change" property."""
+        net = isp_net
+        src, ch = make_channel(net, "h0_0_0")
+        net.host("h1_0_0").subscribe(ch)
+        net.settle()
+        lookups_before = sum(fib.lookups for fib in net.fibs.values())
+        src.send(ch)
+        net.settle()
+        lookups_after = sum(fib.lookups for fib in net.fibs.values())
+        # One lookup per router on the path (the source consults its
+        # entry directly; the destination host terminates the channel).
+        routers = len(net.routing.path("h0_0_0", "h1_0_0")) - 2
+        assert lookups_after - lookups_before == routers
+
+    def test_ttl_decrements_along_path(self, isp_net):
+        net = isp_net
+        src, ch = make_channel(net, "h0_0_0")
+        got = []
+        net.host("h1_0_0").subscribe(ch, on_data=got.append)
+        net.settle()
+        src.send(ch)
+        net.settle()
+        hops = len(net.routing.path("h0_0_0", "h1_0_0")) - 1
+        assert got[0].ttl == 64 - hops
+
+    def test_fanout_duplicates_only_at_branch_points(self, star_net):
+        """The defining multicast property: one packet in, one copy per
+        downstream branch out."""
+        net = star_net
+        src, ch = make_channel(net, "leaf0")
+        for i in (1, 2, 3, 4):
+            net.host(f"leaf{i}").subscribe(ch)
+        net.settle()
+        assert src.send(ch) == 1  # source emits exactly one copy
+        net.settle()
+        assert net.delivery_count(ch) == 4
+        # The hub forwarded 4 copies.
+        assert net.forwarders["hub"].stats.get("multicast_forwarded") == 4
+
+    def test_conventional_class_d_not_forwarded(self, line_net):
+        net = line_net
+        packet = Packet(src=net.host("hsrc").address, dst=0xE0000001, proto="data")
+        net.topo.node("hsrc").send(packet, 0)
+        net.settle()
+        assert net.forwarders["n0"].stats.get("non_express_multicast_drops") == 1
+
+
+class TestUnicastForwarding:
+    def test_host_to_host_unicast(self, isp_net):
+        net = isp_net
+        got = []
+        net.forwarders["h2_1_1"].on_unicast_delivery(got.append)
+        packet = Packet(
+            src=net.host("h0_0_0").address,
+            dst=net.host("h2_1_1").address,
+            proto="data",
+            payload="ping",
+        )
+        net.forwarders["h0_0_0"].emit_unicast(packet)
+        net.settle()
+        assert len(got) == 1 and got[0].payload == "ping"
+
+    def test_unicast_to_unknown_address_dropped(self, line_net):
+        net = line_net
+        packet = Packet(src=net.host("hsrc").address, dst=0x01020304, proto="data")
+        assert not net.forwarders["hsrc"].emit_unicast(packet)
+
+    def test_self_addressed_unicast_delivered_locally(self, line_net):
+        net = line_net
+        got = []
+        net.forwarders["hsrc"].on_unicast_delivery(got.append)
+        packet = Packet(
+            src=net.host("hsrc").address, dst=net.host("hsrc").address, proto="data"
+        )
+        assert net.forwarders["hsrc"].emit_unicast(packet)
+        assert len(got) == 1
+
+    def test_emit_local_guards(self, line_net):
+        net = line_net
+        src, ch = make_channel(net, "hsrc")
+        fwd = net.forwarders["hsub"]
+        with pytest.raises(ForwardingError):
+            fwd.emit_local(Packet(src=src.address, dst=ch.group, proto="data"))
+        with pytest.raises(ForwardingError):
+            net.forwarders["hsrc"].emit_local(
+                Packet(src=src.address, dst=net.host("hsub").address, proto="data")
+            )

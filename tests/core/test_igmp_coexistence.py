@@ -1,0 +1,75 @@
+"""§3.6: "ECMP is implemented on top of UDP and TCP, and so can be
+deployed on an end system host that supports IP multicast without
+changing the host operating system. Hosts can continue to use IGMP for
+the rest of the class D address space."
+
+One host runs both stacks simultaneously: ECMP subscriptions for 232/8
+channels and IGMP membership for a conventional 224/4 group.
+"""
+
+import pytest
+
+from repro import ExpressNetwork, TopologyBuilder
+from repro.inet.addr import parse_address
+from repro.inet.igmp import IgmpHostAgent, IgmpRouterAgent
+from tests.conftest import make_channel
+
+LEGACY_GROUP = parse_address("239.1.2.3")
+
+
+@pytest.fixture
+def dual_stack_net():
+    """An ExpressNetwork whose edge also runs IGMP."""
+    topo = TopologyBuilder.isp(n_transit=2, stubs_per_transit=1, hosts_per_stub=2)
+    net = ExpressNetwork(topo)
+    # Add IGMP alongside ECMP: querier on the edge router, host agent
+    # on a subscriber host. Protocol dispatch is per-proto, so the
+    # agents coexist on the same nodes.
+    querier = IgmpRouterAgent(topo.node("e0_0"))
+    topo.node("e0_0").register_agent("igmp", querier)
+    host_igmp = IgmpHostAgent(topo.node("h0_0_0"))
+    topo.node("h0_0_0").register_agent("igmp", host_igmp)
+    net.run(until=0.1)
+    return net, querier, host_igmp
+
+
+class TestCoexistence:
+    def test_both_memberships_on_one_host(self, dual_stack_net):
+        net, querier, host_igmp = dual_stack_net
+        # EXPRESS subscription in 232/8...
+        src, channel = make_channel(net, "h1_0_0")
+        got = []
+        net.host("h0_0_0").subscribe(channel, on_data=got.append)
+        # ...and IGMP membership in the administratively-scoped range.
+        host_igmp.join(LEGACY_GROUP)
+        net.settle(2.0)
+
+        assert querier.has_members(LEGACY_GROUP)
+        src.send(channel)
+        net.settle()
+        assert len(got) == 1
+
+    def test_igmp_leave_does_not_disturb_channel(self, dual_stack_net):
+        net, querier, host_igmp = dual_stack_net
+        src, channel = make_channel(net, "h1_0_0")
+        got = []
+        net.host("h0_0_0").subscribe(channel, on_data=got.append)
+        host_igmp.join(LEGACY_GROUP)
+        net.settle(2.0)
+        host_igmp.leave(LEGACY_GROUP)
+        net.settle(10.0)
+        assert not querier.has_members(LEGACY_GROUP)
+        src.send(channel)
+        net.settle()
+        assert len(got) == 1
+
+    def test_channel_unsubscribe_does_not_disturb_igmp(self, dual_stack_net):
+        net, querier, host_igmp = dual_stack_net
+        src, channel = make_channel(net, "h1_0_0")
+        net.host("h0_0_0").subscribe(channel)
+        host_igmp.join(LEGACY_GROUP)
+        net.settle(2.0)
+        net.host("h0_0_0").unsubscribe(channel)
+        net.settle(2.0)
+        assert querier.has_members(LEGACY_GROUP)
+        assert host_igmp.is_member(LEGACY_GROUP)

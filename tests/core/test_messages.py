@@ -1,0 +1,118 @@
+"""Unit tests for ECMP message codecs and wire sizes."""
+
+import pytest
+
+from repro.core.channel import Channel
+from repro.core.ecmp.messages import (
+    COUNT_WIRE_BYTES,
+    Count,
+    CountQuery,
+    CountResponse,
+    CountStatus,
+    decode_message,
+    encode_message,
+)
+from repro.core.ecmp.countids import SUBSCRIBER_ID
+from repro.core.keys import make_key
+from repro.core.proactive import ToleranceCurve
+from repro.errors import CodecError
+from repro.inet.addr import parse_address
+from repro.inet.headers import ETHERNET_TCP_SEGMENT
+
+CH = Channel.of(parse_address("10.0.0.1"), 0xABCDEF)
+
+
+class TestWireSizes:
+    def test_unauthenticated_count_is_16_bytes(self):
+        """§5.3: "92 16-byte Count messages fit in a 1480-byte ...
+        segment"."""
+        message = Count(channel=CH, count_id=SUBSCRIBER_ID, count=5)
+        assert message.wire_size() == COUNT_WIRE_BYTES == 16
+        assert len(encode_message(message)) == 16
+        assert ETHERNET_TCP_SEGMENT // COUNT_WIRE_BYTES == 92
+
+    def test_authenticated_count_adds_8_bytes(self):
+        message = Count(channel=CH, count_id=SUBSCRIBER_ID, count=1, key=make_key(CH))
+        assert message.wire_size() == 24
+        assert len(encode_message(message)) == 24
+
+    def test_query_sizes(self):
+        plain = CountQuery(channel=CH, count_id=SUBSCRIBER_ID, timeout=5.0)
+        assert len(encode_message(plain)) == plain.wire_size() == 16
+        proactive = CountQuery(
+            channel=CH, count_id=SUBSCRIBER_ID, timeout=5.0,
+            proactive=ToleranceCurve(),
+        )
+        assert len(encode_message(proactive)) == proactive.wire_size() == 28
+
+    def test_response_size(self):
+        message = CountResponse(channel=CH, count_id=SUBSCRIBER_ID, status=CountStatus.OK)
+        assert len(encode_message(message)) == message.wire_size() == 12
+
+
+class TestRoundTrips:
+    def test_count_round_trip(self):
+        message = Count(channel=CH, count_id=0x4001, count=123456)
+        assert decode_message(encode_message(message)) == message
+
+    def test_count_with_key_round_trip(self):
+        message = Count(channel=CH, count_id=SUBSCRIBER_ID, count=1, key=make_key(CH))
+        assert decode_message(encode_message(message)) == message
+
+    def test_query_round_trip_with_ms_precision(self):
+        message = CountQuery(channel=CH, count_id=SUBSCRIBER_ID, timeout=2.5)
+        parsed = decode_message(encode_message(message))
+        assert parsed.timeout == 2.5
+
+    def test_query_proactive_round_trip(self):
+        curve = ToleranceCurve(e_max=0.25, alpha=3.0, tau=60.0)
+        message = CountQuery(channel=CH, count_id=SUBSCRIBER_ID, timeout=1.0, proactive=curve)
+        parsed = decode_message(encode_message(message))
+        assert parsed.proactive.alpha == pytest.approx(3.0)
+        assert parsed.proactive.tau == pytest.approx(60.0)
+
+    def test_response_round_trip_all_statuses(self):
+        for status in CountStatus:
+            message = CountResponse(channel=CH, count_id=SUBSCRIBER_ID, status=status)
+            assert decode_message(encode_message(message)) == message
+
+
+class TestValidation:
+    def test_negative_timeout_rejected(self):
+        with pytest.raises(CodecError):
+            CountQuery(channel=CH, count_id=SUBSCRIBER_ID, timeout=-1.0)
+
+    def test_count_range_enforced(self):
+        with pytest.raises(CodecError):
+            Count(channel=CH, count_id=SUBSCRIBER_ID, count=1 << 32)
+
+    def test_truncated_buffers_rejected(self):
+        data = encode_message(Count(channel=CH, count_id=SUBSCRIBER_ID, count=1))
+        for cut in (0, 5, 11, 15):
+            with pytest.raises(CodecError):
+                decode_message(data[:cut])
+
+    def test_unknown_type_rejected(self):
+        data = bytearray(encode_message(Count(channel=CH, count_id=SUBSCRIBER_ID, count=1)))
+        data[0] = 0x7F
+        with pytest.raises(CodecError):
+            decode_message(bytes(data))
+
+    def test_truncated_key_rejected(self):
+        data = encode_message(
+            Count(channel=CH, count_id=SUBSCRIBER_ID, count=1, key=make_key(CH))
+        )
+        with pytest.raises(CodecError):
+            decode_message(data[:-4])
+
+    def test_unknown_status_rejected(self):
+        data = bytearray(encode_message(
+            CountResponse(channel=CH, count_id=SUBSCRIBER_ID, status=CountStatus.OK)
+        ))
+        data[-1] = 0xEE
+        with pytest.raises(CodecError):
+            decode_message(bytes(data))
+
+    def test_not_a_message_rejected(self):
+        with pytest.raises(CodecError):
+            encode_message("hello")

@@ -1,0 +1,113 @@
+"""Unit tests for the proactive-counting tolerance curve and counter."""
+
+import pytest
+
+from repro.core.proactive import ProactiveCounter, ToleranceCurve, relative_error
+from repro.errors import ProtocolError
+
+
+class TestToleranceCurve:
+    def test_clamped_at_e_max_near_zero(self):
+        curve = ToleranceCurve(e_max=0.3, alpha=4.0, tau=120.0)
+        assert curve.tolerance(0.0) == 0.3
+        assert curve.tolerance(1e-9) == 0.3
+
+    def test_zero_at_and_beyond_tau(self):
+        """τ is the x-intercept: "the maximum delay until any change is
+        transmitted upstream"."""
+        curve = ToleranceCurve(e_max=0.3, alpha=4.0, tau=120.0)
+        assert curve.tolerance(120.0) == 0.0
+        assert curve.tolerance(500.0) == 0.0
+
+    def test_monotone_non_increasing(self):
+        curve = ToleranceCurve(e_max=0.5, alpha=2.5, tau=120.0)
+        samples = [curve.tolerance(dt) for dt in range(0, 130, 5)]
+        assert all(a >= b for a, b in zip(samples, samples[1:]))
+
+    def test_alpha_controls_decay_not_e_max(self):
+        """Figure 7: α changes the decay rate, not the clamp."""
+        fast = ToleranceCurve(e_max=0.3, alpha=4.0, tau=120.0)
+        slow = ToleranceCurve(e_max=0.3, alpha=2.5, tau=120.0)
+        assert fast.tolerance(0.0) == slow.tolerance(0.0) == 0.3
+        assert fast.tolerance(60.0) < slow.tolerance(60.0)
+
+    def test_deadline_inverts_tolerance(self):
+        curve = ToleranceCurve(e_max=0.3, alpha=4.0, tau=120.0)
+        for error in (0.05, 0.1, 0.2, 0.29):
+            dt = curve.deadline_for_error(error)
+            assert curve.tolerance(dt) == pytest.approx(error, abs=1e-9)
+
+    def test_deadline_for_large_error_is_clamp_end(self):
+        curve = ToleranceCurve(e_max=0.3, alpha=4.0, tau=120.0)
+        import math
+        assert curve.deadline_for_error(5.0) == pytest.approx(120 * math.exp(-1.2))
+
+    def test_deadline_for_zero_error_is_tau(self):
+        curve = ToleranceCurve(tau=120.0)
+        assert curve.deadline_for_error(0.0) == 120.0
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(ProtocolError):
+            ToleranceCurve(e_max=0.0)
+        with pytest.raises(ProtocolError):
+            ToleranceCurve(alpha=-1.0)
+        with pytest.raises(ProtocolError):
+            ToleranceCurve(tau=0.0)
+
+
+class TestRelativeError:
+    def test_no_change_is_zero(self):
+        assert relative_error(5, 5) == 0.0
+
+    def test_paper_formula_max_of_both_ratios(self):
+        # |Δ|/c_adv = 5/10, |Δ|/c_cur = 5/15 -> max is 0.5
+        assert relative_error(15, 10) == 0.5
+        assert relative_error(10, 15) == 0.5
+
+    def test_transition_from_zero_is_full_scale(self):
+        assert relative_error(1, 0) == 1.0
+        assert relative_error(0, 1) == 1.0
+
+    def test_burst_can_exceed_one(self):
+        assert relative_error(10, 1) == 9.0
+
+
+class TestProactiveCounter:
+    def test_no_send_when_unchanged(self):
+        counter = ProactiveCounter(ToleranceCurve(), now=0.0)
+        counter.observe(0)
+        assert not counter.should_send(10.0)
+        assert counter.next_check_delay(10.0) is None
+
+    def test_large_change_sends_immediately(self):
+        counter = ProactiveCounter(ToleranceCurve(e_max=0.3), now=0.0)
+        counter.observe(100)
+        assert counter.should_send(0.001)
+
+    def test_small_change_waits_for_curve(self):
+        curve = ToleranceCurve(e_max=0.3, alpha=4.0, tau=120.0)
+        counter = ProactiveCounter(curve, now=0.0)
+        counter.sent(0.0)
+        counter.advertised = 100
+        counter.observe(105)  # 5% error
+        assert not counter.should_send(1.0)
+        deadline = curve.deadline_for_error(counter.error())
+        assert counter.should_send(deadline + 0.1)
+        # next_check_delay points at the crossing.
+        assert counter.next_check_delay(1.0) == pytest.approx(deadline - 1.0)
+
+    def test_any_change_sent_within_tau(self):
+        """The τ guarantee: even a one-subscriber change on a huge
+        channel goes upstream within τ."""
+        curve = ToleranceCurve(tau=120.0)
+        counter = ProactiveCounter(curve, now=0.0)
+        counter.advertised = 10**6
+        counter.observe(10**6 + 1)
+        assert counter.should_send(120.1)
+
+    def test_sent_resets_error(self):
+        counter = ProactiveCounter(ToleranceCurve(), now=0.0)
+        counter.observe(50)
+        assert counter.sent(1.0) == 50
+        assert counter.error() == 0.0
+        assert counter.updates_sent == 1

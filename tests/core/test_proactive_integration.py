@@ -1,0 +1,127 @@
+"""Integration tests: proactive counting (§6) on live networks,
+including application-defined counts ("A source can request that
+proactive counting be used for any countId")."""
+
+import pytest
+
+from repro import CountPropagation, ExpressNetwork, ToleranceCurve, TopologyBuilder
+from repro.core.ecmp.countids import APPLICATION_RANGE, SUBSCRIBER_ID
+from tests.conftest import make_channel
+
+VOTE_ID = APPLICATION_RANGE.start + 3
+
+
+def build_tree_net(propagation=CountPropagation.TREE_ONLY, tau=30.0):
+    topo = TopologyBuilder.balanced_tree(depth=2, fanout=3)
+    topo.add_node("src")
+    topo.add_link("src", "r", delay=0.001)
+    leaves = [f"d2_{i}" for i in range(9)]
+    net = ExpressNetwork(
+        topo,
+        hosts=leaves + ["src"],
+        propagation=propagation,
+        proactive_curve=ToleranceCurve(e_max=0.3, alpha=4.0, tau=tau),
+    )
+    net.run(until=0.01)
+    return net, leaves
+
+
+class TestProactiveSubscriberCounts:
+    def test_estimate_converges_within_tau(self):
+        net, leaves = build_tree_net(propagation=CountPropagation.PROACTIVE, tau=30.0)
+        src, ch = make_channel(net, "src")
+        for leaf in leaves:
+            net.host(leaf).subscribe(ch)
+        # Within tau of quiescence the root estimate is exact.
+        net.run(until=net.sim.now + 35.0)
+        assert net.ecmp_agents["src"].subscriber_count_estimate(ch) == len(leaves)
+
+    def test_leave_burst_converges_to_zero(self):
+        net, leaves = build_tree_net(propagation=CountPropagation.PROACTIVE, tau=30.0)
+        src, ch = make_channel(net, "src")
+        for leaf in leaves:
+            net.host(leaf).subscribe(ch)
+        net.run(until=net.sim.now + 35.0)
+        for leaf in leaves:
+            net.host(leaf).unsubscribe(ch)
+        net.settle(5.0)
+        assert net.ecmp_agents["src"].subscriber_count_estimate(ch) == 0
+
+    def test_small_change_deferred_then_flushed(self):
+        """A sub-tolerance change is not pushed immediately but arrives
+        within tau."""
+        net, leaves = build_tree_net(propagation=CountPropagation.PROACTIVE, tau=30.0)
+        src, ch = make_channel(net, "src")
+        for leaf in leaves[:8]:
+            net.host(leaf).subscribe(ch)
+        net.run(until=net.sim.now + 35.0)
+        agent = net.ecmp_agents["src"]
+        assert agent.subscriber_count_estimate(ch) == 8
+        # One more join: relative error 1/8 = 0.125 < e_max 0.3 at the
+        # root's feeder, so it lingers...
+        net.host(leaves[8]).subscribe(ch)
+        net.settle(1.0)
+        lingering = agent.subscriber_count_estimate(ch)
+        # ...but arrives within tau.
+        net.run(until=net.sim.now + 31.0)
+        assert agent.subscriber_count_estimate(ch) == 9
+        assert lingering <= 9
+
+
+class TestProactiveApplicationCounts:
+    def test_vote_tally_maintained_proactively(self):
+        """§2.2.1 votes + §6 proactive maintenance: the source's tally
+        follows the electorate without polling."""
+        net, leaves = build_tree_net(tau=20.0)
+        src, ch = make_channel(net, "src")
+        votes = {leaf: 0 for leaf in leaves}
+        for leaf in leaves:
+            host = net.host(leaf)
+            host.subscribe(ch)
+            host.respond_to_count(ch, VOTE_ID, lambda l=leaf: votes[l])
+        net.settle()
+
+        src.enable_proactive(ch, VOTE_ID, ToleranceCurve(e_max=0.3, alpha=4.0, tau=20.0))
+        net.settle()
+
+        # Everyone votes yes, one by one, notifying ECMP of the change.
+        for leaf in leaves:
+            votes[leaf] = 1
+            net.ecmp_agents[leaf].notify_count_changed(ch, VOTE_ID)
+        net.run(until=net.sim.now + 25.0)  # within tau everything flushes
+
+        tally = net.ecmp_agents["src"].proactive_estimate(ch, VOTE_ID)
+        assert tally == len(leaves)
+
+    def test_vote_changes_propagate(self):
+        net, leaves = build_tree_net(tau=10.0)
+        src, ch = make_channel(net, "src")
+        votes = {leaf: 1 for leaf in leaves}
+        for leaf in leaves:
+            host = net.host(leaf)
+            host.subscribe(ch)
+            host.respond_to_count(ch, VOTE_ID, lambda l=leaf: votes[l])
+        net.settle()
+        src.enable_proactive(ch, VOTE_ID, ToleranceCurve(e_max=0.3, alpha=4.0, tau=10.0))
+        for leaf in leaves:
+            net.ecmp_agents[leaf].notify_count_changed(ch, VOTE_ID)
+        net.run(until=net.sim.now + 12.0)
+        assert net.ecmp_agents["src"].proactive_estimate(ch, VOTE_ID) == 9
+
+        # Three voters change their minds.
+        for leaf in leaves[:3]:
+            votes[leaf] = 0
+            net.ecmp_agents[leaf].notify_count_changed(ch, VOTE_ID)
+        net.run(until=net.sim.now + 12.0)
+        assert net.ecmp_agents["src"].proactive_estimate(ch, VOTE_ID) == 6
+
+    def test_notify_without_proactive_is_noop(self, isp_net):
+        net = isp_net
+        src, ch = make_channel(net, "h0_0_0")
+        host = net.host("h1_0_0")
+        host.subscribe(ch)
+        net.settle()
+        # No proactive state for this countId: must not raise or emit.
+        tx_before = net.ecmp_agents["h1_0_0"].stats.get("msgs_tx")
+        net.ecmp_agents["h1_0_0"].notify_count_changed(ch, VOTE_ID)
+        assert net.ecmp_agents["h1_0_0"].stats.get("msgs_tx") == tx_before

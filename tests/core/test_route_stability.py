@@ -1,0 +1,102 @@
+"""Route-stability behaviour: hysteresis under metric flapping, and
+re-homing onto newly provisioned links."""
+
+import pytest
+
+from repro import ExpressNetwork
+from repro.netsim.topology import Topology
+from tests.conftest import make_channel
+
+
+def build_diamond(hysteresis=None):
+    topo = Topology()
+    for name in ("a", "b", "c", "d"):
+        topo.add_node(name)
+    topo.add_node("hsrc")
+    topo.add_node("hsub")
+    topo.add_link("hsrc", "a", delay=0.001)
+    topo.add_link("a", "b", delay=0.001)
+    topo.add_link("a", "c", delay=0.004)
+    topo.add_link("b", "d", delay=0.001)
+    topo.add_link("c", "d", delay=0.004)
+    topo.add_link("d", "hsub", delay=0.001)
+    net = ExpressNetwork(topo, hosts=["hsrc", "hsub"])
+    if hysteresis is not None:
+        for agent in net.ecmp_agents.values():
+            agent.HYSTERESIS = hysteresis
+    net.run(until=0.01)
+    return net
+
+
+def flap(net, cycles):
+    """Alternate the a-b link metric so the best path keeps changing."""
+    link = net.topo.link_between("a", "b")
+    for _ in range(cycles):
+        link.delay = 0.050  # c-path now better
+        net.routing.recompute()
+        for agent in net.ecmp_agents.values():
+            agent.reevaluate_upstreams()
+        net.settle(0.2)
+        link.delay = 0.001  # b-path better again
+        net.routing.recompute()
+        for agent in net.ecmp_agents.values():
+            agent.reevaluate_upstreams()
+        net.settle(0.2)
+
+
+class TestHysteresis:
+    def test_hysteresis_damps_route_flapping(self):
+        """§3.2: "Hysteresis is applied to prevent route oscillation."
+        Under a flapping metric, the damped router re-homes far fewer
+        times than an undamped one."""
+        def churn_count(hysteresis):
+            net = build_diamond(hysteresis=hysteresis)
+            src, ch = make_channel(net, "hsrc")
+            net.host("hsub").subscribe(ch)
+            net.settle()
+            flap(net, cycles=6)
+            return net.ecmp_agents["d"].stats.get("upstream_changes")
+
+        damped = churn_count(hysteresis=60.0)
+        undamped = churn_count(hysteresis=0.0)
+        assert undamped >= 6
+        assert damped <= 1
+
+    def test_delivery_correct_throughout_flapping(self):
+        net = build_diamond(hysteresis=5.0)
+        src, ch = make_channel(net, "hsrc")
+        got = []
+        net.host("hsub").subscribe(ch, on_data=got.append)
+        net.settle()
+        flap(net, cycles=3)
+        net.settle(10.0)
+        src.send(ch)
+        net.settle()
+        assert len(got) == 1
+
+
+class TestProvisioning:
+    def test_new_link_adopted_after_recompute(self):
+        """Provisioning a shortcut link mid-run: after the operator
+        triggers an SPF recompute, trees re-home onto the better path
+        (once hysteresis allows)."""
+        net = build_diamond()
+        src, ch = make_channel(net, "hsrc")
+        got = []
+        net.host("hsub").subscribe(ch, on_data=got.append)
+        net.settle()
+        assert "b" in net.nodes_on_tree(ch)
+        # Provision a direct a-d link, much faster than either branch.
+        net.topo.add_link("a", "d", delay=0.0001)
+        net.routing.recompute()
+        for agent in net.ecmp_agents.values():
+            agent.reevaluate_upstreams()
+        net.settle(10.0)  # hysteresis dwell
+        for agent in net.ecmp_agents.values():
+            agent.reevaluate_upstreams()
+        net.settle(1.0)
+        assert net.ecmp_agents["d"].channels[ch].upstream == "a"
+        assert "b" not in net.nodes_on_tree(ch)
+        src.send(ch)
+        net.settle()
+        assert len(got) == 1

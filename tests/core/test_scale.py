@@ -1,0 +1,79 @@
+"""Scale smoke tests: the machinery at hundreds-to-thousands of nodes.
+
+Not performance benchmarks (those live in benchmarks/) — these verify
+*correctness is preserved at scale*: exact counting over a 1024-leaf
+tree, full delivery, and linear state.
+"""
+
+import pytest
+
+from repro import ExpressNetwork, TopologyBuilder
+from tests.conftest import make_channel
+
+
+@pytest.fixture(scope="module")
+def big_tree_net():
+    """A 1024-leaf binary tree (2047 routers + 1025 hosts)."""
+    depth = 10
+    topo = TopologyBuilder.balanced_tree(depth=depth, fanout=2)
+    topo.add_node("src")
+    topo.add_link("src", "r", delay=0.0005)
+    leaves = [f"d{depth}_{i}" for i in range(2**depth)]
+    net = ExpressNetwork(topo, hosts=leaves + ["src"])
+    net.run(until=0.01)
+    return net, leaves
+
+
+class TestThousandSubscribers:
+    def test_mass_join_and_exact_count(self, big_tree_net):
+        net, leaves = big_tree_net
+        src, ch = make_channel(net, "src")
+        for leaf in leaves:
+            net.host(leaf).subscribe(ch)
+        net.settle(2.0)
+        result = src.count_query(ch, timeout=10.0)
+        net.settle(11.0)
+        assert result.count == 1024
+        assert not result.partial
+
+    def test_delivery_to_all_1024(self, big_tree_net):
+        net, leaves = big_tree_net
+        # Reuse the module-scoped subscriptions from the fixture state.
+        src = net.source("src")
+        channels = list(src.allocator.allocated())
+        ch = channels[0]
+        src.send(ch, size=1356)
+        net.settle(2.0)
+        assert net.delivery_count(ch) == 1024
+
+    def test_state_is_one_entry_per_forwarding_node(self, big_tree_net):
+        """Exactly one FIB entry per node that forwards the channel:
+        the source node plus every router on the tree; subscriber
+        leaves hold none."""
+        net, leaves = big_tree_net
+        channel = next(iter(net.source("src").allocator.allocated()))
+        forwarding_nodes = {
+            name
+            for name in net.nodes_on_tree(channel)
+            if name not in net.host_names
+        } | {"src"}
+        for name, fib in net.fibs.items():
+            if name in forwarding_nodes:
+                assert len(fib) == 1, name
+            elif name in net.host_names and name != "src":
+                assert len(fib) == 0, name
+
+    def test_partial_membership_prunes_tree(self, big_tree_net):
+        net, leaves = big_tree_net
+        src = net.source("src")
+        ch = src.allocate_channel()
+        # Only the left half subscribes to this second channel.
+        for leaf in leaves[:512]:
+            net.host(leaf).subscribe(ch)
+        net.settle(2.0)
+        on_tree = net.nodes_on_tree(ch)
+        # The right half's edge routers hold no state for it.
+        assert f"d9_{2**9 - 1}" not in on_tree
+        result = src.count_query(ch, timeout=10.0)
+        net.settle(11.0)
+        assert result.count == 512

@@ -1,0 +1,205 @@
+"""Integration tests: subscription, tree maintenance, delivery.
+
+These exercise the Figure 3 flow: "A host subscribing to an EXPRESS
+channel" — joins propagate hop-by-hop toward the source, stopping at a
+router already on the tree; unsubscribes are zero Counts; data flows
+only along the reverse shortest-path tree.
+"""
+
+import pytest
+
+from repro import CountPropagation, ExpressNetwork, TopologyBuilder
+from repro.core.ecmp.state import LOCAL
+from tests.conftest import make_channel
+
+
+class TestBasicSubscription:
+    def test_single_subscriber_delivery(self, line_net):
+        net = line_net
+        src, ch = make_channel(net, "hsrc")
+        got = []
+        net.host("hsub").subscribe(ch, on_data=got.append)
+        net.settle()
+        src.send(ch, payload="hello")
+        net.settle()
+        assert len(got) == 1
+        assert got[0].payload == "hello"
+
+    def test_join_creates_state_on_path_only(self, isp_net):
+        net = isp_net
+        src, ch = make_channel(net, "h0_0_0")
+        net.host("h1_0_0").subscribe(ch)
+        net.settle()
+        on_tree = net.nodes_on_tree(ch)
+        # The whole delivery path holds state...
+        for hop in net.routing.path("h1_0_0", "h0_0_0"):
+            assert hop in on_tree
+        # ...and untouched corners of the network hold none.
+        assert "t2" not in on_tree
+        assert len(net.ecmp_agents["e2_1"].channels) == 0
+
+    def test_second_join_stops_at_on_tree_router(self, star_net):
+        """§3.2: the join "propagates hop-by-hop until it reaches the
+        source or a router already on the distribution tree"."""
+        net = star_net
+        src, ch = make_channel(net, "leaf0")
+        net.host("leaf1").subscribe(ch)
+        net.settle()
+        counts_before = net.ecmp_agents["leaf0"].stats.get("counts_rx")
+        net.host("leaf2").subscribe(ch)
+        net.settle()
+        # TREE_ONLY: the hub was already on the tree, so the source's
+        # node hears nothing new.
+        assert net.ecmp_agents["leaf0"].stats.get("counts_rx") == counts_before
+
+    def test_unsubscribe_prunes_leaf_branch(self, isp_net):
+        net = isp_net
+        src, ch = make_channel(net, "h0_0_0")
+        net.host("h1_0_0").subscribe(ch)
+        net.host("h1_1_0").subscribe(ch)
+        net.settle()
+        net.host("h1_1_0").unsubscribe(ch)
+        net.settle()
+        assert "e1_1" not in net.nodes_on_tree(ch)
+        # Shared portion of the tree survives for the other subscriber.
+        assert "t1" in net.nodes_on_tree(ch)
+        got = []
+        net.ecmp_agents["h1_0_0"].subscriptions[ch].on_data = got.append
+        src.send(ch)
+        net.settle()
+        assert len(got) == 1
+
+    def test_last_unsubscribe_tears_down_tree(self, line_net):
+        net = line_net
+        src, ch = make_channel(net, "hsrc")
+        net.host("hsub").subscribe(ch)
+        net.settle()
+        assert net.fib_entries_total() > 0
+        net.host("hsub").unsubscribe(ch)
+        net.settle()
+        assert net.nodes_on_tree(ch) == set()
+        assert net.fib_entries_total() == 0
+
+    def test_resubscribe_after_leave(self, line_net):
+        net = line_net
+        src, ch = make_channel(net, "hsrc")
+        host = net.host("hsub")
+        host.subscribe(ch)
+        net.settle()
+        host.unsubscribe(ch)
+        net.settle()
+        got = []
+        host.subscribe(ch, on_data=got.append)
+        net.settle()
+        src.send(ch)
+        net.settle()
+        assert len(got) == 1
+
+    def test_duplicate_subscribe_is_idempotent(self, line_net):
+        net = line_net
+        _, ch = make_channel(net, "hsrc")
+        host = net.host("hsub")
+        first = host.subscribe(ch)
+        second = host.subscribe(ch)
+        assert first is second
+        state = net.ecmp_agents["hsub"].channels[ch]
+        assert state.downstream[LOCAL].count == 1
+
+    def test_unsubscribe_when_not_subscribed_is_noop(self, line_net):
+        assert line_net.host("hsub").unsubscribe(
+            make_channel(line_net, "hsrc")[1]
+        ) is False
+
+    def test_many_subscribers_all_receive(self, isp_net):
+        net = isp_net
+        src, ch = make_channel(net, "h0_0_0")
+        subscribers = [n for n in net.host_names if n != "h0_0_0"]
+        for name in subscribers:
+            net.host(name).subscribe(ch)
+        net.settle()
+        src.send(ch)
+        net.settle()
+        assert net.delivery_count(ch) == len(subscribers)
+
+    def test_tree_matches_reverse_shortest_paths(self, isp_net):
+        """RPF invariant: the built tree is the union of each
+        subscriber's shortest path to the source."""
+        net = isp_net
+        src, ch = make_channel(net, "h0_0_0")
+        members = ["h1_0_0", "h2_1_1", "h0_1_0"]
+        for member in members:
+            net.host(member).subscribe(ch)
+        net.settle()
+        expected = set()
+        for member in members:
+            path = net.routing.path(member, "h0_0_0")
+            expected.update(zip(path[1:], path))  # (parent, child)
+        assert set(net.tree_edges(ch)) == expected
+
+
+class TestMultipleChannels:
+    def test_channels_do_not_interfere(self, isp_net):
+        """§2: a subscriber to (S,E) does not receive (S',E)."""
+        net = isp_net
+        src1, ch1 = make_channel(net, "h0_0_0")
+        src2 = net.source("h1_0_0")
+        ch2 = src2.allocate_channel(suffix=ch1.suffix)  # same E, different S
+        assert ch1.group == ch2.group
+
+        got1, got2 = [], []
+        net.host("h2_0_0").subscribe(ch1, on_data=got1.append)
+        net.host("h2_0_1").subscribe(ch2, on_data=got2.append)
+        net.settle()
+        src1.send(ch1)
+        src2.send(ch2)
+        net.settle()
+        assert len(got1) == 1 and len(got2) == 1
+
+    def test_one_host_many_channels(self, isp_net):
+        net = isp_net
+        src = net.source("h0_0_0")
+        channels = [src.allocate_channel() for _ in range(5)]
+        counts = {ch: [] for ch in channels}
+        for ch in channels:
+            net.host("h2_0_0").subscribe(ch, on_data=counts[ch].append)
+        net.settle()
+        for ch in channels:
+            src.send(ch)
+        net.settle()
+        assert all(len(v) == 1 for v in counts.values())
+
+    def test_fib_scales_linearly_with_channels(self, line_net):
+        """§5: "memory and bandwidth usage scales linearly with the
+        number of channels"."""
+        net = line_net
+        src = net.source("hsrc")
+        sizes = []
+        allocated = []
+        for n in (2, 4, 8):
+            while len(allocated) < n:
+                ch = src.allocate_channel()
+                net.host("hsub").subscribe(ch)
+                allocated.append(ch)
+            net.settle()
+            sizes.append(net.fib_bytes_total())
+        assert sizes[1] == 2 * sizes[0]
+        assert sizes[2] == 2 * sizes[1]
+
+
+class TestOnChangePropagation:
+    def test_exact_counts_at_source(self):
+        topo = TopologyBuilder.star(5)
+        net = ExpressNetwork(
+            topo,
+            hosts=[f"leaf{i}" for i in range(5)],
+            propagation=CountPropagation.ON_CHANGE,
+        )
+        net.run(until=0.01)
+        src, ch = make_channel(net, "leaf0")
+        for i in (1, 2, 3):
+            net.host(f"leaf{i}").subscribe(ch)
+        net.settle()
+        assert net.ecmp_agents["leaf0"].subscriber_count_estimate(ch) == 3
+        net.host("leaf2").unsubscribe(ch)
+        net.settle()
+        assert net.ecmp_agents["leaf0"].subscriber_count_estimate(ch) == 2

@@ -1,0 +1,121 @@
+"""Integration tests: UDP-mode ECMP at the edge (§3.2-3.3).
+
+"For UDP operation, the upstream router periodically multicasts a
+CountQuery request, analogous to an IGMP query, causing all the UDP
+neighbors to respond with Count messages ... A UDP neighbor
+unsubscribes by sending a zero Count message, causing the upstream
+router to decrement its sum and re-issue a CountQuery on that interface
+(like IGMPv2). Unlike IGMPv2, but like the proposed IGMPv3, there is no
+report suppression."
+"""
+
+import pytest
+
+from repro import ExpressNetwork, NeighborMode, TopologyBuilder
+from repro.core.ecmp.protocol import EcmpAgent
+from tests.conftest import make_channel
+
+
+@pytest.fixture
+def edge_net():
+    """Star with UDP mode between the hub router and its leaf hosts."""
+    topo = TopologyBuilder.star(5)
+    net = ExpressNetwork(
+        topo, hosts=[f"leaf{i}" for i in range(5)], edge_udp=True
+    )
+    net.run(until=0.01)
+    return net
+
+
+class TestUdpMode:
+    def test_subscription_works_over_udp(self, edge_net):
+        net = edge_net
+        src, ch = make_channel(net, "leaf0")
+        got = []
+        net.host("leaf1").subscribe(ch, on_data=got.append)
+        net.settle()
+        src.send(ch)
+        net.settle()
+        assert len(got) == 1
+
+    def test_udp_records_flagged(self, edge_net):
+        net = edge_net
+        src, ch = make_channel(net, "leaf0")
+        net.host("leaf1").subscribe(ch)
+        net.settle()
+        state = net.ecmp_agents["hub"].channels[ch]
+        assert state.downstream["leaf1"].udp
+
+    def test_periodic_general_query_refreshes_state(self, edge_net):
+        net = edge_net
+        src, ch = make_channel(net, "leaf0")
+        net.host("leaf1").subscribe(ch)
+        net.settle()
+        state = net.ecmp_agents["hub"].channels[ch]
+        stamp = state.downstream["leaf1"].updated_at
+        # Run past a UDP query interval: the host's refresh bumps the
+        # record timestamp.
+        net.run(until=net.sim.now + EcmpAgent.UDP_QUERY_INTERVAL + 5)
+        assert state.downstream["leaf1"].updated_at > stamp
+
+    def test_soft_state_expires_for_silent_neighbor(self, edge_net):
+        """A UDP neighbor that vanishes without a zero Count ages out
+        after robustness x query-interval."""
+        net = edge_net
+        src, ch = make_channel(net, "leaf0")
+        net.host("leaf1").subscribe(ch)
+        net.settle()
+        # Silence the host: wipe its state so it ignores queries, but
+        # keep the link up (no TCP-style failure signal).
+        leaf = net.ecmp_agents["leaf1"]
+        leaf.subscriptions.clear()
+        leaf.channels.clear()
+        horizon = (EcmpAgent.UDP_ROBUSTNESS + 1) * EcmpAgent.UDP_QUERY_INTERVAL + 10
+        net.run(until=net.sim.now + horizon)
+        hub = net.ecmp_agents["hub"]
+        assert hub.subscriber_count_estimate(ch) == 0
+        assert hub.stats.get("udp_expirations") >= 1
+
+    def test_zero_count_triggers_requery(self, edge_net):
+        net = edge_net
+        src, ch = make_channel(net, "leaf0")
+        net.host("leaf1").subscribe(ch)
+        net.settle()
+        queries_before = net.ecmp_agents["leaf1"].stats.get("queries_rx")
+        net.host("leaf1").unsubscribe(ch)
+        net.settle()
+        # Hub re-issued a CountQuery toward the leaving interface.
+        assert net.ecmp_agents["leaf1"].stats.get("queries_rx") > queries_before
+
+    def test_no_report_suppression(self, edge_net):
+        """Each UDP neighbor answers the general query itself."""
+        net = edge_net
+        src, ch = make_channel(net, "leaf0")
+        for i in (1, 2, 3):
+            net.host(f"leaf{i}").subscribe(ch)
+        net.settle()
+        hub = net.ecmp_agents["hub"]
+        rx_before = hub.stats.get("counts_rx")
+        net.run(until=net.sim.now + EcmpAgent.UDP_QUERY_INTERVAL + 5)
+        # All three subscribers re-reported (plus possible churn noise).
+        assert hub.stats.get("counts_rx") - rx_before >= 3
+
+    def test_lossy_edge_recovers_via_refresh(self):
+        """UDP state survives message loss: periodic refresh repairs a
+        lost leave/join eventually."""
+        topo = TopologyBuilder.star(3)
+        for link in topo.links:
+            link.loss = 0.3
+        net = ExpressNetwork(topo, hosts=["leaf0", "leaf1", "leaf2"], edge_udp=True)
+        net.run(until=0.01)
+        src, ch = make_channel(net, "leaf0")
+        got = []
+        net.host("leaf1").subscribe(ch, on_data=got.append)
+        # Several query cycles: even if the first join is lost, the
+        # refresh re-announces it.
+        net.run(until=net.sim.now + 3 * EcmpAgent.UDP_QUERY_INTERVAL)
+        delivered = 0
+        for _ in range(20):
+            src.send(ch)
+        net.settle()
+        assert len(got) > 0

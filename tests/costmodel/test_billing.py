@@ -1,0 +1,95 @@
+"""Tests for ISP channel billing (§2.2.3, §6)."""
+
+import pytest
+
+from repro.costmodel.billing import (
+    DEFAULT_TIERS,
+    BillingCollector,
+    BillingTier,
+    TieredBillingPolicy,
+)
+from repro.errors import WorkloadError
+from tests.conftest import make_channel
+
+
+class TestPolicy:
+    def test_default_tiers_match_paper_scales(self):
+        """"differentiating among channels with 10s, 100s, 1000s, and
+        millions of subscribers"."""
+        names = [tier.name for tier in DEFAULT_TIERS]
+        assert names == ["tens", "hundreds", "thousands", "millions"]
+
+    def test_classification_boundaries(self):
+        policy = TieredBillingPolicy()
+        assert policy.classify(0).name == "tens"
+        assert policy.classify(100).name == "tens"
+        assert policy.classify(101).name == "hundreds"
+        assert policy.classify(5_000).name == "thousands"
+        assert policy.classify(10_000_000).name == "millions"
+
+    def test_bigger_audience_bills_more(self):
+        policy = TieredBillingPolicy()
+        tiers = [policy.classify(n).rate_per_hour for n in (50, 500, 50_000, 5_000_000)]
+        assert tiers == sorted(tiers) and len(set(tiers)) == 4
+
+    def test_invoice_from_samples(self, line_net):
+        _, ch = make_channel(line_net, "hsrc")
+        policy = TieredBillingPolicy()
+        invoice = policy.invoice(ch, samples=[400, 600, 500], duration_hours=1.5)
+        assert invoice.average_subscribers == 500
+        assert invoice.peak_subscribers == 600
+        assert invoice.tier == "hundreds"
+        assert invoice.amount == pytest.approx(1.5 * 1.00)
+
+    def test_empty_samples_bill_lowest_tier(self, line_net):
+        _, ch = make_channel(line_net, "hsrc")
+        invoice = TieredBillingPolicy().invoice(ch, samples=[], duration_hours=2.0)
+        assert invoice.tier == "tens"
+        assert invoice.average_subscribers == 0.0
+
+    def test_validation(self):
+        with pytest.raises(WorkloadError):
+            TieredBillingPolicy(tiers=())
+        with pytest.raises(WorkloadError):
+            TieredBillingPolicy(
+                tiers=(BillingTier("a", 10, 1.0), BillingTier("b", 10, 2.0))
+            )
+        with pytest.raises(WorkloadError):
+            TieredBillingPolicy().invoice(None, [1], duration_hours=-1)
+
+
+class TestCollector:
+    def test_periodic_sampling_and_invoice(self, isp_net):
+        net = isp_net
+        src, ch = make_channel(net, "h0_0_0")
+        for member in ("h1_0_0", "h1_1_0", "h2_0_0"):
+            net.host(member).subscribe(ch)
+        net.settle()
+        collector = BillingCollector(src, ch, interval=60.0, query_timeout=5.0)
+        collector.start()
+        net.run(until=net.sim.now + 400)  # ~6 samples
+        collector.stop()
+        assert len(collector.samples) >= 5
+        assert all(sample == 3 for sample in collector.samples)
+        invoice = collector.invoice()
+        assert invoice.tier == "tens"
+        assert invoice.average_subscribers == 3
+        assert invoice.amount > 0
+
+    def test_samples_track_churn(self, isp_net):
+        net = isp_net
+        src, ch = make_channel(net, "h0_0_0")
+        net.host("h1_0_0").subscribe(ch)
+        net.settle()
+        collector = BillingCollector(src, ch, interval=30.0)
+        collector.start()
+        net.run(until=net.sim.now + 100)
+        net.host("h2_0_0").subscribe(ch)
+        net.run(until=net.sim.now + 100)
+        collector.stop()
+        assert 1 in collector.samples and 2 in collector.samples
+
+    def test_validation(self, isp_net):
+        src, ch = make_channel(isp_net, "h0_0_0")
+        with pytest.raises(WorkloadError):
+            BillingCollector(src, ch, interval=0)

@@ -1,0 +1,66 @@
+"""GroupNetwork facade edge cases across all three protocols."""
+
+import pytest
+
+from repro.errors import ProtocolError
+from repro.groupmodel import GroupNetwork
+from repro.inet.addr import parse_address
+from repro.netsim.topology import TopologyBuilder
+
+G = parse_address("224.42.42.42")
+
+
+def build(protocol):
+    topo = TopologyBuilder.isp(n_transit=3, stubs_per_transit=2, hosts_per_stub=2)
+    kwargs = {"rp": "t1"} if protocol in ("pim", "cbt") else {}
+    return GroupNetwork(topo, protocol=protocol, **kwargs)
+
+
+@pytest.mark.parametrize("protocol", ["pim", "cbt", "dvmrp"])
+class TestLeaveRejoin:
+    def test_leave_then_rejoin_restores_delivery(self, protocol):
+        net = build(protocol)
+        net.join("h1_0_0", G)
+        net.settle()
+        net.send("h0_0_0", G)
+        net.settle()
+        assert net.delivered("h1_0_0", G) == 1
+        net.leave("h1_0_0", G)
+        net.settle()
+        net.send("h0_0_0", G)
+        net.settle()
+        assert net.delivered("h1_0_0", G) == 1  # nothing new while left
+        net.join("h2_1_1", G)  # unrelated member keeps/rebuilds the tree
+        net.join("h1_0_0", G)
+        net.settle(2.0)
+        net.send("h0_0_0", G)
+        net.settle(2.0)
+        assert net.delivered("h1_0_0", G) == 2
+
+    def test_leave_without_join_is_noop(self, protocol):
+        net = build(protocol)
+        net.leave("h1_0_0", G)  # must not raise
+        net.settle()
+
+    def test_join_invalid_group_rejected(self, protocol):
+        net = build(protocol)
+        with pytest.raises(ProtocolError):
+            net.join("h1_0_0", parse_address("10.0.0.1"))
+
+
+@pytest.mark.parametrize("protocol", ["pim", "cbt", "dvmrp"])
+class TestMultiGroup:
+    def test_two_groups_independent(self, protocol):
+        net = build(protocol)
+        G2 = parse_address("224.42.42.43")
+        net.join("h1_0_0", G)
+        net.join("h2_0_0", G2)
+        net.settle()
+        net.send("h0_0_0", G)
+        net.settle(2.0)
+        assert net.delivered("h1_0_0", G) == 1
+        assert net.delivered("h2_0_0", G2) == 0
+        net.send("h0_0_0", G2)
+        net.settle(2.0)
+        assert net.delivered("h2_0_0", G2) == 1
+        assert net.delivered("h1_0_0", G) == 1

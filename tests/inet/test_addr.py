@@ -1,0 +1,91 @@
+"""Unit tests for IPv4 address arithmetic and the SSM range."""
+
+import pytest
+
+from repro.errors import AddressError
+from repro.inet.addr import (
+    CHANNELS_PER_SOURCE,
+    CLASS_D_FIRST,
+    CLASS_D_LAST,
+    SSM_FIRST,
+    SSM_LAST,
+    channel_suffix,
+    format_address,
+    is_class_d,
+    is_ssm,
+    is_unicast,
+    parse_address,
+    ssm_address,
+)
+
+
+class TestParseFormat:
+    @pytest.mark.parametrize(
+        "text,value",
+        [
+            ("0.0.0.0", 0),
+            ("255.255.255.255", 0xFFFFFFFF),
+            ("10.0.0.1", 0x0A000001),
+            ("232.0.0.1", 0xE8000001),
+            ("224.0.0.1", 0xE0000001),
+        ],
+    )
+    def test_round_trip(self, text, value):
+        assert parse_address(text) == value
+        assert format_address(value) == text
+
+    @pytest.mark.parametrize("bad", ["1.2.3", "1.2.3.4.5", "a.b.c.d", "256.0.0.1", "1.2.3.-1", ""])
+    def test_malformed_rejected(self, bad):
+        with pytest.raises(AddressError):
+            parse_address(bad)
+
+    def test_format_out_of_range_rejected(self):
+        with pytest.raises(AddressError):
+            format_address(1 << 32)
+        with pytest.raises(AddressError):
+            format_address(-1)
+
+
+class TestRanges:
+    def test_class_d_boundaries(self):
+        assert is_class_d(CLASS_D_FIRST)
+        assert is_class_d(CLASS_D_LAST)
+        assert not is_class_d(CLASS_D_FIRST - 1)
+        assert not is_class_d(CLASS_D_LAST + 1)
+
+    def test_ssm_boundaries_are_232_slash_8(self):
+        assert SSM_FIRST == parse_address("232.0.0.0")
+        assert SSM_LAST == parse_address("232.255.255.255")
+        assert is_ssm(SSM_FIRST) and is_ssm(SSM_LAST)
+        assert not is_ssm(parse_address("231.255.255.255"))
+        assert not is_ssm(parse_address("233.0.0.0"))
+
+    def test_ssm_is_inside_class_d(self):
+        assert is_class_d(SSM_FIRST) and is_class_d(SSM_LAST)
+
+    def test_unicast(self):
+        assert is_unicast(parse_address("10.1.2.3"))
+        assert not is_unicast(parse_address("224.0.0.1"))
+        assert not is_unicast(parse_address("240.0.0.1"))
+
+    def test_channels_per_source_is_2_to_24(self):
+        """"each host interface in the Internet can source up to 16
+        million channels" (§2)."""
+        assert CHANNELS_PER_SOURCE == 2**24
+        assert SSM_LAST - SSM_FIRST + 1 == CHANNELS_PER_SOURCE
+
+
+class TestChannelSuffix:
+    def test_suffix_round_trip(self):
+        for suffix in (0, 1, 12345, 2**24 - 1):
+            assert channel_suffix(ssm_address(suffix)) == suffix
+
+    def test_suffix_of_non_ssm_rejected(self):
+        with pytest.raises(AddressError):
+            channel_suffix(parse_address("224.0.0.1"))
+
+    def test_ssm_address_range_checked(self):
+        with pytest.raises(AddressError):
+            ssm_address(2**24)
+        with pytest.raises(AddressError):
+            ssm_address(-1)

@@ -1,0 +1,87 @@
+"""Tests for the group-model address allocation baselines."""
+
+import pytest
+
+from repro.errors import AddressError
+from repro.inet.alloc import (
+    GROUP_POOL_SIZE,
+    CoordinatedAllocator,
+    UncoordinatedAllocator,
+    collision_probability,
+)
+
+
+class TestPoolArithmetic:
+    def test_pool_excludes_ssm_carveout(self):
+        """Class D is 2^28 addresses; 232/8 (2^24) belongs to EXPRESS."""
+        assert GROUP_POOL_SIZE == 2**28 - 2**24
+
+    def test_collision_probability_birthday_shape(self):
+        assert collision_probability(0) == 0.0
+        assert collision_probability(1) == 0.0
+        small = collision_probability(1_000)
+        large = collision_probability(100_000)
+        assert 0 < small < large < 1.0
+        # The paper's "thousands of Internet radio stations" world-wide:
+        # at 100k concurrent sessions, uncoordinated allocation is
+        # near-certain to collide somewhere.
+        assert large > 0.99
+
+    def test_validation(self):
+        with pytest.raises(AddressError):
+            collision_probability(-1)
+        with pytest.raises(AddressError):
+            collision_probability(10, pool_size=0)
+
+
+class TestCoordinatedAllocator:
+    def test_no_collisions_but_round_trips(self):
+        allocator = CoordinatedAllocator(service_rtt=0.2)
+        addresses = [allocator.allocate() for _ in range(100)]
+        assert len(set(addresses)) == 100
+        assert allocator.stats.round_trips == 100
+        assert allocator.total_latency() == pytest.approx(20.0)
+
+    def test_release_recycles(self):
+        allocator = CoordinatedAllocator(pool_size=2)
+        a = allocator.allocate()
+        b = allocator.allocate()
+        with pytest.raises(AddressError):
+            allocator.allocate()  # exhausted
+        allocator.release(a)
+        assert allocator.allocate() == a
+
+    def test_release_unallocated_rejected(self):
+        allocator = CoordinatedAllocator()
+        with pytest.raises(AddressError):
+            allocator.release(7)
+
+    def test_release_costs_a_round_trip(self):
+        allocator = CoordinatedAllocator()
+        address = allocator.allocate()
+        allocator.release(address)
+        assert allocator.stats.round_trips == 2
+
+
+class TestUncoordinatedAllocator:
+    def test_collisions_detected_in_small_pool(self):
+        allocator = UncoordinatedAllocator(pool_size=50, seed=1)
+        for _ in range(100):
+            allocator.allocate()
+        assert allocator.stats.collisions > 0
+
+    def test_full_pool_rarely_collides_at_small_scale(self):
+        allocator = UncoordinatedAllocator(seed=2)
+        for _ in range(100):
+            allocator.allocate()
+        assert allocator.stats.collisions == 0  # 100 out of 2.5e8
+
+    def test_expected_collisions_formula(self):
+        allocator = UncoordinatedAllocator(pool_size=1000)
+        assert allocator.expected_collisions(2) == pytest.approx(1 / 1000)
+        assert allocator.expected_collisions(100) == pytest.approx(4.95)
+
+    def test_deterministic(self):
+        a = UncoordinatedAllocator(seed=5)
+        b = UncoordinatedAllocator(seed=5)
+        assert [a.allocate() for _ in range(10)] == [b.allocate() for _ in range(10)]

@@ -1,0 +1,165 @@
+"""IGMP host-membership tests on a simulated LAN."""
+
+import pytest
+
+from repro.errors import CodecError, ProtocolError
+from repro.inet.addr import parse_address
+from repro.inet.igmp import (
+    FilterMode,
+    IgmpHostAgent,
+    IgmpMessage,
+    IgmpRouterAgent,
+    IgmpType,
+    QUERY_INTERVAL,
+)
+from repro.netsim.topology import TopologyBuilder
+
+GROUP = parse_address("224.1.2.3")
+OTHER_GROUP = parse_address("224.9.9.9")
+SRC_A = parse_address("10.9.0.1")
+SRC_B = parse_address("10.9.0.2")
+
+
+def build_lan(n_hosts=4, version=2):
+    topo = TopologyBuilder.lan(n_hosts)
+    router = IgmpRouterAgent(topo.node("gw"), version=version)
+    topo.node("gw").register_agent("igmp", router)
+    hosts = []
+    for i in range(n_hosts):
+        agent = IgmpHostAgent(topo.node(f"h{i}"), version=version)
+        topo.node(f"h{i}").register_agent("igmp", agent)
+        hosts.append(agent)
+    topo.start()
+    return topo, router, hosts
+
+
+class TestWireFormat:
+    def test_v2_report_round_trip(self):
+        message = IgmpMessage(IgmpType.V2_REPORT, group=GROUP)
+        assert IgmpMessage.unpack(message.pack()) == message
+
+    def test_query_round_trip_preserves_max_response(self):
+        message = IgmpMessage(IgmpType.MEMBERSHIP_QUERY, group=0, max_response_time=2.5)
+        parsed = IgmpMessage.unpack(message.pack())
+        assert parsed.max_response_time == 2.5
+
+    def test_v3_report_with_sources_round_trip(self):
+        message = IgmpMessage(
+            IgmpType.V3_REPORT,
+            group=GROUP,
+            filter_mode=FilterMode.INCLUDE,
+            sources=(SRC_A, SRC_B),
+        )
+        parsed = IgmpMessage.unpack(message.pack())
+        assert parsed.filter_mode is FilterMode.INCLUDE
+        assert parsed.sources == (SRC_A, SRC_B)
+
+    def test_truncated_rejected(self):
+        with pytest.raises(CodecError):
+            IgmpMessage.unpack(b"\x16\x00")
+
+    def test_unknown_type_rejected(self):
+        data = bytearray(IgmpMessage(IgmpType.V2_REPORT, group=GROUP).pack())
+        data[0] = 0x99
+        with pytest.raises(CodecError):
+            IgmpMessage.unpack(bytes(data))
+
+
+class TestV2Membership:
+    def test_join_creates_router_state(self):
+        topo, router, hosts = build_lan()
+        hosts[0].join(GROUP)
+        topo.run(until=1.0)
+        assert router.has_members(GROUP)
+
+    def test_join_non_multicast_rejected(self):
+        topo, router, hosts = build_lan()
+        with pytest.raises(ProtocolError):
+            hosts[0].join(parse_address("10.0.0.1"))
+
+    def test_v2_rejects_source_filters(self):
+        topo, router, hosts = build_lan(version=2)
+        with pytest.raises(ProtocolError):
+            hosts[0].join(GROUP, filter_mode=FilterMode.INCLUDE, sources=(SRC_A,))
+
+    def test_report_suppression_on_general_query(self):
+        """With several members, one report answers the periodic query
+        for (most of) the group."""
+        topo, router, hosts = build_lan(n_hosts=6)
+        for host in hosts:
+            host.join(GROUP)
+        topo.run(until=QUERY_INTERVAL * 2 + 15)
+        assert sum(h.reports_suppressed for h in hosts) > 0
+        assert router.has_members(GROUP)
+
+    def test_leave_triggers_requery_then_expiry(self):
+        topo, router, hosts = build_lan(n_hosts=2)
+        hosts[0].join(GROUP)
+        topo.run(until=1.0)
+        hosts[0].leave(GROUP)
+        topo.run(until=10.0)
+        assert not router.has_members(GROUP)
+
+    def test_leave_with_remaining_member_keeps_group(self):
+        topo, router, hosts = build_lan(n_hosts=3)
+        hosts[0].join(GROUP)
+        hosts[1].join(GROUP)
+        topo.run(until=1.0)
+        hosts[0].leave(GROUP)
+        topo.run(until=12.0)
+        assert router.has_members(GROUP)
+
+    def test_membership_expires_without_refresh(self):
+        topo, router, hosts = build_lan(n_hosts=1)
+        hosts[0].join(GROUP)
+        topo.run(until=1.0)
+        # Silence the host: drop membership without sending a leave.
+        hosts[0].memberships.clear()
+        topo.run(until=QUERY_INTERVAL * 4)
+        assert not router.has_members(GROUP)
+
+    def test_groups_are_independent(self):
+        topo, router, hosts = build_lan(n_hosts=2)
+        hosts[0].join(GROUP)
+        hosts[1].join(OTHER_GROUP)
+        topo.run(until=1.0)
+        assert router.has_members(GROUP) and router.has_members(OTHER_GROUP)
+        hosts[1].leave(OTHER_GROUP)
+        topo.run(until=10.0)
+        assert router.has_members(GROUP)
+        assert not router.has_members(OTHER_GROUP)
+
+
+class TestV3SourceFilters:
+    def test_include_sources_merge(self):
+        topo, router, hosts = build_lan(n_hosts=2, version=3)
+        hosts[0].join(GROUP, filter_mode=FilterMode.INCLUDE, sources=(SRC_A,))
+        hosts[1].join(GROUP, filter_mode=FilterMode.INCLUDE, sources=(SRC_B,))
+        topo.run(until=1.0)
+        mode, sources = router.member_sources(GROUP)
+        assert mode is FilterMode.INCLUDE
+        assert sources == {SRC_A, SRC_B}
+
+    def test_exclude_forces_exclude_mode(self):
+        topo, router, hosts = build_lan(n_hosts=2, version=3)
+        hosts[0].join(GROUP, filter_mode=FilterMode.INCLUDE, sources=(SRC_A,))
+        hosts[1].join(GROUP, filter_mode=FilterMode.EXCLUDE, sources=(SRC_B,))
+        topo.run(until=1.0)
+        mode, sources = router.member_sources(GROUP)
+        assert mode is FilterMode.EXCLUDE
+
+    def test_exclude_lists_intersect(self):
+        topo, router, hosts = build_lan(n_hosts=2, version=3)
+        hosts[0].join(GROUP, filter_mode=FilterMode.EXCLUDE, sources=(SRC_A, SRC_B))
+        hosts[1].join(GROUP, filter_mode=FilterMode.EXCLUDE, sources=(SRC_A,))
+        topo.run(until=1.0)
+        mode, sources = router.member_sources(GROUP)
+        assert mode is FilterMode.EXCLUDE
+        assert sources == {SRC_A}
+
+    def test_no_suppression_in_v3(self):
+        topo, router, hosts = build_lan(n_hosts=5, version=3)
+        for host in hosts:
+            host.join(GROUP)
+        topo.run(until=QUERY_INTERVAL + 15)
+        assert all(h.reports_suppressed == 0 for h in hosts)

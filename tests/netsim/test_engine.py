@@ -1,0 +1,198 @@
+"""Unit tests for the discrete-event engine."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.netsim.engine import PeriodicTask, Simulator, call_repeatedly
+
+
+class TestScheduling:
+    def test_events_run_in_time_order(self):
+        sim = Simulator()
+        order = []
+        sim.schedule(2.0, lambda: order.append("b"))
+        sim.schedule(1.0, lambda: order.append("a"))
+        sim.schedule(3.0, lambda: order.append("c"))
+        sim.run()
+        assert order == ["a", "b", "c"]
+
+    def test_simultaneous_events_run_in_schedule_order(self):
+        sim = Simulator()
+        order = []
+        for tag in "abcde":
+            sim.schedule(1.0, lambda t=tag: order.append(t))
+        sim.run()
+        assert order == list("abcde")
+
+    def test_clock_advances_to_event_time(self):
+        sim = Simulator()
+        seen = []
+        sim.schedule(1.5, lambda: seen.append(sim.now))
+        sim.run()
+        assert seen == [1.5]
+        assert sim.now == 1.5
+
+    def test_schedule_at_absolute_time(self):
+        sim = Simulator()
+        sim.schedule(1.0, lambda: sim.schedule_at(5.0, lambda: None))
+        sim.run()
+        assert sim.now == 5.0
+
+    def test_negative_delay_rejected(self):
+        sim = Simulator()
+        with pytest.raises(SimulationError):
+            sim.schedule(-0.1, lambda: None)
+
+    def test_nested_scheduling_from_event(self):
+        sim = Simulator()
+        hits = []
+        def outer():
+            hits.append("outer")
+            sim.schedule(1.0, lambda: hits.append("inner"))
+        sim.schedule(1.0, outer)
+        sim.run()
+        assert hits == ["outer", "inner"]
+        assert sim.now == 2.0
+
+
+class TestCancellation:
+    def test_cancelled_event_does_not_fire(self):
+        sim = Simulator()
+        hits = []
+        event = sim.schedule(1.0, lambda: hits.append(1))
+        event.cancel()
+        sim.run()
+        assert hits == []
+
+    def test_pending_excludes_cancelled(self):
+        sim = Simulator()
+        event = sim.schedule(1.0, lambda: None)
+        sim.schedule(2.0, lambda: None)
+        assert sim.pending() == 2
+        event.cancel()
+        assert sim.pending() == 1
+
+    def test_peek_time_skips_cancelled(self):
+        sim = Simulator()
+        first = sim.schedule(1.0, lambda: None)
+        sim.schedule(2.0, lambda: None)
+        first.cancel()
+        assert sim.peek_time() == 2.0
+
+
+class TestRunBounds:
+    def test_until_is_inclusive_and_advances_clock(self):
+        sim = Simulator()
+        hits = []
+        sim.schedule(1.0, lambda: hits.append(1))
+        sim.schedule(5.0, lambda: hits.append(5))
+        sim.run(until=3.0)
+        assert hits == [1]
+        assert sim.now == 3.0
+        sim.run()
+        assert hits == [1, 5]
+
+    def test_event_exactly_at_until_runs(self):
+        sim = Simulator()
+        hits = []
+        sim.schedule(3.0, lambda: hits.append(1))
+        sim.run(until=3.0)
+        assert hits == [1]
+
+    def test_max_events(self):
+        sim = Simulator()
+        hits = []
+        for i in range(10):
+            sim.schedule(float(i + 1), lambda i=i: hits.append(i))
+        ran = sim.run(max_events=4)
+        assert ran == 4
+        assert hits == [0, 1, 2, 3]
+
+    def test_run_returns_event_count(self):
+        sim = Simulator()
+        for i in range(3):
+            sim.schedule(1.0, lambda: None)
+        assert sim.run() == 3
+
+    def test_not_reentrant(self):
+        sim = Simulator()
+        caught = []
+        def recurse():
+            try:
+                sim.run()
+            except SimulationError:
+                caught.append(True)
+        sim.schedule(1.0, recurse)
+        sim.run()
+        assert caught == [True]
+
+
+class TestDeterminism:
+    def test_rng_is_seeded(self):
+        a = Simulator(seed=42).rng.random()
+        b = Simulator(seed=42).rng.random()
+        c = Simulator(seed=43).rng.random()
+        assert a == b
+        assert a != c
+
+
+class TestPeriodicTask:
+    def test_fires_repeatedly(self):
+        sim = Simulator()
+        hits = []
+        task = PeriodicTask(sim, 1.0, lambda: hits.append(sim.now))
+        task.start()
+        sim.run(until=3.5)
+        assert hits == [1.0, 2.0, 3.0]
+
+    def test_stop_halts_firing(self):
+        sim = Simulator()
+        hits = []
+        task = PeriodicTask(sim, 1.0, lambda: hits.append(sim.now))
+        task.start()
+        sim.schedule(2.5, task.stop)
+        sim.run(until=10.0)
+        assert hits == [1.0, 2.0]
+
+    def test_double_start_is_idempotent(self):
+        sim = Simulator()
+        hits = []
+        task = PeriodicTask(sim, 1.0, lambda: hits.append(1))
+        task.start()
+        task.start()
+        sim.run(until=1.0)
+        assert hits == [1]
+
+    def test_stop_from_within_action(self):
+        sim = Simulator()
+        hits = []
+        task = PeriodicTask(sim, 1.0, lambda: (hits.append(1), task.stop()))
+        task.start()
+        sim.run(until=5.0)
+        assert hits == [1]
+
+    def test_invalid_interval_rejected(self):
+        sim = Simulator()
+        with pytest.raises(SimulationError):
+            PeriodicTask(sim, 0.0, lambda: None)
+
+    def test_call_repeatedly_starts(self):
+        sim = Simulator()
+        hits = []
+        call_repeatedly(sim, 2.0, lambda: hits.append(1))
+        sim.run(until=5.0)
+        assert hits == [1, 1]
+
+    def test_jitter_stays_positive_and_deterministic(self):
+        sim = Simulator(seed=7)
+        hits = []
+        task = PeriodicTask(sim, 1.0, lambda: hits.append(sim.now), jitter=0.5)
+        task.start()
+        sim.run(until=10.0)
+        assert all(t > 0 for t in hits)
+        sim2 = Simulator(seed=7)
+        hits2 = []
+        task2 = PeriodicTask(sim2, 1.0, lambda: hits2.append(sim2.now), jitter=0.5)
+        task2.start()
+        sim2.run(until=10.0)
+        assert hits == hits2

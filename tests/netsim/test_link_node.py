@@ -1,0 +1,179 @@
+"""Unit tests for links, nodes, interfaces, and agent dispatch."""
+
+import pytest
+
+from repro.errors import SimulationError, TopologyError
+from repro.netsim.engine import Simulator
+from repro.netsim.link import Link
+from repro.netsim.node import MAX_INTERFACES, Node, ProtocolAgent
+from repro.netsim.packet import Packet
+
+
+class Sink(ProtocolAgent):
+    def __init__(self, node):
+        super().__init__(node)
+        self.received = []
+
+    def handle_packet(self, packet, ifindex):
+        self.received.append((packet, ifindex))
+
+
+def wire_pair(delay=0.001, loss=0.0, bandwidth=1e9):
+    sim = Simulator(seed=1)
+    a = Node(sim, "a", 1)
+    b = Node(sim, "b", 2)
+    link = Link(sim, a.add_interface(), b.add_interface(), delay=delay, loss=loss, bandwidth=bandwidth)
+    return sim, a, b, link
+
+
+class TestLinkDelivery:
+    def test_packet_arrives_after_delay(self):
+        sim, a, b, link = wire_pair(delay=0.5, bandwidth=1e12)
+        sink = Sink(b)
+        b.register_agent("data", sink)
+        a.send(Packet(src=1, dst=2, size=0), 0)
+        sim.run()
+        assert len(sink.received) == 1
+        assert sim.now == pytest.approx(0.5)
+
+    def test_serialization_delay_included(self):
+        sim, a, b, link = wire_pair(delay=0.0, bandwidth=1000.0)
+        sink = Sink(b)
+        b.register_agent("data", sink)
+        a.send(Packet(src=1, dst=2, size=500), 0)
+        sim.run()
+        assert sim.now == pytest.approx(0.5)  # 500 B / 1000 B/s
+
+    def test_bidirectional(self):
+        sim, a, b, link = wire_pair()
+        sink = Sink(a)
+        a.register_agent("data", sink)
+        b.send(Packet(src=2, dst=1), 0)
+        sim.run()
+        assert len(sink.received) == 1
+
+    def test_loss_drops_packets_deterministically(self):
+        sim, a, b, link = wire_pair(loss=0.5)
+        sink = Sink(b)
+        b.register_agent("data", sink)
+        for _ in range(100):
+            a.send(Packet(src=1, dst=2), 0)
+        sim.run()
+        assert 0 < len(sink.received) < 100
+        assert link.lost_packets == 100 - len(sink.received)
+
+    def test_reliable_flag_bypasses_loss(self):
+        sim, a, b, link = wire_pair(loss=0.9)
+        sink = Sink(b)
+        b.register_agent("data", sink)
+        for _ in range(20):
+            packet = Packet(src=1, dst=2)
+            packet.headers["reliable"] = True
+            a.send(packet, 0)
+        sim.run()
+        assert len(sink.received) == 20
+
+    def test_down_link_drops(self):
+        sim, a, b, link = wire_pair()
+        sink = Sink(b)
+        b.register_agent("data", sink)
+        link.fail()
+        assert not a.send(Packet(src=1, dst=2), 0)
+        sim.run()
+        assert sink.received == []
+
+    def test_link_state_change_notifies_agents(self):
+        sim, a, b, link = wire_pair()
+        changes = []
+
+        class Watcher(ProtocolAgent):
+            def handle_packet(self, packet, ifindex):
+                pass
+            def on_link_change(self, ifindex, up):
+                changes.append((self.node.name, ifindex, up))
+
+        a.register_agent("x", Watcher(a))
+        b.register_agent("x", Watcher(b))
+        link.fail()
+        link.recover()
+        assert ("a", 0, False) in changes and ("b", 0, True) in changes
+
+    def test_validation(self):
+        sim = Simulator()
+        a, b = Node(sim, "a", 1), Node(sim, "b", 2)
+        with pytest.raises(TopologyError):
+            Link(sim, a.add_interface(), b.add_interface(), delay=-1)
+        with pytest.raises(TopologyError):
+            Link(sim, a.add_interface(), b.add_interface(), loss=1.0)
+        with pytest.raises(TopologyError):
+            Link(sim, a.add_interface(), b.add_interface(), bandwidth=0)
+
+
+class TestNode:
+    def test_interface_limit_is_32(self):
+        sim = Simulator()
+        node = Node(sim, "n", 1)
+        for _ in range(MAX_INTERFACES):
+            node.add_interface()
+        with pytest.raises(TopologyError):
+            node.add_interface()
+
+    def test_agent_dispatch_by_proto(self):
+        sim, a, b, link = wire_pair()
+        data_sink, ecmp_sink = Sink(b), Sink(b)
+        b.register_agent("data", data_sink)
+        b.register_agent("ecmp", ecmp_sink)
+        a.send(Packet(src=1, dst=2, proto="ecmp"), 0)
+        sim.run()
+        assert len(ecmp_sink.received) == 1 and not data_sink.received
+
+    def test_wildcard_agent_catches_unknown(self):
+        sim, a, b, link = wire_pair()
+        catch_all = Sink(b)
+        b.register_agent("*", catch_all)
+        a.send(Packet(src=1, dst=2, proto="weird"), 0)
+        sim.run()
+        assert len(catch_all.received) == 1
+
+    def test_unmatched_packets_counted(self):
+        sim, a, b, link = wire_pair()
+        a.send(Packet(src=1, dst=2, proto="weird"), 0)
+        sim.run()
+        assert b.unmatched_packets == 1
+
+    def test_duplicate_agent_registration_rejected(self):
+        sim = Simulator()
+        node = Node(sim, "n", 1)
+        node.register_agent("data", Sink(node))
+        with pytest.raises(SimulationError):
+            node.register_agent("data", Sink(node))
+
+    def test_ttl_zero_packets_dropped(self):
+        sim, a, b, link = wire_pair()
+        sink = Sink(b)
+        b.register_agent("data", sink)
+        a.send(Packet(src=1, dst=2, ttl=0), 0)
+        sim.run()
+        assert sink.received == [] and b.dropped_packets == 1
+
+    def test_send_to_missing_interface_raises(self):
+        sim = Simulator()
+        node = Node(sim, "n", 1)
+        with pytest.raises(SimulationError):
+            node.send(Packet(src=1, dst=2), 0)
+
+    def test_interface_counters(self):
+        sim, a, b, link = wire_pair()
+        b.register_agent("data", Sink(b))
+        a.send(Packet(src=1, dst=2, size=100), 0)
+        sim.run()
+        assert a.interfaces[0].tx_packets == 1
+        assert a.interfaces[0].tx_bytes == 100
+        assert b.interfaces[0].rx_packets == 1
+        assert b.interfaces[0].rx_bytes == 100
+
+    def test_neighbors_and_interface_to(self):
+        sim, a, b, link = wire_pair()
+        assert a.neighbors() == [b]
+        assert a.interface_to(b).index == 0
+        assert a.interface_to(a) is None

@@ -1,0 +1,143 @@
+"""Unit tests for the topology container and generators."""
+
+import networkx as nx
+import pytest
+
+from repro.errors import TopologyError
+from repro.netsim.topology import Topology, TopologyBuilder
+
+
+class TestTopologyConstruction:
+    def test_add_node_assigns_unique_addresses(self):
+        topo = Topology()
+        a = topo.add_node("a")
+        b = topo.add_node("b")
+        assert a.address != b.address
+
+    def test_duplicate_node_rejected(self):
+        topo = Topology()
+        topo.add_node("a")
+        with pytest.raises(TopologyError):
+            topo.add_node("a")
+
+    def test_duplicate_address_rejected(self):
+        topo = Topology()
+        topo.add_node("a", address=100)
+        with pytest.raises(TopologyError):
+            topo.add_node("b", address=100)
+
+    def test_link_unknown_node_rejected(self):
+        topo = Topology()
+        topo.add_node("a")
+        with pytest.raises(TopologyError):
+            topo.add_link("a", "zzz")
+
+    def test_self_link_rejected(self):
+        topo = Topology()
+        topo.add_node("a")
+        with pytest.raises(TopologyError):
+            topo.add_link("a", "a")
+
+    def test_duplicate_link_rejected(self):
+        topo = Topology()
+        topo.add_node("a")
+        topo.add_node("b")
+        topo.add_link("a", "b")
+        with pytest.raises(TopologyError):
+            topo.add_link("b", "a")
+
+    def test_node_lookup_by_address(self):
+        topo = Topology()
+        node = topo.add_node("a")
+        assert topo.node_by_address(node.address) is node
+        assert topo.node_by_address(0xDEAD) is None
+
+    def test_link_between(self):
+        topo = Topology()
+        topo.add_node("a")
+        topo.add_node("b")
+        topo.add_node("c")
+        link = topo.add_link("a", "b")
+        assert topo.link_between("a", "b") is link
+        assert topo.link_between("a", "c") is None
+
+    def test_graph_excludes_down_links(self):
+        topo = Topology()
+        for name in "abc":
+            topo.add_node(name)
+        topo.add_link("a", "b")
+        down = topo.add_link("b", "c")
+        down.fail()
+        graph = topo.graph()
+        assert graph.has_edge("a", "b")
+        assert not graph.has_edge("b", "c")
+        assert topo.graph(only_up=False).has_edge("b", "c")
+
+
+class TestBuilders:
+    def test_line(self):
+        topo = TopologyBuilder.line(5)
+        assert len(topo.nodes) == 5
+        assert len(topo.links) == 4
+        assert topo.is_connected()
+
+    def test_star(self):
+        topo = TopologyBuilder.star(6)
+        assert len(topo.nodes) == 7
+        assert len(topo.node("hub").interfaces) == 6
+
+    def test_balanced_tree_counts(self):
+        topo = TopologyBuilder.balanced_tree(depth=3, fanout=2)
+        # 1 + 2 + 4 + 8 nodes, 14 links
+        assert len(topo.nodes) == 15
+        assert len(topo.links) == 14
+        assert topo.is_connected()
+
+    def test_balanced_tree_depth_zero(self):
+        topo = TopologyBuilder.balanced_tree(depth=0)
+        assert list(topo.nodes) == ["r"]
+
+    def test_random_connected_is_connected_and_seeded(self):
+        topo1 = TopologyBuilder.random_connected(30, seed=5)
+        topo2 = TopologyBuilder.random_connected(30, seed=5)
+        assert topo1.is_connected()
+        edges1 = {frozenset((l.node_a.name, l.node_b.name)) for l in topo1.links}
+        edges2 = {frozenset((l.node_a.name, l.node_b.name)) for l in topo2.links}
+        assert edges1 == edges2
+
+    def test_random_connected_different_seeds_differ(self):
+        e1 = {frozenset((l.node_a.name, l.node_b.name))
+              for l in TopologyBuilder.random_connected(30, seed=1).links}
+        e2 = {frozenset((l.node_a.name, l.node_b.name))
+              for l in TopologyBuilder.random_connected(30, seed=2).links}
+        assert e1 != e2
+
+    def test_isp_structure(self):
+        topo = TopologyBuilder.isp(n_transit=4, stubs_per_transit=2, hosts_per_stub=3)
+        assert topo.is_connected()
+        assert "t0" in topo.nodes and "e3_1" in topo.nodes and "h3_1_2" in topo.nodes
+        # hosts have degree 1
+        assert len(topo.node("h0_0_0").interfaces) == 1
+
+    def test_isp_small_transit_counts(self):
+        assert TopologyBuilder.isp(n_transit=1).is_connected()
+        assert TopologyBuilder.isp(n_transit=2).is_connected()
+
+    def test_lan(self):
+        topo = TopologyBuilder.lan(8)
+        assert len(topo.node("gw").interfaces) == 8
+
+    def test_invalid_parameters(self):
+        with pytest.raises(TopologyError):
+            TopologyBuilder.line(0)
+        with pytest.raises(TopologyError):
+            TopologyBuilder.star(0)
+        with pytest.raises(TopologyError):
+            TopologyBuilder.balanced_tree(depth=-1)
+        with pytest.raises(TopologyError):
+            TopologyBuilder.random_connected(0)
+
+    def test_diameter_of_line_matches_networkx(self):
+        topo = TopologyBuilder.line(10)
+        graph = topo.graph()
+        assert nx.diameter(graph) == 9

@@ -1,0 +1,56 @@
+"""Unit tests for tracing helpers."""
+
+from repro.netsim.trace import Counter, LatencyStats, PacketTrace
+
+
+class TestPacketTrace:
+    def test_record_and_filter(self):
+        trace = PacketTrace()
+        trace.record(0.0, "a", "tx", "ecmp", 36)
+        trace.record(0.1, "b", "rx", "ecmp", 36)
+        trace.record(0.2, "a", "tx", "data", 1316)
+        assert len(trace) == 3
+        assert len(trace.filter(node="a")) == 2
+        assert len(trace.filter(direction="rx")) == 1
+        assert len(trace.filter(proto="ecmp", node="a")) == 1
+
+    def test_totals(self):
+        trace = PacketTrace()
+        trace.record(0.0, "a", "tx", "ecmp", 16)
+        trace.record(0.0, "a", "tx", "ecmp", 24)
+        assert trace.total_bytes(proto="ecmp") == 40
+        assert trace.count(proto="ecmp") == 2
+        assert trace.count(proto="data") == 0
+
+
+class TestCounter:
+    def test_incr_and_get(self):
+        counter = Counter()
+        counter.incr("x")
+        counter.incr("x", 4)
+        assert counter["x"] == 5
+        assert counter["missing"] == 0
+
+    def test_as_dict(self):
+        counter = Counter()
+        counter.incr("a")
+        counter.incr("b", 2)
+        assert counter.as_dict() == {"a": 1, "b": 2}
+
+
+class TestLatencyStats:
+    def test_statistics(self):
+        stats = LatencyStats()
+        stats.add(0.0, 0.5)
+        stats.add(1.0, 1.1)
+        stats.add(2.0, 2.9)
+        assert len(stats) == 3
+        assert abs(stats.min() - 0.1) < 1e-9
+        assert abs(stats.max() - 0.9) < 1e-9
+        assert abs(stats.mean() - 0.5) < 1e-9
+
+    def test_empty(self):
+        stats = LatencyStats()
+        assert stats.mean() == 0.0
+        assert stats.max() == 0.0
+        assert stats.min() == 0.0

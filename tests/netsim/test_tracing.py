@@ -1,0 +1,81 @@
+"""Tests for network-wide packet tracing (Topology.attach_trace)."""
+
+import pytest
+
+from repro import ExpressNetwork, TopologyBuilder
+from repro.netsim.trace import PacketTrace
+from tests.conftest import make_channel
+
+
+class TestAttachTrace:
+    def test_trace_captures_control_and_data(self):
+        topo = TopologyBuilder.line(2)
+        topo.add_node("hsrc")
+        topo.add_node("hsub")
+        topo.add_link("hsrc", "n0")
+        topo.add_link("hsub", "n1")
+        net = ExpressNetwork(topo, hosts=["hsrc", "hsub"])
+        trace = topo.attach_trace()
+        net.run(until=0.01)
+        src, ch = make_channel(net, "hsrc")
+        net.host("hsub").subscribe(ch)
+        net.settle()
+        src.send(ch, size=1316)
+        net.settle()
+        # Control plane: the join crossed every hop.
+        assert trace.count(proto="ecmp", direction="tx") >= 3
+        # Data plane: one copy per link on the 3-link path.
+        assert trace.count(proto="data", direction="tx") == 3
+        assert trace.count(proto="data", direction="rx") == 3
+        assert trace.total_bytes(proto="data", direction="tx") == 3 * 1316
+
+    def test_per_node_filtering(self):
+        topo = TopologyBuilder.line(2)
+        topo.add_node("hsrc")
+        topo.add_node("hsub")
+        topo.add_link("hsrc", "n0")
+        topo.add_link("hsub", "n1")
+        net = ExpressNetwork(topo, hosts=["hsrc", "hsub"])
+        trace = topo.attach_trace()
+        net.run(until=0.01)
+        src, ch = make_channel(net, "hsrc")
+        net.host("hsub").subscribe(ch)
+        net.settle()
+        src.send(ch)
+        net.settle()
+        assert trace.count(node="n0", proto="data", direction="tx") == 1
+        assert trace.count(node="hsub", proto="data", direction="rx") == 1
+        assert trace.count(node="hsub", proto="data", direction="tx") == 0
+
+    def test_detach_stops_recording(self):
+        topo = TopologyBuilder.line(2)
+        topo.add_node("hsrc")
+        topo.add_node("hsub")
+        topo.add_link("hsrc", "n0")
+        topo.add_link("hsub", "n1")
+        net = ExpressNetwork(topo, hosts=["hsrc", "hsub"])
+        trace = topo.attach_trace()
+        net.run(until=0.01)
+        src, ch = make_channel(net, "hsrc")
+        net.host("hsub").subscribe(ch)
+        net.settle()
+        before = len(trace)
+        topo.detach_trace()
+        src.send(ch)
+        net.settle()
+        assert len(trace) == before
+
+    def test_external_trace_reused(self):
+        topo = TopologyBuilder.line(2)
+        mine = PacketTrace()
+        returned = topo.attach_trace(mine)
+        assert returned is mine
+
+    def test_drop_on_dead_link_recorded(self):
+        topo = TopologyBuilder.line(2)
+        trace = topo.attach_trace()
+        from repro.netsim.packet import Packet
+
+        topo.links[0].fail()
+        topo.node("n0").send(Packet(src=1, dst=2), 0)
+        assert trace.count(direction="drop") == 1

@@ -1,0 +1,92 @@
+"""Property-based invariants for the live group-model stacks.
+
+On random topologies with random membership:
+* every member receives exactly one copy per send, non-members zero
+  (PIM, CBT, and DVMRP alike);
+* DVMRP's first packet touches the whole domain; PIM/CBT state stays on
+  the member-to-RP/core paths.
+"""
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.groupmodel import GroupNetwork
+from repro.inet.addr import parse_address
+from repro.netsim.topology import TopologyBuilder
+
+GROUP = parse_address("224.123.0.7")
+
+SIM_SETTINGS = settings(
+    max_examples=10,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+def build(protocol, n_routers, seed):
+    topo = TopologyBuilder.random_connected(n_routers, seed=seed)
+    hosts = []
+    for i in range(6):
+        name = f"host{i}"
+        topo.add_node(name)
+        topo.add_link(name, f"n{i % n_routers}", delay=0.0005)
+        hosts.append(name)
+    rp = "n0"
+    kwargs = {"rp": rp} if protocol in ("pim", "cbt") else {}
+    return GroupNetwork(topo, protocol=protocol, **kwargs), hosts
+
+
+class TestDeliveryExactness:
+    @SIM_SETTINGS
+    @given(
+        protocol=st.sampled_from(["pim", "cbt", "dvmrp"]),
+        n_routers=st.integers(min_value=3, max_value=12),
+        seed=st.integers(min_value=0, max_value=500),
+        member_mask=st.integers(min_value=1, max_value=31),
+        sender_index=st.integers(min_value=0, max_value=5),
+    )
+    def test_one_copy_per_member_zero_otherwise(
+        self, protocol, n_routers, seed, member_mask, sender_index
+    ):
+        net, hosts = build(protocol, n_routers, seed)
+        members = [h for i, h in enumerate(hosts[:5]) if member_mask & (1 << i)]
+        for member in members:
+            net.join(member, GROUP)
+        net.settle()
+        sender = hosts[sender_index]
+        net.send(sender, GROUP)
+        net.settle(2.0)
+        for host in hosts:
+            expected = 1 if (host in members and host != sender) else 0
+            if host == sender and host in members:
+                # A member-sender hears itself only in PIM, where its
+                # packet loops via the RP back down the shared tree —
+                # unless its first-hop router *is* the RP (the register
+                # short-circuit never echoes to the origin port).
+                if protocol == "pim" and net._first_hop_router(sender) != "n0":
+                    expected = 1
+                else:
+                    expected = 0
+            assert net.delivered(host, GROUP) == expected, (protocol, host)
+
+    @SIM_SETTINGS
+    @given(
+        n_routers=st.integers(min_value=4, max_value=12),
+        seed=st.integers(min_value=0, max_value=500),
+    )
+    def test_dvmrp_floods_domain_pim_does_not(self, n_routers, seed):
+        dvmrp, hosts = build("dvmrp", n_routers, seed)
+        dvmrp.join(hosts[1], GROUP)
+        dvmrp.settle()
+        dvmrp.send(hosts[0], GROUP)
+        dvmrp.settle(2.0)
+        assert dvmrp.routers_touched() == set(dvmrp.routers)
+
+        pim, hosts2 = build("pim", n_routers, seed)
+        pim.join(hosts2[1], GROUP)
+        pim.settle()
+        pim.send(hosts2[0], GROUP)
+        pim.settle(2.0)
+        # PIM state is confined to the member->RP path.
+        path = set(pim.routing.path(pim._first_hop_router(hosts2[1]), "n0"))
+        assert pim.routers_touched() <= path

@@ -1,0 +1,106 @@
+"""Property-based robustness: the protocol self-heals through random
+link failures and recoveries.
+
+On random 2-connected-ish topologies with subscribers in place, fail
+and recover random links; after convergence, delivery and counting must
+be exact again for every subscriber that remains reachable.
+"""
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro import ExpressNetwork
+from repro.netsim.topology import TopologyBuilder
+
+SIM_SETTINGS = settings(
+    max_examples=12,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+def build_net(n_routers, seed):
+    # Extra edges give the failure tests alternate paths.
+    topo = TopologyBuilder.random_connected(
+        n_routers, extra_edge_prob=0.25, seed=seed
+    )
+    hosts = []
+    for i in range(4):
+        name = f"host{i}"
+        topo.add_node(name)
+        topo.add_link(name, f"n{i % n_routers}", delay=0.0005)
+        hosts.append(name)
+    net = ExpressNetwork(topo, hosts=hosts)
+    net.run(until=0.01)
+    return net, hosts
+
+
+class TestFailureRecovery:
+    @SIM_SETTINGS
+    @given(
+        n_routers=st.integers(min_value=4, max_value=10),
+        seed=st.integers(min_value=0, max_value=300),
+        failures=st.lists(st.integers(min_value=0, max_value=100), min_size=1, max_size=3),
+    )
+    def test_delivery_recovers_after_link_flaps(self, n_routers, seed, failures):
+        net, hosts = build_net(n_routers, seed)
+        source = net.source(hosts[0])
+        channel = source.allocate_channel()
+        members = hosts[1:]
+        counters = {m: [] for m in members}
+        for member in members:
+            net.host(member).subscribe(
+                channel, on_data=lambda p, m=member: counters[m].append(p)
+            )
+        net.settle()
+
+        # Flap router-router links only (never partition a host).
+        core_links = [
+            link
+            for link in net.topo.links
+            if link.node_a.name.startswith("n") and link.node_b.name.startswith("n")
+        ]
+        for index in failures:
+            link = core_links[index % len(core_links)]
+            link.fail()
+            net.settle(8.0)  # routing + hysteresis + re-join
+            link.recover()
+            net.settle(8.0)
+
+        # All hosts reachable again (every flapped link recovered).
+        source.send(channel)
+        net.settle(2.0)
+        for member in members:
+            assert counters[member], member
+
+        result = source.count_query(channel, timeout=10.0)
+        net.settle(11.0)
+        assert result.count == len(members)
+
+    @SIM_SETTINGS
+    @given(
+        n_routers=st.integers(min_value=4, max_value=10),
+        seed=st.integers(min_value=0, max_value=300),
+    )
+    def test_no_stale_state_after_full_unsubscribe_under_flaps(self, n_routers, seed):
+        net, hosts = build_net(n_routers, seed)
+        source = net.source(hosts[0])
+        channel = source.allocate_channel()
+        for member in hosts[1:]:
+            net.host(member).subscribe(channel)
+        net.settle()
+        core_links = [
+            link
+            for link in net.topo.links
+            if link.node_a.name.startswith("n") and link.node_b.name.startswith("n")
+        ]
+        core_links[seed % len(core_links)].fail()
+        net.settle(8.0)
+        for member in hosts[1:]:
+            net.host(member).unsubscribe(channel)
+        net.settle(8.0)
+        core_links[seed % len(core_links)].recover()
+        net.settle(8.0)
+        # Everything torn down; no orphaned FIB entries anywhere.
+        assert net.fib_entries_total() == 0
+        assert net.nodes_on_tree(channel) == set()

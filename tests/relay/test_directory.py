@@ -1,0 +1,103 @@
+"""Tests for the push-channel session directory (§4.1)."""
+
+import pytest
+
+from repro.errors import RelayError
+from repro.relay.directory import (
+    DirectoryListener,
+    SessionAnnouncement,
+    SessionDirectory,
+)
+from repro.relay.session import SessionRelay
+
+
+def build_directory(net, readvertise=60.0):
+    return SessionDirectory(net, "h0_0_0", readvertise_interval=readvertise)
+
+
+class TestAnnouncement:
+    def test_push_reaches_subscribed_listeners(self, isp_net):
+        net = isp_net
+        directory = build_directory(net)
+        heard = []
+        listener = DirectoryListener(
+            net, "h1_0_0", directory.channel, on_announcement=heard.append
+        )
+        net.settle()
+        lecture = SessionRelay(net, "h2_0_0")
+        directory.announce(
+            SessionAnnouncement(
+                name="networking-101",
+                channel=lecture.channel,
+                starts_at=net.sim.now + 100,
+                topic="RPF for fun and profit",
+            )
+        )
+        net.settle()
+        assert [a.name for a in heard] == ["networking-101"]
+        assert listener.lookup("networking-101").channel == lecture.channel
+
+    def test_duplicate_announcement_rejected(self, isp_net):
+        net = isp_net
+        directory = build_directory(net)
+        lecture = SessionRelay(net, "h2_0_0")
+        announcement = SessionAnnouncement(
+            name="x", channel=lecture.channel, starts_at=0.0
+        )
+        directory.announce(announcement)
+        with pytest.raises(RelayError):
+            directory.announce(announcement)
+
+    def test_late_joiner_catches_readvertisement(self, isp_net):
+        net = isp_net
+        directory = build_directory(net, readvertise=30.0)
+        lecture = SessionRelay(net, "h2_0_0")
+        directory.announce(
+            SessionAnnouncement(name="late-show", channel=lecture.channel, starts_at=0.0)
+        )
+        net.settle()
+        # This listener subscribes *after* the initial push.
+        listener = DirectoryListener(net, "h1_1_0", directory.channel)
+        net.run(until=net.sim.now + 35.0)
+        assert "late-show" in listener.known
+
+    def test_withdrawn_sessions_stop_readvertising(self, isp_net):
+        net = isp_net
+        directory = build_directory(net, readvertise=10.0)
+        lecture = SessionRelay(net, "h2_0_0")
+        directory.announce(
+            SessionAnnouncement(name="gone", channel=lecture.channel, starts_at=0.0)
+        )
+        net.settle()
+        directory.withdraw("gone")
+        sent_before = directory.announcements_sent
+        net.run(until=net.sim.now + 25.0)
+        assert directory.announcements_sent == sent_before
+
+
+class TestJoinViaDirectory:
+    def test_discover_then_join_and_receive(self, isp_net):
+        """The full §4.1 flow: learn (SR,E) from the directory push,
+        subscribe, and hear the lecture."""
+        net = isp_net
+        directory = build_directory(net)
+        listener = DirectoryListener(net, "h1_0_0", directory.channel)
+        net.settle()
+        lecture = SessionRelay(net, "h2_0_0")
+        directory.announce(
+            SessionAnnouncement(name="talk", channel=lecture.channel, starts_at=0.0)
+        )
+        net.settle()
+        got = []
+        listener.join_session("talk", on_data=got.append)
+        net.settle()
+        lecture.speak_from_relay("hello, discovered audience")
+        net.settle()
+        assert len(got) == 1
+
+    def test_lookup_unknown_session_raises(self, isp_net):
+        net = isp_net
+        directory = build_directory(net)
+        listener = DirectoryListener(net, "h1_0_0", directory.channel)
+        with pytest.raises(RelayError):
+            listener.lookup("nope")

@@ -1,0 +1,107 @@
+"""Unit tests for floor control."""
+
+import pytest
+
+from repro.errors import RelayError
+from repro.relay.floor import FloorControl, FloorDecision
+
+
+class TestGrantRelease:
+    def test_free_floor_granted_immediately(self):
+        floor = FloorControl()
+        assert floor.request("alice") is FloorDecision.GRANTED
+        assert floor.holder == "alice"
+        assert floor.may_speak("alice")
+
+    def test_busy_floor_queues(self):
+        floor = FloorControl()
+        floor.request("alice")
+        assert floor.request("bob") is FloorDecision.QUEUED
+        assert not floor.may_speak("bob")
+
+    def test_release_promotes_next_in_queue(self):
+        floor = FloorControl()
+        floor.request("alice")
+        floor.request("bob")
+        floor.request("carol")
+        assert floor.release("alice") == "bob"
+        assert floor.holder == "bob"
+        assert floor.release("bob") == "carol"
+        assert floor.release("carol") is None
+        assert floor.holder is None
+
+    def test_release_without_holding_raises(self):
+        floor = FloorControl()
+        floor.request("alice")
+        with pytest.raises(RelayError):
+            floor.release("mallory")
+
+    def test_queued_member_can_withdraw(self):
+        floor = FloorControl()
+        floor.request("alice")
+        floor.request("bob")
+        assert floor.release("bob") is None  # withdraw from queue
+        assert floor.release("alice") is None  # queue now empty
+
+    def test_duplicate_request_stays_queued(self):
+        floor = FloorControl()
+        floor.request("alice")
+        floor.request("bob")
+        assert floor.request("bob") is FloorDecision.QUEUED
+        assert list(floor.queue).count("bob") == 1
+
+    def test_holder_re_request_is_queued_not_double_granted(self):
+        floor = FloorControl()
+        floor.request("alice")
+        assert floor.request("alice") is FloorDecision.QUEUED
+        assert floor.grants_given["alice"] == 1
+
+
+class TestModeration:
+    def test_moderator_always_may_speak(self):
+        floor = FloorControl(moderator="teacher")
+        floor.request("alice")
+        assert floor.may_speak("teacher")
+        assert floor.may_speak("alice")
+
+    def test_max_questions_enforced(self):
+        """§4.2: "no member disrupts the session with excessive
+        questions"."""
+        floor = FloorControl(max_questions=2)
+        for _ in range(2):
+            assert floor.request("alice") is FloorDecision.GRANTED
+            floor.release("alice")
+        assert floor.request("alice") is FloorDecision.DENIED
+        assert floor.stats.denials == 1
+
+    def test_exhausted_member_skipped_in_queue(self):
+        floor = FloorControl(max_questions=1)
+        floor.request("alice")       # grant 1 for alice
+        floor.request("bob")
+        floor.release("alice")       # bob granted (his 1st)
+        floor.request("alice")       # denied: alice exhausted
+        assert floor.holder == "bob"
+        assert floor.release("bob") is None
+
+    def test_authorization_list(self):
+        floor = FloorControl(authorized={"alice"})
+        assert floor.request("alice") is FloorDecision.GRANTED
+        floor.release("alice")
+        assert floor.request("mallory") is FloorDecision.DENIED
+
+    def test_revoke(self):
+        floor = FloorControl()
+        floor.request("alice")
+        assert floor.revoke() == "alice"
+        assert floor.holder is None
+        assert floor.revoke() is None
+
+    def test_stats(self):
+        floor = FloorControl(max_questions=1)
+        floor.request("a")
+        floor.request("b")
+        floor.release("a")
+        floor.request("a")
+        assert floor.stats.grants == 2
+        assert floor.stats.queued == 1
+        assert floor.stats.denials == 1

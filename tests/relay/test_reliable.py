@@ -1,0 +1,96 @@
+"""Integration tests: reliable relaying with NACK counting (§4.2,
+§2.2.1)."""
+
+import pytest
+
+from repro.errors import RelayError
+from repro.relay import ReliableReceiver, ReliableRelay, SessionParticipant, SessionRelay
+
+
+def build_reliable(net, participants=("h1_0_0", "h2_0_0", "h2_1_1")):
+    relay = SessionRelay(net, "h0_0_0")
+    reliable = ReliableRelay(relay)
+    receivers = []
+    for name in participants:
+        participant = SessionParticipant(net, name, relay)
+        receivers.append(ReliableReceiver(participant))
+    net.settle()
+    return relay, reliable, receivers
+
+
+class TestSequencing:
+    def test_send_buffers_and_sequences(self, isp_net):
+        relay, reliable, receivers = build_reliable(isp_net)
+        seq1, _ = reliable.send("a")
+        seq2, _ = reliable.send("b")
+        assert seq2 > seq1
+        assert set(reliable.buffer) == {seq1, seq2}
+        isp_net.settle()
+        for receiver in receivers:
+            assert receiver.missing() == set()
+
+    def test_buffer_limit_evicts_oldest(self, isp_net):
+        relay, reliable, receivers = build_reliable(isp_net)
+        reliable.buffer_limit = 2
+        seqs = [reliable.send(i)[0] for i in range(4)]
+        assert set(reliable.buffer) == set(seqs[-2:])
+
+
+class TestNackCollection:
+    def test_zero_nacks_when_all_received(self, isp_net):
+        net = isp_net
+        relay, reliable, receivers = build_reliable(net)
+        seq, _ = reliable.send("payload")
+        net.settle()
+        result = reliable.check_packet(seq, timeout=5.0)
+        net.settle(6.0)
+        assert result.count == 0
+        assert reliable.retransmissions == 0
+
+    def test_missing_packet_counted_and_repaired(self, isp_net):
+        """"efficiently collect ... negative acknowledgments to
+        determine how many subscribers missed a particular packet"."""
+        net = isp_net
+        relay, reliable, receivers = build_reliable(net)
+        seq, _ = reliable.send("important")
+        net.settle()
+        # Two receivers "lose" the packet.
+        for receiver in receivers[:2]:
+            receiver.received_seqs.discard(seq)
+        result = reliable.check_packet(seq, timeout=5.0)
+        net.settle(6.0)
+        assert result.count == 2
+        # Repair was multicast; everyone is whole again.
+        assert reliable.retransmissions == 1
+        net.settle()
+        for receiver in receivers:
+            assert seq in receiver.received_seqs
+
+    def test_check_without_repair(self, isp_net):
+        net = isp_net
+        relay, reliable, receivers = build_reliable(net)
+        seq, _ = reliable.send("x")
+        net.settle()
+        receivers[0].received_seqs.discard(seq)
+        result = reliable.check_packet(seq, timeout=5.0, repair=False)
+        net.settle(6.0)
+        assert result.count == 1
+        assert reliable.retransmissions == 0
+
+    def test_gap_tracking(self, isp_net):
+        net = isp_net
+        relay, reliable, receivers = build_reliable(net)
+        s1, _ = reliable.send("a")
+        s2, _ = reliable.send("b")
+        s3, _ = reliable.send("c")
+        net.settle()
+        receiver = receivers[0]
+        receiver.received_seqs.discard(s2)
+        assert receiver.missing() == {s2}
+
+    def test_unbuffered_seq_rejected(self, isp_net):
+        relay, reliable, receivers = build_reliable(isp_net)
+        with pytest.raises(RelayError):
+            reliable.check_packet(9999)
+        with pytest.raises(RelayError):
+            reliable.retransmit(9999)

@@ -1,0 +1,112 @@
+"""Tests for the RTCP-over-counting adaptation (§4.5)."""
+
+import pytest
+
+from repro.errors import RelayError
+from repro.relay.rtcp import ReceptionMonitor, SessionQuality
+from repro.relay.session import SessionParticipant, SessionRelay
+
+
+def build_monitored(net, participants=("h1_0_0", "h2_0_0", "h2_1_1")):
+    relay = SessionRelay(net, "h0_0_0")
+    monitors = []
+    for name in participants:
+        participant = SessionParticipant(net, name, relay)
+        monitors.append(ReceptionMonitor(participant, high_loss_threshold=0.2))
+    net.settle()
+    return relay, monitors
+
+
+class TestReceptionMonitor:
+    def test_no_loss_initially(self, isp_net):
+        relay, monitors = build_monitored(isp_net)
+        for _ in range(5):
+            relay.speak_from_relay("frame")
+        isp_net.settle()
+        for monitor in monitors:
+            assert monitor.lost_packets() == 0
+            assert monitor.loss_rate() == 0.0
+
+    def test_gap_counts_as_loss(self, isp_net):
+        relay, monitors = build_monitored(isp_net)
+        for _ in range(10):
+            relay.speak_from_relay("frame")
+        isp_net.settle()
+        monitor = monitors[0]
+        seqs = sorted(monitor.receiver.received_seqs)
+        monitor.receiver.received_seqs.discard(seqs[3])
+        monitor.receiver.received_seqs.discard(seqs[5])
+        assert monitor.lost_packets() == 2
+        assert monitor.loss_rate() == pytest.approx(2 / monitor.receiver.highest_seen)
+
+    def test_threshold_validation(self, isp_net):
+        relay, monitors = build_monitored(isp_net)
+        participant = monitors[0].participant
+        with pytest.raises(RelayError):
+            ReceptionMonitor(participant, high_loss_threshold=1.5)
+
+
+class TestSessionQuality:
+    def test_clean_session_report(self, isp_net):
+        net = isp_net
+        relay, monitors = build_monitored(net)
+        for _ in range(8):
+            relay.speak_from_relay("frame")
+        net.settle()
+        quality = SessionQuality(relay)
+        collection = quality.collect(timeout=5.0)
+        net.settle(6.0)
+        assert collection.done
+        report = collection.report
+        assert report.group_size == 3
+        assert report.total_lost == 0
+        assert report.high_loss_receivers == 0
+        assert report.mean_loss_rate == 0.0
+
+    def test_lossy_receivers_reported(self, isp_net):
+        net = isp_net
+        relay, monitors = build_monitored(net)
+        for _ in range(10):
+            relay.speak_from_relay("frame")
+        net.settle()
+        # Receiver 0 lost 3 of ~10 (high loss at 20% threshold);
+        # receiver 1 lost 1 (below threshold).
+        seqs0 = sorted(monitors[0].receiver.received_seqs)
+        for seq in seqs0[:3]:
+            monitors[0].receiver.received_seqs.discard(seq)
+        seqs1 = sorted(monitors[1].receiver.received_seqs)
+        monitors[1].receiver.received_seqs.discard(seqs1[0])
+
+        quality = SessionQuality(relay)
+        collection = quality.collect(timeout=5.0)
+        net.settle(6.0)
+        report = collection.report
+        assert report.group_size == 3
+        assert report.total_lost == 4
+        assert report.high_loss_receivers == 1
+        assert report.mean_lost_per_receiver == pytest.approx(4 / 3)
+
+    def test_three_queries_replace_n_reports(self, isp_net):
+        """The point of the adaptation: source-side message load is
+        O(fanout), independent of group size."""
+        net = isp_net
+        relay, monitors = build_monitored(net)
+        relay.speak_from_relay("x")
+        net.settle()
+        sr_agent = net.ecmp_agents["h0_0_0"]
+        rx_before = sr_agent.stats.get("counts_rx")
+        quality = SessionQuality(relay)
+        quality.collect(timeout=5.0)
+        net.settle(6.0)
+        replies_at_source = sr_agent.stats.get("counts_rx") - rx_before
+        # Three queries, each returning via the single first-hop
+        # neighbor: 3 replies, not 3 x group_size.
+        assert replies_at_source == 3
+
+    def test_last_report_cached(self, isp_net):
+        net = isp_net
+        relay, monitors = build_monitored(net)
+        quality = SessionQuality(relay)
+        quality.collect(timeout=5.0)
+        net.settle(6.0)
+        assert quality.last_report is not None

@@ -1,0 +1,152 @@
+"""Integration tests: the session-relay middleware (§4)."""
+
+import pytest
+
+from repro import make_key
+from repro.relay import (
+    FloorControl,
+    SessionParticipant,
+    SessionRelay,
+    direct_channel_switchover,
+)
+
+
+def build_session(net, sr_host="h0_0_0", participants=("h1_0_0", "h2_0_0", "h2_1_1"), floor=None):
+    relay = SessionRelay(net, sr_host, floor=floor)
+    members = [SessionParticipant(net, name, relay) for name in participants]
+    net.settle()
+    return relay, members
+
+
+class TestRelaying:
+    def test_relay_resident_speaker_reaches_all(self, isp_net):
+        relay, members = build_session(isp_net)
+        relay.speak_from_relay("welcome")
+        isp_net.settle()
+        for member in members:
+            assert [m.body for m in member.heard_talks] == ["welcome"]
+
+    def test_participant_speech_relayed_to_everyone(self, isp_net):
+        """Students' questions reach the other students via the SR."""
+        relay, members = build_session(isp_net)
+        members[0].speak("question?")
+        isp_net.settle()
+        for member in members:
+            assert [m.body for m in member.heard_talks] == ["question?"]
+        assert relay.relayed == 1
+
+    def test_sequence_numbers_increase(self, isp_net):
+        relay, members = build_session(isp_net)
+        relay.speak_from_relay("a")
+        relay.speak_from_relay("b")
+        isp_net.settle()
+        seqs = [m.seq for m in members[0].heard_talks]
+        assert seqs == sorted(seqs) and len(set(seqs)) == 2
+
+    def test_leave_stops_delivery(self, isp_net):
+        relay, members = build_session(isp_net)
+        members[1].leave()
+        isp_net.settle()
+        relay.speak_from_relay("after-leave")
+        isp_net.settle()
+        assert members[0].heard_talks and not members[1].heard_talks
+
+    def test_stopped_relay_is_silent(self, isp_net):
+        relay, members = build_session(isp_net)
+        relay.stop()
+        relay.speak_from_relay("void")
+        members[0].speak("void too")
+        isp_net.settle()
+        assert not members[1].heard_talks
+
+    def test_keyed_session_requires_key(self, isp_net):
+        """A restricted session: the SR keys its channel; only invited
+        participants (who got the key out of band) can join."""
+        net = isp_net
+        from repro.core.keys import ChannelKey
+
+        relay = SessionRelay(net, "h0_0_0", secret=b"invite-only")
+        invited = SessionParticipant(net, "h1_0_0", relay, key=relay.key)
+        crasher = SessionParticipant(net, "h2_0_0", relay, key=ChannelKey(b"wrongkey"))
+        net.settle()
+        assert invited.subscription.status == "active"
+        assert crasher.subscription.status == "denied"
+        relay.speak_from_relay("secret lecture")
+        net.settle()
+        assert invited.heard_talks
+        assert not crasher.heard_talks
+
+
+class TestFloorControlledSession:
+    def test_non_holder_speech_blocked(self, isp_net):
+        floor = FloorControl(moderator="h0_0_0")
+        relay, members = build_session(isp_net, floor=floor)
+        members[0].speak("barge-in")
+        isp_net.settle()
+        assert relay.blocked == 1
+        assert not members[1].heard_talks
+
+    def test_grant_then_speech_relayed(self, isp_net):
+        """§4.2: "one question is transmitted to the audience at a
+        time"."""
+        floor = FloorControl(moderator="h0_0_0")
+        relay, members = build_session(isp_net, floor=floor)
+        members[0].request_floor()
+        isp_net.settle()
+        assert members[0].has_floor
+        members[0].speak("my question")
+        isp_net.settle()
+        assert [m.body for m in members[1].heard_talks] == ["my question"]
+
+    def test_release_hands_floor_to_queued_member(self, isp_net):
+        floor = FloorControl(moderator="h0_0_0")
+        relay, members = build_session(isp_net, floor=floor)
+        members[0].request_floor()
+        isp_net.settle()
+        members[1].request_floor()
+        isp_net.settle()
+        assert not members[1].has_floor
+        members[0].release_floor()
+        isp_net.settle()
+        assert members[1].has_floor
+
+    def test_moderator_speaks_without_floor(self, isp_net):
+        floor = FloorControl(moderator="h0_0_0")
+        relay, members = build_session(isp_net, floor=floor)
+        relay.speak_from_relay("lecture content")
+        isp_net.settle()
+        assert members[0].heard_talks
+
+    def test_denied_member_notified(self, isp_net):
+        floor = FloorControl(moderator="h0_0_0", max_questions=0)
+        relay, members = build_session(isp_net, floor=floor)
+        members[0].request_floor()
+        isp_net.settle()
+        assert not members[0].has_floor
+        kinds = [m.kind for m in members[0].received]
+        assert "floor_deny" in kinds
+
+
+class TestDirectChannelSwitchover:
+    def test_secondary_source_gets_own_channel(self, isp_net):
+        """§4.1: a long-talking secondary source switches from relaying
+        to a direct channel announced through the SR."""
+        net = isp_net
+        relay, members = build_session(net)
+        speaker = members[0]  # h1_0_0 becomes a direct source
+        direct = direct_channel_switchover(net, relay, speaker.name, members)
+        net.settle()
+        # Announcement went out on the session channel.
+        assert any(m.kind == "announce_channel" for m in members[1].received)
+        # Direct traffic now flows without transiting the SR.
+        got = []
+        net.ecmp_agents[members[1].name].subscriptions[direct].on_data = got.append
+        net.source(speaker.name).send(direct)
+        net.settle()
+        assert len(got) == 1
+        # The direct path beats the two-leg relay path.
+        direct_hops = net.routing.hop_count(speaker.name, members[1].name)
+        relay_hops = net.routing.hop_count(speaker.name, "h0_0_0") + net.routing.hop_count(
+            "h0_0_0", members[1].name
+        )
+        assert direct_hops <= relay_hops

@@ -1,0 +1,95 @@
+"""Session-relay edge cases: heartbeats, cross-session isolation,
+unknown message kinds."""
+
+import pytest
+
+from repro.relay import RelayMessage, SessionParticipant, SessionRelay
+
+
+class TestHeartbeats:
+    def test_heartbeats_reach_participants(self, isp_net):
+        net = isp_net
+        relay = SessionRelay(net, "h0_0_0", heartbeat_interval=1.0)
+        member = SessionParticipant(net, "h1_0_0", relay)
+        net.run(until=net.sim.now + 3.5)
+        assert member.last_heartbeat_at is not None
+        first = member.last_heartbeat_at
+        net.run(until=net.sim.now + 2.0)
+        assert member.last_heartbeat_at > first
+
+    def test_no_heartbeat_without_interval(self, isp_net):
+        net = isp_net
+        relay = SessionRelay(net, "h0_0_0")
+        member = SessionParticipant(net, "h1_0_0", relay)
+        net.run(until=net.sim.now + 5.0)
+        assert member.last_heartbeat_at is None
+
+
+class TestSessionIsolation:
+    def test_messages_for_other_sessions_ignored(self, isp_net):
+        """A unicast RelayMessage with a foreign session id is ignored
+        by the SR (two SRs on one host stay separate)."""
+        net = isp_net
+        relay_a = SessionRelay(net, "h0_0_0")
+        relay_b = SessionRelay(net, "h0_0_0")
+        member_a = SessionParticipant(net, "h1_0_0", relay_a)
+        member_b = SessionParticipant(net, "h2_0_0", relay_b)
+        net.settle()
+        member_a.speak("for session A only")
+        net.settle()
+        # The speaker hears its own relayed talk back (it is a channel
+        # subscriber like everyone else).
+        assert [m.body for m in member_a.heard_talks] == ["for session A only"]
+        assert relay_a.relayed == 1
+        assert relay_b.relayed == 0
+        assert member_b.heard_talks == []
+
+    def test_two_sessions_one_sr_host_distinct_channels(self, isp_net):
+        net = isp_net
+        relay_a = SessionRelay(net, "h0_0_0")
+        relay_b = SessionRelay(net, "h0_0_0")
+        assert relay_a.channel != relay_b.channel
+        assert relay_a.session_id != relay_b.session_id
+
+    def test_non_relay_payload_ignored(self, isp_net):
+        """Arbitrary unicast traffic to the SR host does not confuse
+        the relay."""
+        net = isp_net
+        relay = SessionRelay(net, "h0_0_0")
+        member = SessionParticipant(net, "h1_0_0", relay)
+        net.settle()
+        from repro.netsim.packet import Packet
+
+        junk = Packet(
+            src=net.host("h2_0_0").address,
+            dst=relay.address,
+            proto="data",
+            payload={"not": "a RelayMessage"},
+        )
+        net.forwarders["h2_0_0"].emit_unicast(junk)
+        net.settle()
+        assert relay.relayed == 0
+
+
+class TestFloorlessRelay:
+    def test_without_floor_everyone_is_relayed(self, isp_net):
+        net = isp_net
+        relay = SessionRelay(net, "h0_0_0")  # no floor control
+        members = [
+            SessionParticipant(net, name, relay) for name in ("h1_0_0", "h2_0_0")
+        ]
+        net.settle()
+        members[0].speak("a")
+        members[1].speak("b")
+        net.settle()
+        assert relay.relayed == 2
+        assert relay.blocked == 0
+
+    def test_floor_request_without_floor_control_is_noop(self, isp_net):
+        net = isp_net
+        relay = SessionRelay(net, "h0_0_0")
+        member = SessionParticipant(net, "h1_0_0", relay)
+        net.settle()
+        member.request_floor()
+        net.settle()
+        assert not member.has_floor  # nothing grants it; nothing breaks

@@ -1,0 +1,89 @@
+"""Integration tests: hot/cold standby SR failover (§4.2)."""
+
+import pytest
+
+from repro.errors import RelayError
+from repro.relay import SessionParticipant, SessionRelay, StandbyCoordinator, StandbyMode
+
+
+def build_standby(net, mode, heartbeat=1.0):
+    primary = SessionRelay(net, "h0_0_0", heartbeat_interval=heartbeat)
+    backup = SessionRelay(net, "h0_1_0", heartbeat_interval=heartbeat)
+    coordinator = StandbyCoordinator(
+        net, primary, backup, mode=mode, heartbeat_interval=heartbeat
+    )
+    members = [SessionParticipant(net, name, primary) for name in ("h1_0_0", "h2_0_0")]
+    for member in members:
+        coordinator.enroll(member)
+    net.settle(3.0)  # let heartbeats start flowing
+    return primary, backup, coordinator, members
+
+
+class TestHotStandby:
+    def test_hot_failover_recovers_all(self, isp_net):
+        net = isp_net
+        primary, backup, coordinator, members = build_standby(net, StandbyMode.HOT)
+        coordinator.fail_primary()
+        net.run(until=net.sim.now + 20)
+        assert set(coordinator.failed_over) == {"h1_0_0", "h2_0_0"}
+        backup.speak_from_relay("backup live")
+        net.run(until=net.sim.now + 10)
+        assert coordinator.all_recovered()
+
+    def test_hot_standby_doubles_channel_state(self, isp_net):
+        """§4.5: "The use of a hot standby SR/channel adds additional
+        state (approximately twice as much)"."""
+        net = isp_net
+        primary, backup, coordinator, members = build_standby(net, StandbyMode.HOT)
+        assert coordinator.standby_state_entries() > 0
+
+    def test_hot_faster_than_cold(self, isp_net):
+        """Hot pre-subscription saves the join round on failover."""
+        net = isp_net
+        primary, backup, coordinator, members = build_standby(net, StandbyMode.HOT)
+        coordinator.fail_primary()
+        net.run(until=net.sim.now + 20)
+        backup.speak_from_relay("x")
+        net.run(until=net.sim.now + 10)
+        hot_times = coordinator.recovery_times()
+        assert hot_times  # recovered
+
+    def test_no_spurious_failover_while_healthy(self, isp_net):
+        net = isp_net
+        primary, backup, coordinator, members = build_standby(net, StandbyMode.HOT)
+        net.run(until=net.sim.now + 30)
+        assert coordinator.failed_over == {}
+
+
+class TestColdStandby:
+    def test_cold_failover_subscribes_on_demand(self, isp_net):
+        net = isp_net
+        primary, backup, coordinator, members = build_standby(net, StandbyMode.COLD)
+        # Cold: no backup-channel state before the failure.
+        assert coordinator.standby_state_entries() == 0
+        coordinator.fail_primary()
+        net.run(until=net.sim.now + 20)
+        assert set(coordinator.failed_over) == {"h1_0_0", "h2_0_0"}
+        backup.speak_from_relay("cold backup live")
+        net.run(until=net.sim.now + 10)
+        assert coordinator.all_recovered()
+        assert coordinator.standby_state_entries() > 0
+
+    def test_detection_time_bounded_by_miss_threshold(self, isp_net):
+        net = isp_net
+        primary, backup, coordinator, members = build_standby(net, StandbyMode.COLD)
+        fail_at = net.sim.now
+        coordinator.fail_primary()
+        net.run(until=net.sim.now + 20)
+        for record in coordinator.failed_over.values():
+            detection = record.detected_at - fail_at
+            assert detection <= (coordinator.miss_threshold + 2) * coordinator.heartbeat_interval
+
+
+class TestValidation:
+    def test_primary_must_heartbeat(self, isp_net):
+        net = isp_net
+        silent = SessionRelay(net, "h0_0_0")  # no heartbeat
+        backup = SessionRelay(net, "h0_1_0", heartbeat_interval=1.0)
+        with pytest.raises(RelayError):
+            StandbyCoordinator(net, silent, backup)

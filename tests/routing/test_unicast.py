@@ -1,0 +1,120 @@
+"""Unit tests for link-state unicast routing."""
+
+import pytest
+
+from repro.errors import RoutingError
+from repro.netsim.topology import Topology, TopologyBuilder
+from repro.routing.unicast import UnicastRouting
+
+
+def diamond():
+    """a - b - d and a - c - d with unequal costs."""
+    topo = Topology()
+    for name in "abcd":
+        topo.add_node(name)
+    topo.add_link("a", "b", delay=0.001)
+    topo.add_link("b", "d", delay=0.001)
+    topo.add_link("a", "c", delay=0.005)
+    topo.add_link("c", "d", delay=0.005)
+    return topo
+
+
+class TestShortestPaths:
+    def test_line_next_hops(self):
+        topo = TopologyBuilder.line(4)
+        routing = UnicastRouting(topo)
+        assert routing.next_hop("n0", "n3") == "n1"
+        assert routing.next_hop("n3", "n0") == "n2"
+        assert routing.next_hop("n1", "n1") is None
+
+    def test_path_and_hop_count(self):
+        topo = TopologyBuilder.line(5)
+        routing = UnicastRouting(topo)
+        assert routing.path("n0", "n4") == ["n0", "n1", "n2", "n3", "n4"]
+        assert routing.hop_count("n0", "n4") == 4
+        assert routing.path("n2", "n2") == ["n2"]
+
+    def test_prefers_lower_metric(self):
+        routing = UnicastRouting(diamond())
+        assert routing.path("a", "d") == ["a", "b", "d"]
+        assert routing.distance("a", "d") == pytest.approx(0.002)
+
+    def test_distance_symmetric(self):
+        routing = UnicastRouting(diamond())
+        assert routing.distance("a", "d") == routing.distance("d", "a")
+
+    def test_equal_cost_ties_deterministic(self):
+        topo = Topology()
+        for name in "axbyd":
+            topo.add_node(name)
+        for mid in "xy":
+            topo.add_link("a", mid, delay=0.001)
+            topo.add_link(mid, "d", delay=0.001)
+        r1 = UnicastRouting(topo)
+        hop = r1.next_hop("a", "d")
+        # Recompute repeatedly: the tie must break the same way.
+        for _ in range(5):
+            r1.recompute()
+            assert r1.next_hop("a", "d") == hop
+
+    def test_unknown_destination_raises(self):
+        routing = UnicastRouting(TopologyBuilder.line(2))
+        with pytest.raises(RoutingError):
+            routing.next_hop("n0", "zzz")
+
+    def test_unreachable_after_partition(self):
+        topo = TopologyBuilder.line(3)
+        routing = UnicastRouting(topo)
+        topo.links[0].fail()
+        routing.recompute()
+        assert routing.next_hop("n0", "n2") is None
+        assert not routing.reachable("n0", "n2")
+        with pytest.raises(RoutingError):
+            routing.path("n0", "n2")
+
+    def test_recompute_after_recovery(self):
+        topo = TopologyBuilder.line(3)
+        routing = UnicastRouting(topo)
+        topo.links[0].fail()
+        routing.recompute()
+        topo.links[0].recover()
+        routing.recompute()
+        assert routing.path("n0", "n2") == ["n0", "n1", "n2"]
+
+    def test_reroute_around_failure(self):
+        topo = diamond()
+        routing = UnicastRouting(topo)
+        topo.link_between("a", "b").fail()
+        routing.recompute()
+        assert routing.path("a", "d") == ["a", "c", "d"]
+
+    def test_recompute_listeners_called(self):
+        routing = UnicastRouting(TopologyBuilder.line(2))
+        calls = []
+        routing.on_recompute(lambda: calls.append(1))
+        routing.recompute()
+        routing.recompute()
+        assert calls == [1, 1]
+
+    def test_spanning_tree_to_is_complete(self):
+        topo = TopologyBuilder.balanced_tree(depth=3, fanout=2)
+        routing = UnicastRouting(topo)
+        tree = routing.spanning_tree_to("r")
+        assert tree["r"] is None
+        assert all(parent is not None for name, parent in tree.items() if name != "r")
+        # Every parent pointer walks to the root.
+        for name in topo.nodes:
+            assert routing.path(name, "r")[-1] == "r"
+
+
+class TestAgainstNetworkx:
+    def test_distances_match_networkx(self):
+        import networkx as nx
+
+        topo = TopologyBuilder.random_connected(40, seed=9)
+        routing = UnicastRouting(topo)
+        graph = topo.graph()
+        lengths = dict(nx.all_pairs_dijkstra_path_length(graph))
+        for src in list(topo.nodes)[:10]:
+            for dst in list(topo.nodes)[:10]:
+                assert routing.distance(src, dst) == pytest.approx(lengths[src][dst])

@@ -1,0 +1,137 @@
+"""A day-in-the-life integration test: every major subsystem together.
+
+One network hosts, concurrently: an authenticated pay-TV channel with
+billing, a floor-controlled lecture discovered through the session
+directory with a hot standby, and a reliable file push — then a core
+link fails mid-run and everything must keep working or fail over.
+"""
+
+import pytest
+
+from repro import ExpressNetwork, TopologyBuilder, make_key
+from repro.core.keys import ChannelKey
+from repro.costmodel.billing import BillingCollector
+from repro.relay import (
+    DirectoryListener,
+    FloorControl,
+    ReliableReceiver,
+    ReliableRelay,
+    SessionAnnouncement,
+    SessionDirectory,
+    SessionParticipant,
+    SessionRelay,
+    StandbyCoordinator,
+    StandbyMode,
+)
+
+
+@pytest.fixture(scope="module")
+def world():
+    topo = TopologyBuilder.isp(n_transit=4, stubs_per_transit=2, hosts_per_stub=2)
+    net = ExpressNetwork(topo)
+    net.run(until=0.1)
+    return net
+
+
+def test_day_in_the_life(world):
+    net = world
+
+    # --- 1. Pay TV with billing -----------------------------------------
+    station = net.source("h0_0_0")
+    feed = station.allocate_channel()
+    key = make_key(feed)
+    station.channel_key(feed, key)
+    viewers = ["h1_0_0", "h2_0_0", "h3_0_0", "h3_1_1"]
+    frames = {name: 0 for name in viewers}
+    for name in viewers:
+        def bump(_pkt, who=name):
+            frames[who] += 1
+        net.host(name).subscribe(feed, key=key, on_data=bump)
+    pirate = net.host("h1_1_0").subscribe(feed, key=ChannelKey(b"cracked!"))
+    billing = BillingCollector(station, feed, interval=30.0)
+    billing.start()
+
+    # --- 2. A lecture, discovered via the directory ---------------------
+    directory = SessionDirectory(net, "h0_0_1", readvertise_interval=20.0)
+    floor = FloorControl(moderator="h0_1_0", max_questions=1)
+    lecture = SessionRelay(net, "h0_1_0", floor=floor, heartbeat_interval=1.0)
+    backup = SessionRelay(net, "h0_1_1", heartbeat_interval=1.0)
+    standby = StandbyCoordinator(net, lecture, backup, mode=StandbyMode.HOT)
+    listener_hosts = ["h1_0_1", "h2_1_0"]
+    listeners = {
+        name: DirectoryListener(net, name, directory.channel)
+        for name in listener_hosts
+    }
+    net.settle()
+    directory.announce(
+        SessionAnnouncement(
+            name="networking-201", channel=lecture.channel, starts_at=net.sim.now
+        )
+    )
+    net.settle()
+    students = []
+    for name in listener_hosts:
+        assert "networking-201" in listeners[name].known
+        student = SessionParticipant(net, name, lecture)
+        standby.enroll(student)
+        students.append(student)
+
+    # --- 3. Reliable file push -------------------------------------------
+    pusher = SessionRelay(net, "h2_0_1")
+    reliable = ReliableRelay(pusher)
+    receivers = [
+        ReliableReceiver(SessionParticipant(net, name, pusher))
+        for name in ("h3_1_0", "h1_1_1")
+    ]
+    net.settle(2.0)
+
+    # --- run: TV frames + lecture + file chunks interleaved --------------
+    for _ in range(5):
+        station.send(feed)
+    lecture.speak_from_relay("welcome")
+    students[0].request_floor()
+    net.settle()
+    students[0].speak("question!")
+    net.settle()
+    chunk_seqs = [reliable.send(f"chunk{i}")[0] for i in range(3)]
+    net.run(until=net.sim.now + 45)  # let billing sample a few times
+
+    # --- 4. mid-run core failure ------------------------------------------
+    net.topo.link_between("t0", "t1").fail()
+    net.settle(10.0)
+    for _ in range(5):
+        station.send(feed)
+    net.settle(2.0)
+
+    # --- 5. primary lecture relay dies; hot standby takes over ------------
+    standby.fail_primary()
+    net.run(until=net.sim.now + 10)
+    backup.speak_from_relay("backup here")
+    net.run(until=net.sim.now + 5)
+
+    # --- assertions --------------------------------------------------------
+    # TV: all viewers got all 10 frames despite the core failure.
+    assert all(count == 10 for count in frames.values()), frames
+    assert pirate.status == "denied"
+    # Billing sampled a steady audience of 4.
+    invoice = billing.invoice()
+    assert invoice.samples and all(s == 4 for s in invoice.samples)
+    assert invoice.tier == "tens"
+    # Lecture: both students heard the welcome and the question.
+    for student in students:
+        bodies = [m.body for m in student.heard_talks]
+        assert "welcome" in bodies and "question!" in bodies
+    # Standby: everyone failed over and heard the backup.
+    assert standby.all_recovered()
+    # File push: everyone has every chunk.
+    for receiver in receivers:
+        assert receiver.missing() == set()
+    # No channel leaked FIB state beyond the live ones.
+    live_channels = {feed, lecture.channel, backup.channel, pusher.channel,
+                     directory.channel}
+    for fib in net.fibs.values():
+        for source_addr, group in fib.channels():
+            assert any(
+                ch.source == source_addr and ch.group == group
+                for ch in live_channels
+            )

@@ -1,0 +1,52 @@
+"""Smoke tests: the fast example scripts run end-to-end.
+
+(The longer scenarios — stock_ticker, file_distribution — are exercised
+indirectly through the modules they use; running them here would slow
+the suite.)
+"""
+
+import pathlib
+import runpy
+import sys
+
+import pytest
+
+EXAMPLES = pathlib.Path(__file__).parent.parent / "examples"
+
+
+def run_example(name, capsys):
+    runpy.run_path(str(EXAMPLES / name), run_name="__main__")
+    return capsys.readouterr().out
+
+
+def test_quickstart(capsys):
+    out = run_example("quickstart.py", capsys)
+    assert "delivered to: ['h1_0_0', 'h1_1_1', 'h2_0_1']" in out
+    assert "subscriber count: 3" in out
+
+
+def test_internet_tv(capsys):
+    out = run_example("internet_tv.py", capsys)
+    assert "freeloader subscription: denied" in out
+    assert "clean 10-frame feed: 27/27" in out
+    assert "ISP-visible subscriber count: 27" in out
+
+
+def test_distance_learning(capsys):
+    out = run_example("distance_learning.py", capsys)
+    assert "barge-in blocked by floor control: True" in out
+    assert "all students recovered on backup channel: True" in out
+    assert "What is reverse-path forwarding?" in out
+
+
+def test_multiplayer_game(capsys):
+    out = run_example("multiplayer_game.py", capsys)
+    assert "players with all 5 updates: 6/6" in out
+
+
+def test_module_main(capsys):
+    import repro.__main__ as main_module
+
+    assert main_module.main() == 0
+    out = capsys.readouterr().out
+    assert "CountQuery -> 3 subscribers" in out
