@@ -6,6 +6,11 @@ the §3.6 claim that "with EXPRESS channels, multicast traffic only
 travels along paths from the source to the subscribers" becomes a
 wall-clock number, and PIM's shared-tree/SPT choice (§4.4) becomes a
 measured latency/state tradeoff.
+
+Arrival times come from the shared observability registry: both stacks
+record into the same ``delivery_latency_seconds{protocol,node,channel}``
+histogram family, so the comparison is read back from the metrics layer
+rather than hand-rolled callbacks.
 """
 
 import pytest
@@ -14,6 +19,7 @@ from conftest import report
 from repro import ExpressNetwork, TopologyBuilder
 from repro.groupmodel import GroupNetwork
 from repro.inet.addr import parse_address
+from repro.obs import Observability
 
 GROUP = parse_address("224.88.0.1")
 SOURCE = "h0_0_0"
@@ -25,31 +31,38 @@ def build_topo():
     return TopologyBuilder.isp(n_transit=4, stubs_per_transit=2, hosts_per_stub=2)
 
 
+def registry_latencies(obs):
+    """{node: first-delivery latency} from delivery_latency_seconds."""
+    family = obs.registry.get("delivery_latency_seconds")
+    if family is None:
+        return {}
+    node_index = family.labelnames.index("node")
+    return {
+        values[node_index]: child.samples[0]
+        for values, child in family.children()
+        if child.count
+    }
+
+
 def express_latencies():
-    net = ExpressNetwork(build_topo())
+    obs = Observability()
+    net = ExpressNetwork(build_topo(), obs=obs)
     net.run(until=0.1)
     source = net.source(SOURCE)
     channel = source.allocate_channel()
-    arrivals = {}
     for member in MEMBERS:
-        net.host(member).subscribe(
-            channel, on_data=lambda p, m=member: arrivals.setdefault(m, net.sim.now - p.created_at)
-        )
+        net.host(member).subscribe(channel)
     net.settle()
     source.send(channel)
     net.settle()
-    return arrivals
+    return registry_latencies(obs)
 
 
 def group_latencies(protocol, spt=False):
-    net = GroupNetwork(build_topo(), protocol=protocol, rp=RP)
-    arrivals = {}
+    obs = Observability()
+    net = GroupNetwork(build_topo(), protocol=protocol, rp=RP, obs=obs)
     for member in MEMBERS:
-        net.join(
-            member,
-            GROUP,
-            on_data=lambda p, m=member: arrivals.setdefault(m, net.sim.now - p.created_at),
-        )
+        net.join(member, GROUP)
     net.settle()
     if spt:
         for member in MEMBERS:
@@ -58,7 +71,7 @@ def group_latencies(protocol, spt=False):
     net.send(SOURCE, GROUP)
     net.settle()
     state = net.total_state()
-    return arrivals, state
+    return registry_latencies(obs), state
 
 
 def test_x8_live_latency(benchmark):

@@ -51,6 +51,12 @@ class PendingQuery:
     completed: bool = False
     callback: Optional[Callable[[int, bool], None]] = None
     timeout_event: Optional[object] = None  # netsim Event
+    #: Observability span kept open while the query is outstanding
+    #: (a :class:`repro.obs.tracing.Span`; None when tracing is off).
+    #: Downstream replies are folded in as span events, and the final
+    #: aggregate Count sent upstream is parented to this span, so the
+    #: whole fan-out/aggregation reconstructs as one tree.
+    span: Optional[object] = None
 
     def record_reply(self, neighbor: str, count: int) -> bool:
         """Fold in one downstream Count; True if it was expected."""

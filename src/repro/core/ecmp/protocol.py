@@ -74,6 +74,7 @@ from repro.netsim.engine import PeriodicTask
 from repro.netsim.node import Node, ProtocolAgent
 from repro.netsim.packet import Packet
 from repro.netsim.trace import Counter
+from repro.obs.hooks import SPAN_HEADER
 from repro.routing.fib import MulticastFib
 from repro.routing.unicast import UnicastRouting
 
@@ -169,6 +170,15 @@ class EcmpAgent(ProtocolAgent):
     proactive_curve:
         Tolerance curve used when ``propagation`` is PROACTIVE (or when
         enabling proactive counting locally).
+    obs:
+        Optional :class:`repro.obs.Observability`. When set, the agent's
+        ``stats`` bag is backed by the shared metrics registry
+        (``ecmp_events_total{node,event}``), every message tx/rx is
+        counted per channel (``ecmp_messages_total``), and every ECMP
+        message carries a trace/span id so control-plane causality
+        (RPF join propagation, CountQuery fan-out/aggregation) can be
+        reconstructed from the tracer. When None (the default) the hot
+        paths take the uninstrumented branch.
     """
 
     UDP_QUERY_INTERVAL = 60.0
@@ -187,6 +197,7 @@ class EcmpAgent(ProtocolAgent):
         default_mode: NeighborMode = NeighborMode.TCP,
         proactive_curve: Optional[ToleranceCurve] = None,
         wire_format: bool = False,
+        obs=None,
     ) -> None:
         super().__init__(node)
         if role not in ("router", "host"):
@@ -210,7 +221,25 @@ class EcmpAgent(ProtocolAgent):
         self.count_responders: dict[tuple[Channel, int], Callable[[], int]] = {}
         self.neighbor_modes: dict[str, NeighborMode] = {}
         self.neighbor_last_heard: dict[str, float] = {}
-        self.stats = Counter()
+        self.obs = obs
+        if obs is None:
+            self.stats = Counter()
+            self._m_messages = self._m_bytes = None
+        else:
+            registry = obs.registry
+            self.stats = registry.counter_bag(
+                "ecmp_events_total", "ECMP protocol events by node", node=node.name
+            )
+            self._m_messages = registry.counter(
+                "ecmp_messages_total",
+                "ECMP messages by node, direction, message type, and channel",
+                ("node", "direction", "type", "channel"),
+            )
+            self._m_bytes = registry.counter(
+                "ecmp_bytes_total",
+                "ECMP control bytes on the wire by node and direction",
+                ("node", "direction"),
+            )
         self._proactive_checks: dict[tuple[Channel, int], object] = {}
         self._udp_query_task: Optional[PeriodicTask] = None
         self._keepalive_task: Optional[PeriodicTask] = None
@@ -283,7 +312,14 @@ class EcmpAgent(ProtocolAgent):
             on_status=on_status,
         )
         self.subscriptions[channel] = handle
-        self._apply_subscriber_count(channel, LOCAL, 1, key=key)
+        if self.obs is not None:
+            with self.obs.tracer.span(
+                "ecmp.subscribe", node=self.node.name, channel=channel,
+                keyed=key is not None,
+            ):
+                self._apply_subscriber_count(channel, LOCAL, 1, key=key)
+        else:
+            self._apply_subscriber_count(channel, LOCAL, 1, key=key)
         # A keyless subscription to a channel this node *knows* is
         # authenticated is denied synchronously (or the source was
         # unknown/unreachable).
@@ -296,7 +332,13 @@ class EcmpAgent(ProtocolAgent):
         handle = self.subscriptions.pop(channel, None)
         if handle is None:
             return False
-        self._apply_subscriber_count(channel, LOCAL, 0)
+        if self.obs is not None:
+            with self.obs.tracer.span(
+                "ecmp.unsubscribe", node=self.node.name, channel=channel
+            ):
+                self._apply_subscriber_count(channel, LOCAL, 0)
+        else:
+            self._apply_subscriber_count(channel, LOCAL, 0)
         return True
 
     def channel_key(self, channel: Channel, key: ChannelKey) -> None:
@@ -304,7 +346,13 @@ class EcmpAgent(ProtocolAgent):
         authenticated". Only the channel's source may call this."""
         if channel.source != self.node.address:
             raise ChannelError(f"{self.node.name} is not the source of {channel}")
-        self.keys.install_authoritative(channel, key)
+        if self.obs is not None:
+            with self.obs.tracer.span(
+                "ecmp.channel_key", node=self.node.name, channel=channel
+            ):
+                self.keys.install_authoritative(channel, key)
+        else:
+            self.keys.install_authoritative(channel, key)
 
     def count_query(
         self,
@@ -327,7 +375,23 @@ class EcmpAgent(ProtocolAgent):
                 callback(total, partial)
 
         query = CountQuery(channel=channel, count_id=count_id, timeout=timeout)
-        self._start_query(query, origin=None, callback=finish)
+        if self.obs is not None:
+            tracer = self.obs.tracer
+            root = tracer.start_span(
+                "ecmp.count_query",
+                node=self.node.name,
+                channel=channel,
+                count_id=count_id,
+                timeout=timeout,
+            )
+            # The root stays open until the query finalizes (it becomes
+            # the pending query's span); _finalize_query ends it.
+            with tracer.activate(root):
+                self._start_query(query, origin=None, callback=finish)
+            if root.attrs.get("deferred") is None:
+                tracer.end(root)
+        else:
+            self._start_query(query, origin=None, callback=finish)
         return result
 
     def enable_proactive(
@@ -339,7 +403,16 @@ class EcmpAgent(ProtocolAgent):
         query = CountQuery(
             channel=channel, count_id=count_id, timeout=0.0, proactive=curve
         )
-        self._handle_proactive_request(query, origin=None)
+        if self.obs is not None:
+            with self.obs.tracer.span(
+                "ecmp.enable_proactive",
+                node=self.node.name,
+                channel=channel,
+                count_id=count_id,
+            ):
+                self._handle_proactive_request(query, origin=None)
+        else:
+            self._handle_proactive_request(query, origin=None)
 
     def register_count_responder(
         self, channel: Channel, count_id: int, responder: Callable[[], int]
@@ -404,13 +477,71 @@ class EcmpAgent(ProtocolAgent):
         self.neighbor_last_heard[from_name] = self.sim.now
         if isinstance(message, Count):
             self.stats.incr("counts_rx")
-            self._handle_count(message, from_name)
+            kind, handler = "count", self._handle_count
         elif isinstance(message, CountQuery):
             self.stats.incr("queries_rx")
-            self._handle_query(message, from_name)
+            kind, handler = "query", self._handle_query
         elif isinstance(message, CountResponse):
             self.stats.incr("responses_rx")
-            self._handle_response(message, from_name)
+            kind, handler = "response", self._handle_response
+        else:
+            return
+        if self.obs is None:
+            handler(message, from_name)
+            return
+        self._m_messages.labels(
+            node=self.node.name,
+            direction="rx",
+            type=type(message).__name__,
+            channel=str(message.channel),
+        ).inc()
+        self._m_bytes.labels(node=self.node.name, direction="rx").inc(packet.size)
+        self._handle_traced(message, from_name, kind, handler, packet)
+
+    def _handle_traced(
+        self,
+        message: EcmpMessage,
+        from_name: str,
+        kind: str,
+        handler: Callable[[EcmpMessage, str], None],
+        packet: Packet,
+    ) -> None:
+        """Run ``handler`` inside the right span.
+
+        A Count consumed as a *reply* to a pending query does not open
+        a span of its own — it is recorded as an event on the pending
+        query's span (and runs inside it, so anything it triggers stays
+        in the query's trace). That keeps a query trace's leaves equal
+        to the subscribers that answered. Every other message opens a
+        handling span parented to the context the message carried.
+        """
+        tracer = self.obs.tracer
+        if isinstance(message, Count):
+            pending = self.pending_queries.get((message.channel, message.count_id))
+            if (
+                pending is not None
+                and from_name in pending.outstanding
+                and pending.span is not None
+            ):
+                tracer.add_event(
+                    pending.span, "reply", neighbor=from_name, count=message.count
+                )
+                with tracer.activate(pending.span):
+                    handler(message, from_name)
+                return
+        parent = packet.headers.get(SPAN_HEADER)
+        span = tracer.start_span(
+            f"ecmp.{kind}",
+            node=self.node.name,
+            parent=parent,
+            channel=message.channel,
+            count_id=message.count_id,
+            neighbor=from_name,
+        )
+        with tracer.activate(span):
+            handler(message, from_name)
+        if not span.attrs.get("deferred"):
+            tracer.end(span)
 
     def _send_message(self, message: EcmpMessage, neighbor: str) -> None:
         peer = self.routing.topo.nodes.get(neighbor)
@@ -434,6 +565,20 @@ class EcmpAgent(ProtocolAgent):
         self.stats.incr("msgs_tx")
         self.stats.incr("bytes_tx", size)
         self.stats.incr(f"tx_{type(message).__name__.lower()}")
+        if self.obs is not None:
+            current = self.obs.tracer.current
+            if current is not None:
+                # Causal context rides with the message: the span active
+                # while we send becomes the parent of the receiver's
+                # handling span.
+                packet.headers[SPAN_HEADER] = current.context
+            self._m_messages.labels(
+                node=self.node.name,
+                direction="tx",
+                type=type(message).__name__,
+                channel=str(message.channel),
+            ).inc()
+            self._m_bytes.labels(node=self.node.name, direction="tx").inc(size)
         self.node.send_to_neighbor(packet, peer)
 
     def _rtt_estimate(self, neighbor: str) -> float:
@@ -863,6 +1008,9 @@ class EcmpAgent(ProtocolAgent):
         stale = self.pending_queries.pop(key, None)
         if stale is not None and stale.timeout_event is not None:
             stale.timeout_event.cancel()
+        if stale is not None and stale.span is not None and self.obs is not None:
+            self.obs.tracer.add_event(stale.span, "superseded")
+            self.obs.tracer.end(stale.span)
 
         state = self.channels.get(channel)
         timeout = query.timeout
@@ -891,6 +1039,14 @@ class EcmpAgent(ProtocolAgent):
         if not pending.outstanding:
             self._finalize_query(pending)
             return
+        if self.obs is not None:
+            span = self.obs.tracer.current
+            if span is not None:
+                # The handling (or locally-originated root) span stays
+                # open while replies are outstanding; downstream Counts
+                # fold in as events on it (see _handle_traced).
+                span.attrs["deferred"] = True
+                pending.span = span
         self.pending_queries[key] = pending
         pending.timeout_event = self.sim.schedule(
             max(timeout, MIN_FORWARD_TIMEOUT),
@@ -940,14 +1096,29 @@ class EcmpAgent(ProtocolAgent):
         self.pending_queries.pop((pending.channel, pending.count_id), None)
         partial = bool(pending.outstanding)
         total = pending.total()
-        if pending.origin is None:
-            if pending.callback is not None:
-                pending.callback(total, partial)
+
+        def deliver() -> None:
+            if pending.origin is None:
+                if pending.callback is not None:
+                    pending.callback(total, partial)
+            else:
+                self._send_message(
+                    Count(
+                        channel=pending.channel,
+                        count_id=pending.count_id,
+                        count=total,
+                    ),
+                    pending.origin,
+                )
+
+        if self.obs is not None and pending.span is not None:
+            tracer = self.obs.tracer
+            tracer.add_event(pending.span, "finalized", total=total, partial=partial)
+            with tracer.activate(pending.span):
+                deliver()
+            tracer.end(pending.span)
         else:
-            self._send_message(
-                Count(channel=pending.channel, count_id=pending.count_id, count=total),
-                pending.origin,
-            )
+            deliver()
 
     # ------------------------------------------------------------------
     # proactive counting (§6)
@@ -1038,6 +1209,13 @@ class EcmpAgent(ProtocolAgent):
         """Periodic neighbor probe: "Each router periodically multicasts
         such a [neighbors] CountQuery" (§3.3); for TCP neighbors this
         doubles as the per-connection keepalive."""
+        if self.obs is not None:
+            with self.obs.tracer.span("ecmp.keepalive_tick", node=self.node.name):
+                self._do_keepalive_tick()
+        else:
+            self._do_keepalive_tick()
+
+    def _do_keepalive_tick(self) -> None:
         probe = CountQuery(
             channel=DISCOVERY_CHANNEL,
             count_id=NEIGHBORS_ID,
@@ -1063,6 +1241,13 @@ class EcmpAgent(ProtocolAgent):
     def _udp_refresh_tick(self) -> None:
         """Periodic general query toward UDP-mode downstream neighbors,
         plus expiry of unrefreshed UDP (soft) state."""
+        if self.obs is not None:
+            with self.obs.tracer.span("ecmp.udp_refresh_tick", node=self.node.name):
+                self._do_udp_refresh_tick()
+        else:
+            self._do_udp_refresh_tick()
+
+    def _do_udp_refresh_tick(self) -> None:
         udp_downstreams: set[str] = set()
         for state in self.channels.values():
             for name, record in state.downstream.items():

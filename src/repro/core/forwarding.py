@@ -50,12 +50,29 @@ class ExpressForwarder(ProtocolAgent):
         routing: UnicastRouting,
         fib: MulticastFib,
         ecmp: EcmpAgent,
+        obs=None,
     ) -> None:
         super().__init__(node)
         self.routing = routing
         self.fib = fib
         self.ecmp = ecmp
-        self.stats = Counter()
+        self.obs = obs
+        if obs is None:
+            self.stats = Counter()
+            self._m_delivery = None
+        else:
+            registry = obs.registry
+            self.stats = registry.counter_bag(
+                "forwarder_events_total",
+                "Data-plane forwarding events by node",
+                node=node.name,
+            )
+            self._m_delivery = registry.histogram(
+                "delivery_latency_seconds",
+                "End-to-end data delivery latency from source emit to "
+                "subscriber delivery",
+                ("protocol", "node", "channel"),
+            )
         #: Callbacks for unicast datagrams addressed to this node.
         self._unicast_sinks: list[Callable[[Packet], None]] = []
 
@@ -194,5 +211,9 @@ class ExpressForwarder(ProtocolAgent):
         handle.packets_received += 1
         handle.bytes_received += packet.size
         self.stats.incr("local_deliveries")
+        if self._m_delivery is not None:
+            self._m_delivery.labels(
+                protocol="express", node=self.node.name, channel=str(channel)
+            ).observe(self.sim.now - packet.created_at)
         if handle.on_data is not None:
             handle.on_data(packet)

@@ -178,6 +178,13 @@ class ExpressNetwork:
     wire_format:
         Serialize every ECMP message to real wire bytes between nodes
         (exercises the codecs end to end; slightly slower).
+    obs:
+        Optional :class:`repro.obs.Observability`. When given, the
+        topology (simulator, nodes, links) is instrumented, every agent
+        and forwarder writes to the shared metrics registry, ECMP
+        messages carry causal trace context, and per-node FIB size
+        gauges refresh on every registry collection. When None the
+        network runs uninstrumented.
     """
 
     def __init__(
@@ -189,9 +196,13 @@ class ExpressNetwork:
         edge_udp: bool = False,
         proactive_curve: Optional[ToleranceCurve] = None,
         wire_format: bool = False,
+        obs=None,
     ) -> None:
         self.topo = topo
         self.sim = topo.sim
+        self.obs = obs
+        if obs is not None:
+            topo.attach_observability(obs)
         self.routing = UnicastRouting(topo)
         if hosts is None:
             hosts = [
@@ -222,15 +233,34 @@ class ExpressNetwork:
                 default_mode=default_mode,
                 proactive_curve=proactive_curve,
                 wire_format=wire_format,
+                obs=obs,
             )
             agent.topology_change_hook = self._on_topology_change
-            forwarder = ExpressForwarder(node, self.routing, fib, agent)
+            forwarder = ExpressForwarder(node, self.routing, fib, agent, obs=obs)
             node.register_agent("ecmp", agent)
             node.register_agent("data", forwarder)
             node.register_agent("ipip", forwarder)
             self.fibs[name] = fib
             self.ecmp_agents[name] = agent
             self.forwarders[name] = forwarder
+
+        if obs is not None:
+            registry = obs.registry
+            g_entries = registry.gauge(
+                "fib_entries", "Installed multicast FIB entries per node", ("node",)
+            )
+            g_bytes = registry.gauge(
+                "fib_bytes",
+                "FIB memory footprint per node (12-byte entries, Figure 5)",
+                ("node",),
+            )
+
+            def _refresh_fib_gauges() -> None:
+                for node_name, node_fib in self.fibs.items():
+                    g_entries.labels(node=node_name).set(len(node_fib))
+                    g_bytes.labels(node=node_name).set(node_fib.memory_bytes())
+
+            registry.register_collector(_refresh_fib_gauges)
 
         if edge_udp:
             for name in self.host_names:

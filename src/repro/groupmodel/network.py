@@ -16,7 +16,7 @@ from repro.errors import ProtocolError, TopologyError
 from repro.groupmodel.cbt import PROTO_CBT, CbtJoinLeave, CbtRouterAgent
 from repro.groupmodel.dvmrp import DvmrpRouterAgent
 from repro.groupmodel.pim import PROTO_PIM, PimJoinPrune, PimRouterAgent
-from repro.inet.addr import is_class_d
+from repro.inet.addr import format_address, is_class_d
 from repro.netsim.node import Node, ProtocolAgent
 from repro.netsim.packet import Packet
 from repro.netsim.topology import Topology
@@ -42,6 +42,9 @@ class GroupHostAgent(ProtocolAgent):
             return
         # The group model's defining behaviour: no source check.
         self.stats.incr("delivered")
+        self.net._observe_delivery(
+            self.node.name, packet.dst, self.sim.now - packet.created_at
+        )
         self.received.setdefault(packet.dst, []).append(packet)
         callback = self.joined[packet.dst]
         if callback is not None:
@@ -88,6 +91,13 @@ class GroupNetwork:
         RP router name for PIM / core router name for CBT.
     prune_lifetime:
         DVMRP prune expiry (seconds).
+    obs:
+        Optional :class:`repro.obs.Observability`. Instruments the
+        topology and records control messages
+        (``groupmodel_messages_total{protocol,type}``) and delivery
+        latency into the same ``delivery_latency_seconds`` family the
+        EXPRESS data plane uses, so the two models compare off one
+        registry.
     """
 
     def __init__(
@@ -97,6 +107,7 @@ class GroupNetwork:
         rp: Optional[str] = None,
         hosts: Optional[Iterable[str]] = None,
         prune_lifetime: float = 120.0,
+        obs=None,
     ) -> None:
         if protocol not in ("pim", "cbt", "dvmrp"):
             raise ProtocolError(f"unknown group protocol {protocol!r}")
@@ -106,6 +117,23 @@ class GroupNetwork:
         self.sim = topo.sim
         self.protocol = protocol
         self.rp = rp
+        self.obs = obs
+        if obs is None:
+            self._m_messages = self._m_delivery = None
+        else:
+            topo.attach_observability(obs)
+            registry = obs.registry
+            self._m_messages = registry.counter(
+                "groupmodel_messages_total",
+                "Group-model (ASM) control messages by protocol and type",
+                ("protocol", "type"),
+            )
+            self._m_delivery = registry.histogram(
+                "delivery_latency_seconds",
+                "End-to-end data delivery latency from source emit to "
+                "subscriber delivery",
+                ("protocol", "node", "channel"),
+            )
         self.routing = UnicastRouting(topo)
         if hosts is None:
             hosts = [
@@ -174,6 +202,8 @@ class GroupNetwork:
         elif self.protocol == "cbt":
             self._send_cbt(host, CbtJoinLeave(group=group, join=True))
         else:
+            if self._m_messages is not None:
+                self._m_messages.labels(protocol="dvmrp", type="join").inc()
             self.routers[router].host_joined(group, host)
 
     def _host_left(self, host: str, group: int) -> None:
@@ -183,7 +213,17 @@ class GroupNetwork:
         elif self.protocol == "cbt":
             self._send_cbt(host, CbtJoinLeave(group=group, join=False))
         else:
+            if self._m_messages is not None:
+                self._m_messages.labels(protocol="dvmrp", type="leave").inc()
             self.routers[router].host_left(group, host)
+
+    def _observe_delivery(self, node: str, group: int, latency: float) -> None:
+        """Record one host delivery into the shared latency histogram
+        (same family as EXPRESS, labelled by this group protocol)."""
+        if self._m_delivery is not None:
+            self._m_delivery.labels(
+                protocol=self.protocol, node=node, channel=format_address(group)
+            ).observe(latency)
 
     def _send_cbt(self, host: str, message: CbtJoinLeave) -> None:
         node = self.topo.node(host)
@@ -194,6 +234,10 @@ class GroupNetwork:
         )
         packet.headers["cbt"] = message
         packet.headers["reliable"] = True
+        if self._m_messages is not None:
+            self._m_messages.labels(
+                protocol="cbt", type="join" if message.join else "leave"
+            ).inc()
         node.send_to_neighbor(packet, router)
 
     def _send_join_prune(self, host: str, message: PimJoinPrune) -> None:
@@ -205,6 +249,10 @@ class GroupNetwork:
         )
         packet.headers["pim"] = message
         packet.headers["reliable"] = True
+        if self._m_messages is not None:
+            self._m_messages.labels(
+                protocol="pim", type="join" if message.join else "prune"
+            ).inc()
         node.send_to_neighbor(packet, router)
 
     def switch_to_spt(self, host: str, source_host: str, group: int) -> None:

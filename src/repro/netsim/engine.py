@@ -11,9 +11,13 @@ from __future__ import annotations
 import heapq
 import random
 from dataclasses import dataclass, field
+from time import perf_counter
 from typing import Callable, Optional
 
 from repro.errors import SimulationError
+
+#: Below this queue size, compaction is never worth the heapify cost.
+_COMPACT_MIN_QUEUE = 64
 
 
 @dataclass(order=True)
@@ -21,7 +25,9 @@ class Event:
     """A scheduled callback.
 
     Events compare by ``(time, seq)`` so the heap is deterministic.
-    Cancelled events stay in the heap but are skipped when popped.
+    Cancelled events are skipped when popped; the owning simulator
+    additionally compacts the heap when cancelled events pile up (see
+    :meth:`Simulator._note_cancelled`).
     """
 
     time: float
@@ -29,10 +35,19 @@ class Event:
     action: Callable[[], None] = field(compare=False)
     name: str = field(compare=False, default="")
     cancelled: bool = field(compare=False, default=False)
+    #: The simulator whose heap holds this event (None once popped or
+    #: for hand-built events), so cancellation can keep live/cancelled
+    #: bookkeeping exact.
+    owner: Optional["Simulator"] = field(compare=False, default=None, repr=False)
+    _in_queue: bool = field(compare=False, default=False, repr=False)
 
     def cancel(self) -> None:
         """Mark the event so the engine skips it when it comes due."""
+        if self.cancelled:
+            return
         self.cancelled = True
+        if self.owner is not None and self._in_queue:
+            self.owner._note_cancelled()
 
 
 class Simulator:
@@ -51,9 +66,15 @@ class Simulator:
         self._now = 0.0
         self._seq = 0
         self._queue: list[Event] = []
+        self._live = 0
+        self._cancelled = 0
         self._running = False
         self.rng = random.Random(seed)
         self.events_processed = 0
+        #: Observability hooks called as ``fn(sim, event, wall_seconds)``
+        #: after each event executes (see :mod:`repro.obs.hooks`). The
+        #: dispatch loop takes the zero-overhead path when empty.
+        self._dispatch_listeners: list[Callable[["Simulator", Event, float], None]] = []
 
     @property
     def now(self) -> float:
@@ -73,8 +94,12 @@ class Simulator:
         if delay < 0:
             raise SimulationError(f"cannot schedule in the past (delay={delay})")
         self._seq += 1
-        event = Event(time=self._now + delay, seq=self._seq, action=action, name=name)
+        event = Event(
+            time=self._now + delay, seq=self._seq, action=action, name=name,
+            owner=self, _in_queue=True,
+        )
         heapq.heappush(self._queue, event)
+        self._live += 1
         return event
 
     def schedule_at(
@@ -89,22 +114,66 @@ class Simulator:
     def peek_time(self) -> Optional[float]:
         """Time of the next pending (non-cancelled) event, or None."""
         while self._queue and self._queue[0].cancelled:
-            heapq.heappop(self._queue)
+            dead = heapq.heappop(self._queue)
+            dead._in_queue = False
+            self._cancelled -= 1
         if not self._queue:
             return None
         return self._queue[0].time
+
+    def _note_cancelled(self) -> None:
+        """Bookkeeping for an in-queue cancellation: keep ``pending()``
+        O(1) and compact the heap once cancelled events outnumber live
+        ones (otherwise long-lived runs that churn timers leak)."""
+        self._live -= 1
+        self._cancelled += 1
+        if (
+            len(self._queue) >= _COMPACT_MIN_QUEUE
+            and self._cancelled * 2 > len(self._queue)
+        ):
+            self._compact()
+
+    def _compact(self) -> None:
+        for event in self._queue:
+            if event.cancelled:
+                event._in_queue = False
+        self._queue = [event for event in self._queue if not event.cancelled]
+        heapq.heapify(self._queue)
+        self._cancelled = 0
 
     def step(self) -> bool:
         """Run the single next event. Returns False if none remain."""
         while self._queue:
             event = heapq.heappop(self._queue)
+            event._in_queue = False
             if event.cancelled:
+                self._cancelled -= 1
                 continue
+            self._live -= 1
             self._now = event.time
             self.events_processed += 1
-            event.action()
+            if self._dispatch_listeners:
+                started = perf_counter()
+                event.action()
+                wall = perf_counter() - started
+                for listener in self._dispatch_listeners:
+                    listener(self, event, wall)
+            else:
+                event.action()
             return True
         return False
+
+    def add_dispatch_listener(
+        self, listener: Callable[["Simulator", Event, float], None]
+    ) -> None:
+        """Register ``listener(sim, event, wall_seconds)`` to run after
+        every dispatched event (metrics/profiling hook)."""
+        self._dispatch_listeners.append(listener)
+
+    def remove_dispatch_listener(
+        self, listener: Callable[["Simulator", Event, float], None]
+    ) -> None:
+        self._dispatch_listeners.remove(listener)
 
     def run(self, until: Optional[float] = None, max_events: Optional[int] = None) -> int:
         """Run events until the queue drains, ``until`` passes, or
@@ -136,8 +205,9 @@ class Simulator:
         return ran
 
     def pending(self) -> int:
-        """Number of live (non-cancelled) events in the queue."""
-        return sum(1 for event in self._queue if not event.cancelled)
+        """Number of live (non-cancelled) events in the queue. O(1):
+        maintained incrementally by schedule/cancel/step."""
+        return self._live
 
 
 class PeriodicTask:

@@ -50,6 +50,9 @@ class Link:
         self.up = True
         self.tx_packets = 0
         self.lost_packets = 0
+        #: Optional :class:`repro.obs.hooks.LinkMetrics` set by
+        #: Observability attachment.
+        self.metrics = None
         iface_a.link = self
         iface_b.link = self
 
@@ -80,11 +83,15 @@ class Link:
         if not self.up:
             return
         self.tx_packets += 1
+        if self.metrics is not None:
+            self.metrics.transmitted()
         # TCP-mode control traffic is marked reliable: retransmission
         # hides loss, so the loss draw is skipped (delay still applies).
         reliable = bool(packet.headers.get("reliable"))
         if self.loss and not reliable and self.sim.rng.random() < self.loss:
             self.lost_packets += 1
+            if self.metrics is not None:
+                self.metrics.lost()
             return
         receiver = self.other_end(sender)
         rx_iface = self.interface_of(receiver)

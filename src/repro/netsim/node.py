@@ -89,6 +89,10 @@ class Node:
         #: Optional :class:`repro.netsim.trace.PacketTrace` shared via
         #: Topology.attach_trace(); records every tx/rx/drop when set.
         self.trace = None
+        #: Optional :class:`repro.obs.hooks.NodeMetrics` set by
+        #: Observability attachment; counts every tx/rx/drop into the
+        #: shared metrics registry when set.
+        self.metrics = None
 
     # -- wiring ----------------------------------------------------------
 
@@ -144,6 +148,8 @@ class Node:
                     self.sim.now, self.name, "drop", packet.proto, packet.size,
                     detail="link-down",
                 )
+            if self.metrics is not None:
+                self.metrics.packet("drop", packet.proto, packet.size)
             return False
         iface.tx_packets += 1
         iface.tx_bytes += packet.size
@@ -152,6 +158,8 @@ class Node:
                 self.sim.now, self.name, "tx", packet.proto, packet.size,
                 detail=f"if{ifindex}",
             )
+        if self.metrics is not None:
+            self.metrics.packet("tx", packet.proto, packet.size)
         iface.link.transmit(self, packet)
         return True
 
@@ -173,8 +181,12 @@ class Node:
                 self.sim.now, self.name, "rx", packet.proto, packet.size,
                 detail=f"if{ifindex}",
             )
+        if self.metrics is not None:
+            self.metrics.packet("rx", packet.proto, packet.size)
         if packet.ttl <= 0:
             self.dropped_packets += 1
+            if self.metrics is not None:
+                self.metrics.packet("drop", packet.proto, packet.size)
             return
         agent = self.agent_for(packet.proto)
         if agent is None:

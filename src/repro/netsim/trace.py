@@ -7,6 +7,7 @@ protocol code stays clean.
 
 from __future__ import annotations
 
+import math
 from collections import defaultdict
 from dataclasses import dataclass
 from typing import Iterable, Optional
@@ -25,10 +26,19 @@ class TraceRecord:
 
 
 class PacketTrace:
-    """An append-only log of packet events with simple query helpers."""
+    """An append-only log of packet events with simple query helpers.
+
+    Records are additionally indexed by node, by proto, and by
+    ``(node, proto)`` at append time, so the benchmarks' repeated
+    per-node / per-protocol queries cost O(matches) instead of
+    rescanning the full record list every call.
+    """
 
     def __init__(self) -> None:
         self.records: list[TraceRecord] = []
+        self._by_node: dict[str, list[TraceRecord]] = defaultdict(list)
+        self._by_proto: dict[str, list[TraceRecord]] = defaultdict(list)
+        self._by_node_proto: dict[tuple[str, str], list[TraceRecord]] = defaultdict(list)
 
     def record(
         self,
@@ -39,7 +49,11 @@ class PacketTrace:
         size: int,
         detail: str = "",
     ) -> None:
-        self.records.append(TraceRecord(time, node, direction, proto, size, detail))
+        rec = TraceRecord(time, node, direction, proto, size, detail)
+        self.records.append(rec)
+        self._by_node[node].append(rec)
+        self._by_proto[proto].append(rec)
+        self._by_node_proto[(node, proto)].append(rec)
 
     def __len__(self) -> int:
         return len(self.records)
@@ -50,16 +64,17 @@ class PacketTrace:
         direction: Optional[str] = None,
         proto: Optional[str] = None,
     ) -> list[TraceRecord]:
-        out = []
-        for rec in self.records:
-            if node is not None and rec.node != node:
-                continue
-            if direction is not None and rec.direction != direction:
-                continue
-            if proto is not None and rec.proto != proto:
-                continue
-            out.append(rec)
-        return out
+        if node is not None and proto is not None:
+            base = self._by_node_proto.get((node, proto), [])
+        elif node is not None:
+            base = self._by_node.get(node, [])
+        elif proto is not None:
+            base = self._by_proto.get(proto, [])
+        else:
+            base = self.records
+        if direction is None:
+            return list(base)
+        return [rec for rec in base if rec.direction == direction]
 
     def total_bytes(self, **kwargs) -> int:
         return sum(rec.size for rec in self.filter(**kwargs))
@@ -130,3 +145,26 @@ class LatencyStats:
     def min(self) -> float:
         lat = self.latencies
         return min(lat) if lat else 0.0
+
+    def percentile(self, p: float) -> float:
+        """Nearest-rank percentile of the latencies (``p`` in [0, 100]);
+        0.0 when empty."""
+        if not 0.0 <= p <= 100.0:
+            raise ValueError(f"percentile must be in [0, 100], got {p}")
+        lat = sorted(self.latencies)
+        if not lat:
+            return 0.0
+        rank = max(1, math.ceil(p / 100.0 * len(lat)))
+        return lat[rank - 1]
+
+    def as_dict(self) -> dict[str, float]:
+        """Summary statistics in one dict (benchmark report rows)."""
+        return {
+            "count": float(len(self.samples)),
+            "mean": self.mean(),
+            "min": self.min(),
+            "max": self.max(),
+            "p50": self.percentile(50),
+            "p90": self.percentile(90),
+            "p99": self.percentile(99),
+        }

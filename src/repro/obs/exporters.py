@@ -1,0 +1,144 @@
+"""Exporters: Prometheus text format and JSON-lines event dumps.
+
+``prometheus_text`` renders a :class:`~repro.obs.registry.MetricsRegistry`
+snapshot in the Prometheus exposition format (``# HELP`` / ``# TYPE``
+headers, ``_bucket``/``_sum``/``_count`` series for histograms), so a
+simulated run's metrics can be diffed, scraped, or pasted into any
+PromQL-speaking tool.
+
+``spans_to_jsonl`` / ``metrics_to_jsonl`` dump the tracer and registry
+as one JSON object per line — the grep-friendly event-dump format the
+benchmarks post-process.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from typing import IO, Iterable, Optional
+
+from repro.obs.registry import HistogramValue, MetricFamily, MetricsRegistry
+from repro.obs.tracing import Span, Tracer
+
+
+def _escape_label_value(value: str) -> str:
+    return value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+
+
+def _format_labels(names: Iterable[str], values: Iterable[str], extra: str = "") -> str:
+    parts = [
+        f'{name}="{_escape_label_value(value)}"'
+        for name, value in zip(names, values)
+    ]
+    if extra:
+        parts.append(extra)
+    return "{" + ",".join(parts) + "}" if parts else ""
+
+
+def _format_value(value: float) -> str:
+    if value == math.inf:
+        return "+Inf"
+    if isinstance(value, float) and value.is_integer():
+        return str(int(value))
+    return repr(value)
+
+
+def _render_family(family: MetricFamily, lines: list[str]) -> None:
+    lines.append(f"# HELP {family.name} {family.help}")
+    lines.append(f"# TYPE {family.name} {family.kind}")
+    for values, child in family.children():
+        labels = _format_labels(family.labelnames, values)
+        if isinstance(child, HistogramValue):
+            for bound, cumulative in child.cumulative_buckets():
+                le = "+Inf" if bound == math.inf else _format_value(bound)
+                bucket_labels = _format_labels(
+                    family.labelnames, values, extra=f'le="{le}"'
+                )
+                lines.append(f"{family.name}_bucket{bucket_labels} {cumulative}")
+            lines.append(f"{family.name}_sum{labels} {_format_value(child.sum)}")
+            lines.append(f"{family.name}_count{labels} {child.count}")
+        else:
+            lines.append(f"{family.name}{labels} {_format_value(child.value)}")
+
+
+def prometheus_text(registry: MetricsRegistry) -> str:
+    """The registry in Prometheus text exposition format."""
+    lines: list[str] = []
+    for family in registry.collect():
+        _render_family(family, lines)
+    lines.append("")
+    return "\n".join(lines)
+
+
+def write_prometheus(registry: MetricsRegistry, out: IO[str]) -> None:
+    out.write(prometheus_text(registry))
+
+
+# ----------------------------------------------------------------------
+# JSON lines
+# ----------------------------------------------------------------------
+
+
+def _span_record(span: Span) -> dict:
+    return {
+        "kind": "span",
+        "trace_id": span.trace_id,
+        "span_id": span.span_id,
+        "parent_id": span.parent_id,
+        "name": span.name,
+        "node": span.node,
+        "start": span.start,
+        "end": span.end,
+        "attrs": {k: str(v) for k, v in span.attrs.items()},
+        "events": [
+            {"time": t, "name": name, "attrs": {k: str(v) for k, v in attrs.items()}}
+            for t, name, attrs in span.events
+        ],
+    }
+
+
+def spans_to_jsonl(tracer: Tracer, out: Optional[IO[str]] = None) -> str:
+    """One JSON object per span, in start order."""
+    lines = [json.dumps(_span_record(span), sort_keys=True) for span in tracer.spans]
+    text = "\n".join(lines) + ("\n" if lines else "")
+    if out is not None:
+        out.write(text)
+    return text
+
+
+def metrics_to_jsonl(registry: MetricsRegistry, out: Optional[IO[str]] = None) -> str:
+    """One JSON object per time series (histograms summarized)."""
+    lines = []
+    for family in registry.collect():
+        for values, child in family.children():
+            record: dict = {
+                "kind": "metric",
+                "name": family.name,
+                "type": family.kind,
+                "labels": dict(zip(family.labelnames, values)),
+            }
+            if isinstance(child, HistogramValue):
+                record.update(
+                    count=child.count,
+                    sum=child.sum,
+                    p50=child.percentile(50),
+                    p90=child.percentile(90),
+                    p99=child.percentile(99),
+                )
+            else:
+                record["value"] = child.value
+            lines.append(json.dumps(record, sort_keys=True))
+    text = "\n".join(lines) + ("\n" if lines else "")
+    if out is not None:
+        out.write(text)
+    return text
+
+
+def events_to_jsonl(
+    registry: MetricsRegistry, tracer: Tracer, out: Optional[IO[str]] = None
+) -> str:
+    """Full observability dump: every metric series, then every span."""
+    text = metrics_to_jsonl(registry) + spans_to_jsonl(tracer)
+    if out is not None:
+        out.write(text)
+    return text

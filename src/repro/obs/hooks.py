@@ -1,0 +1,142 @@
+"""Wiring: attach the registry and tracer to a running system.
+
+Three layers get instrumented without touching their call sites:
+
+* the :class:`~repro.netsim.engine.Simulator` — a dispatch listener
+  counts and wall-clock-times every event by name and keeps a
+  queue-depth gauge, so protocol timers and hot loops are profiled for
+  free;
+* every :class:`~repro.netsim.node.Node` — per-node tx/rx/drop packet
+  and byte counters;
+* every :class:`~repro.netsim.link.Link` — transmit/loss counters.
+
+:class:`Observability` bundles one registry and one tracer; pass it to
+``ExpressNetwork(..., obs=obs)`` or ``GroupNetwork(..., obs=obs)`` (or
+call :func:`attach_topology` directly) and every layer reports into the
+same place, which is what makes EXPRESS-vs-PIM/DVMRP comparisons read
+off a single snapshot.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.obs.registry import WALL_BUCKETS, MetricsRegistry
+from repro.obs.tracing import Tracer
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.netsim.engine import Event, Simulator
+    from repro.netsim.topology import Topology
+
+#: Packet-header key under which a :class:`~repro.obs.tracing.SpanContext`
+#: rides along with every instrumented control message.
+SPAN_HEADER = "spanctx"
+
+
+class Observability:
+    """One registry + one tracer, shared by every instrumented layer."""
+
+    def __init__(self) -> None:
+        self.registry = MetricsRegistry()
+        self.tracer = Tracer()
+        self._bound_sims: set[int] = set()
+
+    def bind_simulator(self, sim: "Simulator") -> None:
+        """Point the tracer clock at ``sim.now`` and install the
+        dispatch listener (idempotent per simulator)."""
+        self.tracer.clock = lambda: sim.now
+        if id(sim) not in self._bound_sims:
+            self._bound_sims.add(id(sim))
+            instrument_simulator(sim, self.registry)
+
+
+class NodeMetrics:
+    """Per-node packet/byte counters, bound once per node."""
+
+    __slots__ = ("node", "_packets", "_bytes")
+
+    def __init__(self, registry: MetricsRegistry, node: str) -> None:
+        self.node = node
+        self._packets = registry.counter(
+            "node_packets_total",
+            "Packets seen at a node by direction and protocol",
+            ("node", "direction", "proto"),
+        )
+        self._bytes = registry.counter(
+            "node_bytes_total",
+            "Bytes seen at a node by direction and protocol",
+            ("node", "direction", "proto"),
+        )
+
+    def packet(self, direction: str, proto: str, size: int) -> None:
+        labels = {"node": self.node, "direction": direction, "proto": proto}
+        self._packets.labels(**labels).inc()
+        self._bytes.labels(**labels).inc(size)
+
+
+class LinkMetrics:
+    """Per-link transmit/loss counters, bound once per link."""
+
+    __slots__ = ("link", "_packets", "_lost")
+
+    def __init__(self, registry: MetricsRegistry, link: str) -> None:
+        self.link = link
+        self._packets = registry.counter(
+            "link_packets_total", "Packets entering a link", ("link",)
+        )
+        self._lost = registry.counter(
+            "link_lost_packets_total", "Packets lost in transit on a link", ("link",)
+        )
+
+    def transmitted(self) -> None:
+        self._packets.labels(link=self.link).inc()
+
+    def lost(self) -> None:
+        self._lost.labels(link=self.link).inc()
+
+
+def instrument_simulator(sim: "Simulator", registry: MetricsRegistry) -> None:
+    """Attach event-dispatch metrics to a simulator: per-event-name
+    counts and wall-clock timing histograms, a live queue-depth gauge,
+    and the simulated-clock gauge."""
+    events_total = registry.counter(
+        "sim_events_total", "Events dispatched by the engine", ("name",)
+    )
+    event_wall = registry.histogram(
+        "sim_event_wall_seconds",
+        "Wall-clock seconds spent executing one event",
+        ("name",),
+        buckets=WALL_BUCKETS,
+    )
+    queue_depth = registry.gauge(
+        "sim_queue_depth", "Live (non-cancelled) events in the scheduler heap"
+    )
+    sim_clock = registry.gauge("sim_time_seconds", "Current simulated time")
+
+    def listener(simulator: "Simulator", event: "Event", wall: float) -> None:
+        name = event.name or "(anonymous)"
+        events_total.labels(name=name).inc()
+        event_wall.labels(name=name).observe(wall)
+
+    sim.add_dispatch_listener(listener)
+
+    def collect() -> None:
+        queue_depth.set(sim.pending())
+        sim_clock.set(sim.now)
+
+    registry.register_collector(collect)
+
+
+def attach_topology(topo: "Topology", obs: Observability) -> Observability:
+    """Instrument an entire topology: the simulator, every node, every
+    link. Nodes/links added afterwards are not retro-instrumented; call
+    again after wiring if needed (re-attachment is idempotent)."""
+    obs.bind_simulator(topo.sim)
+    for node in topo.nodes.values():
+        if node.metrics is None or node.metrics.node != node.name:
+            node.metrics = NodeMetrics(obs.registry, node.name)
+    for link in topo.links:
+        if link.metrics is None:
+            name = f"{link.node_a.name}--{link.node_b.name}"
+            link.metrics = LinkMetrics(obs.registry, name)
+    return obs

@@ -1,0 +1,343 @@
+"""Labelled metrics registry: counters, gauges, and histograms.
+
+The registry replaces the ad-hoc per-agent ``Counter`` bags that each
+benchmark used to re-derive by hand. A metric *family* is declared once
+(name, help text, label names); every distinct label-value combination
+materializes a *child* holding the actual value, exactly the Prometheus
+data model. Families are idempotent — declaring the same name twice
+returns the existing family (and raises if the type or label names
+disagree), so independent subsystems can share one family (e.g. EXPRESS
+and the PIM/DVMRP baselines both observe ``delivery_latency_seconds``
+and comparisons read from the same registry).
+
+Histograms keep both cumulative buckets (for the Prometheus text
+exposition) and the raw samples (the simulator's scale makes exact
+p50/p90/p99 affordable, and the benchmarks want exact percentiles).
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left
+from math import ceil, inf
+from typing import Callable, Iterable, Optional, Sequence
+
+from repro.errors import SimulationError
+
+
+class MetricError(SimulationError):
+    """Raised on metric redeclaration conflicts or bad label usage."""
+
+
+#: Default buckets for simulated-seconds latencies (delivery, RTTs).
+LATENCY_BUCKETS = (
+    0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05,
+    0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0,
+)
+
+#: Default buckets for wall-clock event-dispatch timings (profiling).
+WALL_BUCKETS = (
+    1e-6, 2.5e-6, 5e-6, 1e-5, 2.5e-5, 5e-5,
+    1e-4, 2.5e-4, 5e-4, 1e-3, 5e-3, 2.5e-2, 1e-1,
+)
+
+
+def percentile(samples: Sequence[float], p: float) -> float:
+    """Nearest-rank percentile of ``samples`` (``p`` in [0, 100])."""
+    if not 0.0 <= p <= 100.0:
+        raise ValueError(f"percentile must be in [0, 100], got {p}")
+    if not samples:
+        return 0.0
+    ordered = sorted(samples)
+    rank = max(1, ceil(p / 100.0 * len(ordered)))
+    return ordered[rank - 1]
+
+
+class _Child:
+    """Base for one labelled time series within a family."""
+
+    __slots__ = ("labels",)
+
+    def __init__(self, labels: tuple[str, ...]) -> None:
+        self.labels = labels
+
+
+class CounterValue(_Child):
+    """A monotonically increasing count."""
+
+    __slots__ = ("value",)
+
+    def __init__(self, labels: tuple[str, ...]) -> None:
+        super().__init__(labels)
+        self.value = 0
+
+    def inc(self, amount: int = 1) -> None:
+        if amount < 0:
+            raise MetricError("counters can only increase")
+        self.value += amount
+
+
+class GaugeValue(_Child):
+    """A value that can go up and down."""
+
+    __slots__ = ("value",)
+
+    def __init__(self, labels: tuple[str, ...]) -> None:
+        super().__init__(labels)
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = value
+
+    def inc(self, amount: float = 1.0) -> None:
+        self.value += amount
+
+    def dec(self, amount: float = 1.0) -> None:
+        self.value -= amount
+
+
+class HistogramValue(_Child):
+    """Cumulative-bucket histogram plus raw samples for percentiles."""
+
+    __slots__ = ("buckets", "bucket_counts", "sum", "count", "samples")
+
+    def __init__(self, labels: tuple[str, ...], buckets: Sequence[float]) -> None:
+        super().__init__(labels)
+        self.buckets = tuple(buckets)
+        self.bucket_counts = [0] * (len(self.buckets) + 1)  # trailing +Inf
+        self.sum = 0.0
+        self.count = 0
+        self.samples: list[float] = []
+
+    def observe(self, value: float) -> None:
+        self.bucket_counts[bisect_left(self.buckets, value)] += 1
+        self.sum += value
+        self.count += 1
+        self.samples.append(value)
+
+    def percentile(self, p: float) -> float:
+        """Exact nearest-rank percentile from the raw samples."""
+        return percentile(self.samples, p)
+
+    def mean(self) -> float:
+        return self.sum / self.count if self.count else 0.0
+
+    def cumulative_buckets(self) -> list[tuple[float, int]]:
+        """(upper_bound, cumulative_count) pairs, ending with +Inf."""
+        out = []
+        running = 0
+        for bound, n in zip(self.buckets, self.bucket_counts):
+            running += n
+            out.append((bound, running))
+        out.append((inf, self.count))
+        return out
+
+
+class MetricFamily:
+    """One named metric with a fixed label schema and many children."""
+
+    def __init__(
+        self,
+        name: str,
+        kind: str,
+        help: str = "",
+        labelnames: Sequence[str] = (),
+        buckets: Optional[Sequence[float]] = None,
+    ) -> None:
+        self.name = name
+        self.kind = kind
+        self.help = help
+        self.labelnames = tuple(labelnames)
+        self.buckets = tuple(buckets) if buckets is not None else None
+        self._children: dict[tuple[str, ...], _Child] = {}
+
+    def _make_child(self, values: tuple[str, ...]) -> _Child:
+        if self.kind == "counter":
+            return CounterValue(values)
+        if self.kind == "gauge":
+            return GaugeValue(values)
+        return HistogramValue(values, self.buckets or LATENCY_BUCKETS)
+
+    def labels(self, **labels: object):
+        """The child for one label-value combination (created lazily)."""
+        if set(labels) != set(self.labelnames):
+            raise MetricError(
+                f"{self.name}: expected labels {self.labelnames}, "
+                f"got {tuple(sorted(labels))}"
+            )
+        values = tuple(str(labels[name]) for name in self.labelnames)
+        child = self._children.get(values)
+        if child is None:
+            child = self._make_child(values)
+            self._children[values] = child
+        return child
+
+    def children(self) -> Iterable[tuple[tuple[str, ...], _Child]]:
+        """(label_values, child) pairs in insertion order."""
+        return self._children.items()
+
+    # -- unlabelled convenience: proxy straight to the single child ------
+
+    def _solo(self):
+        if self.labelnames:
+            raise MetricError(f"{self.name} has labels {self.labelnames}; use .labels()")
+        return self.labels()
+
+    def inc(self, amount: float = 1) -> None:
+        self._solo().inc(amount)
+
+    def dec(self, amount: float = 1.0) -> None:
+        self._solo().dec(amount)
+
+    def set(self, value: float) -> None:
+        self._solo().set(value)
+
+    def observe(self, value: float) -> None:
+        self._solo().observe(value)
+
+    @property
+    def value(self) -> float:
+        return self._solo().value
+
+
+class CounterBag:
+    """Drop-in replacement for :class:`repro.netsim.trace.Counter` that
+    writes into a registry family instead of a private dict.
+
+    The bag pins every label except ``event``; ``incr(key)`` becomes an
+    increment of ``family{..., event=key}``. Existing call sites
+    (``agent.stats.incr(...)`` / ``.as_dict()``) keep working while the
+    counts land in the shared registry.
+    """
+
+    def __init__(self, family: MetricFamily, **fixed: object) -> None:
+        if set(fixed) | {"event"} != set(family.labelnames):
+            raise MetricError(
+                f"{family.name}: CounterBag needs labels "
+                f"{tuple(n for n in family.labelnames if n != 'event')}, "
+                f"got {tuple(sorted(fixed))}"
+            )
+        self._family = family
+        self._fixed = {name: str(value) for name, value in fixed.items()}
+
+    def incr(self, key: str, amount: int = 1) -> None:
+        self._family.labels(event=key, **self._fixed).inc(amount)
+
+    def get(self, key: str) -> int:
+        mapping = dict(self._fixed, event=key)
+        values = tuple(mapping[name] for name in self._family.labelnames)
+        child = self._family._children.get(values)
+        return int(child.value) if child is not None else 0
+
+    def as_dict(self) -> dict[str, int]:
+        out: dict[str, int] = {}
+        for values, child in self._family.children():
+            mapping = dict(zip(self._family.labelnames, values))
+            if all(mapping[k] == v for k, v in self._fixed.items()):
+                out[mapping["event"]] = int(child.value)
+        return out
+
+    def keys(self) -> Iterable[str]:
+        return self.as_dict().keys()
+
+    def __getitem__(self, key: str) -> int:
+        return self.get(key)
+
+
+class MetricsRegistry:
+    """Holds every metric family; the unit exporters serialize."""
+
+    def __init__(self) -> None:
+        self._families: dict[str, MetricFamily] = {}
+        self._collectors: list[Callable[[], None]] = []
+
+    # -- declaration -----------------------------------------------------
+
+    def _declare(
+        self,
+        name: str,
+        kind: str,
+        help: str,
+        labelnames: Sequence[str],
+        buckets: Optional[Sequence[float]] = None,
+    ) -> MetricFamily:
+        existing = self._families.get(name)
+        if existing is not None:
+            if existing.kind != kind or existing.labelnames != tuple(labelnames):
+                raise MetricError(
+                    f"metric {name!r} redeclared as {kind}{tuple(labelnames)}; "
+                    f"existing is {existing.kind}{existing.labelnames}"
+                )
+            return existing
+        family = MetricFamily(name, kind, help, labelnames, buckets)
+        self._families[name] = family
+        return family
+
+    def counter(
+        self, name: str, help: str = "", labelnames: Sequence[str] = ()
+    ) -> MetricFamily:
+        return self._declare(name, "counter", help, labelnames)
+
+    def gauge(
+        self, name: str, help: str = "", labelnames: Sequence[str] = ()
+    ) -> MetricFamily:
+        return self._declare(name, "gauge", help, labelnames)
+
+    def histogram(
+        self,
+        name: str,
+        help: str = "",
+        labelnames: Sequence[str] = (),
+        buckets: Optional[Sequence[float]] = None,
+    ) -> MetricFamily:
+        return self._declare(name, "histogram", help, labelnames, buckets)
+
+    def counter_bag(self, name: str, help: str = "", **fixed: object) -> CounterBag:
+        """A :class:`CounterBag` over ``name{<fixed labels>, event=...}``."""
+        labelnames = tuple(sorted(fixed)) + ("event",)
+        family = self.counter(name, help, labelnames)
+        return CounterBag(family, **fixed)
+
+    # -- collection ------------------------------------------------------
+
+    def register_collector(self, collector: Callable[[], None]) -> None:
+        """Register a callback run before every snapshot/export (used to
+        refresh gauges whose truth lives elsewhere, e.g. FIB sizes)."""
+        self._collectors.append(collector)
+
+    def collect(self) -> list[MetricFamily]:
+        """Run collectors, then return families in declaration order."""
+        for collector in self._collectors:
+            collector()
+        return list(self._families.values())
+
+    def get(self, name: str) -> Optional[MetricFamily]:
+        return self._families.get(name)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._families
+
+    def snapshot(self) -> dict[str, dict]:
+        """A plain-dict view of every family (tests, JSON export)."""
+        out: dict[str, dict] = {}
+        for family in self.collect():
+            series = {}
+            for values, child in family.children():
+                key = ",".join(
+                    f"{n}={v}" for n, v in zip(family.labelnames, values)
+                )
+                if isinstance(child, HistogramValue):
+                    series[key] = {
+                        "count": child.count,
+                        "sum": child.sum,
+                        "p50": child.percentile(50),
+                        "p90": child.percentile(90),
+                        "p99": child.percentile(99),
+                    }
+                else:
+                    series[key] = child.value
+            out[family.name] = {
+                "type": family.kind,
+                "help": family.help,
+                "series": series,
+            }
+        return out

@@ -66,6 +66,14 @@ class SessionRelay:
         self.handle: SourceHandle = net.source(sr_host)
         self.session_id = next(_session_ids)
         self.channel: Channel = self.handle.allocate_channel()
+        if net.obs is None:
+            self._m_messages = None
+        else:
+            self._m_messages = net.obs.registry.counter(
+                "relay_messages_total",
+                "Session-relay messages by session, direction, and kind",
+                ("session", "direction", "kind"),
+            )
         self.floor = floor
         self.talk_size = talk_size
         self._seq = itertools.count(1)
@@ -112,6 +120,10 @@ class SessionRelay:
             return
         if self.stopped:
             return
+        if self._m_messages is not None:
+            self._m_messages.labels(
+                session=str(self.session_id), direction="rx", kind=message.kind
+            ).inc()
         if message.kind == "talk":
             self._relay_talk(message, packet.size)
         elif message.kind == "floor_request":
@@ -155,6 +167,10 @@ class SessionRelay:
         )
         if kind == "talk":
             self.relayed += 1
+        if self._m_messages is not None:
+            self._m_messages.labels(
+                session=str(self.session_id), direction="tx", kind=kind
+            ).inc()
         return self.handle.send(self.channel, payload=out, size=size or self.talk_size)
 
     def speak_from_relay(self, body: Any, size: Optional[int] = None) -> int:

@@ -196,3 +196,134 @@ class TestPeriodicTask:
         task2.start()
         sim2.run(until=10.0)
         assert hits == hits2
+
+
+class TestHeapCompaction:
+    def test_mass_cancellation_compacts_the_heap(self):
+        sim = Simulator()
+        events = [sim.schedule(10.0 + i, lambda: None) for i in range(200)]
+        for event in events[:150]:
+            event.cancel()
+        # Once cancelled events outnumbered live ones the heap was
+        # rebuilt; at most a sub-majority of cancelled entries remain
+        # (compaction is amortized, not eager).
+        assert len(sim._queue) < 2 * 50
+        assert sim.pending() == 50
+        assert sim.run() == 50
+        assert len(sim._queue) == 0
+
+    def test_pending_is_exact_through_churn(self):
+        sim = Simulator()
+        sim.schedule(5.0, lambda: None)
+        events = [sim.schedule(1.0 + i * 0.001, lambda: None) for i in range(100)]
+        for event in events:
+            event.cancel()
+        assert sim.pending() == 1
+        assert sim.run() == 1
+        assert sim.pending() == 0
+
+    def test_double_cancel_counts_once(self):
+        sim = Simulator()
+        event = sim.schedule(1.0, lambda: None)
+        sim.schedule(2.0, lambda: None)
+        event.cancel()
+        event.cancel()
+        assert sim.pending() == 1
+        assert sim.run() == 1
+
+    def test_cancel_after_fire_is_harmless(self):
+        sim = Simulator()
+        event = sim.schedule(1.0, lambda: None)
+        sim.run()
+        event.cancel()
+        assert sim.pending() == 0
+
+    def test_cancel_after_lazy_pop_is_harmless(self):
+        sim = Simulator()
+        event = sim.schedule(1.0, lambda: None)
+        event.cancel()
+        assert sim.peek_time() is None  # lazily dropped from the heap
+        event.cancel()
+        assert sim.pending() == 0
+
+    def test_compaction_preserves_dispatch_order(self):
+        sim = Simulator(seed=3)
+        fired = []
+        events = []
+        for i in range(300):
+            events.append(
+                sim.schedule(1.0 + i * 0.01, lambda i=i: fired.append(i))
+            )
+        survivors = [i for i in range(300) if i % 3 == 0]
+        for i in range(300):
+            if i % 3:
+                events[i].cancel()
+        sim.run()
+        assert fired == survivors
+
+    def test_small_queues_skip_compaction(self):
+        sim = Simulator()
+        events = [sim.schedule(1.0 + i, lambda: None) for i in range(10)]
+        for event in events[:9]:
+            event.cancel()
+        # Below the size floor the heap keeps the cancelled entries
+        # (they drain lazily), but pending() is still exact.
+        assert len(sim._queue) == 10
+        assert sim.pending() == 1
+
+
+class TestDispatchListeners:
+    def test_listener_sees_every_event(self):
+        sim = Simulator()
+        seen = []
+        sim.add_dispatch_listener(
+            lambda s, event, wall: seen.append((event.name, wall))
+        )
+        sim.schedule(1.0, lambda: None, name="a")
+        sim.schedule(2.0, lambda: None, name="b")
+        sim.run()
+        assert [name for name, _ in seen] == ["a", "b"]
+        assert all(wall >= 0.0 for _, wall in seen)
+
+    def test_remove_listener(self):
+        sim = Simulator()
+        seen = []
+        listener = lambda s, event, wall: seen.append(event.name)
+        sim.add_dispatch_listener(listener)
+        sim.schedule(1.0, lambda: None)
+        sim.run()
+        sim.remove_dispatch_listener(listener)
+        sim.schedule(1.0, lambda: None)
+        sim.run()
+        assert len(seen) == 1
+
+
+class TestPeriodicJitterBounds:
+    def test_intervals_stay_within_jitter_band(self):
+        sim = Simulator(seed=11)
+        hits = []
+        task = PeriodicTask(sim, 10.0, lambda: hits.append(sim.now), jitter=2.0)
+        task.start()
+        sim.run(until=500.0)
+        assert len(hits) >= 40
+        gaps = [b - a for a, b in zip(hits, hits[1:])]
+        assert all(8.0 - 1e-9 <= gap <= 12.0 + 1e-9 for gap in gaps)
+        # First firing obeys the same band.
+        assert 8.0 - 1e-9 <= hits[0] <= 12.0 + 1e-9
+
+    def test_zero_jitter_is_exact(self):
+        sim = Simulator(seed=5)
+        hits = []
+        PeriodicTask(sim, 2.5, lambda: hits.append(sim.now)).start()
+        sim.run(until=10.0)
+        assert hits == [2.5, 5.0, 7.5, 10.0]
+
+    def test_jitter_larger_than_interval_never_goes_nonpositive(self):
+        sim = Simulator(seed=13)
+        hits = []
+        task = PeriodicTask(sim, 0.01, lambda: hits.append(sim.now), jitter=5.0)
+        task.start()
+        sim.run(until=20.0)
+        assert hits, "task must still fire"
+        gaps = [b - a for a, b in zip([0.0] + hits, hits)]
+        assert all(gap > 0 for gap in gaps)

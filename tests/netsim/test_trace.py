@@ -54,3 +54,78 @@ class TestLatencyStats:
         assert stats.mean() == 0.0
         assert stats.max() == 0.0
         assert stats.min() == 0.0
+
+
+class TestLatencyPercentiles:
+    def test_nearest_rank(self):
+        stats = LatencyStats()
+        for i in range(1, 101):
+            stats.add(0.0, i / 1000.0)
+        assert abs(stats.percentile(50) - 0.050) < 1e-12
+        assert abs(stats.percentile(90) - 0.090) < 1e-12
+        assert abs(stats.percentile(99) - 0.099) < 1e-12
+        assert abs(stats.percentile(100) - 0.100) < 1e-12
+
+    def test_single_sample(self):
+        stats = LatencyStats()
+        stats.add(0.0, 0.25)
+        for p in (0, 50, 99, 100):
+            assert stats.percentile(p) == 0.25
+
+    def test_empty_is_zero(self):
+        assert LatencyStats().percentile(99) == 0.0
+
+    def test_out_of_range_rejected(self):
+        import pytest
+
+        with pytest.raises(ValueError):
+            LatencyStats().percentile(101)
+        with pytest.raises(ValueError):
+            LatencyStats().percentile(-1)
+
+    def test_as_dict(self):
+        stats = LatencyStats()
+        stats.add(0.0, 0.1)
+        stats.add(0.0, 0.3)
+        summary = stats.as_dict()
+        assert summary["count"] == 2.0
+        assert abs(summary["mean"] - 0.2) < 1e-12
+        assert summary["min"] == 0.1
+        assert summary["max"] == 0.3
+        assert summary["p50"] == 0.1
+        assert summary["p99"] == 0.3
+
+
+class TestTraceIndexes:
+    def _populated(self):
+        trace = PacketTrace()
+        for i in range(50):
+            node = f"n{i % 5}"
+            proto = "ecmp" if i % 2 else "data"
+            direction = ("tx", "rx", "drop")[i % 3]
+            trace.record(i * 0.001, node, direction, proto, 100 + i)
+        return trace
+
+    def test_indexed_filters_match_full_scan(self):
+        trace = self._populated()
+
+        def scan(node=None, direction=None, proto=None):
+            return [
+                r
+                for r in trace.records
+                if (node is None or r.node == node)
+                and (direction is None or r.direction == direction)
+                and (proto is None or r.proto == proto)
+            ]
+
+        for node in (None, "n0", "n3", "missing"):
+            for proto in (None, "ecmp", "data", "missing"):
+                for direction in (None, "tx", "drop"):
+                    assert trace.filter(
+                        node=node, direction=direction, proto=proto
+                    ) == scan(node=node, direction=direction, proto=proto)
+
+    def test_index_preserves_insertion_order(self):
+        trace = self._populated()
+        times = [r.time for r in trace.filter(node="n1", proto="ecmp")]
+        assert times == sorted(times)

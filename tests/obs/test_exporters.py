@@ -1,0 +1,107 @@
+"""Unit tests for the Prometheus and JSON-lines exporters."""
+
+import io
+import json
+
+from repro.obs.exporters import (
+    events_to_jsonl,
+    metrics_to_jsonl,
+    prometheus_text,
+    spans_to_jsonl,
+    write_prometheus,
+)
+from repro.obs.registry import MetricsRegistry
+from repro.obs.tracing import Tracer
+
+
+def small_registry():
+    registry = MetricsRegistry()
+    counter = registry.counter("msgs_total", "messages", ("node", "type"))
+    counter.labels(node="r1", type="Count").inc(3)
+    counter.labels(node="r2", type="CountQuery").inc()
+    gauge = registry.gauge("depth", "queue depth")
+    gauge.set(17)
+    hist = registry.histogram("lat_seconds", "latency", buckets=(0.1, 1.0))
+    for value in (0.05, 0.5, 2.0):
+        hist.observe(value)
+    return registry
+
+
+class TestPrometheusText:
+    def test_help_and_type_headers(self):
+        text = prometheus_text(small_registry())
+        assert "# HELP msgs_total messages" in text
+        assert "# TYPE msgs_total counter" in text
+        assert "# TYPE depth gauge" in text
+        assert "# TYPE lat_seconds histogram" in text
+
+    def test_counter_and_gauge_lines(self):
+        text = prometheus_text(small_registry())
+        assert 'msgs_total{node="r1",type="Count"} 3' in text
+        assert 'msgs_total{node="r2",type="CountQuery"} 1' in text
+        assert "depth 17" in text
+
+    def test_histogram_series(self):
+        text = prometheus_text(small_registry())
+        assert 'lat_seconds_bucket{le="0.1"} 1' in text
+        assert 'lat_seconds_bucket{le="1"} 2' in text
+        assert 'lat_seconds_bucket{le="+Inf"} 3' in text
+        assert "lat_seconds_sum 2.55" in text
+        assert "lat_seconds_count 3" in text
+
+    def test_label_escaping(self):
+        registry = MetricsRegistry()
+        registry.counter("c", "", ("ch",)).labels(ch='a"b\\c\nd').inc()
+        text = prometheus_text(registry)
+        assert 'c{ch="a\\"b\\\\c\\nd"} 1' in text
+
+    def test_write_prometheus(self):
+        out = io.StringIO()
+        write_prometheus(small_registry(), out)
+        assert out.getvalue() == prometheus_text(small_registry())
+
+    def test_ends_with_newline(self):
+        assert prometheus_text(small_registry()).endswith("\n")
+
+
+class TestJsonl:
+    def test_metrics_records_parse(self):
+        lines = metrics_to_jsonl(small_registry()).splitlines()
+        records = [json.loads(line) for line in lines]
+        assert all(record["kind"] == "metric" for record in records)
+        by_name = {}
+        for record in records:
+            by_name.setdefault(record["name"], []).append(record)
+        assert by_name["msgs_total"][0]["labels"] == {"node": "r1", "type": "Count"}
+        assert by_name["msgs_total"][0]["value"] == 3
+        hist = by_name["lat_seconds"][0]
+        assert hist["count"] == 3
+        assert hist["p50"] == 0.5
+
+    def test_spans_records_parse(self):
+        tracer = Tracer()
+        with tracer.span("root", node="s", channel="(S,E)") as root:
+            tracer.add_event(root, "reply", count=2)
+            with tracer.span("child", node="h"):
+                pass
+        records = [json.loads(line) for line in spans_to_jsonl(tracer).splitlines()]
+        assert len(records) == 2
+        assert records[0]["name"] == "root"
+        assert records[0]["parent_id"] is None
+        assert records[1]["parent_id"] == records[0]["span_id"]
+        assert records[0]["events"][0]["name"] == "reply"
+        assert records[0]["attrs"]["channel"] == "(S,E)"
+
+    def test_events_to_jsonl_combines_both(self):
+        tracer = Tracer()
+        with tracer.span("root"):
+            pass
+        out = io.StringIO()
+        text = events_to_jsonl(small_registry(), tracer, out)
+        assert out.getvalue() == text
+        kinds = {json.loads(line)["kind"] for line in text.splitlines()}
+        assert kinds == {"metric", "span"}
+
+    def test_empty_dumps(self):
+        assert spans_to_jsonl(Tracer()) == ""
+        assert metrics_to_jsonl(MetricsRegistry()) == ""

@@ -1,0 +1,154 @@
+"""Unit tests for the causal tracer."""
+
+from repro.obs.tracing import SpanContext, Tracer
+
+
+class FakeClock:
+    def __init__(self) -> None:
+        self.now = 0.0
+
+    def __call__(self) -> float:
+        return self.now
+
+
+class TestSpanLifecycle:
+    def test_root_span_and_ids_are_deterministic(self):
+        a = Tracer()
+        b = Tracer()
+        span_a = a.start_span("work")
+        span_b = b.start_span("work")
+        assert span_a.span_id == span_b.span_id
+        assert span_a.trace_id == span_b.trace_id
+        assert span_a.parent_id is None
+
+    def test_clock_drives_start_end(self):
+        clock = FakeClock()
+        tracer = Tracer(clock=clock)
+        span = tracer.start_span("work")
+        clock.now = 2.5
+        tracer.end(span)
+        assert span.start == 0.0
+        assert span.duration == 2.5
+
+    def test_end_is_idempotent(self):
+        clock = FakeClock()
+        tracer = Tracer(clock=clock)
+        span = tracer.start_span("work")
+        clock.now = 1.0
+        tracer.end(span)
+        clock.now = 9.0
+        tracer.end(span)
+        assert span.end == 1.0
+
+    def test_context_manager_nesting(self):
+        tracer = Tracer()
+        with tracer.span("outer") as outer:
+            assert tracer.current is outer
+            with tracer.span("inner") as inner:
+                assert tracer.current is inner
+                assert inner.parent_id == outer.span_id
+                assert inner.trace_id == outer.trace_id
+            assert tracer.current is outer
+        assert tracer.current is None
+        assert outer.end is not None and inner.end is not None
+
+    def test_activate_does_not_end(self):
+        tracer = Tracer()
+        span = tracer.start_span("pending")
+        with tracer.activate(span):
+            assert tracer.current is span
+        assert span.end is None
+
+    def test_parent_from_wire_context(self):
+        tracer = Tracer()
+        remote = SpanContext(trace_id=77, span_id=42)
+        span = tracer.start_span("handle", parent=remote)
+        assert span.trace_id == 77
+        assert span.parent_id == 42
+
+    def test_events(self):
+        clock = FakeClock()
+        tracer = Tracer(clock=clock)
+        span = tracer.start_span("query")
+        clock.now = 1.5
+        tracer.add_event(span, "reply", neighbor="r2", count=3)
+        assert span.events == [(1.5, "reply", {"neighbor": "r2", "count": 3})]
+
+
+class TestQueries:
+    def _fan_out(self, tracer):
+        """root -> (mid1 -> leaf1, leaf2; mid2 -> leaf3)."""
+        with tracer.span("root", node="s", channel="(S,E)") as root:
+            with tracer.span("mid", node="r1", channel="(S,E)"):
+                with tracer.span("leaf", node="h1"):
+                    pass
+                with tracer.span("leaf", node="h2"):
+                    pass
+            with tracer.span("mid", node="r2", channel="(S,E)"):
+                with tracer.span("leaf", node="h3"):
+                    pass
+        return root
+
+    def test_tree_and_leaves(self):
+        tracer = Tracer()
+        root = self._fan_out(tracer)
+        roots = tracer.tree(root.trace_id)
+        assert len(roots) == 1
+        node = roots[0]
+        assert node.span is root
+        assert node.leaf_count() == 3
+        assert node.depth() == 3
+        assert len(list(node)) == 6
+        leaves = tracer.leaves(root.trace_id)
+        assert sorted(s.node for s in leaves) == ["h1", "h2", "h3"]
+        assert [s.node for s in tracer.roots(root.trace_id)] == ["s"]
+
+    def test_spans_for_channel(self):
+        tracer = Tracer()
+        root = self._fan_out(tracer)
+        tagged = tracer.spans_for("(S,E)")
+        assert len(tagged) == 3
+        assert tracer.traces_for("(S,E)") == [root.trace_id]
+        assert tracer.spans_for("(other)") == []
+
+    def test_children(self):
+        tracer = Tracer()
+        root = self._fan_out(tracer)
+        kids = tracer.children(root)
+        assert [s.node for s in kids] == ["r1", "r2"]
+
+    def test_critical_path_descends_latest_child(self):
+        clock = FakeClock()
+        tracer = Tracer(clock=clock)
+        root = tracer.start_span("query", node="s")
+        with tracer.activate(root):
+            clock.now = 0.1
+            fast = tracer.start_span("sub", node="fast")
+            slow = tracer.start_span("sub", node="slow")
+        clock.now = 0.2
+        tracer.end(fast)
+        with tracer.activate(slow):
+            leaf = tracer.start_span("leaf", node="deep")
+        clock.now = 0.7
+        tracer.end(leaf)
+        tracer.end(slow)
+        clock.now = 0.8
+        tracer.end(root)
+        latency, chain = tracer.critical_path(root.trace_id)
+        assert [s.node for s in chain] == ["s", "slow", "deep"]
+        assert abs(latency - 0.8) < 1e-12
+
+    def test_render_indents_by_depth(self):
+        tracer = Tracer()
+        root = self._fan_out(tracer)
+        text = tracer.render(root.trace_id)
+        lines = text.splitlines()
+        assert lines[0].startswith("root @s")
+        assert lines[1].startswith("  mid @r1")
+        assert lines[2].startswith("    leaf @h1")
+
+    def test_empty_trace(self):
+        tracer = Tracer()
+        assert tracer.tree(999) == []
+        assert tracer.critical_path(999) == (0.0, [])
+        assert tracer.render(999) == ""
