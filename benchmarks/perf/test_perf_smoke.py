@@ -1,0 +1,71 @@
+"""Perf harness smoke benchmark.
+
+Runs ``repro.bench`` in quick mode, writes the repo-root
+``BENCH_perf.json`` trajectory file, and asserts the two structural
+claims of the fast-path PR:
+
+* the churn scenario runs >=5x fewer Dijkstra destination-tree
+  computations than the seed's full ``recompute()`` would have
+  (``recompute_count x |V|``), and
+* every scenario clears a generous events/sec floor (guards against
+  catastrophic data-plane regressions without tying CI to hardware).
+
+Run with ``pytest benchmarks/perf`` or via ``python -m repro.bench``.
+"""
+
+import json
+import pathlib
+
+from repro.bench import build_report, write_report
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parents[2]
+
+#: Deliberately generous: CI runners are slow and shared. The real
+#: throughput trajectory lives in BENCH_perf.json diffs, not here.
+EVENTS_PER_SEC_FLOOR = 500.0
+DIJKSTRA_RATIO_FLOOR = 5.0
+
+
+def test_perf_smoke_writes_bench_json():
+    report = build_report(quick=True)
+    out = REPO_ROOT / "BENCH_perf.json"
+    write_report(report, out)
+
+    parsed = json.loads(out.read_text())
+    assert parsed["bench"] == "perf"
+    assert parsed["schema_version"] == 1
+    assert set(parsed["scenarios"]) == {
+        "join_storm",
+        "link_flap_churn",
+        "steady_fanout",
+    }
+
+    for name, metrics in parsed["scenarios"].items():
+        assert metrics["events_per_sec"] > EVENTS_PER_SEC_FLOOR, name
+        assert metrics["sim_events"] > 0, name
+
+    churn = parsed["scenarios"]["link_flap_churn"]
+    assert churn["dijkstra_savings_ratio"] >= DIJKSTRA_RATIO_FLOOR
+    assert churn["dijkstra_runs"] < churn["dijkstra_baseline_equivalent"]
+    assert churn["spf"]["partial_invalidations"] > 0
+
+    fanout = parsed["scenarios"]["steady_fanout"]
+    assert fanout["packets_delivered"] > 0
+    # Every interior node of a fanout-2 tree is a branch point: one
+    # copy plus one in-place send -> exactly half the transmissions
+    # avoid a packet allocation.
+    assert fanout["inplace_fraction"] >= 0.5
+    assert fanout["fib_cache_hit_fraction"] > 0.5
+
+    storm = parsed["scenarios"]["join_storm"]
+    assert storm["subscribed"] == storm["params"]["subscribers"]
+    # The ISP topology mixes branch points (transit fan-out, stubs with
+    # two subscribed hosts) with degree-1 chain hops; every fan-out's
+    # final interface goes zero-copy, so a solid fraction of all
+    # transmissions must avoid an allocation.
+    assert storm["inplace_fraction"] > 0.25
+    assert storm["delivery_latency"]["count"] > 0
+    assert (
+        storm["delivery_latency"]["p99_seconds"]
+        >= storm["delivery_latency"]["p50_seconds"]
+    )

@@ -1,0 +1,141 @@
+"""Machine-readable performance harness (``python -m repro.bench``).
+
+Runs the parameterized scenarios in :mod:`repro.bench.scenarios` and
+writes ``BENCH_perf.json`` — the perf trajectory file future PRs diff
+against (and that CI's ``perf-smoke`` job gates on). The JSON schema is
+documented in ``docs/performance.md``.
+"""
+
+from __future__ import annotations
+
+import json
+import platform
+import sys
+import time
+from pathlib import Path
+from typing import Optional
+
+from repro.bench.scenarios import SCENARIOS, run_scenarios
+
+#: Bump when the JSON layout changes incompatibly.
+SCHEMA_VERSION = 1
+
+
+def build_report(
+    quick: bool = True, seed: int = 0, only: Optional[list[str]] = None
+) -> dict:
+    """Run scenarios and assemble the full ``BENCH_perf.json`` payload."""
+    started = time.time()
+    scenarios = run_scenarios(quick=quick, seed=seed, only=only)
+    throughputs = [
+        s["events_per_sec"] for s in scenarios.values() if "events_per_sec" in s
+    ]
+    latencies = [
+        s["delivery_latency"]["p99_seconds"]
+        for s in scenarios.values()
+        if s.get("delivery_latency", {}).get("count")
+    ]
+    churn = scenarios.get("link_flap_churn", {})
+    return {
+        "bench": "perf",
+        "schema_version": SCHEMA_VERSION,
+        "generated_at": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime(started)),
+        "quick": quick,
+        "seed": seed,
+        "python_version": platform.python_version(),
+        "platform": platform.platform(),
+        "wall_seconds_total": time.time() - started,
+        "scenarios": scenarios,
+        "summary": {
+            "events_per_sec_min": min(throughputs) if throughputs else 0.0,
+            "events_per_sec_max": max(throughputs) if throughputs else 0.0,
+            "dijkstra_savings_ratio": churn.get("dijkstra_savings_ratio", 0.0),
+            "delivery_p99_max_seconds": max(latencies) if latencies else 0.0,
+        },
+    }
+
+
+def write_report(report: dict, output: Path) -> None:
+    output.write_text(json.dumps(report, indent=2, sort_keys=False) + "\n")
+
+
+def main(argv: Optional[list[str]] = None) -> int:
+    import argparse
+
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.bench",
+        description="Run the perf scenarios and write BENCH_perf.json.",
+    )
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="small topologies / short runs (CI smoke mode)",
+    )
+    parser.add_argument(
+        "--output",
+        type=Path,
+        default=Path("BENCH_perf.json"),
+        help="output path (default: ./BENCH_perf.json)",
+    )
+    parser.add_argument(
+        "--scenario",
+        action="append",
+        choices=sorted(SCENARIOS),
+        help="run only this scenario (repeatable; default: all)",
+    )
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument(
+        "--floor-events-per-sec",
+        type=float,
+        default=None,
+        help="exit non-zero if any scenario's events/sec falls below this",
+    )
+    parser.add_argument(
+        "--floor-dijkstra-ratio",
+        type=float,
+        default=None,
+        help="exit non-zero if the churn scenario's Dijkstra savings "
+        "ratio falls below this",
+    )
+    args = parser.parse_args(argv)
+
+    report = build_report(quick=args.quick, seed=args.seed, only=args.scenario)
+    write_report(report, args.output)
+
+    print(f"perf bench ({'quick' if args.quick else 'full'} mode) -> {args.output}")
+    for name, metrics in report["scenarios"].items():
+        line = (
+            f"  {name:18s} {metrics['events_per_sec']:12,.0f} events/s"
+            f"  ({metrics['sim_events']:,} events, "
+            f"{metrics['wall_seconds']:.2f}s wall)"
+        )
+        if "dijkstra_savings_ratio" in metrics:
+            line += f"  dijkstra saving {metrics['dijkstra_savings_ratio']:.1f}x"
+        latency = metrics.get("delivery_latency", {})
+        if latency.get("count"):
+            line += (
+                f"  p50 {latency['p50_seconds'] * 1e3:.2f}ms"
+                f" p99 {latency['p99_seconds'] * 1e3:.2f}ms"
+            )
+        print(line)
+
+    failed = False
+    if args.floor_events_per_sec is not None:
+        low = report["summary"]["events_per_sec_min"]
+        if low < args.floor_events_per_sec:
+            print(
+                f"FAIL: events/sec floor {args.floor_events_per_sec:,.0f} "
+                f"not met (min {low:,.0f})",
+                file=sys.stderr,
+            )
+            failed = True
+    if args.floor_dijkstra_ratio is not None:
+        ratio = report["summary"]["dijkstra_savings_ratio"]
+        if ratio < args.floor_dijkstra_ratio:
+            print(
+                f"FAIL: Dijkstra savings ratio floor {args.floor_dijkstra_ratio} "
+                f"not met (got {ratio:.2f})",
+                file=sys.stderr,
+            )
+            failed = True
+    return 1 if failed else 0

@@ -1,0 +1,8 @@
+"""Entry point: ``python -m repro.bench [--quick] [--output PATH]``."""
+
+import sys
+
+from repro.bench import main
+
+if __name__ == "__main__":
+    sys.exit(main())

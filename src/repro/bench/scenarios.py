@@ -1,0 +1,284 @@
+"""Parameterized performance scenarios for the perf harness.
+
+Each scenario builds an instrumented :class:`ExpressNetwork`, drives a
+workload, and returns a flat metrics dict for ``BENCH_perf.json``. The
+three scenarios cover the three hot paths this repo optimizes:
+
+* **join_storm** — control-plane subscription processing: every host
+  joins one channel in a short window (the paper's Super Bowl start).
+* **link_flap_churn** — routing reconvergence under link events with
+  membership churn running (``repro.workloads.churn``); this is the
+  scenario the incremental-SPF ≥5× Dijkstra saving is measured on.
+* **steady_fanout** — the data plane: a source streaming to a fully
+  subscribed balanced tree, exercising FIB lookup interning and the
+  zero-copy fan-out path.
+
+Wall-clock throughput numbers reflect the Python substrate and the
+host machine; the JSON file exists so future PRs can diff *relative*
+movement, and so the counter-based metrics (Dijkstra runs, in-place
+fan-out fraction, cache hits) — which are machine-independent — can be
+asserted exactly.
+"""
+
+from __future__ import annotations
+
+from time import perf_counter
+from typing import Optional
+
+from repro.core.network import ExpressNetwork
+from repro.netsim.topology import TopologyBuilder
+from repro.obs.hooks import Observability
+from repro.obs.registry import percentile
+from repro.workloads.churn import poisson_churn, schedule_churn
+
+
+def _latency_summary(obs: Observability) -> dict:
+    """p50/p99 end-to-end delivery latency across every subscriber."""
+    family = obs.registry.get("delivery_latency_seconds")
+    samples: list[float] = []
+    if family is not None:
+        for _, child in family.children():
+            samples.extend(child.samples)
+    return {
+        "count": len(samples),
+        "p50_seconds": percentile(samples, 50),
+        "p99_seconds": percentile(samples, 99),
+    }
+
+
+def _spf_timing(obs: Observability, link_events: int) -> dict:
+    family = obs.registry.get("spf_recompute_seconds")
+    samples: list[float] = []
+    if family is not None:
+        for _, child in family.children():
+            samples.extend(child.samples)
+    total = sum(samples)
+    return {
+        "recomputes": len(samples),
+        "total_seconds": total,
+        "mean_seconds": total / len(samples) if samples else 0.0,
+        "p99_seconds": percentile(samples, 99),
+        "per_link_event_seconds": total / link_events if link_events else 0.0,
+    }
+
+
+def _fanout_stats(net: ExpressNetwork) -> dict:
+    forwarded = 0
+    inplace = 0
+    for forwarder in net.forwarders.values():
+        forwarded += forwarder.stats.get("multicast_forwarded")
+        inplace += forwarder.stats.get("fanout_inplace")
+    return {
+        "multicast_forwarded": forwarded,
+        "fanout_inplace": inplace,
+        "inplace_fraction": inplace / forwarded if forwarded else 0.0,
+    }
+
+
+def _fib_cache_stats(net: ExpressNetwork) -> dict:
+    lookups = sum(fib.lookups for fib in net.fibs.values())
+    hits = sum(fib.lookup_cache_hits for fib in net.fibs.values())
+    return {
+        "fib_lookups": lookups,
+        "fib_lookup_cache_hits": hits,
+        "fib_cache_hit_fraction": hits / lookups if lookups else 0.0,
+    }
+
+
+def join_storm(quick: bool = True, seed: int = 0) -> dict:
+    """Every host joins one channel within a short window, then the
+    source streams a burst to the fully built tree."""
+    n_transit = 4 if quick else 8
+    stubs = 3 if quick else 4
+    hosts_per_stub = 2 if quick else 3
+    packets = 20 if quick else 100
+    obs = Observability()
+    topo = TopologyBuilder.isp(
+        n_transit=n_transit,
+        stubs_per_transit=stubs,
+        hosts_per_stub=hosts_per_stub,
+        seed=seed,
+    )
+    net = ExpressNetwork(topo, obs=obs)
+    host_names = sorted(net.host_names)
+    source = net.source(host_names[0])
+    channel = source.allocate_channel()
+    subscribers = host_names[1:]
+    for index, name in enumerate(subscribers):
+        net.sim.schedule_at(
+            0.001 + 0.5 * index / max(len(subscribers), 1),
+            lambda n=name: net.host(n).subscribe(channel),
+            name="bench-join",
+        )
+    for k in range(packets):
+        net.sim.schedule_at(
+            1.0 + 0.01 * k, lambda: source.send(channel), name="bench-send"
+        )
+    started = perf_counter()
+    net.run(until=2.5)
+    wall = perf_counter() - started
+    events = net.sim.events_processed
+    return {
+        "params": {
+            "topology": f"isp({n_transit},{stubs},{hosts_per_stub})",
+            "nodes": len(topo.nodes),
+            "subscribers": len(subscribers),
+            "packets": packets,
+        },
+        "wall_seconds": wall,
+        "sim_events": events,
+        "events_per_sec": events / wall if wall else 0.0,
+        "subscribed": sum(
+            1 for n in subscribers if net.host(n).is_subscribed(channel)
+        ),
+        "delivery_latency": _latency_summary(obs),
+        **_fanout_stats(net),
+        **_fib_cache_stats(net),
+    }
+
+
+def link_flap_churn(quick: bool = True, seed: int = 0) -> dict:
+    """Membership churn plus repeated link failures/recoveries.
+
+    The churn stream comes from :mod:`repro.workloads.churn`; core and
+    stub links flap on a fixed cadence while hosts join and leave. The
+    key outputs are the incremental-SPF counters: ``spf_runs`` (actual
+    Dijkstra tree computations) against the from-scratch baseline of
+    ``recompute_count × |V|`` — the seed implementation's cost.
+    """
+    n_transit = 4 if quick else 8
+    stubs = 3 if quick else 4
+    hosts_per_stub = 2 if quick else 3
+    flaps = 6 if quick else 24
+    duration = 6.0 if quick else 20.0
+    obs = Observability()
+    topo = TopologyBuilder.isp(
+        n_transit=n_transit,
+        stubs_per_transit=stubs,
+        hosts_per_stub=hosts_per_stub,
+        seed=seed,
+    )
+    net = ExpressNetwork(topo, obs=obs)
+    host_names = sorted(net.host_names)
+    # Several channels from sources in different stubs: several RPF
+    # destination trees stay cached, so stub-link flaps exercise the
+    # partial (dirty-set) invalidation path, not just the full one.
+    n_channels = min(3, len(host_names) - 1)
+    stride = max(len(host_names) // n_channels, 1)
+    sources = [net.source(host_names[i * stride]) for i in range(n_channels)]
+    channels = [s.allocate_channel() for s in sources]
+    total_churn = 0
+    source_names = {s.name for s in sources}
+    for index, channel in enumerate(channels):
+        subscribers = [
+            name for i, name in enumerate(host_names) if i % n_channels == index
+        ]
+        events = poisson_churn(
+            [n for n in subscribers if n not in source_names],
+            duration=duration,
+            mean_off_time=duration / 4,
+            mean_on_time=duration / 4,
+            seed=seed + index,
+        )
+        schedule_churn(net, channel, events)
+        total_churn += len(events)
+    # Flap a transit-transit link and a transit-stub link alternately;
+    # both partial (dirty-set) and full invalidation paths get exercised.
+    flap_targets = [
+        topo.link_between("t0", "t1"),
+        topo.link_between("t0", "e0_0"),
+    ]
+    for k in range(flaps):
+        link = flap_targets[k % len(flap_targets)]
+        at = duration * (k + 0.5) / flaps
+        net.sim.schedule_at(at, link.fail, name="bench-fail")
+        net.sim.schedule_at(at + 0.15, link.recover, name="bench-recover")
+    started = perf_counter()
+    net.run(until=duration + 1.0)
+    wall = perf_counter() - started
+    spf = net.routing.spf_counters()
+    nodes = len(topo.nodes)
+    baseline = spf["recompute_count"] * nodes
+    ratio = baseline / spf["spf_runs"] if spf["spf_runs"] else float("inf")
+    link_events = 2 * flaps
+    return {
+        "params": {
+            "topology": f"isp({n_transit},{stubs},{hosts_per_stub})",
+            "nodes": nodes,
+            "channels": n_channels,
+            "churn_events": total_churn,
+            "link_events": link_events,
+            "duration": duration,
+        },
+        "wall_seconds": wall,
+        "sim_events": net.sim.events_processed,
+        "events_per_sec": net.sim.events_processed / wall if wall else 0.0,
+        "spf": spf,
+        "dijkstra_runs": spf["spf_runs"],
+        "dijkstra_baseline_equivalent": baseline,
+        "dijkstra_savings_ratio": ratio,
+        "spf_timing": _spf_timing(obs, link_events),
+    }
+
+
+def steady_fanout(quick: bool = True, seed: int = 0) -> dict:
+    """A source streams to a fully subscribed balanced tree — the §5.3
+    shape scaled down — measuring pure data-plane throughput."""
+    depth = 5 if quick else 7
+    packets = 60 if quick else 300
+    obs = Observability()
+    topo = TopologyBuilder.balanced_tree(depth=depth, fanout=2, seed=seed)
+    leaves = [name for name, node in topo.nodes.items() if len(node.interfaces) == 1]
+    net = ExpressNetwork(topo, hosts=["r"] + leaves, obs=obs)
+    source = net.source("r")
+    channel = source.allocate_channel()
+    received = [0]
+
+    def on_data(_packet) -> None:
+        received[0] += 1
+
+    for leaf in leaves:
+        net.host(leaf).subscribe(channel, on_data=on_data)
+    net.settle(1.0)
+    for k in range(packets):
+        net.sim.schedule_at(
+            net.sim.now + 0.002 * k, lambda: source.send(channel), name="bench-send"
+        )
+    started = perf_counter()
+    net.run(until=net.sim.now + 0.002 * packets + 1.0)
+    wall = perf_counter() - started
+    events = net.sim.events_processed
+    return {
+        "params": {
+            "topology": f"balanced_tree(depth={depth},fanout=2)",
+            "nodes": len(topo.nodes),
+            "subscribers": len(leaves),
+            "packets": packets,
+        },
+        "wall_seconds": wall,
+        "sim_events": events,
+        "events_per_sec": events / wall if wall else 0.0,
+        "packets_delivered": received[0],
+        "deliveries_per_sec": received[0] / wall if wall else 0.0,
+        "delivery_latency": _latency_summary(obs),
+        **_fanout_stats(net),
+        **_fib_cache_stats(net),
+    }
+
+
+SCENARIOS = {
+    "join_storm": join_storm,
+    "link_flap_churn": link_flap_churn,
+    "steady_fanout": steady_fanout,
+}
+
+
+def run_scenarios(
+    quick: bool = True, seed: int = 0, only: Optional[list[str]] = None
+) -> dict[str, dict]:
+    """Run the selected scenarios; returns ``{name: metrics}``."""
+    names = list(SCENARIOS) if not only else only
+    results = {}
+    for name in names:
+        results[name] = SCENARIOS[name](quick=quick, seed=seed)
+    return results

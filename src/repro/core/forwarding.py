@@ -75,6 +75,10 @@ class ExpressForwarder(ProtocolAgent):
             )
         #: Callbacks for unicast datagrams addressed to this node.
         self._unicast_sinks: list[Callable[[Packet], None]] = []
+        #: Memoized (src, dst) -> Channel | None: address validation is
+        #: pure, so each pair is parsed at most once instead of per
+        #: packet on the delivery fast path.
+        self._channel_cache: dict[tuple[int, int], Optional[Channel]] = {}
 
     def on_unicast_delivery(self, callback: Callable[[Packet], None]) -> None:
         """Register an application sink for unicast packets addressed
@@ -105,11 +109,11 @@ class ExpressForwarder(ProtocolAgent):
             # wire is spoofed or looped; never process it.
             self.stats.incr("self_spoof_drops")
             return
-        self._deliver_local(packet)
+        delivered = self._deliver_local(packet)
         if self.ecmp.role == "host":
             return  # hosts terminate channels; they never relay
         oifs = self.fib.lookup(packet.src, packet.dst, ifindex)
-        self._fan_out(packet, oifs)
+        self._fan_out(packet, oifs, consume=not delivered)
 
     def _handle_unicast(self, packet: Packet, ifindex: int) -> None:
         if packet.dst == self.node.address:
@@ -153,8 +157,8 @@ class ExpressForwarder(ProtocolAgent):
             self.stats.incr("subcast_off_tree_drops")
             return
         self.stats.incr("subcast_relayed")
-        self._deliver_local(inner)
-        self._fan_out(inner, entry.outgoing_interfaces())
+        delivered = self._deliver_local(inner)
+        self._fan_out(inner, entry.outgoing_interfaces(), consume=not delivered)
 
     # ------------------------------------------------------------------
     # transmit path
@@ -170,13 +174,13 @@ class ExpressForwarder(ProtocolAgent):
             raise ForwardingError(
                 "only the designated source may emit on a channel"
             )
-        self._deliver_local(packet)  # a source subscribed to itself
+        delivered = self._deliver_local(packet)  # a source subscribed to itself
         entry = self.fib.get(packet.src, packet.dst)
         if entry is None:
             self.fib.no_match_drops += 1
             return 0
         oifs = entry.outgoing_interfaces()
-        self._fan_out(packet, oifs)
+        self._fan_out(packet, oifs, consume=not delivered)
         return len(oifs)
 
     def emit_unicast(self, packet: Packet) -> bool:
@@ -193,21 +197,51 @@ class ExpressForwarder(ProtocolAgent):
             return False
         return self.node.send_to_neighbor(packet, self.routing.topo.node(hop))
 
-    def _fan_out(self, packet: Packet, oifs: list[int]) -> None:
-        for ifindex in oifs:
+    def _fan_out(self, packet: Packet, oifs: list[int], consume: bool = False) -> None:
+        """Replicate ``packet`` onto ``oifs``.
+
+        With ``consume=True`` the caller relinquishes ownership of the
+        packet object, so the final interface sends the original with
+        its TTL decremented in place instead of a defensive copy —
+        zero-copy relay on degree-1 tree edges, the common case on deep
+        distribution trees. Callers must pass ``consume=False`` whenever
+        the packet remains visible elsewhere (delivered to a local
+        subscriber whose ``on_data`` may retain it).
+        """
+        n = len(oifs)
+        if n == 0:
+            return
+        self.stats.incr("multicast_forwarded", n)
+        send = self.node.send
+        for i in range(n - 1):
             copy = packet.copy()
             copy.ttl = packet.ttl - 1
-            self.stats.incr("multicast_forwarded")
-            self.node.send(copy, ifindex)
+            send(copy, oifs[i])
+        if consume:
+            packet.ttl -= 1
+            self.stats.incr("fanout_inplace")
+            send(packet, oifs[n - 1])
+        else:
+            copy = packet.copy()
+            copy.ttl = packet.ttl - 1
+            send(copy, oifs[n - 1])
 
-    def _deliver_local(self, packet: Packet) -> None:
+    def _deliver_local(self, packet: Packet) -> bool:
+        """Deliver to a local subscription, if any; True if delivered."""
+        key = (packet.src, packet.dst)
         try:
-            channel = Channel(source=packet.src, group=packet.dst)
-        except ChannelError:
-            return
+            channel = self._channel_cache[key]
+        except KeyError:
+            try:
+                channel = Channel(source=packet.src, group=packet.dst)
+            except ChannelError:
+                channel = None
+            self._channel_cache[key] = channel
+        if channel is None:
+            return False
         handle = self.ecmp.subscriptions.get(channel)
         if handle is None or handle.status != "active":
-            return
+            return False
         handle.packets_received += 1
         handle.bytes_received += packet.size
         self.stats.incr("local_deliveries")
@@ -217,3 +251,4 @@ class ExpressForwarder(ProtocolAgent):
             ).observe(self.sim.now - packet.created_at)
         if handle.on_data is not None:
             handle.on_data(packet)
+        return True

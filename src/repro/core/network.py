@@ -203,7 +203,7 @@ class ExpressNetwork:
         self.obs = obs
         if obs is not None:
             topo.attach_observability(obs)
-        self.routing = UnicastRouting(topo)
+        self.routing = UnicastRouting(topo, obs=obs)
         if hosts is None:
             hosts = [
                 name

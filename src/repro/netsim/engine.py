@@ -141,6 +141,20 @@ class Simulator:
         heapq.heapify(self._queue)
         self._cancelled = 0
 
+    def _dispatch(self, event: Event) -> None:
+        """Fire one live, already-popped event."""
+        self._live -= 1
+        self._now = event.time
+        self.events_processed += 1
+        if self._dispatch_listeners:
+            started = perf_counter()
+            event.action()
+            wall = perf_counter() - started
+            for listener in self._dispatch_listeners:
+                listener(self, event, wall)
+        else:
+            event.action()
+
     def step(self) -> bool:
         """Run the single next event. Returns False if none remain."""
         while self._queue:
@@ -149,17 +163,7 @@ class Simulator:
             if event.cancelled:
                 self._cancelled -= 1
                 continue
-            self._live -= 1
-            self._now = event.time
-            self.events_processed += 1
-            if self._dispatch_listeners:
-                started = perf_counter()
-                event.action()
-                wall = perf_counter() - started
-                for listener in self._dispatch_listeners:
-                    listener(self, event, wall)
-            else:
-                event.action()
+            self._dispatch(event)
             return True
         return False
 
@@ -188,15 +192,25 @@ class Simulator:
         self._running = True
         ran = 0
         try:
+            # One heap touch per iteration: discard cancelled events from
+            # the head, then pop-and-dispatch in the same pass (the seed
+            # peeked via peek_time() and then re-examined the heap top
+            # inside step() — two inspections per event).
             while True:
                 if max_events is not None and ran >= max_events:
                     break
-                next_time = self.peek_time()
-                if next_time is None:
+                queue = self._queue  # _compact() may rebind the list
+                while queue and queue[0].cancelled:
+                    dead = heapq.heappop(queue)
+                    dead._in_queue = False
+                    self._cancelled -= 1
+                if not queue:
                     break
-                if until is not None and next_time > until:
+                if until is not None and queue[0].time > until:
                     break
-                self.step()
+                event = heapq.heappop(queue)
+                event._in_queue = False
+                self._dispatch(event)
                 ran += 1
         finally:
             self._running = False

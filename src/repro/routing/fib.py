@@ -52,6 +52,24 @@ class FibEntry:
     incoming_interface: int
     outgoing: int = 0
 
+    #: Owning :class:`MulticastFib` (set by ``install``); lets attribute
+    #: writes invalidate the fib's interned lookup results.
+    _owner = None
+    #: Memoized ``outgoing_interfaces()`` result; any write to
+    #: ``outgoing`` clears it (see ``__setattr__``).
+    _oif_list = None
+
+    def __setattr__(self, name: str, value) -> None:
+        object.__setattr__(self, name, value)
+        # Catch *every* mutation path — the protocol layer assigns
+        # ``entry.outgoing = 0`` / ``entry.incoming_interface = iif``
+        # directly when re-syncing, not only via the bitmap helpers.
+        if name == "outgoing" or name == "incoming_interface":
+            object.__setattr__(self, "_oif_list", None)
+            owner = self._owner
+            if owner is not None:
+                owner._invalidate_lookups()
+
     def __post_init__(self) -> None:
         if not 0 <= self.source <= 0xFFFFFFFF:
             raise ForwardingError(f"source {self.source:#x} not 32-bit")
@@ -79,7 +97,12 @@ class FibEntry:
         return bool(self.outgoing & (1 << ifindex))
 
     def outgoing_interfaces(self) -> list[int]:
-        return [i for i in range(MAX_INTERFACES) if self.outgoing & (1 << i)]
+        """The interned outgoing-interface list (do not mutate)."""
+        cached = self._oif_list
+        if cached is None:
+            cached = [i for i in range(MAX_INTERFACES) if self.outgoing & (1 << i)]
+            object.__setattr__(self, "_oif_list", cached)
+        return cached
 
     def fanout(self) -> int:
         return bin(self.outgoing).count("1")
@@ -129,8 +152,24 @@ class FibEntry:
         )
 
 
+#: Interned empty result shared by every drop path (do not mutate).
+_NO_OIFS: list[int] = []
+
+#: Lookup-cache size guard: adversarial workloads (spoof floods with
+#: random (S, E)) would otherwise grow the cache without bound.
+_LOOKUP_CACHE_MAX = 4096
+
+
 class MulticastFib:
-    """Exact-match (S, E) forwarding table for one router."""
+    """Exact-match (S, E) forwarding table for one router.
+
+    Data-plane lookups intern their results: repeated packets for the
+    same ``(S, E, iif)`` triple — the steady-state common case — reuse
+    one cached verdict and one shared outgoing-interface list instead
+    of re-validating the destination and rebuilding the list per
+    packet. Any table or entry mutation invalidates the cache; the
+    drop counters stay exact on cache hits.
+    """
 
     def __init__(self) -> None:
         self._entries: dict[tuple[int, int], FibEntry] = {}
@@ -139,6 +178,13 @@ class MulticastFib:
         #: Incoming-interface check failures (loop prevention).
         self.iif_drops = 0
         self.lookups = 0
+        #: (source, dest, iif) -> ("ok" | "no_match" | "iif", oif list)
+        self._lookup_cache: dict[tuple[int, int, int], tuple[str, list[int]]] = {}
+        self.lookup_cache_hits = 0
+
+    def _invalidate_lookups(self) -> None:
+        if self._lookup_cache:
+            self._lookup_cache.clear()
 
     def __len__(self) -> int:
         return len(self._entries)
@@ -164,12 +210,19 @@ class MulticastFib:
                 dest_suffix=key[1],
                 incoming_interface=incoming_interface,
             )
+            entry._owner = self
             self._entries[key] = entry
+            self._invalidate_lookups()
         return entry
 
     def remove(self, source: int, dest: int) -> bool:
         """Delete the entry for (S, E); True if it existed."""
-        return self._entries.pop(self._key(source, dest), None) is not None
+        entry = self._entries.pop(self._key(source, dest), None)
+        if entry is None:
+            return False
+        entry._owner = None
+        self._invalidate_lookups()
+        return True
 
     def get(self, source: int, dest: int) -> Optional[FibEntry]:
         return self._entries.get(self._key(source, dest))
@@ -183,14 +236,30 @@ class MulticastFib:
         rendezvous fallback, no broadcast.
         """
         self.lookups += 1
+        cache_key = (source, dest, arriving_ifindex)
+        hit = self._lookup_cache.get(cache_key)
+        if hit is not None:
+            self.lookup_cache_hits += 1
+            verdict, oifs = hit
+            if verdict == "no_match":
+                self.no_match_drops += 1
+            elif verdict == "iif":
+                self.iif_drops += 1
+            return oifs
         entry = self._entries.get(self._key(source, dest))
+        if len(self._lookup_cache) >= _LOOKUP_CACHE_MAX:
+            self._lookup_cache.clear()
         if entry is None:
             self.no_match_drops += 1
-            return []
+            self._lookup_cache[cache_key] = ("no_match", _NO_OIFS)
+            return _NO_OIFS
         if entry.incoming_interface != arriving_ifindex:
             self.iif_drops += 1
-            return []
-        return entry.outgoing_interfaces()
+            self._lookup_cache[cache_key] = ("iif", _NO_OIFS)
+            return _NO_OIFS
+        oifs = entry.outgoing_interfaces()
+        self._lookup_cache[cache_key] = ("ok", oifs)
+        return oifs
 
     def memory_bytes(self) -> int:
         """Fast-path memory footprint at Figure 5's 12 bytes/entry."""

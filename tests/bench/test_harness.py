@@ -1,0 +1,122 @@
+"""Tests for the perf harness (``python -m repro.bench``).
+
+The heavier assertions on scenario *metrics* (Dijkstra savings ratio,
+in-place fan-out fraction, cache hit rates) live in
+``benchmarks/perf/test_perf_smoke.py``; here we pin the report schema,
+the CLI contract (output path, scenario selection, floor flags and exit
+codes), and JSON serialisability.
+"""
+
+import json
+
+import pytest
+
+from repro.bench import SCHEMA_VERSION, build_report, main, write_report
+from repro.bench.scenarios import SCENARIOS
+
+
+@pytest.fixture(scope="module")
+def quick_report():
+    return build_report(quick=True, seed=0)
+
+
+class TestReportSchema:
+    def test_top_level_schema(self, quick_report):
+        report = quick_report
+        assert report["bench"] == "perf"
+        assert report["schema_version"] == SCHEMA_VERSION
+        assert report["quick"] is True
+        assert report["seed"] == 0
+        assert set(report["scenarios"]) == set(SCENARIOS)
+        assert report["wall_seconds_total"] > 0
+
+    def test_every_scenario_reports_throughput(self, quick_report):
+        for name, metrics in quick_report["scenarios"].items():
+            assert metrics["sim_events"] > 0, name
+            assert metrics["events_per_sec"] > 0, name
+            assert metrics["wall_seconds"] > 0, name
+            assert "params" in metrics, name
+
+    def test_summary_aggregates(self, quick_report):
+        summary = quick_report["summary"]
+        rates = [
+            m["events_per_sec"] for m in quick_report["scenarios"].values()
+        ]
+        assert summary["events_per_sec_min"] == min(rates)
+        assert summary["events_per_sec_max"] == max(rates)
+        churn = quick_report["scenarios"]["link_flap_churn"]
+        assert summary["dijkstra_savings_ratio"] == churn["dijkstra_savings_ratio"]
+        assert summary["delivery_p99_max_seconds"] > 0
+
+    def test_report_is_json_serialisable(self, quick_report, tmp_path):
+        out = tmp_path / "report.json"
+        write_report(quick_report, out)
+        assert json.loads(out.read_text()) == json.loads(
+            json.dumps(quick_report)
+        )
+
+    def test_scenario_selection(self):
+        report = build_report(quick=True, only=["steady_fanout"])
+        assert set(report["scenarios"]) == {"steady_fanout"}
+
+
+class TestCli:
+    def test_writes_output_and_exits_zero(self, tmp_path, capsys):
+        out = tmp_path / "BENCH_perf.json"
+        code = main(
+            ["--quick", "--scenario", "join_storm", "--output", str(out)]
+        )
+        assert code == 0
+        parsed = json.loads(out.read_text())
+        assert parsed["bench"] == "perf"
+        assert set(parsed["scenarios"]) == {"join_storm"}
+        assert "join_storm" in capsys.readouterr().out
+
+    def test_events_floor_violation_exits_nonzero(self, tmp_path, capsys):
+        out = tmp_path / "BENCH_perf.json"
+        code = main(
+            [
+                "--quick",
+                "--scenario",
+                "join_storm",
+                "--output",
+                str(out),
+                "--floor-events-per-sec",
+                "1e15",
+            ]
+        )
+        assert code == 1
+        assert "FAIL" in capsys.readouterr().err
+        # The report is still written for post-mortem diffing.
+        assert out.exists()
+
+    def test_dijkstra_floor_checks_the_churn_scenario(self, tmp_path):
+        out = tmp_path / "BENCH_perf.json"
+        code = main(
+            [
+                "--quick",
+                "--scenario",
+                "link_flap_churn",
+                "--output",
+                str(out),
+                "--floor-dijkstra-ratio",
+                "5",
+            ]
+        )
+        assert code == 0
+        code = main(
+            [
+                "--quick",
+                "--scenario",
+                "link_flap_churn",
+                "--output",
+                str(out),
+                "--floor-dijkstra-ratio",
+                "1e9",
+            ]
+        )
+        assert code == 1
+
+    def test_rejects_unknown_scenario(self, tmp_path):
+        with pytest.raises(SystemExit):
+            main(["--scenario", "nope", "--output", str(tmp_path / "x.json")])

@@ -104,6 +104,75 @@ class TestExpressForwarding:
         assert net.forwarders["n0"].stats.get("non_express_multicast_drops") == 1
 
 
+class TestFanOutAliasing:
+    """The zero-copy fan-out path: the final interface of a fan-out
+    sends the original packet with its TTL decremented in place, but
+    *only* when the packet was not also delivered to a local subscriber
+    (whose ``on_data`` may retain the object)."""
+
+    def test_pure_transit_relays_the_same_object(self, line_net):
+        net = line_net
+        src, ch = make_channel(net, "hsrc")
+        got = []
+        net.host("hsub").subscribe(ch, on_data=got.append)
+        net.settle()
+        packet = Packet(
+            src=src.address, dst=ch.group, proto="data", created_at=net.sim.now
+        )
+        net.forwarders["hsrc"].emit_local(packet)
+        net.settle()
+        assert len(got) == 1
+        # Every hop (hsrc emit, n0, n1) is a degree-1 relay with no
+        # local subscriber, so no copy is ever taken: the delivered
+        # object IS the emitted one.
+        assert got[0] is packet
+        assert got[0].ttl == 64 - 3
+        inplace = sum(
+            net.forwarders[n].stats.get("fanout_inplace") for n in ("hsrc", "n0", "n1")
+        )
+        assert inplace == 3
+
+    def test_locally_delivered_packet_not_mutated_by_the_relay(self, line_net):
+        """A subscribed *router* both delivers locally and relays
+        downstream. The retained object's TTL must stay frozen at its
+        delivery-time value — the relay leg gets a copy."""
+        net = line_net
+        src, ch = make_channel(net, "hsrc")
+        retained = []
+        ttl_at_delivery = []
+
+        def keep(p):
+            retained.append(p)
+            ttl_at_delivery.append(p.ttl)
+
+        net.host("n1").subscribe(ch, on_data=keep)
+        end_got = []
+        net.host("hsub").subscribe(ch, on_data=end_got.append)
+        net.settle()
+        src.send(ch)
+        net.settle()
+        assert len(retained) == 1 and len(end_got) == 1
+        assert retained[0].ttl == ttl_at_delivery[0]
+        # The downstream leg travelled as a distinct object, one hop
+        # further along.
+        assert end_got[0].uid != retained[0].uid
+        assert end_got[0].ttl == retained[0].ttl - 1
+
+    def test_branch_point_subscribers_get_distinct_objects(self, star_net):
+        net = star_net
+        src, ch = make_channel(net, "leaf0")
+        got = {}
+        for i in (1, 2):
+            net.host(f"leaf{i}").subscribe(ch, on_data=lambda p, i=i: got.setdefault(i, p))
+        net.settle()
+        src.send(ch)
+        net.settle()
+        assert set(got) == {1, 2}
+        assert got[1].uid != got[2].uid
+        assert got[1].payload == got[2].payload
+        assert got[1].ttl == got[2].ttl
+
+
 class TestUnicastForwarding:
     def test_host_to_host_unicast(self, isp_net):
         net = isp_net

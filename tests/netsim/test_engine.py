@@ -327,3 +327,106 @@ class TestPeriodicJitterBounds:
         assert hits, "task must still fire"
         gaps = [b - a for a, b in zip([0.0] + hits, hits)]
         assert all(gap > 0 for gap in gaps)
+
+
+class TestRunFastPath:
+    """run() pops the next live event directly (single heap touch)
+    instead of peek_time()+step(); semantics must match exactly."""
+
+    def test_cancelled_head_events_are_drained(self):
+        sim = Simulator()
+        order = []
+        doomed = [sim.schedule(1.0, lambda: order.append("x")) for _ in range(3)]
+        sim.schedule(2.0, lambda: order.append("live"))
+        for event in doomed:
+            event.cancel()
+        ran = sim.run()
+        assert ran == 1
+        assert order == ["live"]
+        assert sim.events_processed == 1
+        assert sim.pending() == 0
+
+    def test_until_boundary_is_inclusive(self):
+        sim = Simulator()
+        order = []
+        sim.schedule(1.0, lambda: order.append("at"))
+        sim.schedule(1.0 + 1e-9, lambda: order.append("after"))
+        sim.run(until=1.0)
+        assert order == ["at"]
+        assert sim.pending() == 1
+        sim.run()
+        assert order == ["at", "after"]
+
+    def test_until_with_cancelled_event_past_boundary(self):
+        sim = Simulator()
+        order = []
+        sim.schedule(1.0, lambda: order.append("live"))
+        sim.schedule(2.0, lambda: order.append("dead")).cancel()
+        ran = sim.run(until=1.5)
+        assert ran == 1
+        assert order == ["live"]
+        # The clock advances to `until` even with no event there.
+        assert sim.now == 1.5
+        assert sim.pending() == 0
+
+    def test_max_events_leaves_remainder_queued(self):
+        sim = Simulator()
+        order = []
+        for k in range(5):
+            sim.schedule(float(k + 1), lambda k=k: order.append(k))
+        assert sim.run(max_events=2) == 2
+        assert order == [0, 1]
+        assert sim.pending() == 3
+        assert sim.run() == 3
+        assert order == [0, 1, 2, 3, 4]
+
+    def test_events_scheduled_mid_run_are_honoured(self):
+        sim = Simulator()
+        order = []
+        sim.schedule(
+            1.0,
+            lambda: (order.append("a"), sim.schedule(0.5, lambda: order.append("b"))),
+        )
+        sim.run()
+        assert order == ["a", "b"]
+        assert sim.now == 1.5
+
+    def test_run_matches_repeated_step(self):
+        def build(sim, order):
+            events = []
+            for k in range(6):
+                events.append(
+                    sim.schedule(float(k % 3) + 0.25, lambda k=k: order.append(k))
+                )
+            events[1].cancel()
+            events[4].cancel()
+
+        by_run, by_step = [], []
+        sim_run = Simulator()
+        build(sim_run, by_run)
+        sim_run.run()
+        sim_step = Simulator()
+        build(sim_step, by_step)
+        while sim_step.step():
+            pass
+        assert by_run == by_step
+        assert sim_run.now == sim_step.now
+        assert sim_run.events_processed == sim_step.events_processed
+
+    def test_run_survives_compaction_rebinding_the_heap(self):
+        # _compact() rebuilds self._queue as a new list; run()'s local
+        # alias must refresh per iteration or it would drain a stale heap.
+        sim = Simulator()
+        order = []
+        events = [sim.schedule(10.0 + k, lambda: None) for k in range(300)]
+
+        def mass_cancel():
+            order.append("cancel")
+            for event in events:
+                event.cancel()
+
+        sim.schedule(1.0, mass_cancel)
+        sim.schedule(2.0, lambda: order.append("after"))
+        sim.run()
+        assert order == ["cancel", "after"]
+        assert sim.pending() == 0
