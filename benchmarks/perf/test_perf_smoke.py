@@ -6,7 +6,10 @@ claims of the fast-path PR:
 
 * the churn scenario runs >=5x fewer Dijkstra destination-tree
   computations than the seed's full ``recompute()`` would have
-  (``recompute_count x |V|``), and
+  (``recompute_count x |V|``),
+* the churn scenario's batched TCP-mode send path puts >=3x fewer
+  control packets on the wire than the unbatched baseline run of the
+  identical workload, with live ``ecmp_bytes_on_wire`` accounting, and
 * every scenario clears a generous events/sec floor (guards against
   catastrophic data-plane regressions without tying CI to hardware).
 
@@ -24,6 +27,7 @@ REPO_ROOT = pathlib.Path(__file__).resolve().parents[2]
 #: throughput trajectory lives in BENCH_perf.json diffs, not here.
 EVENTS_PER_SEC_FLOOR = 500.0
 DIJKSTRA_RATIO_FLOOR = 5.0
+WIRE_REDUCTION_FLOOR = 3.0
 
 
 def test_perf_smoke_writes_bench_json():
@@ -33,7 +37,7 @@ def test_perf_smoke_writes_bench_json():
 
     parsed = json.loads(out.read_text())
     assert parsed["bench"] == "perf"
-    assert parsed["schema_version"] == 1
+    assert parsed["schema_version"] == 2
     assert set(parsed["scenarios"]) == {
         "join_storm",
         "link_flap_churn",
@@ -48,6 +52,32 @@ def test_perf_smoke_writes_bench_json():
     assert churn["dijkstra_savings_ratio"] >= DIJKSTRA_RATIO_FLOOR
     assert churn["dijkstra_runs"] < churn["dijkstra_baseline_equivalent"]
     assert churn["spf"]["partial_invalidations"] > 0
+
+    # Batched ECMP wire encoding: the identical workload driven with
+    # batching off must cost >=3x more wire packets, and the on-wire
+    # accounting must be live end to end (agent stats, link counters,
+    # the summary block).
+    wire = churn["ecmp_wire"]
+    unbatched = churn["ecmp_wire_unbatched"]
+    assert churn["wire_message_reduction"] >= WIRE_REDUCTION_FLOOR
+    assert unbatched["ecmp_wire_sends"] >= (
+        WIRE_REDUCTION_FLOOR * wire["ecmp_wire_sends"]
+    )
+    assert wire["ecmp_bytes_on_wire"] > 0
+    assert wire["ecmp_bytes_on_wire"] < unbatched["ecmp_bytes_on_wire"]
+    assert wire["ecmp_msgs_coalesced"] > 0
+    assert wire["ecmp_batch_flushes"] > 0
+    # Link-level accounting sees the agents' wire traffic (a send can
+    # hit a link mid-failure, so links may see slightly fewer packets).
+    assert 0 < wire["link_ecmp_wire_packets"] <= wire["ecmp_wire_sends"]
+    assert 0 < wire["link_ecmp_wire_bytes"] <= wire["ecmp_bytes_on_wire"]
+    # The unbatched baseline never coalesces: one wire send per message.
+    assert unbatched["ecmp_msgs_coalesced"] == 0
+    assert unbatched["ecmp_wire_sends"] == unbatched["ecmp_msgs_logical"]
+    assert parsed["summary"]["ecmp_bytes_on_wire"] == wire["ecmp_bytes_on_wire"]
+    assert parsed["summary"]["wire_message_reduction"] == churn[
+        "wire_message_reduction"
+    ]
 
     fanout = parsed["scenarios"]["steady_fanout"]
     assert fanout["packets_delivered"] > 0

@@ -18,7 +18,10 @@ from typing import Optional
 from repro.bench.scenarios import SCENARIOS, run_scenarios
 
 #: Bump when the JSON layout changes incompatibly.
-SCHEMA_VERSION = 1
+#: v2: per-scenario ``ecmp_wire`` blocks (on-wire byte/message
+#: accounting), the churn scenario's unbatched baseline +
+#: ``wire_message_reduction``, and matching summary fields.
+SCHEMA_VERSION = 2
 
 
 def build_report(
@@ -51,6 +54,10 @@ def build_report(
             "events_per_sec_max": max(throughputs) if throughputs else 0.0,
             "dijkstra_savings_ratio": churn.get("dijkstra_savings_ratio", 0.0),
             "delivery_p99_max_seconds": max(latencies) if latencies else 0.0,
+            "ecmp_bytes_on_wire": churn.get("ecmp_wire", {}).get(
+                "ecmp_bytes_on_wire", 0
+            ),
+            "wire_message_reduction": churn.get("wire_message_reduction", 0.0),
         },
     }
 
@@ -97,6 +104,20 @@ def main(argv: Optional[list[str]] = None) -> int:
         help="exit non-zero if the churn scenario's Dijkstra savings "
         "ratio falls below this",
     )
+    parser.add_argument(
+        "--floor-bytes-on-wire",
+        type=float,
+        default=None,
+        help="exit non-zero if the churn scenario's ecmp_bytes_on_wire "
+        "falls below this (proves wire accounting is live)",
+    )
+    parser.add_argument(
+        "--floor-wire-reduction",
+        type=float,
+        default=None,
+        help="exit non-zero if the churn scenario's batched-vs-unbatched "
+        "wire message reduction falls below this",
+    )
     args = parser.parse_args(argv)
 
     report = build_report(quick=args.quick, seed=args.seed, only=args.scenario)
@@ -111,6 +132,8 @@ def main(argv: Optional[list[str]] = None) -> int:
         )
         if "dijkstra_savings_ratio" in metrics:
             line += f"  dijkstra saving {metrics['dijkstra_savings_ratio']:.1f}x"
+        if "wire_message_reduction" in metrics:
+            line += f"  wire msgs {metrics['wire_message_reduction']:.1f}x fewer"
         latency = metrics.get("delivery_latency", {})
         if latency.get("count"):
             line += (
@@ -135,6 +158,24 @@ def main(argv: Optional[list[str]] = None) -> int:
             print(
                 f"FAIL: Dijkstra savings ratio floor {args.floor_dijkstra_ratio} "
                 f"not met (got {ratio:.2f})",
+                file=sys.stderr,
+            )
+            failed = True
+    if args.floor_bytes_on_wire is not None:
+        on_wire = report["summary"]["ecmp_bytes_on_wire"]
+        if on_wire < args.floor_bytes_on_wire:
+            print(
+                f"FAIL: ecmp_bytes_on_wire floor {args.floor_bytes_on_wire:,.0f} "
+                f"not met (got {on_wire:,.0f})",
+                file=sys.stderr,
+            )
+            failed = True
+    if args.floor_wire_reduction is not None:
+        reduction = report["summary"]["wire_message_reduction"]
+        if reduction < args.floor_wire_reduction:
+            print(
+                f"FAIL: wire message reduction floor {args.floor_wire_reduction} "
+                f"not met (got {reduction:.2f})",
                 file=sys.stderr,
             )
             failed = True

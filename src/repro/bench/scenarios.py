@@ -85,6 +85,41 @@ def _fib_cache_stats(net: ExpressNetwork) -> dict:
     }
 
 
+def _ecmp_wire_stats(net: ExpressNetwork) -> dict:
+    """Control-plane wire accounting summed over every agent: logical
+    messages (what the protocol decided to say) against wire packets
+    (what actually crossed links, post-coalescing)."""
+    totals = {
+        "msgs_tx": 0,
+        "bytes_tx": 0,
+        "wire_sends": 0,
+        "bytes_on_wire": 0,
+        "msgs_coalesced": 0,
+        "batch_flushes": 0,
+        "batches_rx": 0,
+        "batch_records_tx": 0,
+    }
+    for agent in net.ecmp_agents.values():
+        for key in totals:
+            totals[key] += agent.stats.get(key)
+    link_packets = sum(link.ecmp_wire_packets for link in net.topo.links)
+    link_bytes = sum(link.ecmp_wire_bytes for link in net.topo.links)
+    wire = totals["wire_sends"]
+    return {
+        "ecmp_msgs_logical": totals["msgs_tx"],
+        "ecmp_bytes_logical": totals["bytes_tx"],
+        "ecmp_wire_sends": wire,
+        "ecmp_bytes_on_wire": totals["bytes_on_wire"],
+        "ecmp_msgs_coalesced": totals["msgs_coalesced"],
+        "ecmp_batch_flushes": totals["batch_flushes"],
+        "ecmp_batches_rx": totals["batches_rx"],
+        "ecmp_batch_records_tx": totals["batch_records_tx"],
+        "ecmp_msgs_per_wire_send": totals["msgs_tx"] / wire if wire else 0.0,
+        "link_ecmp_wire_packets": link_packets,
+        "link_ecmp_wire_bytes": link_bytes,
+    }
+
+
 def join_storm(quick: bool = True, seed: int = 0) -> dict:
     """Every host joins one channel within a short window, then the
     source streams a burst to the fully built tree."""
@@ -132,6 +167,7 @@ def join_storm(quick: bool = True, seed: int = 0) -> dict:
             1 for n in subscribers if net.host(n).is_subscribed(channel)
         ),
         "delivery_latency": _latency_summary(obs),
+        "ecmp_wire": _ecmp_wire_stats(net),
         **_fanout_stats(net),
         **_fib_cache_stats(net),
     }
@@ -142,74 +178,120 @@ def link_flap_churn(quick: bool = True, seed: int = 0) -> dict:
 
     The churn stream comes from :mod:`repro.workloads.churn`; core and
     stub links flap on a fixed cadence while hosts join and leave. The
-    key outputs are the incremental-SPF counters: ``spf_runs`` (actual
-    Dijkstra tree computations) against the from-scratch baseline of
-    ``recompute_count × |V|`` — the seed implementation's cost.
+    key outputs are the incremental-SPF counters (``spf_runs`` against
+    the from-scratch baseline of ``recompute_count × |V|``) and the
+    control-plane wire counters: the identical workload is driven twice,
+    once batched and once with ``batching=False``, and the wire-message
+    reduction between the two runs is reported (the §5 argument that
+    TCP-mode sessions amortize per-channel control traffic).
     """
     n_transit = 4 if quick else 8
     stubs = 3 if quick else 4
     hosts_per_stub = 2 if quick else 3
     flaps = 6 if quick else 24
     duration = 6.0 if quick else 20.0
-    obs = Observability()
-    topo = TopologyBuilder.isp(
-        n_transit=n_transit,
-        stubs_per_transit=stubs,
-        hosts_per_stub=hosts_per_stub,
-        seed=seed,
-    )
-    net = ExpressNetwork(topo, obs=obs)
-    host_names = sorted(net.host_names)
-    # Several channels from sources in different stubs: several RPF
-    # destination trees stay cached, so stub-link flaps exercise the
-    # partial (dirty-set) invalidation path, not just the full one.
-    n_channels = min(3, len(host_names) - 1)
-    stride = max(len(host_names) // n_channels, 1)
-    sources = [net.source(host_names[i * stride]) for i in range(n_channels)]
-    channels = [s.allocate_channel() for s in sources]
-    total_churn = 0
-    source_names = {s.name for s in sources}
-    for index, channel in enumerate(channels):
-        subscribers = [
-            name for i, name in enumerate(host_names) if i % n_channels == index
-        ]
-        events = poisson_churn(
-            [n for n in subscribers if n not in source_names],
-            duration=duration,
-            mean_off_time=duration / 4,
-            mean_on_time=duration / 4,
-            seed=seed + index,
+    # Enough channels that one link flap re-homes many channels toward
+    # the same new upstream — the coalescing opportunity batching exists
+    # to capture. Channels share a few source hosts deliberately: ECMP
+    # keeps per-channel state (so flap churn scales with channels) while
+    # unicast SPF keeps per-destination trees (so the incremental-SPF
+    # measurement keeps its small hot destination set).
+    n_sources = 3
+    channels_per_source = 6 if quick else 11
+
+    def drive(batching: bool) -> tuple[ExpressNetwork, Observability, dict, float]:
+        obs = Observability()
+        topo = TopologyBuilder.isp(
+            n_transit=n_transit,
+            stubs_per_transit=stubs,
+            hosts_per_stub=hosts_per_stub,
+            seed=seed,
         )
-        schedule_churn(net, channel, events)
-        total_churn += len(events)
-    # Flap a transit-transit link and a transit-stub link alternately;
-    # both partial (dirty-set) and full invalidation paths get exercised.
-    flap_targets = [
-        topo.link_between("t0", "t1"),
-        topo.link_between("t0", "e0_0"),
-    ]
-    for k in range(flaps):
-        link = flap_targets[k % len(flap_targets)]
-        at = duration * (k + 0.5) / flaps
-        net.sim.schedule_at(at, link.fail, name="bench-fail")
-        net.sim.schedule_at(at + 0.15, link.recover, name="bench-recover")
-    started = perf_counter()
-    net.run(until=duration + 1.0)
-    wall = perf_counter() - started
-    spf = net.routing.spf_counters()
-    nodes = len(topo.nodes)
-    baseline = spf["recompute_count"] * nodes
-    ratio = baseline / spf["spf_runs"] if spf["spf_runs"] else float("inf")
-    link_events = 2 * flaps
-    return {
-        "params": {
+        net = ExpressNetwork(topo, obs=obs, batching=batching)
+        host_names = sorted(net.host_names)
+        # Several source hosts in different stubs: several RPF
+        # destination trees stay cached, so stub-link flaps exercise the
+        # partial (dirty-set) invalidation path, not just the full one.
+        stride = max(len(host_names) // n_sources, 1)
+        sources = [net.source(host_names[i * stride]) for i in range(n_sources)]
+        channels = [
+            s.allocate_channel()
+            for s in sources
+            for _ in range(channels_per_source)
+        ]
+        n_channels = len(channels)
+        total_churn = 0
+        source_names = {s.name for s in sources}
+        for index, channel in enumerate(channels):
+            subscribers = [
+                name for i, name in enumerate(host_names) if i % n_channels == index
+            ]
+            events = poisson_churn(
+                [n for n in subscribers if n not in source_names],
+                duration=duration,
+                mean_off_time=duration / 4,
+                mean_on_time=duration / 4,
+                seed=seed + index,
+            )
+            schedule_churn(net, channel, events)
+            total_churn += len(events)
+        # Dense membership underneath the churn: every host joins every
+        # channel in a short window, so each flap re-homes per-channel
+        # state at every transit node it touches — the §5 control-churn
+        # shape batching is built for.
+        for index, channel in enumerate(channels):
+            for j, name in enumerate(host_names):
+                if name in source_names:
+                    continue
+                net.sim.schedule_at(
+                    0.001 + 0.2 * ((j * n_channels + index) % 97) / 97.0,
+                    lambda n=name, c=channel: net.host(n).subscribe(c),
+                    name="bench-bulk-join",
+                )
+        # Flap transit-transit links and a transit-stub link in
+        # rotation; t2-t3 sits off the chorded shortest paths toward
+        # the t0-region source, so its flaps leave some cached trees
+        # clean — both partial (dirty-set) and full invalidation paths
+        # get exercised.
+        flap_targets = [
+            topo.link_between("t0", "t1"),
+            topo.link_between("t0", "e0_0"),
+            topo.link_between("t2", "t3"),
+        ]
+        for k in range(flaps):
+            link = flap_targets[k % len(flap_targets)]
+            at = duration * (k + 0.5) / flaps
+            net.sim.schedule_at(at, link.fail, name="bench-fail")
+            net.sim.schedule_at(at + 0.15, link.recover, name="bench-recover")
+        started = perf_counter()
+        net.run(until=duration + 1.0)
+        wall = perf_counter() - started
+        params = {
             "topology": f"isp({n_transit},{stubs},{hosts_per_stub})",
-            "nodes": nodes,
+            "nodes": len(topo.nodes),
             "channels": n_channels,
             "churn_events": total_churn,
-            "link_events": link_events,
+            "link_events": 2 * flaps,
             "duration": duration,
-        },
+        }
+        return net, obs, params, wall
+
+    net, obs, params, wall = drive(batching=True)
+    baseline_net, _, _, _ = drive(batching=False)
+    spf = net.routing.spf_counters()
+    nodes = params["nodes"]
+    baseline = spf["recompute_count"] * nodes
+    ratio = baseline / spf["spf_runs"] if spf["spf_runs"] else float("inf")
+    link_events = params["link_events"]
+    wire = _ecmp_wire_stats(net)
+    unbatched_wire = _ecmp_wire_stats(baseline_net)
+    reduction = (
+        unbatched_wire["ecmp_wire_sends"] / wire["ecmp_wire_sends"]
+        if wire["ecmp_wire_sends"]
+        else float("inf")
+    )
+    return {
+        "params": params,
         "wall_seconds": wall,
         "sim_events": net.sim.events_processed,
         "events_per_sec": net.sim.events_processed / wall if wall else 0.0,
@@ -218,6 +300,9 @@ def link_flap_churn(quick: bool = True, seed: int = 0) -> dict:
         "dijkstra_baseline_equivalent": baseline,
         "dijkstra_savings_ratio": ratio,
         "spf_timing": _spf_timing(obs, link_events),
+        "ecmp_wire": wire,
+        "ecmp_wire_unbatched": unbatched_wire,
+        "wire_message_reduction": reduction,
     }
 
 

@@ -11,6 +11,15 @@ to exactly 16 bytes unauthenticated (24 with the 8-byte key), and
 ``CountQuery`` to 16 (28 with proactive-curve parameters). The field
 layout within those sizes is this implementation's choice; the paper
 pins only the totals.
+
+§5.3's segment-packing arithmetic presumes the TCP-mode session
+coalesces many small messages into one segment. :class:`EcmpBatch` is
+the explicit on-wire form of that: a ``MSG_BATCH`` frame with a 4-byte
+header and a 2-byte length prefix per record, each record being one
+ordinary encoded message (keys and proactive extensions included).
+Decoding is strict — a trailing partial record is a :class:`CodecError`,
+never a silent truncation — so a TCP-stream reassembly bug cannot
+masquerade as a short batch. See ``docs/ecmp-wire.md``.
 """
 
 from __future__ import annotations
@@ -18,7 +27,7 @@ from __future__ import annotations
 import struct
 from dataclasses import dataclass
 from enum import Enum
-from typing import Optional, Union
+from typing import Optional, Sequence, Union
 
 from repro.core.channel import Channel
 from repro.core.ecmp.countids import check_count_id
@@ -36,9 +45,26 @@ RESPONSE_WIRE_BYTES = 12
 _TYPE_QUERY = 0x01
 _TYPE_COUNT = 0x02
 _TYPE_RESPONSE = 0x03
+_TYPE_BATCH = 0x10
+
+#: Public wire-type id of a coalesced frame (``docs/ecmp-wire.md``).
+MSG_BATCH = _TYPE_BATCH
 
 _FLAG_KEY = 0x01
 _FLAG_PROACTIVE = 0x02
+
+#: Batch frame header: type(1) flags(1) record-count(2).
+_BATCH_HEAD = struct.Struct("!BBH")
+#: Per-record length prefix inside a batch frame.
+_RECORD_LEN = struct.Struct("!H")
+
+#: Fixed batch-frame overhead and per-record framing cost, used by the
+#: §5.3 packing arithmetic in ``repro.costmodel.maintenance``.
+BATCH_HEADER_BYTES = _BATCH_HEAD.size
+RECORD_FRAME_BYTES = _RECORD_LEN.size
+
+#: Records a single frame may carry (record-count is a uint16).
+MAX_BATCH_RECORDS = 0xFFFF
 
 #: type(1) flags(1) countId(2) source(4) dest-suffix(3) ... per-type tail
 _HEAD = struct.Struct("!BBHI3s")
@@ -121,6 +147,35 @@ class CountResponse:
 EcmpMessage = Union[CountQuery, Count, CountResponse]
 
 
+@dataclass(frozen=True)
+class EcmpBatch:
+    """A coalesced frame of ECMP messages for one TCP-mode neighbor.
+
+    Records are ordinary messages in send order; the frame exists so a
+    flush of N dirty channels costs one wire send instead of N. Batches
+    never nest.
+    """
+
+    messages: tuple
+
+    def __post_init__(self) -> None:
+        if not self.messages:
+            raise CodecError("empty batch")
+        if len(self.messages) > MAX_BATCH_RECORDS:
+            raise CodecError(f"batch of {len(self.messages)} records overflows uint16")
+        for message in self.messages:
+            if isinstance(message, EcmpBatch):
+                raise CodecError("batches cannot nest")
+
+    def wire_size(self) -> int:
+        return BATCH_HEADER_BYTES + sum(
+            RECORD_FRAME_BYTES + m.wire_size() for m in self.messages
+        )
+
+    def __len__(self) -> int:
+        return len(self.messages)
+
+
 def _pack_head(msg_type: int, flags: int, count_id: int, channel: Channel) -> bytes:
     return _HEAD.pack(
         msg_type, flags, count_id, channel.source, channel.suffix.to_bytes(3, "big")
@@ -151,39 +206,49 @@ def encode_message(message: EcmpMessage) -> bytes:
         data = _pack_head(_TYPE_RESPONSE, 0, message.count_id, message.channel)
         data += _RESPONSE_TAIL.pack(message.status.value)
         return data
+    if isinstance(message, EcmpBatch):
+        return encode_batch(message.messages)
     raise CodecError(f"not an ECMP message: {message!r}")
 
 
-def decode_message(data: bytes) -> EcmpMessage:
-    """Parse a wire buffer back into a message object."""
+def decode_message(data: bytes) -> Union[EcmpMessage, EcmpBatch]:
+    """Parse a wire buffer back into a message object.
+
+    Strict: the buffer must be exactly one message. A short buffer *or*
+    trailing bytes beyond the message's declared shape raise
+    :class:`CodecError` — a framing layer that mis-slices a TCP stream
+    must fail loudly, not deliver a plausible prefix.
+    """
     if len(data) < _HEAD.size:
         raise CodecError(f"ECMP message truncated: {len(data)} bytes")
     msg_type, flags, count_id, source, suffix_bytes = _HEAD.unpack(data[: _HEAD.size])
+    if msg_type == _TYPE_BATCH:
+        return EcmpBatch(messages=tuple(decode_batch(data)))
     channel = Channel.of(source, int.from_bytes(suffix_bytes, "big"))
     body = data[_HEAD.size :]
 
     if msg_type == _TYPE_COUNT:
-        if len(body) < _COUNT_TAIL.size:
+        expected = _COUNT_TAIL.size + (KEY_BYTES if flags & _FLAG_KEY else 0)
+        if len(body) < expected:
             raise CodecError("Count body truncated")
+        if len(body) > expected:
+            raise CodecError(f"{len(body) - expected} trailing bytes after Count")
         count, _reserved = _COUNT_TAIL.unpack(body[: _COUNT_TAIL.size])
-        key = None
-        if flags & _FLAG_KEY:
-            key_bytes = body[_COUNT_TAIL.size : _COUNT_TAIL.size + KEY_BYTES]
-            if len(key_bytes) != KEY_BYTES:
-                raise CodecError("Count key truncated")
-            key = ChannelKey(key_bytes)
+        key = ChannelKey(body[_COUNT_TAIL.size :]) if flags & _FLAG_KEY else None
         return Count(channel=channel, count_id=count_id, count=count, key=key)
 
     if msg_type == _TYPE_QUERY:
-        if len(body) < _QUERY_TAIL.size:
+        expected = _QUERY_TAIL.size + (
+            _PROACTIVE_EXT.size if flags & _FLAG_PROACTIVE else 0
+        )
+        if len(body) < expected:
             raise CodecError("CountQuery body truncated")
+        if len(body) > expected:
+            raise CodecError(f"{len(body) - expected} trailing bytes after CountQuery")
         timeout_ms, _reserved = _QUERY_TAIL.unpack(body[: _QUERY_TAIL.size])
         proactive = None
         if flags & _FLAG_PROACTIVE:
-            ext = body[_QUERY_TAIL.size : _QUERY_TAIL.size + _PROACTIVE_EXT.size]
-            if len(ext) != _PROACTIVE_EXT.size:
-                raise CodecError("proactive extension truncated")
-            e_max, alpha, tau = _PROACTIVE_EXT.unpack(ext)
+            e_max, alpha, tau = _PROACTIVE_EXT.unpack(body[_QUERY_TAIL.size :])
             proactive = ToleranceCurve(e_max=e_max, alpha=alpha, tau=tau)
         return CountQuery(
             channel=channel,
@@ -195,7 +260,11 @@ def decode_message(data: bytes) -> EcmpMessage:
     if msg_type == _TYPE_RESPONSE:
         if len(body) < _RESPONSE_TAIL.size:
             raise CodecError("CountResponse body truncated")
-        (status_value,) = _RESPONSE_TAIL.unpack(body[: _RESPONSE_TAIL.size])
+        if len(body) > _RESPONSE_TAIL.size:
+            raise CodecError(
+                f"{len(body) - _RESPONSE_TAIL.size} trailing bytes after CountResponse"
+            )
+        (status_value,) = _RESPONSE_TAIL.unpack(body)
         try:
             status = CountStatus(status_value)
         except ValueError:
@@ -203,3 +272,57 @@ def decode_message(data: bytes) -> EcmpMessage:
         return CountResponse(channel=channel, count_id=count_id, status=status)
 
     raise CodecError(f"unknown ECMP message type {msg_type:#x}")
+
+
+def encode_batch(messages: Sequence[EcmpMessage]) -> bytes:
+    """Serialize ``messages`` into one ``MSG_BATCH`` frame.
+
+    Frame layout: ``type(1)=0x10 flags(1)=0 record_count(2)`` followed
+    by ``record_count`` records, each ``length(2) + encoded message``.
+    """
+    if not messages:
+        raise CodecError("cannot encode an empty batch")
+    if len(messages) > MAX_BATCH_RECORDS:
+        raise CodecError(f"batch of {len(messages)} records overflows uint16")
+    parts = [_BATCH_HEAD.pack(_TYPE_BATCH, 0, len(messages))]
+    for message in messages:
+        if isinstance(message, EcmpBatch):
+            raise CodecError("batches cannot nest")
+        record = encode_message(message)
+        parts.append(_RECORD_LEN.pack(len(record)))
+        parts.append(record)
+    return b"".join(parts)
+
+
+def decode_batch(data: bytes) -> list:
+    """Parse a ``MSG_BATCH`` frame back into its message list.
+
+    Round-trip safe for every record type (keyed Counts, proactive
+    CountQuery extensions). Raises :class:`CodecError` on a wrong type
+    byte, a record count that disagrees with the payload, a trailing
+    partial record, or trailing bytes after the final record.
+    """
+    if len(data) < _BATCH_HEAD.size:
+        raise CodecError(f"batch header truncated: {len(data)} bytes")
+    msg_type, _flags, record_count = _BATCH_HEAD.unpack(data[: _BATCH_HEAD.size])
+    if msg_type != _TYPE_BATCH:
+        raise CodecError(f"not a batch frame (type {msg_type:#x})")
+    if record_count == 0:
+        raise CodecError("batch declares zero records")
+    offset = _BATCH_HEAD.size
+    messages = []
+    for index in range(record_count):
+        if len(data) - offset < _RECORD_LEN.size:
+            raise CodecError(f"batch record {index} length prefix truncated")
+        (length,) = _RECORD_LEN.unpack(data[offset : offset + _RECORD_LEN.size])
+        offset += _RECORD_LEN.size
+        if len(data) - offset < length:
+            raise CodecError(
+                f"batch record {index} truncated: declared {length} bytes, "
+                f"{len(data) - offset} remain"
+            )
+        messages.append(decode_message(data[offset : offset + length]))
+        offset += length
+    if offset != len(data):
+        raise CodecError(f"{len(data) - offset} trailing bytes after batch records")
+    return messages

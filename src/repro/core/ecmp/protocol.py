@@ -61,6 +61,7 @@ from repro.core.ecmp.messages import (
     CountQuery,
     CountResponse,
     CountStatus,
+    EcmpBatch,
     EcmpMessage,
     decode_message,
     encode_message,
@@ -117,6 +118,54 @@ class CountPropagation(Enum):
 
 
 @dataclass
+class _QueuedRecord:
+    """One pending message in a neighbor's dirty-channel queue."""
+
+    message: EcmpMessage
+    #: Pinned records occupy their own slot in the peer's processing
+    #: order (joins awaiting verdicts, CountResponses); later writes for
+    #: the same (channel, countId) append instead of replacing them.
+    pinned: bool
+    #: Span context captured at enqueue time (None when tracing is off):
+    #: causality is established when the protocol *decides* to send, not
+    #: when the flush timer fires.
+    span_ctx: Optional[object] = None
+
+
+class DirtyChannelQueue:
+    """Coalesced pending sends toward one TCP-mode neighbor.
+
+    Non-pinned messages are last-writer-wins per ``(type, channel,
+    countId)`` — a refresh superseded before the flush never touches the
+    wire. FIFO order of first enqueue is preserved, which is what keeps
+    the verdict queues of both ends aligned (§3.2's TCP ordering).
+    """
+
+    __slots__ = ("records", "_latest")
+
+    def __init__(self) -> None:
+        self.records: list[_QueuedRecord] = []
+        self._latest: dict = {}
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    def enqueue(
+        self, message: EcmpMessage, pinned: bool, span_ctx: Optional[object] = None
+    ) -> bool:
+        """Add (or merge) one message; True if it absorbed an earlier
+        queued message that will now never hit the wire."""
+        key = (type(message).__name__, message.channel, message.count_id)
+        index = self._latest.get(key)
+        if index is not None and not pinned and not self.records[index].pinned:
+            self.records[index] = _QueuedRecord(message, pinned, span_ctx)
+            return True
+        self._latest[key] = len(self.records)
+        self.records.append(_QueuedRecord(message, pinned, span_ctx))
+        return False
+
+
+@dataclass
 class VerdictEntry:
     """One forwarded join awaiting its upstream verdict, with enough
     prior state to roll the join back if it is denied."""
@@ -126,6 +175,14 @@ class VerdictEntry:
     prior_validated: bool
     presented_key: Optional[ChannelKey]
     prior_advertised: int = 0
+    #: Count the joining downstream advertised; the denied join's
+    #: contribution is ``joined_count - prior_count``, subtracted (not
+    #: snapshot-restored) on rollback so increments that arrived while
+    #: the verdict was in flight survive.
+    joined_count: int = 0
+    #: Total this node sent upstream alongside this entry; mirrors the
+    #: delta the upstream will subtract from its record of us.
+    sent_count: int = 0
 
 
 @dataclass
@@ -186,6 +243,14 @@ class EcmpAgent(ProtocolAgent):
     KEEPALIVE_INTERVAL = 30.0
     KEEPALIVE_MISSES = 3
     HYSTERESIS = 5.0
+    #: Nagle-style coalescing window for TCP-mode neighbor sessions: a
+    #: non-urgent message waits at most this long for company before the
+    #: dirty-channel queue is flushed as one frame.
+    BATCH_FLUSH_INTERVAL = 0.05
+    #: Queue-size watermark: flush immediately once this many records
+    #: are pending toward one neighbor (just under the ~82 framed
+    #: unauthenticated Counts that fit a 1480-byte segment, §5.3).
+    BATCH_MAX_RECORDS = 64
 
     def __init__(
         self,
@@ -197,6 +262,7 @@ class EcmpAgent(ProtocolAgent):
         default_mode: NeighborMode = NeighborMode.TCP,
         proactive_curve: Optional[ToleranceCurve] = None,
         wire_format: bool = False,
+        batching: bool = True,
         obs=None,
     ) -> None:
         super().__init__(node)
@@ -207,6 +273,11 @@ class EcmpAgent(ProtocolAgent):
         #: codecs end-to-end). Both ends of a link must agree, which the
         #: network facade guarantees by setting it uniformly.
         self.wire_format = wire_format
+        #: When True (the default), messages toward TCP-mode neighbors
+        #: go through a per-neighbor dirty-channel queue and are flushed
+        #: as one MSG_BATCH frame (see docs/ecmp-wire.md). UDP-mode
+        #: neighbors always take the unbatched per-datagram path.
+        self.batching = batching
         self.routing = routing
         self.fib = fib
         self.role = role
@@ -225,6 +296,7 @@ class EcmpAgent(ProtocolAgent):
         if obs is None:
             self.stats = Counter()
             self._m_messages = self._m_bytes = None
+            self._m_wire_bytes = self._m_coalesced = self._m_flushes = None
         else:
             registry = obs.registry
             self.stats = registry.counter_bag(
@@ -237,9 +309,30 @@ class EcmpAgent(ProtocolAgent):
             )
             self._m_bytes = registry.counter(
                 "ecmp_bytes_total",
-                "ECMP control bytes on the wire by node and direction",
+                "Logical ECMP control bytes (per message, pre-coalescing) "
+                "by node and direction",
                 ("node", "direction"),
             )
+            self._m_wire_bytes = registry.counter(
+                "ecmp_bytes_on_wire",
+                "Actual ECMP bytes put on (or taken off) the wire per "
+                "node and direction, batch framing included",
+                ("node", "direction"),
+            )
+            self._m_coalesced = registry.counter(
+                "ecmp_msgs_coalesced",
+                "ECMP messages that did not cost their own wire packet "
+                "(absorbed by last-writer-wins or carried in a batch frame)",
+                ("node",),
+            )
+            self._m_flushes = registry.counter(
+                "ecmp_batch_flushes",
+                "Dirty-channel queue flushes by node and trigger",
+                ("node", "trigger"),
+            )
+        #: Per-TCP-neighbor dirty-channel queues and their flush timers.
+        self._batch_queues: dict[str, DirtyChannelQueue] = {}
+        self._flush_events: dict[str, object] = {}
         self._proactive_checks: dict[tuple[Channel, int], object] = {}
         self._udp_query_task: Optional[PeriodicTask] = None
         self._keepalive_task: Optional[PeriodicTask] = None
@@ -267,6 +360,10 @@ class EcmpAgent(ProtocolAgent):
         for task in (self._udp_query_task, self._keepalive_task):
             if task is not None:
                 task.stop()
+        for event in self._flush_events.values():
+            event.cancel()
+        self._flush_events.clear()
+        self._batch_queues.clear()
 
     def set_neighbor_mode(self, neighbor: str, mode: NeighborMode) -> None:
         """Configure TCP or UDP mode toward one neighbor (§3.2: "A
@@ -284,6 +381,9 @@ class EcmpAgent(ProtocolAgent):
             return
         if not up:
             # TCP-mode semantics: connection failure -> subtract counts.
+            # Anything still queued toward the dead session is lost with
+            # the connection; the reconnect resend covers it.
+            self._drop_queue(peer.name)
             self._neighbor_failed(peer.name)
         else:
             self._neighbor_recovered(peer.name)
@@ -475,6 +575,30 @@ class EcmpAgent(ProtocolAgent):
             return
         from_name = peer.name
         self.neighbor_last_heard[from_name] = self.sim.now
+        self.stats.incr("wire_recvs")
+        self.stats.incr("bytes_on_wire_rx", packet.size)
+        if self._m_wire_bytes is not None:
+            self._m_wire_bytes.labels(node=self.node.name, direction="rx").inc(
+                packet.size
+            )
+        span_ctx = packet.headers.get(SPAN_HEADER)
+        if isinstance(message, EcmpBatch):
+            self.stats.incr("batches_rx")
+            self.stats.incr("batch_records_rx", len(message.messages))
+            contexts = span_ctx if isinstance(span_ctx, list) else None
+            for index, record in enumerate(message.messages):
+                ctx = None
+                if contexts is not None and index < len(contexts):
+                    ctx = contexts[index]
+                self._dispatch_message(record, from_name, ctx)
+            return
+        self._dispatch_message(message, from_name, span_ctx)
+
+    def _dispatch_message(
+        self, message: EcmpMessage, from_name: str, span_ctx
+    ) -> None:
+        """Route one decoded protocol message (possibly unpacked from a
+        batch frame) to its handler, with per-message rx accounting."""
         if isinstance(message, Count):
             self.stats.incr("counts_rx")
             kind, handler = "count", self._handle_count
@@ -489,14 +613,15 @@ class EcmpAgent(ProtocolAgent):
         if self.obs is None:
             handler(message, from_name)
             return
+        size = IP_OVERHEAD + message.wire_size()
         self._m_messages.labels(
             node=self.node.name,
             direction="rx",
             type=type(message).__name__,
             channel=str(message.channel),
         ).inc()
-        self._m_bytes.labels(node=self.node.name, direction="rx").inc(packet.size)
-        self._handle_traced(message, from_name, kind, handler, packet)
+        self._m_bytes.labels(node=self.node.name, direction="rx").inc(size)
+        self._handle_traced(message, from_name, kind, handler, span_ctx)
 
     def _handle_traced(
         self,
@@ -504,7 +629,7 @@ class EcmpAgent(ProtocolAgent):
         from_name: str,
         kind: str,
         handler: Callable[[EcmpMessage, str], None],
-        packet: Packet,
+        parent_ctx,
     ) -> None:
         """Run ``handler`` inside the right span.
 
@@ -529,7 +654,7 @@ class EcmpAgent(ProtocolAgent):
                 with tracer.activate(pending.span):
                     handler(message, from_name)
                 return
-        parent = packet.headers.get(SPAN_HEADER)
+        parent = parent_ctx
         span = tracer.start_span(
             f"ecmp.{kind}",
             node=self.node.name,
@@ -543,10 +668,103 @@ class EcmpAgent(ProtocolAgent):
         if not span.attrs.get("deferred"):
             tracer.end(span)
 
-    def _send_message(self, message: EcmpMessage, neighbor: str) -> None:
+    def _send_message(
+        self,
+        message: EcmpMessage,
+        neighbor: str,
+        urgent: Optional[bool] = None,
+        pinned: Optional[bool] = None,
+    ) -> None:
+        """Send (or queue) one protocol message toward ``neighbor``.
+
+        Logical per-message accounting (``msgs_tx``, ``bytes_tx``,
+        ``ecmp_messages_total``) happens here regardless of batching;
+        wire-level accounting happens in :meth:`_transmit` when a packet
+        actually leaves. ``urgent``/``pinned`` override the defaults
+        from :meth:`_batch_policy` (used by call sites that know more —
+        joins are pinned, query replies are urgent).
+        """
         peer = self.routing.topo.nodes.get(neighbor)
         if peer is None:
             return
+        size = IP_OVERHEAD + message.wire_size()
+        self.stats.incr("msgs_tx")
+        self.stats.incr("bytes_tx", size)
+        self.stats.incr(f"tx_{type(message).__name__.lower()}")
+        span_ctx = None
+        if self.obs is not None:
+            current = self.obs.tracer.current
+            if current is not None:
+                # Causal context rides with the message: the span active
+                # while the protocol decides to send becomes the parent
+                # of the receiver's handling span — even if the wire
+                # send happens later, from a flush event.
+                span_ctx = current.context
+            self._m_messages.labels(
+                node=self.node.name,
+                direction="tx",
+                type=type(message).__name__,
+                channel=str(message.channel),
+            ).inc()
+            self._m_bytes.labels(node=self.node.name, direction="tx").inc(size)
+        if not self.batching or self.mode_of(neighbor) is not NeighborMode.TCP:
+            # UDP-mode neighbors (and batching-off agents) keep the
+            # one-datagram-per-message path.
+            self._transmit(message, peer, contexts=(span_ctx,))
+            return
+        default_urgent, default_pinned = self._batch_policy(message)
+        if urgent is None:
+            urgent = default_urgent
+        if pinned is None:
+            pinned = default_pinned
+        queue = self._batch_queues.get(neighbor)
+        if queue is None:
+            queue = self._batch_queues[neighbor] = DirtyChannelQueue()
+        if queue.enqueue(message, pinned, span_ctx):
+            # Last-writer-wins: the overwritten message never hits the wire.
+            self.stats.incr("msgs_coalesced")
+            if self._m_coalesced is not None:
+                self._m_coalesced.labels(node=self.node.name).inc()
+        if urgent:
+            self._flush_neighbor(neighbor, trigger="urgent")
+        elif len(queue) >= self.BATCH_MAX_RECORDS:
+            self._flush_neighbor(neighbor, trigger="watermark")
+        elif neighbor not in self._flush_events:
+            self._flush_events[neighbor] = self.sim.schedule(
+                self.BATCH_FLUSH_INTERVAL,
+                lambda: self._flush_timer_fired(neighbor),
+                name="ecmp-batch-flush",
+            )
+
+    def _batch_policy(self, message: EcmpMessage) -> tuple[bool, bool]:
+        """Default ``(urgent, pinned)`` for one message.
+
+        Urgent messages flush the whole queue immediately (they still
+        share the frame with anything already pending, so ordering is
+        preserved): CountQuery (a reply deadline is running),
+        CountResponse rejections (the subscriber must learn of the
+        denial now), and zero-count leaves (the upstream forwards data
+        until the zero lands). CountResponses are always pinned — each
+        one pops exactly one entry from the peer's verdict FIFO, so two
+        may never merge. Keyed Counts are pinned because each presented
+        key needs its own verdict.
+        """
+        if isinstance(message, CountQuery):
+            return True, True
+        if isinstance(message, CountResponse):
+            return message.status is not CountStatus.OK, True
+        if message.count_id == SUBSCRIBER_ID and message.count == 0:
+            return True, True
+        return False, message.key is not None
+
+    def _transmit(
+        self,
+        message,
+        peer: Node,
+        contexts: tuple = (),
+    ) -> None:
+        """Put one wire packet (a single message or a batch frame) on
+        the link toward ``peer``, with on-wire byte accounting."""
         size = IP_OVERHEAD + message.wire_size()
         packet = Packet(
             src=self.node.address,
@@ -561,25 +779,59 @@ class EcmpAgent(ProtocolAgent):
             packet.headers["ecmp"] = message
         # TCP mode hides loss behind retransmission; model it as
         # loss-exempt delivery (delay still applies).
-        packet.headers["reliable"] = self.mode_of(neighbor) is NeighborMode.TCP
-        self.stats.incr("msgs_tx")
-        self.stats.incr("bytes_tx", size)
-        self.stats.incr(f"tx_{type(message).__name__.lower()}")
-        if self.obs is not None:
-            current = self.obs.tracer.current
-            if current is not None:
-                # Causal context rides with the message: the span active
-                # while we send becomes the parent of the receiver's
-                # handling span.
-                packet.headers[SPAN_HEADER] = current.context
-            self._m_messages.labels(
-                node=self.node.name,
-                direction="tx",
-                type=type(message).__name__,
-                channel=str(message.channel),
-            ).inc()
-            self._m_bytes.labels(node=self.node.name, direction="tx").inc(size)
+        packet.headers["reliable"] = self.mode_of(peer.name) is NeighborMode.TCP
+        if isinstance(message, EcmpBatch):
+            if any(ctx is not None for ctx in contexts):
+                # One span context per record, aligned by index.
+                packet.headers[SPAN_HEADER] = list(contexts)
+        elif contexts and contexts[0] is not None:
+            packet.headers[SPAN_HEADER] = contexts[0]
+        self.stats.incr("wire_sends")
+        self.stats.incr("bytes_on_wire", size)
+        if self._m_wire_bytes is not None:
+            self._m_wire_bytes.labels(node=self.node.name, direction="tx").inc(size)
         self.node.send_to_neighbor(packet, peer)
+
+    def _flush_neighbor(self, neighbor: str, trigger: str = "timer") -> None:
+        """Drain the dirty-channel queue toward ``neighbor`` as one wire
+        send: a bare message when a single record is pending, a
+        MSG_BATCH frame otherwise."""
+        event = self._flush_events.pop(neighbor, None)
+        if event is not None:
+            event.cancel()
+        queue = self._batch_queues.pop(neighbor, None)
+        if queue is None or not queue.records:
+            return
+        peer = self.routing.topo.nodes.get(neighbor)
+        if peer is None:
+            return
+        records = queue.records
+        self.stats.incr("batch_flushes")
+        if self._m_flushes is not None:
+            self._m_flushes.labels(node=self.node.name, trigger=trigger).inc()
+        if len(records) == 1:
+            self._transmit(records[0].message, peer, contexts=(records[0].span_ctx,))
+            return
+        batch = EcmpBatch(messages=tuple(r.message for r in records))
+        self.stats.incr("batch_records_tx", len(records))
+        self.stats.incr("msgs_coalesced", len(records) - 1)
+        if self._m_coalesced is not None:
+            self._m_coalesced.labels(node=self.node.name).inc(len(records) - 1)
+        self._transmit(batch, peer, contexts=tuple(r.span_ctx for r in records))
+
+    def _flush_timer_fired(self, neighbor: str) -> None:
+        self._flush_events.pop(neighbor, None)
+        self._flush_neighbor(neighbor, trigger="timer")
+
+    def _flush_all(self, trigger: str) -> None:
+        for neighbor in list(self._batch_queues):
+            self._flush_neighbor(neighbor, trigger=trigger)
+
+    def _drop_queue(self, neighbor: str) -> None:
+        event = self._flush_events.pop(neighbor, None)
+        if event is not None:
+            event.cancel()
+        self._batch_queues.pop(neighbor, None)
 
     def _rtt_estimate(self, neighbor: str) -> float:
         peer = self.routing.topo.nodes.get(neighbor)
@@ -719,6 +971,7 @@ class EcmpAgent(ProtocolAgent):
                 prior_count=previous,
                 prior_validated=prior_validated,
                 presented_key=key,
+                joined_count=count,
             )
 
         self._sync_fib(state)
@@ -779,7 +1032,7 @@ class EcmpAgent(ProtocolAgent):
         total = state.total(validated_only=False)
         key = joining_key or self.keys.get(state.channel) or state.pending_key
         if total > 0 and state.advertised == 0:
-            self._queue_entry(state, join_entry)
+            self._queue_entry(state, join_entry, total)
             self._send_count_upstream(state, total, key=key)
             return True
         if total == 0 and state.advertised > 0:
@@ -787,7 +1040,7 @@ class EcmpAgent(ProtocolAgent):
             return False
         if joining_key is not None:
             # Already on tree, but a keyed join needs an upstream verdict.
-            self._queue_entry(state, join_entry)
+            self._queue_entry(state, join_entry, total)
             self._send_count_upstream(state, total, key=joining_key)
             return True
         if total == state.advertised:
@@ -799,10 +1052,13 @@ class EcmpAgent(ProtocolAgent):
         # TREE_ONLY: stay quiet while on-tree.
         return False
 
-    def _queue_entry(self, state: ChannelState, entry: Optional[VerdictEntry]) -> None:
+    def _queue_entry(
+        self, state: ChannelState, entry: Optional[VerdictEntry], total: int
+    ) -> None:
         if entry is None:
             return
         entry.prior_advertised = state.advertised
+        entry.sent_count = total
         self.pending_verdicts.setdefault(state.channel, deque()).append(entry)
 
     def _send_count_upstream(
@@ -810,9 +1066,15 @@ class EcmpAgent(ProtocolAgent):
     ) -> None:
         if state.upstream is None:
             return
+        # A 0→positive transition (or any keyed Count) queues a
+        # VerdictEntry at the upstream, so the message must survive
+        # coalescing verbatim — each pending verdict pairs with exactly
+        # one on-wire Count.
+        is_join = count > 0 and state.advertised == 0
         self._send_message(
             Count(channel=state.channel, count_id=SUBSCRIBER_ID, count=count, key=key),
             state.upstream,
+            pinned=True if (is_join or key is not None) else None,
         )
         state.advertised = count
         counter = state.proactive.get(SUBSCRIBER_ID)
@@ -943,17 +1205,23 @@ class EcmpAgent(ProtocolAgent):
             handle._set_status("active")
 
     def _rollback(self, state: ChannelState, entry: VerdictEntry) -> None:
-        """Undo a denied join: restore the neighbor's prior standing
-        (or remove it outright if the join created the record)."""
+        """Undo a denied join by subtracting its contribution.
+
+        The subtraction is relative, not a snapshot restore: counts
+        that arrived between the join and its verdict (e.g. several
+        joins batched into one frame, whose verdicts all come back
+        after the last join landed) must survive the rollback. The
+        upstream applies the mirror-image subtraction to its record of
+        us, so ``advertised`` shrinks by the same delta it will."""
         self.stats.incr("denied_subscriptions")
-        if not self.pending_verdicts.get(state.channel):
-            # No later joins in flight: the upstream's rolled-back view
-            # of us is exactly what we had advertised before this join.
-            state.advertised = entry.prior_advertised
+        state.advertised = max(
+            0, state.advertised - (entry.sent_count - entry.prior_advertised)
+        )
         record = state.downstream.get(entry.neighbor)
         if record is not None:
-            if entry.prior_count > 0:
-                record.count = entry.prior_count
+            rolled = record.count - (entry.joined_count - entry.prior_count)
+            if rolled > 0:
+                record.count = rolled
                 # Never revoke a validation an earlier verdict granted.
                 record.validated = record.validated or entry.prior_validated
             else:
@@ -1102,6 +1370,8 @@ class EcmpAgent(ProtocolAgent):
                 if pending.callback is not None:
                     pending.callback(total, partial)
             else:
+                # Query replies race the origin's reply deadline; never
+                # let one sit in a flush window.
                 self._send_message(
                     Count(
                         channel=pending.channel,
@@ -1109,6 +1379,7 @@ class EcmpAgent(ProtocolAgent):
                         count=total,
                     ),
                     pending.origin,
+                    urgent=True,
                 )
 
         if self.obs is not None and pending.span is not None:
@@ -1237,6 +1508,9 @@ class EcmpAgent(ProtocolAgent):
                     continue  # link is up; silence is fine (no traffic)
                 del self.neighbor_last_heard[name]
                 self._neighbor_failed(name)
+        # The keepalive tick is also the protocol's coarse flush point:
+        # anything still sitting in a dirty-channel queue rides out now.
+        self._flush_all(trigger="keepalive")
 
     def _udp_refresh_tick(self) -> None:
         """Periodic general query toward UDP-mode downstream neighbors,
@@ -1284,10 +1558,14 @@ class EcmpAgent(ProtocolAgent):
 
     def _neighbor_recovered(self, name: str) -> None:
         """On (re)connection, re-announce every channel we route through
-        this neighbor (§3.2: unsolicited Counts on establishment)."""
+        this neighbor (§3.2: unsolicited Counts on establishment).
+
+        With batching on, the whole unsolicited state dump leaves as a
+        single MSG_BATCH frame instead of N packets."""
         for state in self.channels.values():
             if state.upstream == name:
                 self._send_count_upstream(state, state.total(validated_only=False))
+        self._flush_neighbor(name, trigger="reconnect")
 
     # ------------------------------------------------------------------
     # topology change (§3.2)
@@ -1300,6 +1578,7 @@ class EcmpAgent(ProtocolAgent):
         is applied to prevent route oscillation."
         """
         now = self.sim.now
+        touched: set[str] = set()
         for channel, state in list(self.channels.items()):
             if self.routing.topo.node_by_address(channel.source) is self.node:
                 continue  # the source's node is the root; never re-homes
@@ -1323,16 +1602,28 @@ class EcmpAgent(ProtocolAgent):
             if new_upstream is not None and total > 0:
                 state.advertised = 0  # force a fresh join to the new parent
                 self._send_count_upstream(state, total, key=self.keys.get(channel))
+                touched.add(new_upstream)
             elif new_upstream is None:
                 # Partitioned from the source: nothing is advertised to
                 # anyone any more (the old upstream zeroed us, or died).
                 state.advertised = 0
             if old_reachable and old is not None:
+                # Not urgent=True like an ordinary leave: the flush at
+                # the end of this loop sends every old-upstream zero in
+                # the same event tick, one frame per neighbor.
                 self._send_message(
-                    Count(channel=channel, count_id=SUBSCRIBER_ID, count=0), old
+                    Count(channel=channel, count_id=SUBSCRIBER_ID, count=0),
+                    old,
+                    urgent=False,
+                    pinned=True,
                 )
+                touched.add(old)
             self._sync_fib(state)
             self._garbage_collect(state)
+        # All re-home joins toward one new parent leave as one batch
+        # frame rather than waiting for the flush timer per message.
+        for name in touched:
+            self._flush_neighbor(name, trigger="rehome")
 
     def _rehome_fired(self) -> None:
         self._rehome_scheduled = False

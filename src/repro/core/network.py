@@ -196,6 +196,7 @@ class ExpressNetwork:
         edge_udp: bool = False,
         proactive_curve: Optional[ToleranceCurve] = None,
         wire_format: bool = False,
+        batching: bool = True,
         obs=None,
     ) -> None:
         self.topo = topo
@@ -233,6 +234,7 @@ class ExpressNetwork:
                 default_mode=default_mode,
                 proactive_curve=proactive_curve,
                 wire_format=wire_format,
+                batching=batching,
                 obs=obs,
             )
             agent.topology_change_hook = self._on_topology_change

@@ -50,6 +50,8 @@ class Link:
         self.up = True
         self.tx_packets = 0
         self.lost_packets = 0
+        self.ecmp_wire_packets = 0
+        self.ecmp_wire_bytes = 0
         #: Optional :class:`repro.obs.hooks.LinkMetrics` set by
         #: Observability attachment.
         self.metrics = None
@@ -85,6 +87,13 @@ class Link:
         self.tx_packets += 1
         if self.metrics is not None:
             self.metrics.transmitted()
+        if packet.proto == "ecmp":
+            # Wire-level control accounting: one increment per wire
+            # packet, so a coalesced batch frame counts once.
+            self.ecmp_wire_packets += 1
+            self.ecmp_wire_bytes += packet.size
+            if self.metrics is not None:
+                self.metrics.ecmp_wire(packet.size)
         # TCP-mode control traffic is marked reliable: retransmission
         # hides loss, so the loss draw is skipped (delay still applies).
         reliable = bool(packet.headers.get("reliable"))

@@ -77,7 +77,7 @@ class NodeMetrics:
 class LinkMetrics:
     """Per-link transmit/loss counters, bound once per link."""
 
-    __slots__ = ("link", "_packets", "_lost")
+    __slots__ = ("link", "_packets", "_lost", "_ecmp_packets", "_ecmp_bytes")
 
     def __init__(self, registry: MetricsRegistry, link: str) -> None:
         self.link = link
@@ -87,12 +87,26 @@ class LinkMetrics:
         self._lost = registry.counter(
             "link_lost_packets_total", "Packets lost in transit on a link", ("link",)
         )
+        self._ecmp_packets = registry.counter(
+            "link_ecmp_wire_packets_total",
+            "ECMP control packets entering a link (batch frame counts as one)",
+            ("link",),
+        )
+        self._ecmp_bytes = registry.counter(
+            "link_ecmp_wire_bytes_total",
+            "ECMP control bytes entering a link, post-coalescing",
+            ("link",),
+        )
 
     def transmitted(self) -> None:
         self._packets.labels(link=self.link).inc()
 
     def lost(self) -> None:
         self._lost.labels(link=self.link).inc()
+
+    def ecmp_wire(self, size: int) -> None:
+        self._ecmp_packets.labels(link=self.link).inc()
+        self._ecmp_bytes.labels(link=self.link).inc(size)
 
 
 def instrument_simulator(sim: "Simulator", registry: MetricsRegistry) -> None:

@@ -1,0 +1,267 @@
+"""Unit and integration tests for the coalescing TCP-mode send path.
+
+The dirty-channel queue in :class:`EcmpAgent` replaces the seed's
+immediate one-packet-per-message sends: non-urgent messages toward a
+TCP-mode neighbor wait up to ``BATCH_FLUSH_INTERVAL`` (or until the
+``BATCH_MAX_RECORDS`` watermark / keepalive tick) and leave as one
+``MSG_BATCH`` frame. Urgent messages — CountQuery, CountResponse
+rejections, zero-count leaves — flush the whole queue immediately so
+coalescing never adds latency where the protocol has a deadline.
+See ``docs/ecmp-wire.md``.
+"""
+
+import pytest
+
+from repro import ExpressNetwork, NeighborMode, TopologyBuilder
+from repro.core.ecmp.countids import SUBSCRIBER_ID
+from repro.core.ecmp.messages import (
+    Count,
+    CountQuery,
+    CountResponse,
+    CountStatus,
+    EcmpBatch,
+)
+from repro.core.ecmp.protocol import DirtyChannelQueue, EcmpAgent
+from repro.core.keys import make_key
+from tests.conftest import make_channel
+
+
+def other_channel(net, source_host, n=1):
+    """Allocate extra channels from the same source."""
+    handle = net.source(source_host)
+    return [handle.allocate_channel() for _ in range(n)]
+
+
+class TestDirtyChannelQueue:
+    """The queue in isolation: LWW merging and pin semantics."""
+
+    def test_last_writer_wins_same_channel(self, line_net):
+        q = DirtyChannelQueue()
+        src, ch = make_channel(line_net, "hsrc")
+        first = Count(channel=ch, count_id=SUBSCRIBER_ID, count=1)
+        second = Count(channel=ch, count_id=SUBSCRIBER_ID, count=2)
+        assert q.enqueue(first, pinned=False) is False
+        assert q.enqueue(second, pinned=False) is True
+        assert len(q) == 1
+        assert q.records[0].message.count == 2
+
+    def test_distinct_channels_never_merge(self, line_net):
+        q = DirtyChannelQueue()
+        channels = other_channel(line_net, "hsrc", n=3)
+        for ch in channels:
+            q.enqueue(
+                Count(channel=ch, count_id=SUBSCRIBER_ID, count=1), pinned=False
+            )
+        assert len(q) == 3
+
+    def test_pinned_records_are_never_replaced(self, line_net):
+        q = DirtyChannelQueue()
+        src, ch = make_channel(line_net, "hsrc")
+        keyed = Count(channel=ch, count_id=SUBSCRIBER_ID, count=1, key=make_key(ch))
+        later = Count(channel=ch, count_id=SUBSCRIBER_ID, count=2)
+        assert q.enqueue(keyed, pinned=True) is False
+        # A later non-pinned write appends rather than absorbing the
+        # pinned join (its verdict FIFO slot must survive).
+        assert q.enqueue(later, pinned=False) is False
+        assert len(q) == 2
+        assert [r.message.count for r in q.records] == [1, 2]
+
+    def test_two_responses_never_merge(self, line_net):
+        q = DirtyChannelQueue()
+        src, ch = make_channel(line_net, "hsrc")
+        ok = CountResponse(channel=ch, count_id=SUBSCRIBER_ID, status=CountStatus.OK)
+        assert q.enqueue(ok, pinned=True) is False
+        assert q.enqueue(ok, pinned=True) is False
+        assert len(q) == 2
+
+    def test_fifo_order_of_first_enqueue_preserved(self, line_net):
+        q = DirtyChannelQueue()
+        a, b = other_channel(line_net, "hsrc", n=2)
+        q.enqueue(Count(channel=a, count_id=SUBSCRIBER_ID, count=1), pinned=False)
+        q.enqueue(Count(channel=b, count_id=SUBSCRIBER_ID, count=1), pinned=False)
+        # Updating channel a keeps its original slot, ahead of b.
+        q.enqueue(Count(channel=a, count_id=SUBSCRIBER_ID, count=5), pinned=False)
+        assert [r.message.channel for r in q.records] == [a, b]
+        assert q.records[0].message.count == 5
+
+
+class TestCoalescingSendPath:
+    """``_send_message`` through the agent: what queues, what flushes."""
+
+    def test_non_urgent_count_queues_instead_of_sending(self, line_net):
+        agent = line_net.ecmp_agents["n0"]
+        src, ch = make_channel(line_net, "hsrc")
+        before = agent.stats.get("wire_sends")
+        agent._send_message(
+            Count(channel=ch, count_id=SUBSCRIBER_ID, count=2), "n1"
+        )
+        assert agent.stats.get("wire_sends") == before
+        assert len(agent._batch_queues["n1"]) == 1
+        assert "n1" in agent._flush_events
+
+    def test_coalesced_update_counted(self, line_net):
+        agent = line_net.ecmp_agents["n0"]
+        src, ch = make_channel(line_net, "hsrc")
+        for value in (1, 2, 3):
+            agent._send_message(
+                Count(channel=ch, count_id=SUBSCRIBER_ID, count=value), "n1"
+            )
+        assert len(agent._batch_queues["n1"]) == 1
+        assert agent.stats.get("msgs_coalesced") == 2
+        assert agent.stats.get("msgs_tx") >= 3
+        assert agent.stats.get("wire_sends") == 0
+
+    def test_urgent_query_flushes_whole_queue_as_one_frame(self, line_net):
+        agent = line_net.ecmp_agents["n0"]
+        a, b = other_channel(line_net, "hsrc", n=2)
+        agent._send_message(Count(channel=a, count_id=SUBSCRIBER_ID, count=1), "n1")
+        agent._send_message(Count(channel=b, count_id=SUBSCRIBER_ID, count=1), "n1")
+        assert agent.stats.get("wire_sends") == 0
+        agent._send_message(
+            CountQuery(channel=a, count_id=SUBSCRIBER_ID, timeout=5.0), "n1"
+        )
+        # The queue left as a single wire frame carrying all three
+        # records (pending Counts ride ahead of the urgent query).
+        assert agent.stats.get("wire_sends") == 1
+        assert agent.stats.get("batch_records_tx") == 3
+        assert "n1" not in agent._batch_queues
+        assert "n1" not in agent._flush_events
+
+    def test_zero_count_leave_is_urgent(self, line_net):
+        agent = line_net.ecmp_agents["n0"]
+        src, ch = make_channel(line_net, "hsrc")
+        agent._send_message(Count(channel=ch, count_id=SUBSCRIBER_ID, count=0), "n1")
+        assert agent.stats.get("wire_sends") == 1
+
+    def test_rejection_response_is_urgent_ok_is_not(self, line_net):
+        agent = line_net.ecmp_agents["n0"]
+        src, ch = make_channel(line_net, "hsrc")
+        ok = CountResponse(channel=ch, count_id=SUBSCRIBER_ID, status=CountStatus.OK)
+        agent._send_message(ok, "n1")
+        assert agent.stats.get("wire_sends") == 0
+        denial = CountResponse(
+            channel=ch,
+            count_id=SUBSCRIBER_ID,
+            status=CountStatus.INVALID_AUTHENTICATOR,
+        )
+        agent._send_message(denial, "n1")
+        assert agent.stats.get("wire_sends") == 1
+
+    def test_watermark_flushes_immediately(self, line_net):
+        agent = line_net.ecmp_agents["n0"]
+        channels = other_channel(line_net, "hsrc", n=EcmpAgent.BATCH_MAX_RECORDS)
+        for ch in channels:
+            agent._send_message(
+                Count(channel=ch, count_id=SUBSCRIBER_ID, count=1), "n1"
+            )
+        assert agent.stats.get("wire_sends") == 1
+        assert agent.stats.get("batch_records_tx") == EcmpAgent.BATCH_MAX_RECORDS
+
+    def test_timer_flushes_within_interval(self, line_net):
+        net = line_net
+        agent = net.ecmp_agents["n0"]
+        src, ch = make_channel(net, "hsrc")
+        agent._send_message(Count(channel=ch, count_id=SUBSCRIBER_ID, count=3), "n1")
+        assert agent.stats.get("wire_sends") == 0
+        net.run(until=net.sim.now + EcmpAgent.BATCH_FLUSH_INTERVAL + 0.01)
+        assert agent.stats.get("wire_sends") == 1
+        assert agent.stats.get("batch_flushes") == 1
+        # A lone record leaves as a bare message, not a one-record frame.
+        assert agent.stats.get("batch_records_tx") == 0
+        assert net.ecmp_agents["n1"].stats.get("wire_recvs") >= 1
+
+    def test_udp_mode_neighbor_bypasses_queue(self, line_net):
+        agent = line_net.ecmp_agents["n0"]
+        agent.set_neighbor_mode("n1", NeighborMode.UDP)
+        src, ch = make_channel(line_net, "hsrc")
+        agent._send_message(Count(channel=ch, count_id=SUBSCRIBER_ID, count=2), "n1")
+        assert agent.stats.get("wire_sends") == 1
+        assert "n1" not in agent._batch_queues
+
+    def test_batching_off_network_sends_immediately(self):
+        topo = TopologyBuilder.line(2)
+        topo.add_node("hsrc")
+        topo.add_link("hsrc", "n0", delay=0.001)
+        net = ExpressNetwork(topo, hosts=["hsrc"], batching=False)
+        net.run(until=0.01)
+        agent = net.ecmp_agents["n0"]
+        src, ch = make_channel(net, "hsrc")
+        agent._send_message(Count(channel=ch, count_id=SUBSCRIBER_ID, count=2), "n1")
+        assert agent.stats.get("wire_sends") == 1
+        assert agent.stats.get("msgs_coalesced") == 0
+
+    def test_wire_accounting_includes_ip_overhead(self, line_net):
+        from repro.core.ecmp.protocol import IP_OVERHEAD
+
+        agent = line_net.ecmp_agents["n0"]
+        src, ch = make_channel(line_net, "hsrc")
+        message = CountQuery(channel=ch, count_id=SUBSCRIBER_ID, timeout=5.0)
+        agent._send_message(message, "n1")
+        assert agent.stats.get("bytes_on_wire") == IP_OVERHEAD + message.wire_size()
+
+
+class TestReconnectResend:
+    """Satellite regression: the §3.2 unsolicited state dump on TCP
+    session (re-)establishment leaves as ONE wire send."""
+
+    N_CHANNELS = 5
+
+    @pytest.fixture
+    def subscribed_net(self, line_net):
+        net = line_net
+        channels = other_channel(net, "hsrc", n=self.N_CHANNELS)
+        for ch in channels:
+            net.host("hsub").subscribe(ch)
+        net.settle()
+        return net, channels
+
+    def test_reconnect_resends_full_state_in_one_frame(self, subscribed_net):
+        net, channels = subscribed_net
+        n1 = net.ecmp_agents["n1"]
+        link = net.topo.link_between("n0", "n1")
+        link.fail()
+        net.settle()
+
+        sent = []
+        original = n1._transmit
+
+        def spy(message, peer, contexts=()):
+            sent.append((message, peer.name))
+            return original(message, peer, contexts)
+
+        n1._transmit = spy
+        link.recover()
+        net.settle()
+
+        upstream_sends = [m for m, peer in sent if peer == "n0"]
+        assert len(upstream_sends) == 1, upstream_sends
+        frame = upstream_sends[0]
+        assert isinstance(frame, EcmpBatch)
+        assert len(frame) == self.N_CHANNELS
+        assert {m.channel for m in frame.messages} == set(channels)
+        assert all(m.count == 1 for m in frame.messages)
+
+    def test_reconnect_restores_upstream_counts(self, subscribed_net):
+        net, channels = subscribed_net
+        link = net.topo.link_between("n0", "n1")
+        link.fail()
+        net.settle()
+        n0 = net.ecmp_agents["n0"]
+        assert all(n0.subscriber_count_estimate(ch) == 0 for ch in channels)
+        link.recover()
+        net.settle()
+        assert all(n0.subscriber_count_estimate(ch) == 1 for ch in channels)
+
+    def test_failure_drops_pending_queue(self, subscribed_net):
+        """Messages queued toward a session that dies are lost with it;
+        the reconnect dump covers them instead of a stale flush."""
+        net, channels = subscribed_net
+        n1 = net.ecmp_agents["n1"]
+        n1._send_message(
+            Count(channel=channels[0], count_id=SUBSCRIBER_ID, count=9), "n0"
+        )
+        assert "n0" in n1._batch_queues
+        net.topo.link_between("n0", "n1").fail()
+        net.settle()
+        assert "n0" not in n1._batch_queues
+        assert "n0" not in n1._flush_events

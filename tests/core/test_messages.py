@@ -4,12 +4,19 @@ import pytest
 
 from repro.core.channel import Channel
 from repro.core.ecmp.messages import (
+    BATCH_HEADER_BYTES,
     COUNT_WIRE_BYTES,
+    MAX_BATCH_RECORDS,
+    MSG_BATCH,
+    RECORD_FRAME_BYTES,
     Count,
     CountQuery,
     CountResponse,
     CountStatus,
+    EcmpBatch,
+    decode_batch,
     decode_message,
+    encode_batch,
     encode_message,
 )
 from repro.core.ecmp.countids import SUBSCRIBER_ID
@@ -116,3 +123,121 @@ class TestValidation:
     def test_not_a_message_rejected(self):
         with pytest.raises(CodecError):
             encode_message("hello")
+
+    def test_trailing_bytes_rejected_per_type(self):
+        """Strict decode: a mis-sliced stream that appends bytes to any
+        message type must fail loudly, never deliver a plausible prefix."""
+        for message in (
+            Count(channel=CH, count_id=SUBSCRIBER_ID, count=1),
+            Count(channel=CH, count_id=SUBSCRIBER_ID, count=1, key=make_key(CH)),
+            CountQuery(channel=CH, count_id=SUBSCRIBER_ID, timeout=5.0),
+            CountQuery(
+                channel=CH, count_id=SUBSCRIBER_ID, timeout=5.0,
+                proactive=ToleranceCurve(),
+            ),
+            CountResponse(channel=CH, count_id=SUBSCRIBER_ID, status=CountStatus.OK),
+        ):
+            with pytest.raises(CodecError):
+                decode_message(encode_message(message) + b"\x00")
+
+
+MIXED_BATCH = (
+    Count(channel=CH, count_id=SUBSCRIBER_ID, count=3),
+    Count(channel=CH, count_id=SUBSCRIBER_ID, count=1, key=make_key(CH)),
+    CountQuery(channel=CH, count_id=0x4001, timeout=2.5),
+    CountQuery(
+        channel=CH, count_id=SUBSCRIBER_ID, timeout=1.0,
+        # float32-exact curve parameters so equality round-trips.
+        proactive=ToleranceCurve(e_max=0.25, alpha=4.0, tau=64.0),
+    ),
+    CountResponse(channel=CH, count_id=SUBSCRIBER_ID, status=CountStatus.OK),
+)
+
+
+class TestBatchCodec:
+    def test_mixed_batch_round_trip(self):
+        data = encode_batch(MIXED_BATCH)
+        assert decode_batch(data) == list(MIXED_BATCH)
+
+    def test_batch_type_byte_and_header(self):
+        data = encode_batch(MIXED_BATCH)
+        assert data[0] == MSG_BATCH
+        assert int.from_bytes(data[2:4], "big") == len(MIXED_BATCH)
+
+    def test_wire_size_matches_encoding(self):
+        batch = EcmpBatch(messages=MIXED_BATCH)
+        data = encode_message(batch)
+        assert len(data) == batch.wire_size()
+        assert batch.wire_size() == BATCH_HEADER_BYTES + sum(
+            RECORD_FRAME_BYTES + m.wire_size() for m in MIXED_BATCH
+        )
+
+    def test_decode_message_dispatches_batch(self):
+        parsed = decode_message(encode_batch(MIXED_BATCH))
+        assert isinstance(parsed, EcmpBatch)
+        assert parsed.messages == MIXED_BATCH
+        assert len(parsed) == len(MIXED_BATCH)
+
+    def test_singleton_batch_round_trips(self):
+        single = (Count(channel=CH, count_id=SUBSCRIBER_ID, count=7),)
+        assert decode_batch(encode_batch(single)) == list(single)
+
+
+class TestBatchStrictness:
+    def test_empty_batch_rejected(self):
+        with pytest.raises(CodecError):
+            EcmpBatch(messages=())
+        with pytest.raises(CodecError):
+            encode_batch([])
+
+    def test_nested_batch_rejected(self):
+        inner = EcmpBatch(messages=MIXED_BATCH[:1])
+        with pytest.raises(CodecError):
+            EcmpBatch(messages=(inner,))
+        with pytest.raises(CodecError):
+            encode_batch([inner])
+
+    def test_record_count_overflow_rejected(self):
+        count = Count(channel=CH, count_id=SUBSCRIBER_ID, count=1)
+        with pytest.raises(CodecError):
+            EcmpBatch(messages=(count,) * (MAX_BATCH_RECORDS + 1))
+        with pytest.raises(CodecError):
+            encode_batch([count] * (MAX_BATCH_RECORDS + 1))
+
+    def test_truncated_header_rejected(self):
+        data = encode_batch(MIXED_BATCH)
+        for cut in range(BATCH_HEADER_BYTES):
+            with pytest.raises(CodecError):
+                decode_batch(data[:cut])
+
+    def test_wrong_type_byte_rejected(self):
+        data = bytearray(encode_batch(MIXED_BATCH))
+        data[0] = 0x02
+        with pytest.raises(CodecError):
+            decode_batch(bytes(data))
+
+    def test_zero_record_count_rejected(self):
+        import struct
+
+        with pytest.raises(CodecError):
+            decode_batch(struct.pack("!BBH", MSG_BATCH, 0, 0))
+
+    def test_trailing_partial_record_rejected(self):
+        """Satellite regression: a frame cut mid-record (or mid-length-
+        prefix) is a CodecError at that record's index, never a silently
+        shorter batch."""
+        data = encode_batch(MIXED_BATCH)
+        for cut in range(BATCH_HEADER_BYTES, len(data)):
+            with pytest.raises(CodecError):
+                decode_batch(data[:cut])
+
+    def test_record_count_disagreeing_with_payload_rejected(self):
+        # Declare one more record than the payload carries.
+        data = bytearray(encode_batch(MIXED_BATCH))
+        data[2:4] = (len(MIXED_BATCH) + 1).to_bytes(2, "big")
+        with pytest.raises(CodecError):
+            decode_batch(bytes(data))
+
+    def test_trailing_bytes_after_records_rejected(self):
+        with pytest.raises(CodecError):
+            decode_batch(encode_batch(MIXED_BATCH) + b"\x00")

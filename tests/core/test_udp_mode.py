@@ -87,6 +87,115 @@ class TestUdpMode:
         # Hub re-issued a CountQuery toward the leaving interface.
         assert net.ecmp_agents["leaf1"].stats.get("queries_rx") > queries_before
 
+    def test_leave_requery_is_channel_specific_with_full_timeout(self, edge_net):
+        """The IGMPv2-style last-member re-query names the channel that
+        was left and starts from the full query-interval budget."""
+        net = edge_net
+        src, ch = make_channel(net, "leaf0")
+        net.host("leaf1").subscribe(ch)
+        net.settle()
+
+        leaf = net.ecmp_agents["leaf1"]
+        seen = []
+        original = leaf._handle_query
+
+        def spy(query, from_name):
+            seen.append(query)
+            return original(query, from_name)
+
+        leaf._handle_query = spy
+        net.host("leaf1").unsubscribe(ch)
+        net.settle()
+
+        requeries = [q for q in seen if q.channel == ch]
+        assert requeries, seen
+        # The hub originates the re-query with the full query-interval
+        # budget (decrements happen at forwarding routers, and the leaf
+        # is one hop away).
+        assert requeries[0].timeout == EcmpAgent.UDP_QUERY_INTERVAL
+
+    def test_requery_restores_state_after_spurious_leave(self, edge_net):
+        """The point of the IGMPv2-style re-query: a zero Count that
+        does not reflect the interface's true membership (a stale or
+        raced leave) is repaired — the re-query makes the still-
+        subscribed neighbor re-report, and the branch comes back."""
+        net = edge_net
+        src, ch = make_channel(net, "leaf0")
+        got = []
+        net.host("leaf1").subscribe(ch, on_data=got.append)
+        net.settle()
+        hub = net.ecmp_agents["hub"]
+        assert hub.subscriber_count_estimate(ch) == 1
+
+        # Inject a spurious zero Count for leaf1's interface while
+        # leaf1 is in fact still subscribed.
+        hub._apply_subscriber_count(ch, "leaf1", 0)
+        net.settle()
+
+        # The re-query re-learned the subscriber and the tree healed:
+        # the record is back and data still reaches leaf1.
+        assert hub.subscriber_count_estimate(ch) == 1
+        src.send(ch)
+        net.settle()
+        assert len(got) == 1
+
+    def test_state_survives_one_missed_query_round(self, edge_net):
+        """Robustness: soft state must outlive a single lost refresh —
+        expiry requires UDP_ROBUSTNESS (=2) silent intervals."""
+        net = edge_net
+        src, ch = make_channel(net, "leaf0")
+        net.host("leaf1").subscribe(ch)
+        net.settle()
+        leaf = net.ecmp_agents["leaf1"]
+        hub = net.ecmp_agents["hub"]
+
+        # Silence the leaf for a bit more than one query interval, then
+        # restore it before the robustness horizon.
+        saved_subs = dict(leaf.subscriptions)
+        saved_channels = dict(leaf.channels)
+        leaf.subscriptions.clear()
+        leaf.channels.clear()
+        net.run(until=net.sim.now + 1.5 * EcmpAgent.UDP_QUERY_INTERVAL)
+        assert hub.subscriber_count_estimate(ch) == 1
+        assert hub.stats.get("udp_expirations") == 0
+
+        leaf.subscriptions.update(saved_subs)
+        leaf.channels.update(saved_channels)
+        net.run(until=net.sim.now + EcmpAgent.UDP_QUERY_INTERVAL + 5)
+        # The next general-query round refreshed the record: no expiry.
+        assert hub.subscriber_count_estimate(ch) == 1
+        assert hub.stats.get("udp_expirations") == 0
+
+    def test_hop_by_hop_timeout_decrement(self, line_net):
+        """§3.1: each forwarding router shaves 2x the measured RTT to
+        its parent off the query timeout before passing it on, so
+        children report before their parents."""
+        from repro.core.counting import TIMEOUT_RTT_MULTIPLE
+
+        net = line_net
+        src, ch = make_channel(net, "hsrc")
+        net.host("hsub").subscribe(ch)
+        net.settle()
+
+        leaf = net.ecmp_agents["hsub"]
+        seen = []
+        original = leaf._handle_query
+
+        def spy(query, from_name):
+            seen.append(query)
+            return original(query, from_name)
+
+        leaf._handle_query = spy
+        net.ecmp_agents["n0"].count_query(ch, count_id=0x4001, timeout=5.0)
+        net.settle()
+
+        forwarded = [q for q in seen if q.count_id == 0x4001]
+        assert forwarded
+        # n0 originates at 5.0s; n1 forwards after decrementing by
+        # 2x its RTT to n0 (links are 1ms -> RTT 2ms -> 4ms off).
+        expected = 5.0 - TIMEOUT_RTT_MULTIPLE * (2 * 0.001)
+        assert forwarded[0].timeout == pytest.approx(expected, abs=1e-6)
+
     def test_no_report_suppression(self, edge_net):
         """Each UDP neighbor answers the general query itself."""
         net = edge_net

@@ -11,7 +11,10 @@ from repro.core.ecmp.messages import (
     CountQuery,
     CountResponse,
     CountStatus,
+    EcmpBatch,
+    decode_batch,
     decode_message,
+    encode_batch,
     encode_message,
 )
 from repro.core.keys import KEY_BYTES, ChannelKey
@@ -87,6 +90,90 @@ class TestEcmpMessages:
             decode_message(data[:cut])
         except CodecError:
             pass  # the only acceptable failure mode
+
+
+#: Messages whose dataclass equality survives the wire exactly: Counts
+#: (keyed and not), integer-millisecond CountQueries, and every
+#: CountResponse status. Proactive curves are float32 on the wire, so
+#: they are fuzzed separately above and excluded here.
+exact_messages = st.one_of(
+    st.builds(
+        Count,
+        channel=channels,
+        count_id=count_ids,
+        count=st.integers(min_value=0, max_value=0xFFFFFFFF),
+        key=keys,
+    ),
+    st.builds(
+        CountQuery,
+        channel=channels,
+        count_id=count_ids,
+        timeout=st.integers(min_value=0, max_value=10_000_000).map(
+            lambda ms: ms / 1000
+        ),
+    ),
+    st.builds(
+        CountResponse,
+        channel=channels,
+        count_id=count_ids,
+        status=st.sampled_from(CountStatus),
+    ),
+)
+batches = st.lists(exact_messages, min_size=1, max_size=12)
+
+
+class TestBatchFrames:
+    @given(messages=batches)
+    def test_batch_round_trip(self, messages):
+        assert decode_batch(encode_batch(messages)) == messages
+
+    @given(messages=batches)
+    def test_batch_round_trips_through_decode_message(self, messages):
+        parsed = decode_message(encode_message(EcmpBatch(messages=tuple(messages))))
+        assert isinstance(parsed, EcmpBatch)
+        assert list(parsed.messages) == messages
+
+    @given(messages=batches, data=st.data())
+    def test_any_truncation_is_a_codec_error(self, messages, data):
+        """Every strict prefix of a batch frame fails decoding with
+        CodecError — never an uncontrolled crash, never a silently
+        shorter batch."""
+        encoded = encode_batch(messages)
+        cut = data.draw(st.integers(min_value=0, max_value=len(encoded) - 1))
+        try:
+            decode_batch(encoded[:cut])
+        except CodecError:
+            return
+        raise AssertionError(f"prefix of {cut}/{len(encoded)} bytes decoded")
+
+    @given(messages=batches, trailer=st.binary(min_size=1, max_size=8))
+    def test_trailing_garbage_is_a_codec_error(self, messages, trailer):
+        encoded = encode_batch(messages)
+        try:
+            decode_batch(encoded + trailer)
+        except CodecError:
+            return
+        raise AssertionError("trailing bytes after the final record decoded")
+
+    @given(message=exact_messages, cut=st.data())
+    def test_single_message_truncation_controlled(self, message, cut):
+        """The satellite fix generalized: every message type now rejects
+        both short buffers and trailing bytes."""
+        encoded = encode_message(message)
+        offset = cut.draw(st.integers(min_value=0, max_value=len(encoded) - 1))
+        try:
+            decode_message(encoded[:offset])
+        except CodecError:
+            pass
+        else:
+            raise AssertionError("truncated message decoded")
+        with_sloppy_tail = encoded + b"\x00"
+        try:
+            decode_message(with_sloppy_tail)
+        except CodecError:
+            pass
+        else:
+            raise AssertionError("message with trailing byte decoded")
 
 
 class TestHeaderCodecs:
