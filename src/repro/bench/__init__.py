@@ -21,7 +21,10 @@ from repro.bench.scenarios import SCENARIOS, run_scenarios
 #: v2: per-scenario ``ecmp_wire`` blocks (on-wire byte/message
 #: accounting), the churn scenario's unbatched baseline +
 #: ``wire_message_reduction``, and matching summary fields.
-SCHEMA_VERSION = 2
+#: v3: the ``mega_join_storm`` scenario (per-scheduler ``schedulers``
+#: blocks, ``wheel_speedup``, ``peak_rss_kb``, timer-wheel stats) and
+#: matching summary fields.
+SCHEMA_VERSION = 3
 
 
 def build_report(
@@ -39,6 +42,7 @@ def build_report(
         if s.get("delivery_latency", {}).get("count")
     ]
     churn = scenarios.get("link_flap_churn", {})
+    mega = scenarios.get("mega_join_storm", {})
     return {
         "bench": "perf",
         "schema_version": SCHEMA_VERSION,
@@ -58,6 +62,9 @@ def build_report(
                 "ecmp_bytes_on_wire", 0
             ),
             "wire_message_reduction": churn.get("wire_message_reduction", 0.0),
+            "wheel_speedup": mega.get("wheel_speedup", 0.0),
+            "mega_events_per_sec": mega.get("events_per_sec", 0.0),
+            "peak_rss_kb": mega.get("peak_rss_kb", 0),
         },
     }
 
@@ -118,6 +125,13 @@ def main(argv: Optional[list[str]] = None) -> int:
         help="exit non-zero if the churn scenario's batched-vs-unbatched "
         "wire message reduction falls below this",
     )
+    parser.add_argument(
+        "--floor-wheel-speedup",
+        type=float,
+        default=None,
+        help="exit non-zero if the mega scenario's timer-wheel-vs-heap "
+        "throughput ratio falls below this",
+    )
     args = parser.parse_args(argv)
 
     report = build_report(quick=args.quick, seed=args.seed, only=args.scenario)
@@ -134,6 +148,8 @@ def main(argv: Optional[list[str]] = None) -> int:
             line += f"  dijkstra saving {metrics['dijkstra_savings_ratio']:.1f}x"
         if "wire_message_reduction" in metrics:
             line += f"  wire msgs {metrics['wire_message_reduction']:.1f}x fewer"
+        if "wheel_speedup" in metrics:
+            line += f"  wheel {metrics['wheel_speedup']:.1f}x heap"
         latency = metrics.get("delivery_latency", {})
         if latency.get("count"):
             line += (
@@ -176,6 +192,15 @@ def main(argv: Optional[list[str]] = None) -> int:
             print(
                 f"FAIL: wire message reduction floor {args.floor_wire_reduction} "
                 f"not met (got {reduction:.2f})",
+                file=sys.stderr,
+            )
+            failed = True
+    if args.floor_wheel_speedup is not None:
+        speedup = report["summary"]["wheel_speedup"]
+        if speedup < args.floor_wheel_speedup:
+            print(
+                f"FAIL: wheel speedup floor {args.floor_wheel_speedup} "
+                f"not met (got {speedup:.2f})",
                 file=sys.stderr,
             )
             failed = True

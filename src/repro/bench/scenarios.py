@@ -1,8 +1,8 @@
 """Parameterized performance scenarios for the perf harness.
 
-Each scenario builds an instrumented :class:`ExpressNetwork`, drives a
-workload, and returns a flat metrics dict for ``BENCH_perf.json``. The
-three scenarios cover the three hot paths this repo optimizes:
+Each scenario builds an :class:`ExpressNetwork`, drives a workload,
+and returns a flat metrics dict for ``BENCH_perf.json``. The scenarios
+cover the hot paths this repo optimizes:
 
 * **join_storm** — control-plane subscription processing: every host
   joins one channel in a short window (the paper's Super Bowl start).
@@ -12,6 +12,10 @@ three scenarios cover the three hot paths this repo optimizes:
 * **steady_fanout** — the data plane: a source streaming to a fully
   subscribed balanced tree, exercising FIB lookup interning and the
   zero-copy fan-out path.
+* **mega_join_storm** — scheduler scale: a 10^5 (quick) / 10^6 (full)
+  member join storm over aggregated subscriber blocks, run under both
+  the heap and timer-wheel schedulers on identical workloads; gates
+  the wheel's throughput advantage (``wheel_speedup``).
 
 Wall-clock throughput numbers reflect the Python substrate and the
 host machine; the JSON file exists so future PRs can diff *relative*
@@ -22,6 +26,9 @@ asserted exactly.
 
 from __future__ import annotations
 
+import gc
+import random
+from functools import partial
 from time import perf_counter
 from typing import Optional
 
@@ -351,10 +358,164 @@ def steady_fanout(quick: bool = True, seed: int = 0) -> dict:
     }
 
 
+def mega_join_storm(quick: bool = True, seed: int = 0) -> dict:
+    """§5.2 at full scale: a Super Bowl-sized audience joining one
+    channel, modeled with aggregated subscriber blocks (100k members in
+    quick mode, one million in full mode).
+
+    The identical workload — join/leave times deterministically
+    shuffled so scheduler inserts arrive in random time order — is
+    driven twice, once under each ``Simulator`` scheduler, and the
+    wheel-vs-heap throughput ratio is reported as ``wheel_speedup``
+    (the timer-wheel claim CI gates on). Runs uninstrumented (no
+    ``Observability``) and with GC paused over the measured region so
+    the comparison isolates scheduler cost; correctness is checked
+    arithmetically instead (final membership, per-member deliveries,
+    and identical event counts across schedulers).
+    """
+    n_subs = 100_000 if quick else 1_000_000
+    n_leaves = n_subs // 8
+    packets = 20
+    # Best-of-3 in quick mode smooths scheduler-external noise (the
+    # quick run is short enough for wall-clock jitter to matter); the
+    # full run is long enough to self-average.
+    repeats = 3 if quick else 1
+
+    def drive(scheduler: str) -> dict:
+        topo = TopologyBuilder.isp(
+            n_transit=4, stubs_per_transit=3, hosts_per_stub=1,
+            seed=seed, scheduler=scheduler,
+        )
+        net = ExpressNetwork(topo)
+        source = net.source(sorted(net.host_names)[0])
+        channel = source.allocate_channel()
+        edge_routers = sorted(n for n in topo.nodes if n.startswith("e"))
+        blocks = [net.subscriber_block(name) for name in edge_routers]
+        net.run(until=0.01)  # control-plane startup out of the way
+        base = net.sim.now
+        n_blocks = len(blocks)
+
+        join_acts = [partial(b.join, channel) for b in blocks]
+        leave_acts = [partial(b.leave, channel) for b in blocks]
+        work = [
+            (base + 0.1 + 4.0 * i / n_subs, join_acts[i % n_blocks])
+            for i in range(n_subs)
+        ]
+        work += [
+            (base + 4.2 + 0.8 * i / n_leaves, leave_acts[i % n_blocks])
+            for i in range(n_leaves)
+        ]
+        # Shuffle deterministically: in submission order the heap's
+        # sift-up degenerates to O(1) (each push is the new maximum)
+        # and the comparison measures nothing.
+        random.Random(seed + 1).shuffle(work)
+
+        sim = net.sim
+        gc_was_enabled = gc.isenabled()
+        gc.collect()
+        gc.disable()
+        try:
+            started = perf_counter()
+            schedule_at = sim.schedule_at
+            for when, act in work:
+                schedule_at(when, act)
+            for k in range(packets):
+                schedule_at(base + 5.2 + 0.005 * k, partial(source.send, channel))
+            before = sim.events_processed
+            net.run(until=base + 5.6)
+            wall = perf_counter() - started
+        finally:
+            if gc_was_enabled:
+                gc.enable()
+        events = sim.events_processed - before
+
+        members = sum(b.count(channel) for b in blocks)
+        deliveries = sum(b.deliveries for b in blocks)
+        expected_members = n_subs - n_leaves
+        if members != expected_members:
+            raise RuntimeError(
+                f"{scheduler}: final membership {members} != {expected_members}"
+            )
+        if deliveries != packets * members:
+            raise RuntimeError(
+                f"{scheduler}: block deliveries {deliveries} != "
+                f"{packets * members}"
+            )
+        return {
+            "wall": wall,
+            "events": events,
+            "nodes": len(topo.nodes),
+            "blocks": n_blocks,
+            "members": members,
+            "deliveries": deliveries,
+            "fast_updates": sum(
+                a.block_fast_updates for a in net.ecmp_agents.values()
+            ),
+            "no_match_drops": sum(f.no_match_drops for f in net.fibs.values()),
+            "stats": sim.scheduler_stats(),
+        }
+
+    runs = {name: drive(name) for name in ("heap", "wheel")}
+    for _ in range(repeats - 1):
+        for name in ("heap", "wheel"):
+            again = drive(name)
+            if again["events"] != runs[name]["events"]:
+                raise RuntimeError(f"{name}: repeat diverged")
+            if again["wall"] < runs[name]["wall"]:
+                runs[name] = again
+    heap, wheel = runs["heap"], runs["wheel"]
+    if heap["events"] != wheel["events"]:
+        raise RuntimeError(
+            f"scheduler divergence: heap ran {heap['events']} events, "
+            f"wheel {wheel['events']}"
+        )
+    try:
+        import resource
+
+        peak_rss_kb = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    except ImportError:  # non-POSIX
+        peak_rss_kb = 0
+    return {
+        "params": {
+            "topology": "isp(4,3,1)",
+            "nodes": wheel["nodes"],
+            "subscribers": n_subs,
+            "leaves": n_leaves,
+            "blocks": wheel["blocks"],
+            "packets": packets,
+            "repeats": repeats,
+        },
+        # Top-level throughput is the wheel's (the configuration this
+        # scale runs at); the heap baseline lives under "schedulers".
+        "wall_seconds": wheel["wall"],
+        "sim_events": wheel["events"],
+        "events_per_sec": wheel["events"] / wheel["wall"] if wheel["wall"] else 0.0,
+        "wheel_speedup": heap["wall"] / wheel["wall"] if wheel["wall"] else 0.0,
+        "schedulers": {
+            name: {
+                "wall_seconds": run["wall"],
+                "sim_events": run["events"],
+                "events_per_sec": run["events"] / run["wall"] if run["wall"] else 0.0,
+                "scheduler_stats": run["stats"],
+            }
+            for name, run in runs.items()
+        },
+        "peak_rss_kb": peak_rss_kb,
+        "members_final": wheel["members"],
+        "members_expected": n_subs - n_leaves,
+        "block_deliveries": wheel["deliveries"],
+        "deliveries_expected": packets * (n_subs - n_leaves),
+        "block_fast_updates": wheel["fast_updates"],
+        "fib_no_match_drops": wheel["no_match_drops"],
+        "dispatch_events_match": heap["events"] == wheel["events"],
+    }
+
+
 SCENARIOS = {
     "join_storm": join_storm,
     "link_flap_churn": link_flap_churn,
     "steady_fanout": steady_fanout,
+    "mega_join_storm": mega_join_storm,
 }
 
 

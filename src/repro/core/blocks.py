@@ -1,0 +1,164 @@
+"""Aggregated edge-subscriber blocks.
+
+EXPRESS's scaling premise (§2, §5) is that routers never need
+per-receiver state — "the per-channel subscriber count for each
+interface" is the whole of it, and counts aggregate hop by hop. A
+:class:`SubscriberBlock` applies that premise to the *simulation
+substrate* itself: N leaf receivers behind one edge router are modelled
+as a single counted entity instead of N :class:`~repro.netsim.node.Node`
+objects with N sets of timers and N delivery events.
+
+* **Joins/leaves** adjust the block's member count for a channel and
+  surface at the edge router as one downstream record under a
+  ``__block__:`` pseudo-neighbor (the same mechanism as the ``LOCAL``
+  record for the router's own subscriptions). The router emits exactly
+  the hop-by-hop ``Count`` deltas the paper prescribes — one message
+  per 0↔positive transition in TREE_ONLY mode, one per change in
+  ON_CHANGE — regardless of N.
+* **UDP-mode soft state** is refreshed by one sampled
+  :class:`~repro.netsim.engine.PeriodicTask` per block instead of one
+  timer per subscriber; if the block stops refreshing (e.g. it is
+  stopped), its records age out through the agent's ordinary
+  ``UDP_ROBUSTNESS × UDP_QUERY_INTERVAL`` expiry horizon.
+* **Final-hop delivery** is accounted arithmetically — the forwarder
+  adds ``members`` to the delivery counters per packet instead of
+  fanning out N link events (see ``ExpressForwarder._deliver_local``).
+
+Blocks are for *open* channels: a keyed (authenticated) subscription
+needs a per-receiver key check, which is exactly the state this
+abstraction elides. ``tests/properties/test_block_equivalence.py`` pins
+that a block of N produces the same upstream aggregate state as N
+individual subscribers.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Optional
+
+from repro.core.channel import Channel
+from repro.core.ecmp.state import BLOCK_PREFIX
+from repro.errors import ChannelError
+from repro.netsim.engine import PeriodicTask
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.ecmp.protocol import EcmpAgent
+
+
+class SubscriberBlock:
+    """N leaf receivers behind one edge router, as one counted entity.
+
+    Created via :meth:`repro.core.network.ExpressNetwork.subscriber_block`
+    (which also attaches it to the edge router's agent), or directly::
+
+        block = SubscriberBlock(agent, "stub3")
+        agent.attach_block(block)
+        block.join(channel, 50_000)
+
+    ``members`` maps channel -> current member count; the delivery
+    counters (``packets_seen``/``deliveries``/``bytes_delivered``) are
+    cumulative across channels.
+    """
+
+    __slots__ = (
+        "agent",
+        "name",
+        "pseudo",
+        "udp",
+        "members",
+        "packets_seen",
+        "deliveries",
+        "bytes_delivered",
+        "_refresh_task",
+    )
+
+    def __init__(self, agent: "EcmpAgent", name: str, udp: bool = False) -> None:
+        self.agent = agent
+        self.name = name
+        #: Downstream-record key at the edge router's agent. Like
+        #: ``LOCAL``, it resolves to no peer node, so it can never leak
+        #: onto the wire or into the FIB's outgoing bitmap.
+        self.pseudo = BLOCK_PREFIX + name
+        self.udp = udp
+        self.members: dict[Channel, int] = {}
+        self.packets_seen = 0
+        self.deliveries = 0
+        self.bytes_delivered = 0
+        self._refresh_task: Optional[PeriodicTask] = None
+
+    @property
+    def edge_router(self) -> str:
+        return self.agent.node.name
+
+    def join(self, channel: Channel, n: int = 1) -> int:
+        """Add ``n`` members to the block's count for ``channel``;
+        returns the new count. One aggregate Count delta goes upstream
+        per the agent's propagation mode, not one per member."""
+        if n <= 0:
+            raise ChannelError(f"block join needs n >= 1, got {n}")
+        new = self.members.get(channel, 0) + n
+        self.members[channel] = new
+        self.agent.block_adjust(channel, self, new)
+        return new
+
+    def leave(self, channel: Channel, n: int = 1) -> int:
+        """Remove ``n`` members (clamped at zero); returns the new
+        count. Reaching zero prunes this block from the channel's tree
+        exactly like the last individual unsubscribe would."""
+        if n <= 0:
+            raise ChannelError(f"block leave needs n >= 1, got {n}")
+        current = self.members.get(channel, 0)
+        new = current - n
+        if new <= 0:
+            new = 0
+            self.members.pop(channel, None)
+        else:
+            self.members[channel] = new
+        if new != current:
+            self.agent.block_adjust(channel, self, new)
+        return new
+
+    def count(self, channel: Channel) -> int:
+        return self.members.get(channel, 0)
+
+    def total_members(self) -> int:
+        return sum(self.members.values())
+
+    # -- soft state (UDP mode) ---------------------------------------------
+
+    def start_refresh(self, interval: float, jitter: float = 0.0) -> None:
+        """Start the block's single sampled refresh timer (UDP-mode
+        blocks only; called by ``EcmpAgent.attach_block``)."""
+        if self._refresh_task is not None:
+            return
+        self._refresh_task = PeriodicTask(
+            self.agent.sim,
+            interval,
+            self._refresh,
+            name="block-refresh",
+            jitter=jitter,
+        )
+        self._refresh_task.start()
+
+    def _refresh(self) -> None:
+        """Touch every member record so the agent's UDP expiry horizon
+        sees the whole block as alive — the per-block analogue of N
+        individual IGMP-style report timers."""
+        now = self.agent.sim.now
+        for channel in self.members:
+            state = self.agent.channels.get(channel)
+            if state is None:
+                continue
+            record = state.downstream.get(self.pseudo)
+            if record is not None:
+                record.updated_at = now
+
+    def stop(self) -> None:
+        if self._refresh_task is not None:
+            self._refresh_task.stop()
+            self._refresh_task = None
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"<SubscriberBlock {self.name!r} at {self.edge_router}"
+            f" members={self.total_members()}>"
+        )

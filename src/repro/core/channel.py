@@ -52,6 +52,14 @@ class Channel:
             raise ChannelError(
                 f"channel destination {format_address(self.group)} must be in 232/8"
             )
+        # Channels key every hot dict in the control and data planes
+        # (channel tables, FIB caches, block membership), and the value
+        # is immutable — memoize the hash instead of rebuilding the
+        # (source, group) tuple on every lookup.
+        object.__setattr__(self, "_hash", hash((self.source, self.group)))
+
+    def __hash__(self) -> int:
+        return self._hash
 
     @property
     def suffix(self) -> int:

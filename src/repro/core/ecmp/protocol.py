@@ -41,7 +41,7 @@ from __future__ import annotations
 from collections import deque
 from dataclasses import dataclass
 from enum import Enum
-from typing import Callable, Optional
+from typing import TYPE_CHECKING, Callable, Optional
 
 from repro.core.channel import Channel
 from repro.core.counting import (
@@ -66,7 +66,12 @@ from repro.core.ecmp.messages import (
     decode_message,
     encode_message,
 )
-from repro.core.ecmp.state import LOCAL, ChannelState, DownstreamRecord
+from repro.core.ecmp.state import (
+    LOCAL,
+    ChannelState,
+    DownstreamRecord,
+    is_pseudo_neighbor,
+)
 from repro.core.keys import ChannelKey, KeyCache
 from repro.core.proactive import ProactiveCounter, ToleranceCurve
 from repro.errors import ChannelError, ProtocolError
@@ -78,6 +83,9 @@ from repro.netsim.trace import Counter
 from repro.obs.hooks import SPAN_HEADER
 from repro.routing.fib import MulticastFib
 from repro.routing.unicast import UnicastRouting
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.blocks import SubscriberBlock
 
 PROTO_ECMP = "ecmp"
 
@@ -282,6 +290,10 @@ class EcmpAgent(ProtocolAgent):
         self.fib = fib
         self.role = role
         self.propagation = propagation
+        #: Same-sign block count rewrites that took the O(1) fast path
+        #: (plain attribute, not a Counter: the fast path is hot enough
+        #: at bench scale that even a dict increment shows up).
+        self.block_fast_updates = 0
         self.default_mode = default_mode
         self.proactive_curve = proactive_curve or ToleranceCurve()
         self.keys = KeyCache()
@@ -292,6 +304,12 @@ class EcmpAgent(ProtocolAgent):
         self.count_responders: dict[tuple[Channel, int], Callable[[], int]] = {}
         self.neighbor_modes: dict[str, NeighborMode] = {}
         self.neighbor_last_heard: dict[str, float] = {}
+        #: Aggregated subscriber blocks attached at this (edge) router,
+        #: keyed by pseudo-neighbor name (see repro.core.blocks), plus a
+        #: per-channel list view for the forwarder's arithmetic
+        #: final-hop delivery.
+        self.blocks: dict[str, "SubscriberBlock"] = {}
+        self.channel_blocks: dict[Channel, list] = {}
         self.obs = obs
         if obs is None:
             self.stats = Counter()
@@ -360,6 +378,8 @@ class EcmpAgent(ProtocolAgent):
         for task in (self._udp_query_task, self._keepalive_task):
             if task is not None:
                 task.stop()
+        for block in self.blocks.values():
+            block.stop()
         for event in self._flush_events.values():
             event.cancel()
         self._flush_events.clear()
@@ -534,6 +554,68 @@ class EcmpAgent(ProtocolAgent):
         state = self.channels.get(channel)
         if state is not None and count_id in state.proactive:
             self._proactive_evaluate(state, count_id)
+
+    # ------------------------------------------------------------------
+    # aggregated subscriber blocks (see repro.core.blocks)
+    # ------------------------------------------------------------------
+
+    def attach_block(self, block: "SubscriberBlock") -> None:
+        """Register an aggregated subscriber block at this router. A
+        UDP-mode block gets its single sampled refresh timer started
+        here (jittered so co-located blocks desynchronize)."""
+        if self.role != "router":
+            raise ProtocolError("subscriber blocks attach to routers, not hosts")
+        if block.pseudo in self.blocks:
+            raise ProtocolError(f"duplicate block {block.name!r} on {self.node.name}")
+        self.blocks[block.pseudo] = block
+        if block.udp:
+            block.start_refresh(
+                self.UDP_QUERY_INTERVAL / 2, jitter=self.UDP_QUERY_INTERVAL / 10
+            )
+
+    def block_adjust(self, channel: Channel, block: "SubscriberBlock", count: int) -> None:
+        """Apply a block membership change as the paper's counting
+        semantics: 0↔positive transitions walk the full
+        :meth:`_apply_subscriber_count` path (tree graft/prune, FIB
+        sync, upstream Count), while a same-sign count change in
+        TREE_ONLY mode takes an O(1) fast path that rewrites the stored
+        count in place — the FIB does not depend on count magnitude and
+        TREE_ONLY stays quiet while on-tree, so the full path would do
+        no observable work. ON_CHANGE/PROACTIVE modes always take the
+        full path (magnitude changes must propagate)."""
+        state = self.channels.get(channel)
+        record = state.downstream.get(block.pseudo) if state is not None else None
+        if record is not None and 0 < count and 0 < record.count:
+            # Same-sign change: neither channel_blocks transition below
+            # can apply, so the membership index is untouched.
+            if count == record.count:
+                return
+            if self.propagation is CountPropagation.TREE_ONLY:
+                # Not folded into the stats bag: ``block_fast_updates``
+                # is the fast path's own tally; add it to the bag's
+                # ``count_update_events`` for a total update count.
+                record.count = count
+                record.updated_at = self.sim.now
+                self.block_fast_updates += 1
+                return
+            self._apply_subscriber_count(channel, block.pseudo, count)
+            return
+        previous = record.count if record is not None else 0
+        if count == previous:
+            return
+        if previous == 0 and count > 0:
+            self.channel_blocks.setdefault(channel, []).append(block)
+        elif count == 0 and previous > 0:
+            entries = self.channel_blocks.get(channel)
+            if entries is not None and block in entries:
+                entries.remove(block)
+                if not entries:
+                    del self.channel_blocks[channel]
+        self._apply_subscriber_count(channel, block.pseudo, count)
+
+    def block_members(self, channel: Channel) -> int:
+        """Total aggregated members across blocks for one channel."""
+        return sum(b.members.get(channel, 0) for b in self.channel_blocks.get(channel, ()))
 
     # -- convenience inspection -------------------------------------------------
 
@@ -956,7 +1038,11 @@ class EcmpAgent(ProtocolAgent):
         record.count = count
         record.updated_at = self.sim.now
         if from_name != LOCAL:
-            record.udp = self.mode_of(from_name) is NeighborMode.UDP
+            block = self.blocks.get(from_name)
+            if block is not None:
+                record.udp = block.udp
+            else:
+                record.udp = self.mode_of(from_name) is NeighborMode.UDP
 
         entry = None
         if is_join:
@@ -1093,13 +1179,26 @@ class EcmpAgent(ProtocolAgent):
                     del self._proactive_checks[(channel, count_id)]
 
     def _sync_fib(self, state: ChannelState) -> None:
-        """Mirror validated downstream neighbors into the data plane."""
+        """Mirror validated downstream neighbors into the data plane.
+
+        Block pseudo-neighbors contribute no outgoing interface (their
+        members sit *at* this router), but they do keep the FIB entry
+        installed: a blocks-only edge router is on the tree, so matching
+        packets must pass the RPF check and terminate here rather than
+        count as §3.4 no-match drops."""
         channel = state.channel
-        has_remote = any(
-            name != LOCAL and rec.validated and rec.count > 0
-            for name, rec in state.downstream.items()
-        )
-        if not has_remote:
+        has_remote = False
+        has_block = False
+        for name, rec in state.downstream.items():
+            if not rec.validated or rec.count <= 0:
+                continue
+            if name == LOCAL:
+                continue
+            if name in self.blocks:
+                has_block = True
+            else:
+                has_remote = True
+        if not has_remote and not has_block:
             self.fib.remove(channel.source, channel.group)
             return
         iif = self._rpf_ifindex(channel)
@@ -1107,13 +1206,13 @@ class EcmpAgent(ProtocolAgent):
         entry.incoming_interface = iif
         entry.outgoing = 0
         for name, rec in state.downstream.items():
-            if name == LOCAL or not rec.validated or rec.count <= 0:
+            if is_pseudo_neighbor(name) or not rec.validated or rec.count <= 0:
                 continue
             peer = self.routing.topo.nodes.get(name)
             iface = self.node.interface_to(peer) if peer else None
             if iface is not None:
                 entry.add_outgoing(iface.index)
-        if entry.outgoing == 0:
+        if entry.outgoing == 0 and not has_block:
             self.fib.remove(channel.source, channel.group)
 
     def _rpf_ifindex(self, channel: Channel) -> int:
@@ -1299,6 +1398,14 @@ class EcmpAgent(ProtocolAgent):
             for name, record in state.downstream.items():
                 if name == LOCAL or record.count <= 0:
                     continue
+                if name in self.blocks:
+                    # A block is locally-held state: this router is the
+                    # authority for its count, so it folds into the
+                    # local contribution instead of being polled over a
+                    # wire (there is no wire — and no reply to await).
+                    if count_id == SUBSCRIBER_ID:
+                        pending.local_contribution += record.count
+                    continue
                 if not propagates_to_hosts(count_id) and self._neighbor_is_host(name):
                     continue
                 pending.outstanding.add(name)
@@ -1406,7 +1513,7 @@ class EcmpAgent(ProtocolAgent):
             counter.observe(self._proactive_total(state, count_id))
             state.proactive[count_id] = counter
         for name, record in state.downstream.items():
-            if name == LOCAL or record.count <= 0:
+            if is_pseudo_neighbor(name) or record.count <= 0:
                 continue
             if not propagates_to_hosts(count_id) and self._neighbor_is_host(name):
                 continue
@@ -1525,7 +1632,10 @@ class EcmpAgent(ProtocolAgent):
         udp_downstreams: set[str] = set()
         for state in self.channels.values():
             for name, record in state.downstream.items():
-                if name != LOCAL and record.udp and record.count > 0:
+                # Blocks are excluded from the general query (nothing to
+                # send to) but *not* from the expiry sweep below: a block
+                # that stops refreshing ages out like any UDP neighbor.
+                if not is_pseudo_neighbor(name) and record.udp and record.count > 0:
                     udp_downstreams.add(name)
         if udp_downstreams:
             general = CountQuery(
@@ -1545,6 +1655,16 @@ class EcmpAgent(ProtocolAgent):
             for name in expired:
                 self.stats.incr("udp_expirations")
                 self._apply_subscriber_count(state.channel, name, 0)
+                block = self.blocks.get(name)
+                if block is not None:
+                    # Keep the block's own view and the delivery index
+                    # consistent with the expired record.
+                    block.members.pop(state.channel, None)
+                    entries = self.channel_blocks.get(state.channel)
+                    if entries is not None and block in entries:
+                        entries.remove(block)
+                        if not entries:
+                            del self.channel_blocks[state.channel]
 
     def _neighbor_failed(self, name: str) -> None:
         """TCP-connection failure: "The associated count is subtracted

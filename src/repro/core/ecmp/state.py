@@ -28,6 +28,18 @@ from repro.core.proactive import ProactiveCounter
 #: Pseudo-neighbor name for this node's own (host-local) subscriptions.
 LOCAL = "__local__"
 
+#: Name prefix for aggregated subscriber-block records (see
+#: :mod:`repro.core.blocks`). Like LOCAL, a block pseudo-neighbor has
+#: no peer node: it contributes to counts but never to the FIB's
+#: outgoing set, wire sends, or query fan-out.
+BLOCK_PREFIX = "__block__:"
+
+
+def is_pseudo_neighbor(name: str) -> bool:
+    """True for downstream-record keys that are not real neighbors
+    (the LOCAL record and subscriber-block records)."""
+    return name == LOCAL or name.startswith(BLOCK_PREFIX)
+
 #: §5.2's raw count-activity record: [channel (7), countId (2), count (4)]
 #: rounded to 16, then doubled "to allow for implementation fields".
 COUNT_RECORD_BYTES = 32
@@ -81,9 +93,12 @@ class ChannelState:
         return any(rec.count > 0 for rec in self.downstream.values())
 
     def downstream_links(self) -> int:
-        """Tree links below this node (excludes the host-local record)."""
+        """Tree links below this node (excludes the host-local record
+        and aggregated subscriber-block records, which are not links)."""
         return sum(
-            1 for name, rec in self.downstream.items() if name != LOCAL and rec.count > 0
+            1
+            for name, rec in self.downstream.items()
+            if not is_pseudo_neighbor(name) and rec.count > 0
         )
 
     def unvalidated(self) -> list[str]:

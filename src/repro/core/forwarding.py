@@ -239,6 +239,28 @@ class ExpressForwarder(ProtocolAgent):
             self._channel_cache[key] = channel
         if channel is None:
             return False
+        if self.ecmp.channel_blocks:
+            blocks = self.ecmp.channel_blocks.get(channel)
+            if blocks:
+                # Aggregated final hop: the packet terminates here for
+                # every block member — counted arithmetically instead of
+                # fanned out as N link events (see repro.core.blocks).
+                size = packet.size
+                members = 0
+                for block in blocks:
+                    n = block.members.get(channel, 0)
+                    block.packets_seen += 1
+                    block.deliveries += n
+                    block.bytes_delivered += size * n
+                    members += n
+                if members:
+                    self.stats.incr("block_deliveries", members)
+                    self.stats.incr("block_packets")
+                    if self._m_delivery is not None:
+                        self._m_delivery.labels(
+                            protocol="express", node=self.node.name,
+                            channel=str(channel),
+                        ).observe(self.sim.now - packet.created_at)
         handle = self.ecmp.subscriptions.get(channel)
         if handle is None or handle.status != "active":
             return False

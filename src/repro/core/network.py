@@ -302,6 +302,24 @@ class ExpressNetwork:
     def router_agent(self, name: str) -> EcmpAgent:
         return self.ecmp_agents[name]
 
+    def subscriber_block(
+        self, edge_router: str, name: Optional[str] = None, udp: bool = False
+    ):
+        """Create and attach an aggregated :class:`SubscriberBlock`
+        behind ``edge_router`` — N leaf receivers as one counted entity
+        (see :mod:`repro.core.blocks`). ``udp=True`` tracks the block as
+        UDP-mode soft state with one sampled refresh timer."""
+        from repro.core.blocks import SubscriberBlock
+
+        agent = self.ecmp_agents.get(edge_router)
+        if agent is None:
+            raise TopologyError(f"unknown node {edge_router!r}")
+        block = SubscriberBlock(
+            agent, name if name is not None else f"b{len(agent.blocks)}", udp=udp
+        )
+        agent.attach_block(block)
+        return block
+
     # ------------------------------------------------------------------
     # lifecycle
     # ------------------------------------------------------------------
@@ -332,14 +350,18 @@ class ExpressNetwork:
     # ------------------------------------------------------------------
 
     def tree_edges(self, channel: Channel) -> list[tuple[str, str]]:
-        """(parent, child) pairs of the channel's distribution tree."""
+        """(parent, child) pairs of the channel's distribution tree
+        (pseudo-neighbors — local subscriptions and aggregated
+        subscriber blocks — are not edges)."""
+        from repro.core.ecmp.state import is_pseudo_neighbor
+
         edges = []
         for name, agent in self.ecmp_agents.items():
             state = agent.channels.get(channel)
             if state is None:
                 continue
             for child, record in state.downstream.items():
-                if child != "__local__" and record.count > 0:
+                if not is_pseudo_neighbor(child) and record.count > 0:
                     edges.append((name, child))
         return sorted(edges)
 

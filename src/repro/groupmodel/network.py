@@ -32,6 +32,11 @@ class GroupHostAgent(ProtocolAgent):
         self.net = net
         self.joined: dict[int, Optional[Callable[[Packet], None]]] = {}
         self.received: dict[int, list] = {}
+        #: Aggregated membership (see repro.core.blocks for the EXPRESS
+        #: analogue): group -> member count behind this attachment
+        #: point. Wire cost is one join/leave per 0↔positive transition
+        #: regardless of the count; deliveries account arithmetically.
+        self.block_members: dict[int, int] = {}
         self.stats = Counter()
 
     def handle_packet(self, packet: Packet, ifindex: int) -> None:
@@ -42,6 +47,9 @@ class GroupHostAgent(ProtocolAgent):
             return
         # The group model's defining behaviour: no source check.
         self.stats.incr("delivered")
+        members = self.block_members.get(packet.dst)
+        if members:
+            self.stats.incr("block_deliveries", members)
         self.net._observe_delivery(
             self.node.name, packet.dst, self.sim.now - packet.created_at
         )
@@ -62,6 +70,37 @@ class GroupHostAgent(ProtocolAgent):
         if group in self.joined:
             del self.joined[group]
             self.net._host_left(self.node.name, group)
+
+    def join_block(
+        self,
+        group: int,
+        n: int = 1,
+        on_data: Optional[Callable[[Packet], None]] = None,
+    ) -> int:
+        """Add ``n`` aggregated members; one protocol join goes out on
+        the 0→positive transition. Returns the new member count."""
+        if n <= 0:
+            raise ProtocolError(f"block join needs n >= 1, got {n}")
+        current = self.block_members.get(group, 0)
+        self.block_members[group] = current + n
+        if current == 0 and group not in self.joined:
+            self.join(group, on_data)
+        return current + n
+
+    def leave_block(self, group: int, n: int = 1) -> int:
+        """Remove ``n`` aggregated members (clamped at zero); the
+        protocol leave goes out when the count reaches zero."""
+        if n <= 0:
+            raise ProtocolError(f"block leave needs n >= 1, got {n}")
+        current = self.block_members.get(group, 0)
+        new = max(current - n, 0)
+        if new:
+            self.block_members[group] = new
+        else:
+            self.block_members.pop(group, None)
+            if current > 0:
+                self.leave(group)
+        return new
 
     def send(self, group: int, payload=None, size: int = 1356) -> None:
         """Send to the group — joined or not; the model allows it."""
@@ -184,6 +223,15 @@ class GroupNetwork:
 
     def leave(self, host: str, group: int) -> None:
         self.host(host).leave(group)
+
+    def join_block(self, host: str, group: int, n: int = 1, on_data=None) -> int:
+        """Aggregated membership: ``n`` receivers behind ``host`` join
+        as one counted entity (one wire join per 0↔positive transition;
+        see :mod:`repro.core.blocks` for the EXPRESS analogue)."""
+        return self.host(host).join_block(group, n, on_data)
+
+    def leave_block(self, host: str, group: int, n: int = 1) -> int:
+        return self.host(host).leave_block(group, n)
 
     def send(self, host: str, group: int, payload=None, size: int = 1356) -> None:
         self.host(host).send(group, payload=payload, size=size)

@@ -4,13 +4,27 @@ A deterministic, single-threaded event loop. Events are ordered by
 ``(time, sequence)`` where ``sequence`` is a monotonically increasing
 insertion counter, so simultaneous events fire in schedule order and
 every run with the same seed and schedule is bit-for-bit reproducible.
+
+Two interchangeable schedulers back the loop (``Simulator(scheduler=)``):
+
+* ``"heap"`` (default) — a binary heap. O(log n) per operation with a
+  Python-level ``Event.__lt__`` on every sift, which dominates wall
+  time once hundreds of thousands of events are pending.
+* ``"wheel"`` — a timer wheel: near-future events land in per-slot
+  buckets by O(1) append and each slot is sorted once when the cursor
+  reaches it; far-future events overflow into a small heap and cascade
+  into the wheel as their slot comes within the horizon. Dispatch
+  order is identical to the heap's (same ``(time, seq)`` order), which
+  ``tests/properties/test_scheduler_equivalence.py`` pins.
 """
 
 from __future__ import annotations
 
 import heapq
 import random
+from bisect import insort
 from dataclasses import dataclass, field
+from operator import attrgetter
 from time import perf_counter
 from typing import Callable, Optional
 
@@ -19,15 +33,20 @@ from repro.errors import SimulationError
 #: Below this queue size, compaction is never worth the heapify cost.
 _COMPACT_MIN_QUEUE = 64
 
+#: Total-order key shared by both schedulers. ``attrgetter`` builds the
+#: ``(time, seq)`` tuple in C, so wheel-slot sorts avoid the Python
+#: ``Event.__lt__`` the heap pays on every sift.
+_EVENT_KEY = attrgetter("time", "seq")
 
-@dataclass(order=True)
+
+@dataclass(order=True, slots=True)
 class Event:
     """A scheduled callback.
 
-    Events compare by ``(time, seq)`` so the heap is deterministic.
-    Cancelled events are skipped when popped; the owning simulator
-    additionally compacts the heap when cancelled events pile up (see
-    :meth:`Simulator._note_cancelled`).
+    Events compare by ``(time, seq)`` so the schedulers are
+    deterministic. Cancelled events are skipped when they come due; the
+    owning simulator additionally compacts its queue when cancelled
+    events pile up (see :meth:`Simulator._note_cancelled`).
     """
 
     time: float
@@ -35,7 +54,7 @@ class Event:
     action: Callable[[], None] = field(compare=False)
     name: str = field(compare=False, default="")
     cancelled: bool = field(compare=False, default=False)
-    #: The simulator whose heap holds this event (None once popped or
+    #: The simulator whose queue holds this event (None once popped or
     #: for hand-built events), so cancellation can keep live/cancelled
     #: bookkeeping exact.
     owner: Optional["Simulator"] = field(compare=False, default=None, repr=False)
@@ -50,6 +69,218 @@ class Event:
             self.owner._note_cancelled()
 
 
+class TimerWheel:
+    """A single-level timer wheel with an overflow heap.
+
+    The wheel covers ``num_slots × granularity`` seconds of simulated
+    future (the *horizon*). An event within the horizon is appended to
+    the bucket for its slot — O(1), no comparisons. When the cursor
+    reaches a slot, its bucket is sorted once by ``(time, seq)`` and
+    becomes the *open slot*, consumed front to back. Events beyond the
+    horizon go to a plain heap of ``(time, seq, event)`` tuples (tuple
+    comparison stays in C) and *cascade* into buckets as the cursor
+    approaches their slot, so an event is only ever promoted once.
+
+    Dispatch order is exactly the heap scheduler's ``(time, seq)``
+    order: slots partition time monotonically, each slot is sorted, and
+    a late insert into the already-open slot is placed by bisection
+    after the consumed prefix — its time is ``>= now``, so it can never
+    sort before an already-dispatched entry.
+    """
+
+    __slots__ = (
+        "sim",
+        "granularity",
+        "num_slots",
+        "_scale",
+        "_buckets",
+        "_bucket_entries",
+        "_overflow",
+        "_cursor",
+        "_open",
+        "_open_pos",
+        "slots_scanned",
+        "cascades",
+        "wheel_inserts",
+        "overflow_inserts",
+    )
+
+    def __init__(
+        self,
+        sim: "Simulator",
+        granularity: float = 0.001,
+        num_slots: int = 8192,
+    ) -> None:
+        if granularity <= 0:
+            raise SimulationError(
+                f"wheel granularity must be positive, got {granularity}"
+            )
+        if num_slots < 2:
+            raise SimulationError(f"wheel needs >= 2 slots, got {num_slots}")
+        self.sim = sim
+        self.granularity = granularity
+        self.num_slots = num_slots
+        self._scale = 1.0 / granularity
+        self._buckets: list[list[Event]] = [[] for _ in range(num_slots)]
+        self._bucket_entries = 0
+        self._overflow: list[tuple[float, int, Event]] = []
+        self._cursor = 0
+        self._open: list[Event] = []
+        self._open_pos = 0
+        self.slots_scanned = 0
+        self.cascades = 0
+        self.wheel_inserts = 0
+        self.overflow_inserts = 0
+
+    def __len__(self) -> int:
+        """Total entries held (live + not-yet-skipped cancelled)."""
+        return (
+            len(self._open) - self._open_pos
+            + self._bucket_entries
+            + len(self._overflow)
+        )
+
+    def insert(self, event: Event) -> None:
+        slot = int(event.time * self._scale)
+        cursor = self._cursor
+        if slot <= cursor:
+            # Lands in (or before) the open slot. Its time is >= now,
+            # so bisecting after the consumed prefix preserves order.
+            insort(self._open, event, lo=self._open_pos, key=_EVENT_KEY)
+            self.wheel_inserts += 1
+        elif slot < cursor + self.num_slots:
+            self._buckets[slot % self.num_slots].append(event)
+            self._bucket_entries += 1
+            self.wheel_inserts += 1
+        else:
+            heapq.heappush(self._overflow, (event.time, event.seq, event))
+            self.overflow_inserts += 1
+
+    def _cascade(self) -> None:
+        """Promote overflow events whose slot entered the horizon."""
+        overflow = self._overflow
+        if not overflow:
+            return
+        cursor = self._cursor
+        limit = cursor + self.num_slots
+        scale = self._scale
+        while overflow and int(overflow[0][0] * scale) < limit:
+            event = heapq.heappop(overflow)[2]
+            self.cascades += 1
+            slot = int(event.time * scale)
+            if slot <= cursor:
+                insort(self._open, event, lo=self._open_pos, key=_EVENT_KEY)
+            else:
+                self._buckets[slot % self.num_slots].append(event)
+                self._bucket_entries += 1
+
+    def advance(self, limit_slot: Optional[int] = None) -> Optional[Event]:
+        """Position at the next live event and return it, or None.
+
+        The event is *not* removed: callers that dispatch it must pair
+        this with :meth:`consume` (``peek``-style callers simply don't).
+        Cancelled events encountered on the way are dropped with the
+        simulator's cancellation bookkeeping kept exact.
+
+        ``limit_slot`` bounds cursor movement: the scan stops (returning
+        None) rather than move past that slot. ``run(until=...)`` passes
+        the slot containing ``until`` so a far-future overflow event
+        cannot drag the cursor beyond the run window — if it did, every
+        event scheduled afterwards (all with earlier times) would land
+        in the open slot's bisect-insert path instead of an O(1) bucket
+        append, silently degrading the wheel into a sorted list. Events
+        at or before ``until`` always sit at or before its slot, so the
+        bound never hides a due event.
+        """
+        sim = self.sim
+        while True:
+            open_ = self._open
+            pos = self._open_pos
+            size = len(open_)
+            while pos < size:
+                event = open_[pos]
+                if not event.cancelled:
+                    self._open_pos = pos
+                    return event
+                event._in_queue = False
+                sim._cancelled -= 1
+                pos += 1
+            del open_[:]
+            self._open_pos = 0
+            # Open slot exhausted — move the cursor. When every bucket
+            # is empty, jump straight to the overflow head's slot
+            # instead of scanning potentially millions of empty slots.
+            if self._bucket_entries:
+                target = self._cursor + 1
+            elif self._overflow:
+                head_slot = int(self._overflow[0][0] * self._scale)
+                target = max(self._cursor + 1, head_slot)
+            else:
+                return None
+            if limit_slot is not None and target > limit_slot:
+                return None
+            self._cursor = target
+            self.slots_scanned += 1
+            self._cascade()
+            index = self._cursor % self.num_slots
+            bucket = self._buckets[index]
+            if bucket:
+                self._bucket_entries -= len(bucket)
+                self._buckets[index] = []
+                bucket.sort(key=_EVENT_KEY)
+                self._open = bucket
+
+    def consume(self) -> None:
+        """Remove the event the last :meth:`advance` returned."""
+        self._open_pos += 1
+
+    def compact(self) -> None:
+        """Drop cancelled entries everywhere (wheel analogue of the
+        heap's :meth:`Simulator._compact`)."""
+        live_open = []
+        for event in self._open[self._open_pos :]:
+            if event.cancelled:
+                event._in_queue = False
+            else:
+                live_open.append(event)
+        self._open = live_open
+        self._open_pos = 0
+        self._bucket_entries = 0
+        for index, bucket in enumerate(self._buckets):
+            if not bucket:
+                continue
+            live = []
+            for event in bucket:
+                if event.cancelled:
+                    event._in_queue = False
+                else:
+                    live.append(event)
+            self._buckets[index] = live
+            self._bucket_entries += len(live)
+        live_overflow = []
+        for entry in self._overflow:
+            if entry[2].cancelled:
+                entry[2]._in_queue = False
+            else:
+                live_overflow.append(entry)
+        heapq.heapify(live_overflow)
+        self._overflow = live_overflow
+
+    def stats(self) -> dict:
+        total_inserts = self.wheel_inserts + self.overflow_inserts
+        return {
+            "granularity": self.granularity,
+            "num_slots": self.num_slots,
+            "slots_scanned": self.slots_scanned,
+            "cascades": self.cascades,
+            "wheel_inserts": self.wheel_inserts,
+            "overflow_inserts": self.overflow_inserts,
+            "wheel_insert_share": (
+                self.wheel_inserts / total_inserts if total_inserts else 0.0
+            ),
+        }
+
+
 class Simulator:
     """A seeded discrete-event simulator.
 
@@ -60,9 +291,29 @@ class Simulator:
         stochastic substrate behaviour (link loss, jitter, workload
         generators that accept a simulator) draws from this generator,
         which makes whole-system runs reproducible.
+    scheduler:
+        ``"heap"`` (default) or ``"wheel"``. Both dispatch in the same
+        deterministic ``(time, seq)`` order; the wheel trades the
+        heap's O(log n) Python-comparison sifts for O(1) bucket
+        inserts plus one C-keyed sort per slot, which wins once the
+        pending set is large (see ``docs/performance.md``).
+    wheel_granularity / wheel_slots:
+        Wheel tuning (ignored for the heap): slot width in simulated
+        seconds and slot count. The product is the wheel horizon;
+        events beyond it sit in the overflow heap until they cascade.
     """
 
-    def __init__(self, seed: int = 0) -> None:
+    def __init__(
+        self,
+        seed: int = 0,
+        scheduler: str = "heap",
+        wheel_granularity: float = 0.001,
+        wheel_slots: int = 8192,
+    ) -> None:
+        if scheduler not in ("heap", "wheel"):
+            raise SimulationError(
+                f"unknown scheduler {scheduler!r} (expected 'heap' or 'wheel')"
+            )
         self._now = 0.0
         self._seq = 0
         self._queue: list[Event] = []
@@ -71,6 +322,12 @@ class Simulator:
         self._running = False
         self.rng = random.Random(seed)
         self.events_processed = 0
+        self.scheduler = scheduler
+        self._wheel: Optional[TimerWheel] = (
+            TimerWheel(self, granularity=wheel_granularity, num_slots=wheel_slots)
+            if scheduler == "wheel"
+            else None
+        )
         #: Observability hooks called as ``fn(sim, event, wall_seconds)``
         #: after each event executes (see :mod:`repro.obs.hooks`). The
         #: dispatch loop takes the zero-overhead path when empty.
@@ -94,11 +351,21 @@ class Simulator:
         if delay < 0:
             raise SimulationError(f"cannot schedule in the past (delay={delay})")
         self._seq += 1
-        event = Event(
-            time=self._now + delay, seq=self._seq, action=action, name=name,
-            owner=self, _in_queue=True,
-        )
-        heapq.heappush(self._queue, event)
+        event = Event(self._now + delay, self._seq, action, name, False, self, True)
+        wheel = self._wheel
+        if wheel is None:
+            heapq.heappush(self._queue, event)
+        else:
+            # Inlined TimerWheel.insert() bucket-append common case —
+            # one less call per event on the bulk-scheduling path.
+            slot = int(event.time * wheel._scale)
+            cursor = wheel._cursor
+            if cursor < slot < cursor + wheel.num_slots:
+                wheel._buckets[slot % wheel.num_slots].append(event)
+                wheel._bucket_entries += 1
+                wheel.wheel_inserts += 1
+            else:
+                wheel.insert(event)
         self._live += 1
         return event
 
@@ -108,11 +375,41 @@ class Simulator:
         action: Callable[[], None],
         name: str = "",
     ) -> Event:
-        """Schedule ``action`` at absolute simulated time ``time``."""
-        return self.schedule(time - self._now, action, name=name)
+        """Schedule ``action`` at absolute simulated time ``time``.
+
+        Implemented directly rather than via :meth:`schedule` — bulk
+        workload generators (the bench harness schedules 10^6 events up
+        front) sit on this path, so it skips the extra call frame and
+        delay round-trip.
+        """
+        if time < self._now:
+            raise SimulationError(
+                f"cannot schedule in the past (time={time}, now={self._now})"
+            )
+        self._seq += 1
+        event = Event(time, self._seq, action, name, False, self, True)
+        wheel = self._wheel
+        if wheel is None:
+            heapq.heappush(self._queue, event)
+        else:
+            # Inlined TimerWheel.insert() bucket-append common case —
+            # see schedule().
+            slot = int(time * wheel._scale)
+            cursor = wheel._cursor
+            if cursor < slot < cursor + wheel.num_slots:
+                wheel._buckets[slot % wheel.num_slots].append(event)
+                wheel._bucket_entries += 1
+                wheel.wheel_inserts += 1
+            else:
+                wheel.insert(event)
+        self._live += 1
+        return event
 
     def peek_time(self) -> Optional[float]:
         """Time of the next pending (non-cancelled) event, or None."""
+        if self._wheel is not None:
+            event = self._wheel.advance()
+            return None if event is None else event.time
         while self._queue and self._queue[0].cancelled:
             dead = heapq.heappop(self._queue)
             dead._in_queue = False
@@ -123,10 +420,18 @@ class Simulator:
 
     def _note_cancelled(self) -> None:
         """Bookkeeping for an in-queue cancellation: keep ``pending()``
-        O(1) and compact the heap once cancelled events outnumber live
+        O(1) and compact the queue once cancelled events outnumber live
         ones (otherwise long-lived runs that churn timers leak)."""
         self._live -= 1
         self._cancelled += 1
+        if self._wheel is not None:
+            if (
+                len(self._wheel) >= _COMPACT_MIN_QUEUE
+                and self._cancelled * 2 > len(self._wheel)
+            ):
+                self._wheel.compact()
+                self._cancelled = 0
+            return
         if (
             len(self._queue) >= _COMPACT_MIN_QUEUE
             and self._cancelled * 2 > len(self._queue)
@@ -157,6 +462,14 @@ class Simulator:
 
     def step(self) -> bool:
         """Run the single next event. Returns False if none remain."""
+        if self._wheel is not None:
+            event = self._wheel.advance()
+            if event is None:
+                return False
+            self._wheel.consume()
+            event._in_queue = False
+            self._dispatch(event)
+            return True
         while self._queue:
             event = heapq.heappop(self._queue)
             event._in_queue = False
@@ -190,38 +503,103 @@ class Simulator:
         if self._running:
             raise SimulationError("simulator is not reentrant")
         self._running = True
-        ran = 0
         try:
-            # One heap touch per iteration: discard cancelled events from
-            # the head, then pop-and-dispatch in the same pass (the seed
-            # peeked via peek_time() and then re-examined the heap top
-            # inside step() — two inspections per event).
-            while True:
-                if max_events is not None and ran >= max_events:
-                    break
-                queue = self._queue  # _compact() may rebind the list
-                while queue and queue[0].cancelled:
-                    dead = heapq.heappop(queue)
-                    dead._in_queue = False
-                    self._cancelled -= 1
-                if not queue:
-                    break
-                if until is not None and queue[0].time > until:
-                    break
-                event = heapq.heappop(queue)
-                event._in_queue = False
-                self._dispatch(event)
-                ran += 1
+            if self._wheel is not None:
+                ran = self._run_wheel(until, max_events)
+            else:
+                ran = self._run_heap(until, max_events)
         finally:
             self._running = False
         if until is not None and self._now < until:
             self._now = until
         return ran
 
+    def _run_heap(self, until: Optional[float], max_events: Optional[int]) -> int:
+        ran = 0
+        # One heap touch per iteration: discard cancelled events from
+        # the head, then pop-and-dispatch in the same pass (the seed
+        # peeked via peek_time() and then re-examined the heap top
+        # inside step() — two inspections per event).
+        while True:
+            if max_events is not None and ran >= max_events:
+                break
+            queue = self._queue  # _compact() may rebind the list
+            while queue and queue[0].cancelled:
+                dead = heapq.heappop(queue)
+                dead._in_queue = False
+                self._cancelled -= 1
+            if not queue:
+                break
+            if until is not None and queue[0].time > until:
+                break
+            event = heapq.heappop(queue)
+            event._in_queue = False
+            self._dispatch(event)
+            ran += 1
+        return ran
+
+    def _run_wheel(self, until: Optional[float], max_events: Optional[int]) -> int:
+        # Fully inlined dispatch loop. The common case — a live event
+        # already positioned in the open slot — runs with no method
+        # calls besides the action itself; advance() only fires on slot
+        # boundaries, cancellations, and cascades. The heap loop keeps
+        # its shape: it is the equivalence oracle, not the fast path.
+        ran = 0
+        wheel = self._wheel
+        advance = wheel.advance
+        limit_slot = None if until is None else int(until * wheel._scale)
+        while True:
+            if max_events is not None and ran >= max_events:
+                break
+            open_ = wheel._open
+            pos = wheel._open_pos
+            if pos < len(open_):
+                event = open_[pos]
+                if event.cancelled:
+                    event = advance(limit_slot)
+                    if event is None:
+                        break
+            else:
+                event = advance(limit_slot)
+                if event is None:
+                    break
+            if until is not None and event.time > until:
+                break
+            wheel._open_pos += 1  # consume(): advance left the cursor here
+            event._in_queue = False
+            # _dispatch(), inlined:
+            self._live -= 1
+            self._now = event.time
+            self.events_processed += 1
+            if self._dispatch_listeners:
+                started = perf_counter()
+                event.action()
+                wall = perf_counter() - started
+                for listener in self._dispatch_listeners:
+                    listener(self, event, wall)
+            else:
+                event.action()
+            ran += 1
+        return ran
+
     def pending(self) -> int:
         """Number of live (non-cancelled) events in the queue. O(1):
         maintained incrementally by schedule/cancel/step."""
         return self._live
+
+    def scheduler_stats(self) -> dict:
+        """Counters describing scheduler behaviour (for perf reports
+        and the obs gauges). Shape depends on the active scheduler."""
+        if self._wheel is None:
+            return {
+                "scheduler": "heap",
+                "inserts": self._seq,
+                "pending": self._live,
+            }
+        stats = self._wheel.stats()
+        stats["scheduler"] = "wheel"
+        stats["pending"] = self._live
+        return stats
 
 
 class PeriodicTask:

@@ -27,8 +27,13 @@ _ADDRESS_BASE = 0x0A000001
 class Topology:
     """A set of nodes wired by point-to-point links."""
 
-    def __init__(self, sim: Optional[Simulator] = None, seed: int = 0) -> None:
-        self.sim = sim if sim is not None else Simulator(seed=seed)
+    def __init__(
+        self,
+        sim: Optional[Simulator] = None,
+        seed: int = 0,
+        scheduler: str = "heap",
+    ) -> None:
+        self.sim = sim if sim is not None else Simulator(seed=seed, scheduler=scheduler)
         self.nodes: dict[str, Node] = {}
         self.links: list[Link] = []
         self._by_address: dict[int, Node] = {}
@@ -160,11 +165,11 @@ class TopologyBuilder:
     """Named topology generators used throughout tests and benchmarks."""
 
     @staticmethod
-    def line(n: int, delay: float = 0.001, seed: int = 0) -> Topology:
+    def line(n: int, delay: float = 0.001, seed: int = 0, scheduler: str = "heap") -> Topology:
         """n nodes in a chain: n0 - n1 - ... - n(n-1)."""
         if n < 1:
             raise TopologyError("line needs at least 1 node")
-        topo = Topology(seed=seed)
+        topo = Topology(seed=seed, scheduler=scheduler)
         for i in range(n):
             topo.add_node(f"n{i}")
         for i in range(n - 1):
@@ -172,11 +177,11 @@ class TopologyBuilder:
         return topo
 
     @staticmethod
-    def star(n_leaves: int, delay: float = 0.001, seed: int = 0) -> Topology:
+    def star(n_leaves: int, delay: float = 0.001, seed: int = 0, scheduler: str = "heap") -> Topology:
         """A hub ("hub") with ``n_leaves`` leaves ("leaf0"...)."""
         if n_leaves < 1:
             raise TopologyError("star needs at least 1 leaf")
-        topo = Topology(seed=seed)
+        topo = Topology(seed=seed, scheduler=scheduler)
         topo.add_node("hub")
         for i in range(n_leaves):
             topo.add_node(f"leaf{i}")
@@ -184,7 +189,13 @@ class TopologyBuilder:
         return topo
 
     @staticmethod
-    def balanced_tree(depth: int, fanout: int = 2, delay: float = 0.001, seed: int = 0) -> Topology:
+    def balanced_tree(
+        depth: int,
+        fanout: int = 2,
+        delay: float = 0.001,
+        seed: int = 0,
+        scheduler: str = "heap",
+    ) -> Topology:
         """A rooted balanced tree. Node names: "r" (root), then
         "d<level>_<index>" per level. §5.3's million-member tree is
         ``balanced_tree(depth=20, fanout=2)`` (not materialized at that
@@ -192,7 +203,7 @@ class TopologyBuilder:
         """
         if depth < 0 or fanout < 1:
             raise TopologyError("tree needs depth >= 0 and fanout >= 1")
-        topo = Topology(seed=seed)
+        topo = Topology(seed=seed, scheduler=scheduler)
         topo.add_node("r")
         previous = ["r"]
         for level in range(1, depth + 1):
@@ -214,6 +225,7 @@ class TopologyBuilder:
         extra_edge_prob: float = 0.08,
         delay: float = 0.001,
         seed: int = 0,
+        scheduler: str = "heap",
     ) -> Topology:
         """A connected random graph: a random spanning tree plus extra
         random edges with probability ``extra_edge_prob`` per pair.
@@ -221,7 +233,7 @@ class TopologyBuilder:
         """
         if n < 1:
             raise TopologyError("random graph needs at least 1 node")
-        topo = Topology(seed=seed)
+        topo = Topology(seed=seed, scheduler=scheduler)
         rng = topo.sim.rng
         names = [f"n{i}" for i in range(n)]
         for name in names:
@@ -248,6 +260,7 @@ class TopologyBuilder:
         stub_delay: float = 0.002,
         host_delay: float = 0.001,
         seed: int = 0,
+        scheduler: str = "heap",
     ) -> Topology:
         """A two-level transit/stub internetwork.
 
@@ -258,7 +271,7 @@ class TopologyBuilder:
         """
         if n_transit < 1:
             raise TopologyError("need at least one transit router")
-        topo = Topology(seed=seed)
+        topo = Topology(seed=seed, scheduler=scheduler)
         for t in range(n_transit):
             topo.add_node(f"t{t}")
         if n_transit == 2:
@@ -281,14 +294,14 @@ class TopologyBuilder:
         return topo
 
     @staticmethod
-    def lan(n_hosts: int, delay: float = 0.0001, seed: int = 0) -> Topology:
+    def lan(n_hosts: int, delay: float = 0.0001, seed: int = 0, scheduler: str = "heap") -> Topology:
         """One edge router ("gw") with ``n_hosts`` directly-attached
         hosts — the IGMP/UDP-mode test topology. (We model the LAN as a
         star of point-to-point links; the UDP-mode agent replicates
         queries to all host interfaces, which is observationally
         equivalent to a multicast-capable LAN for protocol purposes.)
         """
-        topo = Topology(seed=seed)
+        topo = Topology(seed=seed, scheduler=scheduler)
         topo.add_node("gw")
         for i in range(n_hosts):
             topo.add_node(f"h{i}")

@@ -123,9 +123,15 @@ def instrument_simulator(sim: "Simulator", registry: MetricsRegistry) -> None:
         buckets=WALL_BUCKETS,
     )
     queue_depth = registry.gauge(
-        "sim_queue_depth", "Live (non-cancelled) events in the scheduler heap"
+        "sim_queue_depth", "Live (non-cancelled) events in the scheduler queue"
     )
     sim_clock = registry.gauge("sim_time_seconds", "Current simulated time")
+    scheduler_stat = registry.gauge(
+        "sim_scheduler_stat",
+        "Scheduler internals (wheel: slots_scanned/cascades/insert split; "
+        "heap: inserts), labelled by stat name",
+        ("scheduler", "stat"),
+    )
 
     def listener(simulator: "Simulator", event: "Event", wall: float) -> None:
         name = event.name or "(anonymous)"
@@ -137,6 +143,11 @@ def instrument_simulator(sim: "Simulator", registry: MetricsRegistry) -> None:
     def collect() -> None:
         queue_depth.set(sim.pending())
         sim_clock.set(sim.now)
+        stats = sim.scheduler_stats()
+        which = stats.pop("scheduler")
+        for stat, value in stats.items():
+            if isinstance(value, (int, float)):
+                scheduler_stat.labels(scheduler=which, stat=stat).set(value)
 
     registry.register_collector(collect)
 

@@ -1,0 +1,221 @@
+"""Timer-wheel scheduler unit tests.
+
+The broad engine contract (ordering, cancellation, ``until``
+semantics, compaction) is pinned for the heap in ``test_engine``;
+``tests/properties/test_scheduler_equivalence`` pins heap≡wheel over
+randomized workloads. This file targets the wheel's own machinery:
+slot/bucket placement, the open-slot bisect path, the overflow heap
+and cascade, the empty-slot jump, the ``run(until=...)`` cursor bound,
+and the wheel-specific stats surfaced in perf reports.
+"""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.netsim.engine import Simulator, TimerWheel
+
+
+def wheel_sim(**kwargs) -> Simulator:
+    kwargs.setdefault("scheduler", "wheel")
+    return Simulator(**kwargs)
+
+
+class TestConstruction:
+    def test_unknown_scheduler_rejected(self):
+        with pytest.raises(SimulationError):
+            Simulator(scheduler="calendar")
+
+    def test_wheel_only_built_in_wheel_mode(self):
+        assert Simulator(scheduler="heap")._wheel is None
+        assert isinstance(wheel_sim()._wheel, TimerWheel)
+
+    def test_invalid_wheel_tuning_rejected(self):
+        with pytest.raises(SimulationError):
+            wheel_sim(wheel_granularity=0.0)
+        with pytest.raises(SimulationError):
+            wheel_sim(wheel_slots=0)
+
+
+class TestPlacement:
+    def test_near_events_go_to_buckets_not_overflow(self):
+        sim = wheel_sim(wheel_granularity=0.001, wheel_slots=100)
+        for i in range(10):
+            sim.schedule_at(0.001 * i, lambda: None)
+        stats = sim.scheduler_stats()
+        assert stats["wheel_inserts"] == 10
+        assert stats["overflow_inserts"] == 0
+
+    def test_beyond_horizon_goes_to_overflow(self):
+        sim = wheel_sim(wheel_granularity=0.001, wheel_slots=100)  # horizon 0.1s
+        sim.schedule_at(0.05, lambda: None)
+        sim.schedule_at(5.0, lambda: None)
+        stats = sim.scheduler_stats()
+        assert stats["wheel_inserts"] == 1
+        assert stats["overflow_inserts"] == 1
+
+    def test_overflow_cascades_and_dispatches_in_order(self):
+        sim = wheel_sim(wheel_granularity=0.001, wheel_slots=64)  # horizon 64ms
+        got = []
+        sim.schedule_at(10.0, lambda: got.append("far"))
+        sim.schedule_at(0.5, lambda: got.append("mid"))
+        sim.schedule_at(0.01, lambda: got.append("near"))
+        sim.run()
+        assert got == ["near", "mid", "far"]
+        assert sim.scheduler_stats()["cascades"] >= 1
+
+    def test_empty_slot_jump_skips_dead_time(self):
+        # 1000 slots of 1ms: events 50 simulated seconds apart would
+        # mean ~50k slot scans without the jump optimization.
+        sim = wheel_sim(wheel_granularity=0.001, wheel_slots=1000)
+        got = []
+        for k in range(4):
+            sim.schedule_at(50.0 * k + 0.001, lambda k=k: got.append(k))
+        sim.run()
+        assert got == [0, 1, 2, 3]
+        assert sim.scheduler_stats()["slots_scanned"] < 1000
+
+    def test_mid_dispatch_insert_into_open_slot(self):
+        # A zero-delay follow-up lands in the currently-open slot and
+        # must still run after its scheduler (time tie → seq order).
+        sim = wheel_sim()
+        got = []
+
+        def first():
+            got.append("first")
+            sim.schedule(0.0, lambda: got.append("follow-up"))
+
+        sim.schedule_at(0.01, first)
+        sim.schedule_at(0.01, lambda: got.append("peer"))
+        sim.run()
+        assert got == ["first", "peer", "follow-up"]
+
+
+class TestRunSemantics:
+    def test_until_is_inclusive_and_advances_clock(self):
+        sim = wheel_sim()
+        got = []
+        sim.schedule_at(1.0, lambda: got.append("at"))
+        sim.schedule_at(1.5, lambda: got.append("late"))
+        ran = sim.run(until=1.0)
+        assert ran == 1 and got == ["at"] and sim.now == 1.0
+        sim.run()
+        assert got == ["at", "late"]
+
+    def test_far_future_peek_does_not_degrade_wheel(self):
+        # The regression the limit_slot bound fixes: a bounded run that
+        # stops short of a far-future overflow event must not advance
+        # the cursor to that event's slot — if it did, every event
+        # scheduled afterwards would take the open-slot bisect path
+        # instead of a bucket append.
+        sim = wheel_sim(wheel_granularity=0.001, wheel_slots=8192)
+        sim.schedule_at(30.0, lambda: None)  # keepalive-style timer
+        sim.run(until=0.01)
+        before = sim.scheduler_stats()["wheel_inserts"]
+        for i in range(100):
+            sim.schedule_at(0.02 + 0.001 * i, lambda: None)
+        stats = sim.scheduler_stats()
+        assert stats["wheel_inserts"] == before + 100
+        assert sim._wheel._cursor <= int(0.01 / 0.001) + 1
+
+    def test_max_events_leaves_remainder(self):
+        sim = wheel_sim()
+        got = []
+        for i in range(5):
+            sim.schedule_at(0.01 * (i + 1), lambda i=i: got.append(i))
+        assert sim.run(max_events=2) == 2
+        assert got == [0, 1] and sim.pending() == 3
+        sim.run()
+        assert got == [0, 1, 2, 3, 4]
+
+    def test_peek_time_sees_next_live_event(self):
+        sim = wheel_sim()
+        a = sim.schedule_at(0.5, lambda: None)
+        sim.schedule_at(1.0, lambda: None)
+        assert sim.peek_time() == 0.5
+        a.cancel()
+        assert sim.peek_time() == 1.0
+
+    def test_step_dispatches_single_event(self):
+        sim = wheel_sim()
+        got = []
+        sim.schedule_at(0.1, lambda: got.append("a"))
+        sim.schedule_at(0.2, lambda: got.append("b"))
+        assert sim.step() and got == ["a"]
+        assert sim.step() and got == ["a", "b"]
+        assert not sim.step()
+
+
+class TestCancellation:
+    def test_cancelled_event_in_bucket_is_skipped(self):
+        sim = wheel_sim()
+        got = []
+        event = sim.schedule_at(0.05, lambda: got.append("dead"))
+        sim.schedule_at(0.06, lambda: got.append("live"))
+        event.cancel()
+        sim.run()
+        assert got == ["live"]
+
+    def test_cancelled_event_in_overflow_is_skipped(self):
+        sim = wheel_sim(wheel_granularity=0.001, wheel_slots=16)
+        got = []
+        event = sim.schedule_at(9.0, lambda: got.append("dead"))
+        sim.schedule_at(10.0, lambda: got.append("live"))
+        event.cancel()
+        sim.run()
+        assert got == ["live"]
+
+    def test_pending_is_exact_through_churn(self):
+        sim = wheel_sim(wheel_granularity=0.001, wheel_slots=32)
+        events = [
+            sim.schedule_at(0.001 * i if i % 2 else 1.0 + i, lambda: None)
+            for i in range(200)
+        ]
+        assert sim.pending() == 200
+        for event in events[::2]:
+            event.cancel()
+        assert sim.pending() == 100
+        sim.run()
+        assert sim.pending() == 0
+
+    def test_mass_cancellation_compacts(self):
+        sim = wheel_sim(wheel_granularity=0.001, wheel_slots=32)
+        keep = [sim.schedule_at(0.001 + 0.0005 * i, lambda: None) for i in range(10)]
+        drop = [sim.schedule_at(2.0 + 0.001 * i, lambda: None) for i in range(300)]
+        for event in drop:
+            event.cancel()
+        # Compaction triggered (cancelled majority): the wheel sheds
+        # most dead entries; only a sub-threshold lazy residue remains.
+        assert len(sim._wheel) < len(keep) + len(drop) // 4
+        assert sim.run() == len(keep)
+
+    def test_double_cancel_counts_once(self):
+        sim = wheel_sim()
+        sim.schedule_at(0.5, lambda: None)
+        event = sim.schedule_at(0.2, lambda: None)
+        event.cancel()
+        event.cancel()
+        assert sim.pending() == 1
+        assert sim.run() == 1
+
+
+class TestStats:
+    def test_scheduler_stats_shape(self):
+        sim = wheel_sim(wheel_granularity=0.002, wheel_slots=128)
+        sim.schedule_at(0.01, lambda: None)
+        sim.schedule_at(99.0, lambda: None)
+        sim.run()
+        stats = sim.scheduler_stats()
+        assert stats["scheduler"] == "wheel"
+        assert stats["granularity"] == 0.002
+        assert stats["num_slots"] == 128
+        assert stats["wheel_inserts"] == 1
+        assert stats["overflow_inserts"] == 1
+        assert 0.0 <= stats["wheel_insert_share"] <= 1.0
+        assert stats["pending"] == 0
+
+    def test_heap_stats_shape(self):
+        sim = Simulator(scheduler="heap")
+        sim.schedule_at(0.01, lambda: None)
+        stats = sim.scheduler_stats()
+        assert stats["scheduler"] == "heap"
+        assert stats["pending"] == 1

@@ -1,0 +1,171 @@
+"""Property test: one SubscriberBlock(N) ≡ N individual subscribers.
+
+An aggregated edge-subscriber block must be *upstream-invisible*: for
+any join/leave delta sequence, the counts the tree carries above the
+edge router — every upstream agent's ChannelState, the edge router's
+advertised aggregate, and a CountQuery's exact total — must be
+identical whether the members are N individual host subscriptions or
+one counted block. Both runs share the same wired topology (the host
+leaves exist in both; they simply stay idle in the block run), so the
+only variable is how the membership is represented at the edge.
+
+Runs use ON_CHANGE propagation so every magnitude change propagates
+and the settled tables are exact; a TREE_ONLY case checks the quiet
+mode's observable contract (on-tree shape + exact CountQuery) instead
+of intermediate magnitudes, which TREE_ONLY deliberately leaves stale.
+
+Seeded ``random.Random`` (not hypothesis), as in the other property
+tests.
+"""
+
+import random
+
+import pytest
+
+from repro import ExpressNetwork, TopologyBuilder
+from repro.core.ecmp.protocol import CountPropagation
+
+N_CASES = 6
+N_MEMBERS = 6  # host leaves behind the edge router
+N_DELTAS = 24
+
+EDGE = "n2"  # line(3): n0 - n1 - n2
+
+
+def build(propagation: CountPropagation) -> ExpressNetwork:
+    topo = TopologyBuilder.line(3)
+    topo.add_node("hsrc")
+    topo.add_link("hsrc", "n0", delay=0.001)
+    for i in range(N_MEMBERS):
+        topo.add_node(f"h{i}")
+        topo.add_link(f"h{i}", EDGE, delay=0.001)
+    hosts = ["hsrc"] + [f"h{i}" for i in range(N_MEMBERS)]
+    return ExpressNetwork(topo, hosts=hosts, propagation=propagation)
+
+
+def delta_walk(seed: int) -> list[tuple[float, int]]:
+    """Deterministic (time, target_count) random walk over
+    [0, N_MEMBERS] — the shared aggregate-membership trajectory both
+    representations follow."""
+    rng = random.Random(seed)
+    walk = []
+    level = 0
+    when = 0.05
+    for _ in range(N_DELTAS):
+        when += rng.uniform(0.01, 0.2)
+        if level == 0:
+            step = rng.randint(1, N_MEMBERS)
+        elif level == N_MEMBERS:
+            step = -rng.randint(1, N_MEMBERS)
+        else:
+            step = rng.choice([-1, 1]) * rng.randint(1, 2)
+        level = max(0, min(N_MEMBERS, level + step))
+        walk.append((when, level))
+    return walk
+
+
+def upstream_view(net: ExpressNetwork, channel) -> dict:
+    """Everything the tree above the edge router can see: full state at
+    the upstream routers, aggregate-only state at the edge (its
+    downstream detail is the representation under test)."""
+    view = {}
+    for name in ("n0", "n1"):
+        state = net.ecmp_agents[name].channels.get(channel)
+        if state is None:
+            view[name] = None
+            continue
+        view[name] = (
+            state.upstream,
+            state.advertised,
+            {
+                peer: record.count
+                for peer, record in state.downstream.items()
+                if record.count > 0
+            },
+        )
+    edge_state = net.ecmp_agents[EDGE].channels.get(channel)
+    view[EDGE] = (
+        None
+        if edge_state is None
+        else (edge_state.upstream, edge_state.advertised)
+    )
+    view["estimate_at_root"] = net.ecmp_agents["n0"].subscriber_count_estimate(
+        channel
+    )
+    return view
+
+
+def drive(kind: str, seed: int, propagation: CountPropagation) -> tuple[dict, int]:
+    """kind is 'individuals' or 'block'; returns (view, exact count)."""
+    net = build(propagation)
+    net.run(until=0.01)
+    source = net.source("hsrc")
+    channel = source.allocate_channel()
+    walk = delta_walk(seed)
+
+    if kind == "block":
+        block = net.subscriber_block(EDGE)
+
+        def apply(target):
+            current = block.count(channel)
+            if target > current:
+                block.join(channel, target - current)
+            elif target < current:
+                block.leave(channel, current - target)
+
+    else:
+        members = [f"h{i}" for i in range(N_MEMBERS)]
+
+        def apply(target):
+            subscribed = [
+                m for m in members if net.host(m).is_subscribed(channel)
+            ]
+            if target > len(subscribed):
+                idle = [m for m in members if m not in subscribed]
+                for m in idle[: target - len(subscribed)]:
+                    net.host(m).subscribe(channel)
+            elif target < len(subscribed):
+                for m in subscribed[: len(subscribed) - target]:
+                    net.host(m).unsubscribe(channel)
+
+    for when, target in walk:
+        net.sim.schedule_at(when, lambda t=target: apply(t))
+    net.run(until=walk[-1][0])
+    net.settle(3.0)
+
+    result = source.count_query(channel, timeout=2.0)
+    net.settle(3.0)
+    assert result.done and not result.partial
+    return upstream_view(net, channel), result.count
+
+
+@pytest.mark.parametrize("case", range(N_CASES))
+def test_block_matches_individuals_on_change(case):
+    seed = 0xB10C + case
+    view_i, count_i = drive("individuals", seed, CountPropagation.ON_CHANGE)
+    view_b, count_b = drive("block", seed, CountPropagation.ON_CHANGE)
+    assert view_b == view_i
+    assert count_b == count_i
+    # The walk's final level, independently:
+    assert count_b == delta_walk(seed)[-1][1]
+
+
+@pytest.mark.parametrize("case", range(3))
+def test_block_matches_individuals_tree_only(case):
+    """TREE_ONLY's observable contract: identical on-tree shape (who
+    has state, who is upstream of whom) and identical exact CountQuery
+    totals. Intermediate advertised magnitudes are deliberately stale
+    in this mode, so they are not compared."""
+    seed = 0x7EE + case
+
+    def shape(view):
+        return {
+            name: None if entry is None else entry[0]  # upstream choice
+            for name, entry in view.items()
+            if name != "estimate_at_root"
+        }
+
+    view_i, count_i = drive("individuals", seed, CountPropagation.TREE_ONLY)
+    view_b, count_b = drive("block", seed, CountPropagation.TREE_ONLY)
+    assert shape(view_b) == shape(view_i)
+    assert count_b == count_i == delta_walk(seed)[-1][1]

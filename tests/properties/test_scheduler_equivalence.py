@@ -1,0 +1,201 @@
+"""Property test: timer-wheel scheduler ≡ heap scheduler.
+
+The wheel must be *observationally identical* to the heap: for any
+workload, the same seed dispatches the same events in the same
+``(time, seq)`` order, leaves the same protocol state behind, and
+counts the same ``events_processed``. The heap is the oracle — it is
+the seed's original scheduler — so any divergence is a wheel bug.
+
+Three layers of checking:
+
+* raw engine traces (dispatch order as ``(time, seq, name)`` tuples)
+  over randomized schedules that include mid-dispatch scheduling,
+  cancellation, and far-future events that exercise the overflow heap
+  and cascade path;
+* full-stack ``ExpressNetwork`` runs: settled ChannelState tables
+  (the ``test_batching_equivalence`` snapshot) must match;
+* ``events_processed`` equality on every comparison.
+
+Seeded ``random.Random`` instances (not hypothesis) keep sequences
+deterministic, matching the idiom of the other property tests.
+"""
+
+import random
+
+import pytest
+
+from repro import ExpressNetwork, TopologyBuilder
+from repro.netsim.engine import Simulator
+
+N_ENGINE_CASES = 8
+N_NETWORK_CASES = 6
+
+
+# ---------------------------------------------------------------------------
+# raw engine equivalence
+# ---------------------------------------------------------------------------
+
+
+def run_engine_trace(scheduler: str, seed: int) -> tuple[list, int]:
+    """Drive one randomized schedule; return (dispatch trace, count).
+
+    The workload deliberately mixes near events (open-slot and bucket
+    paths), far events (overflow + cascade), simultaneous events (seq
+    tie-break), mid-dispatch scheduling (insert at or after the open
+    slot), and cancellations (lazy skip + compaction).
+    """
+    rng = random.Random(seed)
+    sim = Simulator(seed=0, scheduler=scheduler, wheel_slots=256)
+    trace = []
+    cancellable = []
+
+    def record(tag):
+        trace.append((sim.now, tag))
+        # Mid-dispatch behaviour: sometimes schedule follow-ups
+        # (including zero-delay, landing in the open slot) and
+        # sometimes cancel a pending event.
+        roll = rng.random()
+        if roll < 0.30:
+            delay = rng.choice([0.0, 0.0004, 0.003, 0.9, 40.0])
+            cancellable.append(
+                sim.schedule(delay, lambda t=f"{tag}+f": record(t), name=str(tag))
+            )
+        elif roll < 0.45 and cancellable:
+            cancellable.pop(rng.randrange(len(cancellable))).cancel()
+
+    for i in range(120):
+        # Spread across three regimes: sub-slot, in-horizon, beyond the
+        # 256-slot horizon (256 * 0.001 = 0.256s) to force overflow.
+        when = rng.choice(
+            [
+                rng.uniform(0.0, 0.002),
+                rng.uniform(0.0, 0.2),
+                rng.uniform(0.3, 5.0),
+                rng.uniform(50.0, 90.0),
+            ]
+        )
+        event = sim.schedule_at(when, lambda t=i: record(t), name=str(i))
+        if rng.random() < 0.2:
+            cancellable.append(event)
+    # Duplicate timestamps: seq must break the tie identically.
+    for j in range(10):
+        sim.schedule_at(0.5, lambda t=f"dup{j}": record(t))
+    sim.run()
+    return trace, sim.events_processed
+
+
+@pytest.mark.parametrize("case", range(N_ENGINE_CASES))
+def test_dispatch_trace_matches_heap(case):
+    seed = 0x3E51 + case
+    heap_trace, heap_count = run_engine_trace("heap", seed)
+    wheel_trace, wheel_count = run_engine_trace("wheel", seed)
+    assert wheel_trace == heap_trace
+    assert wheel_count == heap_count
+
+
+def test_bounded_run_matches_heap():
+    """run(until=...) segment by segment — the wheel's cursor bound
+    (limit_slot) must not reorder or drop events at window edges."""
+
+    def drive(scheduler):
+        rng = random.Random(0xB0B)
+        sim = Simulator(seed=0, scheduler=scheduler, wheel_slots=128)
+        out = []
+        for i in range(200):
+            sim.schedule_at(
+                rng.uniform(0.0, 3.0), lambda t=i: out.append((sim.now, t))
+            )
+        # Far-future event beyond every window: its overflow slot must
+        # not drag the cursor forward (the degradation the bound fixes).
+        sim.schedule_at(500.0, lambda: out.append((sim.now, "far")))
+        for until in (0.25, 0.5, 0.500001, 1.0, 2.9999, 3.0, 600.0):
+            sim.run(until=until)
+            out.append(("mark", until, sim.now, sim.events_processed))
+        return out
+
+    assert drive("wheel") == drive("heap")
+
+
+def test_max_events_matches_heap():
+    def drive(scheduler):
+        rng = random.Random(7)
+        sim = Simulator(seed=0, scheduler=scheduler)
+        out = []
+        for i in range(50):
+            sim.schedule_at(rng.uniform(0.0, 1.0), lambda t=i: out.append(t))
+        while sim.run(max_events=7):
+            out.append(("chunk", sim.events_processed))
+        return out
+
+    assert drive("wheel") == drive("heap")
+
+
+# ---------------------------------------------------------------------------
+# full-stack equivalence
+# ---------------------------------------------------------------------------
+
+
+def snapshot(net: ExpressNetwork) -> dict:
+    """Every agent's full channel table, in comparable form (same shape
+    as test_batching_equivalence's snapshot)."""
+    table = {}
+    for name, agent in sorted(net.ecmp_agents.items()):
+        for channel, state in agent.channels.items():
+            downstream = {
+                peer: (record.count, record.validated)
+                for peer, record in state.downstream.items()
+                if record.count > 0
+            }
+            table[(name, channel)] = (state.upstream, state.advertised, downstream)
+    return table
+
+
+def drive_network(scheduler: str, seed: int) -> tuple[dict, int]:
+    rng = random.Random(seed)
+    topo = TopologyBuilder.isp(
+        n_transit=3, stubs_per_transit=2, hosts_per_stub=2, seed=7,
+        scheduler=scheduler,
+    )
+    net = ExpressNetwork(topo)
+    net.run(until=0.01)
+
+    hosts = sorted(net.host_names)
+    source = net.source(hosts[0])
+    channels = [source.allocate_channel() for _ in range(3)]
+    subscribers = hosts[1:]
+    # One aggregated block rides along so block_adjust sits in the
+    # compared workload too.
+    block = net.subscriber_block("e0_0")
+
+    when = 0.05
+    for _ in range(40):
+        when += rng.uniform(0.002, 0.12)
+        roll = rng.random()
+        host = rng.choice(subscribers)
+        channel = rng.choice(channels)
+        if roll < 0.55:
+            net.sim.schedule_at(
+                when, lambda h=host, c=channel: net.host(h).subscribe(c)
+            )
+        elif roll < 0.8:
+            net.sim.schedule_at(
+                when, lambda h=host, c=channel: net.host(h).unsubscribe(c)
+            )
+        elif roll < 0.9:
+            n = rng.randint(1, 50)
+            net.sim.schedule_at(when, lambda c=channel, k=n: block.join(c, k))
+        else:
+            n = rng.randint(1, 50)
+            net.sim.schedule_at(when, lambda c=channel, k=n: block.leave(c, k))
+    net.run(until=when)
+    net.settle(3.0)
+    return snapshot(net), net.sim.events_processed
+
+
+@pytest.mark.parametrize("case", range(N_NETWORK_CASES))
+def test_network_state_tables_match_heap(case):
+    seed = 0x4EE1 + case
+    heap_table, heap_events = drive_network("heap", seed)
+    wheel_table, wheel_events = drive_network("wheel", seed)
+    assert wheel_table == heap_table
+    assert wheel_events == heap_events
