@@ -46,12 +46,13 @@ def test_perf_smoke_writes_bench_json():
 
     parsed = json.loads(out.read_text())
     assert parsed["bench"] == "perf"
-    assert parsed["schema_version"] == 3
+    assert parsed["schema_version"] == 4
     assert set(parsed["scenarios"]) == {
         "join_storm",
         "link_flap_churn",
         "steady_fanout",
         "mega_join_storm",
+        "mega_join_storm_parallel",
     }
 
     for name, metrics in parsed["scenarios"].items():
@@ -131,3 +132,20 @@ def test_perf_smoke_writes_bench_json():
         storm["delivery_latency"]["p99_seconds"]
         >= storm["delivery_latency"]["p50_seconds"]
     )
+
+    # Sharded mega storm: correctness is asserted unconditionally (the
+    # scenario itself raises if the merged sharded state diverges from
+    # the single-process run); the >=1.5x partition-speedup gate lives
+    # in CI's parallel-smoke job, not here, because this file also runs
+    # on single-core dev boxes where two workers cannot beat one.
+    parallel = parsed["scenarios"]["mega_join_storm_parallel"]
+    assert parallel["equivalent_to_single_process"] is True
+    assert parallel["members_final"] == parallel["members_expected"]
+    assert parallel["block_deliveries"] == parallel["deliveries_expected"]
+    assert parallel["partition_plan"]["partitions"] == parallel["params"]["workers"]
+    assert parallel["partition_plan"]["min_lookahead"] > 0
+    assert parallel["sync_rounds"] > 0
+    assert parallel["sync"]["proxy_packets"] > 0
+    assert parallel["single_process"]["sim_events"] == parallel["sim_events"]
+    assert parsed["summary"]["partition_speedup"] == parallel["partition_speedup"]
+    assert parsed["summary"]["partition_workers"] == parallel["params"]["workers"]

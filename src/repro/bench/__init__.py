@@ -24,15 +24,23 @@ from repro.bench.scenarios import SCENARIOS, run_scenarios
 #: v3: the ``mega_join_storm`` scenario (per-scheduler ``schedulers``
 #: blocks, ``wheel_speedup``, ``peak_rss_kb``, timer-wheel stats) and
 #: matching summary fields.
-SCHEMA_VERSION = 3
+#: v4: the ``mega_join_storm_parallel`` scenario (sharded run vs.
+#: single-process wheel: ``partition_speedup``, ``partition_plan``,
+#: ``sync`` null-message/LBTS/proxy totals, ``single_process`` block)
+#: and the ``partition_speedup`` / ``partition_workers`` summary
+#: fields.
+SCHEMA_VERSION = 4
 
 
 def build_report(
-    quick: bool = True, seed: int = 0, only: Optional[list[str]] = None
+    quick: bool = True,
+    seed: int = 0,
+    only: Optional[list[str]] = None,
+    workers: Optional[int] = None,
 ) -> dict:
     """Run scenarios and assemble the full ``BENCH_perf.json`` payload."""
     started = time.time()
-    scenarios = run_scenarios(quick=quick, seed=seed, only=only)
+    scenarios = run_scenarios(quick=quick, seed=seed, only=only, workers=workers)
     throughputs = [
         s["events_per_sec"] for s in scenarios.values() if "events_per_sec" in s
     ]
@@ -43,6 +51,7 @@ def build_report(
     ]
     churn = scenarios.get("link_flap_churn", {})
     mega = scenarios.get("mega_join_storm", {})
+    parallel = scenarios.get("mega_join_storm_parallel", {})
     return {
         "bench": "perf",
         "schema_version": SCHEMA_VERSION,
@@ -65,8 +74,71 @@ def build_report(
             "wheel_speedup": mega.get("wheel_speedup", 0.0),
             "mega_events_per_sec": mega.get("events_per_sec", 0.0),
             "peak_rss_kb": mega.get("peak_rss_kb", 0),
+            "partition_speedup": parallel.get("partition_speedup", 0.0),
+            "partition_workers": parallel.get("params", {}).get("workers", 0),
         },
     }
+
+
+#: Floor gates: CLI flag suffix -> (summary key, human label, format).
+#: Every gate reads one ``summary`` field and fails the run (nonzero
+#: exit) when the measured value is below the floor. Keeping the table
+#: declarative pins the exit-code contract with a unit test per gate.
+FLOOR_GATES = {
+    "events_per_sec": (
+        "events_per_sec_min",
+        "events/sec floor",
+        "{:,.0f}",
+    ),
+    "dijkstra_ratio": (
+        "dijkstra_savings_ratio",
+        "Dijkstra savings ratio floor",
+        "{:.2f}",
+    ),
+    "bytes_on_wire": (
+        "ecmp_bytes_on_wire",
+        "ecmp_bytes_on_wire floor",
+        "{:,.0f}",
+    ),
+    "wire_reduction": (
+        "wire_message_reduction",
+        "wire message reduction floor",
+        "{:.2f}",
+    ),
+    "wheel_speedup": (
+        "wheel_speedup",
+        "wheel speedup floor",
+        "{:.2f}",
+    ),
+    "partition_speedup": (
+        "partition_speedup",
+        "partition speedup floor",
+        "{:.2f}",
+    ),
+}
+
+
+def check_floors(report: dict, floors: dict[str, Optional[float]]) -> list[str]:
+    """Evaluate floor gates against a report's summary.
+
+    ``floors`` maps :data:`FLOOR_GATES` keys to thresholds (``None``
+    entries are skipped). Returns the list of failure messages — empty
+    means every requested gate passed. A floor whose summary field is
+    missing or zero (its scenario did not run) fails rather than
+    silently passing: a gate the CI asked for must measure something.
+    """
+    failures = []
+    for gate, floor in floors.items():
+        if floor is None:
+            continue
+        key, label, fmt = FLOOR_GATES[gate]
+        value = report["summary"].get(key, 0.0)
+        if value < floor:
+            failures.append(
+                f"FAIL: {label} {fmt.format(floor)} not met "
+                f"(got {fmt.format(value)})"
+            )
+    return failures
 
 
 def write_report(report: dict, output: Path) -> None:
@@ -98,6 +170,13 @@ def main(argv: Optional[list[str]] = None) -> int:
         help="run only this scenario (repeatable; default: all)",
     )
     parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help="worker-process count for the parallel scenario "
+        "(default: 2 quick / 4 full)",
+    )
     parser.add_argument(
         "--floor-events-per-sec",
         type=float,
@@ -132,9 +211,18 @@ def main(argv: Optional[list[str]] = None) -> int:
         help="exit non-zero if the mega scenario's timer-wheel-vs-heap "
         "throughput ratio falls below this",
     )
+    parser.add_argument(
+        "--floor-partition-speedup",
+        type=float,
+        default=None,
+        help="exit non-zero if the parallel scenario's sharded-vs-"
+        "single-process throughput ratio falls below this",
+    )
     args = parser.parse_args(argv)
 
-    report = build_report(quick=args.quick, seed=args.seed, only=args.scenario)
+    report = build_report(
+        quick=args.quick, seed=args.seed, only=args.scenario, workers=args.workers
+    )
     write_report(report, args.output)
 
     print(f"perf bench ({'quick' if args.quick else 'full'} mode) -> {args.output}")
@@ -150,6 +238,11 @@ def main(argv: Optional[list[str]] = None) -> int:
             line += f"  wire msgs {metrics['wire_message_reduction']:.1f}x fewer"
         if "wheel_speedup" in metrics:
             line += f"  wheel {metrics['wheel_speedup']:.1f}x heap"
+        if "partition_speedup" in metrics:
+            line += (
+                f"  {metrics['params']['workers']} workers "
+                f"{metrics['partition_speedup']:.2f}x single"
+            )
         latency = metrics.get("delivery_latency", {})
         if latency.get("count"):
             line += (
@@ -158,50 +251,17 @@ def main(argv: Optional[list[str]] = None) -> int:
             )
         print(line)
 
-    failed = False
-    if args.floor_events_per_sec is not None:
-        low = report["summary"]["events_per_sec_min"]
-        if low < args.floor_events_per_sec:
-            print(
-                f"FAIL: events/sec floor {args.floor_events_per_sec:,.0f} "
-                f"not met (min {low:,.0f})",
-                file=sys.stderr,
-            )
-            failed = True
-    if args.floor_dijkstra_ratio is not None:
-        ratio = report["summary"]["dijkstra_savings_ratio"]
-        if ratio < args.floor_dijkstra_ratio:
-            print(
-                f"FAIL: Dijkstra savings ratio floor {args.floor_dijkstra_ratio} "
-                f"not met (got {ratio:.2f})",
-                file=sys.stderr,
-            )
-            failed = True
-    if args.floor_bytes_on_wire is not None:
-        on_wire = report["summary"]["ecmp_bytes_on_wire"]
-        if on_wire < args.floor_bytes_on_wire:
-            print(
-                f"FAIL: ecmp_bytes_on_wire floor {args.floor_bytes_on_wire:,.0f} "
-                f"not met (got {on_wire:,.0f})",
-                file=sys.stderr,
-            )
-            failed = True
-    if args.floor_wire_reduction is not None:
-        reduction = report["summary"]["wire_message_reduction"]
-        if reduction < args.floor_wire_reduction:
-            print(
-                f"FAIL: wire message reduction floor {args.floor_wire_reduction} "
-                f"not met (got {reduction:.2f})",
-                file=sys.stderr,
-            )
-            failed = True
-    if args.floor_wheel_speedup is not None:
-        speedup = report["summary"]["wheel_speedup"]
-        if speedup < args.floor_wheel_speedup:
-            print(
-                f"FAIL: wheel speedup floor {args.floor_wheel_speedup} "
-                f"not met (got {speedup:.2f})",
-                file=sys.stderr,
-            )
-            failed = True
-    return 1 if failed else 0
+    failures = check_floors(
+        report,
+        {
+            "events_per_sec": args.floor_events_per_sec,
+            "dijkstra_ratio": args.floor_dijkstra_ratio,
+            "bytes_on_wire": args.floor_bytes_on_wire,
+            "wire_reduction": args.floor_wire_reduction,
+            "wheel_speedup": args.floor_wheel_speedup,
+            "partition_speedup": args.floor_partition_speedup,
+        },
+    )
+    for failure in failures:
+        print(failure, file=sys.stderr)
+    return 1 if failures else 0

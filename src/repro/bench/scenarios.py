@@ -511,20 +511,143 @@ def mega_join_storm(quick: bool = True, seed: int = 0) -> dict:
     }
 
 
+def mega_join_storm_parallel(
+    quick: bool = True, seed: int = 0, workers: Optional[int] = None
+) -> dict:
+    """The block join storm sharded across worker processes.
+
+    The identical declarative workload (a :data:`~repro.netsim.parallel.
+    scenario.OPGENS` ``block_storm`` spec) is run twice: once on a
+    single-process wheel simulator (the oracle and the baseline the
+    speedup is measured against) and once through
+    :class:`~repro.netsim.parallel.runner.ParallelRunner` with one
+    wheel-scheduler worker process per partition. The sharded run must
+    produce settled ``ChannelState`` tables, block membership, delivery
+    counts, and dispatch totals identical to the single-process run
+    (:func:`~repro.netsim.parallel.runner.assert_equivalent`; a
+    divergence is a hard error, not a metric). ``partition_speedup`` is
+    single-process wall over the sharded round-loop wall — partition
+    build/spawn is a fixed cost excluded from both sides (scheduling is
+    untimed in the single run too).
+
+    The ISP core delay is raised to 40 ms so the conservative-sync
+    lookahead (= the smallest cut-link delay) keeps the round count —
+    and with it the null-message overhead — proportionate; see
+    ``docs/performance.md`` for why cut delay bounds the speedup.
+    """
+    from repro.netsim.parallel import (
+        ParallelRunner,
+        ScenarioSpec,
+        assert_equivalent,
+        run_single,
+    )
+
+    n_subs = 300_000 if quick else 1_000_000
+    n_workers = workers if workers is not None else (2 if quick else 4)
+    packets = 20
+    edge_routers = tuple(sorted(f"e{t}_{s}" for t in range(4) for s in range(3)))
+    spec = ScenarioSpec(
+        topology="isp",
+        topology_kwargs={
+            "n_transit": 4,
+            "stubs_per_transit": 3,
+            "hosts_per_stub": 1,
+            "core_delay": 0.04,
+        },
+        source="h0_0_0",
+        n_channels=1,
+        blocks=edge_routers,
+        opgen=(
+            "block_storm",
+            {
+                "n_subs": n_subs,
+                "n_blocks": len(edge_routers),
+                "packets": packets,
+                "seed": seed,
+            },
+        ),
+        duration=5.6,
+        seed=seed,
+    )
+    single = run_single(spec, scheduler="wheel")
+    runner = ParallelRunner(spec, n_workers, scheduler="wheel", mode="mp")
+    result = runner.run()
+    try:
+        assert_equivalent(result.merged, single)
+    except AssertionError as exc:
+        raise RuntimeError(f"sharded run diverged from single-process: {exc}") from exc
+    n_leaves = int(n_subs * 0.125)
+    expected_members = n_subs - n_leaves
+    members = sum(
+        sum(block["counts"].values()) for block in result.merged["blocks"].values()
+    )
+    deliveries = sum(
+        block["deliveries"] for block in result.merged["blocks"].values()
+    )
+    if members != expected_members:
+        raise RuntimeError(f"final membership {members} != {expected_members}")
+    if deliveries != packets * members:
+        raise RuntimeError(
+            f"block deliveries {deliveries} != {packets * members}"
+        )
+    single_wall = single["wall_seconds"]
+    parallel_wall = result.wall_seconds
+    events = result.merged["events"]
+    sync = result.sync_totals()
+    return {
+        "params": {
+            "topology": "isp(4,3,1) core_delay=0.04",
+            "nodes": sum(len(p) for p in result.plan.parts),
+            "subscribers": n_subs,
+            "leaves": n_leaves,
+            "blocks": len(edge_routers),
+            "packets": packets,
+            "workers": result.plan.n,
+        },
+        "partition_plan": result.plan.summary(),
+        "wall_seconds": parallel_wall,
+        "sim_events": events,
+        "events_per_sec": events / parallel_wall if parallel_wall else 0.0,
+        "single_process": {
+            "wall_seconds": single_wall,
+            "sim_events": single["events"],
+            "events_per_sec": single["events"] / single_wall if single_wall else 0.0,
+        },
+        "partition_speedup": single_wall / parallel_wall if parallel_wall else 0.0,
+        "sync_rounds": result.rounds,
+        "sync": sync,
+        "members_final": members,
+        "members_expected": expected_members,
+        "block_deliveries": deliveries,
+        "deliveries_expected": packets * expected_members,
+        "equivalent_to_single_process": True,
+    }
+
+
 SCENARIOS = {
     "join_storm": join_storm,
     "link_flap_churn": link_flap_churn,
     "steady_fanout": steady_fanout,
     "mega_join_storm": mega_join_storm,
+    "mega_join_storm_parallel": mega_join_storm_parallel,
 }
+
+#: Scenarios that accept the ``workers`` parameter (``--workers N``).
+PARALLEL_SCENARIOS = {"mega_join_storm_parallel"}
 
 
 def run_scenarios(
-    quick: bool = True, seed: int = 0, only: Optional[list[str]] = None
+    quick: bool = True,
+    seed: int = 0,
+    only: Optional[list[str]] = None,
+    workers: Optional[int] = None,
 ) -> dict[str, dict]:
     """Run the selected scenarios; returns ``{name: metrics}``."""
     names = list(SCENARIOS) if not only else only
     results = {}
     for name in names:
-        results[name] = SCENARIOS[name](quick=quick, seed=seed)
+        kwargs = {"quick": quick, "seed": seed}
+        if name in PARALLEL_SCENARIOS and workers is not None:
+            kwargs["workers"] = workers
+        results[name] = SCENARIOS[name](**kwargs)
     return results

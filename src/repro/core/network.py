@@ -328,6 +328,14 @@ class ExpressNetwork:
         """Start agents (once) and run the simulator."""
         return self.topo.run(until=until, max_events=max_events)
 
+    def start(self, nodes: Optional[list[str]] = None) -> None:
+        """Start protocol agents without running the simulator;
+        ``nodes`` restricts the start to a subset (see
+        :meth:`Topology.start`). Used by the parallel-simulation
+        workers, which animate only the nodes their partition owns and
+        drive the simulator in lookahead-bounded windows themselves."""
+        self.topo.start(nodes=nodes)
+
     def settle(self, duration: float = 1.0) -> None:
         """Run the simulator forward by ``duration`` seconds — enough
         for control traffic in flight to land on typical topologies."""

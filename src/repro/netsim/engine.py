@@ -16,10 +16,26 @@ Two interchangeable schedulers back the loop (``Simulator(scheduler=)``):
   into the wheel as their slot comes within the horizon. Dispatch
   order is identical to the heap's (same ``(time, seq)`` order), which
   ``tests/properties/test_scheduler_equivalence.py`` pins.
+
+Seeding contract
+----------------
+
+All stochastic behaviour in the substrate draws from ``Simulator.rng``
+(a private :class:`random.Random`), never from the global ``random``
+module, so a run is a pure function of its seed and its schedule. The
+generator is either seeded from the ``seed`` argument or injected
+directly via ``rng=`` (the two are mutually exclusive). Derived
+components that need their own reproducible stream — one per partition
+worker in :mod:`repro.netsim.parallel`, for example — must split the
+master seed with :func:`derive_seed` rather than re-using it or
+reaching for global randomness; ``derive_seed`` is stable across
+processes and Python versions (unlike ``hash``), which is what makes a
+sharded run reproducible from the one master seed.
 """
 
 from __future__ import annotations
 
+import hashlib
 import heapq
 import random
 from bisect import insort
@@ -32,6 +48,20 @@ from repro.errors import SimulationError
 
 #: Below this queue size, compaction is never worth the heapify cost.
 _COMPACT_MIN_QUEUE = 64
+
+def derive_seed(seed: int, *names: object) -> int:
+    """Derive a child seed from ``seed`` and a namespace path.
+
+    Stable across processes and Python versions (sha256, not ``hash``),
+    so partition workers spawned with ``multiprocessing`` agree with an
+    in-process rerun. Distinct paths give independent 64-bit streams:
+    ``derive_seed(seed, "worker", rank)``.
+    """
+    digest = hashlib.sha256(
+        ("|".join([str(seed), *map(str, names)])).encode()
+    ).digest()
+    return int.from_bytes(digest[:8], "big")
+
 
 #: Total-order key shared by both schedulers. ``attrgetter`` builds the
 #: ``(time, seq)`` tuple in C, so wheel-slot sorts avoid the Python
@@ -290,7 +320,14 @@ class Simulator:
         Seed for the simulator's private :class:`random.Random`. All
         stochastic substrate behaviour (link loss, jitter, workload
         generators that accept a simulator) draws from this generator,
-        which makes whole-system runs reproducible.
+        which makes whole-system runs reproducible (see the module
+        docstring's seeding contract).
+    rng:
+        An explicit :class:`random.Random` to use instead of seeding a
+        fresh one — the injection point for callers that manage their
+        own derived streams (partition workers pass
+        ``random.Random(derive_seed(seed, "worker", rank))``). Mutually
+        exclusive with a non-default ``seed``.
     scheduler:
         ``"heap"`` (default) or ``"wheel"``. Both dispatch in the same
         deterministic ``(time, seq)`` order; the wheel trades the
@@ -309,18 +346,21 @@ class Simulator:
         scheduler: str = "heap",
         wheel_granularity: float = 0.001,
         wheel_slots: int = 8192,
+        rng: Optional[random.Random] = None,
     ) -> None:
         if scheduler not in ("heap", "wheel"):
             raise SimulationError(
                 f"unknown scheduler {scheduler!r} (expected 'heap' or 'wheel')"
             )
+        if rng is not None and seed != 0:
+            raise SimulationError("pass either seed or rng, not both")
         self._now = 0.0
         self._seq = 0
         self._queue: list[Event] = []
         self._live = 0
         self._cancelled = 0
         self._running = False
-        self.rng = random.Random(seed)
+        self.rng = rng if rng is not None else random.Random(seed)
         self.events_processed = 0
         self.scheduler = scheduler
         self._wheel: Optional[TimerWheel] = (
@@ -337,6 +377,13 @@ class Simulator:
     def now(self) -> float:
         """Current simulated time in seconds."""
         return self._now
+
+    def reseed(self, seed: int) -> None:
+        """Replace the RNG with a freshly seeded one. Used by partition
+        workers to switch to their derived per-worker stream after the
+        (seed-consuming) topology build, so build-time draws stay
+        identical across workers while run-time draws are independent."""
+        self.rng = random.Random(seed)
 
     def schedule(
         self,
@@ -492,29 +539,45 @@ class Simulator:
     ) -> None:
         self._dispatch_listeners.remove(listener)
 
-    def run(self, until: Optional[float] = None, max_events: Optional[int] = None) -> int:
+    def run(
+        self,
+        until: Optional[float] = None,
+        max_events: Optional[int] = None,
+        inclusive: bool = True,
+    ) -> int:
         """Run events until the queue drains, ``until`` passes, or
         ``max_events`` have fired. Returns the number of events run.
 
-        ``until`` is inclusive: an event scheduled exactly at ``until``
-        runs, and the clock is advanced to ``until`` afterwards even if
-        no event lands exactly there.
+        ``until`` is inclusive by default: an event scheduled exactly at
+        ``until`` runs, and the clock is advanced to ``until`` afterwards
+        even if no event lands exactly there.
+
+        ``inclusive=False`` makes ``until`` an *exclusive* horizon:
+        events strictly before it run, events at exactly ``until`` stay
+        queued, and the clock still advances to ``until``. This is the
+        conservative-synchronization hook: a partition worker granted
+        LBTS horizon ``H`` may safely dispatch everything below ``H``
+        (cross-partition traffic arrives at ``>= H`` by the lookahead
+        argument) but must not touch ``H`` itself, where an in-flight
+        remote packet could still land.
         """
         if self._running:
             raise SimulationError("simulator is not reentrant")
         self._running = True
         try:
             if self._wheel is not None:
-                ran = self._run_wheel(until, max_events)
+                ran = self._run_wheel(until, max_events, inclusive)
             else:
-                ran = self._run_heap(until, max_events)
+                ran = self._run_heap(until, max_events, inclusive)
         finally:
             self._running = False
         if until is not None and self._now < until:
             self._now = until
         return ran
 
-    def _run_heap(self, until: Optional[float], max_events: Optional[int]) -> int:
+    def _run_heap(
+        self, until: Optional[float], max_events: Optional[int], inclusive: bool = True
+    ) -> int:
         ran = 0
         # One heap touch per iteration: discard cancelled events from
         # the head, then pop-and-dispatch in the same pass (the seed
@@ -530,7 +593,9 @@ class Simulator:
                 self._cancelled -= 1
             if not queue:
                 break
-            if until is not None and queue[0].time > until:
+            if until is not None and (
+                queue[0].time > until or (not inclusive and queue[0].time >= until)
+            ):
                 break
             event = heapq.heappop(queue)
             event._in_queue = False
@@ -538,7 +603,9 @@ class Simulator:
             ran += 1
         return ran
 
-    def _run_wheel(self, until: Optional[float], max_events: Optional[int]) -> int:
+    def _run_wheel(
+        self, until: Optional[float], max_events: Optional[int], inclusive: bool = True
+    ) -> int:
         # Fully inlined dispatch loop. The common case — a live event
         # already positioned in the open slot — runs with no method
         # calls besides the action itself; advance() only fires on slot
@@ -563,7 +630,9 @@ class Simulator:
                 event = advance(limit_slot)
                 if event is None:
                     break
-            if until is not None and event.time > until:
+            if until is not None and (
+                event.time > until or (not inclusive and event.time >= until)
+            ):
                 break
             wheel._open_pos += 1  # consume(): advance left the cursor here
             event._in_queue = False

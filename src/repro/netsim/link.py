@@ -55,6 +55,16 @@ class Link:
         #: Optional :class:`repro.obs.hooks.LinkMetrics` set by
         #: Observability attachment.
         self.metrics = None
+        #: Optional capture hook installed by the parallel-simulation
+        #: proxy layer (:mod:`repro.netsim.parallel.proxy`) on cut
+        #: links: when set, delivery is not scheduled locally — the
+        #: packet (with its exact arrival time and receive interface)
+        #: is handed to ``capture(link, sender, packet, arrival_time)``
+        #: for export to the partition that owns the far end. All
+        #: sender-side accounting (tx counters, loss draw, metrics)
+        #: still happens, so per-link counters match a single-process
+        #: run when summed across partitions.
+        self.capture = None
         iface_a.link = self
         iface_b.link = self
 
@@ -106,6 +116,9 @@ class Link:
         rx_iface = self.interface_of(receiver)
         latency = self.delay + packet.size / self.bandwidth
         delivered = packet  # ownership transfers; callers copy for fanout
+        if self.capture is not None:
+            self.capture(self, sender, delivered, self.sim.now + latency)
+            return
         self.sim.schedule(
             latency,
             lambda: receiver.receive(delivered, rx_iface.index),

@@ -1,0 +1,296 @@
+"""Topology partitioning for the sharded simulator.
+
+The partitioner assigns every node to one of ``n`` partitions so that
+
+* the source's node lands in partition 0 (rank 0 drives the workload's
+  data plane and is the natural coordinator anchor);
+* partitions are balanced (each within one "growth round" of
+  ``ceil(|V| / n)`` nodes); and
+* the number of *cut links* — links whose endpoints live in different
+  partitions — is small, because every cut link costs serialization
+  and bounds the conservative-sync lookahead.
+
+The algorithm is deterministic (sorted-name tie-breaks throughout):
+seeds are picked farthest-first by hop count starting from the source,
+partitions grow in round-robin BFS waves from their seeds, then a
+boundary-refinement pass moves nodes whose neighbors mostly live in an
+adjacent partition, provided the move strictly reduces the cut and
+keeps sizes within slack.
+
+The resulting :class:`PartitionPlan` also carries the conservative-sync
+inputs: the cut-link list and the pairwise lookahead matrix
+``min_delay[(src_rank, dst_rank)]`` — the smallest propagation delay of
+any cut link from one partition toward another, which is exactly how
+far a partition can safely run past its predecessors' clocks. Zero
+cut-link delays are rejected: a zero-delay cut has no lookahead and the
+conservative protocol would deadlock (or degrade to lockstep).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from math import ceil, inf
+from typing import TYPE_CHECKING, Optional
+
+from repro.errors import TopologyError
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.netsim.topology import Topology
+
+
+@dataclass
+class PartitionPlan:
+    """The output of :func:`plan_partitions`."""
+
+    #: Node-name sets, indexed by rank; rank 0 contains the source.
+    parts: list[set[str]]
+    #: node name -> owning rank.
+    owner: dict[str, int]
+    #: Sorted (a, b, delay) triples for links crossing the cut.
+    cut_links: list[tuple[str, str, float]]
+    #: (src_rank, dst_rank) -> min propagation delay of any cut link in
+    #: that direction (the lookahead); absent pairs have no direct link.
+    lookahead: dict[tuple[int, int], float] = field(default_factory=dict)
+
+    @property
+    def n(self) -> int:
+        return len(self.parts)
+
+    def rank_of(self, node: str) -> int:
+        return self.owner[node]
+
+    def min_lookahead(self) -> float:
+        """The smallest cut delay — the sync protocol's step size."""
+        return min(self.lookahead.values(), default=inf)
+
+    def summary(self) -> dict:
+        return {
+            "partitions": self.n,
+            "sizes": [len(p) for p in self.parts],
+            "cut_links": len(self.cut_links),
+            "min_lookahead": self.min_lookahead(),
+        }
+
+
+def _adjacency(topo: "Topology") -> dict[str, list[str]]:
+    adj: dict[str, list[str]] = {name: [] for name in topo.nodes}
+    for link in topo.links:
+        adj[link.node_a.name].append(link.node_b.name)
+        adj[link.node_b.name].append(link.node_a.name)
+    for name in adj:
+        adj[name].sort()
+    return adj
+
+
+def _bfs_hops(adj: dict[str, list[str]], seeds: list[str]) -> dict[str, int]:
+    dist = {s: 0 for s in seeds}
+    queue = deque(seeds)
+    while queue:
+        here = queue.popleft()
+        for neighbor in adj[here]:
+            if neighbor not in dist:
+                dist[neighbor] = dist[here] + 1
+                queue.append(neighbor)
+    return dist
+
+
+def _pick_seeds(adj: dict[str, list[str]], source: str, n: int) -> list[str]:
+    """Farthest-first seeds: the source, then repeatedly the node with
+    the greatest hop distance to every chosen seed (ties by name)."""
+    seeds = [source]
+    while len(seeds) < n:
+        dist = _bfs_hops(adj, seeds)
+        best: Optional[str] = None
+        best_key = (-1, "")
+        for name in sorted(adj):
+            if name in seeds:
+                continue
+            key = (dist.get(name, len(adj)), name)
+            # Max distance, then lexicographically smallest name. The
+            # name enters the key negated via comparison order below.
+            if key[0] > best_key[0] or (key[0] == best_key[0] and key[1] < best_key[1]):
+                best, best_key = name, key
+        if best is None:  # fewer nodes than partitions
+            break
+        seeds.append(best)
+    return seeds
+
+
+def _claim_one(
+    adj: dict[str, list[str]],
+    owner: dict[str, int],
+    frontier: deque,
+    rank: int,
+    sizes: list[int],
+) -> bool:
+    """Claim one unowned node adjacent to ``rank``'s region (BFS
+    order). Returns False when the frontier is exhausted."""
+    while frontier:
+        here = frontier[0]
+        for neighbor in adj[here]:
+            if neighbor not in owner:
+                owner[neighbor] = rank
+                sizes[rank] += 1
+                frontier.append(neighbor)
+                return True
+        frontier.popleft()
+    return False
+
+
+def _grow(adj: dict[str, list[str]], seeds: list[str], cap: int) -> dict[str, int]:
+    """Balanced region growing: repeatedly expand the currently
+    *smallest* partition by a single node (BFS order within each
+    region, ties by rank). Size balance is enforced continuously, not
+    per wave — per-partition load bounds the sharded run's speedup, so
+    a partition must never race ahead and enclose its peers. ``cap``
+    is respected while any under-cap region can still grow, then
+    relaxed so every reachable node ends up owned."""
+    owner: dict[str, int] = {}
+    frontiers: list[deque[str]] = []
+    sizes = [0] * len(seeds)
+    for rank, seed in enumerate(seeds):
+        owner[seed] = rank
+        sizes[rank] = 1
+        frontiers.append(deque([seed]))
+    for limit in (cap, len(adj)):  # capped pass, then cap-relaxed
+        growable = set(range(len(seeds)))
+        while growable:
+            rank = min(growable, key=lambda r: (sizes[r], r))
+            if sizes[rank] >= limit or not _claim_one(
+                adj, owner, frontiers[rank], rank, sizes
+            ):
+                growable.discard(rank)
+    for name in sorted(n for n in adj if n not in owner):
+        # Disconnected from every seed -> smallest partition.
+        rank = min(range(len(seeds)), key=lambda r: (sizes[r], r))
+        owner[name] = rank
+        sizes[rank] += 1
+    return owner
+
+
+def _refine(
+    adj: dict[str, list[str]], owner: dict[str, int], n: int, cap: int, passes: int = 4
+) -> None:
+    """Boundary refinement: move a node to a neighboring partition when
+    that strictly reduces its external degree (the cut), without
+    emptying its partition or blowing the size slack."""
+    sizes = [0] * n
+    for rank in owner.values():
+        sizes[rank] += 1
+    slack = cap + 1
+    for _ in range(passes):
+        moved = False
+        for name in sorted(owner):
+            here = owner[name]
+            if sizes[here] <= 1:
+                continue
+            tallies: dict[int, int] = {}
+            for neighbor in adj[name]:
+                rank = owner[neighbor]
+                tallies[rank] = tallies.get(rank, 0) + 1
+            internal = tallies.get(here, 0)
+            best_rank, best_tally = here, internal
+            for rank in sorted(tallies):
+                if rank == here or sizes[rank] >= slack:
+                    continue
+                if tallies[rank] > best_tally:
+                    best_rank, best_tally = rank, tallies[rank]
+            if best_rank != here:
+                owner[name] = best_rank
+                sizes[here] -= 1
+                sizes[best_rank] += 1
+                moved = True
+        if not moved:
+            break
+
+
+def _rebalance(adj: dict[str, list[str]], owner: dict[str, int], n: int) -> None:
+    """Water-filling rebalance: while some partition outweighs another
+    by 2+ nodes, move one boundary node from the heaviest such
+    partition into an adjacent lighter one, preferring the move that
+    most improves (or least damages) the cut. Growth can leave a seed
+    region *enclosed* — its frontier dead at a handful of nodes while a
+    neighbor swallows the rest of the graph — and per-partition load
+    bounds the sharded run's speedup, so balance wins over cut size.
+    Each move strictly shrinks the size spread, so this terminates."""
+    sizes = [0] * n
+    for rank in owner.values():
+        sizes[rank] += 1
+    while True:
+        best = None
+        for name in sorted(owner):
+            here = owner[name]
+            if sizes[here] <= 1:
+                continue
+            tallies: dict[int, int] = {}
+            for neighbor in adj[name]:
+                rank = owner[neighbor]
+                tallies[rank] = tallies.get(rank, 0) + 1
+            for rank in sorted(tallies):
+                if rank == here or sizes[rank] > sizes[here] - 2:
+                    continue
+                gain = tallies[rank] - tallies.get(here, 0)
+                key = (sizes[here] - sizes[rank], gain, -sizes[rank])
+                if best is None or key > best[0]:
+                    best = (key, name, rank)
+        if best is None:
+            return
+        _key, name, rank = best
+        sizes[owner[name]] -= 1
+        owner[name] = rank
+        sizes[rank] += 1
+
+
+def plan_partitions(topo: "Topology", n: int, source: str) -> PartitionPlan:
+    """Partition ``topo`` into ``n`` shards with ``source`` in rank 0.
+
+    Raises :class:`TopologyError` for an invalid ``n``, an unknown
+    source, or a cut that includes a zero-delay link (no lookahead —
+    the conservative protocol cannot make progress across it).
+    """
+    if n < 1:
+        raise TopologyError(f"need at least 1 partition, got {n}")
+    if source not in topo.nodes:
+        raise TopologyError(f"unknown source node {source!r}")
+    n = min(n, len(topo.nodes))
+    adj = _adjacency(topo)
+    if n == 1:
+        owner = {name: 0 for name in topo.nodes}
+    else:
+        cap = ceil(len(topo.nodes) / n)
+        seeds = _pick_seeds(adj, source, n)
+        owner = _grow(adj, seeds, cap)
+        _refine(adj, owner, len(seeds), cap)
+        _rebalance(adj, owner, len(seeds))
+        # Seeds may have migrated during refinement; re-anchor the
+        # source's partition as rank 0 by swapping labels.
+        src_rank = owner[source]
+        if src_rank != 0:
+            for name, rank in owner.items():
+                if rank == src_rank:
+                    owner[name] = 0
+                elif rank == 0:
+                    owner[name] = src_rank
+        n = len(seeds)
+    parts: list[set[str]] = [set() for _ in range(n)]
+    for name, rank in owner.items():
+        parts[rank].add(name)
+    cut_links: list[tuple[str, str, float]] = []
+    lookahead: dict[tuple[int, int], float] = {}
+    for link in topo.links:
+        a, b = link.node_a.name, link.node_b.name
+        ra, rb = owner[a], owner[b]
+        if ra == rb:
+            continue
+        if link.delay <= 0.0:
+            raise TopologyError(
+                f"cut link {a}<->{b} has zero delay: no lookahead for "
+                "conservative sync (re-partition or give the link delay)"
+            )
+        cut_links.append((a, b, link.delay))
+        for direction in ((ra, rb), (rb, ra)):
+            current = lookahead.get(direction, inf)
+            lookahead[direction] = min(current, link.delay)
+    cut_links.sort()
+    return PartitionPlan(parts=parts, owner=owner, cut_links=cut_links, lookahead=lookahead)

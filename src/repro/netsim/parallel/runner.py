@@ -1,0 +1,349 @@
+"""The coordinator: spawn workers, run LBTS rounds, merge results.
+
+:class:`ParallelRunner` executes one :class:`ScenarioSpec` across N
+partitions. Two execution modes share the exact same round protocol:
+
+* ``mode="mp"`` — one ``multiprocessing`` child per partition, pipes
+  for the null-message/horizon exchange. Rounds are genuinely
+  concurrent: the coordinator sends every worker its horizon, then
+  collects every reply.
+* ``mode="inline"`` — the same :class:`PartitionWorker` objects driven
+  sequentially in-process. Single-core test environments exercise the
+  full protocol (partitioning, proxies, horizons, determinism) without
+  needing real parallelism; results are identical to ``mp`` because
+  the round protocol is deterministic.
+
+:func:`run_single` runs the unsharded oracle and
+:func:`assert_equivalent` pins the contract: merged per-partition
+summaries equal the oracle's settled ``ChannelState`` tables,
+subscription/delivery state, event counts, and obs counters.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from math import inf
+from time import perf_counter
+from typing import Optional
+
+from repro.errors import SimulationError
+from repro.netsim.parallel.partition import PartitionPlan, plan_partitions
+from repro.netsim.parallel.scenario import ScenarioSpec, build, schedule_ops
+from repro.netsim.parallel.sync import (
+    SyncStats,
+    compute_horizons,
+    effective_next_times,
+    merge_sync_stats,
+    transitive_lookahead,
+)
+from repro.netsim.parallel.worker import (
+    CMD_EXIT,
+    CMD_RESULT,
+    CMD_ROUND,
+    FINAL,
+    PartitionWorker,
+    extract_summary,
+    worker_main,
+)
+
+
+@dataclass
+class ParallelResult:
+    """Outcome of one sharded run."""
+
+    plan: PartitionPlan
+    summaries: list[dict]
+    sync: list[SyncStats]
+    rounds: int
+    #: Wall seconds of the round loop (build/spawn excluded — setup is
+    #: a fixed cost the speedup measurement should not charge to the
+    #: sync protocol).
+    wall_seconds: float
+    merged: dict = field(default_factory=dict)
+
+    def sync_totals(self) -> dict[str, int]:
+        return merge_sync_stats(self.sync)
+
+
+def run_single(
+    spec: ScenarioSpec, scheduler: str = "heap", with_obs: bool = False
+) -> dict:
+    """The single-process oracle: same spec, one event loop. Returns
+    the same summary shape workers produce (with ``wall_seconds`` of
+    the run added for benchmarking)."""
+    obs = None
+    if with_obs:
+        from repro.obs.hooks import Observability
+
+        obs = Observability()
+    net, channels, blocks = build(spec, scheduler=scheduler, obs=obs)
+    schedule_ops(spec, net, channels, blocks, owned=None)
+    started = perf_counter()
+    net.run(until=spec.duration)
+    wall = perf_counter() - started
+    summary = extract_summary(net, channels, blocks, owned=None, obs=obs)
+    summary["wall_seconds"] = wall
+    return summary
+
+
+def merge_summaries(summaries: list[dict]) -> dict:
+    """Fold per-partition summaries into one oracle-shaped record.
+
+    Node-keyed tables union disjointly (every node has exactly one
+    owner); event counts and obs counters add."""
+    merged: dict = {
+        "channel_tables": {},
+        "subscriptions": {},
+        "blocks": {},
+        "events": 0,
+        "final_time": 0.0,
+        "obs_counters": None,
+    }
+    obs_totals: Optional[dict] = None
+    for summary in summaries:
+        for key in ("channel_tables", "subscriptions", "blocks"):
+            overlap = merged[key].keys() & summary[key].keys()
+            if overlap:
+                raise SimulationError(f"partition overlap in {key}: {sorted(overlap)}")
+            merged[key].update(summary[key])
+        merged["events"] += summary["events"]
+        merged["final_time"] = max(merged["final_time"], summary["final_time"])
+        counters = summary.get("obs_counters")
+        if counters is not None:
+            if obs_totals is None:
+                obs_totals = {}
+            for key, value in counters.items():
+                if isinstance(value, tuple):
+                    count, total = obs_totals.get(key, (0, 0.0))
+                    obs_totals[key] = (count + value[0], total + value[1])
+                else:
+                    obs_totals[key] = obs_totals.get(key, 0) + value
+    merged["obs_counters"] = obs_totals
+    return merged
+
+
+def assert_equivalent(merged: dict, oracle: dict) -> None:
+    """Raise :class:`AssertionError` on any settled-state divergence
+    between a merged sharded summary and the single-process oracle."""
+    for key in ("channel_tables", "subscriptions", "blocks"):
+        if merged[key] != oracle[key]:
+            ours, theirs = merged[key], oracle[key]
+            detail = sorted(
+                set(ours) ^ set(theirs)
+            ) or [k for k in ours if ours[k] != theirs[k]]
+            raise AssertionError(
+                f"sharded {key} diverge from oracle (first diffs: {detail[:5]})"
+            )
+    if merged["events"] != oracle["events"]:
+        raise AssertionError(
+            f"event counts diverge: sharded {merged['events']} "
+            f"!= oracle {oracle['events']}"
+        )
+    ours, theirs = merged.get("obs_counters"), oracle.get("obs_counters")
+    if ours is None or theirs is None:
+        return
+    if set(ours) != set(theirs):
+        missing = sorted(set(theirs) - set(ours))[:5]
+        extra = sorted(set(ours) - set(theirs))[:5]
+        raise AssertionError(
+            f"obs counter families diverge (missing: {missing}, extra: {extra})"
+        )
+    for key in theirs:
+        mine, ref = ours[key], theirs[key]
+        if isinstance(ref, tuple):
+            if mine[0] != ref[0] or not math.isclose(
+                mine[1], ref[1], rel_tol=1e-9, abs_tol=1e-12
+            ):
+                raise AssertionError(f"histogram {key} diverges: {mine} != {ref}")
+        elif mine != ref:
+            raise AssertionError(f"counter {key} diverges: {mine} != {ref}")
+
+
+class _InlineTransport:
+    """Drives PartitionWorker objects in-process, same protocol."""
+
+    def __init__(self, spec, plan, scheduler, with_obs):
+        self.workers = [
+            PartitionWorker(spec, plan, rank, scheduler=scheduler, with_obs=with_obs)
+            for rank in range(plan.n)
+        ]
+
+    def initial(self) -> list[float]:
+        return [w.next_time() for w in self.workers]
+
+    def round(self, commands: dict[int, tuple]) -> dict[int, tuple]:
+        return {
+            rank: self.workers[rank].run_round(horizon, imports)
+            for rank, (horizon, imports) in commands.items()
+        }
+
+    def results(self) -> list[tuple[dict, SyncStats]]:
+        return [(w.summary(), w.stats) for w in self.workers]
+
+    def close(self) -> None:
+        pass
+
+
+class _ProcessTransport:
+    """One multiprocessing child per partition, pipe per worker."""
+
+    def __init__(self, spec, plan, scheduler, with_obs):
+        import multiprocessing as mp
+
+        try:
+            ctx = mp.get_context("fork")
+        except ValueError:  # pragma: no cover - non-POSIX fallback
+            ctx = mp.get_context()
+        self.conns = []
+        self.procs = []
+        for rank in range(plan.n):
+            parent, child = ctx.Pipe()
+            proc = ctx.Process(
+                target=worker_main,
+                args=(child, spec, plan, rank, scheduler, with_obs),
+                daemon=True,
+            )
+            proc.start()
+            child.close()
+            self.conns.append(parent)
+            self.procs.append(proc)
+
+    def _recv(self, rank: int):
+        reply = self.conns[rank].recv()
+        if isinstance(reply, tuple) and reply and reply[0] == "error":
+            raise SimulationError(f"worker {rank} failed: {reply[1]}")
+        return reply
+
+    def initial(self) -> list[float]:
+        times = []
+        for rank in range(len(self.conns)):
+            _tag, next_time, _ops = self._recv(rank)
+            times.append(next_time)
+        return times
+
+    def round(self, commands: dict[int, tuple]) -> dict[int, tuple]:
+        for rank, (horizon, imports) in commands.items():
+            self.conns[rank].send((CMD_ROUND, horizon, imports))
+        return {rank: self._recv(rank) for rank in commands}
+
+    def results(self) -> list[tuple[dict, SyncStats]]:
+        for conn in self.conns:
+            conn.send((CMD_RESULT,))
+        return [self._recv(rank) for rank in range(len(self.conns))]
+
+    def close(self) -> None:
+        for conn in self.conns:
+            try:
+                conn.send((CMD_EXIT,))
+            except (BrokenPipeError, OSError):
+                pass
+        for proc in self.procs:
+            proc.join(timeout=10)
+            if proc.is_alive():  # pragma: no cover - hang guard
+                proc.terminate()
+        for conn in self.conns:
+            conn.close()
+
+
+class ParallelRunner:
+    """Coordinate one sharded run of ``spec`` over ``n_workers``."""
+
+    def __init__(
+        self,
+        spec: ScenarioSpec,
+        n_workers: int,
+        scheduler: str = "heap",
+        mode: str = "mp",
+        with_obs: bool = False,
+        plan: Optional[PartitionPlan] = None,
+    ) -> None:
+        if mode not in ("mp", "inline"):
+            raise SimulationError(f"unknown runner mode {mode!r}")
+        self.spec = spec
+        self.scheduler = scheduler
+        self.mode = mode
+        self.with_obs = with_obs
+        if plan is None:
+            from repro.netsim.topology import TopologyBuilder
+
+            builder = getattr(TopologyBuilder, spec.topology)
+            topo = builder(seed=spec.seed, **spec.topology_kwargs)
+            plan = plan_partitions(topo, n_workers, spec.source)
+        self.plan = plan
+
+    def run(self) -> ParallelResult:
+        plan = self.plan
+        duration = self.spec.duration
+        transport = (
+            _ProcessTransport(self.spec, plan, self.scheduler, self.with_obs)
+            if self.mode == "mp"
+            else _InlineTransport(self.spec, plan, self.scheduler, self.with_obs)
+        )
+        closure = transitive_lookahead(plan.lookahead, plan.n)
+        try:
+            reported = transport.initial()
+            n = plan.n
+            pending: list[list[tuple]] = [[] for _ in range(n)]
+            finalized = [False] * n
+            rounds = 0
+            started = perf_counter()
+            while not all(finalized):
+                pending_min = [
+                    min((rec[0] for rec in bucket), default=inf) for bucket in pending
+                ]
+                next_eff = effective_next_times(reported, pending_min)
+                horizons = compute_horizons(next_eff, closure)
+                commands: dict[int, tuple] = {}
+                for rank in range(n):
+                    if finalized[rank]:
+                        continue
+                    if horizons[rank] > duration:
+                        # Nothing external can arrive at or before the
+                        # scenario end: take the final inclusive window.
+                        commands[rank] = (FINAL, pending[rank])
+                        finalized[rank] = True
+                    else:
+                        commands[rank] = (horizons[rank], pending[rank])
+                    pending[rank] = []
+                replies = transport.round(commands)
+                rounds += 1
+                for rank, (next_time, exports, _dispatched) in replies.items():
+                    reported[rank] = next_time
+                    for record in exports:
+                        pending[record[3]].append(record)
+            # Trailing flush: exports addressed to already-finalized
+            # workers necessarily arrive after the scenario end (the
+            # FINAL horizon proof), so they are injected but never
+            # dispatched — delivered anyway to keep the fleet's
+            # proxy-in/out accounting closed.
+            flush = {
+                rank: (FINAL, bucket)
+                for rank, bucket in enumerate(pending)
+                if bucket
+            }
+            for rank, (_h, bucket) in flush.items():
+                early = [rec for rec in bucket if rec[0] <= duration]
+                if early:  # pragma: no cover - protocol invariant guard
+                    raise SimulationError(
+                        f"late import at t<=duration for finalized worker "
+                        f"{rank}: {early[0][:4]}"
+                    )
+            if flush:
+                transport.round(flush)
+                rounds += 1
+            wall = perf_counter() - started
+            raw = transport.results()
+        finally:
+            transport.close()
+        summaries = [summary for summary, _stats in raw]
+        stats = [s for _summary, s in raw]
+        result = ParallelResult(
+            plan=plan,
+            summaries=summaries,
+            sync=stats,
+            rounds=rounds,
+            wall_seconds=wall,
+        )
+        result.merged = merge_summaries(summaries)
+        return result

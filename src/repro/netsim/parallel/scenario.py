@@ -1,0 +1,207 @@
+"""Declarative, picklable workload specs for sharded runs.
+
+A sharded run needs the *same* scenario built independently in every
+worker process (and once more for the single-process oracle), so the
+workload cannot be a bag of closures: :class:`ScenarioSpec` describes
+the topology by ``TopologyBuilder`` generator name, the network by
+constructor kwargs, and the workload as declarative op tuples
+
+    (time, kind, *args)   with kind in
+    "join" / "leave"          (host subscriptions)
+    "send"                    (source datagram on a channel)
+    "block_join" / "block_leave"  (aggregated subscriber blocks)
+
+Each op has a well-defined *owner node* (the host, the source, or the
+block's edge router), which is how a worker knows whether to schedule
+it: ops execute only in the partition that owns their node, which is
+also where the oracle dispatches them, so per-event-name obs counters
+line up exactly.
+
+Large workloads reference an *op generator* from :data:`OPGENS` by
+name instead of carrying a million tuples through a pipe: the spec
+pickles as ``(name, kwargs)`` and every process regenerates the
+identical op list locally (generators must be deterministic —
+anything random must derive from the spec's seed).
+
+Ops are intentionally limited to membership and data traffic: link
+up/down events change *global* state (unicast routing everywhere) and
+are not supported in sharded runs.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Callable, Iterable, Optional
+
+from repro.core.network import MPEG2_PACKET_BYTES, ExpressNetwork
+from repro.errors import SimulationError
+from repro.netsim.topology import Topology, TopologyBuilder
+
+#: Registry of named op generators: name -> callable(**kwargs) -> list
+#: of (time, kind, *args) tuples. Deterministic by construction.
+OPGENS: dict[str, Callable[..., list[tuple]]] = {}
+
+
+def opgen(name: str) -> Callable:
+    """Register a deterministic op generator under ``name``."""
+
+    def deco(fn: Callable[..., list[tuple]]) -> Callable[..., list[tuple]]:
+        OPGENS[name] = fn
+        return fn
+
+    return deco
+
+
+@dataclass
+class ScenarioSpec:
+    """Everything needed to rebuild one workload anywhere."""
+
+    #: ``TopologyBuilder`` generator name (``isp``, ``balanced_tree``…).
+    topology: str
+    #: Kwargs for the generator (seed/scheduler are supplied separately).
+    topology_kwargs: dict = field(default_factory=dict)
+    #: Source host node name (channels are allocated here; rank 0 owns it).
+    source: str = ""
+    n_channels: int = 1
+    #: Edge routers to attach aggregated subscriber blocks to, in order.
+    blocks: tuple = ()
+    #: Extra ``ExpressNetwork`` kwargs (must be picklable).
+    net_kwargs: dict = field(default_factory=dict)
+    #: Inline op tuples (small workloads / tests).
+    ops: tuple = ()
+    #: ``(OPGENS name, kwargs)`` for big workloads; regenerated locally.
+    opgen: Optional[tuple] = None
+    #: Simulated end time; every run dispatches events <= duration.
+    duration: float = 1.0
+    seed: int = 0
+
+    def all_ops(self) -> list[tuple]:
+        ops = list(self.ops)
+        if self.opgen is not None:
+            name, kwargs = self.opgen
+            generator = OPGENS.get(name)
+            if generator is None:
+                raise SimulationError(f"unknown op generator {name!r}")
+            ops.extend(generator(**kwargs))
+        return ops
+
+    def op_owner(self, op: tuple) -> str:
+        """The node whose partition schedules and dispatches ``op``."""
+        kind = op[1]
+        if kind in ("join", "leave"):
+            return op[2]
+        if kind == "send":
+            return self.source
+        if kind in ("block_join", "block_leave"):
+            return self.blocks[op[2]]
+        raise SimulationError(f"unknown op kind {kind!r}")
+
+
+def build(spec: ScenarioSpec, scheduler: str = "heap", obs=None):
+    """Construct the scenario's network: returns ``(net, channels,
+    blocks)``. Identical in every process for a given spec — node
+    addresses, interface indices, channel suffixes, and block names all
+    come from deterministic allocation order."""
+    builder = getattr(TopologyBuilder, spec.topology, None)
+    if builder is None:
+        raise SimulationError(f"unknown topology generator {spec.topology!r}")
+    topo: Topology = builder(seed=spec.seed, scheduler=scheduler, **spec.topology_kwargs)
+    net = ExpressNetwork(topo, obs=obs, **spec.net_kwargs)
+    source = net.source(spec.source)
+    channels = [source.allocate_channel() for _ in range(spec.n_channels)]
+    blocks = [net.subscriber_block(name) for name in spec.blocks]
+    return net, channels, blocks
+
+
+def schedule_ops(
+    spec: ScenarioSpec,
+    net: ExpressNetwork,
+    channels: list,
+    blocks: list,
+    owned: Optional[set] = None,
+) -> int:
+    """Schedule the spec's ops onto ``net``'s simulator; ``owned``
+    restricts to ops whose owner node is in the set (a partition
+    worker). Returns how many ops were scheduled."""
+    source = net.source(spec.source)
+    sim = net.sim
+    scheduled = 0
+    for op in spec.all_ops():
+        if owned is not None and spec.op_owner(op) not in owned:
+            continue
+        when, kind = op[0], op[1]
+        if kind == "join":
+            action = _join_action(net, op[2], channels[op[3]])
+        elif kind == "leave":
+            action = _leave_action(net, op[2], channels[op[3]])
+        elif kind == "send":
+            size = op[3] if len(op) > 3 else MPEG2_PACKET_BYTES
+            action = _send_action(source, channels[op[2]], size)
+        elif kind == "block_join":
+            action = _block_join_action(blocks[op[2]], channels[op[3]], op[4] if len(op) > 4 else 1)
+        elif kind == "block_leave":
+            action = _block_leave_action(blocks[op[2]], channels[op[3]], op[4] if len(op) > 4 else 1)
+        else:
+            raise SimulationError(f"unknown op kind {kind!r}")
+        sim.schedule_at(when, action, name=f"op:{kind}")
+        scheduled += 1
+    return scheduled
+
+
+def _join_action(net, host, channel):
+    return lambda: net.host(host).subscribe(channel)
+
+
+def _leave_action(net, host, channel):
+    return lambda: net.host(host).unsubscribe(channel)
+
+
+def _send_action(source, channel, size):
+    return lambda: source.send(channel, size=size)
+
+
+def _block_join_action(block, channel, n):
+    return lambda: block.join(channel, n)
+
+
+def _block_leave_action(block, channel, n):
+    return lambda: block.leave(channel, n)
+
+
+@opgen("block_storm")
+def block_storm(
+    n_subs: int,
+    n_blocks: int,
+    n_channels: int = 1,
+    base: float = 0.1,
+    join_window: float = 4.0,
+    leave_fraction: float = 0.125,
+    leave_window: float = 0.8,
+    packets: int = 20,
+    seed: int = 0,
+) -> list[tuple]:
+    """The ``mega_join_storm`` shape as declarative ops: ``n_subs``
+    block joins spread over ``join_window``, a ``leave_fraction`` wave
+    after it, then ``packets`` source datagrams on every channel. The
+    op list is deterministically shuffled (seeded) so scheduler inserts
+    arrive in random time order — in submission order a heap's sift-up
+    degenerates to O(1) and scheduler comparisons measure nothing."""
+    n_leaves = int(n_subs * leave_fraction)
+    ops: list[tuple] = [
+        (base + join_window * i / n_subs, "block_join", i % n_blocks, i % n_channels, 1)
+        for i in range(n_subs)
+    ]
+    leave_base = base + join_window + 0.1
+    ops += [
+        (leave_base + leave_window * i / max(n_leaves, 1), "block_leave",
+         i % n_blocks, i % n_channels, 1)
+        for i in range(n_leaves)
+    ]
+    random.Random(seed + 1).shuffle(ops)
+    send_base = leave_base + leave_window + 0.2
+    for channel_index in range(n_channels):
+        ops += [
+            (send_base + 0.005 * k, "send", channel_index) for k in range(packets)
+        ]
+    return ops

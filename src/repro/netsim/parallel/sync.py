@@ -1,0 +1,166 @@
+"""Conservative-lookahead synchronization (null messages / LBTS).
+
+The coordinator runs Chandy–Misra–Bryant-style rounds over the
+partition graph. Every round, each worker reports its *next effective
+event time* — the earliest timestamp it could dispatch, accounting for
+both its local queue and any imports the coordinator is still holding
+for it. The coordinator then hands each worker a horizon
+
+    H_w = min over predecessors q of (next_eff_q + L[q -> w])
+
+where ``L[q -> w]`` is the smallest propagation delay of any cut link
+from partition q toward w: nothing q dispatches at or after
+``next_eff_q`` can arrive in w before ``next_eff_q + L``, so w may
+dispatch every event strictly below ``H_w`` without risk of a
+causality violation. Workers run exclusive-horizon windows
+(``Simulator.run(until=H, inclusive=False)``), export cut-crossing
+packets, and the round repeats. Because every cut delay is positive,
+the global minimum next-event time strictly increases each round and
+the protocol cannot deadlock.
+
+These per-report announcements *are* the null messages of the CMB
+protocol — a worker with nothing to send still advances its neighbors'
+horizons by reporting its clock plus lookahead.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from math import inf
+from typing import Optional
+
+
+@dataclass
+class SyncStats:
+    """Per-worker sync counters (picklable; mirrored into the obs
+    registry as ``parallel_*`` families when observability is on)."""
+
+    rank: int = 0
+    null_messages: int = 0
+    lbts_stalls: int = 0
+    sync_rounds: int = 0
+    proxy_packets_out: int = 0
+    proxy_bytes_out: int = 0
+    proxy_packets_in: int = 0
+    proxy_bytes_in: int = 0
+
+    def as_dict(self) -> dict[str, int]:
+        return {
+            "rank": self.rank,
+            "null_messages": self.null_messages,
+            "lbts_stalls": self.lbts_stalls,
+            "sync_rounds": self.sync_rounds,
+            "proxy_packets_out": self.proxy_packets_out,
+            "proxy_bytes_out": self.proxy_bytes_out,
+            "proxy_packets_in": self.proxy_packets_in,
+            "proxy_bytes_in": self.proxy_bytes_in,
+        }
+
+
+def merge_sync_stats(stats: list[SyncStats]) -> dict[str, int]:
+    """Fleet totals across workers (ranks dropped)."""
+    totals = {
+        "null_messages": 0,
+        "lbts_stalls": 0,
+        "sync_rounds": 0,
+        "proxy_packets": 0,
+        "proxy_bytes": 0,
+    }
+    for s in stats:
+        totals["null_messages"] += s.null_messages
+        totals["lbts_stalls"] += s.lbts_stalls
+        totals["sync_rounds"] += s.sync_rounds
+        totals["proxy_packets"] += s.proxy_packets_out
+        totals["proxy_bytes"] += s.proxy_bytes_out
+    return totals
+
+
+def effective_next_times(
+    reported: list[float], pending_import_min: list[float]
+) -> list[float]:
+    """Fold pending (undelivered) imports into each worker's report.
+
+    A worker's own queue does not know about packets the coordinator
+    is still holding for it; using the raw report would let a
+    predecessor's horizon race past an import that is about to land —
+    a causality violation. ``pending_import_min[w]`` is the earliest
+    arrival time among held imports destined to w (``inf`` if none).
+    """
+    return [min(r, p) for r, p in zip(reported, pending_import_min)]
+
+
+def transitive_lookahead(
+    lookahead: dict[tuple[int, int], float], n: int
+) -> dict[tuple[int, int], float]:
+    """All-pairs minimum lookahead over the partition graph.
+
+    Direct cut delays alone are *not* a safe horizon input: influence
+    propagates transitively (q exports to r, whose reaction exports to
+    w), and an idle intermediate partition reports ``next_eff = inf``
+    — which would unbound w's horizon even though q's next event can
+    reach w in ``L[q->r] + L[r->w]``. Floyd–Warshall over the cut
+    delays gives the true minimum delay along *any* partition path,
+    including the diagonal ``(w, w)``: the shortest cycle through the
+    cut bounds how soon a worker's own dispatches can echo back to it,
+    which must also cap its horizon. Computed once per plan (the
+    partition count is tiny).
+    """
+    dist = [[inf] * n for _ in range(n)]
+    for (src, dst), delay in lookahead.items():
+        if delay < dist[src][dst]:
+            dist[src][dst] = delay
+    for mid in range(n):
+        row_mid = dist[mid]
+        for src in range(n):
+            through = dist[src][mid]
+            if through == inf:
+                continue
+            row_src = dist[src]
+            for dst in range(n):
+                candidate = through + row_mid[dst]
+                if candidate < row_src[dst]:
+                    row_src[dst] = candidate
+    return {
+        (src, dst): dist[src][dst]
+        for src in range(n)
+        for dst in range(n)
+        if dist[src][dst] < inf
+    }
+
+
+def compute_horizons(
+    next_eff: list[float],
+    lookahead: dict[tuple[int, int], float],
+    until: Optional[float] = None,
+) -> list[float]:
+    """Per-worker dispatch horizons for one round.
+
+    ``next_eff[q]`` is worker q's effective next event time;
+    ``lookahead[(q, w)]`` the min delay from q toward w — pass the
+    :func:`transitive_lookahead` closure, not the raw per-cut-link
+    matrix, so multi-hop influence and self-echo cycles bound the
+    horizon too. A worker no partition can reach gets ``inf`` —
+    nothing external can ever affect it, so it may run to the end of
+    simulated time. ``until`` (the scenario end) caps nothing here;
+    callers compare horizons against it to decide when a worker can
+    take its final inclusive window. Horizons are monotonically
+    nondecreasing across rounds because every ``next_eff`` is
+    nondecreasing and lookaheads are fixed.
+    """
+    n = len(next_eff)
+    horizons = [inf] * n
+    for (src, dst), delay in lookahead.items():
+        bound = next_eff[src] + delay
+        if bound < horizons[dst]:
+            horizons[dst] = bound
+    return horizons
+
+
+@dataclass
+class RoundTrace:
+    """One coordinator round, for the sync unit tests and debugging."""
+
+    round_index: int
+    next_eff: list[float] = field(default_factory=list)
+    horizons: list[float] = field(default_factory=list)
+    exports: int = 0

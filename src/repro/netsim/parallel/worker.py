@@ -1,0 +1,270 @@
+"""One partition's event loop: ghosts, proxies, and windowed runs.
+
+A :class:`PartitionWorker` builds the *full* scenario (identical
+topology, addresses, interface indices, channel suffixes everywhere),
+starts agents only for its owned nodes, installs capture hooks on cut
+links, and then alternates between lookahead-bounded simulator windows
+and export/import exchanges with the coordinator. It is process-
+agnostic: the mp runner hosts one per child process via
+:func:`worker_main`; the inline runner drives the same objects in a
+single process (1-CPU test environments, debugging).
+
+Determinism: imports are injected sorted by ``(arrival_time,
+src_rank, export_seq)`` before each window, and injected delivery
+events carry the same ``deliver:<proto>`` names the link layer uses,
+so per-event-name obs counters match the single-process oracle
+exactly.
+"""
+
+from __future__ import annotations
+
+from math import inf
+from typing import Optional
+
+from repro.netsim.engine import derive_seed
+from repro.netsim.parallel.codec import decode_packet, encode_packet
+from repro.netsim.parallel.partition import PartitionPlan
+from repro.netsim.parallel.scenario import ScenarioSpec, build, schedule_ops
+from repro.netsim.parallel.sync import SyncStats
+
+#: Coordinator commands over the pipe.
+CMD_ROUND = "round"
+CMD_RESULT = "result"
+CMD_EXIT = "exit"
+
+#: Horizon sentinel: run the final inclusive window to the scenario end.
+FINAL = None
+
+#: Metric-family prefixes excluded from equivalence snapshots: sync
+#: traffic only exists in sharded runs, and the wall-clock families
+#: (event timing, SPF timing — plus the per-process lazy Dijkstra tree
+#: fills, which legitimately duplicate across workers) measure the
+#: machine, not the protocol.
+EQUIVALENCE_EXCLUDE = ("parallel_", "sim_event_wall_seconds", "spf_")
+
+
+class PartitionWorker:
+    """One rank of a sharded run."""
+
+    def __init__(
+        self,
+        spec: ScenarioSpec,
+        plan: PartitionPlan,
+        rank: int,
+        scheduler: str = "heap",
+        with_obs: bool = False,
+    ) -> None:
+        self.spec = spec
+        self.plan = plan
+        self.rank = rank
+        self.stats = SyncStats(rank=rank)
+        obs = None
+        self.sync_metrics = None
+        if with_obs:
+            from repro.obs.hooks import Observability, SyncMetrics
+
+            obs = Observability()
+            self.sync_metrics = SyncMetrics(obs.registry, rank)
+        self.obs = obs
+        self.net, self.channels, self.blocks = build(spec, scheduler=scheduler, obs=obs)
+        self.sim = self.net.sim
+        owned = plan.parts[rank]
+        #: Owned names in topology insertion order, so agents start in
+        #: the same relative order as the oracle's full start.
+        self.owned = [n for n in self.net.topo.nodes if n in owned]
+        self._owned_set = set(self.owned)
+        self.exports: list[tuple] = []
+        self._export_seq = 0
+        self._install_proxies()
+        self.net.start(self.owned)
+        self.ops_scheduled = schedule_ops(
+            spec, self.net, self.channels, self.blocks, owned=self._owned_set
+        )
+        # Post-build reseed: construction consumed the shared seed
+        # identically everywhere; from here on each worker draws from
+        # its own derived stream (loss draws on owned links only).
+        self.sim.reseed(derive_seed(spec.seed, "worker", rank))
+
+    # -- proxies -----------------------------------------------------------
+
+    def _install_proxies(self) -> None:
+        owner = self.plan.owner
+        for link in self.net.topo.links:
+            if owner[link.node_a.name] != owner[link.node_b.name]:
+                link.capture = self._capture
+
+    def _capture(self, link, sender, packet, arrival: float) -> None:
+        if self.plan.owner[sender.name] != self.rank:
+            # A ghost transmitted — only possible via a scenario bug
+            # (ops scheduled on a non-owned node); drop loudly.
+            raise RuntimeError(
+                f"ghost node {sender.name} transmitted in partition {self.rank}"
+            )
+        receiver = link.other_end(sender)
+        data = encode_packet(packet)
+        self.stats.proxy_packets_out += 1
+        self.stats.proxy_bytes_out += len(data)
+        if self.sync_metrics is not None:
+            self.sync_metrics.proxy_export(len(data))
+        self.exports.append(
+            (
+                arrival,
+                self.rank,
+                self._export_seq,
+                self.plan.owner[receiver.name],
+                receiver.name,
+                link.interface_of(receiver).index,
+                data,
+            )
+        )
+        self._export_seq += 1
+
+    def _inject(self, imports: list[tuple]) -> None:
+        """Schedule imported packets as delivery events, in exact
+        ``(arrival, src_rank, export_seq)`` order."""
+        topo = self.net.topo
+        for arrival, _src_rank, _seq, _dst_rank, node_name, iface_index, data in sorted(
+            imports, key=lambda rec: (rec[0], rec[1], rec[2])
+        ):
+            packet = decode_packet(data)
+            self.stats.proxy_packets_in += 1
+            self.stats.proxy_bytes_in += len(data)
+            node = topo.node(node_name)
+            self.sim.schedule_at(
+                arrival,
+                lambda n=node, p=packet, i=iface_index: n.receive(p, i),
+                name=f"deliver:{packet.proto}",
+            )
+
+    # -- sync rounds -------------------------------------------------------
+
+    def next_time(self) -> float:
+        when = self.sim.peek_time()
+        return when if when is not None else inf
+
+    def run_round(
+        self, horizon: Optional[float], imports: list[tuple]
+    ) -> tuple[float, list[tuple], int]:
+        """One coordinator round: inject, run the window, report.
+
+        ``horizon=None`` (:data:`FINAL`) runs the inclusive window to
+        the scenario end. Returns ``(next_time, exports, dispatched)``.
+        """
+        self._inject(imports)
+        before = self.sim.events_processed
+        if horizon is FINAL:
+            self.sim.run(until=self.spec.duration)
+        else:
+            self.sim.run(until=horizon, inclusive=False)
+        dispatched = self.sim.events_processed - before
+        self.stats.sync_rounds += 1
+        exports = self.exports
+        self.exports = []
+        if not exports:
+            self.stats.null_messages += 1
+            if self.sync_metrics is not None:
+                self.sync_metrics.null_message()
+        nxt = self.next_time()
+        if dispatched == 0 and nxt <= self.spec.duration:
+            self.stats.lbts_stalls += 1
+            if self.sync_metrics is not None:
+                self.sync_metrics.lbts_stall()
+        if self.sync_metrics is not None:
+            self.sync_metrics.sync_round()
+        return nxt, exports, dispatched
+
+    # -- results -----------------------------------------------------------
+
+    def summary(self) -> dict:
+        return extract_summary(
+            self.net,
+            self.channels,
+            self.blocks,
+            owned=self._owned_set,
+            obs=self.obs,
+        )
+
+
+def extract_summary(net, channels, blocks, owned=None, obs=None) -> dict:
+    """The picklable settled-state record equivalence compares.
+
+    ``owned=None`` extracts everything (the single-process oracle);
+    a partition worker passes its node set. Per-worker summaries merge
+    disjointly: every node, subscription, and block belongs to exactly
+    one partition, and obs counters add.
+    """
+
+    def mine(name: str) -> bool:
+        return owned is None or name in owned
+
+    channel_tables: dict[str, dict] = {}
+    subscriptions: dict[str, dict] = {}
+    for name, agent in net.ecmp_agents.items():
+        if not mine(name):
+            continue
+        tables = {}
+        for channel, state in agent.channels.items():
+            tables[str(channel)] = {
+                "upstream": state.upstream,
+                "advertised": state.advertised,
+                "total": state.total(),
+                "downstream": {
+                    neighbor: (record.count, record.validated)
+                    for neighbor, record in state.downstream.items()
+                },
+            }
+        if tables:
+            channel_tables[name] = tables
+        subs = {}
+        for channel, handle in agent.subscriptions.items():
+            subs[str(channel)] = (handle.status, handle.packets_received)
+        if subs:
+            subscriptions[name] = subs
+    block_state: dict[str, dict] = {}
+    for block in blocks:
+        if not mine(block.edge_router):
+            continue
+        block_state[f"{block.edge_router}/{block.name}"] = {
+            "deliveries": block.deliveries,
+            "counts": {str(ch): block.count(ch) for ch in channels if block.count(ch)},
+        }
+    obs_counters = None
+    if obs is not None:
+        obs_counters = obs.registry.counter_snapshot(exclude=EQUIVALENCE_EXCLUDE)
+    return {
+        "channel_tables": channel_tables,
+        "subscriptions": subscriptions,
+        "blocks": block_state,
+        "events": net.sim.events_processed,
+        "final_time": net.sim.now,
+        "obs_counters": obs_counters,
+    }
+
+
+def worker_main(conn, spec, plan, rank, scheduler, with_obs) -> None:
+    """Child-process entry: build the partition, then serve rounds."""
+    try:
+        worker = PartitionWorker(
+            spec, plan, rank, scheduler=scheduler, with_obs=with_obs
+        )
+        conn.send(("ready", worker.next_time(), worker.ops_scheduled))
+        while True:
+            command = conn.recv()
+            kind = command[0]
+            if kind == CMD_ROUND:
+                _, horizon, imports = command
+                conn.send(worker.run_round(horizon, imports))
+            elif kind == CMD_RESULT:
+                conn.send((worker.summary(), worker.stats))
+            elif kind == CMD_EXIT:
+                break
+            else:  # pragma: no cover - protocol bug guard
+                raise RuntimeError(f"unknown command {kind!r}")
+    except Exception as exc:  # surface the failure to the coordinator
+        try:
+            conn.send(("error", f"{type(exc).__name__}: {exc}"))
+        except Exception:  # pragma: no cover - pipe already closed
+            pass
+        raise
+    finally:
+        conn.close()

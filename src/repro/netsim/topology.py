@@ -148,13 +148,24 @@ class Topology:
 
     # -- lifecycle -----------------------------------------------------------
 
-    def start(self) -> None:
-        """Start all protocol agents once wiring is complete."""
+    def start(self, nodes: Optional[list[str]] = None) -> None:
+        """Start protocol agents once wiring is complete.
+
+        ``nodes`` restricts the start to a subset (by name) — used by
+        the parallel-simulation workers, which build the full topology
+        in every process (so addressing and routing are identical) but
+        only animate the nodes their partition owns; the rest stay
+        inert ghosts whose traffic arrives via cut-link proxies.
+        """
         if self._started:
             return
         self._started = True
-        for node in self.nodes.values():
-            node.start_agents()
+        if nodes is None:
+            for node in self.nodes.values():
+                node.start_agents()
+        else:
+            for name in nodes:
+                self.node(name).start_agents()
 
     def run(self, until: Optional[float] = None, max_events: Optional[int] = None) -> int:
         self.start()

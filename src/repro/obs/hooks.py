@@ -152,6 +152,66 @@ def instrument_simulator(sim: "Simulator", registry: MetricsRegistry) -> None:
     registry.register_collector(collect)
 
 
+class SyncMetrics:
+    """Per-partition conservative-sync counters for the parallel runner.
+
+    All families share the ``parallel_`` prefix so equivalence
+    comparisons can exclude them wholesale: sync traffic exists only in
+    sharded runs and legitimately has no single-process counterpart.
+    """
+
+    __slots__ = (
+        "partition",
+        "_null_messages",
+        "_lbts_stalls",
+        "_proxy_bytes",
+        "_proxy_packets",
+        "_rounds",
+    )
+
+    def __init__(self, registry: MetricsRegistry, partition: int) -> None:
+        self.partition = str(partition)
+        self._null_messages = registry.counter(
+            "parallel_null_messages_total",
+            "Null-message/LBTS announcements sent by a partition worker",
+            ("partition",),
+        )
+        self._lbts_stalls = registry.counter(
+            "parallel_lbts_stalls_total",
+            "Sync rounds where a worker had a runnable event past the "
+            "global LBTS horizon and had to wait",
+            ("partition",),
+        )
+        self._proxy_bytes = registry.counter(
+            "parallel_proxy_bytes_total",
+            "Serialized packet bytes exported across cut links",
+            ("partition",),
+        )
+        self._proxy_packets = registry.counter(
+            "parallel_proxy_packets_total",
+            "Packets exported across cut links",
+            ("partition",),
+        )
+        self._rounds = registry.counter(
+            "parallel_sync_rounds_total",
+            "Conservative-sync rounds executed by a partition worker",
+            ("partition",),
+        )
+
+    def null_message(self) -> None:
+        self._null_messages.labels(partition=self.partition).inc()
+
+    def lbts_stall(self) -> None:
+        self._lbts_stalls.labels(partition=self.partition).inc()
+
+    def proxy_export(self, size: int) -> None:
+        self._proxy_packets.labels(partition=self.partition).inc()
+        self._proxy_bytes.labels(partition=self.partition).inc(size)
+
+    def sync_round(self) -> None:
+        self._rounds.labels(partition=self.partition).inc()
+
+
 def attach_topology(topo: "Topology", obs: Observability) -> Observability:
     """Instrument an entire topology: the simulator, every node, every
     link. Nodes/links added afterwards are not retro-instrumented; call

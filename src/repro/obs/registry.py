@@ -316,6 +316,39 @@ class MetricsRegistry:
     def __contains__(self, name: str) -> bool:
         return name in self._families
 
+    def counter_snapshot(
+        self, exclude: Sequence[str] = ()
+    ) -> dict[tuple[str, tuple[str, ...]], object]:
+        """A flat ``{(family, label_values): value}`` view of counters
+        and histograms, for cross-run equivalence comparisons.
+
+        Counter children map to their integer value; histogram children
+        map to ``(count, sum)`` (percentiles are order-dependent and
+        excluded). Gauges are skipped — they describe instantaneous
+        state, not accumulated work, and are refreshed by collectors
+        that may not run identically across processes. Families whose
+        name starts with any prefix in ``exclude`` are skipped (used to
+        drop wall-clock timings and the parallel sync counters, which
+        legitimately differ between sharded and single-process runs).
+
+        Snapshots from several registries (one per partition worker)
+        can be merged by summing values key-by-key; the merged result
+        of a deterministic sharded run equals the single-process one.
+        """
+        out: dict[tuple[str, tuple[str, ...]], object] = {}
+        for family in self.collect():
+            if family.kind == "gauge":
+                continue
+            if any(family.name.startswith(prefix) for prefix in exclude):
+                continue
+            for values, child in family.children():
+                key = (family.name, values)
+                if isinstance(child, HistogramValue):
+                    out[key] = (child.count, child.sum)
+                else:
+                    out[key] = child.value
+        return out
+
     def snapshot(self) -> dict[str, dict]:
         """A plain-dict view of every family (tests, JSON export)."""
         out: dict[str, dict] = {}

@@ -11,7 +11,14 @@ import json
 
 import pytest
 
-from repro.bench import SCHEMA_VERSION, build_report, main, write_report
+from repro.bench import (
+    FLOOR_GATES,
+    SCHEMA_VERSION,
+    build_report,
+    check_floors,
+    main,
+    write_report,
+)
 from repro.bench.scenarios import SCENARIOS
 
 
@@ -120,3 +127,106 @@ class TestCli:
     def test_rejects_unknown_scenario(self, tmp_path):
         with pytest.raises(SystemExit):
             main(["--scenario", "nope", "--output", str(tmp_path / "x.json")])
+
+
+class TestParallelScenario:
+    """Schema v4: the sharded mega storm and its summary fields."""
+
+    def test_scenario_fields(self, quick_report):
+        parallel = quick_report["scenarios"]["mega_join_storm_parallel"]
+        assert parallel["equivalent_to_single_process"] is True
+        assert parallel["partition_speedup"] > 0
+        assert parallel["params"]["workers"] == 2
+        assert parallel["partition_plan"]["partitions"] == 2
+        assert parallel["partition_plan"]["min_lookahead"] > 0
+        assert parallel["sync_rounds"] > 0
+        assert parallel["sync"]["proxy_packets"] > 0
+        assert parallel["members_final"] == parallel["members_expected"]
+        assert parallel["block_deliveries"] == parallel["deliveries_expected"]
+        single = parallel["single_process"]
+        assert single["sim_events"] == parallel["sim_events"]
+
+    def test_summary_fields(self, quick_report):
+        parallel = quick_report["scenarios"]["mega_join_storm_parallel"]
+        summary = quick_report["summary"]
+        assert summary["partition_speedup"] == parallel["partition_speedup"]
+        assert summary["partition_workers"] == 2
+
+
+def fake_report(**summary) -> dict:
+    base = {
+        "events_per_sec_min": 1e6,
+        "dijkstra_savings_ratio": 10.0,
+        "ecmp_bytes_on_wire": 50_000,
+        "wire_message_reduction": 5.0,
+        "wheel_speedup": 3.0,
+        "partition_speedup": 2.0,
+    }
+    base.update(summary)
+    return {"summary": base}
+
+
+class TestCheckFloors:
+    """The declarative gate table behind every ``--floor-*`` flag."""
+
+    def test_none_floors_are_skipped(self):
+        assert check_floors(fake_report(), {g: None for g in FLOOR_GATES}) == []
+
+    @pytest.mark.parametrize("gate", sorted(FLOOR_GATES))
+    def test_each_gate_passes_and_fails(self, gate):
+        key = FLOOR_GATES[gate][0]
+        assert check_floors(fake_report(), {gate: 0.001}) == []
+        failures = check_floors(fake_report(**{key: 0.0005}), {gate: 0.001})
+        assert len(failures) == 1
+        assert failures[0].startswith("FAIL")
+
+    def test_missing_summary_value_fails_not_passes(self):
+        # A requested gate whose scenario did not run must fail loudly.
+        report = {"summary": {}}
+        failures = check_floors(report, {"partition_speedup": 1.5})
+        assert len(failures) == 1
+
+
+class TestCliFloorsAndWorkers:
+    def make_fake_build_report(self, captured, **summary):
+        def fake_build_report(quick=True, seed=0, only=None, workers=None):
+            captured.update(quick=quick, only=only, workers=workers)
+            return {
+                "bench": "perf",
+                "schema_version": SCHEMA_VERSION,
+                "scenarios": {},
+                **fake_report(**summary),
+            }
+
+        return fake_build_report
+
+    def test_workers_flag_reaches_build_report(self, monkeypatch, tmp_path):
+        import repro.bench as bench
+
+        captured = {}
+        monkeypatch.setattr(
+            bench, "build_report", self.make_fake_build_report(captured)
+        )
+        code = main(
+            ["--quick", "--workers", "3", "--output", str(tmp_path / "o.json")]
+        )
+        assert code == 0
+        assert captured["workers"] == 3
+
+    def test_partition_floor_gates_exit_code(self, monkeypatch, tmp_path, capsys):
+        import repro.bench as bench
+
+        captured = {}
+        monkeypatch.setattr(
+            bench,
+            "build_report",
+            self.make_fake_build_report(captured, partition_speedup=1.1),
+        )
+        out = str(tmp_path / "o.json")
+        assert main(
+            ["--output", out, "--floor-partition-speedup", "1.0"]
+        ) == 0
+        assert main(
+            ["--output", out, "--floor-partition-speedup", "1.5"]
+        ) == 1
+        assert "partition speedup floor" in capsys.readouterr().err

@@ -1,0 +1,123 @@
+"""Tests for the topology partitioner (:mod:`repro.netsim.parallel.partition`)."""
+
+from math import ceil, inf
+
+import pytest
+
+from repro.errors import TopologyError
+from repro.netsim.parallel.partition import plan_partitions
+from repro.netsim.topology import Topology, TopologyBuilder
+
+SOURCE = "h0_0_0"
+
+
+def isp_topo():
+    return TopologyBuilder.isp(
+        n_transit=2, stubs_per_transit=2, hosts_per_stub=2, seed=0
+    )
+
+
+class TestPlan:
+    @pytest.mark.parametrize("n", [1, 2, 3, 4])
+    def test_parts_cover_all_nodes_disjointly(self, n):
+        topo = isp_topo()
+        plan = plan_partitions(topo, n, SOURCE)
+        assert plan.n == n
+        union = set()
+        for part in plan.parts:
+            assert part, "no partition may be empty"
+            assert not (union & part)
+            union |= part
+        assert union == set(topo.nodes)
+        assert all(plan.owner[name] == rank
+                   for rank, part in enumerate(plan.parts) for name in part)
+
+    @pytest.mark.parametrize("n", [2, 3, 4])
+    def test_source_lands_in_rank_zero(self, n):
+        plan = plan_partitions(isp_topo(), n, SOURCE)
+        assert plan.rank_of(SOURCE) == 0
+
+    def test_single_partition_has_no_cut(self):
+        plan = plan_partitions(isp_topo(), 1, SOURCE)
+        assert plan.cut_links == []
+        assert plan.lookahead == {}
+        assert plan.min_lookahead() == inf
+
+    def test_cut_links_match_ownership(self):
+        topo = isp_topo()
+        plan = plan_partitions(topo, 2, SOURCE)
+        expected = sorted(
+            (link.node_a.name, link.node_b.name, link.delay)
+            for link in topo.links
+            if plan.owner[link.node_a.name] != plan.owner[link.node_b.name]
+        )
+        assert plan.cut_links == expected
+        assert plan.cut_links, "a 2-way ISP split must cross some links"
+
+    def test_lookahead_is_min_cut_delay_per_direction(self):
+        topo = isp_topo()
+        plan = plan_partitions(topo, 2, SOURCE)
+        mins: dict[tuple[int, int], float] = {}
+        for a, b, delay in plan.cut_links:
+            ra, rb = plan.owner[a], plan.owner[b]
+            for direction in ((ra, rb), (rb, ra)):
+                mins[direction] = min(mins.get(direction, inf), delay)
+        assert plan.lookahead == mins
+        assert plan.min_lookahead() == min(mins.values())
+
+    def test_partitions_are_balanced(self):
+        topo = isp_topo()
+        for n in (2, 3, 4):
+            plan = plan_partitions(topo, n, SOURCE)
+            cap = ceil(len(topo.nodes) / n)
+            # Growth is capped at ``cap``; the cap-relaxed sweep and the
+            # refinement slack can each add one more node.
+            assert max(len(p) for p in plan.parts) <= cap + 2
+            assert min(len(p) for p in plan.parts) >= 1
+
+    def test_deterministic(self):
+        a = plan_partitions(isp_topo(), 3, SOURCE)
+        b = plan_partitions(isp_topo(), 3, SOURCE)
+        assert a.owner == b.owner
+        assert a.cut_links == b.cut_links
+        assert a.lookahead == b.lookahead
+
+    def test_n_clamped_to_node_count(self):
+        topo = Topology()
+        topo.add_node("a")
+        topo.add_node("b")
+        topo.add_link("a", "b", delay=0.01)
+        plan = plan_partitions(topo, 8, "a")
+        assert plan.n <= 2
+        assert set().union(*plan.parts) == {"a", "b"}
+
+    def test_summary_shape(self):
+        summary = plan_partitions(isp_topo(), 2, SOURCE).summary()
+        assert summary["partitions"] == 2
+        assert sum(summary["sizes"]) == len(isp_topo().nodes)
+        assert summary["cut_links"] == len(
+            plan_partitions(isp_topo(), 2, SOURCE).cut_links
+        )
+        assert summary["min_lookahead"] > 0
+
+
+class TestValidation:
+    def test_rejects_nonpositive_n(self):
+        with pytest.raises(TopologyError, match="at least 1 partition"):
+            plan_partitions(isp_topo(), 0, SOURCE)
+
+    def test_rejects_unknown_source(self):
+        with pytest.raises(TopologyError, match="unknown source"):
+            plan_partitions(isp_topo(), 2, "nope")
+
+    def test_rejects_zero_delay_cut_link(self):
+        topo = Topology()
+        for name in ("a", "b", "c", "d"):
+            topo.add_node(name)
+        topo.add_link("a", "b", delay=0.01)
+        topo.add_link("c", "d", delay=0.01)
+        # The only link joining the two halves has zero delay, so any
+        # 2-way split must cut it.
+        topo.add_link("b", "c", delay=0.0)
+        with pytest.raises(TopologyError, match="zero delay"):
+            plan_partitions(topo, 2, "a")

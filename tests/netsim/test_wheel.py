@@ -219,3 +219,65 @@ class TestStats:
         stats = sim.scheduler_stats()
         assert stats["scheduler"] == "heap"
         assert stats["pending"] == 1
+
+
+class TestHorizonReinjection:
+    """The sharded runner's import pattern: run an exclusive-horizon
+    window (``run(until=H, inclusive=False)``), then re-inject events at
+    or just past the clamped clock. The wheel's cursor sits *on* the
+    horizon slot after the window, so these inserts land in the open
+    slot / current-bucket edge cases."""
+
+    def test_reinjected_event_at_horizon_dispatches_next_window(self):
+        sim = wheel_sim(wheel_granularity=0.001, wheel_slots=64)
+        order = []
+        for when in (0.5, 1.0, 1.5, 2.0):
+            sim.schedule_at(when, lambda t=when: order.append(t))
+        sim.run(until=1.5, inclusive=False)
+        assert sim.now == 1.5 and order == [0.5, 1.0]
+        # Import arriving exactly at the horizon: legal (arrival >= H)
+        # and dispatched after the pre-existing t=1.5 event (lower seq).
+        sim.schedule_at(1.5, lambda: order.append("reinj"))
+        sim.run(until=2.5, inclusive=False)
+        assert order == [0.5, 1.0, 1.5, "reinj", 2.0]
+
+    def test_stats_count_reinjected_inserts(self):
+        sim = wheel_sim(wheel_granularity=0.001, wheel_slots=64)
+        sim.schedule_at(0.01, lambda: None)
+        sim.run(until=0.02, inclusive=False)
+        before = sim.scheduler_stats()["wheel_inserts"]
+        sim.schedule_at(0.02, lambda: None)   # on the horizon
+        sim.schedule_at(0.0205, lambda: None)  # inside the open slot
+        stats = sim.scheduler_stats()
+        assert stats["wheel_inserts"] == before + 2
+        assert stats["pending"] == 2
+        sim.run()
+        assert sim.scheduler_stats()["pending"] == 0
+
+    def test_cancel_of_reinjected_event_at_horizon(self):
+        sim = wheel_sim(wheel_granularity=0.001, wheel_slots=64)
+        order = []
+        sim.schedule_at(0.5, lambda: order.append("pre"))
+        sim.run(until=0.5, inclusive=False)
+        keep = sim.schedule_at(0.5, lambda: order.append("keep"))
+        drop = sim.schedule_at(0.5, lambda: order.append("drop"))
+        drop.cancel()
+        assert sim.pending() == 2  # pre and keep; the tombstone is dead
+        sim.run()
+        assert order == ["pre", "keep"]
+        assert keep.cancelled is False
+
+    def test_cancel_then_reinject_same_timestamp(self):
+        # Cancelling a horizon event and re-injecting a replacement at
+        # the identical timestamp must not resurrect the tombstone.
+        sim = wheel_sim(wheel_granularity=0.001, wheel_slots=64)
+        order = []
+        sim.schedule_at(0.25, lambda: order.append("tick"))
+        sim.run(until=0.25, inclusive=False)
+        first = sim.schedule_at(0.25, lambda: order.append("first"))
+        first.cancel()
+        first.cancel()  # double cancel counts once
+        assert sim.pending() == 1
+        sim.schedule_at(0.25, lambda: order.append("second"))
+        sim.run()
+        assert order == ["tick", "second"]
