@@ -46,7 +46,7 @@ def test_perf_smoke_writes_bench_json():
 
     parsed = json.loads(out.read_text())
     assert parsed["bench"] == "perf"
-    assert parsed["schema_version"] == 4
+    assert parsed["schema_version"] == 5
     assert set(parsed["scenarios"]) == {
         "join_storm",
         "link_flap_churn",
@@ -149,3 +149,26 @@ def test_perf_smoke_writes_bench_json():
     assert parallel["single_process"]["sim_events"] == parallel["sim_events"]
     assert parsed["summary"]["partition_speedup"] == parallel["partition_speedup"]
     assert parsed["summary"]["partition_workers"] == parallel["params"]["workers"]
+
+    # v5 distributed telemetry: the telemetered pass must account for
+    # ~all worker wall time, cover every shard in the merged scrape,
+    # and stitch at least one trace across a shard boundary (the
+    # scenario raises on any of these failing; re-asserted here so the
+    # JSON contract is pinned too).
+    breakdown = parallel["phase_breakdown"]
+    assert set(breakdown) == {"dispatch", "cascade", "sync_wait", "idle"}
+    assert abs(sum(breakdown.values()) - 1.0) < 0.01
+    assert 0.0 <= parallel["null_message_ratio"]
+    assert 0.0 < parallel["sync_efficiency"] <= 1.0
+    assert parallel["settle_seconds"] >= 0.0
+    telemetry = parallel["telemetry"]
+    assert telemetry["shards_in_scrape"] == [
+        str(rank) for rank in range(parallel["params"]["workers"])
+    ]
+    assert telemetry["shard_series"] > 0
+    assert telemetry["cross_shard_traces"] >= 1
+    assert telemetry["snapshots_ingested"] >= parallel["params"]["workers"]
+    assert len(telemetry["events_per_second"]) == parallel["params"]["workers"]
+    assert parsed["summary"]["sync_efficiency"] == parallel["sync_efficiency"]
+    assert parsed["summary"]["null_message_ratio"] == parallel["null_message_ratio"]
+    assert parsed["summary"]["settle_seconds"] == parallel["settle_seconds"]

@@ -29,7 +29,12 @@ from repro.bench.scenarios import SCENARIOS, run_scenarios
 #: ``sync`` null-message/LBTS/proxy totals, ``single_process`` block)
 #: and the ``partition_speedup`` / ``partition_workers`` summary
 #: fields.
-SCHEMA_VERSION = 4
+#: v5: distributed telemetry on the parallel scenario — per-shard
+#: ``phase_breakdown`` / ``null_message_ratio`` / ``sync_efficiency``
+#: / ``settle_seconds`` plus a ``telemetry`` block (merged-scrape and
+#: cross-shard-trace evidence) — and the matching summary fields and
+#: ``--floor-sync-efficiency`` gate.
+SCHEMA_VERSION = 5
 
 
 def build_report(
@@ -76,6 +81,9 @@ def build_report(
             "peak_rss_kb": mega.get("peak_rss_kb", 0),
             "partition_speedup": parallel.get("partition_speedup", 0.0),
             "partition_workers": parallel.get("params", {}).get("workers", 0),
+            "sync_efficiency": parallel.get("sync_efficiency", 0.0),
+            "null_message_ratio": parallel.get("null_message_ratio", 0.0),
+            "settle_seconds": parallel.get("settle_seconds", 0.0),
         },
     }
 
@@ -113,6 +121,11 @@ FLOOR_GATES = {
     "partition_speedup": (
         "partition_speedup",
         "partition speedup floor",
+        "{:.2f}",
+    ),
+    "sync_efficiency": (
+        "sync_efficiency",
+        "sync efficiency floor",
         "{:.2f}",
     ),
 }
@@ -218,6 +231,13 @@ def main(argv: Optional[list[str]] = None) -> int:
         help="exit non-zero if the parallel scenario's sharded-vs-"
         "single-process throughput ratio falls below this",
     )
+    parser.add_argument(
+        "--floor-sync-efficiency",
+        type=float,
+        default=None,
+        help="exit non-zero if the telemetered parallel run's "
+        "dispatch+cascade fraction of worker wall time falls below this",
+    )
     args = parser.parse_args(argv)
 
     report = build_report(
@@ -243,6 +263,11 @@ def main(argv: Optional[list[str]] = None) -> int:
                 f"  {metrics['params']['workers']} workers "
                 f"{metrics['partition_speedup']:.2f}x single"
             )
+        if "sync_efficiency" in metrics:
+            line += (
+                f"  sync eff {metrics['sync_efficiency']:.0%}"
+                f"  settle {metrics['settle_seconds']:.2f}s"
+            )
         latency = metrics.get("delivery_latency", {})
         if latency.get("count"):
             line += (
@@ -260,6 +285,7 @@ def main(argv: Optional[list[str]] = None) -> int:
             "wire_reduction": args.floor_wire_reduction,
             "wheel_speedup": args.floor_wheel_speedup,
             "partition_speedup": args.floor_partition_speedup,
+            "sync_efficiency": args.floor_sync_efficiency,
         },
     )
     for failure in failures:

@@ -534,10 +534,24 @@ def mega_join_storm_parallel(
     lookahead (= the smallest cut-link delay) keeps the round count —
     and with it the null-message overhead — proportionate; see
     ``docs/performance.md`` for why cut delay bounds the speedup.
+
+    A second sharded pass runs the identical spec with distributed
+    telemetry attached (schema v5): the engine phase profiler, periodic
+    registry snapshots merged into one fleet scrape, cross-shard trace
+    stitching, and the convergence monitor. That pass reports
+    ``phase_breakdown`` (fractions of worker wall time; must sum to
+    ~1), ``null_message_ratio``, ``sync_efficiency`` (the
+    dispatch+cascade fraction CI gates with
+    ``--floor-sync-efficiency``), ``settle_seconds``, and the merged
+    scrape/trace evidence (``shards_in_scrape``,
+    ``cross_shard_traces``). The *plain* pass keeps the speedup
+    measurement exactly as before — telemetry is opt-in and charges
+    nothing to the gated numbers.
     """
     from repro.netsim.parallel import (
         ParallelRunner,
         ScenarioSpec,
+        TelemetryConfig,
         assert_equivalent,
         run_single,
     )
@@ -594,6 +608,52 @@ def mega_join_storm_parallel(
     parallel_wall = result.wall_seconds
     events = result.merged["events"]
     sync = result.sync_totals()
+
+    # Telemetered pass: same spec, same workers, full distributed
+    # telemetry. Kept separate from the timed pass above so the
+    # partition_speedup gate measures the uninstrumented fast path.
+    telemetered = ParallelRunner(
+        spec, n_workers, scheduler="wheel", mode="mp",
+        telemetry=TelemetryConfig(profile=True, snapshot_every=8),
+    ).run()
+    phases = telemetered.phase_totals()
+    breakdown_sum = sum(phases["phase_breakdown"].values())
+    if abs(breakdown_sum - 1.0) > 0.01:
+        raise RuntimeError(
+            f"phase breakdown sums to {breakdown_sum:.4f}, not ~1.0"
+        )
+    shard_values: set[str] = set()
+    shard_series = 0
+    for family in telemetered.telemetry.registry().collect():
+        if "shard" not in family.labelnames:
+            continue
+        at = family.labelnames.index("shard")
+        for values, _child in family.children():
+            shard_values.add(values[at])
+            shard_series += 1
+    if len(shard_values) != n_workers:
+        raise RuntimeError(
+            f"merged scrape covers shards {sorted(shard_values)}, "
+            f"expected {n_workers}"
+        )
+    cross_traces = telemetered.telemetry.tracer().cross_shard_traces()
+    if not cross_traces:
+        raise RuntimeError("no causal trace crossed a shard boundary")
+    telemetry_block = {
+        "wall_seconds": telemetered.wall_seconds,
+        "overhead_vs_plain": (
+            telemetered.wall_seconds / parallel_wall - 1.0 if parallel_wall else 0.0
+        ),
+        "phase_seconds": phases["phase_seconds"],
+        "events_per_second": {
+            str(rank): eps for rank, eps in phases["events_per_second"].items()
+        },
+        "snapshots_ingested": telemetered.telemetry.snapshots_ingested,
+        "shard_series": shard_series,
+        "shards_in_scrape": sorted(shard_values),
+        "cross_shard_traces": len(cross_traces),
+        "quiesced_at": telemetered.quiesced_at,
+    }
     return {
         "params": {
             "topology": "isp(4,3,1) core_delay=0.04",
@@ -616,6 +676,11 @@ def mega_join_storm_parallel(
         "partition_speedup": single_wall / parallel_wall if parallel_wall else 0.0,
         "sync_rounds": result.rounds,
         "sync": sync,
+        "phase_breakdown": phases["phase_breakdown"],
+        "null_message_ratio": phases["null_message_ratio"],
+        "sync_efficiency": phases["sync_efficiency"],
+        "settle_seconds": telemetered.settle_seconds,
+        "telemetry": telemetry_block,
         "members_final": members,
         "members_expected": expected_members,
         "block_deliveries": deliveries,

@@ -597,6 +597,8 @@ class EcmpAgent(ProtocolAgent):
                 record.count = count
                 record.updated_at = self.sim.now
                 self.block_fast_updates += 1
+                if self.obs is not None:
+                    self.obs.state_changed()
                 return
             self._apply_subscriber_count(channel, block.pseudo, count)
             return
@@ -981,6 +983,8 @@ class EcmpAgent(ProtocolAgent):
             self.stats.incr("unsubscribe_events")
         elif count != previous:
             self.stats.incr("count_update_events")
+        if count != previous and self.obs is not None:
+            self.obs.state_changed()
 
         if count == 0:
             if state is None or from_name not in state.downstream:
@@ -1681,11 +1685,23 @@ class EcmpAgent(ProtocolAgent):
         this neighbor (§3.2: unsolicited Counts on establishment).
 
         With batching on, the whole unsolicited state dump leaves as a
-        single MSG_BATCH frame instead of N packets."""
+        single MSG_BATCH frame instead of N packets.
+
+        The re-announced bytes are tallied as ``resync_bytes`` /
+        ``resync_counts`` — the soft-state-recovery cost HPIM-DM uses
+        as its comparison metric, measured here as the logical control
+        bytes the recovery caused (delta of ``bytes_tx`` around the
+        state dump, which is deterministic across sharded/oracle runs)."""
+        bytes_before = self.stats.get("bytes_tx")
+        resent = 0
         for state in self.channels.values():
             if state.upstream == name:
                 self._send_count_upstream(state, state.total(validated_only=False))
+                resent += 1
         self._flush_neighbor(name, trigger="reconnect")
+        if resent:
+            self.stats.incr("resync_counts", resent)
+            self.stats.incr("resync_bytes", self.stats.get("bytes_tx") - bytes_before)
 
     # ------------------------------------------------------------------
     # topology change (§3.2)
@@ -1699,6 +1715,7 @@ class EcmpAgent(ProtocolAgent):
         """
         now = self.sim.now
         touched: set[str] = set()
+        bytes_before = self.stats.get("bytes_tx")
         for channel, state in list(self.channels.items()):
             if self.routing.topo.node_by_address(channel.source) is self.node:
                 continue  # the source's node is the root; never re-homes
@@ -1716,6 +1733,8 @@ class EcmpAgent(ProtocolAgent):
                     )
                 continue
             self.stats.incr("upstream_changes")
+            if self.obs is not None:
+                self.obs.state_changed()
             state.upstream = new_upstream
             state.upstream_changed_at = now
             total = state.total(validated_only=False)
@@ -1744,6 +1763,11 @@ class EcmpAgent(ProtocolAgent):
         # frame rather than waiting for the flush timer per message.
         for name in touched:
             self._flush_neighbor(name, trigger="rehome")
+        if touched:
+            # Re-home traffic is resync cost too (§3.2's hand-off of a
+            # current Count to the new parent and a zero to the old).
+            self.stats.incr("resync_events")
+            self.stats.incr("resync_bytes", self.stats.get("bytes_tx") - bytes_before)
 
     def _rehome_fired(self) -> None:
         self._rehome_scheduled = False

@@ -311,6 +311,46 @@ class TimerWheel:
         }
 
 
+class PhaseProfiler:
+    """Wall-clock phase accounting for a simulator's ``run()`` windows.
+
+    Attach with ``sim.profiler = PhaseProfiler()``; ``run()`` then takes
+    a profiled loop that times every event action (*dispatch*) and
+    attributes the rest of the loop — slot scans, bucket sorts,
+    cascades, heap sifts, cancellation skips — to scheduler *advance*.
+    The parallel worker layers two more phases on top of these
+    (*sync_wait* for coordinator-pipe blocking and *idle* for the
+    remainder) to reach a full breakdown of worker wall time; see
+    :meth:`repro.netsim.parallel.sync.SyncStats.phase_breakdown`.
+
+    The unprofiled fast paths are untouched: with ``profiler`` left
+    ``None`` the engine dispatches through the same inlined loops as
+    before, so profiling is strictly opt-in.
+    """
+
+    __slots__ = ("dispatch_seconds", "advance_seconds", "events", "windows")
+
+    def __init__(self) -> None:
+        self.dispatch_seconds = 0.0
+        self.advance_seconds = 0.0
+        self.events = 0
+        self.windows = 0
+
+    def add(self, dispatch: float, advance: float, events: int) -> None:
+        self.dispatch_seconds += dispatch
+        self.advance_seconds += advance
+        self.events += events
+        self.windows += 1
+
+    def as_dict(self) -> dict:
+        return {
+            "dispatch_seconds": self.dispatch_seconds,
+            "advance_seconds": self.advance_seconds,
+            "events": self.events,
+            "windows": self.windows,
+        }
+
+
 class Simulator:
     """A seeded discrete-event simulator.
 
@@ -372,6 +412,9 @@ class Simulator:
         #: after each event executes (see :mod:`repro.obs.hooks`). The
         #: dispatch loop takes the zero-overhead path when empty.
         self._dispatch_listeners: list[Callable[["Simulator", Event, float], None]] = []
+        #: Opt-in phase accounting; assign a :class:`PhaseProfiler` to
+        #: route ``run()`` through the profiled loop.
+        self.profiler: Optional[PhaseProfiler] = None
 
     @property
     def now(self) -> float:
@@ -565,7 +608,9 @@ class Simulator:
             raise SimulationError("simulator is not reentrant")
         self._running = True
         try:
-            if self._wheel is not None:
+            if self.profiler is not None:
+                ran = self._run_profiled(until, max_events, inclusive)
+            elif self._wheel is not None:
                 ran = self._run_wheel(until, max_events, inclusive)
             else:
                 ran = self._run_heap(until, max_events, inclusive)
@@ -649,6 +694,67 @@ class Simulator:
             else:
                 event.action()
             ran += 1
+        return ran
+
+    def _run_profiled(
+        self, until: Optional[float], max_events: Optional[int], inclusive: bool = True
+    ) -> int:
+        # Scheduler-agnostic dispatch loop with phase timing: every
+        # action is timed individually (dispatch wall) and the rest of
+        # the loop — advance/cascade/sort for the wheel, sift/skip for
+        # the heap — is charged to scheduler advance. Dispatch order is
+        # identical to the fast loops (same (time, seq) discipline);
+        # only wall-clock observation is added.
+        profiler = self.profiler
+        listeners = self._dispatch_listeners
+        wheel = self._wheel
+        limit_slot = (
+            None if until is None or wheel is None else int(until * wheel._scale)
+        )
+        ran = 0
+        dispatch_wall = 0.0
+        loop_started = perf_counter()
+        while True:
+            if max_events is not None and ran >= max_events:
+                break
+            if wheel is not None:
+                event = wheel.advance(limit_slot)
+                if event is None:
+                    break
+            else:
+                queue = self._queue  # _compact() may rebind the list
+                while queue and queue[0].cancelled:
+                    dead = heapq.heappop(queue)
+                    dead._in_queue = False
+                    self._cancelled -= 1
+                if not queue:
+                    break
+                event = queue[0]
+            if until is not None and (
+                event.time > until or (not inclusive and event.time >= until)
+            ):
+                break
+            if wheel is not None:
+                wheel.consume()
+            else:
+                heapq.heappop(self._queue)
+            event._in_queue = False
+            self._live -= 1
+            self._now = event.time
+            self.events_processed += 1
+            started = perf_counter()
+            event.action()
+            wall = perf_counter() - started
+            dispatch_wall += wall
+            for listener in listeners:
+                listener(self, event, wall)
+            ran += 1
+        total = perf_counter() - loop_started
+        profiler.add(
+            dispatch=dispatch_wall,
+            advance=max(0.0, total - dispatch_wall),
+            events=ran,
+        )
         return ran
 
     def pending(self) -> int:

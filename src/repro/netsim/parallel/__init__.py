@@ -36,20 +36,26 @@ from repro.netsim.parallel.runner import (
 )
 from repro.netsim.parallel.scenario import OPGENS, ScenarioSpec
 from repro.netsim.parallel.sync import (
+    PHASES,
     SyncStats,
     compute_horizons,
+    merge_phase_stats,
     transitive_lookahead,
 )
+from repro.netsim.parallel.worker import TelemetryConfig
 
 __all__ = [
     "OPGENS",
+    "PHASES",
     "ParallelResult",
     "ParallelRunner",
     "PartitionPlan",
     "ScenarioSpec",
     "SyncStats",
+    "TelemetryConfig",
     "assert_equivalent",
     "compute_horizons",
+    "merge_phase_stats",
     "plan_partitions",
     "run_single",
     "transitive_lookahead",

@@ -7,9 +7,14 @@ is serialized with the *real* ECMP wire codec
 (:func:`repro.core.ecmp.messages.encode_message`), so coalesced
 TCP-mode batches cross the cut as genuine ``MSG_BATCH`` frames and the
 sharded simulator exercises the same encode/decode paths as a
-``wire_format=True`` run. Everything the struct layout cannot express
-(non-ECMP payloads, tracer span contexts, encapsulated packets) falls
-back to pickle, flagged so decode knows which path to take.
+``wire_format=True`` run. Tracer span contexts (the ``spanctx`` header
+instrumented runs put on every control message) travel in a compact
+struct block — kind(1) count(2), then per entry present(1) +
+trace_id(8) span_id(8) — so cross-shard trace stitching costs 17 bytes
+per context instead of a pickle blob, and the wire format stays
+inspectable. Everything else the struct layout cannot express
+(non-ECMP payloads, encapsulated packets) falls back to pickle,
+flagged so decode knows which path to take.
 
 ``created_at`` is preserved exactly — delivery-latency histograms are
 part of the equivalence contract with the single-process oracle.
@@ -25,10 +30,12 @@ import struct
 from repro.core.ecmp.messages import decode_message, encode_message
 from repro.errors import CodecError
 from repro.netsim.packet import Packet
+from repro.obs.hooks import SPAN_HEADER
+from repro.obs.tracing import SpanContext
 
 #: src(4) dst(4) ttl(2) flags(1) proto-len(1) size(4) created_at(8)
-#: ecmp-len(4) extra-len(4)
-_HEAD = struct.Struct("!IIHBBId II")
+#: ecmp-len(4) extra-len(4) span-len(2)
+_HEAD = struct.Struct("!IIHBBId IIH")
 
 _FLAG_RELIABLE = 0x01
 _FLAG_ECMP = 0x02
@@ -36,6 +43,63 @@ _FLAG_ECMP = 0x02
 #: network); pass them through instead of re-encoding.
 _FLAG_ECMP_RAW = 0x04
 _FLAG_EXTRA = 0x08
+#: A trace context (or an aligned list of them, for batch frames) rides
+#: in the compact span block instead of the pickle fallback.
+_FLAG_SPANCTX = 0x10
+
+#: One span-block entry body: trace_id(8) span_id(8). Shard-namespaced
+#: ids (see :func:`repro.obs.tracing.shard_id_base`) fit u64 comfortably.
+_SPAN_CTX = struct.Struct("!QQ")
+_SPAN_BLOCK_HEAD = struct.Struct("!BH")  # kind(1) count(2)
+_SPANCTX_SINGLE = 1
+_SPANCTX_LIST = 2
+
+
+def _encode_spanctx(value) -> bytes:
+    """Compact encoding of the ``spanctx`` header: a single
+    :class:`SpanContext` or a list of optional contexts aligned with a
+    batch frame's records (None entries marked absent)."""
+    if isinstance(value, SpanContext):
+        kind, entries = _SPANCTX_SINGLE, [value]
+    else:
+        kind, entries = _SPANCTX_LIST, list(value)
+    parts = [_SPAN_BLOCK_HEAD.pack(kind, len(entries))]
+    for ctx in entries:
+        if ctx is None:
+            parts.append(b"\x00")
+        else:
+            parts.append(b"\x01" + _SPAN_CTX.pack(ctx.trace_id, ctx.span_id))
+    return b"".join(parts)
+
+
+def _decode_spanctx(data: bytes):
+    if len(data) < _SPAN_BLOCK_HEAD.size:
+        raise CodecError(f"span block truncated: {len(data)} bytes")
+    kind, count = _SPAN_BLOCK_HEAD.unpack(data[: _SPAN_BLOCK_HEAD.size])
+    if kind not in (_SPANCTX_SINGLE, _SPANCTX_LIST):
+        raise CodecError(f"unknown span block kind {kind}")
+    at = _SPAN_BLOCK_HEAD.size
+    entries = []
+    for _ in range(count):
+        if at >= len(data):
+            raise CodecError("span block truncated mid-entry")
+        present = data[at]
+        at += 1
+        if present:
+            if at + _SPAN_CTX.size > len(data):
+                raise CodecError("span block truncated mid-context")
+            trace_id, span_id = _SPAN_CTX.unpack(data[at : at + _SPAN_CTX.size])
+            at += _SPAN_CTX.size
+            entries.append(SpanContext(trace_id, span_id))
+        else:
+            entries.append(None)
+    if at != len(data):
+        raise CodecError(f"span block framing: {len(data)} bytes, expected {at}")
+    if kind == _SPANCTX_SINGLE:
+        if len(entries) != 1 or entries[0] is None:
+            raise CodecError("single span block must carry exactly one context")
+        return entries[0]
+    return entries
 
 
 def encode_packet(packet: Packet) -> bytes:
@@ -53,6 +117,13 @@ def encode_packet(packet: Packet) -> bytes:
             ecmp_bytes = bytes(message)
         else:
             ecmp_bytes = encode_message(message)
+    span_bytes = b""
+    spanctx = headers.pop(SPAN_HEADER, None)
+    if spanctx is not None:
+        flags |= _FLAG_SPANCTX
+        span_bytes = _encode_spanctx(spanctx)
+        if len(span_bytes) > 0xFFFF:
+            raise CodecError(f"span block too large: {len(span_bytes)} bytes")
     extra = b""
     if headers or packet.payload is not None:
         flags |= _FLAG_EXTRA
@@ -70,8 +141,9 @@ def encode_packet(packet: Packet) -> bytes:
         packet.created_at,
         len(ecmp_bytes),
         len(extra),
+        len(span_bytes),
     )
-    return head + proto + ecmp_bytes + extra
+    return head + proto + ecmp_bytes + extra + span_bytes
 
 
 def decode_packet(data: bytes) -> Packet:
@@ -82,10 +154,11 @@ def decode_packet(data: bytes) -> Packet:
     """
     if len(data) < _HEAD.size:
         raise CodecError(f"packet truncated: {len(data)} bytes")
-    src, dst, ttl, flags, proto_len, size, created_at, ecmp_len, extra_len = _HEAD.unpack(
-        data[: _HEAD.size]
-    )
-    expected = _HEAD.size + proto_len + ecmp_len + extra_len
+    (
+        src, dst, ttl, flags, proto_len, size, created_at,
+        ecmp_len, extra_len, span_len,
+    ) = _HEAD.unpack(data[: _HEAD.size])
+    expected = _HEAD.size + proto_len + ecmp_len + extra_len + span_len
     if len(data) != expected:
         raise CodecError(f"packet framing: {len(data)} bytes, expected {expected}")
     at = _HEAD.size
@@ -100,6 +173,9 @@ def decode_packet(data: bytes) -> Packet:
     if flags & _FLAG_EXTRA:
         extra_headers, payload = pickle.loads(data[at : at + extra_len])
         headers.update(extra_headers)
+    at += extra_len
+    if flags & _FLAG_SPANCTX:
+        headers[SPAN_HEADER] = _decode_spanctx(data[at : at + span_len])
     if flags & _FLAG_RELIABLE:
         headers["reliable"] = True
     return Packet(

@@ -34,6 +34,7 @@ from repro.netsim.parallel.sync import (
     SyncStats,
     compute_horizons,
     effective_next_times,
+    merge_phase_stats,
     merge_sync_stats,
     transitive_lookahead,
 )
@@ -42,7 +43,9 @@ from repro.netsim.parallel.worker import (
     CMD_RESULT,
     CMD_ROUND,
     FINAL,
+    SHARDED_ONLY_PREFIXES,
     PartitionWorker,
+    TelemetryConfig,
     extract_summary,
     worker_main,
 )
@@ -61,29 +64,63 @@ class ParallelResult:
     #: sync protocol).
     wall_seconds: float
     merged: dict = field(default_factory=dict)
+    #: Fleet telemetry (a :class:`repro.obs.aggregate.FleetAggregator`)
+    #: when the run was telemetered, else None.
+    telemetry: Optional[object] = None
+    #: Simulated time of the fleet's last durable state change, and how
+    #: long past the last scheduled op state kept changing — populated
+    #: only for telemetered runs.
+    quiesced_at: Optional[float] = None
+    settle_seconds: Optional[float] = None
 
     def sync_totals(self) -> dict[str, int]:
         return merge_sync_stats(self.sync)
 
+    def phase_totals(self) -> dict:
+        """Fleet phase accounting (see :func:`merge_phase_stats`);
+        all-zero fractions when the run was not profiled."""
+        return merge_phase_stats(self.sync)
+
 
 def run_single(
-    spec: ScenarioSpec, scheduler: str = "heap", with_obs: bool = False
+    spec: ScenarioSpec,
+    scheduler: str = "heap",
+    with_obs: bool = False,
+    profile: bool = False,
 ) -> dict:
     """The single-process oracle: same spec, one event loop. Returns
     the same summary shape workers produce (with ``wall_seconds`` of
-    the run added for benchmarking)."""
+    the run added for benchmarking).
+
+    ``profile=True`` (implies observability) attaches the engine phase
+    profiler and a convergence monitor; the summary then also carries
+    ``profile`` (the :class:`~repro.netsim.engine.PhaseProfiler` dict)
+    and ``quiesced_at``, so telemetered single and sharded runs are
+    compared like-for-like.
+    """
     obs = None
-    if with_obs:
+    if with_obs or profile:
         from repro.obs.hooks import Observability
 
         obs = Observability()
     net, channels, blocks = build(spec, scheduler=scheduler, obs=obs)
+    profiler = None
+    if profile:
+        from repro.netsim.engine import PhaseProfiler
+        from repro.obs.convergence import ConvergenceMonitor
+
+        profiler = PhaseProfiler()
+        net.sim.profiler = profiler
+        obs.convergence = ConvergenceMonitor(net.sim)
     schedule_ops(spec, net, channels, blocks, owned=None)
     started = perf_counter()
     net.run(until=spec.duration)
     wall = perf_counter() - started
     summary = extract_summary(net, channels, blocks, owned=None, obs=obs)
     summary["wall_seconds"] = wall
+    if profiler is not None:
+        summary["profile"] = profiler.as_dict()
+        summary["quiesced_at"] = obs.convergence.last_change
     return summary
 
 
@@ -123,6 +160,47 @@ def merge_summaries(summaries: list[dict]) -> dict:
     return merged
 
 
+def _split_sharded_only(
+    counters: dict,
+) -> tuple[dict, dict]:
+    """Partition a counter snapshot into (shared, sharded-only): the
+    sharded-only families (``parallel_*``) exist only in partitioned
+    runs and are checked for internal conservation rather than oracle
+    equality."""
+    shared: dict = {}
+    sharded_only: dict = {}
+    for key, value in counters.items():
+        family = key[0]
+        if family.startswith(SHARDED_ONLY_PREFIXES):
+            sharded_only[key] = value
+        else:
+            shared[key] = value
+    return shared, sharded_only
+
+
+def _assert_proxy_conservation(sharded_only: dict) -> None:
+    """Fleet conservation over the sharded-only counters: every packet
+    (and byte) exported across a cut must be imported exactly once.
+    This is the determinism guarantee the merged ``parallel_*``
+    aggregation rests on — without it the families would not be safe to
+    include in the snapshot at all."""
+    totals = {"parallel_proxy_packets_total": 0,
+              "parallel_proxy_bytes_total": 0,
+              "parallel_proxy_import_packets_total": 0,
+              "parallel_proxy_import_bytes_total": 0}
+    for (family, _values), value in sharded_only.items():
+        if family in totals:
+            totals[family] += value
+    for kind in ("packets", "bytes"):
+        out = totals[f"parallel_proxy_{kind}_total"]
+        into = totals[f"parallel_proxy_import_{kind}_total"]
+        if out != into:
+            raise AssertionError(
+                f"proxy {kind} conservation violated: {out} exported "
+                f"!= {into} imported"
+            )
+
+
 def assert_equivalent(merged: dict, oracle: dict) -> None:
     """Raise :class:`AssertionError` on any settled-state divergence
     between a merged sharded summary and the single-process oracle."""
@@ -143,6 +221,9 @@ def assert_equivalent(merged: dict, oracle: dict) -> None:
     ours, theirs = merged.get("obs_counters"), oracle.get("obs_counters")
     if ours is None or theirs is None:
         return
+    ours, ours_sync = _split_sharded_only(ours)
+    theirs, _ = _split_sharded_only(theirs)
+    _assert_proxy_conservation(ours_sync)
     if set(ours) != set(theirs):
         missing = sorted(set(theirs) - set(ours))[:5]
         extra = sorted(set(ours) - set(theirs))[:5]
@@ -163,9 +244,13 @@ def assert_equivalent(merged: dict, oracle: dict) -> None:
 class _InlineTransport:
     """Drives PartitionWorker objects in-process, same protocol."""
 
-    def __init__(self, spec, plan, scheduler, with_obs):
+    def __init__(self, spec, plan, scheduler, with_obs, telemetry=None):
+        self.telemetry = telemetry
         self.workers = [
-            PartitionWorker(spec, plan, rank, scheduler=scheduler, with_obs=with_obs)
+            PartitionWorker(
+                spec, plan, rank, scheduler=scheduler, with_obs=with_obs,
+                telemetry=telemetry,
+            )
             for rank in range(plan.n)
         ]
 
@@ -178,8 +263,23 @@ class _InlineTransport:
             for rank, (horizon, imports) in commands.items()
         }
 
-    def results(self) -> list[tuple[dict, SyncStats]]:
-        return [(w.summary(), w.stats) for w in self.workers]
+    def results(self) -> list[tuple]:
+        return [
+            (w.summary(), w.stats, w.telemetry_snapshot(final=True))
+            for w in self.workers
+        ]
+
+    def dump_flight(self, reason: str) -> None:
+        """Inline workers live in this process; on coordinator failure
+        their rings are dumped here (mp children dump their own)."""
+        for worker in self.workers:
+            if worker.flight is not None:
+                try:
+                    worker.flight.dump(
+                        self.telemetry.flight_path(worker.rank), reason=reason
+                    )
+                except Exception:  # pragma: no cover - disk trouble
+                    pass
 
     def close(self) -> None:
         pass
@@ -188,7 +288,7 @@ class _InlineTransport:
 class _ProcessTransport:
     """One multiprocessing child per partition, pipe per worker."""
 
-    def __init__(self, spec, plan, scheduler, with_obs):
+    def __init__(self, spec, plan, scheduler, with_obs, telemetry=None):
         import multiprocessing as mp
 
         try:
@@ -201,13 +301,16 @@ class _ProcessTransport:
             parent, child = ctx.Pipe()
             proc = ctx.Process(
                 target=worker_main,
-                args=(child, spec, plan, rank, scheduler, with_obs),
+                args=(child, spec, plan, rank, scheduler, with_obs, telemetry),
                 daemon=True,
             )
             proc.start()
             child.close()
             self.conns.append(parent)
             self.procs.append(proc)
+
+    def dump_flight(self, reason: str) -> None:
+        pass  # mp children dump their own rings in worker_main
 
     def _recv(self, rank: int):
         reply = self.conns[rank].recv()
@@ -227,7 +330,7 @@ class _ProcessTransport:
             self.conns[rank].send((CMD_ROUND, horizon, imports))
         return {rank: self._recv(rank) for rank in commands}
 
-    def results(self) -> list[tuple[dict, SyncStats]]:
+    def results(self) -> list[tuple]:
         for conn in self.conns:
             conn.send((CMD_RESULT,))
         return [self._recv(rank) for rank in range(len(self.conns))]
@@ -256,6 +359,7 @@ class ParallelRunner:
         scheduler: str = "heap",
         mode: str = "mp",
         with_obs: bool = False,
+        telemetry: Optional[TelemetryConfig] = None,
         plan: Optional[PartitionPlan] = None,
     ) -> None:
         if mode not in ("mp", "inline"):
@@ -263,7 +367,8 @@ class ParallelRunner:
         self.spec = spec
         self.scheduler = scheduler
         self.mode = mode
-        self.with_obs = with_obs
+        self.with_obs = with_obs or telemetry is not None
+        self.telemetry = telemetry
         if plan is None:
             from repro.netsim.topology import TopologyBuilder
 
@@ -275,12 +380,17 @@ class ParallelRunner:
     def run(self) -> ParallelResult:
         plan = self.plan
         duration = self.spec.duration
-        transport = (
-            _ProcessTransport(self.spec, plan, self.scheduler, self.with_obs)
-            if self.mode == "mp"
-            else _InlineTransport(self.spec, plan, self.scheduler, self.with_obs)
+        make = _ProcessTransport if self.mode == "mp" else _InlineTransport
+        transport = make(
+            self.spec, plan, self.scheduler, self.with_obs,
+            telemetry=self.telemetry,
         )
         closure = transitive_lookahead(plan.lookahead, plan.n)
+        aggregator = None
+        if self.telemetry is not None:
+            from repro.obs.aggregate import FleetAggregator
+
+            aggregator = FleetAggregator()
         try:
             reported = transport.initial()
             n = plan.n
@@ -308,8 +418,10 @@ class ParallelRunner:
                     pending[rank] = []
                 replies = transport.round(commands)
                 rounds += 1
-                for rank, (next_time, exports, _dispatched) in replies.items():
+                for rank, (next_time, exports, _dispatched, snap) in replies.items():
                     reported[rank] = next_time
+                    if aggregator is not None:
+                        aggregator.ingest(rank, snap)
                     for record in exports:
                         pending[record[3]].append(record)
             # Trailing flush: exports addressed to already-finalized
@@ -334,10 +446,14 @@ class ParallelRunner:
                 rounds += 1
             wall = perf_counter() - started
             raw = transport.results()
+        except Exception as exc:
+            if self.telemetry is not None and self.telemetry.flight_dir:
+                transport.dump_flight(f"error:{type(exc).__name__}: {exc}")
+            raise
         finally:
             transport.close()
-        summaries = [summary for summary, _stats in raw]
-        stats = [s for _summary, s in raw]
+        summaries = [reply[0] for reply in raw]
+        stats = [reply[1] for reply in raw]
         result = ParallelResult(
             plan=plan,
             summaries=summaries,
@@ -346,4 +462,16 @@ class ParallelRunner:
             wall_seconds=wall,
         )
         result.merged = merge_summaries(summaries)
+        if aggregator is not None:
+            from repro.obs.convergence import settle_seconds as settle
+
+            for reply in raw:
+                aggregator.ingest(reply[1].rank, reply[2])
+            result.telemetry = aggregator
+            result.quiesced_at = aggregator.quiesced_at()
+            # all_ops(), not .ops: opgen-backed specs keep the inline
+            # tuple empty and regenerate the workload on demand.
+            result.settle_seconds = settle(
+                result.quiesced_at, self.spec.all_ops()
+            )
         return result

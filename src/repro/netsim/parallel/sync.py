@@ -30,10 +30,23 @@ from math import inf
 from typing import Optional
 
 
+#: Order in which phase fractions are reported everywhere (docs, bench
+#: schema, Prometheus gauges): event execution, scheduler bookkeeping,
+#: blocking on the coordinator pipe, everything else.
+PHASES = ("dispatch", "cascade", "sync_wait", "idle")
+
+
 @dataclass
 class SyncStats:
     """Per-worker sync counters (picklable; mirrored into the obs
-    registry as ``parallel_*`` families when observability is on)."""
+    registry as ``parallel_*`` families when observability is on).
+
+    The ``wall_*`` fields are phase accounting, populated only when the
+    worker runs with profiling enabled. They are deliberately *not*
+    part of :meth:`as_dict`: that dict is compared across transports
+    and runs by the determinism tests, and wall clocks measure the
+    machine, not the protocol.
+    """
 
     rank: int = 0
     null_messages: int = 0
@@ -43,6 +56,11 @@ class SyncStats:
     proxy_bytes_out: int = 0
     proxy_packets_in: int = 0
     proxy_bytes_in: int = 0
+    wall_dispatch: float = 0.0
+    wall_cascade: float = 0.0
+    wall_sync_wait: float = 0.0
+    wall_total: float = 0.0
+    events_dispatched: int = 0
 
     def as_dict(self) -> dict[str, int]:
         return {
@@ -55,6 +73,41 @@ class SyncStats:
             "proxy_packets_in": self.proxy_packets_in,
             "proxy_bytes_in": self.proxy_bytes_in,
         }
+
+    @property
+    def null_message_ratio(self) -> float:
+        """Fraction of sync rounds that carried no exports."""
+        return self.null_messages / self.sync_rounds if self.sync_rounds else 0.0
+
+    def phase_seconds(self) -> dict[str, float]:
+        """Absolute wall seconds per phase. ``idle`` is the remainder
+        of ``wall_total`` not attributed to any measured phase (barrier
+        skew, result extraction, pipe sends)."""
+        measured = self.wall_dispatch + self.wall_cascade + self.wall_sync_wait
+        return {
+            "dispatch": self.wall_dispatch,
+            "cascade": self.wall_cascade,
+            "sync_wait": self.wall_sync_wait,
+            "idle": max(0.0, self.wall_total - measured),
+        }
+
+    def phase_breakdown(self) -> dict[str, float]:
+        """Phase fractions of ``wall_total`` (sum ~1.0 when profiled)."""
+        total = self.wall_total
+        if total <= 0.0:
+            return {phase: 0.0 for phase in PHASES}
+        return {
+            phase: seconds / total
+            for phase, seconds in self.phase_seconds().items()
+        }
+
+    def events_per_second(self) -> float:
+        """Dispatched events per wall second of the worker's run."""
+        return (
+            self.events_dispatched / self.wall_total
+            if self.wall_total > 0.0
+            else 0.0
+        )
 
 
 def merge_sync_stats(stats: list[SyncStats]) -> dict[str, int]:
@@ -73,6 +126,39 @@ def merge_sync_stats(stats: list[SyncStats]) -> dict[str, int]:
         totals["proxy_packets"] += s.proxy_packets_out
         totals["proxy_bytes"] += s.proxy_bytes_out
     return totals
+
+
+def merge_phase_stats(stats: list[SyncStats]) -> dict:
+    """Fleet-level phase accounting, weighted by worker wall time.
+
+    The fractions answer "where did the fleet's worker-seconds go" —
+    each worker contributes to a phase in proportion to the absolute
+    wall time it spent there, so a shard that ran twice as long weighs
+    twice as much. ``sync_efficiency`` is the dispatch+cascade share:
+    the fraction of worker wall time spent doing simulation work rather
+    than waiting on the sync protocol (the bench floor gate's signal).
+    """
+    total = sum(s.wall_total for s in stats)
+    seconds = {phase: 0.0 for phase in PHASES}
+    for s in stats:
+        for phase, value in s.phase_seconds().items():
+            seconds[phase] += value
+    breakdown = {
+        phase: (value / total if total > 0.0 else 0.0)
+        for phase, value in seconds.items()
+    }
+    rounds = sum(s.sync_rounds for s in stats)
+    nulls = sum(s.null_messages for s in stats)
+    return {
+        "phase_breakdown": breakdown,
+        "phase_seconds": seconds,
+        "wall_total": total,
+        "null_message_ratio": nulls / rounds if rounds else 0.0,
+        "sync_efficiency": breakdown["dispatch"] + breakdown["cascade"],
+        "events_per_second": {
+            s.rank: s.events_per_second() for s in stats
+        },
+    }
 
 
 def effective_next_times(

@@ -18,10 +18,13 @@ exactly.
 
 from __future__ import annotations
 
+import os
+from dataclasses import dataclass
 from math import inf
+from time import perf_counter
 from typing import Optional
 
-from repro.netsim.engine import derive_seed
+from repro.netsim.engine import PhaseProfiler, derive_seed
 from repro.netsim.parallel.codec import decode_packet, encode_packet
 from repro.netsim.parallel.partition import PartitionPlan
 from repro.netsim.parallel.scenario import ScenarioSpec, build, schedule_ops
@@ -35,12 +38,45 @@ CMD_EXIT = "exit"
 #: Horizon sentinel: run the final inclusive window to the scenario end.
 FINAL = None
 
-#: Metric-family prefixes excluded from equivalence snapshots: sync
-#: traffic only exists in sharded runs, and the wall-clock families
-#: (event timing, SPF timing — plus the per-process lazy Dijkstra tree
-#: fills, which legitimately duplicate across workers) measure the
-#: machine, not the protocol.
-EQUIVALENCE_EXCLUDE = ("parallel_", "sim_event_wall_seconds", "spf_")
+#: Metric-family prefixes excluded from equivalence snapshots: the
+#: wall-clock families (event timing, SPF timing — plus the per-process
+#: lazy Dijkstra tree fills, which legitimately duplicate across
+#: workers) measure the machine, not the protocol. Everything else —
+#: including the ``parallel_*`` sync counters — stays in the snapshot;
+#: :func:`repro.netsim.parallel.runner.assert_equivalent` splits the
+#: sharded-only families off and checks fleet conservation on them
+#: instead of oracle equality (the oracle has no sync traffic at all).
+EQUIVALENCE_EXCLUDE = ("sim_event_wall_seconds", "spf_")
+
+#: Families that exist only in sharded runs (no oracle counterpart):
+#: the equivalence checker verifies internal conservation — fleet
+#: proxy exports must equal fleet proxy imports — rather than equality.
+SHARDED_ONLY_PREFIXES = ("parallel_",)
+
+
+@dataclass(frozen=True)
+class TelemetryConfig:
+    """Worker-side telemetry knobs (implies observability is on).
+
+    ``snapshot_every`` ships a cumulative registry/span snapshot to the
+    coordinator every N sync rounds (0 = only the final snapshot with
+    the results); periodic snapshots cap histogram samples at
+    ``max_samples`` per child to bound pipe traffic. ``flight_dir``
+    arms the flight recorder: the worker keeps a ``flight_capacity``
+    ring of recent events and dumps ``flight-<rank>.jsonl`` there on
+    error or signal.
+    """
+
+    profile: bool = True
+    snapshot_every: int = 0
+    max_samples: Optional[int] = 512
+    flight_dir: Optional[str] = None
+    flight_capacity: int = 2048
+
+    def flight_path(self, rank: int) -> Optional[str]:
+        if self.flight_dir is None:
+            return None
+        return os.path.join(self.flight_dir, f"flight-{rank}.jsonl")
 
 
 class PartitionWorker:
@@ -53,21 +89,37 @@ class PartitionWorker:
         rank: int,
         scheduler: str = "heap",
         with_obs: bool = False,
+        telemetry: Optional[TelemetryConfig] = None,
     ) -> None:
         self.spec = spec
         self.plan = plan
         self.rank = rank
+        self.telemetry = telemetry
         self.stats = SyncStats(rank=rank)
         obs = None
         self.sync_metrics = None
-        if with_obs:
+        self.flight = None
+        if with_obs or telemetry is not None:
             from repro.obs.hooks import Observability, SyncMetrics
 
-            obs = Observability()
+            obs = Observability(shard=rank)
             self.sync_metrics = SyncMetrics(obs.registry, rank)
         self.obs = obs
         self.net, self.channels, self.blocks = build(spec, scheduler=scheduler, obs=obs)
         self.sim = self.net.sim
+        self._rounds_since_snapshot = 0
+        if telemetry is not None:
+            from repro.obs.convergence import ConvergenceMonitor
+            from repro.obs.flightrecorder import FlightRecorder
+
+            obs.convergence = ConvergenceMonitor(self.sim)
+            if telemetry.profile:
+                self.sim.profiler = PhaseProfiler()
+            if telemetry.flight_dir is not None:
+                self.flight = FlightRecorder(
+                    capacity=telemetry.flight_capacity, shard=rank
+                )
+                self.flight.attach(self.sim)
         owned = plan.parts[rank]
         #: Owned names in topology insertion order, so agents start in
         #: the same relative order as the oracle's full start.
@@ -129,6 +181,8 @@ class PartitionWorker:
             packet = decode_packet(data)
             self.stats.proxy_packets_in += 1
             self.stats.proxy_bytes_in += len(data)
+            if self.sync_metrics is not None:
+                self.sync_metrics.proxy_import(len(data))
             node = topo.node(node_name)
             self.sim.schedule_at(
                 arrival,
@@ -144,12 +198,16 @@ class PartitionWorker:
 
     def run_round(
         self, horizon: Optional[float], imports: list[tuple]
-    ) -> tuple[float, list[tuple], int]:
+    ) -> tuple[float, list[tuple], int, Optional[dict]]:
         """One coordinator round: inject, run the window, report.
 
         ``horizon=None`` (:data:`FINAL`) runs the inclusive window to
-        the scenario end. Returns ``(next_time, exports, dispatched)``.
+        the scenario end. Returns ``(next_time, exports, dispatched,
+        telemetry)`` where ``telemetry`` is a cumulative snapshot dict
+        every ``TelemetryConfig.snapshot_every`` rounds and None
+        otherwise.
         """
+        started = perf_counter() if self.telemetry is not None else 0.0
         self._inject(imports)
         before = self.sim.events_processed
         if horizon is FINAL:
@@ -171,9 +229,48 @@ class PartitionWorker:
                 self.sync_metrics.lbts_stall()
         if self.sync_metrics is not None:
             self.sync_metrics.sync_round()
-        return nxt, exports, dispatched
+        telemetry = None
+        if self.telemetry is not None:
+            self.stats.wall_total += perf_counter() - started
+            self._rounds_since_snapshot += 1
+            every = self.telemetry.snapshot_every
+            if every and self._rounds_since_snapshot >= every:
+                self._rounds_since_snapshot = 0
+                telemetry = self.telemetry_snapshot()
+        return nxt, exports, dispatched, telemetry
 
     # -- results -----------------------------------------------------------
+
+    def _sync_phase_stats(self) -> None:
+        """Copy the engine profiler's phase totals into the sync stats
+        (idempotent — the profiler accumulates, we overwrite)."""
+        profiler = self.sim.profiler
+        if profiler is not None:
+            self.stats.wall_dispatch = profiler.dispatch_seconds
+            self.stats.wall_cascade = profiler.advance_seconds
+            self.stats.events_dispatched = profiler.events
+
+    def telemetry_snapshot(self, final: bool = False) -> Optional[dict]:
+        """The cumulative per-worker telemetry record shipped over the
+        coordinator pipe: a registry dump, every span so far (the
+        aggregator is latest-wins per span id), and the convergence
+        clock. The final snapshot publishes phase gauges and ships
+        untruncated histogram samples."""
+        if self.telemetry is None:
+            return None
+        self._sync_phase_stats()
+        if final and self.sync_metrics is not None:
+            self.sync_metrics.set_phases(self.stats)
+        max_samples = None if final else self.telemetry.max_samples
+        convergence = self.obs.convergence
+        return {
+            "shard": self.rank,
+            "final": final,
+            "registry": self.obs.registry.dump(max_samples=max_samples),
+            "spans": [span.to_record() for span in self.obs.tracer.spans],
+            "quiesced_at": convergence.last_change if convergence else None,
+            "state_changes": convergence.changes if convergence else 0,
+        }
 
     def summary(self) -> dict:
         return extract_summary(
@@ -241,26 +338,56 @@ def extract_summary(net, channels, blocks, owned=None, obs=None) -> dict:
     }
 
 
-def worker_main(conn, spec, plan, rank, scheduler, with_obs) -> None:
-    """Child-process entry: build the partition, then serve rounds."""
+def worker_main(conn, spec, plan, rank, scheduler, with_obs, telemetry=None) -> None:
+    """Child-process entry: build the partition, then serve rounds.
+
+    With telemetry on, time blocked in ``conn.recv()`` is charged to
+    the ``sync_wait`` phase (that is where LBTS/barrier waiting
+    manifests in a child process), and an armed flight recorder dumps
+    its ring on any error or signal before the failure propagates.
+    """
+    worker = None
     try:
         worker = PartitionWorker(
-            spec, plan, rank, scheduler=scheduler, with_obs=with_obs
+            spec, plan, rank, scheduler=scheduler, with_obs=with_obs,
+            telemetry=telemetry,
         )
+        if worker.flight is not None:
+            worker.flight.install_signal_handlers(telemetry.flight_path(rank))
         conn.send(("ready", worker.next_time(), worker.ops_scheduled))
+        timed = telemetry is not None
         while True:
-            command = conn.recv()
+            if timed:
+                waited_from = perf_counter()
+                command = conn.recv()
+                waited = perf_counter() - waited_from
+                worker.stats.wall_sync_wait += waited
+                worker.stats.wall_total += waited
+            else:
+                command = conn.recv()
             kind = command[0]
             if kind == CMD_ROUND:
                 _, horizon, imports = command
                 conn.send(worker.run_round(horizon, imports))
             elif kind == CMD_RESULT:
-                conn.send((worker.summary(), worker.stats))
+                conn.send((
+                    worker.summary(),
+                    worker.stats,
+                    worker.telemetry_snapshot(final=True),
+                ))
             elif kind == CMD_EXIT:
                 break
             else:  # pragma: no cover - protocol bug guard
                 raise RuntimeError(f"unknown command {kind!r}")
     except Exception as exc:  # surface the failure to the coordinator
+        if worker is not None and worker.flight is not None:
+            try:
+                worker.flight.dump(
+                    telemetry.flight_path(rank),
+                    reason=f"error:{type(exc).__name__}: {exc}",
+                )
+            except Exception:  # pragma: no cover - disk trouble
+                pass
         try:
             conn.send(("error", f"{type(exc).__name__}: {exc}"))
         except Exception:  # pragma: no cover - pipe already closed

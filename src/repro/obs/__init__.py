@@ -15,9 +15,15 @@ Quick start::
         print(obs.tracer.render(tid))
 
 ``python -m repro.obs`` runs a canned ISP scenario and prints the full
-report. See docs/observability.md for the metric and span inventory.
+report; ``python -m repro.obs diff A.json B.json`` diffs two metric
+dumps. See docs/observability.md for the metric and span inventory and
+the distributed-telemetry pipeline (cross-shard aggregation, trace
+stitching, flight recorder).
 """
 
+from repro.obs.aggregate import FleetAggregator
+from repro.obs.convergence import ConvergenceMonitor, settle_seconds
+from repro.obs.flightrecorder import FlightRecorder
 from repro.obs.hooks import (
     SPAN_HEADER,
     LinkMetrics,
@@ -35,13 +41,23 @@ from repro.obs.registry import (
     MetricsRegistry,
     percentile,
 )
-from repro.obs.tracing import Span, SpanContext, SpanNode, Tracer
+from repro.obs.tracing import (
+    Span,
+    SpanContext,
+    SpanNode,
+    Tracer,
+    id_shard,
+    shard_id_base,
+)
 
 __all__ = [
     "SPAN_HEADER",
     "LATENCY_BUCKETS",
     "WALL_BUCKETS",
+    "ConvergenceMonitor",
     "CounterBag",
+    "FleetAggregator",
+    "FlightRecorder",
     "LinkMetrics",
     "MetricError",
     "MetricFamily",
@@ -53,6 +69,9 @@ __all__ = [
     "SpanNode",
     "Tracer",
     "attach_topology",
+    "id_shard",
     "instrument_simulator",
     "percentile",
+    "settle_seconds",
+    "shard_id_base",
 ]

@@ -11,6 +11,10 @@ and prints:
 
 The span tree's leaves are exactly the subscribers that answered the
 query — causality, not inference.
+
+``python -m repro.obs diff A.json B.json`` instead diffs two metric
+dumps (``BENCH_perf.json`` reports or JSONL scrapes) with per-metric
+deltas and regression highlighting; see :mod:`repro.obs.diff`.
 """
 
 from __future__ import annotations
@@ -50,6 +54,14 @@ def build_parser() -> argparse.ArgumentParser:
 
 
 def main(argv=None) -> int:
+    if argv is None:
+        argv = sys.argv[1:]
+    # ``diff`` is a subcommand with its own parser; everything else is
+    # the original demo CLI (kept flag-compatible).
+    if argv and argv[0] == "diff":
+        from repro.obs.diff import main as diff_main
+
+        return diff_main(argv[1:])
     args = build_parser().parse_args(argv)
 
     obs = Observability()

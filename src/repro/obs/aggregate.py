@@ -1,0 +1,88 @@
+"""Fleet aggregation: many worker telemetry dumps, one view.
+
+The parallel runner feeds this with the periodic telemetry snapshots
+workers ship over the coordinator pipe (see
+:meth:`repro.netsim.parallel.worker.PartitionWorker.telemetry_snapshot`).
+Each snapshot is cumulative, so ingestion is latest-wins per shard;
+materialization then merges the latest dump of every shard into one
+:class:`~repro.obs.registry.MetricsRegistry` with a ``shard`` label
+appended to every family (the fleet scrape a Prometheus server would
+see) and one :class:`~repro.obs.tracing.Tracer` holding every shard's
+spans, stitched across process boundaries by the shard-namespaced span
+ids and the parent contexts that rode the proxied packets.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.obs.registry import MetricsRegistry
+from repro.obs.tracing import Tracer
+
+
+class FleetAggregator:
+    """Latest-wins per-shard telemetry store with merged views."""
+
+    def __init__(self) -> None:
+        self._registry_dumps: dict[int, list] = {}
+        #: shard -> span_id -> record; later ingests of the same span
+        #: (e.g. it ended since the last snapshot) replace the record.
+        self._spans: dict[int, dict[int, dict]] = {}
+        self._quiesced: dict[int, float] = {}
+        self.snapshots_ingested = 0
+
+    # -- ingestion -------------------------------------------------------
+
+    def ingest(self, shard: int, telemetry: Optional[dict]) -> None:
+        """Fold one worker telemetry snapshot in (None is a no-op, so
+        the runner can pass round replies through unconditionally)."""
+        if not telemetry:
+            return
+        registry_dump = telemetry.get("registry")
+        if registry_dump is not None:
+            self._registry_dumps[shard] = registry_dump
+        for record in telemetry.get("spans", ()):
+            self._spans.setdefault(shard, {})[record["span_id"]] = record
+        quiesced = telemetry.get("quiesced_at")
+        if quiesced is not None:
+            self._quiesced[shard] = quiesced
+        self.snapshots_ingested += 1
+
+    # -- merged views ----------------------------------------------------
+
+    def shards(self) -> list[int]:
+        return sorted(self._registry_dumps.keys() | self._spans.keys())
+
+    def registry(self) -> MetricsRegistry:
+        """One registry holding every shard's latest families, each
+        child labelled with its ``shard``. Rebuilt from the stored
+        dumps on every call (dumps are cumulative; merging a newer dump
+        into an existing merge would double-count)."""
+        merged = MetricsRegistry()
+        for shard in sorted(self._registry_dumps):
+            merged.merge_dump(
+                self._registry_dumps[shard], extra_labels={"shard": shard}
+            )
+        return merged
+
+    def tracer(self) -> Tracer:
+        """One tracer holding every shard's spans (stitched: parent
+        links minted on other shards resolve because ids are globally
+        unique — see :func:`repro.obs.tracing.shard_id_base`)."""
+        stitched = Tracer()
+        for shard in sorted(self._spans):
+            records = sorted(
+                self._spans[shard].values(), key=lambda r: (r["start"], r["span_id"])
+            )
+            stitched.absorb(records, shard=shard)
+        return stitched
+
+    def quiesced_at(self) -> float:
+        """Fleet quiescence: the last state change on any shard."""
+        return max(self._quiesced.values(), default=0.0)
+
+    def prometheus(self) -> str:
+        """The merged fleet scrape in Prometheus text format."""
+        from repro.obs.exporters import prometheus_text
+
+        return prometheus_text(self.registry())

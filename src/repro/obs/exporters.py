@@ -80,21 +80,7 @@ def write_prometheus(registry: MetricsRegistry, out: IO[str]) -> None:
 
 
 def _span_record(span: Span) -> dict:
-    return {
-        "kind": "span",
-        "trace_id": span.trace_id,
-        "span_id": span.span_id,
-        "parent_id": span.parent_id,
-        "name": span.name,
-        "node": span.node,
-        "start": span.start,
-        "end": span.end,
-        "attrs": {k: str(v) for k, v in span.attrs.items()},
-        "events": [
-            {"time": t, "name": name, "attrs": {k: str(v) for k, v in attrs.items()}}
-            for t, name, attrs in span.events
-        ],
-    }
+    return span.to_record()
 
 
 def spans_to_jsonl(tracer: Tracer, out: Optional[IO[str]] = None) -> str:

@@ -19,14 +19,15 @@ off a single snapshot.
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING
+from typing import TYPE_CHECKING, Optional
 
 from repro.obs.registry import WALL_BUCKETS, MetricsRegistry
-from repro.obs.tracing import Tracer
+from repro.obs.tracing import Tracer, shard_id_base
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.netsim.engine import Event, Simulator
     from repro.netsim.topology import Topology
+    from repro.obs.convergence import ConvergenceMonitor
 
 #: Packet-header key under which a :class:`~repro.obs.tracing.SpanContext`
 #: rides along with every instrumented control message.
@@ -34,11 +35,24 @@ SPAN_HEADER = "spanctx"
 
 
 class Observability:
-    """One registry + one tracer, shared by every instrumented layer."""
+    """One registry + one tracer, shared by every instrumented layer.
 
-    def __init__(self) -> None:
+    ``shard`` (a partition rank) namespaces the tracer's id counter via
+    :func:`~repro.obs.tracing.shard_id_base`, so span/trace ids minted
+    by different partition workers never collide and per-worker span
+    dumps stitch back into cross-shard trees when merged.
+    """
+
+    def __init__(self, shard: Optional[int] = None) -> None:
+        self.shard = shard
         self.registry = MetricsRegistry()
-        self.tracer = Tracer()
+        self.tracer = Tracer(
+            id_base=shard_id_base(shard) if shard is not None else 0
+        )
+        #: Optional :class:`~repro.obs.convergence.ConvergenceMonitor`;
+        #: instrumented protocol layers call :meth:`state_changed` on
+        #: every durable state mutation and the monitor timestamps it.
+        self.convergence: Optional["ConvergenceMonitor"] = None
         self._bound_sims: set[int] = set()
 
     def bind_simulator(self, sim: "Simulator") -> None:
@@ -48,6 +62,13 @@ class Observability:
         if id(sim) not in self._bound_sims:
             self._bound_sims.add(id(sim))
             instrument_simulator(sim, self.registry)
+
+    def state_changed(self) -> None:
+        """Protocol hook: a durable state mutation happened (membership
+        change, count update, upstream re-home). No-op unless a
+        convergence monitor is attached."""
+        if self.convergence is not None:
+            self.convergence.touch()
 
 
 class NodeMetrics:
@@ -166,7 +187,12 @@ class SyncMetrics:
         "_lbts_stalls",
         "_proxy_bytes",
         "_proxy_packets",
+        "_import_bytes",
+        "_import_packets",
         "_rounds",
+        "_phase_seconds",
+        "_events_per_sec",
+        "_null_ratio",
     )
 
     def __init__(self, registry: MetricsRegistry, partition: int) -> None:
@@ -192,9 +218,36 @@ class SyncMetrics:
             "Packets exported across cut links",
             ("partition",),
         )
+        self._import_bytes = registry.counter(
+            "parallel_proxy_import_bytes_total",
+            "Serialized packet bytes imported across cut links (fleet "
+            "totals must balance the export counters)",
+            ("partition",),
+        )
+        self._import_packets = registry.counter(
+            "parallel_proxy_import_packets_total",
+            "Packets imported across cut links",
+            ("partition",),
+        )
         self._rounds = registry.counter(
             "parallel_sync_rounds_total",
             "Conservative-sync rounds executed by a partition worker",
+            ("partition",),
+        )
+        self._phase_seconds = registry.gauge(
+            "parallel_phase_seconds",
+            "Wall seconds a worker spent per phase "
+            "(dispatch/cascade/sync_wait/idle) — the repartitioning signal",
+            ("partition", "phase"),
+        )
+        self._events_per_sec = registry.gauge(
+            "parallel_events_per_second",
+            "Events dispatched per wall second by a partition worker",
+            ("partition",),
+        )
+        self._null_ratio = registry.gauge(
+            "parallel_null_message_ratio",
+            "Fraction of a worker's sync rounds that carried no exports",
             ("partition",),
         )
 
@@ -208,8 +261,26 @@ class SyncMetrics:
         self._proxy_packets.labels(partition=self.partition).inc()
         self._proxy_bytes.labels(partition=self.partition).inc(size)
 
+    def proxy_import(self, size: int) -> None:
+        self._import_packets.labels(partition=self.partition).inc()
+        self._import_bytes.labels(partition=self.partition).inc(size)
+
     def sync_round(self) -> None:
         self._rounds.labels(partition=self.partition).inc()
+
+    def set_phases(self, stats: "SyncStats") -> None:  # noqa: F821
+        """Publish a worker's phase accounting as gauges (called when
+        the worker finalizes its telemetry)."""
+        for phase, seconds in stats.phase_seconds().items():
+            self._phase_seconds.labels(
+                partition=self.partition, phase=phase
+            ).set(seconds)
+        self._events_per_sec.labels(partition=self.partition).set(
+            stats.events_per_second()
+        )
+        self._null_ratio.labels(partition=self.partition).set(
+            stats.null_message_ratio
+        )
 
 
 def attach_topology(topo: "Topology", obs: Observability) -> Observability:

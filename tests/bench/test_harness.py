@@ -161,6 +161,7 @@ def fake_report(**summary) -> dict:
         "wire_message_reduction": 5.0,
         "wheel_speedup": 3.0,
         "partition_speedup": 2.0,
+        "sync_efficiency": 0.9,
     }
     base.update(summary)
     return {"summary": base}

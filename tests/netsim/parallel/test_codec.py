@@ -7,7 +7,14 @@ from repro.core.channel import Channel
 from repro.core.ecmp.messages import Count, CountQuery, EcmpBatch
 from repro.errors import CodecError
 from repro.netsim.packet import Packet
-from repro.netsim.parallel.codec import decode_packet, encode_packet
+from repro.netsim.parallel.codec import (
+    _decode_spanctx,
+    _encode_spanctx,
+    decode_packet,
+    encode_packet,
+)
+from repro.obs.hooks import SPAN_HEADER
+from repro.obs.tracing import SpanContext, shard_id_base
 
 CHANNEL = Channel(source=0x0A000001, group=0xE8000005)
 
@@ -71,6 +78,65 @@ class TestRoundTrip:
         packet = Packet(src=1, dst=2)
         out = roundtrip(packet)
         assert out.uid != packet.uid
+
+
+class TestSpanContext:
+    """Trace contexts cross the cut as a compact struct block, not a
+    pickle blob — the carrier of cross-shard trace stitching."""
+
+    def test_single_context_roundtrips(self):
+        ctx = SpanContext(trace_id=shard_id_base(1) + 7, span_id=shard_id_base(1) + 9)
+        packet = Packet(
+            src=1, dst=2, proto="ecmp",
+            headers={"ecmp": Count(channel=CHANNEL, count_id=1, count=1),
+                     SPAN_HEADER: ctx},
+        )
+        out = roundtrip(packet)
+        assert out.headers[SPAN_HEADER] == ctx
+        assert isinstance(out.headers[SPAN_HEADER], SpanContext)
+
+    def test_batch_context_list_with_absences(self):
+        contexts = [
+            SpanContext(trace_id=1, span_id=2),
+            None,
+            SpanContext(trace_id=shard_id_base(3) + 1, span_id=shard_id_base(3) + 2),
+        ]
+        packet = Packet(
+            src=1, dst=2, proto="ecmp",
+            headers={"ecmp": Count(channel=CHANNEL, count_id=1, count=1),
+                     SPAN_HEADER: contexts},
+        )
+        out = roundtrip(packet)
+        assert out.headers[SPAN_HEADER] == contexts
+
+    def test_spanctx_avoids_pickle_fallback(self):
+        """A packet whose only extra header is the span context must
+        not grow a pickle section (flags bit 0x08 unset)."""
+        bare = encode_packet(Packet(
+            src=1, dst=2, proto="ecmp",
+            headers={"ecmp": Count(channel=CHANNEL, count_id=1, count=1)},
+        ))
+        with_ctx = encode_packet(Packet(
+            src=1, dst=2, proto="ecmp",
+            headers={"ecmp": Count(channel=CHANNEL, count_id=1, count=1),
+                     SPAN_HEADER: SpanContext(trace_id=1, span_id=2)},
+        ))
+        # kind(1) + count(2) + present(1) + trace_id(8) + span_id(8)
+        assert len(with_ctx) - len(bare) == 20
+
+    def test_truncated_block_rejected(self):
+        block = _encode_spanctx(SpanContext(trace_id=1, span_id=2))
+        with pytest.raises(CodecError, match="truncated"):
+            _decode_spanctx(block[:-3])
+
+    def test_trailing_bytes_rejected(self):
+        block = _encode_spanctx([SpanContext(trace_id=1, span_id=2)])
+        with pytest.raises(CodecError, match="framing"):
+            _decode_spanctx(block + b"\x00")
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(CodecError, match="kind"):
+            _decode_spanctx(b"\x07\x00\x00")
 
 
 class TestStrictness:

@@ -1,0 +1,251 @@
+"""Registry dump/merge, fleet aggregation, and exporter robustness.
+
+The distributed-telemetry contract: per-worker registry dumps merge
+into one fleet registry with a ``shard`` label, histogram merges keep
+count/sum/bucket arithmetic exact, colliding label sets add, and the
+exporters survive a registry being mutated while they render.
+"""
+
+import threading
+
+import pytest
+
+from repro.obs.aggregate import FleetAggregator
+from repro.obs.exporters import metrics_to_jsonl, prometheus_text
+from repro.obs.registry import MetricError, MetricsRegistry, percentile
+from repro.obs.tracing import Tracer, id_shard, shard_id_base
+
+
+def _sample_registry(shard_bias: int = 0) -> MetricsRegistry:
+    registry = MetricsRegistry()
+    packets = registry.counter("packets_total", "pkts", labelnames=("node",))
+    packets.labels(node="a").inc(10 + shard_bias)
+    packets.labels(node="b").inc(5)
+    depth = registry.gauge("queue_depth", "depth")
+    depth.set(3 + shard_bias)
+    latency = registry.histogram(
+        "latency_seconds", "lat", buckets=(0.001, 0.01, 0.1)
+    )
+    for value in (0.0005, 0.005, 0.05, 0.5):
+        latency.observe(value + shard_bias * 0.0001)
+    return registry
+
+
+class TestDumpMerge:
+    def test_roundtrip_preserves_values(self):
+        source = _sample_registry()
+        target = MetricsRegistry()
+        target.merge_dump(source.dump())
+
+        assert target.get("packets_total").labels(node="a").value == 10
+        assert target.get("packets_total").labels(node="b").value == 5
+        assert target.get("queue_depth").value == 3
+        hist = target.get("latency_seconds")._solo()
+        assert hist.count == 4
+        assert hist.sum == pytest.approx(0.0005 + 0.005 + 0.05 + 0.5)
+
+    def test_merge_is_additive_on_colliding_label_sets(self):
+        target = MetricsRegistry()
+        dump = _sample_registry().dump()
+        target.merge_dump(dump)
+        target.merge_dump(dump)
+
+        assert target.get("packets_total").labels(node="a").value == 20
+        hist = target.get("latency_seconds")._solo()
+        assert hist.count == 8
+        assert hist.sum == pytest.approx(2 * (0.0005 + 0.005 + 0.05 + 0.5))
+
+    def test_extra_labels_keep_shards_apart(self):
+        target = MetricsRegistry()
+        target.merge_dump(_sample_registry(0).dump(), extra_labels={"shard": 0})
+        target.merge_dump(_sample_registry(1).dump(), extra_labels={"shard": 1})
+
+        family = target.get("packets_total")
+        assert family.labelnames == ("node", "shard")
+        assert family.labels(node="a", shard="0").value == 10
+        assert family.labels(node="a", shard="1").value == 11
+
+    def test_histogram_merge_invariants(self):
+        """Merged count/sum/buckets equal one histogram observing both
+        streams, and percentiles come out of the union of samples."""
+        a = MetricsRegistry()
+        b = MetricsRegistry()
+        ha = a.histogram("h", buckets=(1.0, 10.0))
+        hb = b.histogram("h", buckets=(1.0, 10.0))
+        for v in (0.5, 2.0, 20.0):
+            ha.observe(v)
+        for v in (0.6, 3.0):
+            hb.observe(v)
+
+        merged = MetricsRegistry()
+        merged.merge_dump(a.dump())
+        merged.merge_dump(b.dump())
+        child = merged.get("h")._solo()
+        assert child.count == 5
+        assert child.sum == pytest.approx(26.1)
+        assert list(child.bucket_counts) == [2, 2, 1]
+        union = sorted((0.5, 2.0, 20.0, 0.6, 3.0))
+        assert child.percentile(50) == percentile(union, 50)
+
+    def test_truncated_dump_keeps_exact_aggregates(self):
+        registry = MetricsRegistry()
+        hist = registry.histogram("h", buckets=(0.5,))
+        for i in range(100):
+            hist.observe(i / 100.0)
+
+        dump = registry.dump(max_samples=8)
+        (payload,) = [
+            payload for record in dump for _v, payload in record["children"]
+            if record["name"] == "h"
+        ]
+        assert payload["truncated"] is True
+        assert len(payload["samples"]) == 8
+        merged = MetricsRegistry()
+        merged.merge_dump(dump)
+        child = merged.get("h")._solo()
+        assert child.count == 100
+        assert child.sum == pytest.approx(sum(i / 100.0 for i in range(100)))
+        # bisect_left bucketing: 0.00..0.50 land in the 0.5 bucket.
+        assert list(child.bucket_counts) == [51, 49]
+
+    def test_merge_kind_conflict_raises(self):
+        source = MetricsRegistry()
+        source.counter("metric_x").inc()
+        target = MetricsRegistry()
+        target.gauge("metric_x")
+        with pytest.raises(MetricError):
+            target.merge_dump(source.dump())
+
+
+class TestFleetAggregator:
+    def _snapshot(self, shard: int, registry: MetricsRegistry, **extra) -> dict:
+        return {
+            "shard": shard,
+            "registry": registry.dump(),
+            "spans": extra.get("spans", []),
+            "quiesced_at": extra.get("quiesced_at"),
+        }
+
+    def test_merged_scrape_has_shard_labelled_series(self):
+        fleet = FleetAggregator()
+        fleet.ingest(0, self._snapshot(0, _sample_registry(0)))
+        fleet.ingest(1, self._snapshot(1, _sample_registry(1)))
+
+        text = fleet.prometheus()
+        assert 'packets_total{node="a",shard="0"} 10' in text
+        assert 'packets_total{node="a",shard="1"} 11' in text
+        assert fleet.shards() == [0, 1]
+
+    def test_cumulative_snapshots_are_latest_wins(self):
+        """Re-ingesting a shard's newer cumulative dump must not
+        double-count the old one."""
+        fleet = FleetAggregator()
+        registry = MetricsRegistry()
+        counter = registry.counter("c")
+        counter.inc(5)
+        fleet.ingest(0, self._snapshot(0, registry))
+        counter.inc(5)  # cumulative: now 10
+        fleet.ingest(0, self._snapshot(0, registry))
+
+        merged = fleet.registry()
+        assert merged.get("c").child(("0",)).value == 10
+
+    def test_trace_stitching_across_shards(self):
+        t0 = Tracer(id_base=shard_id_base(0))
+        t1 = Tracer(id_base=shard_id_base(1))
+        root = t0.start_span("query", node="src")
+        child = t1.start_span("handle", node="edge", parent=root.context)
+        t1.end(child)
+        t0.end(root)
+        assert id_shard(root.span_id) != id_shard(child.span_id)
+
+        fleet = FleetAggregator()
+        fleet.ingest(0, {"registry": None,
+                         "spans": [s.to_record() for s in t0.spans],
+                         "quiesced_at": 1.5})
+        fleet.ingest(1, {"registry": None,
+                         "spans": [s.to_record() for s in t1.spans],
+                         "quiesced_at": 2.5})
+
+        stitched = fleet.tracer()
+        assert stitched.cross_shard_traces() == [root.trace_id]
+        assert [s.span_id for s in stitched.children(stitched.get(root.span_id))] == [
+            child.span_id
+        ]
+        # Shard provenance is stamped on absorbed spans.
+        assert stitched.get(child.span_id).attrs["shard"] == "1"
+        assert fleet.quiesced_at() == 2.5
+
+    def test_none_snapshot_is_noop(self):
+        fleet = FleetAggregator()
+        fleet.ingest(0, None)
+        assert fleet.shards() == []
+        assert fleet.snapshots_ingested == 0
+
+
+class TestExporterRobustness:
+    def test_exporters_survive_concurrent_mutation(self):
+        """A worker thread hammers new label sets and observations while
+        the exporters render — no exceptions, valid output every time.
+        (The GIL makes each dict op atomic; the exporters' snapshot
+        semantics must cope with children appearing mid-render.)"""
+        registry = MetricsRegistry()
+        family = registry.counter("spin_total", "spins", labelnames=("k",))
+        hist = registry.histogram("spin_seconds", "lat", labelnames=("k",))
+        stop = threading.Event()
+        failures: list[BaseException] = []
+
+        def mutate():
+            i = 0
+            while not stop.is_set():
+                family.labels(k=str(i % 257)).inc()
+                hist.labels(k=str(i % 131)).observe(i * 1e-6)
+                i += 1
+
+        def export():
+            try:
+                for _ in range(50):
+                    text = prometheus_text(registry)
+                    assert "spin_total" in text
+                    metrics_to_jsonl(registry)
+                    registry.dump(max_samples=4)
+            except BaseException as exc:  # pragma: no cover - failure path
+                failures.append(exc)
+
+        mutator = threading.Thread(target=mutate, daemon=True)
+        mutator.start()
+        try:
+            exporters = [threading.Thread(target=export) for _ in range(3)]
+            for t in exporters:
+                t.start()
+            for t in exporters:
+                t.join()
+        finally:
+            stop.set()
+            mutator.join(timeout=5)
+        assert not failures
+
+    def test_merge_of_concurrently_written_dump_is_consistent(self):
+        """A dump taken mid-mutation still merges: every child's
+        histogram aggregates are internally consistent."""
+        registry = MetricsRegistry()
+        hist = registry.histogram("h", labelnames=("k",), buckets=(0.5,))
+        stop = threading.Event()
+
+        def mutate():
+            i = 0
+            while not stop.is_set():
+                hist.labels(k=str(i % 17)).observe((i % 10) / 10.0)
+                i += 1
+
+        mutator = threading.Thread(target=mutate, daemon=True)
+        mutator.start()
+        try:
+            for _ in range(30):
+                merged = MetricsRegistry()
+                merged.merge_dump(registry.dump())
+                for values, child in merged.get("h").children():
+                    assert child.count == sum(child.bucket_counts), values
+        finally:
+            stop.set()
+            mutator.join(timeout=5)

@@ -1,0 +1,52 @@
+"""Flight recorder: bounded ring, JSONL dumps, simulator attachment."""
+
+import json
+
+from repro.netsim.engine import Simulator
+from repro.obs.flightrecorder import FlightRecorder
+from repro.obs.tracing import Tracer
+
+
+def test_ring_is_bounded_oldest_first():
+    recorder = FlightRecorder(capacity=4, shard=1)
+    for i in range(10):
+        recorder.record("tick", n=i)
+    tail = recorder.tail()
+    assert len(tail) == 4
+    assert [entry["n"] for entry in tail] == [6, 7, 8, 9]
+    assert recorder.recorded == 10
+
+
+def test_dump_writes_header_then_entries(tmp_path):
+    recorder = FlightRecorder(capacity=8, shard=2)
+    recorder.record("tick", n=1)
+    tracer = Tracer()
+    span = tracer.start_span("work", node="a")
+    tracer.end(span)
+    recorder.record_span(span)
+
+    path = recorder.dump(str(tmp_path / "sub" / "flight-2.jsonl"), reason="test")
+    lines = [json.loads(line) for line in open(path, encoding="utf-8")]
+    header, entries = lines[0], lines[1:]
+    assert header["kind"] == "flight_header"
+    assert header["reason"] == "test"
+    assert header["shard"] == 2
+    assert header["entries"] == 2
+    assert header["recorded"] == 2
+    assert [e["kind"] for e in entries] == ["tick", "span"]
+    assert entries[1]["name"] == "work"
+    assert recorder.dumped_to == path
+
+
+def test_attach_records_dispatched_events():
+    sim = Simulator(seed=0)
+    recorder = FlightRecorder(capacity=16)
+    recorder.attach(sim)
+    sim.schedule_at(0.5, lambda: None, name="alpha")
+    sim.schedule_at(1.0, lambda: None, name="beta")
+    sim.run(until=2.0)
+
+    tail = recorder.tail()
+    assert [entry["name"] for entry in tail] == ["alpha", "beta"]
+    assert [entry["time"] for entry in tail] == [0.5, 1.0]
+    assert all(entry["kind"] == "event" for entry in tail)
