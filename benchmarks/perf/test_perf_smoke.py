@@ -14,7 +14,10 @@ claims of the fast-path PR:
   dispatches identical event counts under both schedulers, keeps exact
   membership/delivery arithmetic, and the timer wheel beats the heap
   by the CI floor (2.5x — a noise-safe regression gate; the recorded
-  medians are >=3x), and
+  medians are >=3x),
+* the native event core is actually engaged on the wheel run: whole
+  pure slots batch-dispatch (no per-event materialization) and events
+  recycle through the arena, and
 * every scenario clears a generous events/sec floor (guards against
   catastrophic data-plane regressions without tying CI to hardware).
 
@@ -46,7 +49,7 @@ def test_perf_smoke_writes_bench_json():
 
     parsed = json.loads(out.read_text())
     assert parsed["bench"] == "perf"
-    assert parsed["schema_version"] == 5
+    assert parsed["schema_version"] == 6
     assert set(parsed["scenarios"]) == {
         "join_storm",
         "link_flap_churn",
@@ -117,6 +120,16 @@ def test_perf_smoke_writes_bench_json():
     # degrading into the sorted open-slot path.
     assert wheel_stats["wheel_insert_share"] > 0.9
     assert mega["schedulers"]["heap"]["scheduler_stats"]["scheduler"] == "heap"
+    # v6 native core: the wheel run must batch-dispatch whole pure
+    # slots (not fall back to per-event materialization) and recycle
+    # events through the arena, unless the escape hatch is pulled.
+    assert mega["native_core"] is True
+    assert mega["batched_slots"] > 0
+    assert mega["batched_events"] > 0
+    assert mega["arena"] is not None
+    assert mega["arena"]["cap"] > 0
+    assert parsed["summary"]["native_core"] is True
+    assert parsed["summary"]["batched_events"] == mega["batched_events"]
     assert parsed["summary"]["wheel_speedup"] == mega["wheel_speedup"]
     assert parsed["summary"]["mega_events_per_sec"] == mega["events_per_sec"]
 
@@ -156,8 +169,22 @@ def test_perf_smoke_writes_bench_json():
     # scenario raises on any of these failing; re-asserted here so the
     # JSON contract is pinned too).
     breakdown = parallel["phase_breakdown"]
-    assert set(breakdown) == {"dispatch", "cascade", "sync_wait", "idle"}
+    assert set(breakdown) == {
+        "dispatch",
+        "cascade",
+        "alloc",
+        "accounting",
+        "sync_wait",
+        "idle",
+    }
     assert abs(sum(breakdown.values()) - 1.0) < 0.01
+    # v6 host diagnostics: spawn/warmup cost and core count are surfaced
+    # so a sub-1x partition_speedup on a starved host reads as a host
+    # limitation (warnings) instead of a silent regression.
+    assert parallel["setup_seconds"] >= 0.0
+    assert parallel["cores_available"] >= 1
+    assert isinstance(parallel["warnings"], list)
+    assert parsed["summary"]["parallel_warnings"] == parallel["warnings"]
     assert 0.0 <= parallel["null_message_ratio"]
     assert 0.0 < parallel["sync_efficiency"] <= 1.0
     assert parallel["settle_seconds"] >= 0.0

@@ -1,0 +1,337 @@
+"""Vectorized delivery accounting (the native-core counting layer).
+
+The mega-storm profile showed per-event *counting* — block delivery
+counters, per-link wire counters, registry label lookups — costing as
+much as the protocol work it was measuring: every delivered packet paid
+dict hashing for ``labels(...)`` children and one attribute round-trip
+per counter per block. This module moves those counters into
+preallocated integer arrays with an index-interning layer, updated by
+cheap scalar pends on the hot path and *flushed* in bulk at snapshot
+and export boundaries:
+
+* :class:`CounterBank` — a column store of ``int64`` arrays (numpy when
+  available, plain lists otherwise) with row interning. Rows are
+  subscriber blocks or links; columns are counters.
+* :class:`DeliveryView` — the forwarder's frozen per-(agent, channel)
+  view of block membership. Per packet it does two integer adds
+  (``pending_packets``/``pending_bytes``); the flush applies the
+  pending tallies to every member block with one fancy-indexed array
+  operation per counter. Views are invalidated by
+  ``EcmpAgent.members_changing`` (membership is about to move, so
+  pending tallies accumulated under the old counts are applied first)
+  and refreshed lazily against ``agent.blocks_version``.
+* :class:`LinkAccounting` — per-registry aggregator for
+  :class:`~repro.obs.hooks.LinkMetrics`: per-packet increments become
+  plain attribute adds on the metrics object, and a registered
+  collector folds them into the bank *and* the exact same registry
+  families every exporter already reads, so PR 6's fleet aggregation
+  sees byte-identical family names and label schemas.
+
+Flush boundaries (the full set — counters are never stale when read):
+
+* ``members_changing`` before any join/leave/batch member mutation,
+* block counter property reads (``block.deliveries`` etc.),
+* the registry collector at every ``collect()``/snapshot/export,
+* a delivery view noticing ``blocks_version`` moved.
+
+``REPRO_NO_NUMPY=1`` forces the pure-Python list fallback (CI runs the
+tier-1 suite with numpy uninstalled to keep that path green); the
+fallback is semantically identical, only the flush loops are scalar.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import TYPE_CHECKING, Optional, Sequence
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.blocks import SubscriberBlock
+    from repro.core.channel import Channel
+    from repro.core.ecmp.protocol import EcmpAgent
+
+if os.environ.get("REPRO_NO_NUMPY", "") == "1":  # pragma: no cover - env gate
+    np = None
+else:
+    try:
+        import numpy as np
+    except ImportError:  # pragma: no cover - exercised by the CI fallback job
+        np = None
+
+#: Minimum row count before a flush takes the fancy-indexed numpy path;
+#: below this the scalar loop wins (array dispatch overhead dominates).
+VECTOR_MIN = 16
+
+#: Initial rows per bank column (doubles on demand).
+_INITIAL_ROWS = 64
+
+
+class CounterBank:
+    """A column store of preallocated integer counters with row
+    interning.
+
+    Columns are ``int64`` numpy arrays when numpy is importable (and
+    not disabled via ``REPRO_NO_NUMPY``), plain Python lists otherwise.
+    Rows are appended via :meth:`add_row` (anonymous — the caller keeps
+    the index, e.g. a :class:`~repro.core.blocks.SubscriberBlock`) or
+    :meth:`intern` (keyed — repeated interning of the same key returns
+    the same row). Growth doubles the arrays, so callers must index
+    through the bank on every access rather than caching column arrays.
+    """
+
+    __slots__ = ("columns", "rows", "_capacity", "_cols", "_index")
+
+    def __init__(
+        self, columns: Sequence[str], capacity: int = _INITIAL_ROWS
+    ) -> None:
+        self.columns = tuple(columns)
+        self.rows = 0
+        self._capacity = capacity
+        self._index: dict = {}
+        if np is not None:
+            self._cols = {
+                name: np.zeros(capacity, dtype=np.int64) for name in self.columns
+            }
+        else:
+            self._cols = {name: [0] * capacity for name in self.columns}
+
+    def add_row(self, key: object = None) -> int:
+        """Append one zeroed row; returns its index. ``key`` (optional)
+        registers the row for :meth:`intern` lookups."""
+        row = self.rows
+        if row >= self._capacity:
+            self._grow()
+        self.rows = row + 1
+        if key is not None:
+            self._index[key] = row
+        return row
+
+    def intern(self, key: object) -> int:
+        """The row for ``key``, created on first use."""
+        row = self._index.get(key)
+        if row is None:
+            row = self.add_row(key)
+        return row
+
+    def _grow(self) -> None:
+        self._capacity *= 2
+        if np is not None:
+            for name, col in self._cols.items():
+                grown = np.zeros(self._capacity, dtype=np.int64)
+                grown[: len(col)] = col
+                self._cols[name] = grown
+        else:
+            for col in self._cols.values():
+                col.extend([0] * (self._capacity - len(col)))
+
+    def column(self, name: str):
+        """The live backing array for ``name`` (do not cache across
+        :meth:`add_row` calls — growth replaces it)."""
+        return self._cols[name]
+
+    def get(self, name: str, row: int) -> int:
+        return int(self._cols[name][row])
+
+    def set(self, name: str, row: int, value: int) -> None:
+        self._cols[name][row] = value
+
+    def inc(self, name: str, row: int, amount: int = 1) -> None:
+        self._cols[name][row] += amount
+
+    def row_values(self, row: int) -> dict:
+        return {name: int(col[row]) for name, col in self._cols.items()}
+
+    def stats(self) -> dict:
+        return {
+            "rows": self.rows,
+            "columns": list(self.columns),
+            "vectorized": np is not None,
+        }
+
+
+#: Process-wide bank backing every :class:`SubscriberBlock`'s delivery
+#: counters (``packets_seen``/``deliveries``/``bytes_delivered``). One
+#: row per block instance; rows are never reused, which is fine — banks
+#: grow geometrically and a row is three machine words.
+BLOCK_BANK = CounterBank(("packets_seen", "deliveries", "bytes_delivered"))
+
+
+class DeliveryView:
+    """Frozen per-(agent, channel) membership view for the forwarder's
+    arithmetic final-hop delivery.
+
+    Between membership changes the per-packet work is two integer adds;
+    :meth:`flush` then applies the pending packet/byte tallies to every
+    member block's bank row in one fancy-indexed operation per counter
+    (scalar loop under :data:`VECTOR_MIN` rows or without numpy). The
+    equivalence argument: membership is frozen between flushes (every
+    mutation path calls ``members_changing`` first), so per-packet and
+    batched application compute identical sums.
+    """
+
+    __slots__ = (
+        "agent",
+        "channel",
+        "stats",
+        "hist",
+        "version",
+        "blocks",
+        "rows",
+        "members",
+        "members_sum",
+        "pending_packets",
+        "pending_bytes",
+    )
+
+    def __init__(
+        self,
+        agent: "EcmpAgent",
+        channel: "Channel",
+        stats,
+        hist_family=None,
+        node_name: str = "",
+    ) -> None:
+        self.agent = agent
+        self.channel = channel
+        #: The forwarder's stats bag (Counter or CounterBag) — flush
+        #: targets, same keys the per-packet path used to increment.
+        self.stats = stats
+        #: Memoized delivery-latency histogram child (obs mode only):
+        #: latency is a per-packet distribution, so it is observed at
+        #: delivery time, not deferred — but through this cached child
+        #: instead of a ``labels(...)`` lookup per packet.
+        self.hist = (
+            hist_family.labels(
+                protocol="express", node=node_name, channel=str(channel)
+            )
+            if hist_family is not None
+            else None
+        )
+        self.version = -1
+        self.blocks: tuple = ()
+        self.rows = None
+        self.members = None
+        self.members_sum = 0
+        self.pending_packets = 0
+        self.pending_bytes = 0
+
+    def refresh(self) -> None:
+        """Rebuild the frozen member vectors from current membership
+        (call only with no pending tallies)."""
+        agent = self.agent
+        channel = self.channel
+        blocks = tuple(agent.channel_blocks.get(channel, ()))
+        self.blocks = blocks
+        counts = [block.members.get(channel, 0) for block in blocks]
+        self.members_sum = sum(counts)
+        if np is not None:
+            self.rows = np.array(
+                [block._row for block in blocks], dtype=np.intp
+            )
+            self.members = np.array(counts, dtype=np.int64)
+        else:
+            self.rows = [block._row for block in blocks]
+            self.members = counts
+        self.version = agent.blocks_version
+
+    def flush(self) -> None:
+        """Apply pending per-packet tallies to the member blocks' bank
+        rows and the stats bag; no-op with nothing pending."""
+        packets = self.pending_packets
+        if not packets:
+            return
+        nbytes = self.pending_bytes
+        self.pending_packets = 0
+        self.pending_bytes = 0
+        blocks = self.blocks
+        n = len(blocks)
+        cols = BLOCK_BANK._cols
+        if np is not None and n >= VECTOR_MIN:
+            rows = self.rows
+            cols["packets_seen"][rows] += packets
+            cols["deliveries"][rows] += self.members * packets
+            cols["bytes_delivered"][rows] += self.members * nbytes
+        else:
+            seen = cols["packets_seen"]
+            deliveries = cols["deliveries"]
+            delivered_bytes = cols["bytes_delivered"]
+            members = self.members
+            for i in range(n):
+                row = blocks[i]._row
+                m = members[i]
+                seen[row] += packets
+                deliveries[row] += m * packets
+                delivered_bytes[row] += m * nbytes
+        if self.members_sum:
+            stats = self.stats
+            stats.incr("block_deliveries", self.members_sum * packets)
+            stats.incr("block_packets", packets)
+
+
+def flush_agent_views(agent: "EcmpAgent") -> None:
+    """Flush every pending delivery view of ``agent`` (cheap when
+    nothing is pending — one attribute check per channel view)."""
+    for view in agent._delivery_views.values():
+        if view.pending_packets:
+            view.flush()
+
+
+#: Column order shared by :class:`LinkAccounting` and
+#: :class:`~repro.obs.hooks.LinkMetrics` pending attributes.
+LINK_COLUMNS = ("packets", "lost", "ecmp_packets", "ecmp_bytes")
+
+
+class LinkAccounting:
+    """Per-registry flush aggregator for link counters.
+
+    Each :class:`~repro.obs.hooks.LinkMetrics` registers here once; its
+    per-packet methods then only bump plain integer attributes. The
+    single collector registered on the registry folds all pending
+    counts into the bank's preallocated columns and increments the
+    *same* registry families (``link_packets_total`` etc.) by the same
+    deltas — exporters, snapshots, and the fleet merge see identical
+    series, just updated at collect boundaries instead of per packet.
+    """
+
+    __slots__ = ("bank", "_metrics")
+
+    def __init__(self, registry) -> None:
+        self.bank = CounterBank(LINK_COLUMNS)
+        self._metrics: list = []
+        registry.register_collector(self.flush)
+
+    def attach(self, metrics) -> int:
+        """Register one LinkMetrics; returns its interned bank row."""
+        self._metrics.append(metrics)
+        return self.bank.intern(metrics.link)
+
+    def flush(self) -> None:
+        bank = self.bank
+        for metrics in self._metrics:
+            pending = metrics.take_pending()
+            if pending is None:
+                continue
+            packets, lost, ecmp_packets, ecmp_bytes = pending
+            row = metrics.row
+            if packets:
+                bank.inc("packets", row, packets)
+                metrics._c_packets.inc(packets)
+            if lost:
+                bank.inc("lost", row, lost)
+                metrics._c_lost.inc(lost)
+            if ecmp_packets:
+                bank.inc("ecmp_packets", row, ecmp_packets)
+                metrics._c_ecmp_packets.inc(ecmp_packets)
+            if ecmp_bytes:
+                bank.inc("ecmp_bytes", row, ecmp_bytes)
+                metrics._c_ecmp_bytes.inc(ecmp_bytes)
+
+
+def link_accounting(registry) -> LinkAccounting:
+    """The registry's :class:`LinkAccounting`, created on first use and
+    cached on the registry object itself (one bank + one collector per
+    registry, however many links attach)."""
+    accounting = getattr(registry, "_link_accounting", None)
+    if accounting is None:
+        accounting = LinkAccounting(registry)
+        registry._link_accounting = accounting
+    return accounting

@@ -35,7 +35,9 @@ from __future__ import annotations
 
 from typing import TYPE_CHECKING, Optional
 
+from repro.core.accounting import BLOCK_BANK, flush_agent_views
 from repro.core.channel import Channel
+from repro.core.ecmp.protocol import CountPropagation
 from repro.core.ecmp.state import BLOCK_PREFIX
 from repro.errors import ChannelError
 from repro.netsim.engine import PeriodicTask
@@ -65,10 +67,10 @@ class SubscriberBlock:
         "pseudo",
         "udp",
         "members",
-        "packets_seen",
-        "deliveries",
-        "bytes_delivered",
+        "_row",
         "_refresh_task",
+        "_groups",
+        "_ops",
     )
 
     def __init__(self, agent: "EcmpAgent", name: str, udp: bool = False) -> None:
@@ -80,14 +82,54 @@ class SubscriberBlock:
         self.pseudo = BLOCK_PREFIX + name
         self.udp = udp
         self.members: dict[Channel, int] = {}
-        self.packets_seen = 0
-        self.deliveries = 0
-        self.bytes_delivered = 0
+        #: Row in the process-wide delivery counter bank; the
+        #: ``packets_seen``/``deliveries``/``bytes_delivered``
+        #: properties below read it (flushing any pending delivery-view
+        #: tallies first, so reads are never stale).
+        self._row = BLOCK_BANK.add_row()
         self._refresh_task: Optional[PeriodicTask] = None
+        self._groups: dict[Channel, BlockChannelGroup] = {}
+        self._ops: dict[tuple[Channel, int], BlockOp] = {}
 
     @property
     def edge_router(self) -> str:
         return self.agent.node.name
+
+    # -- delivery counters (bank-backed; see repro.core.accounting) --------
+
+    @property
+    def packets_seen(self) -> int:
+        """Channel packets that reached this block's edge (cumulative
+        across channels)."""
+        flush_agent_views(self.agent)
+        return BLOCK_BANK.get("packets_seen", self._row)
+
+    @packets_seen.setter
+    def packets_seen(self, value: int) -> None:
+        flush_agent_views(self.agent)
+        BLOCK_BANK.set("packets_seen", self._row, value)
+
+    @property
+    def deliveries(self) -> int:
+        """Arithmetic member-deliveries (one per member per packet)."""
+        flush_agent_views(self.agent)
+        return BLOCK_BANK.get("deliveries", self._row)
+
+    @deliveries.setter
+    def deliveries(self, value: int) -> None:
+        flush_agent_views(self.agent)
+        BLOCK_BANK.set("deliveries", self._row, value)
+
+    @property
+    def bytes_delivered(self) -> int:
+        """Arithmetic member-bytes (packet size × members, summed)."""
+        flush_agent_views(self.agent)
+        return BLOCK_BANK.get("bytes_delivered", self._row)
+
+    @bytes_delivered.setter
+    def bytes_delivered(self, value: int) -> None:
+        flush_agent_views(self.agent)
+        BLOCK_BANK.set("bytes_delivered", self._row, value)
 
     def join(self, channel: Channel, n: int = 1) -> int:
         """Add ``n`` members to the block's count for ``channel``;
@@ -96,6 +138,7 @@ class SubscriberBlock:
         if n <= 0:
             raise ChannelError(f"block join needs n >= 1, got {n}")
         new = self.members.get(channel, 0) + n
+        self.agent.members_changing(channel)
         self.members[channel] = new
         self.agent.block_adjust(channel, self, new)
         return new
@@ -108,6 +151,7 @@ class SubscriberBlock:
             raise ChannelError(f"block leave needs n >= 1, got {n}")
         current = self.members.get(channel, 0)
         new = current - n
+        self.agent.members_changing(channel)
         if new <= 0:
             new = 0
             self.members.pop(channel, None)
@@ -116,6 +160,32 @@ class SubscriberBlock:
         if new != current:
             self.agent.block_adjust(channel, self, new)
         return new
+
+    def join_op(self, channel: Channel) -> "BlockOp":
+        """A cached, bound ``join(channel, 1)`` callable for bulk
+        scheduling. Carries the batch metadata (``batch_group``/
+        ``batch_delta``) the engine's batch slot dispatcher reads, so a
+        wheel slot full of these ops collapses into one arithmetic
+        update per (block, channel) — see ``Simulator._batch_slot``."""
+        op = self._ops.get((channel, 1))
+        if op is None:
+            op = self._ops[(channel, 1)] = BlockOp(self.group(channel), 1)
+        return op
+
+    def leave_op(self, channel: Channel) -> "BlockOp":
+        """A cached, bound ``leave(channel, 1)`` callable for bulk
+        scheduling (batchable counterpart of :meth:`join_op`)."""
+        op = self._ops.get((channel, -1))
+        if op is None:
+            op = self._ops[(channel, -1)] = BlockOp(self.group(channel), -1)
+        return op
+
+    def group(self, channel: Channel) -> "BlockChannelGroup":
+        """The (block, channel) batch group, created once per channel."""
+        group = self._groups.get(channel)
+        if group is None:
+            group = self._groups[channel] = BlockChannelGroup(self, channel)
+        return group
 
     def count(self, channel: Channel) -> int:
         return self.members.get(channel, 0)
@@ -162,3 +232,103 @@ class SubscriberBlock:
             f"<SubscriberBlock {self.name!r} at {self.edge_router}"
             f" members={self.total_members()}>"
         )
+
+
+class BlockOp:
+    """One bound ±1 membership op, batchable by the engine.
+
+    Calling the op performs exactly ``block.join(channel, 1)`` (or
+    ``leave``) — the per-event fallback path. The two extra attributes
+    are the batch protocol the engine's clean-slot dispatcher speaks:
+    ``batch_group`` names the state this op touches (one group per
+    (block, channel)) and ``batch_delta`` its member-count delta, so a
+    whole wheel slot of these ops folds into one aggregate update per
+    group when the group admits it (see
+    :meth:`BlockChannelGroup.can_batch`).
+    """
+
+    __slots__ = ("batch_group", "batch_delta")
+
+    def __init__(self, group: "BlockChannelGroup", delta: int) -> None:
+        self.batch_group = group
+        self.batch_delta = delta
+
+    def __call__(self) -> None:
+        group = self.batch_group
+        if self.batch_delta > 0:
+            group.block.join(group.channel)
+        else:
+            group.block.leave(group.channel)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        kind = "join" if self.batch_delta > 0 else "leave"
+        group = self.batch_group
+        return f"<BlockOp {kind} {group.block.name!r}/{group.channel}>"
+
+
+class BlockChannelGroup:
+    """Batch-application target for one (block, channel) pair.
+
+    The engine hands a clean wheel slot's ops to their groups as
+    aggregates; each group decides *admission* (is folding this batch
+    into one arithmetic update indistinguishable from per-event
+    dispatch?) and, on an all-groups-yes, applies the fold.
+
+    Admission logic (:meth:`can_batch`) is deliberately conservative —
+    it requires the regime where every individual op provably takes the
+    agent's O(1) TREE_ONLY fast path: the channel is grafted with a
+    live block record whose count matches the block's own view, and
+    even the worst-case ordering (all leaves first) keeps the count
+    ≥ 1, so no op in the batch could trigger a 0↔positive transition,
+    tree graft/prune, FIB sync, or upstream Count message. Under those
+    preconditions N sequential fast-path updates and one arithmetic
+    fold leave byte-identical protocol state: final count is
+    ``start + Σdelta``, ``updated_at`` is the last op's time, and the
+    fast-update/convergence tallies advance by N.
+    """
+
+    __slots__ = ("block", "channel", "_record")
+
+    def __init__(self, block: SubscriberBlock, channel: Channel) -> None:
+        self.block = block
+        self.channel = channel
+        self._record = None
+
+    def can_batch(self, drops: int) -> bool:
+        """Whether a batch with ``drops`` total leaves (and any number
+        of joins) is admissible. Side-effect-free apart from caching the
+        downstream record for :meth:`run_batch`."""
+        block = self.block
+        agent = block.agent
+        if agent.propagation is not CountPropagation.TREE_ONLY:
+            return False
+        state = agent.channels.get(self.channel)
+        if state is None:
+            return False
+        record = state.downstream.get(block.pseudo)
+        if record is None:
+            return False
+        count = record.count
+        if count <= 0 or count != block.members.get(self.channel, 0):
+            return False
+        if count - drops < 1:
+            return False
+        self._record = record
+        return True
+
+    def run_batch(self, delta_sum: int, n_ops: int, t_last: float) -> None:
+        """Apply an admitted batch: one arithmetic update standing in
+        for ``n_ops`` sequential fast-path ops ending at ``t_last``."""
+        record = self._record
+        self._record = None
+        block = self.block
+        agent = block.agent
+        channel = self.channel
+        agent.members_changing(channel)
+        new = record.count + delta_sum
+        block.members[channel] = new
+        record.count = new
+        record.updated_at = t_last
+        agent.block_fast_updates += n_ops
+        if agent.obs is not None:
+            agent.obs.state_changed(n_ops)

@@ -20,8 +20,9 @@ forwards it toward all downstream channel receivers".
 
 from __future__ import annotations
 
-from typing import Callable
+from typing import Callable, Optional
 
+from repro.core.accounting import DeliveryView, flush_agent_views
 from repro.core.channel import Channel
 from repro.core.ecmp.protocol import EcmpAgent
 from repro.errors import ChannelError, ForwardingError
@@ -73,12 +74,20 @@ class ExpressForwarder(ProtocolAgent):
                 "subscriber delivery",
                 ("protocol", "node", "channel"),
             )
+            # Snapshot boundary: pending delivery-view tallies must land
+            # in the block counters and stats bag before any export.
+            registry.register_collector(self._flush_views)
         #: Callbacks for unicast datagrams addressed to this node.
         self._unicast_sinks: list[Callable[[Packet], None]] = []
         #: Memoized (src, dst) -> Channel | None: address validation is
         #: pure, so each pair is parsed at most once instead of per
         #: packet on the delivery fast path.
         self._channel_cache: dict[tuple[int, int], Optional[Channel]] = {}
+
+    def _flush_views(self) -> None:
+        """Registry collector: apply pending delivery tallies (see
+        :mod:`repro.core.accounting`)."""
+        flush_agent_views(self.ecmp)
 
     def on_unicast_delivery(self, callback: Callable[[Packet], None]) -> None:
         """Register an application sink for unicast packets addressed
@@ -239,28 +248,29 @@ class ExpressForwarder(ProtocolAgent):
             self._channel_cache[key] = channel
         if channel is None:
             return False
-        if self.ecmp.channel_blocks:
-            blocks = self.ecmp.channel_blocks.get(channel)
-            if blocks:
-                # Aggregated final hop: the packet terminates here for
-                # every block member — counted arithmetically instead of
-                # fanned out as N link events (see repro.core.blocks).
-                size = packet.size
-                members = 0
-                for block in blocks:
-                    n = block.members.get(channel, 0)
-                    block.packets_seen += 1
-                    block.deliveries += n
-                    block.bytes_delivered += size * n
-                    members += n
-                if members:
-                    self.stats.incr("block_deliveries", members)
-                    self.stats.incr("block_packets")
-                    if self._m_delivery is not None:
-                        self._m_delivery.labels(
-                            protocol="express", node=self.node.name,
-                            channel=str(channel),
-                        ).observe(self.sim.now - packet.created_at)
+        ecmp = self.ecmp
+        if ecmp.channel_blocks:
+            # Aggregated final hop: the packet terminates here for every
+            # block member — counted arithmetically through a frozen
+            # membership view instead of per-block counter churn (see
+            # repro.core.accounting.DeliveryView). Per packet this is
+            # two integer adds; tallies apply to the blocks in bulk at
+            # flush boundaries.
+            views = ecmp._delivery_views
+            view = views.get(channel)
+            if view is None:
+                view = views[channel] = DeliveryView(
+                    ecmp, channel, self.stats, self._m_delivery,
+                    self.node.name,
+                )
+            if view.version != ecmp.blocks_version:
+                view.flush()
+                view.refresh()
+            if view.members_sum:
+                view.pending_packets += 1
+                view.pending_bytes += packet.size
+                if view.hist is not None:
+                    view.hist.observe(self.sim.now - packet.created_at)
         handle = self.ecmp.subscriptions.get(channel)
         if handle is None or handle.status != "active":
             return False

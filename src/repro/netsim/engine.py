@@ -40,11 +40,12 @@ import heapq
 import random
 from bisect import insort
 from dataclasses import dataclass, field
-from operator import attrgetter
+from operator import attrgetter, itemgetter
 from time import perf_counter
 from typing import Callable, Optional
 
 from repro.errors import SimulationError
+from repro.netsim.arena import ARENA, NATIVE
 
 #: Below this queue size, compaction is never worth the heapify cost.
 _COMPACT_MIN_QUEUE = 64
@@ -68,6 +69,9 @@ def derive_seed(seed: int, *names: object) -> int:
 #: ``Event.__lt__`` the heap pays on every sift.
 _EVENT_KEY = attrgetter("time", "seq")
 
+#: Time key for bulk-item scans (e.g. the atomic past-time prescan).
+_ITEM_TIME = itemgetter(0)
+
 
 @dataclass(order=True, slots=True)
 class Event:
@@ -89,6 +93,15 @@ class Event:
     #: bookkeeping exact.
     owner: Optional["Simulator"] = field(compare=False, default=None, repr=False)
     _in_queue: bool = field(compare=False, default=False, repr=False)
+    #: Incarnation counter, bumped each time the arena hands the record
+    #: out for reuse. A holder that captured ``(event, event.gen)`` can
+    #: tell a recycled record from the one it scheduled.
+    gen: int = field(compare=False, default=0, repr=False)
+    #: True for events scheduled through :meth:`Simulator.schedule_bulk`
+    #: on a native-mode simulator. Pooled events are unreachable outside
+    #: the engine (bulk scheduling returns a count, not the events), so
+    #: recycling them after dispatch is safe by construction.
+    pooled: bool = field(compare=False, default=False, repr=False)
 
     def cancel(self) -> None:
         """Mark the event so the engine skips it when it comes due."""
@@ -97,6 +110,27 @@ class Event:
         self.cancelled = True
         if self.owner is not None and self._in_queue:
             self.owner._note_cancelled()
+
+    def cancel_if(self, gen: int) -> bool:
+        """Cancel only if this record is still incarnation ``gen``.
+
+        The recycle-safe form of :meth:`cancel` for holders of a pooled
+        record: capture ``event.gen`` at schedule time and pass it back
+        here — a record the arena has since handed to someone else is
+        left alone. Returns True if the cancellation applied.
+        """
+        if self.gen != gen:
+            return False
+        self.cancel()
+        return True
+
+
+#: Sentinel returned by ``TimerWheel.advance(..., allow_pure=True)``
+#: when the slot it just opened is *pure* — held as lazy bulk tuples,
+#: not Events. Only the fast dispatch loop asks for it (to attempt a
+#: batch drain before paying materialization); every other caller gets
+#: pure slots resolved transparently.
+_PURE_SLOT = Event(0.0, -1, lambda: None, "__pure_slot__")
 
 
 class TimerWheel:
@@ -116,6 +150,19 @@ class TimerWheel:
     a late insert into the already-open slot is placed by bisection
     after the consumed prefix — its time is ``>= now``, so it can never
     sort before an already-dispatched entry.
+
+    **Pure buckets.** On a native-mode simulator, ``schedule_bulk``
+    stores in-horizon entries as references to the caller's raw
+    ``(time, action)`` tuples instead of :class:`Event` objects; a
+    bucket holding only such tuples is *pure* and carries side metadata
+    ``[name, base_seq, tally]`` in ``_bucket_meta[index]`` (the tally —
+    ``{action: [count, t_last]}`` — is built during the bulk scan, so
+    the batch dispatcher consumes a pure slot in O(distinct actions)
+    without touching the entries again). Pure entries are unreachable
+    outside the engine (bulk scheduling returns a count), hence
+    uncancellable. Every other insert path first *materializes* a pure
+    bucket back into Events, so the two representations never mix in
+    one bucket.
     """
 
     __slots__ = (
@@ -129,6 +176,9 @@ class TimerWheel:
         "_cursor",
         "_open",
         "_open_pos",
+        "_open_pure",
+        "_open_meta",
+        "_bucket_meta",
         "slots_scanned",
         "cascades",
         "wheel_inserts",
@@ -155,8 +205,25 @@ class TimerWheel:
         self._bucket_entries = 0
         self._overflow: list[tuple[float, int, Event]] = []
         self._cursor = 0
-        self._open: list[Event] = []
+        self._open: list = []
         self._open_pos = 0
+        #: True while the open slot is *pure* — still held as lazy bulk
+        #: tuples. Resolved (materialized into sorted Events) before any
+        #: per-event consumption; the batch dispatcher engages first.
+        self._open_pure = False
+        #: Metadata of the pure open slot: ``[name, base_seq, tally]``
+        #: moved out of ``_bucket_meta`` when the slot opened.
+        self._open_meta: Optional[list] = None
+        #: Per-bucket purity marker: non-None ⇔ the bucket holds only
+        #: lazy ``(time, action)`` bulk tuples, and the entry is their
+        #: ``[name, base_seq, tally]`` metadata. ``base_seq`` is the seq
+        #: of the bucket's first entry (entries are seq-consecutive in
+        #: list order); ``tally`` maps action -> ``[count, t_last]`` and
+        #: is built during the bulk scan so batch dispatch never has to
+        #: walk the entries. Every empty-to-non-empty bucket transition
+        #: writes this slot (bulk fill sets metadata, everything else
+        #: leaves it None by materializing first).
+        self._bucket_meta: list = [None] * num_slots
         self.slots_scanned = 0
         self.cascades = 0
         self.wheel_inserts = 0
@@ -176,10 +243,15 @@ class TimerWheel:
         if slot <= cursor:
             # Lands in (or before) the open slot. Its time is >= now,
             # so bisecting after the consumed prefix preserves order.
+            if self._open_pure:
+                self._resolve_open()
             insort(self._open, event, lo=self._open_pos, key=_EVENT_KEY)
             self.wheel_inserts += 1
         elif slot < cursor + self.num_slots:
-            self._buckets[slot % self.num_slots].append(event)
+            index = slot % self.num_slots
+            if self._bucket_meta[index] is not None:
+                self._materialize_bucket(index)
+            self._buckets[index].append(event)
             self._bucket_entries += 1
             self.wheel_inserts += 1
         else:
@@ -199,12 +271,65 @@ class TimerWheel:
             self.cascades += 1
             slot = int(event.time * scale)
             if slot <= cursor:
+                if self._open_pure:
+                    self._resolve_open()
                 insort(self._open, event, lo=self._open_pos, key=_EVENT_KEY)
             else:
-                self._buckets[slot % self.num_slots].append(event)
+                index = slot % self.num_slots
+                if self._bucket_meta[index] is not None:
+                    self._materialize_bucket(index)
+                self._buckets[index].append(event)
                 self._bucket_entries += 1
 
-    def advance(self, limit_slot: Optional[int] = None) -> Optional[Event]:
+    def _materialize(self, entries: list, meta: list) -> list[Event]:
+        """Turn lazy ``(time, action)`` bulk tuples into real (pooled
+        where possible) Events, assigning the seqs reserved for them:
+        ``meta[1] + i`` for the entry at position ``i``. Order is
+        preserved; callers sort if they need to."""
+        sim = self.sim
+        arena = sim._arena
+        pooled = arena is not None
+        name = meta[0]
+        seq = meta[1] - 1
+        events: list[Event] = []
+        append = events.append
+        for time, action in entries:
+            seq += 1
+            event = arena.acquire() if pooled else None
+            if event is not None:
+                event.gen += 1
+                event.time = time
+                event.seq = seq
+                event.action = action
+                event.name = name
+                event.cancelled = False
+                event.owner = sim
+                event._in_queue = True
+                event.pooled = True
+            else:
+                event = Event(time, seq, action, name, False, sim, True, 0, pooled)
+            append(event)
+        return events
+
+    def _resolve_open(self) -> None:
+        """Materialize a pure open slot into sorted Events (the batch
+        dispatcher declined, or a caller needs per-event access)."""
+        events = self._materialize(self._open, self._open_meta)
+        events.sort(key=_EVENT_KEY)
+        self._open = events
+        self._open_pure = False
+        self._open_meta = None
+
+    def _materialize_bucket(self, index: int) -> None:
+        """Materialize a pure bucket in place (unsorted — the slot sort
+        at open handles ordering) so an Event can be appended to it."""
+        meta = self._bucket_meta[index]
+        self._bucket_meta[index] = None
+        self._buckets[index] = self._materialize(self._buckets[index], meta)
+
+    def advance(
+        self, limit_slot: Optional[int] = None, allow_pure: bool = False
+    ) -> Optional[Event]:
         """Position at the next live event and return it, or None.
 
         The event is *not* removed: callers that dispatch it must pair
@@ -221,8 +346,18 @@ class TimerWheel:
         append, silently degrading the wheel into a sorted list. Events
         at or before ``until`` always sit at or before its slot, so the
         bound never hides a due event.
+
+        With ``allow_pure=True`` (the fast dispatch loop), opening a
+        pure bucket returns the ``_PURE_SLOT`` sentinel instead of
+        materializing it — the caller must either batch-drain the slot
+        or call :meth:`advance` again (which resolves it). All other
+        callers get pure slots resolved transparently.
         """
         sim = self.sim
+        if self._open_pure:
+            if allow_pure:
+                return _PURE_SLOT
+            self._resolve_open()
         while True:
             open_ = self._open
             pos = self._open_pos
@@ -235,7 +370,17 @@ class TimerWheel:
                 event._in_queue = False
                 sim._cancelled -= 1
                 pos += 1
-            del open_[:]
+            if size:
+                # Slot fully consumed: every entry was dispatched or
+                # cancel-skipped, so dispatched pooled events can go
+                # back to the arena (slots the batch dispatcher took
+                # never reach here — it consumes tuples, not Events).
+                arena = sim._arena
+                if arena is not None:
+                    recycled = [event for event in open_ if event.pooled]
+                    if recycled:
+                        arena.release_block(recycled)
+                del open_[:]
             self._open_pos = 0
             # Open slot exhausted — move the cursor. When every bucket
             # is empty, jump straight to the overflow head's slot
@@ -257,6 +402,17 @@ class TimerWheel:
             if bucket:
                 self._bucket_entries -= len(bucket)
                 self._buckets[index] = []
+                meta = self._bucket_meta[index]
+                if meta is not None:
+                    self._bucket_meta[index] = None
+                    self._open = bucket
+                    self._open_pos = 0
+                    self._open_pure = True
+                    self._open_meta = meta
+                    if allow_pure:
+                        return _PURE_SLOT
+                    self._resolve_open()
+                    continue
                 bucket.sort(key=_EVENT_KEY)
                 self._open = bucket
 
@@ -266,18 +422,25 @@ class TimerWheel:
 
     def compact(self) -> None:
         """Drop cancelled entries everywhere (wheel analogue of the
-        heap's :meth:`Simulator._compact`)."""
-        live_open = []
-        for event in self._open[self._open_pos :]:
-            if event.cancelled:
-                event._in_queue = False
-            else:
-                live_open.append(event)
-        self._open = live_open
-        self._open_pos = 0
+        heap's :meth:`Simulator._compact`). Pure storage is skipped
+        outright: lazy bulk tuples are unreachable, so none can be
+        cancelled."""
+        if not self._open_pure:
+            live_open = []
+            for event in self._open[self._open_pos :]:
+                if event.cancelled:
+                    event._in_queue = False
+                else:
+                    live_open.append(event)
+            self._open = live_open
+            self._open_pos = 0
         self._bucket_entries = 0
+        metas = self._bucket_meta
         for index, bucket in enumerate(self._buckets):
             if not bucket:
+                continue
+            if metas[index] is not None:
+                self._bucket_entries += len(bucket)
                 continue
             live = []
             for event in bucket:
@@ -323,16 +486,38 @@ class PhaseProfiler:
     remainder) to reach a full breakdown of worker wall time; see
     :meth:`repro.netsim.parallel.sync.SyncStats.phase_breakdown`.
 
+    Two phases live *outside* the ``run()`` loop and are accumulated at
+    their call sites instead:
+
+    * ``alloc_seconds`` — event construction/recycling wall time in
+      ``schedule_at``/``schedule_bulk`` calls made *between* run
+      windows (bulk workload builds, the parallel worker's import
+      injection). Scheduling done from inside a dispatched action stays
+      charged to *dispatch* — it is part of that event's work — so the
+      phases never double-count.
+    * ``accounting_seconds`` — metrics flush/snapshot wall time
+      (registry collection, telemetry export), accumulated by the
+      observability layer at snapshot boundaries.
+
     The unprofiled fast paths are untouched: with ``profiler`` left
     ``None`` the engine dispatches through the same inlined loops as
     before, so profiling is strictly opt-in.
     """
 
-    __slots__ = ("dispatch_seconds", "advance_seconds", "events", "windows")
+    __slots__ = (
+        "dispatch_seconds",
+        "advance_seconds",
+        "alloc_seconds",
+        "accounting_seconds",
+        "events",
+        "windows",
+    )
 
     def __init__(self) -> None:
         self.dispatch_seconds = 0.0
         self.advance_seconds = 0.0
+        self.alloc_seconds = 0.0
+        self.accounting_seconds = 0.0
         self.events = 0
         self.windows = 0
 
@@ -346,6 +531,8 @@ class PhaseProfiler:
         return {
             "dispatch_seconds": self.dispatch_seconds,
             "advance_seconds": self.advance_seconds,
+            "alloc_seconds": self.alloc_seconds,
+            "accounting_seconds": self.accounting_seconds,
             "events": self.events,
             "windows": self.windows,
         }
@@ -378,6 +565,12 @@ class Simulator:
         Wheel tuning (ignored for the heap): slot width in simulated
         seconds and slot count. The product is the wheel horizon;
         events beyond it sit in the overflow heap until they cascade.
+    native:
+        Enable the native-speed event core (arena-pooled events from
+        :mod:`repro.netsim.arena` plus batch slot dispatch). Defaults
+        to the process-wide ``REPRO_NATIVE`` setting; pass an explicit
+        bool to override per simulator (equivalence tests run the same
+        workload both ways).
     """
 
     def __init__(
@@ -387,6 +580,7 @@ class Simulator:
         wheel_granularity: float = 0.001,
         wheel_slots: int = 8192,
         rng: Optional[random.Random] = None,
+        native: Optional[bool] = None,
     ) -> None:
         if scheduler not in ("heap", "wheel"):
             raise SimulationError(
@@ -394,6 +588,11 @@ class Simulator:
             )
         if rng is not None and seed != 0:
             raise SimulationError("pass either seed or rng, not both")
+        self._native = NATIVE if native is None else bool(native)
+        self._arena = ARENA if self._native else None
+        #: Batch slot dispatch tallies (wheel scheduler, native mode).
+        self.batched_events = 0
+        self.batched_slots = 0
         self._now = 0.0
         self._seq = 0
         self._queue: list[Event] = []
@@ -441,7 +640,20 @@ class Simulator:
         if delay < 0:
             raise SimulationError(f"cannot schedule in the past (delay={delay})")
         self._seq += 1
-        event = Event(self._now + delay, self._seq, action, name, False, self, True)
+        arena = self._arena
+        if arena is not None and arena.blocks:
+            event = arena.acquire()
+            event.gen += 1
+            event.time = self._now + delay
+            event.seq = self._seq
+            event.action = action
+            event.name = name
+            event.cancelled = False
+            event.owner = self
+            event._in_queue = True
+            event.pooled = False
+        else:
+            event = Event(self._now + delay, self._seq, action, name, False, self, True)
         wheel = self._wheel
         if wheel is None:
             heapq.heappush(self._queue, event)
@@ -451,7 +663,10 @@ class Simulator:
             slot = int(event.time * wheel._scale)
             cursor = wheel._cursor
             if cursor < slot < cursor + wheel.num_slots:
-                wheel._buckets[slot % wheel.num_slots].append(event)
+                index = slot % wheel.num_slots
+                if wheel._bucket_meta[index] is not None:
+                    wheel._materialize_bucket(index)
+                wheel._buckets[index].append(event)
                 wheel._bucket_entries += 1
                 wheel.wheel_inserts += 1
             else:
@@ -476,8 +691,25 @@ class Simulator:
             raise SimulationError(
                 f"cannot schedule in the past (time={time}, now={self._now})"
             )
+        profiler = self.profiler
+        started = (
+            perf_counter() if profiler is not None and not self._running else 0.0
+        )
         self._seq += 1
-        event = Event(time, self._seq, action, name, False, self, True)
+        arena = self._arena
+        if arena is not None and arena.blocks:
+            event = arena.acquire()
+            event.gen += 1
+            event.time = time
+            event.seq = self._seq
+            event.action = action
+            event.name = name
+            event.cancelled = False
+            event.owner = self
+            event._in_queue = True
+            event.pooled = False
+        else:
+            event = Event(time, self._seq, action, name, False, self, True)
         wheel = self._wheel
         if wheel is None:
             heapq.heappush(self._queue, event)
@@ -487,13 +719,226 @@ class Simulator:
             slot = int(time * wheel._scale)
             cursor = wheel._cursor
             if cursor < slot < cursor + wheel.num_slots:
-                wheel._buckets[slot % wheel.num_slots].append(event)
+                index = slot % wheel.num_slots
+                if wheel._bucket_meta[index] is not None:
+                    wheel._materialize_bucket(index)
+                wheel._buckets[index].append(event)
                 wheel._bucket_entries += 1
                 wheel.wheel_inserts += 1
             else:
                 wheel.insert(event)
         self._live += 1
+        if started:
+            profiler.alloc_seconds += perf_counter() - started
         return event
+
+    def schedule_bulk(
+        self,
+        items: list[tuple[float, Callable[[], None]]],
+        name: str = "",
+    ) -> int:
+        """Schedule many ``(time, action)`` pairs in one call.
+
+        The workload-generator fast path: one call amortises the
+        per-event frame, sequencing, and validation costs of
+        :meth:`schedule_at` across the whole batch. Dispatch order —
+        including ties, which keep input order — is exactly that of a
+        sequential loop of ``schedule_at(time, action)`` calls over
+        ``items``. (Sequence numbers may be assigned per wheel bucket
+        rather than globally in input order, but within every bucket
+        they ascend in input order and equal times always share a
+        bucket, so the observable ``(time, seq)`` dispatch order is
+        identical on both schedulers.)
+
+        On a native-mode simulator, in-horizon wheel entries are not
+        materialized at all: each pure bucket holds references to the
+        caller's ``(time, action)`` tuples, and a side tally built
+        during this single input-order scan lets the batch dispatcher
+        consume the whole slot in O(distinct actions) without a single
+        Event object ever existing (see ``_batch_slot``; slots it
+        declines are materialized from the arena's free list on
+        demand). Heap-scheduler and out-of-horizon entries come from
+        the arena free list (*pooled* — the engine recycles them after
+        dispatch, which is safe because this method returns a count, so
+        no caller can hold a reference).
+
+        Returns the number of events scheduled.
+        """
+        n = len(items)
+        if n == 0:
+            return 0
+        profiler = self.profiler
+        started = (
+            perf_counter() if profiler is not None and not self._running else 0.0
+        )
+        now = self._now
+        # Atomic validation: one C-level scan up front, so a past-time
+        # item rejects the whole batch with nothing scheduled.
+        if min(items, key=_ITEM_TIME)[0] < now:
+            raise SimulationError(
+                f"cannot schedule in the past "
+                f"(time={min(items, key=_ITEM_TIME)[0]}, now={now})"
+            )
+        seq = self._seq
+        arena = self._arena
+        pooled = arena is not None
+        reused = 0
+        wheel = self._wheel
+        if wheel is None:
+            # Consume one free-list block at a time as a local list: the
+            # hot loop then pays a single truthiness test per event
+            # instead of re-indexing the arena's block stack.
+            if pooled:
+                blocks = arena.blocks
+                pool = blocks.pop() if blocks else None
+            else:
+                blocks = None
+                pool = None
+            queue = self._queue
+            push = heapq.heappush
+            for time, action in items:
+                seq += 1
+                if pool:
+                    event = pool.pop()
+                    reused += 1
+                    event.gen += 1
+                    event.time = time
+                    event.seq = seq
+                    event.action = action
+                    event.name = name
+                    event.cancelled = False
+                    event.owner = self
+                    event._in_queue = True
+                    event.pooled = True
+                    if not pool:
+                        pool = blocks.pop() if blocks else None
+                else:
+                    event = Event(time, seq, action, name, False, self, True, 0, pooled)
+                push(queue, event)
+            if pool:
+                blocks.append(pool)
+            if reused:
+                arena.total -= reused
+                arena.acquired += reused
+        else:
+            buckets = wheel._buckets
+            metas = wheel._bucket_meta
+            num_slots = wheel.num_slots
+            scale = wheel._scale
+            cursor = wheel._cursor
+            limit = cursor + num_slots
+            overflow = 0
+            if pooled:
+                # Native fast path: one input-order scan (the items are
+                # iterated in allocation order — perfect locality) does
+                # ALL the per-item work. In-horizon items land in pure
+                # buckets as references to the caller's own tuples (no
+                # allocation at all) while the per-bucket action tally
+                # is folded on the fly; dispatch then never revisits
+                # them. base_seq stays None until the post-scan
+                # assignment, which doubles as the this-call marker.
+                touched: list[int] = []
+                fb_seq = seq  # fallback events take seqs (seq, seq+nf]
+                for item in items:
+                    time = item[0]
+                    slot = int(time * scale)
+                    if cursor < slot < limit:
+                        index = slot % num_slots
+                        meta = metas[index]
+                        if meta is not None:
+                            if meta[1] is None:
+                                # Pure bucket this call opened: append
+                                # the caller's tuple itself, fold tally.
+                                buckets[index].append(item)
+                                tally = meta[2]
+                                try:
+                                    entry = tally[item[1]]
+                                except KeyError:
+                                    tally[item[1]] = [1, time]
+                                else:
+                                    entry[0] += 1
+                                    if time > entry[1]:
+                                        entry[1] = time
+                            else:
+                                # Stale pure bucket (earlier bulk call,
+                                # seqs already fixed): join materialized.
+                                wheel._materialize_bucket(index)
+                                fb_seq += 1
+                                buckets[index].append(
+                                    self._bulk_event(time, fb_seq, item[1], name)
+                                )
+                        else:
+                            bucket = buckets[index]
+                            if bucket:
+                                # Bucket already holds Events — join it
+                                # as one (representations never mix).
+                                fb_seq += 1
+                                bucket.append(
+                                    self._bulk_event(time, fb_seq, item[1], name)
+                                )
+                            else:
+                                metas[index] = [name, None, {item[1]: [1, time]}]
+                                touched.append(index)
+                                bucket.append(item)
+                    else:
+                        fb_seq += 1
+                        wheel.insert(self._bulk_event(time, fb_seq, item[1], name))
+                        overflow += 1
+                # Reserve seq ranges for the pure buckets: consecutive
+                # from the first free seq after the fallbacks, one run
+                # per bucket in touch order. Ranges never interleave
+                # with the fallback seqs, within-bucket order is input
+                # order, and ties never straddle buckets (equal times
+                # share a slot) — so (time, seq) dispatch order matches
+                # a sequential schedule_at loop exactly.
+                base = fb_seq + 1
+                for index in touched:
+                    metas[index][1] = base
+                    base += len(buckets[index])
+                seq += n
+            else:
+                # Escape hatch (REPRO_NATIVE=0): classic materialized
+                # events; purity is never set, so batch dispatch and the
+                # arena stay out of the picture entirely.
+                for time, action in items:
+                    seq += 1
+                    event = Event(time, seq, action, name, False, self, True)
+                    slot = int(time * scale)
+                    if cursor < slot < limit:
+                        index = slot % num_slots
+                        buckets[index].append(event)
+                    else:
+                        wheel.insert(event)
+                        overflow += 1
+            appended = n - overflow
+            wheel._bucket_entries += appended
+            wheel.wheel_inserts += appended
+        self._seq = seq
+        self._live += n
+        if started:
+            profiler.alloc_seconds += perf_counter() - started
+        return n
+
+    def _bulk_event(self, time: float, seq: int, action, name: str) -> Event:
+        """Materialize one bulk item as a (pooled if possible) Event —
+        the rare schedule_bulk fallbacks: out-of-horizon inserts and
+        appends into a bucket that already holds Events."""
+        arena = self._arena
+        event = arena.acquire() if arena is not None else None
+        if event is not None:
+            event.gen += 1
+            event.time = time
+            event.seq = seq
+            event.action = action
+            event.name = name
+            event.cancelled = False
+            event.owner = self
+            event._in_queue = True
+            event.pooled = True
+            return event
+        return Event(
+            time, seq, action, name, False, self, True, 0, arena is not None
+        )
 
     def peek_time(self) -> Optional[float]:
         """Time of the next pending (non-cancelled) event, or None."""
@@ -646,7 +1091,88 @@ class Simulator:
             event._in_queue = False
             self._dispatch(event)
             ran += 1
+            if event.pooled:
+                arena = self._arena
+                if arena is not None:
+                    arena.release(event)
         return ran
+
+    def _batch_slot(
+        self,
+        until: Optional[float],
+        max_events: Optional[int],
+        inclusive: bool,
+    ) -> int:
+        """Drain a freshly-opened *pure* wheel slot in one grouped call.
+
+        Called by ``_run_wheel`` immediately after ``advance()`` opens a
+        pure slot (lazy bulk tuples: unreachable, hence uncancellable).
+        The slot carries the per-action tally ``{action: [count,
+        t_last]}`` that ``schedule_bulk`` folded while filling the
+        bucket, so this method never touches the entries themselves —
+        its cost is O(distinct actions), not O(events). Actions resolve
+        to their batch groups (``action.batch_group`` — see
+        :class:`repro.core.blocks.BlockChannelGroup`), and each group is
+        asked whether it can absorb the whole batch under the worst-case
+        all-drops-first ordering. Admission is all-or-nothing and the
+        scan is side-effect-free; on refusal the slot stays pure and the
+        caller's next ``advance()`` materializes it for per-event
+        fallback dispatch.
+
+        On commit the slot is consumed wholesale: the clock jumps to the
+        slot's maximum entry time, each group applies its aggregate
+        delta once, and the tuples are simply dropped — no Event object
+        ever existed for them. Aggregation is order-independent (pure
+        arithmetic over commuting ±1 ops), so the slot needs no sort
+        either. Equivalence with per-event dispatch is proven in
+        ``tests/properties/test_scheduler_equivalence.py``.
+
+        Returns the number of events consumed (0 = fall back).
+        """
+        if max_events is not None or self._dispatch_listeners:
+            return 0
+        wheel = self._wheel
+        tally = wheel._open_meta[2]
+        # Fold per-action tallies into per-group aggregates:
+        # [delta_sum, drop_sum, n_ops, t_max].
+        groups: dict = {}
+        for action, (count, t_last) in tally.items():
+            group = getattr(action, "batch_group", None)
+            if group is None:
+                return 0
+            delta = action.batch_delta
+            entry = groups.get(group)
+            if entry is None:
+                groups[group] = entry = [0, 0, 0, 0.0]
+            entry[0] += delta * count
+            if delta < 0:
+                entry[1] -= delta * count
+            entry[2] += count
+            if t_last > entry[3]:
+                entry[3] = t_last
+        last_time = max(entry[3] for entry in groups.values())
+        if until is not None and (
+            last_time > until or (not inclusive and last_time >= until)
+        ):
+            return 0
+        for group, entry in groups.items():
+            if not group.can_batch(entry[1]):
+                return 0
+        # Commit: nothing above mutated state, so from here on every
+        # group is known to accept.
+        n = len(wheel._open)
+        self._now = last_time
+        self._live -= n
+        self.events_processed += n
+        self.batched_events += n
+        self.batched_slots += 1
+        for group, entry in groups.items():
+            group.run_batch(entry[0], entry[2], entry[3])
+        wheel._open = []
+        wheel._open_pos = 0
+        wheel._open_pure = False
+        wheel._open_meta = None
+        return n
 
     def _run_wheel(
         self, until: Optional[float], max_events: Optional[int], inclusive: bool = True
@@ -668,13 +1194,33 @@ class Simulator:
             if pos < len(open_):
                 event = open_[pos]
                 if event.cancelled:
+                    event = advance(limit_slot, True)
+                    if event is None:
+                        break
+                    if event is _PURE_SLOT:
+                        batched = self._batch_slot(until, max_events, inclusive)
+                        if batched:
+                            ran += batched
+                            continue
+                        # Refused: materialize + sort, then re-peek.
+                        event = advance(limit_slot)
+                        if event is None:
+                            break
+            else:
+                event = advance(limit_slot, True)
+                if event is None:
+                    break
+                if event is _PURE_SLOT:
+                    # advance() just opened a pure slot: try to drain it
+                    # in one grouped dispatch; on refusal the follow-up
+                    # advance() materializes it for per-event dispatch.
+                    batched = self._batch_slot(until, max_events, inclusive)
+                    if batched:
+                        ran += batched
+                        continue
                     event = advance(limit_slot)
                     if event is None:
                         break
-            else:
-                event = advance(limit_slot)
-                if event is None:
-                    break
             if until is not None and (
                 event.time > until or (not inclusive and event.time >= until)
             ):
@@ -766,14 +1312,20 @@ class Simulator:
         """Counters describing scheduler behaviour (for perf reports
         and the obs gauges). Shape depends on the active scheduler."""
         if self._wheel is None:
-            return {
+            stats = {
                 "scheduler": "heap",
                 "inserts": self._seq,
                 "pending": self._live,
             }
-        stats = self._wheel.stats()
-        stats["scheduler"] = "wheel"
-        stats["pending"] = self._live
+        else:
+            stats = self._wheel.stats()
+            stats["scheduler"] = "wheel"
+            stats["pending"] = self._live
+        stats["native"] = self._native
+        stats["batched_events"] = self.batched_events
+        stats["batched_slots"] = self.batched_slots
+        if self._arena is not None:
+            stats["arena"] = self._arena.stats()
         return stats
 
 

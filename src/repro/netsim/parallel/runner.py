@@ -22,6 +22,7 @@ subscription/delivery state, event counts, and obs counters.
 from __future__ import annotations
 
 import math
+import os
 from dataclasses import dataclass, field
 from math import inf
 from time import perf_counter
@@ -63,6 +64,20 @@ class ParallelResult:
     #: a fixed cost the speedup measurement should not charge to the
     #: sync protocol).
     wall_seconds: float
+    #: Wall seconds of partition build + worker spawn + first report
+    #: (the fixed cost excluded from ``wall_seconds``). When this
+    #: dwarfs the round loop the run is measuring process startup, not
+    #: the protocol — see ``warnings``.
+    setup_seconds: float = 0.0
+    #: CPU cores the host exposes (``os.cpu_count()``); sharded runs
+    #: cannot beat single-process when the workers are time-slicing one
+    #: core.
+    cores_available: int = 1
+    #: Diagnostic flags: ``cores_limited`` (fewer cores than workers —
+    #: any measured speedup < 1 reflects the host, not the protocol)
+    #: and ``setup_dominated`` (setup took longer than the round loop —
+    #: scale the workload up before trusting the speedup).
+    warnings: list = field(default_factory=list)
     merged: dict = field(default_factory=dict)
     #: Fleet telemetry (a :class:`repro.obs.aggregate.FleetAggregator`)
     #: when the run was telemetered, else None.
@@ -381,6 +396,7 @@ class ParallelRunner:
         plan = self.plan
         duration = self.spec.duration
         make = _ProcessTransport if self.mode == "mp" else _InlineTransport
+        setup_started = perf_counter()
         transport = make(
             self.spec, plan, self.scheduler, self.with_obs,
             telemetry=self.telemetry,
@@ -393,6 +409,7 @@ class ParallelRunner:
             aggregator = FleetAggregator()
         try:
             reported = transport.initial()
+            setup_seconds = perf_counter() - setup_started
             n = plan.n
             pending: list[list[tuple]] = [[] for _ in range(n)]
             finalized = [False] * n
@@ -454,12 +471,25 @@ class ParallelRunner:
             transport.close()
         summaries = [reply[0] for reply in raw]
         stats = [reply[1] for reply in raw]
+        cores = os.cpu_count() or 1
+        run_warnings: list[str] = []
+        if self.mode == "mp" and cores < plan.n:
+            # The workers themselves time-slice fewer cores than there
+            # are shards: the measured speedup reflects the host, not
+            # the protocol. (The coordinator mostly blocks on the
+            # workers, so n workers on n cores can still win.)
+            run_warnings.append("cores_limited")
+        if self.mode == "mp" and setup_seconds > wall:
+            run_warnings.append("setup_dominated")
         result = ParallelResult(
             plan=plan,
             summaries=summaries,
             sync=stats,
             rounds=rounds,
             wall_seconds=wall,
+            setup_seconds=setup_seconds,
+            cores_available=cores,
+            warnings=run_warnings,
         )
         result.merged = merge_summaries(summaries)
         if aggregator is not None:

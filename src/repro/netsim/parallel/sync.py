@@ -32,8 +32,10 @@ from typing import Optional
 
 #: Order in which phase fractions are reported everywhere (docs, bench
 #: schema, Prometheus gauges): event execution, scheduler bookkeeping,
-#: blocking on the coordinator pipe, everything else.
-PHASES = ("dispatch", "cascade", "sync_wait", "idle")
+#: event construction/recycling outside run windows, metrics
+#: flush/snapshot time, blocking on the coordinator pipe, everything
+#: else.
+PHASES = ("dispatch", "cascade", "alloc", "accounting", "sync_wait", "idle")
 
 
 @dataclass
@@ -58,6 +60,8 @@ class SyncStats:
     proxy_bytes_in: int = 0
     wall_dispatch: float = 0.0
     wall_cascade: float = 0.0
+    wall_alloc: float = 0.0
+    wall_accounting: float = 0.0
     wall_sync_wait: float = 0.0
     wall_total: float = 0.0
     events_dispatched: int = 0
@@ -83,10 +87,15 @@ class SyncStats:
         """Absolute wall seconds per phase. ``idle`` is the remainder
         of ``wall_total`` not attributed to any measured phase (barrier
         skew, result extraction, pipe sends)."""
-        measured = self.wall_dispatch + self.wall_cascade + self.wall_sync_wait
+        measured = (
+            self.wall_dispatch + self.wall_cascade + self.wall_alloc
+            + self.wall_accounting + self.wall_sync_wait
+        )
         return {
             "dispatch": self.wall_dispatch,
             "cascade": self.wall_cascade,
+            "alloc": self.wall_alloc,
+            "accounting": self.wall_accounting,
             "sync_wait": self.wall_sync_wait,
             "idle": max(0.0, self.wall_total - measured),
         }
@@ -134,9 +143,12 @@ def merge_phase_stats(stats: list[SyncStats]) -> dict:
     The fractions answer "where did the fleet's worker-seconds go" —
     each worker contributes to a phase in proportion to the absolute
     wall time it spent there, so a shard that ran twice as long weighs
-    twice as much. ``sync_efficiency`` is the dispatch+cascade share:
-    the fraction of worker wall time spent doing simulation work rather
-    than waiting on the sync protocol (the bench floor gate's signal).
+    twice as much. ``sync_efficiency`` is the *productive* share —
+    dispatch + cascade + alloc + accounting: the fraction of worker
+    wall time spent doing simulation work (including the native core's
+    event setup and counter flushing) rather than waiting on the sync
+    protocol (the bench floor gate's signal). Only ``sync_wait`` and
+    ``idle`` count against it.
     """
     total = sum(s.wall_total for s in stats)
     seconds = {phase: 0.0 for phase in PHASES}
@@ -154,7 +166,12 @@ def merge_phase_stats(stats: list[SyncStats]) -> dict:
         "phase_seconds": seconds,
         "wall_total": total,
         "null_message_ratio": nulls / rounds if rounds else 0.0,
-        "sync_efficiency": breakdown["dispatch"] + breakdown["cascade"],
+        "sync_efficiency": (
+            breakdown["dispatch"]
+            + breakdown["cascade"]
+            + breakdown["alloc"]
+            + breakdown["accounting"]
+        ),
         "events_per_second": {
             s.rank: s.events_per_second() for s in stats
         },

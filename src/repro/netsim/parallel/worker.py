@@ -129,9 +129,16 @@ class PartitionWorker:
         self._export_seq = 0
         self._install_proxies()
         self.net.start(self.owned)
+        # Workload scheduling is part of the worker's accounted wall
+        # time (its event-construction cost lands in the profiler's
+        # *alloc* phase), so phase fractions stay a partition of the
+        # total.
+        started = perf_counter() if telemetry is not None else 0.0
         self.ops_scheduled = schedule_ops(
             spec, self.net, self.channels, self.blocks, owned=self._owned_set
         )
+        if telemetry is not None:
+            self.stats.wall_total += perf_counter() - started
         # Post-build reseed: construction consumed the shared seed
         # identically everywhere; from here on each worker draws from
         # its own derived stream (loss draws on owned links only).
@@ -231,12 +238,14 @@ class PartitionWorker:
             self.sync_metrics.sync_round()
         telemetry = None
         if self.telemetry is not None:
-            self.stats.wall_total += perf_counter() - started
             self._rounds_since_snapshot += 1
             every = self.telemetry.snapshot_every
             if every and self._rounds_since_snapshot >= every:
                 self._rounds_since_snapshot = 0
                 telemetry = self.telemetry_snapshot()
+            # Accumulated after the snapshot so the *accounting* phase
+            # (registry dump) stays inside the worker's total.
+            self.stats.wall_total += perf_counter() - started
         return nxt, exports, dispatched, telemetry
 
     # -- results -----------------------------------------------------------
@@ -246,9 +255,22 @@ class PartitionWorker:
         (idempotent — the profiler accumulates, we overwrite)."""
         profiler = self.sim.profiler
         if profiler is not None:
-            self.stats.wall_dispatch = profiler.dispatch_seconds
-            self.stats.wall_cascade = profiler.advance_seconds
-            self.stats.events_dispatched = profiler.events
+            stats = self.stats
+            stats.wall_dispatch = profiler.dispatch_seconds
+            stats.wall_cascade = profiler.advance_seconds
+            stats.wall_alloc = profiler.alloc_seconds
+            stats.wall_accounting = profiler.accounting_seconds
+            stats.events_dispatched = profiler.events
+            # Timer overhead (and the final snapshot's dump, which lands
+            # after the last round window) can push the measured phases
+            # past the accumulated total; keep total >= sum-of-phases so
+            # breakdown fractions always partition 1.0.
+            measured = (
+                stats.wall_dispatch + stats.wall_cascade + stats.wall_alloc
+                + stats.wall_accounting + stats.wall_sync_wait
+            )
+            if stats.wall_total < measured:
+                stats.wall_total = measured
 
     def telemetry_snapshot(self, final: bool = False) -> Optional[dict]:
         """The cumulative per-worker telemetry record shipped over the
@@ -258,15 +280,23 @@ class PartitionWorker:
         untruncated histogram samples."""
         if self.telemetry is None:
             return None
+        max_samples = None if final else self.telemetry.max_samples
+        convergence = self.obs.convergence
+        # The registry dump runs every collector (vectorized counter
+        # banks flushing into metric families included) — that wall
+        # time is the *accounting* phase.
+        started = perf_counter()
+        registry = self.obs.registry.dump(max_samples=max_samples)
+        profiler = self.sim.profiler
+        if profiler is not None:
+            profiler.accounting_seconds += perf_counter() - started
         self._sync_phase_stats()
         if final and self.sync_metrics is not None:
             self.sync_metrics.set_phases(self.stats)
-        max_samples = None if final else self.telemetry.max_samples
-        convergence = self.obs.convergence
         return {
             "shard": self.rank,
             "final": final,
-            "registry": self.obs.registry.dump(max_samples=max_samples),
+            "registry": registry,
             "spans": [span.to_record() for span in self.obs.tracer.spans],
             "quiesced_at": convergence.last_change if convergence else None,
             "state_changes": convergence.changes if convergence else 0,

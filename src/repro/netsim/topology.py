@@ -32,8 +32,11 @@ class Topology:
         sim: Optional[Simulator] = None,
         seed: int = 0,
         scheduler: str = "heap",
+        wheel_granularity: float = 0.001,
     ) -> None:
-        self.sim = sim if sim is not None else Simulator(seed=seed, scheduler=scheduler)
+        self.sim = sim if sim is not None else Simulator(
+            seed=seed, scheduler=scheduler, wheel_granularity=wheel_granularity
+        )
         self.nodes: dict[str, Node] = {}
         self.links: list[Link] = []
         self._by_address: dict[int, Node] = {}
@@ -272,6 +275,7 @@ class TopologyBuilder:
         host_delay: float = 0.001,
         seed: int = 0,
         scheduler: str = "heap",
+        wheel_granularity: float = 0.001,
     ) -> Topology:
         """A two-level transit/stub internetwork.
 
@@ -279,10 +283,16 @@ class TopologyBuilder:
         serves ``stubs_per_transit`` stub (edge) routers; each stub
         router serves ``hosts_per_stub`` hosts. Host names are
         "h<t>_<s>_<k>"; stub routers "e<t>_<s>"; transit routers "t<t>".
+
+        ``wheel_granularity`` tunes the wheel scheduler's slot width
+        (dispatch order is granularity-independent); bulk-scheduled
+        storms want coarser slots so batch dispatch sees full buckets.
         """
         if n_transit < 1:
             raise TopologyError("need at least one transit router")
-        topo = Topology(seed=seed, scheduler=scheduler)
+        topo = Topology(
+            seed=seed, scheduler=scheduler, wheel_granularity=wheel_granularity
+        )
         for t in range(n_transit):
             topo.add_node(f"t{t}")
         if n_transit == 2:

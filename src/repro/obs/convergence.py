@@ -46,9 +46,9 @@ class ConvergenceMonitor:
         self.last_change: float = 0.0
         self.changes: int = 0
 
-    def touch(self) -> None:
+    def touch(self, count: int = 1) -> None:
         self.last_change = self.sim.now
-        self.changes += 1
+        self.changes += count
 
     def settle_seconds(self, after: float = 0.0) -> float:
         """How long past ``after`` (typically the last workload op's

@@ -34,6 +34,11 @@ LOWER_IS_BETTER = (
     "no_match_drops",
     "sync_wait",
     "idle",
+    # Phase-breakdown fractions (engine profiler): time spent building
+    # events or flushing metrics is overhead the native core exists to
+    # shrink.
+    "phase_breakdown.alloc",
+    "phase_breakdown.accounting",
 )
 
 #: Name fragments marking a metric as a benefit: shrinking is a

@@ -21,6 +21,7 @@ from __future__ import annotations
 
 from typing import TYPE_CHECKING, Optional
 
+from repro.core.accounting import link_accounting
 from repro.obs.registry import WALL_BUCKETS, MetricsRegistry
 from repro.obs.tracing import Tracer, shard_id_base
 
@@ -63,12 +64,14 @@ class Observability:
             self._bound_sims.add(id(sim))
             instrument_simulator(sim, self.registry)
 
-    def state_changed(self) -> None:
-        """Protocol hook: a durable state mutation happened (membership
-        change, count update, upstream re-home). No-op unless a
-        convergence monitor is attached."""
+    def state_changed(self, count: int = 1) -> None:
+        """Protocol hook: ``count`` durable state mutations happened
+        (membership change, count update, upstream re-home). Batch-slot
+        dispatch passes the number of folded per-event ops so the
+        convergence monitor's change tally stays identical to per-event
+        dispatch. No-op unless a convergence monitor is attached."""
         if self.convergence is not None:
-            self.convergence.touch()
+            self.convergence.touch(count)
 
 
 class NodeMetrics:
@@ -96,38 +99,81 @@ class NodeMetrics:
 
 
 class LinkMetrics:
-    """Per-link transmit/loss counters, bound once per link."""
+    """Per-link transmit/loss counters, bound once per link.
 
-    __slots__ = ("link", "_packets", "_lost", "_ecmp_packets", "_ecmp_bytes")
+    The per-packet methods only bump plain integer attributes; the
+    registry's :class:`~repro.core.accounting.LinkAccounting` collector
+    folds the pending counts into its preallocated counter bank and the
+    same four families below at every collect/snapshot boundary, so
+    exporters see identical series without per-packet ``labels(...)``
+    lookups on the data path.
+    """
+
+    __slots__ = (
+        "link",
+        "row",
+        "p_packets",
+        "p_lost",
+        "p_ecmp_packets",
+        "p_ecmp_bytes",
+        "_c_packets",
+        "_c_lost",
+        "_c_ecmp_packets",
+        "_c_ecmp_bytes",
+    )
 
     def __init__(self, registry: MetricsRegistry, link: str) -> None:
         self.link = link
-        self._packets = registry.counter(
+        self._c_packets = registry.counter(
             "link_packets_total", "Packets entering a link", ("link",)
-        )
-        self._lost = registry.counter(
+        ).labels(link=link)
+        self._c_lost = registry.counter(
             "link_lost_packets_total", "Packets lost in transit on a link", ("link",)
-        )
-        self._ecmp_packets = registry.counter(
+        ).labels(link=link)
+        self._c_ecmp_packets = registry.counter(
             "link_ecmp_wire_packets_total",
             "ECMP control packets entering a link (batch frame counts as one)",
             ("link",),
-        )
-        self._ecmp_bytes = registry.counter(
+        ).labels(link=link)
+        self._c_ecmp_bytes = registry.counter(
             "link_ecmp_wire_bytes_total",
             "ECMP control bytes entering a link, post-coalescing",
             ("link",),
-        )
+        ).labels(link=link)
+        self.p_packets = 0
+        self.p_lost = 0
+        self.p_ecmp_packets = 0
+        self.p_ecmp_bytes = 0
+        self.row = link_accounting(registry).attach(self)
 
     def transmitted(self) -> None:
-        self._packets.labels(link=self.link).inc()
+        self.p_packets += 1
 
     def lost(self) -> None:
-        self._lost.labels(link=self.link).inc()
+        self.p_lost += 1
 
     def ecmp_wire(self, size: int) -> None:
-        self._ecmp_packets.labels(link=self.link).inc()
-        self._ecmp_bytes.labels(link=self.link).inc(size)
+        self.p_ecmp_packets += 1
+        self.p_ecmp_bytes += size
+
+    def take_pending(self) -> Optional[tuple]:
+        """Drain the pending per-packet counts (flush protocol with
+        :class:`~repro.core.accounting.LinkAccounting`); None when
+        nothing is pending."""
+        if not (
+            self.p_packets or self.p_lost
+            or self.p_ecmp_packets or self.p_ecmp_bytes
+        ):
+            return None
+        pending = (
+            self.p_packets, self.p_lost,
+            self.p_ecmp_packets, self.p_ecmp_bytes,
+        )
+        self.p_packets = 0
+        self.p_lost = 0
+        self.p_ecmp_packets = 0
+        self.p_ecmp_bytes = 0
+        return pending
 
 
 def instrument_simulator(sim: "Simulator", registry: MetricsRegistry) -> None:

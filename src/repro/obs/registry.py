@@ -251,9 +251,18 @@ class CounterBag:
             )
         self._family = family
         self._fixed = {name: str(value) for name, value in fixed.items()}
+        #: key -> child memo: ``incr`` sits on delivery/flush fast
+        #: paths, so the per-call ``labels(...)`` dict build and schema
+        #: check are paid once per key instead of once per increment.
+        self._children: dict[str, CounterValue] = {}
 
     def incr(self, key: str, amount: int = 1) -> None:
-        self._family.labels(event=key, **self._fixed).inc(amount)
+        child = self._children.get(key)
+        if child is None:
+            child = self._children[key] = self._family.labels(
+                event=key, **self._fixed
+            )
+        child.inc(amount)
 
     def get(self, key: str) -> int:
         mapping = dict(self._fixed, event=key)

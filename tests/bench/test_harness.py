@@ -160,6 +160,7 @@ def fake_report(**summary) -> dict:
         "ecmp_bytes_on_wire": 50_000,
         "wire_message_reduction": 5.0,
         "wheel_speedup": 3.0,
+        "mega_events_per_sec": 2e6,
         "partition_speedup": 2.0,
         "sync_efficiency": 0.9,
     }
@@ -185,6 +186,29 @@ class TestCheckFloors:
         # A requested gate whose scenario did not run must fail loudly.
         report = {"summary": {}}
         failures = check_floors(report, {"partition_speedup": 1.5})
+        assert len(failures) == 1
+
+    def test_partition_gate_skips_on_cores_limited_host(self, capsys):
+        # Workers time-slicing fewer cores than shards cannot express a
+        # speedup; the gate skips (loudly) instead of failing the host.
+        limited = fake_report(
+            partition_speedup=0.5, parallel_warnings=["cores_limited"]
+        )
+        assert check_floors(limited, {"partition_speedup": 1.5}) == []
+        assert "SKIP" in capsys.readouterr().err
+        # Without the warning, the same sub-floor speedup still fails,
+        # and other gates are unaffected by the warning.
+        unwarned = fake_report(partition_speedup=0.5)
+        assert len(check_floors(unwarned, {"partition_speedup": 1.5})) == 1
+        assert (
+            check_floors(limited, {"mega_events_per_sec": 1e6}) == []
+        )
+        failures = check_floors(
+            fake_report(
+                mega_events_per_sec=100.0, parallel_warnings=["cores_limited"]
+            ),
+            {"mega_events_per_sec": 1e6},
+        )
         assert len(failures) == 1
 
 

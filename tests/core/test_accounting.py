@@ -1,0 +1,294 @@
+"""The vectorized accounting layer: banks, delivery views, link flush.
+
+The load-bearing property is *equivalence*: deferred, batch-applied
+counters must land on exactly the values the old per-packet dict
+increments produced, on the numpy fancy-indexed path, on the scalar
+loop under ``VECTOR_MIN`` rows, and with numpy absent entirely
+(``REPRO_NO_NUMPY=1``). The hypothesis tests drive random pend/flush
+interleavings against a plain-dict oracle.
+"""
+
+from __future__ import annotations
+
+import os
+import subprocess
+import sys
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+import repro.core.accounting as accounting
+from repro.core.accounting import (
+    BLOCK_BANK,
+    LINK_COLUMNS,
+    VECTOR_MIN,
+    CounterBank,
+    DeliveryView,
+    LinkAccounting,
+    flush_agent_views,
+    link_accounting,
+)
+
+
+class TestCounterBank:
+    def test_add_row_and_basic_ops(self):
+        bank = CounterBank(("a", "b"), capacity=4)
+        row = bank.add_row()
+        assert row == 0
+        assert bank.rows == 1
+        bank.inc("a", row, 3)
+        bank.inc("a", row)
+        bank.set("b", row, 7)
+        assert bank.get("a", row) == 4
+        assert bank.row_values(row) == {"a": 4, "b": 7}
+
+    def test_intern_is_stable_per_key(self):
+        bank = CounterBank(("hits",), capacity=4)
+        first = bank.intern("link-1")
+        second = bank.intern("link-2")
+        assert first != second
+        assert bank.intern("link-1") == first
+        assert bank.rows == 2
+
+    def test_growth_preserves_values(self):
+        bank = CounterBank(("c",), capacity=2)
+        for i in range(2):
+            bank.inc("c", bank.add_row(), i + 1)
+        before = bank.column("c")
+        # Third row forces a doubling; earlier values must survive.
+        bank.add_row()
+        if accounting.np is not None:
+            # numpy growth swaps the array in, so callers must re-fetch
+            # columns after add_row (the list fallback grows in place).
+            assert bank.column("c") is not before
+        assert len(bank.column("c")) == 4
+        assert [bank.get("c", i) for i in range(3)] == [1, 2, 0]
+
+    def test_stats_reports_backend(self):
+        bank = CounterBank(("x",))
+        stats = bank.stats()
+        assert stats["rows"] == 0
+        assert stats["columns"] == ["x"]
+        assert stats["vectorized"] == (accounting.np is not None)
+
+
+class FakeStats:
+    """Stand-in for the forwarder's stats bag (``incr`` protocol)."""
+
+    def __init__(self):
+        self.counts: dict = {}
+
+    def incr(self, key, amount=1):
+        self.counts[key] = self.counts.get(key, 0) + amount
+
+
+class FakeBlock:
+    def __init__(self, channel, members):
+        self._row = BLOCK_BANK.add_row()
+        self.members = {channel: members}
+
+
+class FakeAgent:
+    def __init__(self, channel, blocks):
+        self.channel_blocks = {channel: list(blocks)}
+        self.blocks_version = 0
+        self._delivery_views: dict = {}
+
+
+def make_view(n_blocks, member_counts):
+    channel = "ch"
+    blocks = [FakeBlock(channel, member_counts[i]) for i in range(n_blocks)]
+    agent = FakeAgent(channel, blocks)
+    view = DeliveryView(agent, channel, FakeStats())
+    view.refresh()
+    return view, blocks
+
+
+class TestDeliveryView:
+    @settings(max_examples=30, deadline=None)
+    @given(
+        n_blocks=st.integers(min_value=1, max_value=VECTOR_MIN * 2),
+        packets=st.lists(
+            st.tuples(
+                st.integers(min_value=1, max_value=9),
+                st.integers(min_value=0, max_value=1500),
+            ),
+            min_size=0,
+            max_size=20,
+        ),
+        seed=st.integers(min_value=0, max_value=2**16),
+    )
+    def test_flush_matches_per_packet_dict_oracle(self, n_blocks, packets, seed):
+        """Batched flush == per-packet dict increments, on whichever
+        path (scalar under VECTOR_MIN, fancy-indexed at or above it)
+        the row count selects.
+        """
+        member_counts = [(seed + 3 * i) % 5 + 1 for i in range(n_blocks)]
+        view, blocks = make_view(n_blocks, member_counts)
+        oracle = {
+            id(b): {"packets_seen": 0, "deliveries": 0, "bytes_delivered": 0}
+            for b in blocks
+        }
+        oracle_stats = FakeStats()
+        for count, nbytes in packets:
+            view.pending_packets += count
+            view.pending_bytes += count * nbytes
+            for block in blocks:
+                m = block.members["ch"]
+                row = oracle[id(block)]
+                row["packets_seen"] += count
+                row["deliveries"] += m * count
+                row["bytes_delivered"] += m * count * nbytes
+            oracle_stats.incr("block_deliveries", view.members_sum * count)
+            oracle_stats.incr("block_packets", count)
+        view.flush()
+        view.flush()  # second flush must be a no-op
+        for block in blocks:
+            assert BLOCK_BANK.row_values(block._row) == oracle[id(block)]
+        if packets:
+            assert view.stats.counts == oracle_stats.counts
+        assert view.pending_packets == 0
+        assert view.pending_bytes == 0
+
+    def test_refresh_freezes_membership(self):
+        view, blocks = make_view(3, [2, 1, 4])
+        assert view.members_sum == 7
+        assert len(view.blocks) == 3
+        assert view.version == 0
+        # Membership changes after refresh are invisible until the next
+        # refresh — the frozen counts are the equivalence contract.
+        blocks[0].members["ch"] = 99
+        view.pending_packets = 1
+        view.flush()
+        assert BLOCK_BANK.get("deliveries", blocks[0]._row) == 2
+        view.refresh()
+        assert view.members_sum == 99 + 1 + 4
+
+    def test_flush_agent_views_skips_idle_views(self):
+        view, _ = make_view(2, [1, 1])
+        idle_view, _ = make_view(2, [1, 1])
+        agent = view.agent
+        agent._delivery_views = {"ch": view, "other": idle_view}
+        view.pending_packets = 2
+        flush_agent_views(agent)
+        assert view.pending_packets == 0
+        assert view.stats.counts["block_packets"] == 2
+        assert idle_view.stats.counts == {}
+
+    def test_scalar_path_without_numpy(self, monkeypatch):
+        """With ``np`` gone the view falls back to list vectors and the
+        scalar flush loop — same numbers, even above VECTOR_MIN rows.
+        """
+        monkeypatch.setattr(accounting, "np", None)
+        n = VECTOR_MIN + 2
+        view, blocks = make_view(n, [2] * n)
+        assert isinstance(view.rows, list)
+        view.pending_packets = 3
+        view.pending_bytes = 300
+        view.flush()
+        for block in blocks:
+            assert BLOCK_BANK.row_values(block._row) == {
+                "packets_seen": 3,
+                "deliveries": 6,
+                "bytes_delivered": 600,
+            }
+        bank = CounterBank(("k",), capacity=2)
+        bank.inc("k", bank.add_row(), 5)
+        bank.add_row()
+        bank.add_row()  # growth on the list backend
+        assert isinstance(bank.column("k"), list)
+        assert bank.get("k", 0) == 5
+        assert bank.stats()["vectorized"] is False
+
+
+class FakeCounter:
+    def __init__(self):
+        self.value = 0
+
+    def inc(self, amount=1):
+        self.value += amount
+
+
+class FakeRegistry:
+    def __init__(self):
+        self.collectors: list = []
+
+    def register_collector(self, fn):
+        self.collectors.append(fn)
+
+    def collect(self):
+        for fn in self.collectors:
+            fn()
+
+
+class FakeLinkMetrics:
+    """Duck-typed LinkMetrics: pending-integer attrs + take_pending."""
+
+    def __init__(self, link, acct):
+        self.link = link
+        self._c_packets = FakeCounter()
+        self._c_lost = FakeCounter()
+        self._c_ecmp_packets = FakeCounter()
+        self._c_ecmp_bytes = FakeCounter()
+        self.pending = None
+        self.row = acct.attach(self)
+
+    def take_pending(self):
+        pending, self.pending = self.pending, None
+        return pending
+
+
+class TestLinkAccounting:
+    def test_flush_folds_pending_into_bank_and_counters(self):
+        registry = FakeRegistry()
+        acct = LinkAccounting(registry)
+        a = FakeLinkMetrics("a->b", acct)
+        b = FakeLinkMetrics("b->c", acct)
+        assert a.row != b.row
+        a.pending = (5, 1, 2, 2048)
+        registry.collect()
+        assert acct.bank.row_values(a.row) == dict(
+            zip(LINK_COLUMNS, (5, 1, 2, 2048))
+        )
+        assert acct.bank.row_values(b.row) == dict(zip(LINK_COLUMNS, (0,) * 4))
+        assert a._c_packets.value == 5
+        assert a._c_lost.value == 1
+        assert a._c_ecmp_bytes.value == 2048
+        # Second collect with nothing pending changes nothing.
+        registry.collect()
+        assert a._c_packets.value == 5
+        a.pending = (1, 0, 0, 0)
+        registry.collect()
+        assert acct.bank.get("packets", a.row) == 6
+        assert a._c_lost.value == 1  # zero fields stay untouched
+
+    def test_link_accounting_caches_per_registry(self):
+        registry = FakeRegistry()
+        first = link_accounting(registry)
+        assert link_accounting(registry) is first
+        assert len(registry.collectors) == 1
+
+
+def test_repro_no_numpy_env_gate():
+    """``REPRO_NO_NUMPY=1`` disables numpy at import time (the in-proc
+    monkeypatch above can't cover the env gate itself)."""
+    env = dict(os.environ, REPRO_NO_NUMPY="1", PYTHONPATH="src")
+    code = (
+        "import repro.core.accounting as acc\n"
+        "assert acc.np is None\n"
+        "assert acc.BLOCK_BANK.stats()['vectorized'] is False\n"
+        "bank = acc.CounterBank(('x',))\n"
+        "bank.inc('x', bank.add_row(), 4)\n"
+        "assert bank.get('x', 0) == 4\n"
+        "print('ok')\n"
+    )
+    result = subprocess.run(
+        [sys.executable, "-c", code],
+        env=env,
+        cwd=os.path.dirname(os.path.dirname(os.path.dirname(__file__))),
+        capture_output=True,
+        text=True,
+        timeout=60,
+    )
+    assert result.returncode == 0, result.stderr
+    assert result.stdout.strip() == "ok"

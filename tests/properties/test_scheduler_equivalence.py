@@ -199,3 +199,170 @@ def test_network_state_tables_match_heap(case):
     wheel_table, wheel_events = drive_network("wheel", seed)
     assert wheel_table == heap_table
     assert wheel_events == heap_events
+
+
+# ---------------------------------------------------------------------------
+# schedule_bulk ≡ sequential schedule_at (the native-core contract)
+# ---------------------------------------------------------------------------
+
+
+def bulk_items(seed: int, n: int = 150) -> list:
+    """Randomized (time, tag) pairs mixing open-slot, in-horizon,
+    overflow, and duplicate timestamps (tie-break coverage), shuffled
+    so submission order disagrees with time order."""
+    rng = random.Random(seed)
+    times = (
+        [rng.uniform(0.0, 0.002) for _ in range(n // 4)]
+        + [rng.uniform(0.0, 0.2) for _ in range(n // 2)]
+        + [rng.uniform(0.3, 40.0) for _ in range(n // 4)]
+        + [0.07] * 12  # ties: input order must be preserved
+    )
+    rng.shuffle(times)
+    return [(t, i) for i, t in enumerate(times)]
+
+
+@pytest.mark.parametrize("scheduler", ["heap", "wheel"])
+@pytest.mark.parametrize("native", [True, False])
+@pytest.mark.parametrize("case", range(4))
+def test_schedule_bulk_matches_sequential_schedule_at(scheduler, native, case):
+    items = bulk_items(0xB17C + case)
+
+    def drive(bulk: bool) -> tuple[list, int]:
+        sim = Simulator(
+            seed=0, scheduler=scheduler, wheel_slots=256, native=native
+        )
+        out = []
+        if bulk:
+            sim.schedule_bulk(
+                [(t, lambda g=tag: out.append((sim.now, g))) for t, tag in items],
+                name="bulk",
+            )
+        else:
+            for t, tag in items:
+                sim.schedule_at(t, lambda g=tag: out.append((sim.now, g)), name="bulk")
+        sim.run()
+        return out, sim.events_processed
+
+    assert drive(True) == drive(False)
+
+
+@pytest.mark.parametrize("scheduler", ["heap", "wheel"])
+def test_schedule_bulk_rejects_past_times_atomically(scheduler):
+    from repro.errors import SimulationError
+
+    sim = Simulator(seed=0, scheduler=scheduler)
+    sim.schedule_at(1.0, lambda: None)
+    sim.run(until=0.5)
+    with pytest.raises(SimulationError):
+        sim.schedule_bulk([(0.6, lambda: None), (0.1, lambda: None)])
+    # Nothing from the rejected batch was scheduled.
+    assert sim.pending() == 1
+
+
+@pytest.mark.parametrize("case", range(3))
+def test_bulk_interleaved_with_singles_and_cancels_matches_heap(case):
+    """schedule_bulk mixed with schedule_at into the *same* buckets
+    (forcing pure-bucket materialization) plus cancellations must stay
+    trace-identical to the heap oracle."""
+    seed = 0x51A7 + case
+
+    def drive(scheduler: str) -> tuple[list, int]:
+        rng = random.Random(seed)
+        sim = Simulator(seed=0, scheduler=scheduler, wheel_slots=128)
+        out = []
+
+        def rec(tag):
+            out.append((sim.now, tag))
+
+        sim.schedule_bulk(
+            [
+                (rng.uniform(0.0, 0.25), lambda g=f"b{i}": rec(g))
+                for i in range(80)
+            ]
+        )
+        cancellable = []
+        for i in range(40):
+            # Same time range: many land in buckets that are pure.
+            event = sim.schedule_at(
+                rng.uniform(0.0, 0.25), lambda g=f"s{i}": rec(g)
+            )
+            if rng.random() < 0.4:
+                cancellable.append(event)
+        for event in cancellable[::2]:
+            event.cancel()
+        # A second bulk call over the same window (stale-pure buckets).
+        sim.schedule_bulk(
+            [
+                (rng.uniform(0.0, 0.25), lambda g=f"b2_{i}": rec(g))
+                for i in range(40)
+            ],
+            name="second",
+        )
+        sim.run()
+        return out, sim.events_processed
+
+    assert drive("wheel") == drive("heap")
+
+
+# ---------------------------------------------------------------------------
+# batch slot dispatch ≡ per-event dispatch
+# ---------------------------------------------------------------------------
+
+
+def drive_block_storm(scheduler: str, native: bool, seed: int = 3):
+    """A miniature mega storm: block join/leave ops bulk-scheduled with
+    coarse wheel slots so native wheel runs exercise batch slot
+    dispatch. Returns comparable end state + the stats dict."""
+    from repro.netsim.arena import ARENA
+
+    rng = random.Random(seed)
+    topo = TopologyBuilder.isp(
+        n_transit=3, stubs_per_transit=2, hosts_per_stub=1, seed=7,
+        scheduler=scheduler, wheel_granularity=0.05,
+    )
+    # Force the native-core switch per run (what Simulator(native=...)
+    # sets at construction) so the comparison covers on and off.
+    topo.sim._native = native
+    topo.sim._arena = ARENA if native else None
+    net = ExpressNetwork(topo)
+    source = net.source(sorted(net.host_names)[0])
+    channel = source.allocate_channel()
+    blocks = [net.subscriber_block(n) for n in sorted(net.topo.nodes) if n.startswith("e")]
+    net.run(until=0.01)
+    base = net.sim.now
+    work = [
+        (base + 0.1 + 2.0 * i / 4000, blocks[i % len(blocks)].join_op(channel))
+        for i in range(4000)
+    ]
+    work += [
+        (base + 2.3 + 0.5 * i / 500, blocks[i % len(blocks)].leave_op(channel))
+        for i in range(500)
+    ]
+    rng.shuffle(work)
+    net.sim.schedule_bulk(work, name="op")
+    net.sim.schedule_at(base + 3.0, lambda: source.send(channel))
+    net.run(until=base + 3.4)
+    def record_times(block):
+        state = block.agent.channels.get(channel)
+        record = state.downstream.get(block.pseudo) if state else None
+        return record.updated_at if record is not None else None
+
+    state = (
+        [(b.count(channel), b.deliveries, record_times(b)) for b in blocks],
+        snapshot(net),
+        net.sim.events_processed,
+    )
+    return state, net.sim.scheduler_stats()
+
+
+def test_batch_slot_dispatch_matches_per_event():
+    heap_state, _ = drive_block_storm("heap", native=True)
+    wheel_state, wheel_stats = drive_block_storm("wheel", native=True)
+    off_state, off_stats = drive_block_storm("wheel", native=False)
+    assert wheel_state == heap_state
+    assert off_state == heap_state
+    # The native wheel run actually used batch dispatch; the escape
+    # hatch never did.
+    assert wheel_stats["batched_events"] > 0
+    assert wheel_stats["batched_slots"] > 0
+    assert off_stats["batched_events"] == 0
