@@ -43,7 +43,16 @@ from repro.bench.scenarios import SCENARIOS, run_scenarios
 #: throughput (the ``partition_speedup`` gate is skipped with a
 #: warning when the host cannot run the workers in parallel —
 #: ``cores_limited``).
-SCHEMA_VERSION = 6
+#: v7: the sync-tax cut — the parallel scenario's timed pass runs the
+#: demand-driven multi-window protocol over the shared-memory ring
+#: transport (``transport`` / ``sync_mode`` fields record the
+#: configuration) and gains ``sync_messages_per_event`` /
+#: ``frames_per_round`` / ``demand_null_ratio``, an eager lockstep
+#: ``sync_baseline`` block, and the host-independent
+#: ``null_ratio_reduction`` / ``sync_message_reduction`` ratios gated
+#: by ``--floor-null-ratio-reduction`` / ``--floor-sync-msg-reduction``;
+#: sync totals grow ``windows`` / ``frames_sent`` / ``frames_received``.
+SCHEMA_VERSION = 7
 
 
 def build_report(
@@ -96,6 +105,16 @@ def build_report(
             "sync_efficiency": parallel.get("sync_efficiency", 0.0),
             "null_message_ratio": parallel.get("null_message_ratio", 0.0),
             "settle_seconds": parallel.get("settle_seconds", 0.0),
+            "transport": parallel.get("transport", ""),
+            "sync_mode": parallel.get("sync_mode", ""),
+            "sync_messages_per_event": parallel.get(
+                "sync_messages_per_event", 0.0
+            ),
+            "frames_per_round": parallel.get("frames_per_round", 0.0),
+            "null_ratio_reduction": parallel.get("null_ratio_reduction", 0.0),
+            "sync_message_reduction": parallel.get(
+                "sync_message_reduction", 0.0
+            ),
         },
     }
 
@@ -143,6 +162,16 @@ FLOOR_GATES = {
     "sync_efficiency": (
         "sync_efficiency",
         "sync efficiency floor",
+        "{:.2f}",
+    ),
+    "null_ratio_reduction": (
+        "null_ratio_reduction",
+        "null-message ratio reduction floor",
+        "{:.2f}",
+    ),
+    "sync_msg_reduction": (
+        "sync_message_reduction",
+        "sync messages/event reduction floor",
         "{:.2f}",
     ),
 }
@@ -278,6 +307,22 @@ def main(argv: Optional[list[str]] = None) -> int:
         help="exit non-zero if the telemetered parallel run's "
         "productive (non-sync_wait/idle) fraction of worker wall time falls below this",
     )
+    parser.add_argument(
+        "--floor-null-ratio-reduction",
+        type=float,
+        default=None,
+        help="exit non-zero if demand-driven sync does not cut the "
+        "null-message ratio by at least this factor vs the eager "
+        "lockstep baseline (host-independent message counts)",
+    )
+    parser.add_argument(
+        "--floor-sync-msg-reduction",
+        type=float,
+        default=None,
+        help="exit non-zero if demand-driven sync does not cut sync "
+        "messages per merged event by at least this factor vs the "
+        "eager lockstep baseline (host-independent message counts)",
+    )
     args = parser.parse_args(argv)
 
     report = build_report(
@@ -310,6 +355,12 @@ def main(argv: Optional[list[str]] = None) -> int:
                 f"  sync eff {metrics['sync_efficiency']:.0%}"
                 f"  settle {metrics['settle_seconds']:.2f}s"
             )
+        if "sync_message_reduction" in metrics:
+            line += (
+                f"  [{metrics['transport']}/{metrics['sync_mode']}]"
+                f"  nulls {metrics['null_ratio_reduction']:.1f}x fewer"
+                f"  sync msgs {metrics['sync_message_reduction']:.1f}x fewer"
+            )
         latency = metrics.get("delivery_latency", {})
         if latency.get("count"):
             line += (
@@ -331,6 +382,8 @@ def main(argv: Optional[list[str]] = None) -> int:
             "mega_events_per_sec": args.floor_mega_events_per_sec,
             "partition_speedup": args.floor_partition_speedup,
             "sync_efficiency": args.floor_sync_efficiency,
+            "null_ratio_reduction": args.floor_null_ratio_reduction,
+            "sync_msg_reduction": args.floor_sync_msg_reduction,
         },
     )
     for failure in failures:

@@ -420,6 +420,57 @@ class TimerWheel:
         """Remove the event the last :meth:`advance` returned."""
         self._open_pos += 1
 
+    def peek_times(self, k: int) -> list[float]:
+        """Times of the next up-to-``k`` pending events, ascending.
+
+        :meth:`advance` positions the cursor on the first live event
+        (resolving a pure open slot and skipping cancelled entries);
+        the remainder of the open slot is already time-sorted. Forward
+        buckets are scanned in slot order — pure buckets hold raw
+        ``(time, action)`` tuples, materialized ones hold Events with
+        possible cancellations — and because slots partition time
+        monotonically the scan stops at the first slot boundary with k
+        candidates collected. The overflow heap only matters if the
+        in-horizon buckets run dry first: post-cascade, every overflow
+        time is at or past the wheel horizon, hence after every bucket
+        time.
+        """
+        first = self.advance()
+        if first is None:
+            return []
+        out = [first.time]
+        for event in self._open[self._open_pos + 1 :]:
+            if len(out) >= k:
+                return out[:k]
+            if not event.cancelled:
+                out.append(event.time)
+        metas = self._bucket_meta
+        for slot in range(self._cursor + 1, self._cursor + self.num_slots):
+            if len(out) >= k:
+                return out[:k]
+            index = slot % self.num_slots
+            bucket = self._buckets[index]
+            if not bucket:
+                continue
+            if metas[index] is not None:
+                times = [entry[0] for entry in bucket]
+            else:
+                times = [e.time for e in bucket if not e.cancelled]
+            times.sort()
+            out.extend(times)
+        if len(out) < k and self._overflow:
+            out.extend(
+                heapq.nsmallest(
+                    k - len(out),
+                    (
+                        entry[0]
+                        for entry in self._overflow
+                        if not entry[2].cancelled
+                    ),
+                )
+            )
+        return out[:k]
+
     def compact(self) -> None:
         """Drop cancelled entries everywhere (wheel analogue of the
         heap's :meth:`Simulator._compact`). Pure storage is skipped
@@ -952,6 +1003,37 @@ class Simulator:
         if not self._queue:
             return None
         return self._queue[0].time
+
+    def peek_times(self, k: int) -> list[float]:
+        """Times of the next up-to-``k`` pending events, ascending,
+        without dispatching anything. The sharded runner's grant
+        ladders are built from these. O(k log k) on the heap (a
+        candidate-frontier walk over the heap array); on the wheel one
+        :meth:`TimerWheel.advance` for the exact head, then an
+        in-order scan of the open slot and forward buckets — slots
+        partition time monotonically, so the scan stops as soon as k
+        candidates are in hand at a slot boundary."""
+        if k <= 0:
+            return []
+        if k == 1:
+            head = self.peek_time()
+            return [] if head is None else [head]
+        if self._wheel is not None:
+            return self._wheel.peek_times(k)
+        head = self.peek_time()  # clears cancelled events off the top
+        if head is None:
+            return []
+        queue = self._queue
+        out: list[float] = []
+        frontier = [(queue[0].time, 0)]
+        while frontier and len(out) < k:
+            when, at = heapq.heappop(frontier)
+            if not queue[at].cancelled:
+                out.append(when)
+            for child in (2 * at + 1, 2 * at + 2):
+                if child < len(queue):
+                    heapq.heappush(frontier, (queue[child].time, child))
+        return out
 
     def _note_cancelled(self) -> None:
         """Bookkeeping for an in-queue cancellation: keep ``pending()``

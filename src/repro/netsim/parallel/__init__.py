@@ -14,13 +14,19 @@ traffic) and re-inject them in the owning partition with exact
 ``(time, seq)`` ordering.
 
 Synchronization is conservative: each cut link's propagation delay is
-its lookahead, workers exchange null-message/LBTS announcements over
-``multiprocessing`` pipes each round, and no worker dispatches past
-its horizon — the minimum over predecessor partitions of (their next
-effective event time + the smallest cut-link delay toward us). The
-sharded run is deterministic for a given seed and, once settled,
-produces ``ChannelState`` tables, delivery counts, and obs counters
-identical to the single-process oracle (pinned by
+its lookahead, and no worker dispatches past its granted horizon —
+derived from the other partitions' next effective event times plus the
+transitive cut-link closure. The default ``sync_mode="demand"``
+protocol grants each worker a multi-window horizon *ladder* and skips
+quiet shards entirely (null messages are demand-driven, not
+per-round); ``sync_mode="eager"`` keeps the one-window-per-round
+lockstep baseline. Frames move over a pluggable transport
+(:mod:`~repro.netsim.parallel.transport`): a zero-pickle
+shared-memory ring by default, ``multiprocessing`` pipes via
+``transport="pipe"`` or ``REPRO_TRANSPORT=pipe``. The sharded run is
+deterministic for a given seed — across sync modes and transports —
+and, once settled, produces ``ChannelState`` tables, delivery counts,
+and obs counters identical to the single-process oracle (pinned by
 ``tests/properties/test_partition_equivalence.py``).
 
 See ``docs/performance.md`` ("Sharding the event loop") for the model
@@ -37,10 +43,20 @@ from repro.netsim.parallel.runner import (
 from repro.netsim.parallel.scenario import OPGENS, ScenarioSpec
 from repro.netsim.parallel.sync import (
     PHASES,
+    RoundTrace,
     SyncStats,
+    build_ladder,
     compute_horizons,
+    grant_ceilings,
     merge_phase_stats,
+    message_stats,
     transitive_lookahead,
+)
+from repro.netsim.parallel.transport import (
+    PipeTransport,
+    ShmTransport,
+    TransportError,
+    transport_choice,
 )
 from repro.netsim.parallel.worker import TelemetryConfig
 
@@ -50,13 +66,21 @@ __all__ = [
     "ParallelResult",
     "ParallelRunner",
     "PartitionPlan",
+    "PipeTransport",
+    "RoundTrace",
     "ScenarioSpec",
+    "ShmTransport",
     "SyncStats",
     "TelemetryConfig",
+    "TransportError",
     "assert_equivalent",
+    "build_ladder",
     "compute_horizons",
+    "grant_ceilings",
     "merge_phase_stats",
+    "message_stats",
     "plan_partitions",
     "run_single",
+    "transport_choice",
     "transitive_lookahead",
 ]

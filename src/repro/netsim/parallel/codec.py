@@ -20,12 +20,20 @@ flagged so decode knows which path to take.
 part of the equivalence contract with the single-process oracle.
 ``uid`` is *not* preserved: it is a debugging identity local to one
 process's packet counter, and nothing in the protocol keys on it.
+
+The second half of this module is the *frame* codec the sync protocol
+itself rides on: horizon grants, coalesced sync reports (exports +
+counters + optional telemetry in one frame), and the control frames
+(ready/result/exit/error). Grants and reports are packed structs —
+zero pickle on the hot loop; pickle survives only in the off-hot-path
+result frame and the optional telemetry blob a report can carry.
 """
 
 from __future__ import annotations
 
 import pickle
 import struct
+from typing import Optional
 
 from repro.core.ecmp.messages import decode_message, encode_message
 from repro.errors import CodecError
@@ -188,3 +196,207 @@ def decode_packet(data: bytes) -> Packet:
         headers=headers,
         created_at=created_at,
     )
+
+
+# -- sync-protocol frames ---------------------------------------------------
+#
+# Every coordinator/worker message is one length-delimited frame (the
+# transport adds the length): a kind byte, then a kind-specific packed
+# body. Export records travel inside grant frames (imports) and report
+# frames (exports) in the exact 7-tuple shape the worker uses
+# internally: (arrival, src_rank, export_seq, dst_rank, node_name,
+# iface_index, packet_bytes).
+
+FRAME_READY = 0x01
+FRAME_GRANT = 0x02
+FRAME_REPORT = 0x03
+FRAME_RESULT_REQ = 0x04
+FRAME_RESULT = 0x05
+FRAME_EXIT = 0x06
+FRAME_ERROR = 0x07
+
+#: Grant flags.
+GRANT_FINAL = 0x01
+#: The grant is an eager one-window round (the PR-7 baseline protocol):
+#: the worker runs exactly one window to the single rung and reports.
+GRANT_EAGER = 0x02
+
+#: Report flags.
+REPORT_FINALIZED = 0x01
+REPORT_STALLED = 0x02
+REPORT_TELEMETRY = 0x04
+
+#: arrival(8) src_rank(2) export_seq(4) dst_rank(2) iface(2)
+#: name-len(2) data-len(4)
+_EXPORT_HEAD = struct.Struct("!dHIHHHI")
+#: flags(1) rung-count(2) import-count(4)
+_GRANT_HEAD = struct.Struct("!BHI")
+#: flags(1) windows(4) dispatched(8) next-time-count(1) export-count(4)
+#: telemetry-len(4)
+_REPORT_HEAD = struct.Struct("!BIQBI I")
+#: next_time(8) ops_scheduled(4)
+_READY_BODY = struct.Struct("!dI")
+
+
+def _encode_exports(records: list[tuple]) -> bytes:
+    parts = []
+    for arrival, src_rank, seq, dst_rank, node_name, iface, data in records:
+        name = node_name.encode("ascii")
+        parts.append(
+            _EXPORT_HEAD.pack(
+                arrival, src_rank, seq, dst_rank, iface, len(name), len(data)
+            )
+        )
+        parts.append(name)
+        parts.append(data)
+    return b"".join(parts)
+
+
+def _decode_exports(data: bytes, at: int, count: int) -> tuple[list[tuple], int]:
+    records = []
+    head = _EXPORT_HEAD
+    for _ in range(count):
+        if at + head.size > len(data):
+            raise CodecError("export record truncated")
+        arrival, src_rank, seq, dst_rank, iface, name_len, data_len = (
+            head.unpack_from(data, at)
+        )
+        at += head.size
+        if at + name_len + data_len > len(data):
+            raise CodecError("export record body truncated")
+        name = data[at : at + name_len].decode("ascii")
+        at += name_len
+        packet = data[at : at + data_len]
+        at += data_len
+        records.append((arrival, src_rank, seq, dst_rank, name, iface, packet))
+    return records, at
+
+
+def encode_ready(next_time: float, ops_scheduled: int) -> bytes:
+    return bytes([FRAME_READY]) + _READY_BODY.pack(next_time, ops_scheduled)
+
+
+def encode_grant(
+    ladder: list[float], imports: list[tuple], final: bool, eager: bool
+) -> bytes:
+    flags = (GRANT_FINAL if final else 0) | (GRANT_EAGER if eager else 0)
+    head = _GRANT_HEAD.pack(flags, len(ladder), len(imports))
+    rungs = struct.pack(f"!{len(ladder)}d", *ladder)
+    return bytes([FRAME_GRANT]) + head + rungs + _encode_exports(imports)
+
+
+def encode_report(
+    next_times: list[float],
+    windows: int,
+    dispatched: int,
+    exports: list[tuple],
+    finalized: bool,
+    stalled: bool,
+    telemetry: Optional[bytes] = None,
+) -> bytes:
+    flags = (
+        (REPORT_FINALIZED if finalized else 0)
+        | (REPORT_STALLED if stalled else 0)
+        | (REPORT_TELEMETRY if telemetry is not None else 0)
+    )
+    blob = telemetry or b""
+    head = _REPORT_HEAD.pack(
+        flags, windows, dispatched, len(next_times), len(exports), len(blob)
+    )
+    times = struct.pack(f"!{len(next_times)}d", *next_times)
+    return (
+        bytes([FRAME_REPORT]) + head + times + _encode_exports(exports) + blob
+    )
+
+
+def encode_result(payload: object) -> bytes:
+    return bytes([FRAME_RESULT]) + pickle.dumps(
+        payload, protocol=pickle.HIGHEST_PROTOCOL
+    )
+
+
+def encode_error(message: str) -> bytes:
+    return bytes([FRAME_ERROR]) + message.encode("utf-8", "replace")
+
+
+#: The two body-less control frames, prebuilt.
+RESULT_REQ_FRAME = bytes([FRAME_RESULT_REQ])
+EXIT_FRAME = bytes([FRAME_EXIT])
+
+
+def decode_frame(frame: bytes):
+    """Parse one frame into ``(kind, body)``.
+
+    Bodies by kind: READY ``(next_time, ops_scheduled)``; GRANT
+    ``(ladder, imports, final, eager)``; REPORT ``(next_times,
+    windows, dispatched, exports, finalized, stalled, telemetry)``
+    with ``telemetry`` already unpickled (or None); RESULT the
+    unpickled payload; ERROR the message string; RESULT_REQ/EXIT
+    ``None``. Strict framing: trailing bytes raise
+    :class:`CodecError`.
+    """
+    if not frame:
+        raise CodecError("empty frame")
+    kind = frame[0]
+    body = frame[1:]
+    if kind == FRAME_READY:
+        if len(body) != _READY_BODY.size:
+            raise CodecError(f"ready frame framing: {len(body)} bytes")
+        return kind, _READY_BODY.unpack(body)
+    if kind == FRAME_GRANT:
+        if len(body) < _GRANT_HEAD.size:
+            raise CodecError(f"grant frame truncated: {len(body)} bytes")
+        flags, rung_count, import_count = _GRANT_HEAD.unpack_from(body, 0)
+        at = _GRANT_HEAD.size
+        if at + 8 * rung_count > len(body):
+            raise CodecError("grant ladder truncated")
+        ladder = list(struct.unpack_from(f"!{rung_count}d", body, at))
+        at += 8 * rung_count
+        imports, at = _decode_exports(body, at, import_count)
+        if at != len(body):
+            raise CodecError(
+                f"grant framing: {len(body)} bytes, expected {at}"
+            )
+        return kind, (
+            ladder, imports, bool(flags & GRANT_FINAL), bool(flags & GRANT_EAGER)
+        )
+    if kind == FRAME_REPORT:
+        if len(body) < _REPORT_HEAD.size:
+            raise CodecError(f"report frame truncated: {len(body)} bytes")
+        flags, windows, dispatched, time_count, export_count, blob_len = (
+            _REPORT_HEAD.unpack_from(body, 0)
+        )
+        at = _REPORT_HEAD.size
+        if at + 8 * time_count > len(body):
+            raise CodecError("report times truncated")
+        next_times = list(struct.unpack_from(f"!{time_count}d", body, at))
+        at += 8 * time_count
+        exports, at = _decode_exports(body, at, export_count)
+        telemetry = None
+        if flags & REPORT_TELEMETRY:
+            if at + blob_len != len(body):
+                raise CodecError("report telemetry blob framing")
+            telemetry = pickle.loads(body[at : at + blob_len])
+            at += blob_len
+        if at != len(body):
+            raise CodecError(
+                f"report framing: {len(body)} bytes, expected {at}"
+            )
+        return kind, (
+            next_times,
+            windows,
+            dispatched,
+            exports,
+            bool(flags & REPORT_FINALIZED),
+            bool(flags & REPORT_STALLED),
+            telemetry,
+        )
+    if kind == FRAME_RESULT:
+        return kind, pickle.loads(body)
+    if kind == FRAME_ERROR:
+        return kind, body.decode("utf-8", "replace")
+    if kind in (FRAME_RESULT_REQ, FRAME_EXIT):
+        if body:
+            raise CodecError(f"control frame {kind:#x} carries {len(body)} bytes")
+        return kind, None
+    raise CodecError(f"unknown frame kind {kind:#x}")

@@ -1,17 +1,30 @@
-"""The coordinator: spawn workers, run LBTS rounds, merge results.
+"""The coordinator: spawn workers, issue horizon grants, merge results.
 
 :class:`ParallelRunner` executes one :class:`ScenarioSpec` across N
-partitions. Two execution modes share the exact same round protocol:
+partitions. Two sync modes share the same frame protocol:
 
-* ``mode="mp"`` — one ``multiprocessing`` child per partition, pipes
-  for the null-message/horizon exchange. Rounds are genuinely
-  concurrent: the coordinator sends every worker its horizon, then
-  collects every reply.
-* ``mode="inline"`` — the same :class:`PartitionWorker` objects driven
-  sequentially in-process. Single-core test environments exercise the
-  full protocol (partitioning, proxies, horizons, determinism) without
-  needing real parallelism; results are identical to ``mp`` because
-  the round protocol is deterministic.
+* ``sync_mode="demand"`` (default) — each scheduling round the
+  coordinator computes per-worker grant *ceilings* from the transitive
+  lookahead closure (self-echo term excluded — the worker enforces
+  that bound locally), grants only the workers that have dispatchable
+  work below their ceiling (quiet shards are not granted and send no
+  heartbeats), and each granted worker drains as many export-capped
+  windows as the ceiling allows before replying with one coalesced
+  report. Null messages become demand-driven: a report with no
+  exports only happens when a worker exhausts its entire ceiling.
+* ``sync_mode="eager"`` — the PR-7 lockstep baseline: every
+  non-finalized worker is granted a single-window horizon every round.
+  Kept bit-compatible as the measured baseline for the sync-tax
+  reduction metrics (`null_ratio_reduction`, `sync_message_reduction`
+  in the bench schema).
+
+Execution modes: ``mode="mp"`` runs one child process per partition
+over a :mod:`~repro.netsim.parallel.transport` — the shared-memory
+ring transport by default (zero pickle on the hot loop), pipes via
+``transport="pipe"`` or ``REPRO_TRANSPORT=pipe``. ``mode="inline"``
+drives the same :class:`PartitionWorker` objects in-process but routes
+commands through the *same encoded frames*, so frame counts, codec
+coverage, and results are identical to ``mp``.
 
 :func:`run_single` runs the unsharded oracle and
 :func:`assert_equivalent` pins the contract: merged per-partition
@@ -21,33 +34,42 @@ subscription/delivery state, event counts, and obs counters.
 
 from __future__ import annotations
 
+import functools
 import math
 import os
+from collections import deque
 from dataclasses import dataclass, field
 from math import inf
 from time import perf_counter
 from typing import Optional
 
 from repro.errors import SimulationError
+from repro.netsim.parallel import codec
 from repro.netsim.parallel.partition import PartitionPlan, plan_partitions
 from repro.netsim.parallel.scenario import ScenarioSpec, build, schedule_ops
 from repro.netsim.parallel.sync import (
+    RoundTrace,
     SyncStats,
+    build_ladder,
     compute_horizons,
     effective_next_times,
+    grant_ceilings,
     merge_phase_stats,
     merge_sync_stats,
+    message_stats,
     transitive_lookahead,
 )
+from repro.netsim.parallel.transport import (
+    PipeTransport,
+    ShmTransport,
+    transport_choice,
+)
 from repro.netsim.parallel.worker import (
-    CMD_EXIT,
-    CMD_RESULT,
-    CMD_ROUND,
-    FINAL,
     SHARDED_ONLY_PREFIXES,
     PartitionWorker,
     TelemetryConfig,
     extract_summary,
+    serve_frame,
     worker_main,
 )
 
@@ -79,6 +101,13 @@ class ParallelResult:
     #: scale the workload up before trusting the speedup).
     warnings: list = field(default_factory=list)
     merged: dict = field(default_factory=dict)
+    #: Which transport moved the frames (``shm``/``pipe``/``inline``)
+    #: and which sync protocol ran (``demand``/``eager``).
+    transport: str = ""
+    sync_mode: str = "demand"
+    #: Per-scheduling-round :class:`RoundTrace` records (granted
+    #: ladders, frame counts) for post-mortems and ``repro.obs diff``.
+    round_traces: list = field(default_factory=list)
     #: Fleet telemetry (a :class:`repro.obs.aggregate.FleetAggregator`)
     #: when the run was telemetered, else None.
     telemetry: Optional[object] = None
@@ -95,6 +124,11 @@ class ParallelResult:
         """Fleet phase accounting (see :func:`merge_phase_stats`);
         all-zero fractions when the run was not profiled."""
         return merge_phase_stats(self.sync)
+
+    def message_totals(self) -> dict[str, float]:
+        """Host-independent sync-message economics (see
+        :func:`~repro.netsim.parallel.sync.message_stats`)."""
+        return message_stats(self.sync, self.merged.get("events", 0))
 
 
 def run_single(
@@ -256,8 +290,18 @@ def assert_equivalent(merged: dict, oracle: dict) -> None:
             raise AssertionError(f"counter {key} diverges: {mine} != {ref}")
 
 
-class _InlineTransport:
-    """Drives PartitionWorker objects in-process, same protocol."""
+def _spawn_worker(descriptor, rank, spec, plan, scheduler, with_obs, telemetry):
+    """Child-process target (module-level so the spawn fallback can
+    pickle it; under the usual fork context it is simply inherited)."""
+    worker_main(descriptor, spec, plan, rank, scheduler, with_obs, telemetry)
+
+
+class InlineTransport:
+    """Drives PartitionWorker objects in-process — through the *same*
+    encoded frames as the process transports, so inline runs exercise
+    the full codec path and report identical frame counts."""
+
+    name = "inline"
 
     def __init__(self, spec, plan, scheduler, with_obs, telemetry=None):
         self.telemetry = telemetry
@@ -268,21 +312,24 @@ class _InlineTransport:
             )
             for rank in range(plan.n)
         ]
+        self._pending: list[deque] = [deque() for _ in range(plan.n)]
+        self.frames_sent = 0
+        self.frames_received = 0
+        for rank, worker in enumerate(self.workers):
+            self._pending[rank].append(worker.ready_frame())
 
-    def initial(self) -> list[float]:
-        return [w.next_time() for w in self.workers]
+    def send_frame(self, rank: int, frame: bytes) -> None:
+        self.frames_sent += 1
+        reply, _done = serve_frame(self.workers[rank], frame)
+        if reply is not None:
+            self._pending[rank].append(reply)
 
-    def round(self, commands: dict[int, tuple]) -> dict[int, tuple]:
-        return {
-            rank: self.workers[rank].run_round(horizon, imports)
-            for rank, (horizon, imports) in commands.items()
-        }
+    def recv_frame(self, rank: int) -> bytes:
+        self.frames_received += 1
+        return self._pending[rank].popleft()
 
-    def results(self) -> list[tuple]:
-        return [
-            (w.summary(), w.stats, w.telemetry_snapshot(final=True))
-            for w in self.workers
-        ]
+    def wait_any(self, ranks: list[int]) -> list[int]:
+        return [rank for rank in ranks if self._pending[rank]]
 
     def dump_flight(self, reason: str) -> None:
         """Inline workers live in this process; on coordinator failure
@@ -300,68 +347,21 @@ class _InlineTransport:
         pass
 
 
-class _ProcessTransport:
-    """One multiprocessing child per partition, pipe per worker."""
-
-    def __init__(self, spec, plan, scheduler, with_obs, telemetry=None):
-        import multiprocessing as mp
-
-        try:
-            ctx = mp.get_context("fork")
-        except ValueError:  # pragma: no cover - non-POSIX fallback
-            ctx = mp.get_context()
-        self.conns = []
-        self.procs = []
-        for rank in range(plan.n):
-            parent, child = ctx.Pipe()
-            proc = ctx.Process(
-                target=worker_main,
-                args=(child, spec, plan, rank, scheduler, with_obs, telemetry),
-                daemon=True,
-            )
-            proc.start()
-            child.close()
-            self.conns.append(parent)
-            self.procs.append(proc)
-
-    def dump_flight(self, reason: str) -> None:
-        pass  # mp children dump their own rings in worker_main
-
-    def _recv(self, rank: int):
-        reply = self.conns[rank].recv()
-        if isinstance(reply, tuple) and reply and reply[0] == "error":
-            raise SimulationError(f"worker {rank} failed: {reply[1]}")
-        return reply
-
-    def initial(self) -> list[float]:
-        times = []
-        for rank in range(len(self.conns)):
-            _tag, next_time, _ops = self._recv(rank)
-            times.append(next_time)
-        return times
-
-    def round(self, commands: dict[int, tuple]) -> dict[int, tuple]:
-        for rank, (horizon, imports) in commands.items():
-            self.conns[rank].send((CMD_ROUND, horizon, imports))
-        return {rank: self._recv(rank) for rank in commands}
-
-    def results(self) -> list[tuple]:
-        for conn in self.conns:
-            conn.send((CMD_RESULT,))
-        return [self._recv(rank) for rank in range(len(self.conns))]
-
-    def close(self) -> None:
-        for conn in self.conns:
-            try:
-                conn.send((CMD_EXIT,))
-            except (BrokenPipeError, OSError):
-                pass
-        for proc in self.procs:
-            proc.join(timeout=10)
-            if proc.is_alive():  # pragma: no cover - hang guard
-                proc.terminate()
-        for conn in self.conns:
-            conn.close()
+def _make_mp_transport(spec, plan, scheduler, with_obs, telemetry, choice):
+    spawn = functools.partial(
+        _spawn_worker,
+        spec=spec,
+        plan=plan,
+        scheduler=scheduler,
+        with_obs=with_obs,
+        telemetry=telemetry,
+    )
+    if choice == "pipe":
+        transport = PipeTransport(plan.n, spawn)
+    else:
+        transport = ShmTransport(plan.n, spawn)
+    transport.dump_flight = lambda reason: None  # children dump their own
+    return transport
 
 
 class ParallelRunner:
@@ -376,12 +376,18 @@ class ParallelRunner:
         with_obs: bool = False,
         telemetry: Optional[TelemetryConfig] = None,
         plan: Optional[PartitionPlan] = None,
+        sync_mode: str = "demand",
+        transport: Optional[str] = None,
     ) -> None:
         if mode not in ("mp", "inline"):
             raise SimulationError(f"unknown runner mode {mode!r}")
+        if sync_mode not in ("demand", "eager"):
+            raise SimulationError(f"unknown sync mode {sync_mode!r}")
         self.spec = spec
         self.scheduler = scheduler
         self.mode = mode
+        self.sync_mode = sync_mode
+        self.transport = "inline" if mode == "inline" else transport_choice(transport)
         self.with_obs = with_obs or telemetry is not None
         self.telemetry = telemetry
         if plan is None:
@@ -392,77 +398,172 @@ class ParallelRunner:
             plan = plan_partitions(topo, n_workers, spec.source)
         self.plan = plan
 
+    # -- frame helpers -----------------------------------------------------
+
+    def _recv(self, transport, rank: int):
+        kind, body = codec.decode_frame(transport.recv_frame(rank))
+        if kind == codec.FRAME_ERROR:
+            raise SimulationError(f"worker {rank} failed: {body}")
+        return kind, body
+
+    def _recv_report(self, transport, rank: int):
+        kind, body = self._recv(transport, rank)
+        if kind != codec.FRAME_REPORT:  # pragma: no cover - protocol guard
+            raise SimulationError(
+                f"worker {rank}: expected report frame, got {kind:#x}"
+            )
+        return body
+
+    # -- the grant loop ----------------------------------------------------
+
     def run(self) -> ParallelResult:
         plan = self.plan
         duration = self.spec.duration
-        make = _ProcessTransport if self.mode == "mp" else _InlineTransport
+        n = plan.n
+        eager = self.sync_mode == "eager"
         setup_started = perf_counter()
-        transport = make(
-            self.spec, plan, self.scheduler, self.with_obs,
-            telemetry=self.telemetry,
-        )
+        if self.mode == "inline":
+            transport = InlineTransport(
+                self.spec, plan, self.scheduler, self.with_obs,
+                telemetry=self.telemetry,
+            )
+        else:
+            transport = _make_mp_transport(
+                self.spec, plan, self.scheduler, self.with_obs,
+                self.telemetry, self.transport,
+            )
         closure = transitive_lookahead(plan.lookahead, plan.n)
+        diag = [closure.get((rank, rank), inf) for rank in range(n)]
         aggregator = None
         if self.telemetry is not None:
             from repro.obs.aggregate import FleetAggregator
 
             aggregator = FleetAggregator()
         try:
-            reported = transport.initial()
+            reported: list[list[float]] = []
+            for rank in range(n):
+                kind, body = self._recv(transport, rank)
+                if kind != codec.FRAME_READY:  # pragma: no cover - guard
+                    raise SimulationError(
+                        f"worker {rank}: expected ready frame, got {kind:#x}"
+                    )
+                reported.append([body[0]])
             setup_seconds = perf_counter() - setup_started
-            n = plan.n
             pending: list[list[tuple]] = [[] for _ in range(n)]
             finalized = [False] * n
             rounds = 0
+            traces: list[RoundTrace] = []
             started = perf_counter()
             while not all(finalized):
                 pending_min = [
-                    min((rec[0] for rec in bucket), default=inf) for bucket in pending
+                    min((rec[0] for rec in bucket), default=inf)
+                    for bucket in pending
                 ]
-                next_eff = effective_next_times(reported, pending_min)
-                horizons = compute_horizons(next_eff, closure)
-                commands: dict[int, tuple] = {}
-                for rank in range(n):
-                    if finalized[rank]:
-                        continue
-                    if horizons[rank] > duration:
-                        # Nothing external can arrive at or before the
-                        # scenario end: take the final inclusive window.
-                        commands[rank] = (FINAL, pending[rank])
-                        finalized[rank] = True
+                next_eff = effective_next_times(
+                    [times[0] for times in reported], pending_min
+                )
+                if eager:
+                    horizons = compute_horizons(next_eff, closure)
+                    grant_ranks = [r for r in range(n) if not finalized[r]]
+                else:
+                    horizons = grant_ceilings(next_eff, closure)
+                    # Demand-driven: grant only workers that can act —
+                    # dispatchable work below their ceiling, or nothing
+                    # external pending before the scenario end (their
+                    # final inclusive window). Quiet shards are skipped
+                    # outright: no grant, no heartbeat, no frames.
+                    grant_ranks = [
+                        r for r in range(n)
+                        if not finalized[r]
+                        and (horizons[r] > duration or next_eff[r] < horizons[r])
+                    ]
+                    if not grant_ranks:  # pragma: no cover - protocol guard
+                        # Impossible for positive lookaheads: the
+                        # globally earliest worker always clears its own
+                        # ceiling (which excludes its self-echo term).
+                        raise SimulationError(
+                            "conservative sync deadlock: no grantable worker"
+                        )
+                trace = RoundTrace(
+                    round_index=rounds,
+                    next_eff=list(next_eff),
+                    horizons=list(horizons),
+                    mode=self.sync_mode,
+                )
+                for rank in grant_ranks:
+                    final = horizons[rank] > duration
+                    if eager:
+                        ladder = [horizons[rank]]
                     else:
-                        commands[rank] = (horizons[rank], pending[rank])
+                        ladder = build_ladder(
+                            reported[rank], diag[rank], horizons[rank]
+                        )
+                    trace.ladders[rank] = ladder
+                    transport.send_frame(
+                        rank,
+                        codec.encode_grant(ladder, pending[rank], final, eager),
+                    )
                     pending[rank] = []
-                replies = transport.round(commands)
-                rounds += 1
-                for rank, (next_time, exports, _dispatched, snap) in replies.items():
-                    reported[rank] = next_time
-                    if aggregator is not None:
+                    if eager:
+                        finalized[rank] = final
+                for rank in grant_ranks:
+                    next_times, _windows, _dispatched, exports, done, _stall, snap = (
+                        self._recv_report(transport, rank)
+                    )
+                    reported[rank] = next_times
+                    if not eager and done:
+                        finalized[rank] = True
+                    if aggregator is not None and snap is not None:
                         aggregator.ingest(rank, snap)
+                    trace.exports += len(exports)
                     for record in exports:
                         pending[record[3]].append(record)
+                trace.frames = 2 * len(grant_ranks)
+                traces.append(trace)
+                rounds += 1
             # Trailing flush: exports addressed to already-finalized
             # workers necessarily arrive after the scenario end (the
-            # FINAL horizon proof), so they are injected but never
+            # final-window proof), so they are injected but never
             # dispatched — delivered anyway to keep the fleet's
             # proxy-in/out accounting closed.
-            flush = {
-                rank: (FINAL, bucket)
-                for rank, bucket in enumerate(pending)
-                if bucket
-            }
-            for rank, (_h, bucket) in flush.items():
-                early = [rec for rec in bucket if rec[0] <= duration]
+            flush_ranks = [rank for rank in range(n) if pending[rank]]
+            for rank in flush_ranks:
+                early = [rec for rec in pending[rank] if rec[0] <= duration]
                 if early:  # pragma: no cover - protocol invariant guard
                     raise SimulationError(
                         f"late import at t<=duration for finalized worker "
                         f"{rank}: {early[0][:4]}"
                     )
-            if flush:
-                transport.round(flush)
+            if flush_ranks:
+                trace = RoundTrace(
+                    round_index=rounds, mode=self.sync_mode,
+                    frames=2 * len(flush_ranks),
+                )
+                for rank in flush_ranks:
+                    transport.send_frame(
+                        rank,
+                        codec.encode_grant([inf], pending[rank], True, eager),
+                    )
+                    pending[rank] = []
+                for rank in flush_ranks:
+                    *_rest, snap = self._recv_report(transport, rank)
+                    if aggregator is not None and snap is not None:
+                        aggregator.ingest(rank, snap)
+                traces.append(trace)
                 rounds += 1
             wall = perf_counter() - started
-            raw = transport.results()
+            raw = []
+            for rank in range(n):
+                transport.send_frame(rank, codec.RESULT_REQ_FRAME)
+            for rank in range(n):
+                kind, body = self._recv(transport, rank)
+                if kind != codec.FRAME_RESULT:  # pragma: no cover - guard
+                    raise SimulationError(
+                        f"worker {rank}: expected result frame, got {kind:#x}"
+                    )
+                raw.append(body)
+            for rank in range(n):
+                transport.send_frame(rank, codec.EXIT_FRAME)
         except Exception as exc:
             if self.telemetry is not None and self.telemetry.flight_dir:
                 transport.dump_flight(f"error:{type(exc).__name__}: {exc}")
@@ -490,6 +591,9 @@ class ParallelRunner:
             setup_seconds=setup_seconds,
             cores_available=cores,
             warnings=run_warnings,
+            transport=self.transport,
+            sync_mode=self.sync_mode,
+            round_traces=traces,
         )
         result.merged = merge_summaries(summaries)
         if aggregator is not None:

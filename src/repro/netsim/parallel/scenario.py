@@ -190,14 +190,26 @@ def block_storm(
     leave_fraction: float = 0.125,
     leave_window: float = 0.8,
     packets: int = 20,
+    packet_spacing: float = 0.005,
+    burst: int = 1,
+    burst_gap: float = 0.01,
     seed: int = 0,
 ) -> list[tuple]:
     """The ``mega_join_storm`` shape as declarative ops: ``n_subs``
     block joins spread over ``join_window``, a ``leave_fraction`` wave
-    after it, then ``packets`` source datagrams on every channel. The
-    op list is deterministically shuffled (seeded) so scheduler inserts
-    arrive in random time order — in submission order a heap's sift-up
-    degenerates to O(1) and scheduler comparisons measure nothing."""
+    after it, then ``packets`` source datagrams on every channel in
+    bursts of ``burst`` (``burst_gap`` apart inside a burst, bursts
+    ``packet_spacing`` apart). The op list is deterministically shuffled
+    (seeded) so scheduler inserts arrive in random time order — in
+    submission order a heap's sift-up degenerates to O(1) and scheduler
+    comparisons measure nothing.
+
+    The window widths shape the *sync* profile of sharded runs: short
+    join/leave windows plus a wide packet spacing reproduce the paper's
+    single-source regime — a subscription-churn burst that converges,
+    then a long steady-state data phase where only the source shard
+    (and, per packet, the subscribed shards) have work. The defaults
+    keep the original dense shape used by the scheduler benches."""
     n_leaves = int(n_subs * leave_fraction)
     ops: list[tuple] = [
         (base + join_window * i / n_subs, "block_join", i % n_blocks, i % n_channels, 1)
@@ -213,6 +225,8 @@ def block_storm(
     send_base = leave_base + leave_window + 0.2
     for channel_index in range(n_channels):
         ops += [
-            (send_base + 0.005 * k, "send", channel_index) for k in range(packets)
+            (send_base + packet_spacing * (k // burst) + burst_gap * (k % burst),
+             "send", channel_index)
+            for k in range(packets)
         ]
     return ops

@@ -21,6 +21,28 @@ the protocol cannot deadlock.
 These per-report announcements *are* the null messages of the CMB
 protocol — a worker with nothing to send still advances its neighbors'
 horizons by reporting its clock plus lookahead.
+
+Two sync modes share this math. ``eager`` is the lockstep baseline
+described above: every worker, every round, one window per grant.
+``demand`` cuts the message tax: each worker gets a grant *ceiling*
+
+    G_w = min over q != w of (next_eff_q + Lc[q -> w])
+
+over the transitive closure — deliberately excluding the self-echo
+diagonal term, because the worker enforces that bound itself: it
+drains multiple windows ``[s, min(G_w, s + Lc[w, w]))`` locally (s =
+its next pending event time) and reports back only when the ceiling is
+exhausted or it exports a cut-crossing packet. Any export at time
+``t >= s`` can echo back no earlier than ``t + Lc[w, w] >= s +
+Lc[w, w]``, which is at or past the window end — so no window ever
+overruns the knowledge the worker had when granted, and stopping at
+the first export keeps the null messages demand-driven: quiet shards
+simply are not granted (no heartbeats), and a report almost always
+carries payload. The rung ladder a grant carries is the projection of
+those windows from the worker's reported next-k event times — the
+worker recomputes the real windows from live peeks (new events created
+mid-grant only tighten them), the coordinator records the ladder in
+:class:`RoundTrace` for post-mortems.
 """
 
 from __future__ import annotations
@@ -54,6 +76,15 @@ class SyncStats:
     null_messages: int = 0
     lbts_stalls: int = 0
     sync_rounds: int = 0
+    #: Exclusive-horizon simulator windows run. Equal to
+    #: ``sync_rounds`` in eager mode; larger under demand-driven
+    #: grants, where one grant drains several windows.
+    windows: int = 0
+    #: Protocol frames this worker sent/received (grants, reports,
+    #: ready/result/exit — everything on its endpoint). Deterministic
+    #: for a given spec and sync mode, identical across transports.
+    frames_sent: int = 0
+    frames_received: int = 0
     proxy_packets_out: int = 0
     proxy_bytes_out: int = 0
     proxy_packets_in: int = 0
@@ -72,6 +103,9 @@ class SyncStats:
             "null_messages": self.null_messages,
             "lbts_stalls": self.lbts_stalls,
             "sync_rounds": self.sync_rounds,
+            "windows": self.windows,
+            "frames_sent": self.frames_sent,
+            "frames_received": self.frames_received,
             "proxy_packets_out": self.proxy_packets_out,
             "proxy_bytes_out": self.proxy_bytes_out,
             "proxy_packets_in": self.proxy_packets_in,
@@ -80,7 +114,9 @@ class SyncStats:
 
     @property
     def null_message_ratio(self) -> float:
-        """Fraction of sync rounds that carried no exports."""
+        """Fraction of reports that were pure clock announcements —
+        neither exports nor dispatched work (the literal CMB null
+        message)."""
         return self.null_messages / self.sync_rounds if self.sync_rounds else 0.0
 
     def phase_seconds(self) -> dict[str, float]:
@@ -125,6 +161,9 @@ def merge_sync_stats(stats: list[SyncStats]) -> dict[str, int]:
         "null_messages": 0,
         "lbts_stalls": 0,
         "sync_rounds": 0,
+        "windows": 0,
+        "frames_sent": 0,
+        "frames_received": 0,
         "proxy_packets": 0,
         "proxy_bytes": 0,
     }
@@ -132,9 +171,32 @@ def merge_sync_stats(stats: list[SyncStats]) -> dict[str, int]:
         totals["null_messages"] += s.null_messages
         totals["lbts_stalls"] += s.lbts_stalls
         totals["sync_rounds"] += s.sync_rounds
+        totals["windows"] += s.windows
+        totals["frames_sent"] += s.frames_sent
+        totals["frames_received"] += s.frames_received
         totals["proxy_packets"] += s.proxy_packets_out
         totals["proxy_bytes"] += s.proxy_bytes_out
     return totals
+
+
+def message_stats(stats: list[SyncStats], events: int) -> dict[str, float]:
+    """Host-independent sync-message economics.
+
+    ``sync_messages_per_event`` — total protocol frames the fleet
+    moved (both directions) per dispatched event: the metric the
+    multi-window/demand-driven work is gated on, meaningful even on
+    ``cores_limited`` hosts where wall-clock speedup is not.
+    ``frames_per_round`` — frames per sync round (grant + report + any
+    control traffic amortized); eager mode sits at ~2, coalescing
+    keeps demand mode there too while rounds themselves collapse.
+    """
+    frames = sum(s.frames_sent + s.frames_received for s in stats)
+    rounds = sum(s.sync_rounds for s in stats)
+    return {
+        "frames_total": frames,
+        "sync_messages_per_event": frames / events if events else 0.0,
+        "frames_per_round": frames / rounds if rounds else 0.0,
+    }
 
 
 def merge_phase_stats(stats: list[SyncStats]) -> dict:
@@ -259,11 +321,87 @@ def compute_horizons(
     return horizons
 
 
+def grant_ceilings(
+    next_eff: list[float], lookahead: dict[tuple[int, int], float]
+) -> list[float]:
+    """Per-worker grant ceilings for demand-driven sync.
+
+    Like :func:`compute_horizons` but *excluding* the diagonal
+    ``(w, w)`` closure term: the self-echo bound depends on the
+    worker's own future dispatch times, which only the worker knows
+    mid-grant — so it enforces that bound itself by capping each
+    internal window at ``s + Lc[w, w]`` and stopping at the first
+    export. Everything the coordinator can soundly promise from the
+    *other* workers' effective next times is in the ceiling. Cached
+    (possibly stale) reports are safe inputs: a worker's dispatch
+    times only move forward, so an old report is still a lower bound.
+    """
+    n = len(next_eff)
+    ceilings = [inf] * n
+    for (src, dst), delay in lookahead.items():
+        if src == dst:
+            continue
+        bound = next_eff[src] + delay
+        if bound < ceilings[dst]:
+            ceilings[dst] = bound
+    return ceilings
+
+
+def build_ladder(
+    next_times: list[float], self_delay: float, ceiling: float
+) -> list[float]:
+    """The horizon rungs a demand grant carries: the projection of the
+    worker's export-capped windows from its reported next-k event
+    times. Rung i is ``min(ceiling, next_times[i] + self_delay)``;
+    rungs are deduped ascending and the final rung is always the
+    ceiling, so ``ladder[-1]`` is the authoritative bound and the
+    earlier rungs are the predicted intermediate window ends (recorded
+    in :class:`RoundTrace`; the worker recomputes the real windows
+    from live peeks, which new mid-grant events can only tighten)."""
+    rungs: list[float] = []
+    for when in next_times:
+        rung = when + self_delay
+        if rung >= ceiling:
+            break
+        if not rungs or rung > rungs[-1]:
+            rungs.append(rung)
+    rungs.append(ceiling)
+    return rungs
+
+
 @dataclass
 class RoundTrace:
-    """One coordinator round, for the sync unit tests and debugging."""
+    """One coordinator scheduling round, for the sync unit tests,
+    flight-recorder dumps, and ``repro.obs diff`` post-mortems."""
 
     round_index: int
     next_eff: list[float] = field(default_factory=list)
     horizons: list[float] = field(default_factory=list)
     exports: int = 0
+    #: Rank -> granted horizon ladder this round (demand mode; eager
+    #: grants are single-rung ladders).
+    ladders: dict[int, list[float]] = field(default_factory=dict)
+    #: Protocol frames exchanged this round (grants + reports).
+    frames: int = 0
+    mode: str = "eager"
+
+    def as_dict(self) -> dict:
+        """JSON-safe record (inf encoded as None for jsonl dumps)."""
+
+        def scrub(value):
+            if isinstance(value, float) and value == inf:
+                return None
+            return value
+
+        return {
+            "round_index": self.round_index,
+            "next_eff": [scrub(v) for v in self.next_eff],
+            "horizons": [scrub(v) for v in self.horizons],
+            "exports": self.exports,
+            "ladders": {
+                str(rank): [scrub(v) for v in ladder]
+                for rank, ladder in self.ladders.items()
+            },
+            "frames": self.frames,
+            "mode": self.mode,
+        }

@@ -3,11 +3,17 @@
 A :class:`PartitionWorker` builds the *full* scenario (identical
 topology, addresses, interface indices, channel suffixes everywhere),
 starts agents only for its owned nodes, installs capture hooks on cut
-links, and then alternates between lookahead-bounded simulator windows
-and export/import exchanges with the coordinator. It is process-
-agnostic: the mp runner hosts one per child process via
-:func:`worker_main`; the inline runner drives the same objects in a
-single process (1-CPU test environments, debugging).
+links, and then serves horizon *grants* from the coordinator: each
+grant carries a ladder of horizons plus pending imports, the worker
+drains one window (eager mode) or as many export-capped windows as
+the grant ceiling allows (demand mode), and replies with one
+coalesced report frame — exports, window/dispatch counters, its
+next-k event times, and optionally a telemetry snapshot, all in a
+single message. It is process-agnostic: the mp runner hosts one per
+child process via :func:`worker_main` speaking frames over a
+:mod:`~repro.netsim.parallel.transport` endpoint; the inline runner
+routes the *same encoded frames* through :func:`serve_frame` in a
+single process, so frame counts and codec coverage are identical.
 
 Determinism: imports are injected sorted by ``(arrival_time,
 src_rank, export_seq)`` before each window, and injected delivery
@@ -19,24 +25,23 @@ exactly.
 from __future__ import annotations
 
 import os
+import pickle
 from dataclasses import dataclass
 from math import inf
 from time import perf_counter
 from typing import Optional
 
 from repro.netsim.engine import PhaseProfiler, derive_seed
+from repro.netsim.parallel import codec
 from repro.netsim.parallel.codec import decode_packet, encode_packet
 from repro.netsim.parallel.partition import PartitionPlan
 from repro.netsim.parallel.scenario import ScenarioSpec, build, schedule_ops
-from repro.netsim.parallel.sync import SyncStats
+from repro.netsim.parallel.sync import SyncStats, transitive_lookahead
+from repro.netsim.parallel.transport import connect_endpoint
 
-#: Coordinator commands over the pipe.
-CMD_ROUND = "round"
-CMD_RESULT = "result"
-CMD_EXIT = "exit"
-
-#: Horizon sentinel: run the final inclusive window to the scenario end.
-FINAL = None
+#: How many upcoming event times a worker reports per grant — the
+#: coordinator's raw material for the next grant's horizon ladder.
+LADDER_K = 4
 
 #: Metric-family prefixes excluded from equivalence snapshots: the
 #: wall-clock families (event timing, SPF timing — plus the per-process
@@ -107,7 +112,15 @@ class PartitionWorker:
         self.obs = obs
         self.net, self.channels, self.blocks = build(spec, scheduler=scheduler, obs=obs)
         self.sim = self.net.sim
-        self._rounds_since_snapshot = 0
+        #: Smallest cut cycle back to this partition (the transitive
+        #: closure's diagonal): the worker's own export at time t can
+        #: echo back no earlier than ``t + self_delay``, which is what
+        #: lets it run multiple windows inside one demand grant — each
+        #: window is capped at ``next_event + self_delay``, so no
+        #: window can overrun an echo of an export it just made.
+        closure = transitive_lookahead(plan.lookahead, plan.n)
+        self.self_delay = closure.get((rank, rank), inf)
+        self._windows_since_snapshot = 0
         if telemetry is not None:
             from repro.obs.convergence import ConvergenceMonitor
             from repro.obs.flightrecorder import FlightRecorder
@@ -197,56 +210,123 @@ class PartitionWorker:
                 name=f"deliver:{packet.proto}",
             )
 
-    # -- sync rounds -------------------------------------------------------
+    # -- sync grants -------------------------------------------------------
 
     def next_time(self) -> float:
         when = self.sim.peek_time()
         return when if when is not None else inf
 
-    def run_round(
-        self, horizon: Optional[float], imports: list[tuple]
-    ) -> tuple[float, list[tuple], int, Optional[dict]]:
-        """One coordinator round: inject, run the window, report.
+    def next_times(self, k: int = LADDER_K) -> list[float]:
+        """Next-k pending event times for the report frame (``[inf]``
+        when the queue is dry — a report always carries at least the
+        effective next-event announcement)."""
+        times = self.sim.peek_times(k)
+        return times if times else [inf]
 
-        ``horizon=None`` (:data:`FINAL`) runs the inclusive window to
-        the scenario end. Returns ``(next_time, exports, dispatched,
-        telemetry)`` where ``telemetry`` is a cumulative snapshot dict
-        every ``TelemetryConfig.snapshot_every`` rounds and None
-        otherwise.
+    def run_grant(
+        self,
+        ladder: list[float],
+        imports: list[tuple],
+        final: bool,
+        eager: bool,
+    ) -> tuple[list[float], int, int, list[tuple], bool, bool, Optional[dict]]:
+        """Serve one coordinator grant: inject, drain windows, report.
+
+        ``ladder[-1]`` is the authoritative grant ceiling. Eager mode
+        runs exactly one exclusive window to it (the PR-7 lockstep
+        baseline; ``final`` runs the inclusive window to the scenario
+        end instead). Demand mode drains windows ``[s, min(ceiling,
+        s + self_delay))`` until the ceiling is exhausted — or stops at
+        the first window that exported, because past that window's end
+        an echo of its own export could land. A ``final`` demand grant
+        (ceiling past the scenario end) finishes with the inclusive
+        window once every remaining window end clears the duration;
+        if an export interrupts it first, the report says *not*
+        finalized and the coordinator re-grants after the export has
+        been heard by its destination.
+
+        Returns ``(next_times, windows, dispatched, exports,
+        finalized, stalled, telemetry)``.
         """
         started = perf_counter() if self.telemetry is not None else 0.0
         self._inject(imports)
-        before = self.sim.events_processed
-        if horizon is FINAL:
-            self.sim.run(until=self.spec.duration)
+        sim = self.sim
+        before = sim.events_processed
+        duration = self.spec.duration
+        diag = self.self_delay
+        ceiling = ladder[-1] if ladder else inf
+        windows = 0
+        finalized = False
+        if eager:
+            if final:
+                sim.run(until=duration)
+                finalized = True
+            else:
+                sim.run(until=ceiling, inclusive=False)
+            windows = 1
+        elif final:
+            finalized = True
+            while True:
+                when = sim.peek_time()
+                if when is None or when + diag > duration:
+                    # Any export from here echoes past the scenario
+                    # end: the inclusive final window is safe.
+                    sim.run(until=duration)
+                    windows += 1
+                    break
+                sim.run(until=when + diag, inclusive=False)
+                windows += 1
+                if self.exports:
+                    finalized = False
+                    break
         else:
-            self.sim.run(until=horizon, inclusive=False)
-        dispatched = self.sim.events_processed - before
+            while True:
+                when = sim.peek_time()
+                if when is None or when >= ceiling:
+                    break
+                end = min(ceiling, when + diag)
+                sim.run(until=end, inclusive=False)
+                windows += 1
+                if self.exports:
+                    break
+        dispatched = sim.events_processed - before
         self.stats.sync_rounds += 1
+        self.stats.windows += windows
         exports = self.exports
         self.exports = []
-        if not exports:
+        if not exports and dispatched == 0:
+            # A CMB null message carries nothing but a clock bound. A
+            # report that dispatched local work (or shipped packets) is
+            # payload, not tax, even when no packet crossed the cut.
             self.stats.null_messages += 1
             if self.sync_metrics is not None:
                 self.sync_metrics.null_message()
-        nxt = self.next_time()
-        if dispatched == 0 and nxt <= self.spec.duration:
+        next_times = self.next_times()
+        stalled = dispatched == 0 and next_times[0] <= duration
+        if stalled:
             self.stats.lbts_stalls += 1
             if self.sync_metrics is not None:
                 self.sync_metrics.lbts_stall()
         if self.sync_metrics is not None:
-            self.sync_metrics.sync_round()
+            self.sync_metrics.sync_round(windows)
         telemetry = None
         if self.telemetry is not None:
-            self._rounds_since_snapshot += 1
+            self._windows_since_snapshot += windows
             every = self.telemetry.snapshot_every
-            if every and self._rounds_since_snapshot >= every:
-                self._rounds_since_snapshot = 0
+            if every and self._windows_since_snapshot >= every:
+                self._windows_since_snapshot = 0
                 telemetry = self.telemetry_snapshot()
             # Accumulated after the snapshot so the *accounting* phase
             # (registry dump) stays inside the worker's total.
             self.stats.wall_total += perf_counter() - started
-        return nxt, exports, dispatched, telemetry
+        return (
+            next_times, windows, dispatched, exports, finalized, stalled,
+            telemetry,
+        )
+
+    def ready_frame(self) -> bytes:
+        self.stats.frames_sent += 1
+        return codec.encode_ready(self.next_time(), self.ops_scheduled)
 
     # -- results -----------------------------------------------------------
 
@@ -282,6 +362,11 @@ class PartitionWorker:
             return None
         max_samples = None if final else self.telemetry.max_samples
         convergence = self.obs.convergence
+        if final and self.sync_metrics is not None:
+            # Publish phase/frame gauges *before* the dump below so
+            # their values ride the final registry snapshot.
+            self._sync_phase_stats()
+            self.sync_metrics.set_phases(self.stats)
         # The registry dump runs every collector (vectorized counter
         # banks flushing into metric families included) — that wall
         # time is the *accounting* phase.
@@ -291,8 +376,6 @@ class PartitionWorker:
         if profiler is not None:
             profiler.accounting_seconds += perf_counter() - started
         self._sync_phase_stats()
-        if final and self.sync_metrics is not None:
-            self.sync_metrics.set_phases(self.stats)
         return {
             "shard": self.rank,
             "final": final,
@@ -368,14 +451,64 @@ def extract_summary(net, channels, blocks, owned=None, obs=None) -> dict:
     }
 
 
-def worker_main(conn, spec, plan, rank, scheduler, with_obs, telemetry=None) -> None:
-    """Child-process entry: build the partition, then serve rounds.
+def serve_frame(worker: PartitionWorker, frame: bytes) -> tuple[Optional[bytes], bool]:
+    """Handle one coordinator frame; returns ``(reply, exit)``.
 
-    With telemetry on, time blocked in ``conn.recv()`` is charged to
-    the ``sync_wait`` phase (that is where LBTS/barrier waiting
-    manifests in a child process), and an armed flight recorder dumps
-    its ring on any error or signal before the failure propagates.
+    The single dispatch point both execution modes share: mp children
+    call it from :func:`worker_main`, the inline runner calls it
+    directly with the same encoded bytes — which is what makes frame
+    counts and codec coverage identical across transports. A grant's
+    reply coalesces everything the coordinator needs (exports, window
+    and dispatch counters, next-k times, optional telemetry snapshot)
+    into one report frame.
     """
+    kind, body = codec.decode_frame(frame)
+    if kind == codec.FRAME_GRANT:
+        worker.stats.frames_received += 1
+        ladder, imports, final, eager = body
+        next_times, windows, dispatched, exports, finalized, stalled, snap = (
+            worker.run_grant(ladder, imports, final, eager)
+        )
+        blob = None
+        if snap is not None:
+            blob = pickle.dumps(snap, protocol=pickle.HIGHEST_PROTOCOL)
+        worker.stats.frames_sent += 1
+        return (
+            codec.encode_report(
+                next_times, windows, dispatched, exports, finalized,
+                stalled, telemetry=blob,
+            ),
+            False,
+        )
+    if kind == codec.FRAME_RESULT_REQ:
+        return (
+            codec.encode_result((
+                worker.summary(),
+                worker.stats,
+                worker.telemetry_snapshot(final=True),
+            )),
+            False,
+        )
+    if kind == codec.FRAME_EXIT:
+        return None, True
+    raise RuntimeError(  # pragma: no cover - protocol bug guard
+        f"unexpected frame kind {kind:#x}"
+    )
+
+
+def worker_main(
+    endpoint_descriptor, spec, plan, rank, scheduler, with_obs, telemetry=None
+) -> None:
+    """Child-process entry: build the partition, then serve frames.
+
+    With telemetry on, time blocked waiting for the next frame is
+    charged to the ``sync_wait`` phase (that is where LBTS/grant
+    waiting manifests in a child process — including the long quiet
+    stretches demand-driven sync leaves a shard parked in), and an
+    armed flight recorder dumps its ring on any error or signal before
+    the failure propagates.
+    """
+    endpoint = connect_endpoint(endpoint_descriptor)
     worker = None
     try:
         worker = PartitionWorker(
@@ -384,31 +517,21 @@ def worker_main(conn, spec, plan, rank, scheduler, with_obs, telemetry=None) -> 
         )
         if worker.flight is not None:
             worker.flight.install_signal_handlers(telemetry.flight_path(rank))
-        conn.send(("ready", worker.next_time(), worker.ops_scheduled))
+        endpoint.send(worker.ready_frame())
         timed = telemetry is not None
         while True:
             if timed:
                 waited_from = perf_counter()
-                command = conn.recv()
+                frame = endpoint.recv()
                 waited = perf_counter() - waited_from
                 worker.stats.wall_sync_wait += waited
                 worker.stats.wall_total += waited
             else:
-                command = conn.recv()
-            kind = command[0]
-            if kind == CMD_ROUND:
-                _, horizon, imports = command
-                conn.send(worker.run_round(horizon, imports))
-            elif kind == CMD_RESULT:
-                conn.send((
-                    worker.summary(),
-                    worker.stats,
-                    worker.telemetry_snapshot(final=True),
-                ))
-            elif kind == CMD_EXIT:
+                frame = endpoint.recv()
+            reply, done = serve_frame(worker, frame)
+            if done:
                 break
-            else:  # pragma: no cover - protocol bug guard
-                raise RuntimeError(f"unknown command {kind!r}")
+            endpoint.send(reply)
     except Exception as exc:  # surface the failure to the coordinator
         if worker is not None and worker.flight is not None:
             try:
@@ -419,9 +542,9 @@ def worker_main(conn, spec, plan, rank, scheduler, with_obs, telemetry=None) -> 
             except Exception:  # pragma: no cover - disk trouble
                 pass
         try:
-            conn.send(("error", f"{type(exc).__name__}: {exc}"))
-        except Exception:  # pragma: no cover - pipe already closed
+            endpoint.send(codec.encode_error(f"{type(exc).__name__}: {exc}"))
+        except Exception:  # pragma: no cover - transport already down
             pass
         raise
     finally:
-        conn.close()
+        endpoint.close()

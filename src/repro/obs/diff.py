@@ -31,6 +31,13 @@ LOWER_IS_BETTER = (
     "latency",
     "rss",
     "null_message",
+    # Sync-tax economics (bench schema v7): frames on the wire per
+    # useful event are overhead, as is the demand run's own null
+    # ratio. (The ``*_reduction`` ratios land in the benefit table —
+    # they never match here because no cost fragment appears in them.)
+    "messages_per_event",
+    "frames_per_round",
+    "demand_null",
     "no_match_drops",
     "sync_wait",
     "idle",

@@ -236,6 +236,8 @@ class SyncMetrics:
         "_import_bytes",
         "_import_packets",
         "_rounds",
+        "_windows",
+        "_frames",
         "_phase_seconds",
         "_events_per_sec",
         "_null_ratio",
@@ -277,8 +279,20 @@ class SyncMetrics:
         )
         self._rounds = registry.counter(
             "parallel_sync_rounds_total",
-            "Conservative-sync rounds executed by a partition worker",
+            "Conservative-sync rounds (grants served) by a partition worker",
             ("partition",),
+        )
+        self._windows = registry.counter(
+            "parallel_sync_windows_total",
+            "Exclusive-horizon simulator windows drained by a partition "
+            "worker (> rounds under multi-window demand grants)",
+            ("partition",),
+        )
+        self._frames = registry.counter(
+            "parallel_sync_frames_total",
+            "Protocol frames a partition worker exchanged with the "
+            "coordinator, by direction",
+            ("partition", "direction"),
         )
         self._phase_seconds = registry.gauge(
             "parallel_phase_seconds",
@@ -293,7 +307,8 @@ class SyncMetrics:
         )
         self._null_ratio = registry.gauge(
             "parallel_null_message_ratio",
-            "Fraction of a worker's sync rounds that carried no exports",
+            "Fraction of a worker's reports that were pure clock "
+            "announcements (no exports, no dispatched work)",
             ("partition",),
         )
 
@@ -311,12 +326,14 @@ class SyncMetrics:
         self._import_packets.labels(partition=self.partition).inc()
         self._import_bytes.labels(partition=self.partition).inc(size)
 
-    def sync_round(self) -> None:
+    def sync_round(self, windows: int = 1) -> None:
         self._rounds.labels(partition=self.partition).inc()
+        self._windows.labels(partition=self.partition).inc(windows)
 
     def set_phases(self, stats: "SyncStats") -> None:  # noqa: F821
-        """Publish a worker's phase accounting as gauges (called when
-        the worker finalizes its telemetry)."""
+        """Publish a worker's phase accounting as gauges, and flush the
+        frame counters accumulated in the sync stats (called when the
+        worker finalizes its telemetry)."""
         for phase, seconds in stats.phase_seconds().items():
             self._phase_seconds.labels(
                 partition=self.partition, phase=phase
@@ -327,6 +344,12 @@ class SyncMetrics:
         self._null_ratio.labels(partition=self.partition).set(
             stats.null_message_ratio
         )
+        sent = self._frames.labels(partition=self.partition, direction="sent")
+        received = self._frames.labels(
+            partition=self.partition, direction="received"
+        )
+        sent.inc(stats.frames_sent - sent.value)
+        received.inc(stats.frames_received - received.value)
 
 
 def attach_topology(topo: "Topology", obs: Observability) -> Observability:

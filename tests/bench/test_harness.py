@@ -130,14 +130,14 @@ class TestCli:
 
 
 class TestParallelScenario:
-    """Schema v4: the sharded mega storm and its summary fields."""
+    """Schema v4 (sharded mega storm) + v7 (sync-tax economics)."""
 
     def test_scenario_fields(self, quick_report):
         parallel = quick_report["scenarios"]["mega_join_storm_parallel"]
         assert parallel["equivalent_to_single_process"] is True
         assert parallel["partition_speedup"] > 0
-        assert parallel["params"]["workers"] == 2
-        assert parallel["partition_plan"]["partitions"] == 2
+        assert parallel["params"]["workers"] == 4
+        assert parallel["partition_plan"]["partitions"] == 4
         assert parallel["partition_plan"]["min_lookahead"] > 0
         assert parallel["sync_rounds"] > 0
         assert parallel["sync"]["proxy_packets"] > 0
@@ -146,11 +146,39 @@ class TestParallelScenario:
         single = parallel["single_process"]
         assert single["sim_events"] == parallel["sim_events"]
 
+    def test_sync_tax_fields(self, quick_report):
+        # Schema v7: the timed pass runs the demand protocol and an
+        # eager lockstep baseline yields the host-independent
+        # reduction ratios CI gates on.
+        parallel = quick_report["scenarios"]["mega_join_storm_parallel"]
+        assert parallel["transport"] in {"shm", "pipe"}
+        assert parallel["sync_mode"] == "demand"
+        assert parallel["sync_messages_per_event"] > 0
+        assert parallel["frames_per_round"] >= 2.0
+        baseline = parallel["sync_baseline"]
+        assert baseline["sync_mode"] == "eager"
+        # Same protocol work, fewer frames: the reductions are exact
+        # frame-count ratios, not wall-clock measurements.
+        assert parallel["null_ratio_reduction"] > 1.0
+        assert parallel["sync_message_reduction"] > 1.0
+        assert parallel["demand_null_ratio"] <= baseline["null_message_ratio"]
+        assert baseline["sync"]["proxy_packets"] == (
+            parallel["sync"]["proxy_packets"]
+        )
+
     def test_summary_fields(self, quick_report):
         parallel = quick_report["scenarios"]["mega_join_storm_parallel"]
         summary = quick_report["summary"]
         assert summary["partition_speedup"] == parallel["partition_speedup"]
-        assert summary["partition_workers"] == 2
+        assert summary["partition_workers"] == 4
+        assert summary["transport"] == parallel["transport"]
+        assert summary["sync_mode"] == "demand"
+        assert summary["null_ratio_reduction"] == (
+            parallel["null_ratio_reduction"]
+        )
+        assert summary["sync_message_reduction"] == (
+            parallel["sync_message_reduction"]
+        )
 
 
 def fake_report(**summary) -> dict:
@@ -163,6 +191,8 @@ def fake_report(**summary) -> dict:
         "mega_events_per_sec": 2e6,
         "partition_speedup": 2.0,
         "sync_efficiency": 0.9,
+        "null_ratio_reduction": 10.0,
+        "sync_message_reduction": 3.5,
     }
     base.update(summary)
     return {"summary": base}

@@ -6,6 +6,8 @@ runner mechanics: both transports, sync accounting, merge rules, and
 the equivalence checker itself.
 """
 
+import os
+
 import pytest
 
 from repro.errors import SimulationError
@@ -51,7 +53,13 @@ class TestInline:
 
     def test_sync_totals_shape(self, inline_result):
         totals = inline_result.sync_totals()
-        assert totals["sync_rounds"] >= 2 * inline_result.rounds - 1
+        # Every coordinator round grants at least one worker, and each
+        # grant drains at least one window.
+        assert totals["sync_rounds"] >= inline_result.rounds
+        assert totals["windows"] >= totals["sync_rounds"]
+        # Per worker: one READY frame plus one report per grant.
+        assert totals["frames_sent"] == totals["sync_rounds"] + inline_result.plan.n
+        assert totals["frames_received"] == totals["sync_rounds"]
         assert totals["proxy_packets"] > 0
 
 
@@ -145,3 +153,103 @@ class TestMergeAndCompare:
         missing["obs_counters"] = {("y", ()): 1}
         with pytest.raises(AssertionError, match="families"):
             assert_equivalent(base, missing)
+
+
+class TestSyncModesAndTransports:
+    def test_eager_mode_matches_oracle_with_more_messages(
+        self, oracle, inline_result
+    ):
+        from .conftest import make_small_spec
+
+        eager = ParallelRunner(
+            make_small_spec(), 2, mode="inline", sync_mode="eager"
+        ).run()
+        assert_equivalent(eager.merged, oracle)
+        assert eager.sync_mode == "eager"
+        # Demand-driven sync must strictly beat the lockstep baseline
+        # on both null messages and total frames.
+        demand_totals = inline_result.sync_totals()
+        eager_totals = eager.sync_totals()
+        assert demand_totals["null_messages"] < eager_totals["null_messages"]
+        assert demand_totals["frames_sent"] < eager_totals["frames_sent"]
+        # Eager grants every worker every round: one window per grant.
+        assert eager_totals["windows"] == eager_totals["sync_rounds"]
+
+    def test_message_totals_shape(self, inline_result):
+        totals = inline_result.message_totals()
+        assert totals["frames_total"] == (
+            inline_result.sync_totals()["frames_sent"]
+            + inline_result.sync_totals()["frames_received"]
+        )
+        assert totals["sync_messages_per_event"] > 0
+        assert totals["frames_per_round"] > 0
+
+    def test_round_traces_recorded(self, inline_result):
+        traces = inline_result.round_traces
+        assert len(traces) == inline_result.rounds
+        assert all(t.mode == "demand" for t in traces)
+        assert sum(t.frames for t in traces) > 0
+        granted = [t for t in traces if t.ladders]
+        assert granted
+        for trace in granted:
+            for rank, ladder in trace.ladders.items():
+                # The authoritative bound is the last rung.
+                assert ladder == sorted(ladder)
+                assert ladder[-1] == trace.horizons[rank] or trace.horizons[
+                    rank
+                ] > inline_result.plan.lookahead.get((rank, rank), 0)
+        # Traces serialize for the CI post-mortem dump.
+        import json
+
+        json.dumps([t.as_dict() for t in traces])
+
+    @pytest.mark.parametrize("transport", ["pipe", "shm"])
+    def test_mp_transports_match_inline_exactly(
+        self, oracle, inline_result, transport
+    ):
+        from .conftest import make_small_spec
+
+        result = ParallelRunner(
+            make_small_spec(), 2, mode="mp", transport=transport
+        ).run()
+        assert result.transport == transport
+        assert_equivalent(result.merged, oracle)
+        assert result.merged == inline_result.merged
+        assert [s.as_dict() for s in result.sync] == [
+            s.as_dict() for s in inline_result.sync
+        ]
+        assert result.rounds == inline_result.rounds
+
+    def test_env_override_selects_transport(self, monkeypatch, small_spec):
+        monkeypatch.setenv("REPRO_TRANSPORT", "pipe")
+        runner = ParallelRunner(small_spec, 2, mode="mp")
+        assert runner.transport == "pipe"
+        monkeypatch.delenv("REPRO_TRANSPORT")
+        assert ParallelRunner(small_spec, 2, mode="mp").transport == "shm"
+
+    def test_unknown_sync_mode_rejected(self, small_spec):
+        with pytest.raises(SimulationError, match="unknown sync mode"):
+            ParallelRunner(small_spec, 2, sync_mode="optimistic")
+
+    def test_worker_crash_raises_not_hangs(self, monkeypatch):
+        # A worker that dies without sending an error frame must
+        # surface as a transport error (subclass of SimulationError),
+        # not a hang: the ring's liveness probe catches it.
+        from .conftest import make_small_spec
+
+        import repro.netsim.parallel.worker as worker_mod
+
+        original = worker_mod.PartitionWorker.run_grant
+
+        def dying_grant(self, ladder, imports, final, eager):
+            if self.rank == 1 and self.sim.events_processed > 0:
+                os._exit(3)
+            return original(self, ladder, imports, final, eager)
+
+        monkeypatch.setattr(
+            worker_mod.PartitionWorker, "run_grant", dying_grant
+        )
+        with pytest.raises(SimulationError):
+            ParallelRunner(
+                make_small_spec(), 2, mode="mp", transport="shm"
+            ).run()

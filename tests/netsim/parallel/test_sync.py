@@ -4,9 +4,12 @@
 from math import inf, isclose
 
 from repro.netsim.parallel.sync import (
+    RoundTrace,
     SyncStats,
+    build_ladder,
     compute_horizons,
     effective_next_times,
+    grant_ceilings,
     merge_sync_stats,
     transitive_lookahead,
 )
@@ -81,9 +84,11 @@ class TestSyncStats:
     def test_merge_totals(self):
         stats = [
             SyncStats(rank=0, null_messages=2, lbts_stalls=1, sync_rounds=5,
+                      windows=8, frames_sent=6, frames_received=5,
                       proxy_packets_out=3, proxy_bytes_out=100,
                       proxy_packets_in=1, proxy_bytes_in=40),
             SyncStats(rank=1, null_messages=1, sync_rounds=5,
+                      windows=5, frames_sent=6, frames_received=5,
                       proxy_packets_out=1, proxy_bytes_out=40,
                       proxy_packets_in=3, proxy_bytes_in=100),
         ]
@@ -92,6 +97,9 @@ class TestSyncStats:
             "null_messages": 3,
             "lbts_stalls": 1,
             "sync_rounds": 10,
+            "windows": 13,
+            "frames_sent": 12,
+            "frames_received": 10,
             "proxy_packets": 4,
             "proxy_bytes": 140,
         }
@@ -100,3 +108,60 @@ class TestSyncStats:
         stats = SyncStats(rank=3, null_messages=7)
         d = stats.as_dict()
         assert d["rank"] == 3 and d["null_messages"] == 7
+
+
+class TestGrantCeilings:
+    def test_excludes_diagonal(self):
+        closure = {(0, 0): 2.0, (0, 1): 1.0, (1, 0): 1.0, (1, 1): 2.0}
+        ceilings = grant_ceilings([0.0, 10.0], closure)
+        # Rank 0's ceiling comes only from rank 1 (10 + 1), never its
+        # own 0 + 2 self-echo term (the worker enforces that locally).
+        assert ceilings == [11.0, 1.0]
+
+    def test_matches_horizons_without_diagonal(self):
+        closure = transitive_lookahead({(0, 1): 0.5, (1, 0): 0.25}, 2)
+        next_eff = [3.0, 4.0]
+        ceilings = grant_ceilings(next_eff, closure)
+        assert ceilings == [4.25, 3.5]
+        # compute_horizons folds the diagonal in, so it can only be
+        # tighter than the ceiling.
+        horizons = compute_horizons(next_eff, closure)
+        assert all(h <= c for h, c in zip(horizons, ceilings))
+
+    def test_idle_peers_leave_inf(self):
+        assert grant_ceilings([inf, inf], {(0, 1): 1.0, (1, 0): 1.0}) == [
+            inf,
+            inf,
+        ]
+
+
+class TestBuildLadder:
+    def test_rungs_project_export_capped_windows(self):
+        ladder = build_ladder([1.0, 2.0, 6.0], 0.5, 4.0)
+        assert ladder == [1.5, 2.5, 4.0]
+
+    def test_last_rung_is_always_the_ceiling(self):
+        assert build_ladder([], 0.5, 4.0) == [4.0]
+        assert build_ladder([9.0], 0.5, 4.0) == [4.0]
+        assert build_ladder([1.0], inf, 4.0) == [4.0]
+
+    def test_rungs_dedupe_and_stay_ascending(self):
+        ladder = build_ladder([1.0, 1.0, 1.2], 0.5, 9.0)
+        assert ladder == [1.5, 1.7, 9.0]
+        assert ladder == sorted(set(ladder))
+
+
+class TestRoundTrace:
+    def test_as_dict_scrubs_inf(self):
+        trace = RoundTrace(
+            round_index=3, next_eff=[1.0, inf], horizons=[inf, 2.0],
+            ladders={0: [1.5, inf]}, frames=4, mode="demand",
+        )
+        d = trace.as_dict()
+        assert d["next_eff"] == [1.0, None]
+        assert d["horizons"] == [None, 2.0]
+        assert d["ladders"]["0"] == [1.5, None]
+        assert d["mode"] == "demand" and d["frames"] == 4
+        import json
+
+        json.dumps(d)  # strictly JSON-serializable

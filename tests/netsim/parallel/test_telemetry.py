@@ -115,15 +115,15 @@ def test_flight_recorder_dumps_on_worker_error(tmp_path, monkeypatch):
     reason, then the ring of recent events."""
     import repro.netsim.parallel.worker as worker_mod
 
-    original = worker_mod.PartitionWorker.run_round
+    original = worker_mod.PartitionWorker.run_grant
 
-    def failing_round(self, horizon, imports):
-        result = original(self, horizon, imports)
+    def failing_grant(self, ladder, imports, final, eager):
+        result = original(self, ladder, imports, final, eager)
         if self.rank == 1 and self.sim.events_processed > 0:
             raise RuntimeError("induced mid-run failure")
         return result
 
-    monkeypatch.setattr(worker_mod.PartitionWorker, "run_round", failing_round)
+    monkeypatch.setattr(worker_mod.PartitionWorker, "run_grant", failing_grant)
     with pytest.raises(RuntimeError, match="induced mid-run failure"):
         _telemetered(
             make_small_spec(), "inline",

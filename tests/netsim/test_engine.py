@@ -485,3 +485,66 @@ class TestSeedingContract:
         assert [a.rng.random() for _ in range(4)] != [
             b.rng.random() for _ in range(4)
         ]
+
+
+class TestPeekTimes:
+    """``peek_times(k)``: the k earliest pending timestamps without
+    disturbing the queue — the worker's next-k report for demand-sync
+    horizon ladders."""
+
+    def test_sorted_prefix_of_pending(self):
+        sim = Simulator()
+        for when in (5.0, 1.0, 3.0, 2.0, 4.0):
+            sim.schedule(when, lambda: None)
+        assert sim.peek_times(3) == [1.0, 2.0, 3.0]
+        assert sim.peek_times(99) == [1.0, 2.0, 3.0, 4.0, 5.0]
+        # Non-destructive: the queue still dispatches everything.
+        assert sim.peek_time() == 1.0
+        sim.run(until=10.0)
+        assert sim.events_processed == 5
+
+    def test_skips_cancelled(self):
+        sim = Simulator()
+        doomed = sim.schedule(1.0, lambda: None)
+        sim.schedule(2.0, lambda: None)
+        sim.schedule(3.0, lambda: None)
+        doomed.cancel()
+        assert sim.peek_times(2) == [2.0, 3.0]
+
+    def test_duplicates_and_empty(self):
+        sim = Simulator()
+        assert sim.peek_times(4) == []
+        sim.schedule(1.0, lambda: None)
+        sim.schedule(1.0, lambda: None)
+        assert sim.peek_times(4) == [1.0, 1.0]
+
+    def test_k_one_matches_peek_time(self):
+        sim = Simulator()
+        sim.schedule(2.5, lambda: None)
+        assert sim.peek_times(1) == [sim.peek_time()]
+        assert sim.peek_times(0) == []
+
+    def test_matches_wheel_scheduler(self):
+        import random
+
+        rng = random.Random(0xB07)
+        times = [round(rng.uniform(0.001, 5.0), 6) for _ in range(200)]
+        heap_sim = Simulator()
+        wheel_sim = Simulator(scheduler="wheel")
+        for when in times:
+            heap_sim.schedule(when, lambda: None)
+            wheel_sim.schedule(when, lambda: None)
+        for k in (1, 2, 4, 7, 50, 300):
+            expected = sorted(times)[:k]
+            assert heap_sim.peek_times(k) == expected
+            assert wheel_sim.peek_times(k) == expected
+
+    def test_wheel_overflow_and_cancelled(self):
+        sim = Simulator(scheduler="wheel")
+        sim.schedule(0.001, lambda: None)
+        doomed = sim.schedule(0.002, lambda: None)
+        # Far-future events land in the wheel's overflow heap.
+        sim.schedule(1e6, lambda: None)
+        sim.schedule(2e6, lambda: None)
+        doomed.cancel()
+        assert sim.peek_times(4) == [0.001, 1e6, 2e6]

@@ -36,12 +36,20 @@ class TestDirection:
         assert direction("delivery_latency.p99_seconds") == -1
         assert direction("summary.null_message_ratio") == -1
         assert direction("peak_rss_kb") == -1
+        # Sync-tax economics (schema v7): per-event frame overhead and
+        # the demand run's own null ratio are costs...
+        assert direction("summary.sync_messages_per_event") == -1
+        assert direction("frames_per_round") == -1
+        assert direction("demand_null_ratio") == -1
 
     def test_benefit_metrics(self):
         assert direction("summary.events_per_sec_min") == +1
         assert direction("wheel_speedup") == +1
         assert direction("sync_efficiency") == +1
         assert direction("dijkstra_savings_ratio") == +1
+        # ...while the reductions over the eager baseline are benefits.
+        assert direction("summary.null_ratio_reduction") == +1
+        assert direction("summary.sync_message_reduction") == +1
 
     def test_neutral(self):
         assert direction("sim_events") == 0
