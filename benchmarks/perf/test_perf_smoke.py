@@ -17,7 +17,12 @@ claims of the fast-path PR:
   medians are >=3x),
 * the native event core is actually engaged on the wheel run: whole
   pure slots batch-dispatch (no per-event materialization) and events
-  recycle through the arena, and
+  recycle through the arena,
+* the channel-surf scenario's fast control plane (columnar state,
+  zero-copy codec, refresh ring) beats the legacy dict/scan baseline
+  on the identical Zipf zapping workload by the CI floor (2x — the
+  recorded medians are >=3x), with both control planes settling to
+  identical state, and
 * every scenario clears a generous events/sec floor (guards against
   catastrophic data-plane regressions without tying CI to hardware).
 
@@ -40,6 +45,9 @@ WIRE_REDUCTION_FLOOR = 3.0
 #: back-to-back in one noisy shared container, so this is a regression
 #: gate, not the headline number (that lives in BENCH_perf.json).
 WHEEL_SPEEDUP_FLOOR = 2.5
+#: Below the ~4-5x recorded medians for the same reason: the fast and
+#: legacy control planes run back-to-back in one shared container.
+STATE_CHURN_SPEEDUP_FLOOR = 2.0
 
 
 def test_perf_smoke_writes_bench_json():
@@ -49,12 +57,13 @@ def test_perf_smoke_writes_bench_json():
 
     parsed = json.loads(out.read_text())
     assert parsed["bench"] == "perf"
-    assert parsed["schema_version"] == 6
+    assert parsed["schema_version"] == 8
     assert set(parsed["scenarios"]) == {
         "join_storm",
         "link_flap_churn",
         "steady_fanout",
         "mega_join_storm",
+        "channel_surf",
         "mega_join_storm_parallel",
     }
 
@@ -132,6 +141,30 @@ def test_perf_smoke_writes_bench_json():
     assert parsed["summary"]["batched_events"] == mega["batched_events"]
     assert parsed["summary"]["wheel_speedup"] == mega["wheel_speedup"]
     assert parsed["summary"]["mega_events_per_sec"] == mega["events_per_sec"]
+
+    # v8 control-plane fast path: the identical Zipf zapping workload
+    # driven on both control planes must settle to identical state
+    # (the scenario raises otherwise), the fast path must beat the
+    # legacy dict/scan baseline by the floor, and the refresh ring
+    # must eliminate the bulk of the per-tick record examinations.
+    surf = parsed["scenarios"]["channel_surf"]
+    assert surf["states_equivalent"] is True
+    assert surf["zap_events"] > 0
+    assert surf["zap_events_per_sec"] > 0
+    assert surf["state_churn_speedup"] >= STATE_CHURN_SPEEDUP_FLOOR
+    assert 0.0 < surf["refresh_scan_fraction"] < 0.5
+    assert surf["refresh_records_examined"] > 0
+    assert surf["baseline"]["refresh_records_examined"] > (
+        surf["refresh_records_examined"]
+    )
+    assert surf["ecmp_wire"]["ecmp_bytes_on_wire"] > 0
+    assert parsed["summary"]["zap_events_per_sec"] == surf["zap_events_per_sec"]
+    assert parsed["summary"]["state_churn_speedup"] == surf[
+        "state_churn_speedup"
+    ]
+    assert parsed["summary"]["refresh_scan_fraction"] == surf[
+        "refresh_scan_fraction"
+    ]
 
     storm = parsed["scenarios"]["join_storm"]
     assert storm["subscribed"] == storm["params"]["subscribers"]

@@ -52,7 +52,15 @@ from repro.bench.scenarios import SCENARIOS, run_scenarios
 #: ``null_ratio_reduction`` / ``sync_message_reduction`` ratios gated
 #: by ``--floor-null-ratio-reduction`` / ``--floor-sync-msg-reduction``;
 #: sync totals grow ``windows`` / ``frames_sent`` / ``frames_received``.
-SCHEMA_VERSION = 7
+#: v8: the control-plane fast path — the ``channel_surf`` scenario
+#: (Zipf channel-surfing over thousands of standing channels, driven
+#: on the columnar/zero-copy/refresh-ring control plane and on the
+#: legacy dict/scan/concatenating baseline) with ``zap_events_per_sec``
+#: / ``state_churn_speedup`` / ``refresh_scan_fraction`` and a
+#: ``baseline`` block, the matching summary fields, and the
+#: ``--floor-zap-events-per-sec`` / ``--floor-state-churn-speedup``
+#: gates.
+SCHEMA_VERSION = 8
 
 
 def build_report(
@@ -74,6 +82,7 @@ def build_report(
     ]
     churn = scenarios.get("link_flap_churn", {})
     mega = scenarios.get("mega_join_storm", {})
+    surf = scenarios.get("channel_surf", {})
     parallel = scenarios.get("mega_join_storm_parallel", {})
     return {
         "bench": "perf",
@@ -99,6 +108,9 @@ def build_report(
             "native_core": mega.get("native_core", False),
             "batched_events": mega.get("batched_events", 0),
             "peak_rss_kb": mega.get("peak_rss_kb", 0),
+            "zap_events_per_sec": surf.get("zap_events_per_sec", 0.0),
+            "state_churn_speedup": surf.get("state_churn_speedup", 0.0),
+            "refresh_scan_fraction": surf.get("refresh_scan_fraction", 0.0),
             "partition_speedup": parallel.get("partition_speedup", 0.0),
             "partition_workers": parallel.get("params", {}).get("workers", 0),
             "parallel_warnings": parallel.get("warnings", []),
@@ -153,6 +165,16 @@ FLOOR_GATES = {
         "mega_events_per_sec",
         "mega storm events/sec floor",
         "{:,.0f}",
+    ),
+    "zap_events_per_sec": (
+        "zap_events_per_sec",
+        "channel-surf zap events/sec floor",
+        "{:,.0f}",
+    ),
+    "state_churn_speedup": (
+        "state_churn_speedup",
+        "state churn speedup floor",
+        "{:.2f}",
     ),
     "partition_speedup": (
         "partition_speedup",
@@ -294,6 +316,20 @@ def main(argv: Optional[list[str]] = None) -> int:
         "falls below this (pins the native event core's throughput)",
     )
     parser.add_argument(
+        "--floor-zap-events-per-sec",
+        type=float,
+        default=None,
+        help="exit non-zero if the channel-surf scenario's zap "
+        "throughput on the fast control plane falls below this",
+    )
+    parser.add_argument(
+        "--floor-state-churn-speedup",
+        type=float,
+        default=None,
+        help="exit non-zero if the channel-surf scenario's fast-vs-"
+        "legacy control-plane wall-clock ratio falls below this",
+    )
+    parser.add_argument(
         "--floor-partition-speedup",
         type=float,
         default=None,
@@ -345,6 +381,12 @@ def main(argv: Optional[list[str]] = None) -> int:
             line += f"  wheel {metrics['wheel_speedup']:.1f}x heap"
         if metrics.get("batched_events"):
             line += f"  batched {metrics['batched_events']:,}"
+        if "state_churn_speedup" in metrics:
+            line += (
+                f"  {metrics['zap_events_per_sec']:,.0f} zaps/s"
+                f"  churn {metrics['state_churn_speedup']:.1f}x legacy"
+                f"  scan {metrics['refresh_scan_fraction']:.1%}"
+            )
         if "partition_speedup" in metrics:
             line += (
                 f"  {metrics['params']['workers']} workers "
@@ -380,6 +422,8 @@ def main(argv: Optional[list[str]] = None) -> int:
             "wire_reduction": args.floor_wire_reduction,
             "wheel_speedup": args.floor_wheel_speedup,
             "mega_events_per_sec": args.floor_mega_events_per_sec,
+            "zap_events_per_sec": args.floor_zap_events_per_sec,
+            "state_churn_speedup": args.floor_state_churn_speedup,
             "partition_speedup": args.floor_partition_speedup,
             "sync_efficiency": args.floor_sync_efficiency,
             "null_ratio_reduction": args.floor_null_ratio_reduction,

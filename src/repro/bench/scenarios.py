@@ -16,6 +16,13 @@ cover the hot paths this repo optimizes:
   member join storm over aggregated subscriber blocks, run under both
   the heap and timer-wheel schedulers on identical workloads; gates
   the wheel's throughput advantage (``wheel_speedup``).
+* **channel_surf** — control-plane state scale: thousands of standing
+  channels (the §2.2 TV-distribution shape) while UDP-mode hosts zap
+  between Zipf-popular channels; the identical workload is driven on
+  the fast control plane (columnar state, zero-copy codec, refresh
+  ring) and on the legacy dict/scan/concatenating baseline, and the
+  wall-clock ratio over the zapping window is reported as
+  ``state_churn_speedup`` (CI-gated).
 
 Wall-clock throughput numbers reflect the Python substrate and the
 host machine; the JSON file exists so future PRs can diff *relative*
@@ -26,15 +33,20 @@ asserted exactly.
 
 from __future__ import annotations
 
+import bisect
 import gc
 import json
 import os
 import random
 from functools import partial
+from itertools import accumulate
 from time import perf_counter
 from typing import Optional
 
+from repro.core.ecmp.messages import set_zero_copy
+from repro.core.ecmp.protocol import EcmpAgent, NeighborMode
 from repro.core.network import ExpressNetwork
+from repro.netsim.engine import derive_seed
 from repro.netsim.topology import TopologyBuilder
 from repro.obs.hooks import Observability
 from repro.obs.registry import percentile
@@ -533,6 +545,226 @@ def mega_join_storm(quick: bool = True, seed: int = 0) -> dict:
     }
 
 
+def channel_surf(quick: bool = True, seed: int = 0) -> dict:
+    """Massive standing channel state under Zipf channel-surfing.
+
+    The §2.2 TV-distribution shape: thousands of channels each with a
+    persistent TCP-mode tail subscriber (standing per-channel state at
+    every on-tree router, zero refresh traffic under TREE_ONLY), while
+    a handful of UDP-mode "surfer" hosts zap — leave the current
+    channel, join a Zipf-popular draw — on a sub-second cadence with
+    the soft-state refresh interval cranked down to match. The zapping
+    is what the fast path optimizes; the standing tail is the tax the
+    legacy control plane pays for it: the full-table refresh scan
+    walks every record of every channel on every tick to find the few
+    UDP-mode records actually due.
+
+    The identical workload (channel set, tail joins, zap schedule —
+    all seeded via ``derive_seed``) is driven twice: once on the fast
+    control plane (columnar record bank, zero-copy codec, refresh
+    ring — the defaults) and once on the legacy baseline
+    (``columnar=False, refresh_ring=False`` plus the concatenating
+    codec via ``set_zero_copy(False)``). Only the zapping window is
+    timed; setup/settle and the post-churn soft-state parity check are
+    untimed. Reported:
+
+    * ``zap_events_per_sec`` — zap throughput on the fast path (the
+      CI-gated absolute floor),
+    * ``state_churn_speedup`` — baseline wall over fast wall on the
+      identical window (the CI-gated ≥ relative floor),
+    * ``refresh_scan_fraction`` — records examined by refresh ticks,
+      fast/baseline (how much of the scan tax the ring removes),
+
+    plus a cross-pass equality check of the settled per-router
+    ``ChannelState`` tables — the two control planes must agree on
+    every (channel, neighbor, count, validated, udp) triple or the
+    scenario raises instead of reporting a speedup.
+    """
+    n_transit = 3
+    stubs = 2
+    hosts_per_stub = 2
+    n_sources = 3
+    channels_per_source = 600 if quick else 2000
+    n_surfers = 4 if quick else 8
+    refresh_interval = 0.4  # vs the 60 s default: zapping-speed leases
+    join_window = 4.0
+    churn_duration = 20.0 if quick else 30.0
+    zap_spacing = 0.6  # mean seconds between one surfer's zaps
+    settle_after = 3.0  # > UDP_ROBUSTNESS * refresh_interval lease
+
+    n_channels = n_sources * channels_per_source
+    host_names = sorted(
+        f"h{t}_{s}_{k}"
+        for t in range(n_transit)
+        for s in range(stubs)
+        for k in range(hosts_per_stub)
+    )
+    source_names = [f"h{t}_0_0" for t in range(n_sources)]
+    others = [name for name in host_names if name not in source_names]
+    surfers = others[:n_surfers]
+    tails = others[n_surfers:]
+
+    # Zipf channel popularity (exponent ~1 — channel-surfing audiences
+    # concentrate on the head but the tail keeps getting sampled).
+    cumulative = list(
+        accumulate(1.0 / (rank + 1) ** 1.05 for rank in range(n_channels))
+    )
+    total_weight = cumulative[-1]
+
+    # One zap schedule, shared verbatim by both passes: (time, surfer,
+    # channel rank). Seeded per surfer via derive_seed so adding a
+    # surfer never perturbs another surfer's stream.
+    churn_start = join_window + 2.0
+    churn_end = churn_start + churn_duration
+    zap_plan: list[tuple[float, str, int]] = []
+    for surfer in surfers:
+        rng = random.Random(derive_seed(seed, "channel_surf", surfer))
+        at = churn_start + zap_spacing * rng.random()
+        while at < churn_end:
+            draw = bisect.bisect_left(cumulative, rng.random() * total_weight)
+            zap_plan.append((at, surfer, draw))
+            at += zap_spacing * (0.5 + rng.random())
+    zap_plan.sort()
+
+    def drive(fast: bool) -> dict:
+        topo = TopologyBuilder.isp(
+            n_transit=n_transit,
+            stubs_per_transit=stubs,
+            hosts_per_stub=hosts_per_stub,
+            seed=seed,
+        )
+        kwargs = {} if fast else {"columnar": False, "refresh_ring": False}
+        net = ExpressNetwork(topo, wire_format=True, **kwargs)
+        sources = [net.source(name) for name in source_names]
+        channels = [
+            s.allocate_channel()
+            for s in sources
+            for _ in range(channels_per_source)
+        ]
+        # §3.2 per-interface mode selection: each surfer's access link
+        # runs ECMP in UDP mode on both ends, so surfer membership is
+        # soft state at the edge router — refreshed by general queries,
+        # expired on silence.
+        for surfer in surfers:
+            t, s, _k = surfer[1:].split("_")
+            edge = f"e{t}_{s}"
+            net.ecmp_agents[surfer].set_neighbor_mode(edge, NeighborMode.UDP)
+            net.ecmp_agents[edge].set_neighbor_mode(surfer, NeighborMode.UDP)
+        # Standing state: every channel keeps one TCP-mode tail
+        # subscriber for the whole run, joins spread across the setup
+        # window (untimed).
+        for index, channel in enumerate(channels):
+            net.sim.schedule_at(
+                0.001 + join_window * index / n_channels,
+                lambda n=tails[index % len(tails)], c=channel: (
+                    net.host(n).subscribe(c)
+                ),
+                name="bench-tail-join",
+            )
+
+        current: dict[str, Optional[object]] = {name: None for name in surfers}
+
+        def zap(surfer: str, channel) -> None:
+            previous = current[surfer]
+            if previous is not None:
+                net.host(surfer).unsubscribe(previous)
+            net.host(surfer).subscribe(channel)
+            current[surfer] = channel
+
+        for at, surfer, draw in zap_plan:
+            net.sim.schedule_at(
+                at,
+                lambda s=surfer, c=channels[draw]: zap(s, c),
+                name="bench-zap",
+            )
+
+        net.run(until=churn_start)  # build + settle: untimed
+        agents = net.ecmp_agents.values()
+        examined_before = sum(
+            a.stats.get("refresh_records_examined") for a in agents
+        )
+        started = perf_counter()
+        net.run(until=churn_end)
+        wall = perf_counter() - started
+        examined = (
+            sum(a.stats.get("refresh_records_examined") for a in agents)
+            - examined_before
+        )
+        # Post-churn settle (untimed): long enough for any soft state
+        # the last zaps abandoned to expire in both passes before the
+        # parity snapshot.
+        net.run(until=churn_end + settle_after)
+        snapshot = {}
+        for name, agent in sorted(net.ecmp_agents.items()):
+            snapshot[name] = {
+                (channel.source, channel.suffix): {
+                    neighbor: (record.count, record.validated, record.udp)
+                    for neighbor, record in sorted(state.downstream.items())
+                }
+                for channel, state in agent.channels.items()
+            }
+        return {
+            "net": net,
+            "wall": wall,
+            "examined": examined,
+            "snapshot": snapshot,
+        }
+
+    prior_interval = EcmpAgent.UDP_QUERY_INTERVAL
+    EcmpAgent.UDP_QUERY_INTERVAL = refresh_interval
+    try:
+        fast_run = drive(fast=True)
+        prior_codec = set_zero_copy(False)
+        try:
+            base_run = drive(fast=False)
+        finally:
+            set_zero_copy(prior_codec)
+    finally:
+        EcmpAgent.UDP_QUERY_INTERVAL = prior_interval
+
+    if fast_run["snapshot"] != base_run["snapshot"]:
+        raise RuntimeError(
+            "fast and legacy control planes settled to different state"
+        )
+    fast_wall = fast_run["wall"]
+    base_wall = base_run["wall"]
+    zap_events = len(zap_plan)
+    net = fast_run["net"]
+    return {
+        "params": {
+            "topology": f"isp({n_transit},{stubs},{hosts_per_stub})",
+            "nodes": len(net.topo.nodes),
+            "channels": n_channels,
+            "surfers": len(surfers),
+            "tails": len(tails),
+            "zap_events": zap_events,
+            "refresh_interval": refresh_interval,
+            "churn_duration": churn_duration,
+        },
+        "wall_seconds": fast_wall,
+        "sim_events": net.sim.events_processed,
+        "events_per_sec": (
+            net.sim.events_processed / fast_wall if fast_wall else 0.0
+        ),
+        "zap_events": zap_events,
+        "zap_events_per_sec": zap_events / fast_wall if fast_wall else 0.0,
+        "state_churn_speedup": base_wall / fast_wall if fast_wall else 0.0,
+        "refresh_records_examined": fast_run["examined"],
+        "refresh_scan_fraction": (
+            fast_run["examined"] / base_run["examined"]
+            if base_run["examined"]
+            else 0.0
+        ),
+        "baseline": {
+            "wall_seconds": base_wall,
+            "zap_events_per_sec": zap_events / base_wall if base_wall else 0.0,
+            "refresh_records_examined": base_run["examined"],
+        },
+        "states_equivalent": True,
+        "ecmp_wire": _ecmp_wire_stats(net),
+    }
+
+
 def mega_join_storm_parallel(
     quick: bool = True, seed: int = 0, workers: Optional[int] = None
 ) -> dict:
@@ -826,6 +1058,7 @@ SCENARIOS = {
     "link_flap_churn": link_flap_churn,
     "steady_fanout": steady_fanout,
     "mega_join_storm": mega_join_storm,
+    "channel_surf": channel_surf,
     "mega_join_storm_parallel": mega_join_storm_parallel,
 }
 

@@ -27,6 +27,65 @@ from repro.inet.addr import (
     ssm_address,
 )
 
+# ---------------------------------------------------------------------------
+# Channel interning
+#
+# Channels key every hot dict in the system (channel tables, FIB caches,
+# block membership, key caches), and the same (S, E) pair is rebuilt at
+# every layer: codec decode, FIB lookup, data-plane delivery. Interning
+# gives all of those one canonical object — the validation and hash are
+# paid once per distinct channel per process — and lets the columnar
+# state tables address channels by a dense integer id instead of the
+# object itself.
+# ---------------------------------------------------------------------------
+
+#: (source, suffix) -> canonical Channel, filled by :meth:`Channel.of`.
+_OF_MEMO: dict = {}
+
+#: (source, group) -> canonical Channel, or None for pairs that fail
+#: validation (negative caching: the data plane probes arbitrary
+#: packet addresses, and an invalid pair stays invalid).
+_PAIR_MEMO: dict = {}
+
+#: Canonical Channel -> dense integer id, in interning order.
+_CHANNEL_IDS: dict = {}
+
+_MISSING = object()
+
+
+def lookup_channel(source: int, group: int):
+    """The canonical :class:`Channel` for ``(source, group)``, or None
+    when the pair is not a valid channel.
+
+    This is the data plane's fast path: validation is pure, so each
+    pair is parsed at most once per process, invalid pairs included.
+    """
+    key = (source, group)
+    channel = _PAIR_MEMO.get(key, _MISSING)
+    if channel is _MISSING:
+        try:
+            channel = Channel(source=source, group=group)
+        except ChannelError:
+            channel = None
+        _PAIR_MEMO[key] = channel
+        if channel is not None:
+            _OF_MEMO.setdefault((source, channel.suffix), channel)
+    return channel
+
+
+def channel_id(channel: "Channel") -> int:
+    """Dense integer id for ``channel``, assigned on first use.
+
+    Ids are process-global and monotonically assigned, so they can
+    index parallel arrays (see ``core/ecmp/state.py``) and key caches
+    with plain-int hashing.
+    """
+    cid = _CHANNEL_IDS.get(channel)
+    if cid is None:
+        cid = len(_CHANNEL_IDS)
+        _CHANNEL_IDS[channel] = cid
+    return cid
+
 
 @dataclass(frozen=True)
 class Channel:
@@ -68,8 +127,22 @@ class Channel:
 
     @classmethod
     def of(cls, source: int, suffix: int) -> "Channel":
-        """Build the channel ``suffix`` of host ``source``."""
-        return cls(source=source, group=ssm_address(suffix))
+        """The canonical channel ``suffix`` of host ``source``.
+
+        Interned: repeated calls with the same pair return the same
+        object, shared with :func:`lookup_channel` (the data plane's
+        (src, dst) memo), so there is exactly one ``Channel`` per
+        distinct (S, E) in the process.
+        """
+        if cls is not Channel:  # subclasses get no interning
+            return cls(source=source, group=ssm_address(suffix))
+        key = (source, suffix)
+        channel = _OF_MEMO.get(key)
+        if channel is None:
+            channel = cls(source=source, group=ssm_address(suffix))
+            _OF_MEMO[key] = channel
+            _PAIR_MEMO.setdefault((source, channel.group), channel)
+        return channel
 
     def __str__(self) -> str:
         return f"({format_address(self.source)},{format_address(self.group)})"

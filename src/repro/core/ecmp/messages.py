@@ -20,10 +20,22 @@ ordinary encoded message (keys and proactive extensions included).
 Decoding is strict — a trailing partial record is a :class:`CodecError`,
 never a silent truncation — so a TCP-stream reassembly bug cannot
 masquerade as a short batch. See ``docs/ecmp-wire.md``.
+
+The codec is *zero-copy* by default: a batch encodes into one
+preallocated ``bytearray`` via precompiled ``Struct.pack_into`` at
+running offsets (no per-record ``bytes`` concatenation), and decode
+reads fields with ``unpack_from`` over ``memoryview`` slices — the
+only per-record copy on decode is the 8 key bytes an authenticated
+Count must own. The frames are byte-identical to the legacy
+concatenating codec (kept in-tree as ``_encode_*_legacy`` /
+``_decode_*_legacy``), which ``REPRO_ZERO_COPY=0`` or
+:func:`set_zero_copy` selects; the property suite pins the two paths
+equal on frames, parses, and every strictness error.
 """
 
 from __future__ import annotations
 
+import os
 import struct
 from dataclasses import dataclass
 from enum import Enum
@@ -176,14 +188,274 @@ class EcmpBatch:
         return len(self.messages)
 
 
+#: ``REPRO_ZERO_COPY=0`` is the codec fast path's escape hatch: every
+#: encode/decode goes through the legacy concatenating implementation.
+ZERO_COPY_DEFAULT = os.environ.get("REPRO_ZERO_COPY", "1") != "0"
+
+_zero_copy = ZERO_COPY_DEFAULT
+
+
+def set_zero_copy(enabled: bool) -> bool:
+    """Select the zero-copy codec fast path (True) or the legacy
+    concatenating codec (False); returns the prior setting. The A/B
+    hook used by the ``channel_surf`` benchmark baseline pass and the
+    codec-equivalence property suite."""
+    global _zero_copy
+    prior = _zero_copy
+    _zero_copy = bool(enabled)
+    return prior
+
+
+# ---------------------------------------------------------------------------
+# zero-copy fast path
+# ---------------------------------------------------------------------------
+
+_MESSAGE_TYPES = (Count, CountQuery, CountResponse)
+
+
+def _encode_into(message: EcmpMessage, buf: bytearray, offset: int) -> int:
+    """Pack one message into ``buf`` at ``offset``; returns the end
+    offset. The writer half of the zero-copy path: precompiled structs
+    pack straight into the shared buffer, no intermediate bytes."""
+    if isinstance(message, Count):
+        flags = _FLAG_KEY if message.key else 0
+        _HEAD.pack_into(
+            buf,
+            offset,
+            _TYPE_COUNT,
+            flags,
+            message.count_id,
+            message.channel.source,
+            message.channel.suffix.to_bytes(3, "big"),
+        )
+        offset += _HEAD.size
+        _COUNT_TAIL.pack_into(buf, offset, message.count, 0)
+        offset += _COUNT_TAIL.size
+        if message.key:
+            buf[offset : offset + KEY_BYTES] = message.key.value
+            offset += KEY_BYTES
+        return offset
+    if isinstance(message, CountQuery):
+        flags = _FLAG_PROACTIVE if message.proactive else 0
+        timeout_ms = int(round(message.timeout * 1000))
+        if timeout_ms > 0xFFFFFFFF:
+            raise CodecError(f"timeout {message.timeout}s unencodable")
+        _HEAD.pack_into(
+            buf,
+            offset,
+            _TYPE_QUERY,
+            flags,
+            message.count_id,
+            message.channel.source,
+            message.channel.suffix.to_bytes(3, "big"),
+        )
+        offset += _HEAD.size
+        _QUERY_TAIL.pack_into(buf, offset, timeout_ms, 0)
+        offset += _QUERY_TAIL.size
+        if message.proactive:
+            curve = message.proactive
+            _PROACTIVE_EXT.pack_into(buf, offset, curve.e_max, curve.alpha, curve.tau)
+            offset += _PROACTIVE_EXT.size
+        return offset
+    if isinstance(message, CountResponse):
+        _HEAD.pack_into(
+            buf,
+            offset,
+            _TYPE_RESPONSE,
+            0,
+            message.count_id,
+            message.channel.source,
+            message.channel.suffix.to_bytes(3, "big"),
+        )
+        offset += _HEAD.size
+        _RESPONSE_TAIL.pack_into(buf, offset, message.status.value)
+        return offset + _RESPONSE_TAIL.size
+    raise CodecError(f"not an ECMP message: {message!r}")
+
+
+def encode_message(message: EcmpMessage) -> bytes:
+    """Serialize any ECMP message to its wire form."""
+    if not _zero_copy:
+        return _encode_message_legacy(message)
+    if isinstance(message, EcmpBatch):
+        return encode_batch(message.messages)
+    if not isinstance(message, _MESSAGE_TYPES):
+        raise CodecError(f"not an ECMP message: {message!r}")
+    buf = bytearray(message.wire_size())
+    _encode_into(message, buf, 0)
+    return bytes(buf)
+
+
+def decode_message(data) -> Union[EcmpMessage, EcmpBatch]:
+    """Parse a wire buffer back into a message object.
+
+    Strict: the buffer must be exactly one message. A short buffer *or*
+    trailing bytes beyond the message's declared shape raise
+    :class:`CodecError` — a framing layer that mis-slices a TCP stream
+    must fail loudly, not deliver a plausible prefix.
+
+    Accepts ``bytes`` or a ``memoryview`` (how :func:`decode_batch`
+    hands in record windows without copying): fields are read in place
+    with ``unpack_from``; only an authenticated Count's 8 key bytes
+    are copied out of the buffer.
+    """
+    if not _zero_copy:
+        return _decode_message_legacy(
+            data if isinstance(data, bytes) else bytes(data)
+        )
+    size = len(data)
+    if size < _HEAD.size:
+        raise CodecError(f"ECMP message truncated: {size} bytes")
+    msg_type, flags, count_id, source, suffix_bytes = _HEAD.unpack_from(data, 0)
+    if msg_type == _TYPE_BATCH:
+        return EcmpBatch(messages=tuple(decode_batch(data)))
+    channel = Channel.of(source, int.from_bytes(suffix_bytes, "big"))
+    body_len = size - _HEAD.size
+
+    if msg_type == _TYPE_COUNT:
+        expected = _COUNT_TAIL.size + (KEY_BYTES if flags & _FLAG_KEY else 0)
+        if body_len < expected:
+            raise CodecError("Count body truncated")
+        if body_len > expected:
+            raise CodecError(f"{body_len - expected} trailing bytes after Count")
+        count, _reserved = _COUNT_TAIL.unpack_from(data, _HEAD.size)
+        key = None
+        if flags & _FLAG_KEY:
+            key_offset = _HEAD.size + _COUNT_TAIL.size
+            key = ChannelKey(bytes(data[key_offset : key_offset + KEY_BYTES]))
+        return Count(channel=channel, count_id=count_id, count=count, key=key)
+
+    if msg_type == _TYPE_QUERY:
+        expected = _QUERY_TAIL.size + (
+            _PROACTIVE_EXT.size if flags & _FLAG_PROACTIVE else 0
+        )
+        if body_len < expected:
+            raise CodecError("CountQuery body truncated")
+        if body_len > expected:
+            raise CodecError(f"{body_len - expected} trailing bytes after CountQuery")
+        timeout_ms, _reserved = _QUERY_TAIL.unpack_from(data, _HEAD.size)
+        proactive = None
+        if flags & _FLAG_PROACTIVE:
+            e_max, alpha, tau = _PROACTIVE_EXT.unpack_from(
+                data, _HEAD.size + _QUERY_TAIL.size
+            )
+            proactive = ToleranceCurve(e_max=e_max, alpha=alpha, tau=tau)
+        return CountQuery(
+            channel=channel,
+            count_id=count_id,
+            timeout=timeout_ms / 1000.0,
+            proactive=proactive,
+        )
+
+    if msg_type == _TYPE_RESPONSE:
+        if body_len < _RESPONSE_TAIL.size:
+            raise CodecError("CountResponse body truncated")
+        if body_len > _RESPONSE_TAIL.size:
+            raise CodecError(
+                f"{body_len - _RESPONSE_TAIL.size} trailing bytes after CountResponse"
+            )
+        (status_value,) = _RESPONSE_TAIL.unpack_from(data, _HEAD.size)
+        try:
+            status = CountStatus(status_value)
+        except ValueError:
+            raise CodecError(f"unknown CountResponse status {status_value}") from None
+        return CountResponse(channel=channel, count_id=count_id, status=status)
+
+    raise CodecError(f"unknown ECMP message type {msg_type:#x}")
+
+
+def encode_batch(messages: Sequence[EcmpMessage]) -> bytes:
+    """Serialize ``messages`` into one ``MSG_BATCH`` frame.
+
+    Frame layout: ``type(1)=0x10 flags(1)=0 record_count(2)`` followed
+    by ``record_count`` records, each ``length(2) + encoded message``.
+
+    The frame is sized up front from ``wire_size()`` and every record
+    packs straight into one preallocated ``bytearray`` — a flush of N
+    coalesced messages costs one allocation, not 2N+1 intermediate
+    ``bytes`` objects and a join.
+    """
+    if not _zero_copy:
+        return _encode_batch_legacy(messages)
+    if not messages:
+        raise CodecError("cannot encode an empty batch")
+    if len(messages) > MAX_BATCH_RECORDS:
+        raise CodecError(f"batch of {len(messages)} records overflows uint16")
+    total = _BATCH_HEAD.size
+    for message in messages:
+        if isinstance(message, EcmpBatch):
+            raise CodecError("batches cannot nest")
+        if not isinstance(message, _MESSAGE_TYPES):
+            raise CodecError(f"not an ECMP message: {message!r}")
+        total += _RECORD_LEN.size + message.wire_size()
+    buf = bytearray(total)
+    _BATCH_HEAD.pack_into(buf, 0, _TYPE_BATCH, 0, len(messages))
+    offset = _BATCH_HEAD.size
+    for message in messages:
+        start = offset + _RECORD_LEN.size
+        end = _encode_into(message, buf, start)
+        _RECORD_LEN.pack_into(buf, offset, end - start)
+        offset = end
+    return bytes(buf)
+
+
+def decode_batch(data) -> list:
+    """Parse a ``MSG_BATCH`` frame back into its message list.
+
+    Round-trip safe for every record type (keyed Counts, proactive
+    CountQuery extensions). Raises :class:`CodecError` on a wrong type
+    byte, a record count that disagrees with the payload, a trailing
+    partial record, or trailing bytes after the final record.
+
+    Records are handed to :func:`decode_message` as ``memoryview``
+    windows over the frame — no per-record ``bytes`` copy.
+    """
+    if not _zero_copy:
+        return _decode_batch_legacy(
+            data if isinstance(data, bytes) else bytes(data)
+        )
+    size = len(data)
+    if size < _BATCH_HEAD.size:
+        raise CodecError(f"batch header truncated: {size} bytes")
+    msg_type, _flags, record_count = _BATCH_HEAD.unpack_from(data, 0)
+    if msg_type != _TYPE_BATCH:
+        raise CodecError(f"not a batch frame (type {msg_type:#x})")
+    if record_count == 0:
+        raise CodecError("batch declares zero records")
+    view = data if isinstance(data, memoryview) else memoryview(data)
+    offset = _BATCH_HEAD.size
+    messages = []
+    for index in range(record_count):
+        if size - offset < _RECORD_LEN.size:
+            raise CodecError(f"batch record {index} length prefix truncated")
+        (length,) = _RECORD_LEN.unpack_from(data, offset)
+        offset += _RECORD_LEN.size
+        if size - offset < length:
+            raise CodecError(
+                f"batch record {index} truncated: declared {length} bytes, "
+                f"{size - offset} remain"
+            )
+        messages.append(decode_message(view[offset : offset + length]))
+        offset += length
+    if offset != size:
+        raise CodecError(f"{size - offset} trailing bytes after batch records")
+    return messages
+
+
+# ---------------------------------------------------------------------------
+# legacy concatenating codec (REPRO_ZERO_COPY=0; the live equivalence
+# reference the property suite pins the fast path against, and the
+# channel_surf benchmark's baseline)
+# ---------------------------------------------------------------------------
+
+
 def _pack_head(msg_type: int, flags: int, count_id: int, channel: Channel) -> bytes:
     return _HEAD.pack(
         msg_type, flags, count_id, channel.source, channel.suffix.to_bytes(3, "big")
     )
 
 
-def encode_message(message: EcmpMessage) -> bytes:
-    """Serialize any ECMP message to its wire form."""
+def _encode_message_legacy(message: EcmpMessage) -> bytes:
     if isinstance(message, Count):
         flags = _FLAG_KEY if message.key else 0
         data = _pack_head(_TYPE_COUNT, flags, message.count_id, message.channel)
@@ -207,23 +479,16 @@ def encode_message(message: EcmpMessage) -> bytes:
         data += _RESPONSE_TAIL.pack(message.status.value)
         return data
     if isinstance(message, EcmpBatch):
-        return encode_batch(message.messages)
+        return _encode_batch_legacy(message.messages)
     raise CodecError(f"not an ECMP message: {message!r}")
 
 
-def decode_message(data: bytes) -> Union[EcmpMessage, EcmpBatch]:
-    """Parse a wire buffer back into a message object.
-
-    Strict: the buffer must be exactly one message. A short buffer *or*
-    trailing bytes beyond the message's declared shape raise
-    :class:`CodecError` — a framing layer that mis-slices a TCP stream
-    must fail loudly, not deliver a plausible prefix.
-    """
+def _decode_message_legacy(data: bytes) -> Union[EcmpMessage, EcmpBatch]:
     if len(data) < _HEAD.size:
         raise CodecError(f"ECMP message truncated: {len(data)} bytes")
     msg_type, flags, count_id, source, suffix_bytes = _HEAD.unpack(data[: _HEAD.size])
     if msg_type == _TYPE_BATCH:
-        return EcmpBatch(messages=tuple(decode_batch(data)))
+        return EcmpBatch(messages=tuple(_decode_batch_legacy(data)))
     channel = Channel.of(source, int.from_bytes(suffix_bytes, "big"))
     body = data[_HEAD.size :]
 
@@ -274,12 +539,7 @@ def decode_message(data: bytes) -> Union[EcmpMessage, EcmpBatch]:
     raise CodecError(f"unknown ECMP message type {msg_type:#x}")
 
 
-def encode_batch(messages: Sequence[EcmpMessage]) -> bytes:
-    """Serialize ``messages`` into one ``MSG_BATCH`` frame.
-
-    Frame layout: ``type(1)=0x10 flags(1)=0 record_count(2)`` followed
-    by ``record_count`` records, each ``length(2) + encoded message``.
-    """
+def _encode_batch_legacy(messages: Sequence[EcmpMessage]) -> bytes:
     if not messages:
         raise CodecError("cannot encode an empty batch")
     if len(messages) > MAX_BATCH_RECORDS:
@@ -288,20 +548,13 @@ def encode_batch(messages: Sequence[EcmpMessage]) -> bytes:
     for message in messages:
         if isinstance(message, EcmpBatch):
             raise CodecError("batches cannot nest")
-        record = encode_message(message)
+        record = _encode_message_legacy(message)
         parts.append(_RECORD_LEN.pack(len(record)))
         parts.append(record)
     return b"".join(parts)
 
 
-def decode_batch(data: bytes) -> list:
-    """Parse a ``MSG_BATCH`` frame back into its message list.
-
-    Round-trip safe for every record type (keyed Counts, proactive
-    CountQuery extensions). Raises :class:`CodecError` on a wrong type
-    byte, a record count that disagrees with the payload, a trailing
-    partial record, or trailing bytes after the final record.
-    """
+def _decode_batch_legacy(data: bytes) -> list:
     if len(data) < _BATCH_HEAD.size:
         raise CodecError(f"batch header truncated: {len(data)} bytes")
     msg_type, _flags, record_count = _BATCH_HEAD.unpack(data[: _BATCH_HEAD.size])
@@ -321,7 +574,7 @@ def decode_batch(data: bytes) -> list:
                 f"batch record {index} truncated: declared {length} bytes, "
                 f"{len(data) - offset} remain"
             )
-        messages.append(decode_message(data[offset : offset + length]))
+        messages.append(_decode_message_legacy(data[offset : offset + length]))
         offset += length
     if offset != len(data):
         raise CodecError(f"{len(data) - offset} trailing bytes after batch records")

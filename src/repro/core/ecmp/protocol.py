@@ -38,12 +38,13 @@ them open; see DESIGN.md §4):
 
 from __future__ import annotations
 
+import os
 from collections import deque
 from dataclasses import dataclass
 from enum import Enum
 from typing import TYPE_CHECKING, Callable, Optional
 
-from repro.core.channel import Channel
+from repro.core.channel import Channel, lookup_channel
 from repro.core.counting import (
     MIN_FORWARD_TIMEOUT,
     PendingQuery,
@@ -66,10 +67,11 @@ from repro.core.ecmp.messages import (
     decode_message,
     encode_message,
 )
+from repro.core.ecmp.refresh import RefreshRing
 from repro.core.ecmp.state import (
+    COLUMNAR_DEFAULT,
     LOCAL,
     ChannelState,
-    DownstreamRecord,
     is_pseudo_neighbor,
 )
 from repro.core.keys import ChannelKey, KeyCache
@@ -89,10 +91,15 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
 
 PROTO_ECMP = "ecmp"
 
+#: ``REPRO_REFRESH_RING=0`` is the coalesced-refresh escape hatch:
+#: agents fall back to the legacy full-table refresh/general-query
+#: scans (also the A/B baseline for the ``channel_surf`` benchmark).
+REFRESH_RING_DEFAULT = os.environ.get("REPRO_REFRESH_RING", "1") != "0"
+
 #: "All multicast ECMP datagrams are sent to a well-known ECMP address"
 #: with "a well-known localhost value as the source" (§3.3 + footnote 5).
-DISCOVERY_CHANNEL = Channel(
-    source=parse_address("127.0.0.1"), group=parse_address("232.0.0.255")
+DISCOVERY_CHANNEL = lookup_channel(
+    parse_address("127.0.0.1"), parse_address("232.0.0.255")
 )
 
 #: IPv4 header bytes added to every ECMP message on the wire.
@@ -272,6 +279,8 @@ class EcmpAgent(ProtocolAgent):
         wire_format: bool = False,
         batching: bool = True,
         obs=None,
+        columnar: Optional[bool] = None,
+        refresh_ring: Optional[bool] = None,
     ) -> None:
         super().__init__(node)
         if role not in ("router", "host"):
@@ -296,6 +305,16 @@ class EcmpAgent(ProtocolAgent):
         self.block_fast_updates = 0
         self.default_mode = default_mode
         self.proactive_curve = proactive_curve or ToleranceCurve()
+        #: Record backend for this agent's channel tables (columnar
+        #: StateBank rows vs the legacy per-record dataclass); None
+        #: defers to the ``REPRO_COLUMNAR`` process default.
+        self.columnar = COLUMNAR_DEFAULT if columnar is None else columnar
+        #: Coalesced soft-state refresh (due-deadline ring + upstream
+        #: index) vs the legacy full-table scans; None defers to the
+        #: ``REPRO_REFRESH_RING`` process default.
+        self.refresh_ring_enabled = (
+            REFRESH_RING_DEFAULT if refresh_ring is None else refresh_ring
+        )
         self.keys = KeyCache()
         self.channels: dict[Channel, ChannelState] = {}
         self.subscriptions: dict[Channel, SubscriptionHandle] = {}
@@ -360,6 +379,20 @@ class EcmpAgent(ProtocolAgent):
         self._batch_queues: dict[str, DirtyChannelQueue] = {}
         self._flush_events: dict[str, object] = {}
         self._proactive_checks: dict[tuple[Channel, int], object] = {}
+        #: neighbor -> {channel: None}: channels with a live UDP-mode
+        #: record from that *real* neighbor — the general-query fan-out
+        #: set, maintained incrementally so the refresh tick never
+        #: rebuilds it by scanning every record.
+        self._udp_channels: dict[str, dict[Channel, None]] = {}
+        #: upstream name -> {channel: None}: channels routed *via* that
+        #: neighbor (the general-query response set; insertion-ordered
+        #: so the indexed path replays the scan's channel order).
+        self._by_upstream: dict[str, dict[Channel, None]] = {}
+        #: Due-deadline ring over (channel, neighbor) UDP records;
+        #: router-role only (hosts run no refresh tick).
+        self._refresh_ring: Optional[RefreshRing] = None
+        if role == "router":
+            self._refresh_ring = RefreshRing(self.UDP_QUERY_INTERVAL)
         self._udp_query_task: Optional[PeriodicTask] = None
         self._keepalive_task: Optional[PeriodicTask] = None
         self._rehome_scheduled = False
@@ -373,6 +406,12 @@ class EcmpAgent(ProtocolAgent):
 
     def start(self) -> None:
         if self.role == "router":
+            ring = self._refresh_ring
+            if ring is not None and ring.granularity != self.UDP_QUERY_INTERVAL:
+                # The refresh interval was overridden after construction
+                # (tests and benches patch it per instance): re-bucket so
+                # the ring's windows match the tick cadence.
+                ring.rebuild(self.UDP_QUERY_INTERVAL, self._refresh_deadline)
             self._udp_query_task = PeriodicTask(
                 self.sim, self.UDP_QUERY_INTERVAL, self._udp_refresh_tick, name="ecmp-udpq"
             )
@@ -1011,6 +1050,7 @@ class EcmpAgent(ProtocolAgent):
             # the upstream response still arrives and must pop in order.
             was_udp = state.downstream[from_name].udp
             del state.downstream[from_name]
+            self._untrack_record(channel, from_name)
             self._sync_fib(state)
             self._propagate(state)
             self._garbage_collect(state)
@@ -1056,7 +1096,9 @@ class EcmpAgent(ProtocolAgent):
                     self.subscriptions.pop(channel, None)
                 return
 
-        record = state.downstream.setdefault(from_name, DownstreamRecord())
+        record = state.downstream.get(from_name)
+        if record is None:
+            record = state.downstream[from_name] = state.new_record()
         record.count = count
         record.updated_at = self.sim.now
         if from_name != LOCAL:
@@ -1065,6 +1107,7 @@ class EcmpAgent(ProtocolAgent):
                 record.udp = block.udp
             else:
                 record.udp = self.mode_of(from_name) is NeighborMode.UDP
+            self._track_udp_record(channel, from_name, record)
 
         entry = None
         if is_join:
@@ -1103,10 +1146,15 @@ class EcmpAgent(ProtocolAgent):
         if source_node is not self.node and upstream is None:
             return None  # unreachable source
         state = ChannelState(
-            channel=channel, upstream=upstream, created_at=self.sim.now
+            channel=channel,
+            upstream=upstream,
+            created_at=self.sim.now,
+            columnar=self.columnar,
         )
         state.upstream_changed_at = self.sim.now
         self.channels[channel] = state
+        if upstream is not None:
+            self._by_upstream.setdefault(upstream, {})[channel] = None
         if self.propagation is CountPropagation.PROACTIVE:
             state.proactive[SUBSCRIBER_ID] = ProactiveCounter(
                 self.proactive_curve, now=self.sim.now
@@ -1193,6 +1241,10 @@ class EcmpAgent(ProtocolAgent):
     def _garbage_collect(self, state: ChannelState) -> None:
         if not state.downstream and state.advertised == 0:
             self.channels.pop(state.channel, None)
+            if state.upstream is not None:
+                routed = self._by_upstream.get(state.upstream)
+                if routed is not None:
+                    routed.pop(state.channel, None)
             self.pending_verdicts.pop(state.channel, None)
             self.fib.remove(state.channel.source, state.channel.group)
             for (channel, count_id), event in list(self._proactive_checks.items()):
@@ -1302,6 +1354,7 @@ class EcmpAgent(ProtocolAgent):
                     record = state.downstream[name]
                     if record.presented_key is None:
                         del state.downstream[name]
+                        self._untrack_record(state.channel, name)
                         self._notify_denied(state.channel, name)
                         break
             self._sync_fib(state)
@@ -1347,6 +1400,7 @@ class EcmpAgent(ProtocolAgent):
                 record.validated = record.validated or entry.prior_validated
             else:
                 del state.downstream[entry.neighbor]
+                self._untrack_record(state.channel, entry.neighbor)
         self._notify_denied(state.channel, entry.neighbor)
 
     def _notify_denied(self, channel: Channel, neighbor: str) -> None:
@@ -1381,10 +1435,31 @@ class EcmpAgent(ProtocolAgent):
 
     def _handle_general_query(self, from_name: str) -> None:
         """§3.3: re-send Counts for every channel routed via ``from_name``
-        (the UDP-mode refresh, "analogous to an IGMP general query")."""
+        (the UDP-mode refresh, "analogous to an IGMP general query").
+
+        Fast path: the ``_by_upstream`` index yields exactly the
+        channels routed via the querier instead of testing every
+        channel in the table. ``refresh_records_examined`` tallies the
+        states each path had to touch, so the benchmark can report the
+        scan-work fraction the index eliminates.
+        """
+        if self.refresh_ring_enabled:
+            routed = self._by_upstream.get(from_name)
+            if not routed:
+                return
+            self.stats.incr("refresh_records_examined", len(routed))
+            for channel in list(routed):
+                state = self.channels.get(channel)
+                if state is not None and state.upstream == from_name:
+                    self._send_count_upstream(state, state.total(validated_only=False))
+            return
+        examined = 0
         for channel, state in self.channels.items():
+            examined += 1
             if state.upstream == from_name:
                 self._send_count_upstream(state, state.total(validated_only=False))
+        if examined:
+            self.stats.incr("refresh_records_examined", examined)
 
     def _start_query(
         self,
@@ -1651,12 +1726,64 @@ class EcmpAgent(ProtocolAgent):
             self._do_udp_refresh_tick()
 
     def _do_udp_refresh_tick(self) -> None:
+        if self.refresh_ring_enabled:
+            self._refresh_tick_ring()
+        else:
+            self._refresh_tick_scan()
+
+    def _refresh_tick_ring(self) -> None:
+        """Coalesced refresh: one sampled general query per UDP-mode
+        neighbor (from the incrementally maintained fan-out index), then
+        expiry of only the ring entries whose deadline bucket has passed
+        — O(neighbors + due) per tick instead of O(total records)."""
+        if self._udp_channels:
+            general = CountQuery(
+                channel=DISCOVERY_CHANNEL,
+                count_id=ALL_CHANNELS_ID,
+                timeout=self.UDP_QUERY_INTERVAL,
+            )
+            for name in sorted(self._udp_channels):
+                self._send_message(general, name)
+        ring = self._refresh_ring
+        if ring is None:
+            return
+        now = self.sim.now
+        lease = self.UDP_ROBUSTNESS * self.UDP_QUERY_INTERVAL
+        horizon = now - lease
+        examined = 0
+        expired: list[tuple[Channel, str]] = []
+        for key in ring.due(now):
+            examined += 1
+            channel, name = key
+            state = self.channels.get(channel)
+            record = state.downstream.get(name) if state is not None else None
+            if record is None or not record.udp:
+                ring.discard(key)  # record left through another path
+            elif record.updated_at < horizon:
+                ring.discard(key)
+                expired.append(key)
+            else:
+                # Refreshed since it was bucketed (lazy deadline): move
+                # it to the bucket of its current lease expiry.
+                ring.reschedule(key, record.updated_at + lease)
+        if examined:
+            self.stats.incr("refresh_records_examined", examined)
+        for channel, name in expired:
+            self.stats.incr("udp_expirations")
+            self._apply_subscriber_count(channel, name, 0)
+            self._expire_block_member(channel, name)
+
+    def _refresh_tick_scan(self) -> None:
+        """The legacy full-table refresh (``REPRO_REFRESH_RING=0``):
+        every record on every channel is examined on every tick."""
         udp_downstreams: set[str] = set()
+        examined = 0
         for state in self.channels.values():
             for name, record in state.downstream.items():
                 # Blocks are excluded from the general query (nothing to
                 # send to) but *not* from the expiry sweep below: a block
                 # that stops refreshing ages out like any UDP neighbor.
+                examined += 1
                 if not is_pseudo_neighbor(name) and record.udp and record.count > 0:
                     udp_downstreams.add(name)
         if udp_downstreams:
@@ -1669,6 +1796,7 @@ class EcmpAgent(ProtocolAgent):
                 self._send_message(general, name)
         horizon = self.sim.now - self.UDP_ROBUSTNESS * self.UDP_QUERY_INTERVAL
         for state in list(self.channels.values()):
+            examined += len(state.downstream)
             expired = [
                 name
                 for name, record in state.downstream.items()
@@ -1677,16 +1805,59 @@ class EcmpAgent(ProtocolAgent):
             for name in expired:
                 self.stats.incr("udp_expirations")
                 self._apply_subscriber_count(state.channel, name, 0)
-                block = self.blocks.get(name)
-                if block is not None:
-                    # Keep the block's own view and the delivery index
-                    # consistent with the expired record.
-                    block.members.pop(state.channel, None)
-                    entries = self.channel_blocks.get(state.channel)
-                    if entries is not None and block in entries:
-                        entries.remove(block)
-                        if not entries:
-                            del self.channel_blocks[state.channel]
+                self._expire_block_member(state.channel, name)
+        if examined:
+            self.stats.incr("refresh_records_examined", examined)
+
+    def _expire_block_member(self, channel: Channel, name: str) -> None:
+        """Keep an expired block's own view and the delivery index
+        consistent with the expired record."""
+        block = self.blocks.get(name)
+        if block is not None:
+            block.members.pop(channel, None)
+            entries = self.channel_blocks.get(channel)
+            if entries is not None and block in entries:
+                entries.remove(block)
+                if not entries:
+                    del self.channel_blocks[channel]
+
+    def _refresh_deadline(self, key: tuple[Channel, str]) -> float:
+        """The live lease expiry for a ring entry (ring rebuilds)."""
+        channel, name = key
+        state = self.channels.get(channel)
+        record = state.downstream.get(name) if state is not None else None
+        updated_at = record.updated_at if record is not None else self.sim.now
+        return updated_at + self.UDP_ROBUSTNESS * self.UDP_QUERY_INTERVAL
+
+    def _track_udp_record(self, channel: Channel, name: str, record) -> None:
+        """Sync the general-query fan-out set and the refresh ring with
+        one just-written record's udp flag. Pseudo-neighbors (blocks)
+        join the ring — unrefreshed blocks age out like any UDP
+        neighbor — but never the query fan-out set."""
+        if record.udp:
+            if not is_pseudo_neighbor(name):
+                self._udp_channels.setdefault(name, {})[channel] = None
+            ring = self._refresh_ring
+            if ring is not None:
+                ring.add(
+                    (channel, name),
+                    record.updated_at
+                    + self.UDP_ROBUSTNESS * self.UDP_QUERY_INTERVAL,
+                )
+        else:
+            self._untrack_record(channel, name)
+
+    def _untrack_record(self, channel: Channel, name: str) -> None:
+        """Drop a deleted (or no-longer-UDP) record from the refresh
+        structures; called at every downstream-record removal site."""
+        channels = self._udp_channels.get(name)
+        if channels is not None:
+            channels.pop(channel, None)
+            if not channels:
+                del self._udp_channels[name]
+        ring = self._refresh_ring
+        if ring is not None:
+            ring.discard((channel, name))
 
     def _neighbor_failed(self, name: str) -> None:
         """TCP-connection failure: "The associated count is subtracted
@@ -1753,7 +1924,13 @@ class EcmpAgent(ProtocolAgent):
             self.stats.incr("upstream_changes")
             if self.obs is not None:
                 self.obs.state_changed()
+            if old is not None:
+                routed = self._by_upstream.get(old)
+                if routed is not None:
+                    routed.pop(channel, None)
             state.upstream = new_upstream
+            if new_upstream is not None:
+                self._by_upstream.setdefault(new_upstream, {})[channel] = None
             state.upstream_changed_at = now
             total = state.total(validated_only=False)
             if new_upstream is not None and total > 0:

@@ -1,0 +1,102 @@
+"""Due-deadline ring for coalesced UDP soft-state refresh.
+
+The legacy ``_do_udp_refresh_tick`` walked every channel record on
+every tick to find the few UDP-mode records actually due to expire —
+O(total state) per tick, the §5.3 cost the soft-state design is
+supposed to avoid. This ring applies the wheel-bucket idiom from
+:mod:`repro.netsim.engine` to the refresh scan: entries are hashed
+into coarse time buckets by expiry deadline, and a tick pops only the
+buckets whose window has fully passed.
+
+Deadlines are *lazy*: a record's ``updated_at`` is bumped on every
+refresh response without touching the ring. When an entry's bucket
+comes due, the caller revalidates against the live record — if the
+record was refreshed meanwhile, the entry is simply rescheduled at its
+new deadline. Because a bucket's start is never later than any
+deadline hashed into it, an entry is always examined no later than the
+tick on which the full-table scan would have expired it, so expiry
+timing is identical to the scan (the equivalence suite pins this); a
+refreshed entry costs at most one extra examination per refresh
+interval instead of one per record per tick.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Iterator
+
+
+class RefreshRing:
+    """Sparse bucket ring of (channel, neighbor) refresh deadlines.
+
+    ``granularity`` is the refresh tick interval: bucket ``b`` covers
+    deadlines in ``[b*g, (b+1)*g)``, and :meth:`due` pops every bucket
+    whose window starts strictly before ``now``. Entries are deduped —
+    an entry lives in at most one bucket, tracked membership in a set;
+    :meth:`discard` is lazy (the bucket slot is skipped when popped).
+    """
+
+    __slots__ = ("granularity", "_buckets", "_entries")
+
+    def __init__(self, granularity: float) -> None:
+        if granularity <= 0:
+            raise ValueError(f"granularity must be positive, got {granularity}")
+        self.granularity = granularity
+        self._buckets: dict[int, list] = {}
+        self._entries: set = set()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, key: Hashable) -> bool:
+        return key in self._entries
+
+    def _bucket_of(self, deadline: float) -> int:
+        return int(deadline // self.granularity)
+
+    def add(self, key: Hashable, deadline: float) -> bool:
+        """Track ``key`` with ``deadline``; False if already tracked
+        (the existing entry stays — lazy revalidation will catch the
+        moved deadline when its bucket comes due)."""
+        if key in self._entries:
+            return False
+        self._entries.add(key)
+        self._buckets.setdefault(self._bucket_of(deadline), []).append(key)
+        return True
+
+    def reschedule(self, key: Hashable, deadline: float) -> None:
+        """Re-bucket a key just popped by :meth:`due` (still tracked)."""
+        self._buckets.setdefault(self._bucket_of(deadline), []).append(key)
+
+    def discard(self, key: Hashable) -> None:
+        """Stop tracking ``key``; its bucket slot is skipped lazily."""
+        self._entries.discard(key)
+
+    def due(self, now: float) -> Iterator[Hashable]:
+        """Pop and yield every tracked entry whose bucket window starts
+        before ``now``. The caller must either :meth:`discard` or
+        :meth:`reschedule` each yielded key."""
+        if not self._buckets:
+            return
+        granularity = self.granularity
+        entries = self._entries
+        for bucket in sorted(self._buckets):
+            if bucket * granularity >= now:
+                break
+            for key in self._buckets.pop(bucket):
+                if key in entries:
+                    yield key
+
+    def rebuild(self, granularity: float, deadline_of) -> None:
+        """Re-bucket every tracked entry under a new ``granularity``
+        (used when the refresh interval changes before start);
+        ``deadline_of(key)`` supplies each entry's current deadline."""
+        if granularity <= 0:
+            raise ValueError(f"granularity must be positive, got {granularity}")
+        self.granularity = granularity
+        keys = [key for keys in self._buckets.values() for key in keys]
+        self._buckets = {}
+        for key in keys:
+            if key in self._entries:
+                self._buckets.setdefault(
+                    self._bucket_of(deadline_of(key)), []
+                ).append(key)

@@ -14,16 +14,42 @@ including the upstream record) and 2 outstanding counts per channel,
 eight bytes to store K(S,E), the total size is 200 bytes."
 :func:`management_state_bytes` reproduces that accounting from live
 state so the ``T2`` benchmark can compare model vs measured.
+
+Record storage is *columnar* by default: every
+:class:`DownstreamRecord` is a thin row view over the process-global
+:class:`StateBank` — parallel ``count``/``flags``/``updated_at``
+columns following the ``CounterBank`` layout idiom from
+:mod:`repro.core.accounting` (preallocated, doubled on demand, free
+list recycling rows). Unlike ``CounterBank``, the columns are plain
+Python lists even when numpy is available: no consumer vectorizes
+over them — every access is a scalar read or write on a protocol hot
+path, where list indexing returns the stored ``int``/``float``
+directly while ndarray indexing boxes a fresh numpy scalar (~5×
+slower per touch, measured on the mega-storm block path). This still
+packs the per-record hot fields the mega-channel workloads hammer
+(count rewrites, refresh stamps, mode flags) into flat arrays instead
+of one Python object's dict per record, exactly the §5.2 "packed
+count-activity record" picture. The legacy per-record dataclass
+survives as
+:class:`DictDownstreamRecord` (``REPRO_COLUMNAR=0`` or
+``columnar=False`` on the agent selects it) and the property suite in
+``tests/properties/test_state_equivalence.py`` pins the two backends
+bit-identical.
 """
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass, field
-from typing import Optional
+from typing import Optional, Union
 
-from repro.core.channel import Channel
+from repro.core.channel import Channel, channel_id
 from repro.core.keys import KEY_BYTES, ChannelKey
 from repro.core.proactive import ProactiveCounter
+
+#: ``REPRO_COLUMNAR=0`` is the columnar store's escape hatch: agents
+#: fall back to the legacy per-record dataclass.
+COLUMNAR_DEFAULT = os.environ.get("REPRO_COLUMNAR", "1") != "0"
 
 #: Pseudo-neighbor name for this node's own (host-local) subscriptions.
 LOCAL = "__local__"
@@ -45,9 +71,175 @@ def is_pseudo_neighbor(name: str) -> bool:
 COUNT_RECORD_BYTES = 32
 
 
-@dataclass
+#: Flag bits within the bank's ``flags`` column.
+_F_VALIDATED = 0x01
+_F_UDP = 0x02
+
+#: Initial bank rows (doubles on demand, mirroring ``CounterBank``).
+_INITIAL_ROWS = 256
+
+
+class StateBank:
+    """Columnar backing store for downstream records.
+
+    Three parallel columns — ``counts`` (int), ``flags`` (int bit
+    field: validated, udp) and ``stamps`` (float ``updated_at``) —
+    preallocated and doubled on demand, with a free list so deleted
+    records recycle their rows. The columns are plain Python lists by
+    design, not ndarrays: all access is scalar (see the module
+    docstring). Callers must index through the bank attribute on
+    every access: growth may replace the columns.
+    """
+
+    __slots__ = ("counts", "flags", "stamps", "_capacity", "_rows", "_free")
+
+    def __init__(self, capacity: int = _INITIAL_ROWS) -> None:
+        self._capacity = capacity
+        self._rows = 0
+        self._free: list[int] = []
+        self.counts = [0] * capacity
+        self.flags = [0] * capacity
+        self.stamps = [0.0] * capacity
+
+    def alloc(self) -> int:
+        """Claim one row (recycled if possible); caller initializes it."""
+        free = self._free
+        if free:
+            return free.pop()
+        row = self._rows
+        if row >= self._capacity:
+            self._grow()
+        self._rows = row + 1
+        return row
+
+    def release(self, row: int) -> None:
+        """Return a row to the free list."""
+        self._free.append(row)
+
+    def _grow(self) -> None:
+        self._capacity *= 2
+        self.counts.extend([0] * (self._capacity - len(self.counts)))
+        self.flags.extend([0] * (self._capacity - len(self.flags)))
+        self.stamps.extend([0.0] * (self._capacity - len(self.stamps)))
+
+    @property
+    def live_rows(self) -> int:
+        return self._rows - len(self._free)
+
+
+#: Process-global bank, like ``accounting.BLOCK_BANK``: records from
+#: every agent share the same columns, so one network's worth of
+#: channel state is a handful of arrays rather than per-record dicts.
+STATE_BANK = StateBank()
+
+
 class DownstreamRecord:
-    """State for one downstream neighbor (or LOCAL) on a channel."""
+    """State for one downstream neighbor (or LOCAL) on a channel.
+
+    A row view over :data:`STATE_BANK`: attribute reads and writes go
+    straight to the columnar arrays. The constructor signature, field
+    defaults, repr and equality all match the legacy
+    :class:`DictDownstreamRecord` exactly — callers cannot tell the
+    backends apart (the property suite enforces that).
+    """
+
+    __slots__ = ("_row", "presented_key")
+
+    def __init__(
+        self,
+        count: int = 0,
+        validated: bool = True,
+        presented_key: Optional[ChannelKey] = None,
+        updated_at: float = 0.0,
+        udp: bool = False,
+    ) -> None:
+        bank = STATE_BANK
+        row = bank.alloc()
+        bank.counts[row] = count
+        bank.flags[row] = (_F_VALIDATED if validated else 0) | (_F_UDP if udp else 0)
+        bank.stamps[row] = updated_at
+        self._row = row
+        self.presented_key = presented_key
+
+    @property
+    def count(self) -> int:
+        return int(STATE_BANK.counts[self._row])
+
+    @count.setter
+    def count(self, value: int) -> None:
+        STATE_BANK.counts[self._row] = value
+
+    @property
+    def validated(self) -> bool:
+        """False while an authenticated subscription awaits validation."""
+        return bool(STATE_BANK.flags[self._row] & _F_VALIDATED)
+
+    @validated.setter
+    def validated(self, value: bool) -> None:
+        bank = STATE_BANK
+        if value:
+            bank.flags[self._row] |= _F_VALIDATED
+        else:
+            bank.flags[self._row] &= ~_F_VALIDATED
+
+    @property
+    def updated_at(self) -> float:
+        return float(STATE_BANK.stamps[self._row])
+
+    @updated_at.setter
+    def updated_at(self, value: float) -> None:
+        STATE_BANK.stamps[self._row] = value
+
+    @property
+    def udp(self) -> bool:
+        """True for neighbors managed in UDP mode (soft state, needs
+        refresh)."""
+        return bool(STATE_BANK.flags[self._row] & _F_UDP)
+
+    @udp.setter
+    def udp(self, value: bool) -> None:
+        bank = STATE_BANK
+        if value:
+            bank.flags[self._row] |= _F_UDP
+        else:
+            bank.flags[self._row] &= ~_F_UDP
+
+    def __repr__(self) -> str:
+        return (
+            f"DownstreamRecord(count={self.count}, validated={self.validated}, "
+            f"presented_key={self.presented_key!r}, "
+            f"updated_at={self.updated_at}, udp={self.udp})"
+        )
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, (DownstreamRecord, DictDownstreamRecord)):
+            return NotImplemented
+        return (
+            self.count == other.count
+            and self.validated == other.validated
+            and self.presented_key == other.presented_key
+            and self.updated_at == other.updated_at
+            and self.udp == other.udp
+        )
+
+    def __del__(self) -> None:
+        row = getattr(self, "_row", -1)
+        if row >= 0:
+            self._row = -1
+            try:
+                STATE_BANK.release(row)
+            except (AttributeError, TypeError):  # pragma: no cover
+                pass  # interpreter shutdown: globals already torn down
+
+
+@dataclass(eq=False)
+class DictDownstreamRecord:
+    """The legacy per-record dataclass (``REPRO_COLUMNAR=0`` backend).
+
+    Kept as the live reference implementation the columnar view is
+    equivalence-pinned against, and as the A/B baseline for the
+    ``channel_surf`` benchmark.
+    """
 
     count: int = 0
     #: False while an authenticated subscription awaits validation.
@@ -58,6 +250,21 @@ class DownstreamRecord:
     #: True for neighbors managed in UDP mode (soft state, needs refresh).
     udp: bool = False
 
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, (DownstreamRecord, DictDownstreamRecord)):
+            return NotImplemented
+        return (
+            self.count == other.count
+            and self.validated == other.validated
+            and self.presented_key == other.presented_key
+            and self.updated_at == other.updated_at
+            and self.udp == other.udp
+        )
+
+
+#: Either backend; the agent code is written against the shared API.
+DownstreamRecordType = Union[DownstreamRecord, DictDownstreamRecord]
+
 
 @dataclass
 class ChannelState:
@@ -67,7 +274,7 @@ class ChannelState:
     #: Upstream neighbor name toward S; None at the source's own node.
     upstream: Optional[str] = None
     #: Per-downstream-neighbor subscriber counts (LOCAL for own subs).
-    downstream: dict[str, DownstreamRecord] = field(default_factory=dict)
+    downstream: dict[str, DownstreamRecordType] = field(default_factory=dict)
     #: Count last advertised upstream (TCP-mode "sum provided upstream").
     advertised: int = 0
     #: Key forwarded upstream, awaiting a CountResponse verdict.
@@ -80,6 +287,21 @@ class ChannelState:
     #: When this node last switched upstream (hysteresis input).
     upstream_changed_at: float = 0.0
     created_at: float = 0.0
+    #: Record backend for this state's table; None resolves to the
+    #: process default (``REPRO_COLUMNAR``).
+    columnar: Optional[bool] = None
+
+    def __post_init__(self) -> None:
+        if self.columnar is None:
+            self.columnar = COLUMNAR_DEFAULT
+        #: Dense interned channel id (see :func:`channel_id`): stable
+        #: per process, used wherever per-channel state wants integer
+        #: keys instead of object hashing.
+        self.cid = channel_id(self.channel)
+
+    def new_record(self) -> DownstreamRecordType:
+        """A fresh default downstream record on this state's backend."""
+        return DownstreamRecord() if self.columnar else DictDownstreamRecord()
 
     def total(self, validated_only: bool = True) -> int:
         """Sum of downstream subscriber counts (the value sent upstream)."""

@@ -20,12 +20,12 @@ forwards it toward all downstream channel receivers".
 
 from __future__ import annotations
 
-from typing import Callable, Optional
+from typing import Callable
 
 from repro.core.accounting import DeliveryView, flush_agent_views
-from repro.core.channel import Channel
+from repro.core.channel import lookup_channel
 from repro.core.ecmp.protocol import EcmpAgent
-from repro.errors import ChannelError, ForwardingError
+from repro.errors import ForwardingError
 from repro.inet.addr import is_ssm, is_unicast
 from repro.netsim.node import Node, ProtocolAgent
 from repro.netsim.packet import Packet
@@ -79,10 +79,6 @@ class ExpressForwarder(ProtocolAgent):
             registry.register_collector(self._flush_views)
         #: Callbacks for unicast datagrams addressed to this node.
         self._unicast_sinks: list[Callable[[Packet], None]] = []
-        #: Memoized (src, dst) -> Channel | None: address validation is
-        #: pure, so each pair is parsed at most once instead of per
-        #: packet on the delivery fast path.
-        self._channel_cache: dict[tuple[int, int], Optional[Channel]] = {}
 
     def _flush_views(self) -> None:
         """Registry collector: apply pending delivery tallies (see
@@ -237,15 +233,10 @@ class ExpressForwarder(ProtocolAgent):
 
     def _deliver_local(self, packet: Packet) -> bool:
         """Deliver to a local subscription, if any; True if delivered."""
-        key = (packet.src, packet.dst)
-        try:
-            channel = self._channel_cache[key]
-        except KeyError:
-            try:
-                channel = Channel(source=packet.src, group=packet.dst)
-            except ChannelError:
-                channel = None
-            self._channel_cache[key] = channel
+        # The process-wide interning memo replaces the old per-forwarder
+        # cache: every layer (codec, FIB, delivery) shares one canonical
+        # Channel per (src, dst), invalid pairs negative-cached.
+        channel = lookup_channel(packet.src, packet.dst)
         if channel is None:
             return False
         ecmp = self.ecmp

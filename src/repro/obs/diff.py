@@ -46,6 +46,13 @@ LOWER_IS_BETTER = (
     # shrink.
     "phase_breakdown.alloc",
     "phase_breakdown.accounting",
+    # Control-plane refresh economics (bench schema v8): records the
+    # refresh tick examines are pure overhead, and the fast path's
+    # share of the legacy scan's examinations (``refresh_scan_fraction``
+    # — matched here before the benefit table's ``fraction``) is the
+    # tax the ring exists to shrink.
+    "refresh_scan",
+    "records_examined",
 )
 
 #: Name fragments marking a metric as a benefit: shrinking is a

@@ -193,6 +193,8 @@ def fake_report(**summary) -> dict:
         "sync_efficiency": 0.9,
         "null_ratio_reduction": 10.0,
         "sync_message_reduction": 3.5,
+        "zap_events_per_sec": 1500.0,
+        "state_churn_speedup": 4.0,
     }
     base.update(summary)
     return {"summary": base}

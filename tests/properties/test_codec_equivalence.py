@@ -1,0 +1,192 @@
+"""Property tests: the zero-copy codec is byte-identical to the legacy
+concatenating codec — same frames out, same objects and same error
+messages back in, for every message shape and every corruption.
+
+The fast path (``pack_into`` over one preallocated bytearray on
+encode, ``unpack_from`` over memoryview windows on decode) must be
+observationally indistinguishable from the legacy implementation it
+replaced; ``REPRO_ZERO_COPY=0`` keeps the legacy codec live as the
+reference.
+"""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.channel import Channel
+from repro.core.ecmp.countids import COUNT_ID_MAX
+from repro.core.ecmp.messages import (
+    Count,
+    CountQuery,
+    CountResponse,
+    CountStatus,
+    decode_batch,
+    decode_message,
+    encode_batch,
+    encode_message,
+    set_zero_copy,
+)
+from repro.core.keys import KEY_BYTES, ChannelKey
+from repro.core.proactive import ToleranceCurve
+from repro.errors import ReproError
+
+unicast_addresses = st.integers(min_value=0, max_value=0xDFFFFFFF)
+channels = st.builds(
+    Channel.of,
+    source=unicast_addresses,
+    suffix=st.integers(min_value=0, max_value=(1 << 24) - 1),
+)
+count_ids = st.integers(min_value=1, max_value=COUNT_ID_MAX)
+keys = st.one_of(
+    st.none(), st.binary(min_size=KEY_BYTES, max_size=KEY_BYTES).map(ChannelKey)
+)
+curves = st.one_of(
+    st.none(),
+    st.builds(
+        # width=32: the wire carries float32, so float32-exact inputs
+        # round-trip bit-identically.
+        ToleranceCurve,
+        e_max=st.floats(min_value=0.015625, max_value=8.0, width=32),
+        alpha=st.floats(min_value=0.125, max_value=32.0, width=32),
+        tau=st.floats(min_value=1.0, max_value=8192.0, width=32),
+    ),
+)
+counts = st.builds(
+    Count,
+    channel=channels,
+    count_id=count_ids,
+    count=st.integers(min_value=0, max_value=0xFFFFFFFF),
+    key=keys,
+)
+queries = st.builds(
+    CountQuery,
+    channel=channels,
+    count_id=count_ids,
+    timeout=st.integers(min_value=0, max_value=0xFFFFF).map(lambda ms: ms / 1000.0),
+    proactive=curves,
+)
+responses = st.builds(
+    CountResponse,
+    channel=channels,
+    count_id=count_ids,
+    status=st.sampled_from(CountStatus),
+)
+messages = st.one_of(counts, queries, responses)
+
+
+def legacy(fn, *args):
+    """Run one codec call on the legacy implementation."""
+    prior = set_zero_copy(False)
+    try:
+        return fn(*args)
+    finally:
+        set_zero_copy(prior)
+
+
+def outcome(fn, *args):
+    """Result or (error-type, message) — for comparing error paths.
+
+    Catches every library error, not just ``CodecError``: corrupt
+    bytes can surface as e.g. ``CountIdError`` from a message
+    constructor, and the two codecs must agree on *which* error and
+    its text, whatever the class.
+    """
+    try:
+        return ("ok", fn(*args))
+    except ReproError as exc:
+        return ("err", type(exc).__name__, str(exc))
+
+
+class TestEncodeEquivalence:
+    @given(message=messages)
+    def test_single_frames_byte_identical(self, message):
+        assert encode_message(message) == legacy(encode_message, message)
+
+    @given(batch=st.lists(messages, min_size=1, max_size=8))
+    def test_batch_frames_byte_identical(self, batch):
+        assert encode_batch(batch) == legacy(encode_batch, batch)
+
+    def test_empty_batch_same_error(self):
+        assert outcome(encode_batch, []) == legacy(outcome, encode_batch, [])
+
+    def test_non_message_same_error(self):
+        assert outcome(encode_message, "nope") == legacy(
+            outcome, encode_message, "nope"
+        )
+
+    @given(message=queries)
+    def test_unencodable_timeout_same_error(self, message):
+        bad = CountQuery(
+            channel=message.channel,
+            count_id=message.count_id,
+            timeout=2**33,
+            proactive=message.proactive,
+        )
+        fast = outcome(encode_message, bad)
+        assert fast == legacy(outcome, encode_message, bad)
+        assert fast[0] == "err"
+
+
+class TestDecodeEquivalence:
+    @given(message=messages)
+    def test_round_trips_agree(self, message):
+        frame = encode_message(message)
+        assert decode_message(frame) == legacy(decode_message, frame)
+        assert decode_message(frame) == message
+
+    @given(batch=st.lists(messages, min_size=1, max_size=6))
+    def test_batch_round_trips_agree(self, batch):
+        frame = encode_batch(batch)
+        assert decode_batch(frame) == legacy(decode_batch, frame)
+        assert decode_batch(frame) == batch
+
+    @given(message=messages, cut=st.integers(min_value=0, max_value=60))
+    def test_truncations_raise_identical_errors(self, message, cut):
+        frame = encode_message(message)
+        mutated = frame[: max(len(frame) - cut, 0)]
+        assert outcome(decode_message, mutated) == legacy(
+            outcome, decode_message, mutated
+        )
+
+    @given(message=messages, tail=st.binary(min_size=1, max_size=8))
+    def test_trailing_bytes_raise_identical_errors(self, message, tail):
+        mutated = encode_message(message) + tail
+        fast = outcome(decode_message, mutated)
+        assert fast == legacy(outcome, decode_message, mutated)
+        assert fast[0] == "err"
+
+    @given(
+        batch=st.lists(messages, min_size=1, max_size=4),
+        cut=st.integers(min_value=1, max_value=40),
+        tail=st.binary(max_size=4),
+    )
+    def test_corrupted_batches_raise_identical_errors(self, batch, cut, tail):
+        frame = encode_batch(batch)
+        for mutated in (frame[: max(len(frame) - cut, 0)], frame + tail):
+            assert outcome(decode_batch, mutated) == legacy(
+                outcome, decode_batch, mutated
+            )
+
+    @given(byte=st.integers(min_value=0, max_value=255))
+    def test_unknown_type_bytes_raise_identical_errors(self, byte):
+        frame = bytes([byte]) + bytes(11)
+        assert outcome(decode_message, frame) == legacy(
+            outcome, decode_message, frame
+        )
+
+    @given(message=messages)
+    def test_fast_decode_accepts_memoryview(self, message):
+        frame = encode_message(message)
+        assert decode_message(memoryview(frame)) == message
+        assert legacy(decode_message, memoryview(frame)) == message
+
+
+class TestNestedBatch:
+    def test_nested_batch_same_error(self):
+        from repro.core.ecmp.messages import EcmpBatch
+
+        inner = Count(channel=Channel.of(1, 1), count_id=1, count=1)
+        nested = [EcmpBatch(messages=(inner,))]
+        fast = outcome(encode_batch, nested)
+        assert fast == legacy(outcome, encode_batch, nested)
+        assert fast == ("err", "CodecError", "batches cannot nest")

@@ -1,0 +1,210 @@
+"""Property tests: the columnar ECMP record bank is indistinguishable
+from the legacy per-record dataclasses, and the refresh ring expires
+soft state on exactly the ticks the full-table scan would.
+
+Two layers:
+
+* **Record level** — any sequence of field writes applied to a
+  :class:`DownstreamRecord` (StateBank row) and a
+  :class:`DictDownstreamRecord` leaves the two observably identical:
+  every field, ``repr``, and ``__eq__`` in both directions. Rows
+  recycle through the bank's free list without bleeding values.
+* **Network level** — the identical subscribe/unsubscribe/silence
+  workload driven on two :class:`ExpressNetwork` instances (columnar
+  vs dict records; refresh ring vs legacy scan) settles to
+  bit-identical ``ChannelState`` tables — including ``updated_at``
+  stamps and ``udp_expirations`` counts, pinning the ring's
+  expiry-timing equivalence with the scan.
+
+The bank's columns are plain lists regardless of numpy, but CI still
+drives this suite under ``REPRO_NO_NUMPY=1`` in the escape-hatches
+job: the workload-level comparison exercises the accounting layer's
+scalar fallback underneath the same equivalence assertions.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.ecmp.protocol import EcmpAgent
+from repro.core.ecmp.state import DictDownstreamRecord, DownstreamRecord
+from repro.core.network import ExpressNetwork
+from repro.netsim.topology import TopologyBuilder
+
+FIELD_WRITES = st.lists(
+    st.one_of(
+        st.tuples(st.just("count"), st.integers(min_value=0, max_value=1 << 31)),
+        st.tuples(st.just("validated"), st.booleans()),
+        st.tuples(st.just("udp"), st.booleans()),
+        st.tuples(
+            st.just("updated_at"),
+            st.floats(min_value=0.0, max_value=1e9, allow_nan=False),
+        ),
+        st.tuples(st.just("presented_key"), st.one_of(st.none(), st.binary(max_size=8))),
+    ),
+    max_size=12,
+)
+
+RECORD_FIELDS = ("count", "validated", "presented_key", "updated_at", "udp")
+
+
+def assert_records_identical(columnar, legacy):
+    for field in RECORD_FIELDS:
+        assert getattr(columnar, field) == getattr(legacy, field), field
+    assert columnar == legacy
+    assert legacy == columnar
+    # Identical field rendering; only the class name may differ.
+    assert repr(columnar).split("(", 1)[1] == repr(legacy).split("(", 1)[1]
+
+
+class TestRecordEquivalence:
+    @given(
+        count=st.integers(min_value=0, max_value=1 << 31),
+        validated=st.booleans(),
+        udp=st.booleans(),
+        updated_at=st.floats(min_value=0.0, max_value=1e9, allow_nan=False),
+        writes=FIELD_WRITES,
+    )
+    def test_any_write_sequence_is_backend_invisible(
+        self, count, validated, udp, updated_at, writes
+    ):
+        kwargs = dict(
+            count=count, validated=validated, udp=udp, updated_at=updated_at
+        )
+        columnar = DownstreamRecord(**kwargs)
+        legacy = DictDownstreamRecord(**kwargs)
+        assert_records_identical(columnar, legacy)
+        for field, value in writes:
+            setattr(columnar, field, value)
+            setattr(legacy, field, value)
+            assert_records_identical(columnar, legacy)
+
+    def test_field_types_survive_the_bank(self):
+        record = DownstreamRecord(count=3, updated_at=1.5)
+        assert type(record.count) is int
+        assert type(record.updated_at) is float
+        assert type(record.validated) is bool
+        assert type(record.udp) is bool
+
+    def test_recycled_rows_start_fresh(self):
+        # Dirty a row, release it (del), and confirm the next alloc —
+        # which reuses the freed row — sees constructor defaults, not
+        # the previous tenant's values.
+        first = DownstreamRecord(count=99, validated=False, udp=True, updated_at=7.0)
+        row = first._row
+        del first
+        second = DownstreamRecord()
+        assert second._row == row
+        assert_records_identical(second, DictDownstreamRecord())
+
+    def test_unequal_to_differing_record(self):
+        assert DownstreamRecord(count=1) != DictDownstreamRecord(count=2)
+        assert DownstreamRecord(count=1) != object()
+
+
+def state_snapshot(net):
+    """Every agent's full channel table, bit-exact: (channel, neighbor)
+    -> every record field, plus each agent's expiry/examination-free
+    counters that must not depend on the backend."""
+    snap = {}
+    for name, agent in sorted(net.ecmp_agents.items()):
+        tables = {}
+        for channel, state in agent.channels.items():
+            tables[(channel.source, channel.suffix)] = {
+                neighbor: tuple(getattr(record, f) for f in RECORD_FIELDS)
+                for neighbor, record in sorted(state.downstream.items())
+            }
+        snap[name] = {
+            "tables": tables,
+            "udp_expirations": agent.stats.get("udp_expirations"),
+            "estimate_events": agent.stats.get("count_update_events"),
+        }
+    return snap
+
+
+def build_star(columnar, refresh_ring):
+    topo = TopologyBuilder.star(4)
+    net = ExpressNetwork(
+        topo,
+        hosts=[f"leaf{i}" for i in range(4)],
+        edge_udp=True,
+        columnar=columnar,
+        refresh_ring=refresh_ring,
+    )
+    net.run(until=0.01)
+    return net
+
+
+# One step per (leaf, channel) pair: join, leave (zero Count +
+# re-query), or go silent (stop answering queries — soft-state expiry).
+OPS = st.lists(
+    st.tuples(
+        st.integers(min_value=1, max_value=3),  # leaf index (leaf0 = source)
+        st.integers(min_value=0, max_value=1),  # channel index
+        st.sampled_from(["join", "leave", "silence"]),
+    ),
+    min_size=1,
+    max_size=8,
+)
+
+
+class TestControlPlaneEquivalence:
+    @settings(max_examples=15, deadline=None)
+    @given(ops=OPS)
+    def test_fast_and_legacy_control_planes_converge_identically(self, ops):
+        interval = EcmpAgent.UDP_QUERY_INTERVAL
+        nets = [
+            build_star(columnar=True, refresh_ring=True),
+            build_star(columnar=False, refresh_ring=False),
+        ]
+        channels = []
+        for net in nets:
+            src = net.source("leaf0")
+            channels.append([src.allocate_channel(suffix=1 + k) for k in range(2)])
+        for net, chans in zip(nets, channels):
+            for step, (leaf, chan, action) in enumerate(ops):
+                at = 0.1 + 0.25 * step
+                host = f"leaf{leaf}"
+                if action == "join":
+                    net.sim.schedule_at(
+                        at,
+                        lambda n=host, c=chans[chan], net=net: (
+                            net.host(n).subscribe(c)
+                        ),
+                    )
+                elif action == "leave":
+                    net.sim.schedule_at(
+                        at,
+                        lambda n=host, c=chans[chan], net=net: (
+                            net.host(n).unsubscribe(c)
+                        ),
+                    )
+                else:
+                    # Vanish without a zero Count: the hub's soft state
+                    # for this host must age out on the same tick under
+                    # ring and scan.
+                    def silence(n=host, net=net):
+                        agent = net.ecmp_agents[n]
+                        agent.subscriptions.clear()
+                        agent.channels.clear()
+
+                    net.sim.schedule_at(at, silence)
+            # Run well past the soft-state horizon so every scheduled
+            # expiry lands in both networks.
+            horizon = (EcmpAgent.UDP_ROBUSTNESS + 2) * interval
+            net.run(until=0.1 + 0.25 * len(ops) + horizon)
+        fast, legacy = nets
+        assert fast.sim.now == legacy.sim.now
+        assert state_snapshot(fast) == state_snapshot(legacy)
+
+    def test_mixed_backends_interoperate(self):
+        # A columnar node and a dict node on the same wire: the record
+        # backend is node-local, so a network where only some agents
+        # are columnar must still converge (channels carry per-state
+        # overrides, not globals).
+        net = build_star(columnar=None, refresh_ring=None)
+        hub = net.ecmp_agents["hub"]
+        src = net.source("leaf0")
+        ch = src.allocate_channel()
+        net.host("leaf1").subscribe(ch)
+        net.settle()
+        assert hub.subscriber_count_estimate(ch) >= 1
