@@ -60,7 +60,17 @@ from repro.bench.scenarios import SCENARIOS, run_scenarios
 #: ``baseline`` block, the matching summary fields, and the
 #: ``--floor-zap-events-per-sec`` / ``--floor-state-churn-speedup``
 #: gates.
-SCHEMA_VERSION = 8
+#: v9: fault injection & adversarial robustness — the
+#: ``router_crash_storm`` scenario (a seeded ``repro.faults`` chaos
+#: plan: transit-router crash/restart cycles, partition/heal, latency
+#: spike, wire mutation, forged-key join flood, counting inflation)
+#: with the ``FaultMonitor`` SLOs ``convergence_seconds`` /
+#: ``resync_bytes`` / ``blast_radius`` / ``orphaned_state`` (all
+#: lower-is-better), matching summary fields, and the first *ceiling*
+#: gates ``--floor-convergence-seconds`` / ``--floor-blast-radius``
+#: (:data:`CEILING_GATES`: the run fails when the measured value
+#: exceeds the threshold).
+SCHEMA_VERSION = 9
 
 
 def build_report(
@@ -83,6 +93,7 @@ def build_report(
     churn = scenarios.get("link_flap_churn", {})
     mega = scenarios.get("mega_join_storm", {})
     surf = scenarios.get("channel_surf", {})
+    storm = scenarios.get("router_crash_storm", {})
     parallel = scenarios.get("mega_join_storm_parallel", {})
     return {
         "bench": "perf",
@@ -111,6 +122,13 @@ def build_report(
             "zap_events_per_sec": surf.get("zap_events_per_sec", 0.0),
             "state_churn_speedup": surf.get("state_churn_speedup", 0.0),
             "refresh_scan_fraction": surf.get("refresh_scan_fraction", 0.0),
+            # v9 robustness SLOs: None (not 0.0) when the storm scenario
+            # did not run, so a requested ceiling gate fails loudly
+            # instead of passing on a vacuous zero.
+            "convergence_seconds": storm.get("convergence_seconds"),
+            "resync_bytes": storm.get("resync_bytes"),
+            "blast_radius": storm.get("blast_radius"),
+            "orphaned_state": storm.get("orphaned_state"),
             "partition_speedup": parallel.get("partition_speedup", 0.0),
             "partition_workers": parallel.get("params", {}).get("workers", 0),
             "parallel_warnings": parallel.get("warnings", []),
@@ -198,15 +216,35 @@ FLOOR_GATES = {
     ),
 }
 
+#: Ceiling gates (schema v9): same table shape as :data:`FLOOR_GATES`,
+#: but the run fails when the measured value *exceeds* the threshold —
+#: these are robustness SLOs from the crash-storm scenario where lower
+#: is better. A missing/None summary value (the scenario did not run)
+#: fails loudly: a vacuous 0.0 must never pass a requested ceiling.
+CEILING_GATES = {
+    "convergence_seconds": (
+        "convergence_seconds",
+        "convergence seconds ceiling",
+        "{:.2f}",
+    ),
+    "blast_radius": (
+        "blast_radius",
+        "blast radius ceiling",
+        "{:.2f}",
+    ),
+}
+
 
 def check_floors(report: dict, floors: dict[str, Optional[float]]) -> list[str]:
     """Evaluate floor gates against a report's summary.
 
-    ``floors`` maps :data:`FLOOR_GATES` keys to thresholds (``None``
-    entries are skipped). Returns the list of failure messages — empty
-    means every requested gate passed. A floor whose summary field is
-    missing or zero (its scenario did not run) fails rather than
-    silently passing: a gate the CI asked for must measure something.
+    ``floors`` maps :data:`FLOOR_GATES` or :data:`CEILING_GATES` keys
+    to thresholds (``None`` entries are skipped). Returns the list of
+    failure messages — empty means every requested gate passed. A floor
+    whose summary field is missing or zero (its scenario did not run)
+    fails rather than silently passing: a gate the CI asked for must
+    measure something. Ceiling gates fail when the value is missing
+    (``None``) or above the threshold.
 
     Exception: the ``partition_speedup`` gate is skipped (with a
     ``SKIP:`` notice on stderr) when the parallel scenario reported
@@ -228,8 +266,22 @@ def check_floors(report: dict, floors: dict[str, Optional[float]]) -> list[str]:
                 file=sys.stderr,
             )
             continue
+        if gate in CEILING_GATES:
+            key, label, fmt = CEILING_GATES[gate]
+            value = report["summary"].get(key)
+            if value is None:
+                failures.append(
+                    f"FAIL: {label} {fmt.format(floor)} has no measurement "
+                    "(crash-storm scenario did not run)"
+                )
+            elif value > floor:
+                failures.append(
+                    f"FAIL: {label} {fmt.format(floor)} exceeded "
+                    f"(got {fmt.format(value)})"
+                )
+            continue
         key, label, fmt = FLOOR_GATES[gate]
-        value = report["summary"].get(key, 0.0)
+        value = report["summary"].get(key) or 0.0
         if value < floor:
             failures.append(
                 f"FAIL: {label} {fmt.format(floor)} not met "
@@ -359,6 +411,20 @@ def main(argv: Optional[list[str]] = None) -> int:
         "messages per merged event by at least this factor vs the "
         "eager lockstep baseline (host-independent message counts)",
     )
+    parser.add_argument(
+        "--floor-convergence-seconds",
+        type=float,
+        default=None,
+        help="exit non-zero if the crash storm's post-fault convergence "
+        "time exceeds this many sim-seconds (ceiling: lower is better)",
+    )
+    parser.add_argument(
+        "--floor-blast-radius",
+        type=float,
+        default=None,
+        help="exit non-zero if the crash storm churns more than this "
+        "fraction of agents (ceiling: lower is better)",
+    )
     args = parser.parse_args(argv)
 
     report = build_report(
@@ -403,6 +469,13 @@ def main(argv: Optional[list[str]] = None) -> int:
                 f"  nulls {metrics['null_ratio_reduction']:.1f}x fewer"
                 f"  sync msgs {metrics['sync_message_reduction']:.1f}x fewer"
             )
+        if "blast_radius" in metrics:
+            line += (
+                f"  conv {metrics['convergence_seconds']:.2f}s"
+                f"  resync {metrics['resync_bytes']:,}B"
+                f"  blast {metrics['blast_radius']:.0%}"
+                f"  faults {metrics['faults']['faults_fired']}"
+            )
         latency = metrics.get("delivery_latency", {})
         if latency.get("count"):
             line += (
@@ -428,6 +501,8 @@ def main(argv: Optional[list[str]] = None) -> int:
             "sync_efficiency": args.floor_sync_efficiency,
             "null_ratio_reduction": args.floor_null_ratio_reduction,
             "sync_msg_reduction": args.floor_sync_msg_reduction,
+            "convergence_seconds": args.floor_convergence_seconds,
+            "blast_radius": args.floor_blast_radius,
         },
     )
     for failure in failures:

@@ -23,6 +23,15 @@ cover the hot paths this repo optimizes:
   ring) and on the legacy dict/scan/concatenating baseline, and the
   wall-clock ratio over the zapping window is reported as
   ``state_churn_speedup`` (CI-gated).
+* **router_crash_storm** — soft-state robustness: a seeded
+  :mod:`repro.faults` chaos plan (transit-router crash/restart cycles,
+  a partition/heal, a latency spike, a wire-mutation window, a
+  forged-key join flood, and a counting-inflation attack) runs against
+  a subscribed ISP network, and the
+  :class:`~repro.faults.monitor.FaultMonitor` SLOs —
+  ``convergence_seconds`` / ``resync_bytes`` / ``blast_radius`` /
+  ``orphaned_state`` — are reported and CI-gated (ceiling gates:
+  lower is better).
 
 Wall-clock throughput numbers reflect the Python substrate and the
 host machine; the JSON file exists so future PRs can diff *relative*
@@ -45,7 +54,9 @@ from typing import Optional
 
 from repro.core.ecmp.messages import set_zero_copy
 from repro.core.ecmp.protocol import EcmpAgent, NeighborMode
+from repro.core.keys import make_key
 from repro.core.network import ExpressNetwork
+from repro.faults import FaultInjector, FaultMonitor, seeded_crash_storm
 from repro.netsim.engine import derive_seed
 from repro.netsim.topology import TopologyBuilder
 from repro.obs.hooks import Observability
@@ -1053,12 +1064,191 @@ def mega_join_storm_parallel(
     }
 
 
+def router_crash_storm(quick: bool = True, seed: int = 0) -> dict:
+    """Soft-state recovery under a seeded chaos plan (schema v9).
+
+    An ISP network with UDP-mode host edges carries a subscribed
+    audience (one channel key-authenticated); once settled, a
+    :class:`~repro.faults.plan.FaultPlan` fires transit-router
+    crash/restart cycles through the real protocol (links drop,
+    :meth:`EcmpAgent.lose_state` wipes the victim, neighbors resync on
+    recovery), plus a stub partition/heal, a core latency spike, a
+    wire-mutation window duplicating/reordering/dropping frames on a
+    UDP edge, a forged-key join flood (§3.3 authentication DoS), and a
+    counting-inflation attack. The
+    :class:`~repro.faults.monitor.FaultMonitor` scores the run:
+    ``convergence_seconds`` (last state write after the last fault),
+    ``resync_bytes`` (recovery re-announcement cost), ``blast_radius``
+    (fraction of agents churned), and ``orphaned_state`` (must settle
+    to zero — the scenario raises on leftovers). The final CountQuery
+    must return the honest subscriber count: the inflation attack may
+    not survive settlement.
+    """
+    n_transit = 3 if quick else 5
+    stubs = 2 if quick else 3
+    hosts_per_stub = 2 if quick else 3
+    crashes = 2 if quick else 5
+    downtime = 4.0
+    spacing = 12.0
+    channels_per_source = 2 if quick else 4
+    refresh_interval = 1.0
+
+    saved_interval = EcmpAgent.UDP_QUERY_INTERVAL
+    EcmpAgent.UDP_QUERY_INTERVAL = refresh_interval
+    try:
+        obs = Observability()
+        topo = TopologyBuilder.isp(
+            n_transit=n_transit,
+            stubs_per_transit=stubs,
+            hosts_per_stub=hosts_per_stub,
+            seed=seed,
+        )
+        obs.bind_simulator(topo.sim)
+        net = ExpressNetwork(topo, obs=obs, wire_format=True, edge_udp=True)
+        host_names = sorted(net.host_names)
+        net.start()
+        net.settle(2.0)
+
+        # Two sources in different transit regions; the last host stays
+        # unsubscribed and plays the forged-key attacker.
+        sources = [net.source(host_names[0]), net.source(host_names[-2])]
+        source_names = {s.name for s in sources}
+        attacker = host_names[-1]
+        channels = [
+            s.allocate_channel()
+            for s in sources
+            for _ in range(channels_per_source)
+        ]
+        keyed_channel = channels[0]
+        key = make_key(keyed_channel)
+        sources[0].channel_key(keyed_channel, key)
+        subscribers = [
+            n for n in host_names if n not in source_names and n != attacker
+        ]
+        for j, name in enumerate(subscribers):
+            for index, channel in enumerate(channels):
+                net.sim.schedule(
+                    0.05 * ((j * len(channels) + index) % 37),
+                    lambda n=name, c=channel: net.host(n).subscribe(
+                        c, key=key if c == keyed_channel else None
+                    ),
+                    name="bench-join",
+                )
+        net.settle(5.0 + 2 * refresh_interval)
+
+        monitor = FaultMonitor(net)
+        monitor.begin()
+        storm_start = net.sim.now + 2.0
+        # Crash victims exclude t0 so the composed link faults on
+        # t0-attached links never race a crash of their own endpoint.
+        victims = [f"t{t}" for t in range(1, n_transit)]
+        plan = seeded_crash_storm(
+            seed, victims, storm_start, crashes, downtime=downtime, spacing=spacing
+        )
+        mutated_link_host = subscribers[0]
+        edge_of = {
+            name: topo.node(name).neighbors()[0].name for name in host_names
+        }
+        plan.partition(storm_start + 5.0, "t0", edge_of[host_names[0]])
+        plan.heal(storm_start + 8.0, "t0", edge_of[host_names[0]])
+        plan.latency_spike(storm_start + 6.0, "t0", "t1", factor=10.0, duration=5.0)
+        plan.wire_mutate(
+            storm_start + 3.0,
+            edge_of[mutated_link_host],
+            mutated_link_host,
+            duration=8.0,
+            drop=0.05,
+            duplicate=0.2,
+            reorder=0.2,
+        )
+        plan.join_flood(
+            storm_start + 4.0,
+            attacker,
+            keyed_channel,
+            attempts=150 if quick else 400,
+            interval=0.005,
+        )
+        plan.count_inflate(
+            storm_start + 7.0,
+            subscribers[1],
+            channels[-1],
+            count=1_000_000,
+            repeats=3,
+        )
+        injector = FaultInjector(net, plan, monitor=monitor)
+        injector.arm()
+
+        storm_end = max(event.at + event.duration for event in plan)
+        settle_window = 20.0 + 4 * refresh_interval
+        events_before = net.sim.events_processed
+        started = perf_counter()
+        net.run(until=storm_end + settle_window)
+        wall = perf_counter() - started
+        sim_events = net.sim.events_processed - events_before
+        slo = monitor.report(injector)
+
+        if slo["orphaned_state"]:
+            raise RuntimeError(
+                f"router_crash_storm left {slo['orphaned_state']} orphaned "
+                "state entries after settlement"
+            )
+        expected = len(subscribers)
+        for channel in channels:
+            active = net.subscriber_hosts(channel)
+            if len(active) != expected:
+                raise RuntimeError(
+                    f"{channel} lost subscribers across the storm: "
+                    f"{len(active)}/{expected} still active"
+                )
+        # The counting-inflation attack must not survive settlement:
+        # the honest refresh overwrote it (untimed verification pass).
+        totals: list[int] = []
+        sources[-1].count_query(
+            channels[-1],
+            1,
+            timeout=5.0,
+            callback=lambda total, partial: totals.append(total),
+        )
+        net.settle(10.0)
+        if not totals or totals[0] != expected:
+            raise RuntimeError(
+                f"count_query after inflation attack returned {totals}, "
+                f"expected [{expected}]"
+            )
+
+        return {
+            "params": {
+                "topology": f"isp({n_transit},{stubs},{hosts_per_stub})",
+                "nodes": len(topo.nodes),
+                "channels": len(channels),
+                "subscribers": expected,
+                "crashes": crashes,
+                "downtime": downtime,
+                "fault_events": len(plan),
+                "refresh_interval": refresh_interval,
+            },
+            "wall_seconds": wall,
+            "sim_events": sim_events,
+            "events_per_sec": sim_events / wall if wall else 0.0,
+            "convergence_seconds": slo["convergence_seconds"],
+            "resync_bytes": slo["resync_bytes"],
+            "resync_counts": slo["resync_counts"],
+            "blast_radius": slo["blast_radius"],
+            "orphaned_state": slo["orphaned_state"],
+            "faults": slo,
+            "ecmp_wire": _ecmp_wire_stats(net),
+        }
+    finally:
+        EcmpAgent.UDP_QUERY_INTERVAL = saved_interval
+
+
 SCENARIOS = {
     "join_storm": join_storm,
     "link_flap_churn": link_flap_churn,
     "steady_fanout": steady_fanout,
     "mega_join_storm": mega_join_storm,
     "channel_surf": channel_surf,
+    "router_crash_storm": router_crash_storm,
     "mega_join_storm_parallel": mega_join_storm_parallel,
 }
 

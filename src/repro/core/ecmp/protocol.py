@@ -432,6 +432,53 @@ class EcmpAgent(ProtocolAgent):
         self._flush_events.clear()
         self._batch_queues.clear()
 
+    def lose_state(self) -> None:
+        """Crash semantics: drop every piece of soft protocol state.
+
+        Used by the fault-injection subsystem
+        (:mod:`repro.faults.injectors`) to model a router crash: all
+        channel tables, subscriptions, pending queries/verdicts,
+        aggregated block membership, refresh bookkeeping, and FIB
+        entries vanish; only configuration (role, neighbor modes,
+        propagation policy) and the cumulative observability counters
+        survive — the counters are the measurement harness, not
+        protocol state. Call :meth:`stop` first or let this do it;
+        afterwards :meth:`start` models the reboot, and neighbors'
+        keepalive misses / ``_neighbor_recovered`` resync storms
+        rebuild the state through the real protocol.
+        """
+        self.stop()
+        n_lost = sum(len(s.neighbors) for s in self.channels.values())
+        self.channels.clear()
+        self.subscriptions.clear()
+        for pending in self.pending_queries.values():
+            if pending.timeout_event is not None:
+                pending.timeout_event.cancel()
+        self.pending_queries.clear()
+        self.pending_verdicts.clear()
+        self.count_responders.clear()
+        for event in self._proactive_checks.values():
+            event.cancel()
+        self._proactive_checks.clear()
+        self.neighbor_last_heard.clear()
+        self.blocks.clear()
+        self.channel_blocks.clear()
+        self.blocks_version += 1
+        self._delivery_views.clear()
+        self._udp_channels.clear()
+        self._by_upstream.clear()
+        self.keys = KeyCache()
+        if self.role == "router":
+            self._refresh_ring = RefreshRing(self.UDP_QUERY_INTERVAL)
+        self._udp_query_task = None
+        self._keepalive_task = None
+        self._rehome_scheduled = False
+        for source, dest in self.fib.channels():
+            self.fib.remove(source, dest)
+        if self.obs is not None and n_lost:
+            self.obs.state_changed(n_lost)
+        self.stats.incr("state_losses")
+
     def set_neighbor_mode(self, neighbor: str, mode: NeighborMode) -> None:
         """Configure TCP or UDP mode toward one neighbor (§3.2: "A
         router can select either TCP or UDP mode for ECMP on each

@@ -33,9 +33,19 @@ class RefreshRing:
     whose window starts strictly before ``now``. Entries are deduped —
     an entry lives in at most one bucket, tracked membership in a set;
     :meth:`discard` is lazy (the bucket slot is skipped when popped).
+
+    Popped-but-undispositioned keys are staged in ``_pending`` rather
+    than handed to the generator's stack alone: if a :meth:`due`
+    iteration is abandoned partway (an exception, a crash injected
+    mid-tick, a clock jump straddling the deadline), the keys already
+    popped from their buckets are *not* lost — the next :meth:`due`
+    call re-yields them, and :meth:`rebuild` re-buckets them. Without
+    the staging area an abandoned iteration would strand keys tracked
+    in ``_entries`` but resident in no bucket: dead entries that never
+    expire and block :meth:`add` from ever re-arming the key.
     """
 
-    __slots__ = ("granularity", "_buckets", "_entries")
+    __slots__ = ("granularity", "_buckets", "_entries", "_pending")
 
     def __init__(self, granularity: float) -> None:
         if granularity <= 0:
@@ -43,6 +53,10 @@ class RefreshRing:
         self.granularity = granularity
         self._buckets: dict[int, list] = {}
         self._entries: set = set()
+        #: Keys popped by :meth:`due` awaiting a discard/reschedule
+        #: disposition. A dict (insertion-ordered) so the re-yield
+        #: order after an abandoned iteration is deterministic.
+        self._pending: dict = {}
 
     def __len__(self) -> int:
         return len(self._entries)
@@ -65,38 +79,53 @@ class RefreshRing:
 
     def reschedule(self, key: Hashable, deadline: float) -> None:
         """Re-bucket a key just popped by :meth:`due` (still tracked)."""
+        self._pending.pop(key, None)
         self._buckets.setdefault(self._bucket_of(deadline), []).append(key)
 
     def discard(self, key: Hashable) -> None:
         """Stop tracking ``key``; its bucket slot is skipped lazily."""
         self._entries.discard(key)
+        self._pending.pop(key, None)
 
     def due(self, now: float) -> Iterator[Hashable]:
         """Pop and yield every tracked entry whose bucket window starts
-        before ``now``. The caller must either :meth:`discard` or
-        :meth:`reschedule` each yielded key."""
-        if not self._buckets:
-            return
-        granularity = self.granularity
-        entries = self._entries
-        for bucket in sorted(self._buckets):
-            if bucket * granularity >= now:
-                break
-            for key in self._buckets.pop(bucket):
-                if key in entries:
-                    yield key
+        before ``now``, plus any entry popped by an earlier, abandoned
+        iteration that never received a disposition. The caller must
+        either :meth:`discard` or :meth:`reschedule` each yielded key;
+        keys are staged in ``_pending`` until then, so an abandoned
+        iteration loses nothing."""
+        if self._buckets:
+            granularity = self.granularity
+            entries = self._entries
+            pending = self._pending
+            for bucket in sorted(self._buckets):
+                if bucket * granularity >= now:
+                    break
+                for key in self._buckets.pop(bucket):
+                    if key in entries:
+                        pending[key] = None
+        for key in list(self._pending):
+            # Re-check per yield: the caller's disposition of an
+            # earlier key may have discarded this one.
+            if key in self._pending and key in self._entries:
+                yield key
 
     def rebuild(self, granularity: float, deadline_of) -> None:
         """Re-bucket every tracked entry under a new ``granularity``
-        (used when the refresh interval changes before start);
+        (used when the refresh interval changes, and by crash/restart
+        recovery to re-arm entries stranded mid-tick);
         ``deadline_of(key)`` supplies each entry's current deadline."""
         if granularity <= 0:
             raise ValueError(f"granularity must be positive, got {granularity}")
         self.granularity = granularity
         keys = [key for keys in self._buckets.values() for key in keys]
+        keys.extend(self._pending)
         self._buckets = {}
+        self._pending = {}
+        seen = set()
         for key in keys:
-            if key in self._entries:
+            if key in self._entries and key not in seen:
+                seen.add(key)
                 self._buckets.setdefault(
                     self._bucket_of(deadline_of(key)), []
                 ).append(key)

@@ -56,3 +56,7 @@ class RelayError(ReproError):
 
 class WorkloadError(ReproError):
     """A workload/scenario generator was configured inconsistently."""
+
+
+class FaultError(ReproError):
+    """A fault plan or injector was configured inconsistently."""

@@ -1,0 +1,327 @@
+"""Declarative, replayable chaos plans.
+
+A :class:`FaultPlan` is a schedule of typed :class:`FaultEvent`\\ s —
+router crashes/restarts, link partitions/heals, latency spikes, wire
+mutation windows, and adversarial load bursts — that an injector
+(:mod:`repro.faults.injectors`) arms against a live
+:class:`~repro.core.network.ExpressNetwork`. Plans are data, not
+callbacks: the same plan applied to the same seeded network replays
+bit-identically, and an *empty* plan schedules nothing at all, so an
+instrumented run with no faults is indistinguishable from a plain run
+(the ``tests/properties/test_fault_equivalence.py`` suite pins this).
+
+Every source of randomness inside a fault (forged key bytes, mutation
+draws, flood jitter) comes from a per-event ``random.Random`` seeded
+through the repo's :func:`~repro.netsim.engine.derive_seed` contract —
+never from the simulator's own RNG — so injecting a fault perturbs the
+run only through the protocol events it causes, and two plans with the
+same seed draw identical chaos regardless of what the simulation does
+in between.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Any, Iterator
+
+from repro.errors import FaultError
+from repro.netsim.engine import derive_seed
+
+#: Every fault kind an injector knows how to fire. Node faults operate
+#: on one router; link faults on an ``(a, b)`` endpoint pair;
+#: adversarial kinds on an attacker host/router.
+KINDS = (
+    "crash",
+    "restart",
+    "partition",
+    "heal",
+    "latency_spike",
+    "wire_mutate",
+    "join_flood",
+    "count_inflate",
+)
+
+#: Kinds whose target is a link endpoint pair ``(a, b)``.
+LINK_KINDS = ("partition", "heal", "latency_spike", "wire_mutate")
+
+
+@dataclass(frozen=True)
+class FaultEvent:
+    """One scheduled fault.
+
+    ``at`` is absolute simulated time; ``target`` is a node name for
+    node/adversarial kinds and ``"a|b"`` for link kinds; ``duration``
+    bounds windowed kinds (latency spikes, wire mutation, floods); any
+    kind-specific knobs ride in ``params``.
+    """
+
+    at: float
+    kind: str
+    target: str = ""
+    duration: float = 0.0
+    params: dict = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.kind not in KINDS:
+            raise FaultError(f"unknown fault kind {self.kind!r}")
+        if self.at < 0:
+            raise FaultError(f"fault time must be >= 0, got {self.at}")
+        if self.duration < 0:
+            raise FaultError(f"duration must be >= 0, got {self.duration}")
+
+    @property
+    def link_endpoints(self) -> tuple[str, str]:
+        if self.kind not in LINK_KINDS:
+            raise FaultError(f"{self.kind} is not a link fault")
+        a, sep, b = self.target.partition("|")
+        if not sep or not a or not b:
+            raise FaultError(f"link target must be 'a|b', got {self.target!r}")
+        return a, b
+
+
+class FaultPlan:
+    """An ordered, seeded schedule of fault events.
+
+    Build one with the fluent methods (each returns ``self`` for
+    chaining), then hand it to a
+    :class:`~repro.faults.injectors.FaultInjector`. Event order within
+    one timestamp is the insertion order of the builder calls, so a
+    plan is fully deterministic without any tie-breaking randomness.
+    """
+
+    def __init__(self, seed: int = 0) -> None:
+        self.seed = seed
+        self.events: list[FaultEvent] = []
+
+    # -- container protocol ------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def __iter__(self) -> Iterator[FaultEvent]:
+        return iter(self.events)
+
+    @property
+    def empty(self) -> bool:
+        return not self.events
+
+    def sorted_events(self) -> list[tuple[int, FaultEvent]]:
+        """``(index, event)`` pairs in firing order (time, then
+        insertion order — Python's sort is stable)."""
+        return sorted(enumerate(self.events), key=lambda pair: pair[1].at)
+
+    def rng_for(self, index: int, event: FaultEvent) -> random.Random:
+        """The per-event RNG: seeded from the plan seed, the event's
+        position, kind, and target — never from the simulator."""
+        return random.Random(
+            derive_seed(self.seed, "faults", str(index), event.kind, event.target)
+        )
+
+    # -- builders ----------------------------------------------------------
+
+    def _add(self, event: FaultEvent) -> "FaultPlan":
+        self.events.append(event)
+        return self
+
+    def crash(self, at: float, node: str) -> "FaultPlan":
+        """Router crash: every attached link goes down and the agent
+        loses all soft state (:meth:`EcmpAgent.lose_state`)."""
+        return self._add(FaultEvent(at, "crash", node))
+
+    def restart(self, at: float, node: str) -> "FaultPlan":
+        """Reboot a crashed router: agent restarts empty, links come
+        back up, neighbors resync through the real protocol."""
+        return self._add(FaultEvent(at, "restart", node))
+
+    def crash_restart(
+        self, at: float, node: str, downtime: float
+    ) -> "FaultPlan":
+        """Convenience: a crash at ``at`` healed at ``at + downtime``."""
+        if downtime <= 0:
+            raise FaultError(f"downtime must be > 0, got {downtime}")
+        return self.crash(at, node).restart(at + downtime, node)
+
+    def partition(self, at: float, a: str, b: str) -> "FaultPlan":
+        """Fail the link between ``a`` and ``b``."""
+        return self._add(FaultEvent(at, "partition", f"{a}|{b}"))
+
+    def heal(self, at: float, a: str, b: str) -> "FaultPlan":
+        """Recover the link between ``a`` and ``b``."""
+        return self._add(FaultEvent(at, "heal", f"{a}|{b}"))
+
+    def latency_spike(
+        self, at: float, a: str, b: str, factor: float, duration: float
+    ) -> "FaultPlan":
+        """Multiply the a-b link's propagation delay by ``factor`` for
+        ``duration`` seconds, then restore it."""
+        if factor <= 0:
+            raise FaultError(f"latency factor must be > 0, got {factor}")
+        return self._add(
+            FaultEvent(
+                at,
+                "latency_spike",
+                f"{a}|{b}",
+                duration,
+                {"factor": factor},
+            )
+        )
+
+    def wire_mutate(
+        self,
+        at: float,
+        a: str,
+        b: str,
+        duration: float,
+        drop: float = 0.0,
+        duplicate: float = 0.0,
+        reorder: float = 0.0,
+        reorder_delay: float = 0.005,
+    ) -> "FaultPlan":
+        """Install a seeded wire mutator on the a-b link for
+        ``duration`` seconds: per-packet Bernoulli drop / duplicate /
+        reorder draws against ``MSG_BATCH`` frames and data alike."""
+        for name, p in (("drop", drop), ("duplicate", duplicate), ("reorder", reorder)):
+            if not 0.0 <= p <= 1.0:
+                raise FaultError(f"{name} probability must be in [0, 1], got {p}")
+        return self._add(
+            FaultEvent(
+                at,
+                "wire_mutate",
+                f"{a}|{b}",
+                duration,
+                {
+                    "drop": drop,
+                    "duplicate": duplicate,
+                    "reorder": reorder,
+                    "reorder_delay": reorder_delay,
+                },
+            )
+        )
+
+    def join_flood(
+        self,
+        at: float,
+        attacker: str,
+        channel: Any,
+        attempts: int = 50,
+        interval: float = 0.01,
+    ) -> "FaultPlan":
+        """§3.3 authentication DoS: ``attacker`` (a host) floods the
+        keyed ``channel`` with forged-key subscription attempts at one
+        per ``interval`` seconds."""
+        if attempts <= 0:
+            raise FaultError(f"attempts must be > 0, got {attempts}")
+        if interval <= 0:
+            raise FaultError(f"interval must be > 0, got {interval}")
+        return self._add(
+            FaultEvent(
+                at,
+                "join_flood",
+                attacker,
+                attempts * interval,
+                {"channel": channel, "attempts": attempts, "interval": interval},
+            )
+        )
+
+    def count_inflate(
+        self,
+        at: float,
+        attacker: str,
+        channel: Any,
+        count: int = 1_000_000,
+        repeats: int = 1,
+        interval: float = 0.05,
+    ) -> "FaultPlan":
+        """Counting-inflation attack: ``attacker`` (a subscribed host)
+        reports a wildly inflated subscriber count for ``channel``,
+        trying to corrupt CountQuery totals upstream."""
+        if count < 0:
+            raise FaultError(f"count must be >= 0, got {count}")
+        if repeats <= 0:
+            raise FaultError(f"repeats must be > 0, got {repeats}")
+        return self._add(
+            FaultEvent(
+                at,
+                "count_inflate",
+                attacker,
+                repeats * interval,
+                {"channel": channel, "count": count, "repeats": repeats,
+                 "interval": interval},
+            )
+        )
+
+    # -- validation --------------------------------------------------------
+
+    def validate(self) -> None:
+        """Static sanity checks, raising :class:`FaultError`:
+
+        - every ``restart`` must follow a ``crash`` of the same node
+          (and vice versa: no double crash without an intervening
+          restart);
+        - every ``heal`` must follow a ``partition`` of the same pair;
+        - link-kind targets must parse as ``a|b``.
+        """
+        crashed: set[str] = set()
+        partitioned: set[frozenset] = set()
+        for _, event in self.sorted_events():
+            if event.kind == "crash":
+                if event.target in crashed:
+                    raise FaultError(
+                        f"{event.target} crashed twice with no restart"
+                    )
+                crashed.add(event.target)
+            elif event.kind == "restart":
+                if event.target not in crashed:
+                    raise FaultError(
+                        f"restart of {event.target} with no prior crash"
+                    )
+                crashed.discard(event.target)
+            elif event.kind in LINK_KINDS:
+                pair = frozenset(event.link_endpoints)
+                if event.kind == "partition":
+                    if pair in partitioned:
+                        raise FaultError(
+                            f"{event.target} partitioned twice with no heal"
+                        )
+                    partitioned.add(pair)
+                elif event.kind == "heal":
+                    if pair not in partitioned:
+                        raise FaultError(
+                            f"heal of {event.target} with no prior partition"
+                        )
+                    partitioned.discard(pair)
+
+
+def seeded_crash_storm(
+    seed: int,
+    routers: list[str],
+    start: float,
+    crashes: int,
+    downtime: float = 5.0,
+    spacing: float = 10.0,
+    jitter: float = 2.0,
+) -> FaultPlan:
+    """A replayable storm of crash/restart cycles over ``routers``.
+
+    Victims and timing jitter are drawn from ``derive_seed(seed,
+    "faults", "crash_storm")`` so the same arguments always produce the
+    same plan. Crashes are spaced so a router is always restarted
+    before it (or another) can crash again — the plan validates.
+    """
+    if not routers:
+        raise FaultError("crash storm needs at least one candidate router")
+    if downtime >= spacing:
+        raise FaultError(
+            f"downtime {downtime} must be < spacing {spacing} so cycles "
+            "never overlap"
+        )
+    rng = random.Random(derive_seed(seed, "faults", "crash_storm"))
+    plan = FaultPlan(seed)
+    at = start
+    for _ in range(crashes):
+        victim = routers[rng.randrange(len(routers))]
+        plan.crash_restart(at, victim, downtime)
+        at += spacing + rng.uniform(0.0, jitter)
+    plan.validate()
+    return plan

@@ -1,0 +1,138 @@
+"""Seeded wire mutator: reorder / duplicate / drop frames on one link.
+
+Installs on :attr:`repro.netsim.link.Link.mutator` and rewrites each
+transmission into zero or more ``(extra_delay, packet)`` deliveries.
+Because the hook sits *after* the sender-side accounting and loss draw
+but *before* the capture-or-schedule split, mutated frames flow through
+the parallel proxy path exactly like clean ones — a duplicated
+``MSG_BATCH`` frame crosses a partition boundary as two proxied
+packets, which is precisely the §3.2 soft-state idempotence the
+equivalence suites lean on.
+
+All randomness comes from the mutator's own :class:`random.Random`
+(seeded via the plan's ``derive_seed`` contract), never the
+simulator's RNG: installing a mutator with all probabilities at zero
+perturbs nothing.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import replace
+from typing import TYPE_CHECKING, Iterable
+
+from repro.errors import FaultError
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.netsim.link import Link
+    from repro.netsim.node import Node
+    from repro.netsim.packet import Packet
+
+
+class WireMutator:
+    """Per-packet Bernoulli drop / duplicate / reorder draws.
+
+    ``start``/``end`` bound the active window in simulated time;
+    outside it every packet passes untouched (and is not counted).
+    ``only_proto`` restricts mutation to one protocol label (default
+    ``"ecmp"`` — the control-plane frames whose idempotence is under
+    test); data packets pass through unmutated.
+    """
+
+    def __init__(
+        self,
+        rng: random.Random,
+        drop: float = 0.0,
+        duplicate: float = 0.0,
+        reorder: float = 0.0,
+        reorder_delay: float = 0.005,
+        start: float = 0.0,
+        end: float = math.inf,
+        only_proto: str = "ecmp",
+    ) -> None:
+        for name, p in (("drop", drop), ("duplicate", duplicate), ("reorder", reorder)):
+            if not 0.0 <= p <= 1.0:
+                raise FaultError(f"{name} probability must be in [0, 1], got {p}")
+        if reorder_delay < 0:
+            raise FaultError(f"reorder_delay must be >= 0, got {reorder_delay}")
+        self.rng = rng
+        self.drop = drop
+        self.duplicate = duplicate
+        self.reorder = reorder
+        self.reorder_delay = reorder_delay
+        self.start = start
+        self.end = end
+        self.only_proto = only_proto
+        #: Mutation tally, reported by the fault monitor.
+        self.stats = {"passed": 0, "dropped": 0, "duplicated": 0, "reordered": 0}
+
+    def install(self, link: "Link") -> None:
+        if link.mutator is not None:
+            raise FaultError(f"{link!r} already has a wire mutator")
+        link.mutator = self
+
+    def remove(self, link: "Link") -> None:
+        if link.mutator is self:
+            link.mutator = None
+
+    def __call__(
+        self, link: "Link", sender: "Node", packet: "Packet"
+    ) -> Iterable[tuple[float, "Packet"]]:
+        now = link.sim.now
+        if not (self.start <= now < self.end):
+            return ((0.0, packet),)
+        if self.only_proto is not None and packet.proto != self.only_proto:
+            return ((0.0, packet),)
+        # One draw per knob per packet, in a fixed order, so the draw
+        # sequence (and thus the whole run) is seed-deterministic.
+        rng = self.rng
+        drop = rng.random() < self.drop if self.drop else False
+        dup = rng.random() < self.duplicate if self.duplicate else False
+        reorder = rng.random() < self.reorder if self.reorder else False
+        if drop:
+            self.stats["dropped"] += 1
+            return ()
+        head_delay = 0.0
+        if reorder:
+            # Delay the original behind traffic sent up to
+            # ``reorder_delay`` later: a genuine reordering, not just
+            # added latency, whenever the link carries back-to-back
+            # frames.
+            self.stats["reordered"] += 1
+            head_delay = self.reorder_delay
+        deliveries = [(head_delay, packet)]
+        if dup:
+            self.stats["duplicated"] += 1
+            copy = replace(packet, headers=dict(packet.headers))
+            deliveries.append((head_delay + self.reorder_delay, copy))
+        if not (drop or dup or reorder):
+            self.stats["passed"] += 1
+        return deliveries
+
+    def mutations_total(self) -> int:
+        return (
+            self.stats["dropped"]
+            + self.stats["duplicated"]
+            + self.stats["reordered"]
+        )
+
+    def mutate_bytes(self, frame: bytes) -> list[bytes]:
+        """Offline mutation of a raw wire frame (no link involved):
+        returns the frame list a mutated transmission would carry —
+        possibly empty (drop), duplicated, truncated, or concatenated.
+        Used by the codec fuzz tests to generate adversarial byte
+        strings from real encoder output."""
+        rng = self.rng
+        roll = rng.random()
+        if roll < self.drop:
+            return []
+        out = [frame]
+        if rng.random() < self.duplicate:
+            out.append(frame)
+        if rng.random() < self.reorder and len(out) > 1:
+            out.reverse()
+        # A torn write: the tail of the last copy is cut mid-record.
+        if rng.random() < self.drop and len(frame) > 1:
+            out[-1] = frame[: rng.randrange(1, len(frame))]
+        return out

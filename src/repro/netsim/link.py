@@ -65,6 +65,18 @@ class Link:
         #: still happens, so per-link counters match a single-process
         #: run when summed across partitions.
         self.capture = None
+        #: Optional wire-mutation hook installed by the fault-injection
+        #: subsystem (:mod:`repro.faults.wire`). Called after the loss
+        #: draw with ``mutator(link, sender, packet)`` and must return
+        #: an iterable of ``(extra_delay, packet)`` deliveries: an
+        #: empty iterable drops the frame, two entries duplicate it,
+        #: and a positive ``extra_delay`` reorders it behind later
+        #: traffic. Each delivery is routed through the same
+        #: capture-or-schedule path as an unmutated packet, so the
+        #: parallel proxy layer sees mutated frames too. Sender-side
+        #: accounting happens once per :meth:`transmit` call, before
+        #: mutation, exactly like the loss draw.
+        self.mutator = None
         iface_a.link = self
         iface_b.link = self
 
@@ -115,13 +127,27 @@ class Link:
         receiver = self.other_end(sender)
         rx_iface = self.interface_of(receiver)
         latency = self.delay + packet.size / self.bandwidth
-        delivered = packet  # ownership transfers; callers copy for fanout
+        if self.mutator is not None:
+            for extra_delay, mutated in self.mutator(self, sender, packet):
+                self._deliver(receiver, rx_iface, mutated, latency + extra_delay)
+            return
+        # ownership transfers; callers copy for fanout
+        self._deliver(receiver, rx_iface, packet, latency)
+
+    def _deliver(
+        self,
+        receiver: "Node",
+        rx_iface: "Interface",
+        packet: Packet,
+        latency: float,
+    ) -> None:
         if self.capture is not None:
-            self.capture(self, sender, delivered, self.sim.now + latency)
+            sender = self.other_end(receiver)
+            self.capture(self, sender, packet, self.sim.now + latency)
             return
         self.sim.schedule(
             latency,
-            lambda: receiver.receive(delivered, rx_iface.index),
+            lambda: receiver.receive(packet, rx_iface.index),
             name=f"deliver:{packet.proto}",
         )
 

@@ -53,6 +53,16 @@ LOWER_IS_BETTER = (
     # tax the ring exists to shrink.
     "refresh_scan",
     "records_examined",
+    # Robustness SLOs (bench schema v9): ``convergence_seconds`` is
+    # already a cost via ``_seconds``; resync traffic, fault blast
+    # radius, and orphaned state are recovery overhead — a run that
+    # resyncs more bytes or churns more agents after the same fault
+    # plan regressed. (``blast_radius`` must classify here despite no
+    # benefit fragment; ``resync`` is matched before the benefit
+    # table so ``resync_*`` counters never read as wins.)
+    "resync",
+    "blast_radius",
+    "orphaned",
 )
 
 #: Name fragments marking a metric as a benefit: shrinking is a

@@ -12,6 +12,7 @@ import json
 import pytest
 
 from repro.bench import (
+    CEILING_GATES,
     FLOOR_GATES,
     SCHEMA_VERSION,
     build_report,
@@ -195,6 +196,8 @@ def fake_report(**summary) -> dict:
         "sync_message_reduction": 3.5,
         "zap_events_per_sec": 1500.0,
         "state_churn_speedup": 4.0,
+        "convergence_seconds": 0.5,
+        "blast_radius": 0.6,
     }
     base.update(summary)
     return {"summary": base}
@@ -244,6 +247,43 @@ class TestCheckFloors:
         assert len(failures) == 1
 
 
+class TestCeilingGates:
+    """Schema v9 robustness SLOs: lower is better, so the gates are
+    ceilings — and a missing measurement fails rather than passing on
+    a vacuous zero."""
+
+    @pytest.mark.parametrize("gate", sorted(CEILING_GATES))
+    def test_under_ceiling_passes(self, gate):
+        key = CEILING_GATES[gate][0]
+        assert check_floors(fake_report(**{key: 0.1}), {gate: 1.0}) == []
+
+    @pytest.mark.parametrize("gate", sorted(CEILING_GATES))
+    def test_over_ceiling_fails(self, gate):
+        key = CEILING_GATES[gate][0]
+        failures = check_floors(fake_report(**{key: 2.0}), {gate: 1.0})
+        assert len(failures) == 1
+        assert failures[0].startswith("FAIL")
+        assert "exceeded" in failures[0]
+
+    @pytest.mark.parametrize("gate", sorted(CEILING_GATES))
+    def test_exactly_at_ceiling_passes(self, gate):
+        key = CEILING_GATES[gate][0]
+        assert check_floors(fake_report(**{key: 1.0}), {gate: 1.0}) == []
+
+    @pytest.mark.parametrize("gate", sorted(CEILING_GATES))
+    def test_missing_measurement_fails(self, gate):
+        # build_report writes None for the v9 fields when the storm
+        # scenario is excluded; a requested ceiling must not pass then.
+        key = CEILING_GATES[gate][0]
+        for report in (fake_report(**{key: None}), {"summary": {}}):
+            failures = check_floors(report, {gate: 1.0})
+            assert len(failures) == 1
+            assert "no measurement" in failures[0]
+
+    def test_gate_tables_are_disjoint(self):
+        assert not set(CEILING_GATES) & set(FLOOR_GATES)
+
+
 class TestCliFloorsAndWorkers:
     def make_fake_build_report(self, captured, **summary):
         def fake_build_report(quick=True, seed=0, only=None, workers=None):
@@ -287,3 +327,30 @@ class TestCliFloorsAndWorkers:
             ["--output", out, "--floor-partition-speedup", "1.5"]
         ) == 1
         assert "partition speedup floor" in capsys.readouterr().err
+
+    def test_ceiling_flags_gate_exit_code(self, monkeypatch, tmp_path, capsys):
+        import repro.bench as bench
+
+        monkeypatch.setattr(
+            bench,
+            "build_report",
+            self.make_fake_build_report(
+                {}, convergence_seconds=1.2, blast_radius=0.9
+            ),
+        )
+        out = str(tmp_path / "o.json")
+        assert main(
+            [
+                "--output", out,
+                "--floor-convergence-seconds", "2.0",
+                "--floor-blast-radius", "0.95",
+            ]
+        ) == 0
+        assert main(
+            ["--output", out, "--floor-convergence-seconds", "1.0"]
+        ) == 1
+        assert "convergence seconds ceiling" in capsys.readouterr().err
+        assert main(
+            ["--output", out, "--floor-blast-radius", "0.5"]
+        ) == 1
+        assert "blast radius ceiling" in capsys.readouterr().err

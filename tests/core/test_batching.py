@@ -20,7 +20,11 @@ from repro.core.ecmp.messages import (
     CountResponse,
     CountStatus,
     EcmpBatch,
+    decode_batch,
+    encode_batch,
+    set_zero_copy,
 )
+from repro.errors import CodecError
 from repro.core.ecmp.protocol import DirtyChannelQueue, EcmpAgent
 from repro.core.keys import make_key
 from tests.conftest import make_channel
@@ -198,6 +202,110 @@ class TestCoalescingSendPath:
         message = CountQuery(channel=ch, count_id=SUBSCRIBER_ID, timeout=5.0)
         agent._send_message(message, "n1")
         assert agent.stats.get("bytes_on_wire") == IP_OVERHEAD + message.wire_size()
+
+
+class TestMutatedFrameDecoding:
+    """Satellite regression (fault-injection work): a ``MSG_BATCH``
+    frame mangled on the wire — duplicated then truncated, torn
+    mid-record, concatenated with its own copy — must raise
+    :class:`CodecError` from ``decode_batch`` rather than partially
+    apply a plausible prefix of records. Pinned on both codecs; the
+    adversarial byte strings come from the fault subsystem's
+    :meth:`WireMutator.mutate_bytes` applied to real encoder output.
+    """
+
+    @staticmethod
+    def make_frame(net, n=4):
+        channels = other_channel(net, "hsrc", n=n)
+        messages = [
+            Count(channel=ch, count_id=SUBSCRIBER_ID, count=i + 1)
+            for i, ch in enumerate(channels)
+        ]
+        messages[0] = Count(
+            channel=channels[0],
+            count_id=SUBSCRIBER_ID,
+            count=1,
+            key=make_key(channels[0]),
+        )
+        return encode_batch(messages), messages
+
+    @pytest.fixture(params=[True, False], ids=["zero_copy", "legacy"])
+    def codec(self, request):
+        prior = set_zero_copy(request.param)
+        yield request.param
+        set_zero_copy(prior)
+
+    def test_duplicated_then_truncated_raises_not_partial(self, line_net, codec):
+        frame, messages = self.make_frame(line_net)
+        for cut in range(1, len(frame)):
+            mangled = frame + frame[:cut]
+            with pytest.raises(CodecError):
+                decode_batch(mangled)
+
+    def test_every_truncation_point_raises(self, line_net, codec):
+        frame, messages = self.make_frame(line_net)
+        for cut in range(len(frame)):
+            with pytest.raises(CodecError):
+                decode_batch(frame[:cut])
+
+    def test_clean_frame_still_round_trips(self, line_net, codec):
+        frame, messages = self.make_frame(line_net)
+        assert decode_batch(frame) == messages
+
+    def test_wire_mutator_fuzz_never_partially_applies(self, line_net, codec):
+        """Every non-identical byte string the mutator can produce from
+        a valid frame either round-trips in full or raises — the decode
+        never returns a shortened record list."""
+        import random
+
+        from repro.errors import CodecError as CE
+        from repro.faults import WireMutator
+
+        frame, messages = self.make_frame(line_net)
+        mutator = WireMutator(
+            random.Random(1234), drop=0.4, duplicate=0.5, reorder=0.5
+        )
+        outcomes = {"ok": 0, "rejected": 0, "dropped": 0}
+        for _ in range(300):
+            pieces = mutator.mutate_bytes(frame)
+            if not pieces:
+                outcomes["dropped"] += 1
+                continue
+            # A framing layer that mis-slices the stream hands the
+            # decoder the concatenation; per-piece delivery is the
+            # duplicate-frame case, which is merely idempotent.
+            for candidate in pieces + [b"".join(pieces)]:
+                try:
+                    decoded = decode_batch(candidate)
+                except CE:
+                    outcomes["rejected"] += 1
+                else:
+                    outcomes["ok"] += 1
+                    assert decoded == messages
+        # The draws must actually exercise both outcomes.
+        assert outcomes["rejected"] > 0
+        assert outcomes["ok"] > 0
+
+    def test_receive_path_counts_undecodable_instead_of_applying(self, line_net):
+        """End to end: a torn frame delivered to an agent increments
+        ``undecodable_messages`` and changes no channel state."""
+        from repro.netsim.packet import Packet
+
+        net = line_net
+        frame, messages = self.make_frame(net)
+        agent = net.ecmp_agents["n1"]
+        before = dict(agent.stats.as_dict())
+        packet = Packet(
+            proto="ecmp", src="n0", dst="n1", payload=frame + frame[: len(frame) // 2]
+        )
+        agent.handle_packet(
+            packet, net.topo.node("n1").interface_to(net.topo.node("n0")).index
+        )
+        after = agent.stats.as_dict()
+        assert after.get("undecodable_messages", 0) == before.get(
+            "undecodable_messages", 0
+        ) + 1
+        assert not agent.channels
 
 
 class TestReconnectResend:

@@ -1,0 +1,160 @@
+"""Unit tests for the refresh-deadline ring (``core/ecmp/refresh.py``).
+
+The integration-level expiry behaviour (ring vs full-table scan
+equivalence) is pinned by the UDP-mode and property suites; here we pin
+the ring's own container contract, and in particular the satellite
+regression from the fault-injection work: an abandoned :meth:`due`
+iteration — an exception mid-tick, a crash/restart straddling a refresh
+deadline, a clock jump that pops several buckets at once — must never
+strand a *popped-but-dead* entry that is tracked in ``_entries`` but
+resident in no bucket. Before the ``_pending`` staging area, such an
+entry would never expire again and would block :meth:`add` from
+re-arming its key forever.
+"""
+
+import pytest
+
+from repro.core.ecmp.refresh import RefreshRing
+
+
+def drain(ring, now, lease=120.0):
+    """One well-behaved tick: discard expired keys (all of them here),
+    like the protocol's ``_udp_refresh_tick`` with no refreshes."""
+    popped = list(ring.due(now))
+    for key in popped:
+        ring.discard(key)
+    return popped
+
+
+class TestRingBasics:
+    def test_add_and_due(self):
+        ring = RefreshRing(10.0)
+        assert ring.add("a", 15.0)
+        assert ring.add("b", 95.0)
+        assert len(ring) == 2
+        assert "a" in ring and "b" in ring
+        # Bucket [10,20) is fully past only when now > 20.
+        assert drain(ring, 25.0) == ["a"]
+        assert len(ring) == 1
+        assert drain(ring, 200.0) == ["b"]
+        assert len(ring) == 0
+
+    def test_add_is_deduped(self):
+        ring = RefreshRing(10.0)
+        assert ring.add("a", 15.0)
+        assert not ring.add("a", 999.0)  # existing entry stays
+        assert drain(ring, 25.0) == ["a"]
+
+    def test_reschedule_moves_to_new_bucket(self):
+        ring = RefreshRing(10.0)
+        ring.add("a", 15.0)
+        for key in ring.due(25.0):
+            ring.reschedule(key, 95.0)
+        assert "a" in ring
+        assert drain(ring, 50.0) == []
+        assert drain(ring, 200.0) == ["a"]
+
+    def test_discard_is_lazy_and_final(self):
+        ring = RefreshRing(10.0)
+        ring.add("a", 15.0)
+        ring.add("b", 15.0)
+        ring.discard("a")
+        assert drain(ring, 25.0) == ["b"]
+        assert len(ring) == 0
+
+    def test_due_yield_order_is_bucket_then_insertion(self):
+        ring = RefreshRing(10.0)
+        ring.add("late", 95.0)
+        ring.add("a", 15.0)
+        ring.add("b", 12.0)  # same bucket as a, inserted after
+        assert list(drain(ring, 200.0)) == ["a", "b", "late"]
+
+    def test_granularity_must_be_positive(self):
+        with pytest.raises(ValueError):
+            RefreshRing(0.0)
+        with pytest.raises(ValueError):
+            RefreshRing(10.0).rebuild(-1.0, lambda key: 0.0)
+
+
+class TestAbandonedIteration:
+    """The satellite regression: popped-but-undispositioned keys
+    survive an abandoned ``due`` iteration."""
+
+    def test_abandoned_due_reyields_next_call(self):
+        ring = RefreshRing(10.0)
+        ring.add("a", 12.0)
+        ring.add("b", 14.0)
+        it = ring.due(25.0)
+        assert next(it) == "a"
+        ring.discard("a")
+        del it  # tick dies before reaching "b" (exception / crash)
+        # "b" is still tracked and must come due again, immediately —
+        # even at a ``now`` for which no bucket is due any more.
+        assert "b" in ring
+        assert drain(ring, 25.0) == ["b"]
+        assert len(ring) == 0
+
+    def test_clock_jump_straddling_deadline_leaves_no_dead_entry(self):
+        """A crash/restart straddling a refresh deadline: the tick pops
+        the bucket, dies, and the key's record is gone by the time the
+        next tick runs. The entry must be yielded so the caller can
+        discard it — not stay resident forever."""
+        ring = RefreshRing(10.0)
+        ring.add(("ch", "n1"), 12.0)
+        it = ring.due(1e6)  # clock jump: every bucket pops
+        next(it)
+        del it  # abandoned before disposition
+        # The record behind the key is dead; a well-behaved next tick
+        # discards it and the key becomes re-armable.
+        assert drain(ring, 1e6) == [("ch", "n1")]
+        assert len(ring) == 0
+        assert ring.add(("ch", "n1"), 2e6)
+
+    def test_discard_while_pending_stops_reyield(self):
+        ring = RefreshRing(10.0)
+        ring.add("a", 12.0)
+        it = ring.due(25.0)
+        next(it)
+        del it
+        ring.discard("a")  # e.g. the neighbor unsubscribed meanwhile
+        assert drain(ring, 1e6) == []
+        assert ring.add("a", 15.0)  # key is re-armable
+
+    def test_disposition_of_one_key_can_discard_another_pending_key(self):
+        ring = RefreshRing(10.0)
+        ring.add("a", 12.0)
+        ring.add("b", 14.0)
+        seen = []
+        for key in ring.due(25.0):
+            seen.append(key)
+            # Handling "a" tears down "b" too (e.g. the whole channel
+            # state is dropped): "b" must not be yielded afterwards.
+            ring.discard("a")
+            ring.discard("b")
+        assert seen == ["a"]
+        assert len(ring) == 0
+
+    def test_rebuild_rebuckets_pending_keys(self):
+        """An interval change (or crash recovery) right after an
+        abandoned tick must re-bucket the stranded keys, deduped."""
+        ring = RefreshRing(10.0)
+        ring.add("a", 12.0)
+        ring.add("b", 14.0)
+        it = ring.due(25.0)
+        next(it)
+        del it
+        deadlines = {"a": 30.0, "b": 60.0}
+        ring.rebuild(5.0, deadlines.__getitem__)
+        assert ring.granularity == 5.0
+        assert drain(ring, 40.0) == ["a"]
+        assert drain(ring, 70.0) == ["b"]
+
+    def test_reschedule_clears_pending(self):
+        ring = RefreshRing(10.0)
+        ring.add("a", 12.0)
+        it = ring.due(25.0)
+        next(it)
+        del it
+        ring.reschedule("a", 95.0)  # refreshed meanwhile
+        assert drain(ring, 25.0) == []  # not re-yielded now
+        assert drain(ring, 200.0) == ["a"]

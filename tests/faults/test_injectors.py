@@ -1,0 +1,273 @@
+"""FaultInjector against live networks: node, link, and adversarial
+faults flow through the real protocol, and an empty plan arms nothing."""
+
+import pytest
+
+from repro import ExpressNetwork, TopologyBuilder
+from repro.core.keys import make_key
+from repro.errors import FaultError
+from repro.faults import FaultInjector, FaultMonitor, FaultPlan, WireMutator
+from tests.conftest import make_channel
+
+
+@pytest.fixture
+def isp_net():
+    topo = TopologyBuilder.isp(n_transit=3, stubs_per_transit=2, hosts_per_stub=1)
+    net = ExpressNetwork(topo)
+    net.run(until=0.01)
+    return net
+
+
+def subscribed(net, n_subs=3):
+    """One channel, ``n_subs`` subscribers on distinct stubs."""
+    hosts = sorted(net.host_names)
+    src, ch = make_channel(net, hosts[0])
+    subs = hosts[1 : 1 + n_subs]
+    for name in subs:
+        net.host(name).subscribe(ch)
+    net.settle()
+    return src, ch, subs
+
+
+class TestArming:
+    def test_empty_plan_schedules_no_events(self, isp_net):
+        net = isp_net
+        before = net.sim.pending()
+        FaultInjector(net, FaultPlan()).arm()
+        assert net.sim.pending() == before
+
+    def test_double_arm_rejected(self, isp_net):
+        injector = FaultInjector(isp_net, FaultPlan())
+        injector.arm()
+        with pytest.raises(FaultError, match="already armed"):
+            injector.arm()
+
+    def test_past_event_rejected(self, isp_net):
+        net = isp_net
+        net.run(until=5.0)
+        plan = FaultPlan().crash(1.0, "t0")
+        with pytest.raises(FaultError, match="in the past"):
+            FaultInjector(net, plan).arm()
+
+    def test_invalid_plan_rejected_at_arm(self, isp_net):
+        plan = FaultPlan().restart(5.0, "t0")
+        with pytest.raises(FaultError, match="no prior crash"):
+            FaultInjector(isp_net, plan).arm()
+
+    def test_unknown_target_surfaces_at_fire(self, isp_net):
+        net = isp_net
+        plan = FaultPlan().crash(1.0, "nonexistent")
+        FaultInjector(net, plan).arm()
+        with pytest.raises(FaultError, match="unknown crash target"):
+            net.run(until=2.0)
+
+
+class TestCrashRestart:
+    def test_crash_wipes_state_and_downs_links(self, isp_net):
+        net = isp_net
+        src, ch, subs = subscribed(net)
+        agent = net.ecmp_agents["t1"]
+        now = net.sim.now
+        injector = FaultInjector(net, FaultPlan().crash(now + 1.0, "t1"))
+        injector.arm()
+        net.run(until=now + 1.5)
+        assert not agent.channels
+        assert not agent.subscriptions
+        assert agent.stats.get("state_losses") == 1
+        assert all(not link.up for link in injector._downed["t1"])
+        assert injector.fired and injector.fired[0][1] == "crash"
+
+    def test_restart_resyncs_through_protocol(self, isp_net):
+        net = isp_net
+        hosts = sorted(net.host_names)
+        src, ch = make_channel(net, hosts[0])
+        subs = hosts[1:4]
+        got = {name: 0 for name in subs}
+        for name in subs:
+            net.host(name).subscribe(
+                ch,
+                on_data=lambda _d, name=name: got.__setitem__(
+                    name, got[name] + 1
+                ),
+            )
+        net.settle()
+        now = net.sim.now
+        plan = FaultPlan().crash_restart(now + 1.0, "t1", downtime=3.0)
+        injector = FaultInjector(net, plan)
+        injector.arm()
+        net.run(until=now + 40.0)
+        # Every subscriber is back on the tree and data flows end to end.
+        assert set(net.subscriber_hosts(ch)) == set(subs)
+        src.send(ch)
+        net.settle()
+        assert all(count == 1 for count in got.values()), got
+        # The resync actually cost bytes on the wire.
+        totals = net.control_stats_total()
+        assert totals.get("resync_events", 0) > 0
+
+    def test_crash_composed_with_partition_does_not_heal_it(self, isp_net):
+        net = isp_net
+        now = net.sim.now
+        plan = (
+            FaultPlan()
+            .partition(now + 0.5, "t0", "t1")
+            .crash_restart(now + 1.0, "t1", downtime=2.0)
+            .heal(now + 10.0, "t0", "t1")
+        )
+        FaultInjector(net, plan).arm()
+        net.run(until=now + 5.0)
+        # Restart fired, but the independently partitioned link stays
+        # down until its own heal event.
+        assert not net.topo.link_between("t0", "t1").up
+        net.run(until=now + 11.0)
+        assert net.topo.link_between("t0", "t1").up
+
+
+class TestLinkFaults:
+    def test_partition_and_heal(self, isp_net):
+        net = isp_net
+        now = net.sim.now
+        link = net.topo.link_between("t0", "t1")
+        plan = FaultPlan().partition(now + 1.0, "t0", "t1").heal(now + 2.0, "t0", "t1")
+        FaultInjector(net, plan).arm()
+        net.run(until=now + 1.5)
+        assert not link.up
+        net.run(until=now + 2.5)
+        assert link.up
+
+    def test_unlinked_pair_rejected(self, isp_net):
+        net = isp_net
+        # Both hosts exist, but no direct link joins them.
+        hosts = sorted(net.host_names)
+        plan = FaultPlan().partition(net.sim.now + 1.0, hosts[0], hosts[-1])
+        FaultInjector(net, plan).arm()
+        with pytest.raises(FaultError, match="no link between"):
+            net.run(until=net.sim.now + 2.0)
+
+    def test_latency_spike_restores_after_duration(self, isp_net):
+        net = isp_net
+        now = net.sim.now
+        link = net.topo.link_between("t0", "t1")
+        original = link.delay
+        plan = FaultPlan().latency_spike(now + 1.0, "t0", "t1", factor=10.0, duration=2.0)
+        FaultInjector(net, plan).arm()
+        net.run(until=now + 1.5)
+        assert link.delay == pytest.approx(original * 10.0)
+        net.run(until=now + 3.5)
+        assert link.delay == pytest.approx(original)
+
+    def test_wire_mutator_installs_mutates_and_removes(self, isp_net):
+        net = isp_net
+        src, ch, subs = subscribed(net)
+        now = net.sim.now
+        plan = FaultPlan().wire_mutate(
+            now + 0.5, "t0", "t1", duration=5.0, duplicate=1.0
+        )
+        injector = FaultInjector(net, plan)
+        injector.arm()
+        link = net.topo.link_between("t0", "t1")
+        net.run(until=now + 1.0)
+        assert link.mutator is injector.mutators[0]
+        # Drive control traffic across the mutated window.
+        for name in subs:
+            net.host(name).unsubscribe(ch)
+            net.host(name).subscribe(ch)
+        net.run(until=now + 6.0)
+        assert link.mutator is None  # removed after the window
+        stats = injector.mutation_stats()
+        assert stats["duplicated"] > 0
+        assert stats["dropped"] == 0
+        # Duplicated soft-state messages are idempotent: counts settle
+        # to the truth regardless.
+        net.settle()
+        total = []
+        src.count_query(ch, callback=lambda tot, partial: total.append(tot))
+        net.settle()
+        assert total and total[0] == len(subs)
+
+
+class TestAdversarialLoad:
+    def test_join_flood_is_denied_and_state_clean(self, isp_net):
+        net = isp_net
+        hosts = sorted(net.host_names)
+        src, ch = make_channel(net, hosts[0])
+        key = make_key(ch)
+        src.channel_key(ch, key)
+        net.host(hosts[1]).subscribe(ch, key=key)
+        net.settle()
+        attacker = hosts[-1]
+        now = net.sim.now
+        plan = FaultPlan(seed=5).join_flood(
+            now + 0.5, attacker, ch, attempts=40, interval=0.01
+        )
+        injector = FaultInjector(net, plan)
+        injector.arm()
+        net.run(until=now + 5.0)
+        net.settle()
+        assert injector.attack_stats["join_attempts"] == 40
+        totals = net.control_stats_total()
+        assert totals.get("denied_subscriptions", 0) > 0
+        # The forged joins never stick: only the honest subscriber.
+        assert set(net.subscriber_hosts(ch)) == {hosts[1]}
+
+    def test_count_inflate_is_corrected_by_refresh(self, isp_net):
+        net = isp_net
+        src, ch, subs = subscribed(net, n_subs=2)
+        attacker = subs[0]
+        now = net.sim.now
+        plan = FaultPlan().count_inflate(
+            now + 0.5, attacker, ch, count=500_000, repeats=2, interval=0.1
+        )
+        injector = FaultInjector(net, plan)
+        injector.arm()
+        net.run(until=now + 2.0)
+        assert injector.attack_stats["inflated_counts"] == 2
+        # The inflated number may transiently propagate; a count query
+        # forces fresh upstream reports and lands on the truth.
+        net.settle(10.0)
+        totals = []
+        src.count_query(ch, callback=lambda tot, partial: totals.append(tot))
+        net.settle()
+        assert totals and totals[0] == len(subs)
+
+
+class TestWireMutatorUnit:
+    def test_install_conflict_rejected(self, isp_net):
+        import random
+
+        link = isp_net.topo.link_between("t0", "t1")
+        first = WireMutator(random.Random(0), drop=0.1)
+        second = WireMutator(random.Random(1), drop=0.1)
+        first.install(link)
+        try:
+            with pytest.raises(FaultError, match="already has"):
+                second.install(link)
+            # remove() of the non-installed mutator is a no-op.
+            second.remove(link)
+            assert link.mutator is first
+        finally:
+            first.remove(link)
+        assert link.mutator is None
+
+    def test_probability_validation(self):
+        import random
+
+        with pytest.raises(FaultError):
+            WireMutator(random.Random(0), drop=-0.1)
+        with pytest.raises(FaultError):
+            WireMutator(random.Random(0), reorder_delay=-1.0)
+
+    def test_zero_probability_mutator_passes_everything(self, isp_net):
+        net = isp_net
+        src, ch, subs = subscribed(net)
+        import random
+
+        link = net.topo.link_between("t0", "t1")
+        mutator = WireMutator(random.Random(0))
+        mutator.install(link)
+        try:
+            net.host(subs[0]).unsubscribe(ch)
+            net.settle()
+        finally:
+            mutator.remove(link)
+        assert mutator.mutations_total() == 0

@@ -1,0 +1,155 @@
+"""FaultMonitor: SLO scoring, orphan detection, and lifecycle."""
+
+import pytest
+
+from repro import ExpressNetwork, TopologyBuilder
+from repro.errors import FaultError
+from repro.obs.hooks import Observability
+from repro.faults import FaultInjector, FaultMonitor, FaultPlan
+from tests.conftest import make_channel
+
+
+@pytest.fixture
+def observed_net():
+    topo = TopologyBuilder.isp(n_transit=3, stubs_per_transit=2, hosts_per_stub=1)
+    obs = Observability()
+    obs.bind_simulator(topo.sim)
+    net = ExpressNetwork(topo, obs=obs)
+    net.run(until=0.01)
+    return net
+
+
+def workload(net, n_subs=3):
+    hosts = sorted(net.host_names)
+    src, ch = make_channel(net, hosts[0])
+    subs = hosts[1 : 1 + n_subs]
+    for name in subs:
+        net.host(name).subscribe(ch)
+    net.settle()
+    return src, ch, subs
+
+
+class TestLifecycle:
+    def test_report_before_begin_raises(self, observed_net):
+        monitor = FaultMonitor(observed_net)
+        with pytest.raises(FaultError, match="before begin"):
+            monitor.report()
+
+    def test_monitor_attaches_convergence_hook(self, observed_net):
+        monitor = FaultMonitor(observed_net)
+        assert monitor.convergence is observed_net.obs.convergence
+        # A second monitor reuses the same hook, not a fresh one.
+        assert FaultMonitor(observed_net).convergence is monitor.convergence
+
+    def test_unobserved_network_still_scores_counters(self):
+        topo = TopologyBuilder.isp(
+            n_transit=3, stubs_per_transit=2, hosts_per_stub=1
+        )
+        net = ExpressNetwork(topo)
+        net.run(until=0.01)
+        src, ch, subs = workload(net)
+        monitor = FaultMonitor(net)
+        assert monitor.convergence is None
+        monitor.begin()
+        report = monitor.report()
+        assert report["convergence_seconds"] == 0.0
+        assert report["faults_fired"] == 0
+
+
+class TestQuietRun:
+    def test_no_faults_scores_zero(self, observed_net):
+        net = observed_net
+        src, ch, subs = workload(net)
+        monitor = FaultMonitor(net)
+        monitor.begin()
+        net.settle(5.0)
+        report = monitor.report()
+        assert report["faults_fired"] == 0
+        assert report["last_fault_at"] is None
+        assert report["convergence_seconds"] == 0.0
+        assert report["resync_bytes"] == 0
+        assert report["blast_radius"] == 0.0
+        assert report["agents_churned"] == 0
+        assert report["orphaned_state"] == 0
+        assert report["state_losses"] == 0
+
+
+class TestFaultedRun:
+    def test_crash_storm_slos(self, observed_net):
+        net = observed_net
+        src, ch, subs = workload(net)
+        monitor = FaultMonitor(net)
+        monitor.begin()
+        now = net.sim.now
+        plan = FaultPlan().crash_restart(now + 1.0, "t1", downtime=3.0)
+        injector = FaultInjector(net, plan, monitor=monitor)
+        injector.arm()
+        net.run(until=now + 40.0)
+        report = monitor.report(injector)
+        assert report["faults_fired"] == 2
+        assert report["last_fault_at"] == pytest.approx(now + 4.0)
+        assert report["state_losses"] == 1
+        # Recovery happened strictly after the restart landed.
+        assert report["convergence_seconds"] > 0.0
+        assert report["resync_bytes"] > 0
+        assert report["resync_events"] > 0
+        # Some but not all agents churned.
+        assert 0 < report["agents_churned"] < report["agents_total"]
+        assert 0.0 < report["blast_radius"] < 1.0
+        # The network re-settled cleanly.
+        assert report["orphaned_state"] == 0
+        # Injector extras ride along.
+        assert report["wire_mutations"] == {
+            "passed": 0, "dropped": 0, "duplicated": 0, "reordered": 0,
+        }
+        assert report["attack"]["join_attempts"] == 0
+
+    def test_blast_radius_counts_only_churned_agents(self, observed_net):
+        net = observed_net
+        src, ch, subs = workload(net, n_subs=1)
+        monitor = FaultMonitor(net)
+        monitor.begin()
+        # No faults, but one more subscriber joins: churn without any
+        # fault is still churn relative to the baseline window.
+        joiner = sorted(net.host_names)[-1]
+        net.host(joiner).subscribe(ch)
+        net.settle()
+        report = monitor.report()
+        assert report["agents_churned"] >= 1
+        assert report["blast_radius"] < 1.0
+
+
+class TestOrphanDetection:
+    def test_settled_network_has_no_orphans(self, observed_net):
+        net = observed_net
+        workload(net)
+        assert FaultMonitor(net).orphaned_state() == 0
+
+    def test_fib_entry_without_channel_state_is_orphan(self, observed_net):
+        net = observed_net
+        src, ch, subs = workload(net)
+        monitor = FaultMonitor(net)
+        agent = net.ecmp_agents["t1"]
+        # Manufacture the inconsistency a buggy teardown would leave:
+        # drop the channel table but keep the FIB entries.
+        fib_before = len(list(agent.fib.channels()))
+        assert fib_before > 0
+        agent.channels.clear()
+        assert monitor.orphaned_state() >= fib_before
+
+    def test_unreciprocated_downstream_is_orphan(self, observed_net):
+        net = observed_net
+        src, ch, subs = workload(net)
+        monitor = FaultMonitor(net)
+        baseline = monitor.orphaned_state()
+        # Wipe a downstream neighbor's whole table without telling its
+        # upstream: the upstream's record now points at nothing.
+        victim = None
+        for name, agent in net.ecmp_agents.items():
+            state = agent.channels.get(ch)
+            if state is not None and state.upstream in net.ecmp_agents:
+                victim = name
+                break
+        assert victim is not None
+        net.ecmp_agents[victim].channels.clear()
+        assert monitor.orphaned_state() > baseline

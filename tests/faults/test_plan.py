@@ -1,0 +1,160 @@
+"""FaultPlan: builders, validation, and the seeded-determinism contract."""
+
+import pytest
+
+from repro.errors import FaultError
+from repro.faults import KINDS, LINK_KINDS, FaultEvent, FaultPlan, seeded_crash_storm
+
+
+class TestFaultEvent:
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(FaultError, match="unknown fault kind"):
+            FaultEvent(1.0, "meteor_strike", "t0")
+
+    def test_negative_time_and_duration_rejected(self):
+        with pytest.raises(FaultError):
+            FaultEvent(-1.0, "crash", "t0")
+        with pytest.raises(FaultError):
+            FaultEvent(1.0, "crash", "t0", duration=-0.5)
+
+    def test_link_endpoints_parse(self):
+        event = FaultEvent(1.0, "partition", "a|b")
+        assert event.link_endpoints == ("a", "b")
+
+    def test_link_endpoints_reject_malformed_target(self):
+        for target in ("ab", "a|", "|b", ""):
+            with pytest.raises(FaultError, match="link target"):
+                FaultEvent(1.0, "partition", target).link_endpoints
+
+    def test_link_endpoints_reject_node_kinds(self):
+        with pytest.raises(FaultError, match="not a link fault"):
+            FaultEvent(1.0, "crash", "t0").link_endpoints
+
+    def test_kind_tables_are_consistent(self):
+        assert set(LINK_KINDS) < set(KINDS)
+
+
+class TestBuilders:
+    def test_fluent_chaining_and_order(self):
+        plan = (
+            FaultPlan(seed=3)
+            .crash(5.0, "t1")
+            .restart(8.0, "t1")
+            .partition(6.0, "a", "b")
+            .heal(7.0, "a", "b")
+        )
+        assert len(plan) == 4
+        assert [e.kind for e in plan] == ["crash", "restart", "partition", "heal"]
+        # Firing order sorts by time, stably.
+        assert [e.kind for _, e in plan.sorted_events()] == [
+            "crash", "partition", "heal", "restart",
+        ]
+
+    def test_same_timestamp_keeps_insertion_order(self):
+        plan = FaultPlan().crash(5.0, "a").partition(5.0, "x", "y").restart(5.0, "a")
+        assert [e.kind for _, e in plan.sorted_events()] == [
+            "crash", "partition", "restart",
+        ]
+        # A same-instant crash/restart still validates: the crash was
+        # inserted first, so it fires first.
+        plan.heal(5.0, "x", "y")
+        plan.validate()
+
+    def test_crash_restart_convenience(self):
+        plan = FaultPlan().crash_restart(10.0, "t2", downtime=4.0)
+        assert [(e.kind, e.at) for e in plan] == [("crash", 10.0), ("restart", 14.0)]
+        with pytest.raises(FaultError, match="downtime"):
+            FaultPlan().crash_restart(10.0, "t2", downtime=0.0)
+
+    def test_builder_argument_validation(self):
+        with pytest.raises(FaultError, match="factor"):
+            FaultPlan().latency_spike(1.0, "a", "b", factor=0.0, duration=1.0)
+        with pytest.raises(FaultError, match="probability"):
+            FaultPlan().wire_mutate(1.0, "a", "b", duration=1.0, drop=1.5)
+        with pytest.raises(FaultError, match="attempts"):
+            FaultPlan().join_flood(1.0, "h", object(), attempts=0)
+        with pytest.raises(FaultError, match="interval"):
+            FaultPlan().join_flood(1.0, "h", object(), interval=0.0)
+        with pytest.raises(FaultError, match="count"):
+            FaultPlan().count_inflate(1.0, "h", object(), count=-1)
+        with pytest.raises(FaultError, match="repeats"):
+            FaultPlan().count_inflate(1.0, "h", object(), repeats=0)
+
+    def test_empty_plan(self):
+        plan = FaultPlan()
+        assert plan.empty
+        assert list(plan) == []
+        plan.validate()
+
+
+class TestValidation:
+    def test_restart_without_crash_rejected(self):
+        with pytest.raises(FaultError, match="no prior crash"):
+            FaultPlan().restart(5.0, "t0").validate()
+
+    def test_double_crash_rejected(self):
+        plan = FaultPlan().crash(5.0, "t0").crash(9.0, "t0")
+        with pytest.raises(FaultError, match="crashed twice"):
+            plan.validate()
+
+    def test_crash_of_distinct_nodes_ok(self):
+        FaultPlan().crash(5.0, "t0").crash(6.0, "t1").validate()
+
+    def test_heal_without_partition_rejected(self):
+        with pytest.raises(FaultError, match="no prior partition"):
+            FaultPlan().heal(5.0, "a", "b").validate()
+
+    def test_double_partition_rejected(self):
+        plan = FaultPlan().partition(5.0, "a", "b").partition(6.0, "b", "a")
+        with pytest.raises(FaultError, match="partitioned twice"):
+            plan.validate()
+
+    def test_heal_matches_reversed_endpoints(self):
+        FaultPlan().partition(5.0, "a", "b").heal(6.0, "b", "a").validate()
+
+
+class TestSeeding:
+    def test_rng_is_per_event_and_deterministic(self):
+        plan = FaultPlan(seed=42).wire_mutate(1.0, "a", "b", duration=2.0, drop=0.5)
+        plan.wire_mutate(3.0, "a", "b", duration=2.0, drop=0.5)
+        pairs = plan.sorted_events()
+        draws = [plan.rng_for(i, e).random() for i, e in pairs]
+        # Distinct events draw distinct streams...
+        assert draws[0] != draws[1]
+        # ...and the same plan replays the same streams.
+        again = [plan.rng_for(i, e).random() for i, e in pairs]
+        assert draws == again
+
+    def test_seed_changes_streams(self):
+        a = FaultPlan(seed=1).crash(1.0, "t0")
+        b = FaultPlan(seed=2).crash(1.0, "t0")
+        assert (
+            a.rng_for(0, a.events[0]).random()
+            != b.rng_for(0, b.events[0]).random()
+        )
+
+
+class TestSeededCrashStorm:
+    def test_is_deterministic_and_valid(self):
+        routers = ["t0", "t1", "t2"]
+        a = seeded_crash_storm(7, routers, start=100.0, crashes=5)
+        b = seeded_crash_storm(7, routers, start=100.0, crashes=5)
+        assert [(e.at, e.kind, e.target) for e in a] == [
+            (e.at, e.kind, e.target) for e in b
+        ]
+        assert len(a) == 10  # crash + restart per cycle
+        a.validate()
+        assert {e.target for e in a} <= set(routers)
+
+    def test_different_seeds_differ(self):
+        routers = ["t0", "t1", "t2", "t3"]
+        a = seeded_crash_storm(1, routers, start=0.0, crashes=6)
+        b = seeded_crash_storm(2, routers, start=0.0, crashes=6)
+        assert [(e.at, e.target) for e in a] != [(e.at, e.target) for e in b]
+
+    def test_rejects_overlapping_cycles_and_empty_pool(self):
+        with pytest.raises(FaultError, match="spacing"):
+            seeded_crash_storm(0, ["t0"], start=0.0, crashes=2,
+                               downtime=10.0, spacing=10.0)
+        with pytest.raises(FaultError, match="at least one"):
+            seeded_crash_storm(0, [], start=0.0, crashes=1)

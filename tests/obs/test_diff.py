@@ -47,6 +47,13 @@ class TestDirection:
         # and examined records are overhead outright.
         assert direction("summary.refresh_scan_fraction") == -1
         assert direction("scenarios.channel_surf.refresh_records_examined") == -1
+        # Robustness SLOs (schema v9): recovery time, resync traffic,
+        # churn spread, and orphaned state are all costs of a fault.
+        assert direction("summary.convergence_seconds") == -1
+        assert direction("summary.resync_bytes") == -1
+        assert direction("scenarios.router_crash_storm.faults.resync_events") == -1
+        assert direction("summary.blast_radius") == -1
+        assert direction("summary.orphaned_state") == -1
 
     def test_benefit_metrics(self):
         assert direction("summary.events_per_sec_min") == +1
